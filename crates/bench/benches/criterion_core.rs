@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the core mechanisms: PEC selection,
+//! sharding planning, shard framing, snapshot serialization, and the
+//! asynchronous agent path.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use moc_core::selection::PecConfig;
+use moc_core::sharding::{ShardingPlanner, ShardingStrategy};
+use moc_core::twolevel::{CheckpointJob, NodeAgent, ShardJob};
+use moc_core::ParallelTopology;
+use moc_store::{frame, MemoryObjectStore, NodeId, NodeMemoryStore, ShardKey, StatePart};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_selection(c: &mut Criterion) {
+    let pec = PecConfig::sequential(2, 64, 32);
+    c.bench_function("pec_sequential_select_64x32", |b| {
+        b.iter(|| black_box(pec.select(black_box(17))))
+    });
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let planner = ShardingPlanner::new(
+        moc_moe::presets::gpt_350m_16e(),
+        ParallelTopology::case3(),
+    )
+    .unwrap();
+    c.bench_function("plan_full_fully_sharded_case3", |b| {
+        b.iter(|| black_box(planner.plan_full(ShardingStrategy::FullySharded)))
+    });
+    let pec = PecConfig::sequential(1, 16, 12);
+    c.bench_function("plan_pec_adaptive_case3", |b| {
+        b.iter(|| black_box(planner.plan_pec(ShardingStrategy::FullyShardedAdaptive, &pec, 3)))
+    });
+}
+
+fn bench_framing(c: &mut Criterion) {
+    let key = ShardKey::new("layer3.expert7", StatePart::Optimizer, 1000);
+    let payload = Bytes::from(vec![42u8; 1 << 20]);
+    c.bench_function("frame_encode_1MiB", |b| {
+        b.iter(|| black_box(frame::encode(&key, &payload)))
+    });
+    let framed = frame::encode(&key, &payload);
+    c.bench_function("frame_decode_1MiB", |b| {
+        b.iter(|| black_box(frame::decode(&framed).unwrap()))
+    });
+}
+
+fn bench_agent(c: &mut Criterion) {
+    c.bench_function("agent_checkpoint_64x64KiB", |b| {
+        b.iter_batched(
+            || {
+                let memory = Arc::new(NodeMemoryStore::new());
+                let store: Arc<dyn moc_store::ObjectStore> =
+                    Arc::new(MemoryObjectStore::new());
+                let agent = NodeAgent::spawn(NodeId(0), memory, store);
+                let shards: Vec<ShardJob> = (0..64)
+                    .map(|i| ShardJob {
+                        key: ShardKey::new(format!("m{i}"), StatePart::Weights, 1),
+                        payload: Bytes::from(vec![i as u8; 64 << 10]),
+                        persist: i % 4 == 0,
+                    })
+                    .collect();
+                (agent, shards)
+            },
+            |(agent, shards)| {
+                agent.submit(CheckpointJob { version: 1, shards }).unwrap();
+                agent.wait_idle();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_selection, bench_sharding, bench_framing, bench_agent
+}
+criterion_main!(benches);

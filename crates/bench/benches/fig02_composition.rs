@@ -1,0 +1,19 @@
+//! Fig. 2: checkpoint composition of GPT-350M-16E.
+//!
+//! Paper: expert params ~12%, non-expert params ~2%, expert optimizer
+//! ~74%, non-expert optimizer ~12%.
+
+use moc_bench::{banner, gib, pct};
+
+fn main() {
+    banner("Fig. 2 — checkpoint composition (GPT-350M-16E)");
+    let cfg = moc_moe::presets::gpt_350m_16e();
+    let comp = cfg.checkpoint_composition();
+    let [ew, nw, eo, no] = comp.fractions();
+    println!("total checkpoint: {}", gib(comp.total()));
+    println!("{:<24} {:>10} {:>8}", "component", "measured", "paper");
+    println!("{:<24} {:>10} {:>8}", "expert weights", pct(ew), "12%");
+    println!("{:<24} {:>10} {:>8}", "non-expert weights", pct(nw), "2%");
+    println!("{:<24} {:>10} {:>8}", "expert optimizer", pct(eo), "74%");
+    println!("{:<24} {:>10} {:>8}", "non-expert optimizer", pct(no), "12%");
+}

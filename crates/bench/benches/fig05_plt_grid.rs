@@ -1,0 +1,89 @@
+//! Fig. 5: correlation between PLT and final validation loss.
+//!
+//! Two reproductions: (1) the full paper grid (K_pec x I_ckpt on the
+//! GPT-125M-8E structure, one midpoint fault, I_total = 1280) through the
+//! event-accurate PLT simulator; (2) a reduced grid on the real tiny-8E
+//! training lab, where recovery physically discards expert updates and the
+//! final validation loss is measured.
+
+use moc_bench::{banner, pct};
+use moc_core::plt::{analytic_plt, PltSimulation};
+use moc_core::selection::PecConfig;
+use moc_core::ParallelTopology;
+use moc_moe::{LoadModel, LoadProfile};
+use moc_store::FaultEvent;
+use moc_train::harness::{run_experiment, FaultToleranceConfig, TrainConfig};
+use moc_train::PecMode;
+
+fn main() {
+    banner("Fig. 5(a) — PLT grid (simulated, GPT-125M-8E structure)");
+    let total = 1280u64;
+    let fault = vec![FaultEvent { iteration: total / 2, node: 0 }];
+    println!("{:<7} {}", "", "I_ckpt ->");
+    print!("{:<7}", "K_pec");
+    let intervals = [1u64, 2, 4, 8, 16, 32, 64];
+    for i in intervals {
+        print!(" {i:>7}");
+    }
+    println!();
+    for k in [4usize, 2, 1] {
+        print!("{k:<7}");
+        for i_ckpt in intervals {
+            let sim = PltSimulation {
+                load: LoadModel::new(6, 8, 1024, 1, LoadProfile::Balanced, 0),
+                snapshot_pec: PecConfig::sequential(k, 8, 6),
+                k_persist: k,
+                i_ckpt,
+                total_iterations: total,
+                faults: fault.clone(),
+                two_level_recovery: false,
+                topology: ParallelTopology::case1(),
+            };
+            print!(" {:>7}", pct(sim.run().plt));
+        }
+        println!();
+    }
+    println!(
+        "paper centre cell (K=2, I=32): 3.75% | analytic here: {}",
+        pct(analytic_plt(2, 8, 32, total, 1))
+    );
+
+    banner("Fig. 5(b) — final val loss vs PLT (real tiny-8E training)");
+    let train = TrainConfig {
+        total_iterations: 192,
+        eval_every: 192,
+        ..TrainConfig::tiny_8e()
+    };
+    let fault = vec![FaultEvent { iteration: 96, node: 0 }];
+    let baseline = run_experiment(
+        &train,
+        &FaultToleranceConfig::baseline(&train.model, 16, fault.clone()),
+    );
+    println!(
+        "non-fault-equivalent (full ckpt): val loss {:.4}, PLT {}",
+        baseline.final_val_loss,
+        pct(baseline.plt)
+    );
+    println!("{:<7} {:>8} {:>10} {:>12}", "K_pec", "I_ckpt", "PLT", "val loss");
+    for k in [4usize, 2, 1] {
+        for i_ckpt in [8u64, 16, 32] {
+            let ft = FaultToleranceConfig::pec(
+                &train.model,
+                k,
+                k,
+                PecMode::WO,
+                false,
+                i_ckpt,
+                fault.clone(),
+            );
+            let report = run_experiment(&train, &ft);
+            println!(
+                "{:<7} {:>8} {:>10} {:>12.4}",
+                k,
+                i_ckpt,
+                pct(report.plt),
+                report.final_val_loss
+            );
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Fig. 10: checkpoint size under PEC and the sharding strategies.
+//!
+//! (a) total checkpoint size vs K_pec (paper: 100 / 69.2 / 53.8 / 46.1 /
+//! 42.3% for K = 16/8/4/2/1 — the paper's own Eq. 6 with the Fig. 2
+//! composition gives the steeper curve printed here; see EXPERIMENTS.md).
+//! (b-d) bottleneck-rank workload per sharding strategy and case.
+
+use moc_bench::{banner, gib, pct};
+use moc_core::selection::PecConfig;
+use moc_core::sharding::{ShardingPlanner, ShardingStrategy};
+use moc_core::ParallelTopology;
+
+fn main() {
+    let cfg = moc_moe::presets::gpt_350m_16e();
+
+    banner("Fig. 10(a) — total checkpoint size vs K_pec");
+    println!(
+        "{:<8} {:>12} {:>10} {:>12}",
+        "K_pec", "size", "ratio", "paper-ratio"
+    );
+    let paper = [(16, "100%"), (8, "69.2%"), (4, "53.8%"), (2, "46.1%"), (1, "42.3%")];
+    for (k, paper_ratio) in paper {
+        let bytes = cfg.pec_checkpoint_bytes(k);
+        println!(
+            "{:<8} {:>12} {:>10} {:>12}",
+            k,
+            gib(bytes),
+            pct(cfg.pec_size_ratio(k)),
+            paper_ratio,
+        );
+    }
+
+    for (label, topo) in [
+        ("Fig. 10(b) — bottleneck rank, Case1", ParallelTopology::case1()),
+        ("Fig. 10(c) — bottleneck rank, Case2", ParallelTopology::case2()),
+        ("Fig. 10(d) — bottleneck rank, Case3", ParallelTopology::case3()),
+    ] {
+        banner(label);
+        let planner = ShardingPlanner::new(cfg.clone(), topo).expect("valid");
+        let pec = PecConfig::sequential(1, cfg.num_experts(), cfg.num_moe_layers());
+        println!(
+            "{:<10} {:>14} {:>14}",
+            "method", "full", "K_pec=1"
+        );
+        for strategy in ShardingStrategy::ALL {
+            let full = planner.plan_full(strategy).bottleneck().1;
+            let partial = planner.plan_pec(strategy, &pec, 0).bottleneck().1;
+            println!(
+                "{:<10} {:>14} {:>14}",
+                strategy.label(),
+                gib(full),
+                gib(partial),
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 11: duration of each process in a training iteration with
+//! checkpointing, per case and K (both levels at K), plus the baseline.
+
+use moc_bench::{banner, secs};
+use moc_cluster::timeline::{MethodSpec, TimelineModel};
+use moc_cluster::{ClusterSpec, IterationWorkload};
+use moc_core::ParallelTopology;
+
+fn main() {
+    let cfg = moc_moe::presets::gpt_350m_16e();
+    for (label, topo) in [
+        ("Fig. 11(a) — Case1", ParallelTopology::case1()),
+        ("Fig. 11(b) — Case2", ParallelTopology::case2()),
+        ("Fig. 11(c) — Case3", ParallelTopology::case3()),
+    ] {
+        banner(label);
+        let tm = TimelineModel::new(
+            cfg.clone(),
+            topo,
+            ClusterSpec::a800(),
+            IterationWorkload::default_case(),
+        );
+        println!(
+            "{:<12} {:>8} {:>8} {:>10} {:>9} {:>8}",
+            "method", "F&B", "update", "snapshot", "persist", "stall"
+        );
+        let mut rows = vec![MethodSpec::baseline()];
+        for k in [16usize, 8, 4, 2, 1] {
+            rows.push(MethodSpec::fully_sharded_k(k));
+        }
+        for (i, method) in rows.iter().enumerate() {
+            let t = tm.timeline(method);
+            let name = if i == 0 {
+                "Baseline".to_string()
+            } else {
+                format!("K = {}", [16, 8, 4, 2, 1][i - 1])
+            };
+            let stall = if method.blocking {
+                t.o_save_sec
+            } else {
+                (t.snapshot_sec - t.fb_sec).max(0.0)
+            };
+            println!(
+                "{:<12} {:>8} {:>8} {:>10} {:>9} {:>8}",
+                name,
+                secs(t.fb_sec),
+                secs(t.update_sec),
+                secs(t.snapshot_sec),
+                secs(t.persist_sec),
+                secs(stall),
+            );
+        }
+        println!("(green overlap line of the paper = F&B window: {})", secs(tm.fb_secs()));
+    }
+}

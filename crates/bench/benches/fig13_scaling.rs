@@ -1,0 +1,67 @@
+//! Fig. 13: scaling and generalization sweeps (the ASTRA-sim study).
+
+use moc_bench::{banner, gib, secs};
+use moc_cluster::scaling::{
+    scaling_point, sweep_gpus, sweep_model_size, sweep_seq_len, Parallelism, SweepConfig,
+};
+
+fn print_points(points: &[moc_cluster::ScalingPoint], key: &str) {
+    println!(
+        "{:<8} {:>10} {:>11} {:>10} {:>10} {:>10}",
+        key, "baseline", "base-async", "moc-async", "F&B", "snapshot"
+    );
+    for p in points {
+        let label = match key {
+            "seq" => p.seq_len.to_string(),
+            "hidden" => p.hidden.to_string(),
+            _ => p.gpus.to_string(),
+        };
+        println!(
+            "{:<8} {:>10} {:>11} {:>10} {:>10} {:>10}",
+            label,
+            secs(p.row.baseline.iteration_sec),
+            secs(p.row.base_async.iteration_sec),
+            secs(p.row.moc_async.iteration_sec),
+            secs(p.row.base_async.fb_sec),
+            secs(p.row.base_async.snapshot_sec),
+        );
+    }
+}
+
+fn main() {
+    let gpus = [32usize, 64, 128, 256, 512, 1024];
+
+    banner("Fig. 13(a) — DP+EP scaling on A800");
+    print_points(&sweep_gpus(&SweepConfig::default_a800(), &gpus), "gpus");
+
+    banner("Fig. 13(b) — DP+EP+TP4 scaling on A800");
+    let tp = SweepConfig {
+        parallelism: Parallelism::DpEpTp4,
+        ..SweepConfig::default_a800()
+    };
+    print_points(&sweep_gpus(&tp, &gpus), "gpus");
+
+    banner("Fig. 13(c) — DP+EP scaling on H100");
+    print_points(&sweep_gpus(&SweepConfig::default_h100(), &gpus), "gpus");
+
+    banner("Fig. 13(d) — sequence-length generalization (256 A800)");
+    print_points(
+        &sweep_seq_len(&SweepConfig::default_a800(), 256, &[512, 1024, 2048, 4096]),
+        "seq",
+    );
+
+    banner("Fig. 13(e) — model-size generalization (256 A800)");
+    print_points(&sweep_model_size(&SweepConfig::default_a800(), 256), "hidden");
+
+    banner("Fig. 13(f) — persist volume per checkpoint");
+    println!("{:<8} {:>14} {:>14}", "gpus", "base-persist", "moc-persist");
+    for g in gpus {
+        let p = scaling_point(&SweepConfig::default_a800(), g);
+        println!(
+            "{:<8} {:>14} {:>14}",
+            g,
+            gib(p.persist_bytes_base),
+            gib(p.persist_bytes_moc)
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Fig. 14: accuracy impact of PEC on real training.
+//!
+//! (a) validation-loss curves of the tiny-16E LM with periodic faults
+//! under W / O / WO / WO-2L (PEC on weights, optimizer, both, both +
+//! two-level recovery) vs the full-checkpoint baseline.
+//! (b) the vision proxy: topic-classification accuracy under baseline vs
+//! sequential vs load-aware selection.
+
+use moc_bench::{banner, pct};
+use moc_core::selection::SelectionStrategy;
+use moc_store::FaultEvent;
+use moc_train::harness::{run_experiment, FaultToleranceConfig, TrainConfig};
+use moc_train::PecMode;
+
+fn main() {
+    banner("Fig. 14(a) — loss curves with faults (tiny-16E, real training)");
+    let train = TrainConfig {
+        total_iterations: 240,
+        eval_every: 48,
+        ..TrainConfig::tiny_16e()
+    };
+    // Two faults, spaced wider than the persist-PEC rotation period
+    // (N/K_persist · I_ckpt = 80 iterations), mirroring the paper's
+    // fault-every-2k-of-10k cadence.
+    let faults: Vec<FaultEvent> = (1..=2)
+        .map(|i| FaultEvent { iteration: i * 90 + 3, node: 0 })
+        .collect();
+    let variants: Vec<(&str, FaultToleranceConfig)> = vec![
+        (
+            "Baseline",
+            FaultToleranceConfig::baseline(&train.model, 5, faults.clone()),
+        ),
+        (
+            "W",
+            FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::W, false, 5, faults.clone()),
+        ),
+        (
+            "O",
+            FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::O, false, 5, faults.clone()),
+        ),
+        (
+            "WO",
+            FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::WO, false, 5, faults.clone()),
+        ),
+        (
+            "WO-2L",
+            FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::WO, true, 5, faults.clone()),
+        ),
+    ];
+    println!("{:<9} {:>10} {:>9} | loss curve", "method", "final", "PLT");
+    for (name, ft) in variants {
+        let report = run_experiment(&train, &ft);
+        let curve: Vec<String> = report
+            .val_curve
+            .iter()
+            .map(|(it, l)| format!("{it}:{l:.3}"))
+            .collect();
+        println!(
+            "{:<9} {:>10.4} {:>9} | {}",
+            name,
+            report.final_val_loss,
+            pct(report.plt),
+            curve.join(" ")
+        );
+    }
+
+    banner("Fig. 14(b) — vision proxy: selection strategies");
+    let train = TrainConfig {
+        total_iterations: 160,
+        eval_every: 40,
+        ..TrainConfig::tiny_8e()
+    };
+    let faults = vec![
+        FaultEvent { iteration: 40, node: 0 },
+        FaultEvent { iteration: 120, node: 1 },
+    ];
+    for (name, strategy, k) in [
+        ("Baseline", SelectionStrategy::Sequential, 8usize),
+        ("Sequential", SelectionStrategy::Sequential, 2),
+        ("Load-aware", SelectionStrategy::LoadAware, 2),
+    ] {
+        let mut ft = FaultToleranceConfig::pec(
+            &train.model,
+            k,
+            k,
+            if k == 8 { PecMode::NONE } else { PecMode::WO },
+            false,
+            8,
+            faults.clone(),
+        );
+        ft.strategy = strategy;
+        let report = run_experiment(&train, &ft);
+        let curve: Vec<String> = report
+            .acc_curve
+            .iter()
+            .map(|(it, a)| format!("{it}:{:.2}", a * 100.0))
+            .collect();
+        println!("{name:<11} accuracy% {}", curve.join(" "));
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 15: (a) two-level recovery vs storage-only PLT across
+//! (K_snapshot, K_persist); (b) Dynamic-K bounding PLT under fault
+//! accumulation.
+
+use moc_bench::{banner, pct};
+use moc_core::dynamic_k::{DynamicK, DEFAULT_PLT_BUDGET};
+use moc_core::plt::{analytic_plt, PltSimulation};
+use moc_core::selection::PecConfig;
+use moc_core::ParallelTopology;
+use moc_moe::{LoadModel, LoadProfile};
+use moc_store::FaultEvent;
+
+fn sim(k_snapshot: usize, k_persist: usize, two_level: bool, faults: Vec<FaultEvent>) -> f64 {
+    PltSimulation {
+        load: LoadModel::new(12, 16, 2048, 1, LoadProfile::Balanced, 0),
+        snapshot_pec: PecConfig::sequential(k_snapshot, 16, 12),
+        k_persist,
+        i_ckpt: 8,
+        total_iterations: 1024,
+        faults,
+        two_level_recovery: two_level,
+        topology: ParallelTopology::case2(),
+    }
+    .run()
+    .plt
+}
+
+fn main() {
+    banner("Fig. 15(a) — PLT vs (K_snapshot, K_persist=1), GPT-350M-16E/Case2");
+    println!(
+        "{:<14} {:>16} {:>16}",
+        "(K_snap,K_per)", "storage-recovery", "two-level"
+    );
+    let fault = vec![FaultEvent { iteration: 512, node: 0 }];
+    for k in [1usize, 2, 4, 8, 16] {
+        let storage = sim(k, 1, false, fault.clone());
+        let two = sim(k, 1, true, fault.clone());
+        println!("({k:>2},1) {:>22} {:>16}", pct(storage), pct(two));
+    }
+
+    banner("Fig. 15(b) — Dynamic-K vs fixed K under fault accumulation");
+    println!(
+        "{:<8} {:>12} {:>12} {:>8}",
+        "faults", "fixed K=1", "dynamic", "K now"
+    );
+    // Long-horizon regime (I_ckpt = 2 of 4096 iterations) so a single
+    // fault costs well under the budget and Dynamic-K escalates
+    // gradually, as in the paper's trace.
+    let per_fault = |k: usize| analytic_plt(k, 16, 2, 4096, 1);
+    let mut fixed = 0.0;
+    let mut ctl = DynamicK::new(1, 16, DEFAULT_PLT_BUDGET);
+    for fault in 1..=32u32 {
+        fixed += per_fault(1);
+        let k = ctl.k();
+        ctl.on_fault_recovery(per_fault(k));
+        if [1, 2, 4, 8, 16, 32].contains(&fault) {
+            println!(
+                "{:<8} {:>12} {:>12} {:>8}",
+                fault,
+                pct(fixed),
+                pct(ctl.cumulative_plt()),
+                ctl.k()
+            );
+        }
+    }
+    println!("budget: {}", pct(DEFAULT_PLT_BUDGET));
+}

@@ -1,0 +1,26 @@
+//! Table 1: hyperparameters of the experimental MoE models, with the
+//! parameter totals this reproduction derives vs the paper's.
+
+use moc_bench::banner;
+
+fn main() {
+    banner("Table 1 — experimental MoE models");
+    println!(
+        "{:<14} {:>7} {:>7} {:>6} {:>9} {:>8} {:>12} {:>10}",
+        "model", "layers", "hidden", "heads", "moe-layrs", "experts", "params", "paper"
+    );
+    for (cfg, paper_total) in moc_moe::presets::table1() {
+        let counts = cfg.param_counts();
+        println!(
+            "{:<14} {:>7} {:>7} {:>6} {:>9} {:>8} {:>11.0}M {:>10}",
+            cfg.name(),
+            cfg.num_layers(),
+            cfg.hidden_size(),
+            cfg.num_heads(),
+            cfg.num_moe_layers(),
+            cfg.num_experts(),
+            counts.total() as f64 / 1e6,
+            paper_total,
+        );
+    }
+}

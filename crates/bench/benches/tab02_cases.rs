@@ -1,0 +1,30 @@
+//! Table 2: distributed configurations for GPT-350M-16E training.
+
+use moc_bench::banner;
+use moc_core::ParallelTopology;
+
+fn main() {
+    banner("Table 2 — distributed training configurations");
+    println!(
+        "{:<7} {:>6} {:>5} {:>4} {:>4} {:>4} {:>4} {:>12} {:>10}",
+        "case", "nodes", "gpus", "dp", "tp", "pp", "ep", "experts/gpu", "ep-groups"
+    );
+    for (name, topo) in [
+        ("Case1", ParallelTopology::case1()),
+        ("Case2", ParallelTopology::case2()),
+        ("Case3", ParallelTopology::case3()),
+    ] {
+        println!(
+            "{:<7} {:>6} {:>5} {:>4} {:>4} {:>4} {:>4} {:>12} {:>10}",
+            name,
+            topo.nodes(),
+            topo.world_size(),
+            topo.dp(),
+            topo.tp(),
+            topo.pp(),
+            topo.ep(),
+            topo.experts_per_gpu(16),
+            topo.num_ep_groups(),
+        );
+    }
+}

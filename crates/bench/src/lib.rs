@@ -1,0 +1,41 @@
+//! # moc-bench — benchmark harnesses for every table and figure
+//!
+//! Each bench target (run with `cargo bench --bench <name>`) regenerates
+//! one table or figure of the paper, printing the paper-reported values
+//! beside the values measured from this reproduction. Shared formatting
+//! helpers live here.
+
+#![warn(missing_docs)]
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("==== {title} ====");
+}
+
+/// Formats bytes as GiB with two decimals.
+pub fn gib(bytes: u64) -> String {
+    format!("{:.2} GiB", bytes as f64 / (1u64 << 30) as f64)
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats seconds with millisecond resolution.
+pub fn secs(x: f64) -> String {
+    format!("{x:.3}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(gib(1 << 30), "1.00 GiB");
+        assert_eq!(pct(0.423), "42.3%");
+        assert_eq!(secs(1.5), "1.500s");
+    }
+}

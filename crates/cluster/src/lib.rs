@@ -1,0 +1,51 @@
+//! # moc-cluster — distributed-training performance simulator
+//!
+//! The ASTRA-sim substitute of the MoC-System reproduction: deterministic
+//! analytic + event models of MoE training iterations with checkpointing.
+//!
+//! * [`hardware`] — GPU/cluster presets with the paper's constants
+//!   (A800 312 TFLOPS @ 20%, 1 GB/s snapshot; H100 989 TFLOPS @ 20%,
+//!   2 GB/s);
+//! * [`comm`] — α–β collective cost models (All-to-All, all-reduce,
+//!   reduce-scatter) aware of intra- vs inter-node bandwidth;
+//! * [`compute`] — F&B and update durations from FLOP accounting;
+//! * [`timeline`] — per-phase iteration timelines for Baseline /
+//!   Base-Async / MoC-Async (Figs. 11–12);
+//! * [`scaling`] — the Fig. 13 sweeps over GPUs, parallelism, hardware,
+//!   sequence length, model size and persist volume.
+//!
+//! # Examples
+//!
+//! ```
+//! use moc_cluster::hardware::ClusterSpec;
+//! use moc_cluster::timeline::fig12_row;
+//! use moc_core::ParallelTopology;
+//! use moc_moe::presets;
+//!
+//! let row = fig12_row(
+//!     "Case1",
+//!     presets::gpt_350m_16e(),
+//!     ParallelTopology::case1(),
+//!     ClusterSpec::a800(),
+//!     4,
+//!     1,
+//! );
+//! assert!(row.speedup() > 2.0);
+//! assert!(row.o_save_reduction() > 0.95);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comm;
+pub mod compute;
+pub mod events;
+pub mod hardware;
+pub mod scaling;
+pub mod timeline;
+
+pub use comm::{CommModel, GroupSpan};
+pub use events::{simulate, EventSimConfig, EventSimReport};
+pub use compute::{ComputeModel, FbBreakdown, IterationWorkload};
+pub use hardware::{ClusterSpec, GpuSpec};
+pub use scaling::{scaling_point, sweep_gpus, sweep_model_size, sweep_seq_len, Parallelism, ScalingPoint, SweepConfig};
+pub use timeline::{fig12_row, Fig12Row, IterationTimeline, MethodSpec, TimelineModel};

@@ -1,0 +1,271 @@
+//! Checkpoint manifests: completeness tracking and garbage collection.
+//!
+//! Under PEC, "a complete recoverable state at iteration `r`" is not a
+//! single checkpoint directory: the non-expert state must exist at `r`,
+//! while each expert may sit at any version `≤ r` — its latest save. The
+//! manifest tracks which shard versions exist, answers "what is the newest
+//! recoverable iteration?", and computes which old shards are safe to
+//! prune: a shard is garbage once every module it serves has a newer
+//! persisted version (pruning must never break the recoverability of the
+//! newest complete state).
+
+use moc_store::{ObjectStore, StatePart, StoreError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// In-memory record of persisted shard versions per `(module, part)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    slots: BTreeMap<(String, StatePart), Vec<u64>>,
+    /// Iterations at which a checkpoint event completed.
+    checkpoints: Vec<u64>,
+}
+
+impl Manifest {
+    /// Empty manifest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a manifest by scanning an object store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store scan failures.
+    pub fn from_store(store: &dyn ObjectStore) -> Result<Self, StoreError> {
+        let mut m = Self::new();
+        for key in store.keys()? {
+            m.record(&key.module, key.part, key.version);
+        }
+        // Checkpoint events are the distinct versions of any slot.
+        let mut versions: Vec<u64> = m.slots.values().flatten().copied().collect();
+        versions.sort_unstable();
+        versions.dedup();
+        m.checkpoints = versions;
+        Ok(m)
+    }
+
+    /// Records a persisted shard.
+    pub fn record(&mut self, module: &str, part: StatePart, version: u64) {
+        let v = self
+            .slots
+            .entry((module.to_string(), part))
+            .or_default();
+        match v.binary_search(&version) {
+            Ok(_) => {}
+            Err(pos) => v.insert(pos, version),
+        }
+    }
+
+    /// Marks a checkpoint event complete at `iteration`.
+    pub fn complete_checkpoint(&mut self, iteration: u64) {
+        match self.checkpoints.binary_search(&iteration) {
+            Ok(_) => {}
+            Err(pos) => self.checkpoints.insert(pos, iteration),
+        }
+    }
+
+    /// All tracked `(module, part)` slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Versions recorded for a slot.
+    pub fn versions(&self, module: &str, part: StatePart) -> &[u64] {
+        self.slots
+            .get(&(module.to_string(), part))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Newest version of a slot at or below `bound`.
+    pub fn latest(&self, module: &str, part: StatePart, bound: u64) -> Option<u64> {
+        self.versions(module, part)
+            .iter()
+            .copied()
+            .take_while(|&v| v <= bound)
+            .last()
+    }
+
+    /// The newest iteration `r` at which *every* tracked slot has some
+    /// version `≤ r` — the newest recoverable state. `None` if any slot
+    /// has no version at all.
+    pub fn newest_recoverable(&self) -> Option<u64> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mut bound = u64::MAX;
+        for versions in self.slots.values() {
+            let newest = *versions.last()?;
+            bound = bound.min(newest);
+        }
+        // Any slot saved every checkpoint (non-expert) pins `r` to its own
+        // newest version; experts below it are allowed (that is PEC).
+        // The recoverable iteration is the newest checkpoint <= the
+        // minimum over slots of (that slot's newest version)? No — the
+        // non-expert slots define r; expert slots only need *some*
+        // version <= r. r = newest version present across slots that is
+        // >= every slot's oldest version. The safe answer: the newest
+        // version v such that every slot has a version <= v.
+        let min_oldest = self
+            .slots
+            .values()
+            .map(|v| *v.first().expect("nonempty"))
+            .max()?;
+        let newest_any = self.slots.values().filter_map(|v| v.last()).max()?;
+        if min_oldest <= *newest_any {
+            Some(*newest_any)
+        } else {
+            None
+        }
+    }
+
+    /// Shards safe to delete while keeping every slot recoverable at or
+    /// after `keep_from`: all versions strictly older than the slot's
+    /// newest version `≤ keep_from` are redundant.
+    pub fn prunable(&self, keep_from: u64) -> Vec<(String, StatePart, u64)> {
+        let mut out = Vec::new();
+        for ((module, part), versions) in &self.slots {
+            if let Some(anchor) = versions.iter().copied().take_while(|&v| v <= keep_from).last()
+            {
+                for &v in versions.iter().take_while(|&&v| v < anchor) {
+                    out.push((module.clone(), *part, v));
+                }
+            }
+        }
+        out
+    }
+
+    /// Executes [`Manifest::prunable`] against a store, returning how many
+    /// shards were removed, and drops them from the manifest.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures; the manifest only forgets shards the
+    /// store confirmed deleted.
+    pub fn gc(&mut self, store: &dyn ObjectStore, keep_from: u64) -> Result<usize, StoreError> {
+        let doomed = self.prunable(keep_from);
+        let mut removed = 0;
+        for (module, part, version) in doomed {
+            let n = store.prune(&module, part, version + 1)?;
+            removed += n;
+            if let Some(v) = self.slots.get_mut(&(module.clone(), part)) {
+                v.retain(|&x| x > version);
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use moc_store::{MemoryObjectStore, ShardKey};
+
+    fn manifest() -> Manifest {
+        let mut m = Manifest::new();
+        // Non-expert saved at every checkpoint.
+        for v in [10, 20, 30] {
+            m.record("embedding", StatePart::Weights, v);
+        }
+        // Expert saved only at 10 (PEC skipped it afterwards).
+        m.record("layer1.expert0", StatePart::Weights, 10);
+        // Expert saved at 20.
+        m.record("layer1.expert1", StatePart::Weights, 20);
+        m
+    }
+
+    #[test]
+    fn latest_respects_bound() {
+        let m = manifest();
+        assert_eq!(m.latest("embedding", StatePart::Weights, 25), Some(20));
+        assert_eq!(m.latest("embedding", StatePart::Weights, 5), None);
+        assert_eq!(m.latest("layer1.expert0", StatePart::Weights, 30), Some(10));
+    }
+
+    #[test]
+    fn newest_recoverable_is_newest_full_cover() {
+        let m = manifest();
+        // Every slot has some version <= 30: recoverable at 30 (experts
+        // recover at their stale versions — PEC semantics).
+        assert_eq!(m.newest_recoverable(), Some(30));
+        assert_eq!(Manifest::new().newest_recoverable(), None);
+    }
+
+    #[test]
+    fn prunable_keeps_anchor_versions() {
+        let m = manifest();
+        let prunable = m.prunable(30);
+        // embedding@10 and @20 are redundant (anchor 30); the experts'
+        // only versions are their anchors and must survive.
+        assert!(prunable.contains(&("embedding".to_string(), StatePart::Weights, 10)));
+        assert!(prunable.contains(&("embedding".to_string(), StatePart::Weights, 20)));
+        assert!(!prunable
+            .iter()
+            .any(|(mo, _, _)| mo.starts_with("layer1.expert")));
+    }
+
+    #[test]
+    fn prunable_with_earlier_keep_point() {
+        let m = manifest();
+        // Keeping recoverability from iteration 20: embedding@10 is
+        // redundant (anchor 20), embedding@30 is newer than the keep
+        // point and untouched.
+        let prunable = m.prunable(20);
+        assert_eq!(
+            prunable,
+            vec![("embedding".to_string(), StatePart::Weights, 10)]
+        );
+    }
+
+    #[test]
+    fn gc_deletes_only_redundant_shards() {
+        let store = MemoryObjectStore::new();
+        let mut m = Manifest::new();
+        for v in [10u64, 20, 30] {
+            let key = ShardKey::new("embedding", StatePart::Weights, v);
+            store.put(&key, Bytes::from_static(b"ne")).unwrap();
+            m.record("embedding", StatePart::Weights, v);
+        }
+        let e_key = ShardKey::new("layer1.expert0", StatePart::Weights, 10);
+        store.put(&e_key, Bytes::from_static(b"e")).unwrap();
+        m.record("layer1.expert0", StatePart::Weights, 10);
+
+        let removed = m.gc(&store, 30).unwrap();
+        assert_eq!(removed, 2);
+        assert!(store.get(&e_key).unwrap().is_some(), "expert anchor kept");
+        assert!(store
+            .get(&ShardKey::new("embedding", StatePart::Weights, 30))
+            .unwrap()
+            .is_some());
+        assert!(store
+            .get(&ShardKey::new("embedding", StatePart::Weights, 10))
+            .unwrap()
+            .is_none());
+        // Manifest reflects the deletions.
+        assert_eq!(m.versions("embedding", StatePart::Weights), &[30]);
+    }
+
+    #[test]
+    fn from_store_reconstructs() {
+        let store = MemoryObjectStore::new();
+        for v in [5u64, 15] {
+            store
+                .put(&ShardKey::new("m", StatePart::Optimizer, v), Bytes::new())
+                .unwrap();
+        }
+        let m = Manifest::from_store(&store).unwrap();
+        assert_eq!(m.versions("m", StatePart::Optimizer), &[5, 15]);
+        assert_eq!(m.newest_recoverable(), Some(15));
+    }
+
+    #[test]
+    fn record_is_idempotent_and_sorted() {
+        let mut m = Manifest::new();
+        m.record("a", StatePart::Weights, 20);
+        m.record("a", StatePart::Weights, 10);
+        m.record("a", StatePart::Weights, 20);
+        assert_eq!(m.versions("a", StatePart::Weights), &[10, 20]);
+    }
+}

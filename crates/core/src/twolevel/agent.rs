@@ -1,0 +1,414 @@
+//! Per-node asynchronous checkpoint agents — Section 5.2.
+//!
+//! "We develop an agent at each node to facilitate the two-level
+//! checkpointing management through a triple-buffer mechanism." A
+//! [`NodeAgent`] owns two worker threads: a *snapshot* worker that copies
+//! shard payloads into the node's CPU-memory store, and a *persist* worker
+//! that writes the persist subset to the shared object store. The
+//! [`TripleBuffer`] state machine gates admission: when all three buffers
+//! are busy, `submit` reports a stall, mirroring the checkpoint stall "S"
+//! of Fig. 3.
+
+use crate::twolevel::buffers::{BufferError, SnapshotOutcome, TripleBuffer};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use moc_store::{NodeId, NodeMemoryStore, ObjectStore, ShardKey};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One shard to checkpoint: its key, payload, and whether the persist
+/// level should also write it (persist-PEC subset membership).
+#[derive(Debug, Clone)]
+pub struct ShardJob {
+    /// Key the shard is stored under (version = checkpoint iteration).
+    pub key: ShardKey,
+    /// Payload bytes (already serialized model state).
+    pub payload: Bytes,
+    /// Whether persist-PEC persists this shard to storage.
+    pub persist: bool,
+}
+
+/// A full checkpoint job for one node.
+#[derive(Debug, Clone)]
+pub struct CheckpointJob {
+    /// Checkpoint version (training iteration).
+    pub version: u64,
+    /// Shards to snapshot (and optionally persist).
+    pub shards: Vec<ShardJob>,
+}
+
+#[derive(Debug, Default)]
+struct AgentProgress {
+    snapshots_done: u64,
+    persists_done: u64,
+    snapshot_bytes: u64,
+    persist_bytes: u64,
+    errors: Vec<String>,
+}
+
+/// Counters describing an agent's completed work.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    /// Snapshot jobs completed.
+    pub snapshots_done: u64,
+    /// Persist jobs completed.
+    pub persists_done: u64,
+    /// Bytes copied into CPU memory.
+    pub snapshot_bytes: u64,
+    /// Bytes written to persistent storage.
+    pub persist_bytes: u64,
+    /// Errors encountered by workers (store failures).
+    pub errors: Vec<String>,
+}
+
+struct Inner {
+    buffers: Mutex<TripleBuffer>,
+    progress: Mutex<AgentProgress>,
+    /// Signalled when `pending` drops (waits pair with the `pending` mutex).
+    idle: Condvar,
+    /// Signalled when a buffer frees up (waits pair with `buffers`).
+    buffer_freed: Condvar,
+    pending: Mutex<usize>,
+}
+
+/// Asynchronous two-level checkpoint agent of one node.
+pub struct NodeAgent {
+    node: NodeId,
+    inner: Arc<Inner>,
+    snapshot_tx: Option<Sender<CheckpointJob>>,
+    snapshot_worker: Option<JoinHandle<()>>,
+    persist_worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NodeAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeAgent").field("node", &self.node).finish()
+    }
+}
+
+impl NodeAgent {
+    /// Spawns the agent's workers for `node`, snapshotting into `memory`
+    /// and persisting into `store`.
+    pub fn spawn(
+        node: NodeId,
+        memory: Arc<NodeMemoryStore>,
+        store: Arc<dyn ObjectStore>,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            buffers: Mutex::new(TripleBuffer::new()),
+            progress: Mutex::new(AgentProgress::default()),
+            idle: Condvar::new(),
+            buffer_freed: Condvar::new(),
+            pending: Mutex::new(0),
+        });
+        let (snapshot_tx, snapshot_rx) = unbounded::<CheckpointJob>();
+        let (persist_tx, persist_rx) = unbounded::<(u64, Vec<ShardJob>)>();
+
+        let snap_inner = inner.clone();
+        let snap_mem = memory;
+        let snapshot_worker = std::thread::Builder::new()
+            .name(format!("moc-snapshot-{node}"))
+            .spawn(move || snapshot_loop(snapshot_rx, persist_tx, snap_inner, snap_mem))
+            .expect("spawn snapshot worker");
+
+        let persist_inner = inner.clone();
+        let persist_worker = std::thread::Builder::new()
+            .name(format!("moc-persist-{node}"))
+            .spawn(move || persist_loop(persist_rx, persist_inner, store))
+            .expect("spawn persist worker");
+
+        Self {
+            node,
+            inner,
+            snapshot_tx: Some(snapshot_tx),
+            snapshot_worker: Some(snapshot_worker),
+            persist_worker: Some(persist_worker),
+        }
+    }
+
+    /// The node this agent serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Submits an asynchronous checkpoint job.
+    ///
+    /// Returns `Ok(stalled)` where `stalled` is `true` if the submission
+    /// had to wait for a free buffer (a checkpoint stall).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BufferError`] only on internal state-machine violations
+    /// (never under correct usage).
+    pub fn submit(&self, job: CheckpointJob) -> Result<bool, BufferError> {
+        let mut stalled = false;
+        {
+            let mut buffers = self.inner.buffers.lock();
+            while !buffers.can_begin_snapshot() {
+                stalled = true;
+                // Wait for the persist worker to release a buffer.
+                self.inner
+                    .buffer_freed
+                    .wait_for(&mut buffers, std::time::Duration::from_millis(1));
+            }
+            buffers.begin_snapshot(job.version)?;
+        }
+        *self.inner.pending.lock() += 1;
+        self.snapshot_tx
+            .as_ref()
+            .expect("agent not shut down")
+            .send(job)
+            .expect("snapshot worker alive");
+        Ok(stalled)
+    }
+
+    /// Blocks until all submitted jobs (snapshot + persist) have finished.
+    pub fn wait_idle(&self) {
+        let mut pending = self.inner.pending.lock();
+        while *pending > 0 {
+            self.inner.idle.wait(&mut pending);
+        }
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> AgentStats {
+        let p = self.inner.progress.lock();
+        AgentStats {
+            snapshots_done: p.snapshots_done,
+            persists_done: p.persists_done,
+            snapshot_bytes: p.snapshot_bytes,
+            persist_bytes: p.persist_bytes,
+            errors: p.errors.clone(),
+        }
+    }
+
+    /// The version held by the recovery buffer, if a persist completed.
+    pub fn recovery_version(&self) -> Option<u64> {
+        let buffers = self.inner.buffers.lock();
+        buffers.recovery_buffer().map(|b| buffers.version(b))
+    }
+
+    /// Shuts the workers down, waiting for queued jobs to drain.
+    pub fn shutdown(mut self) -> AgentStats {
+        self.shutdown_in_place();
+        self.stats()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        drop(self.snapshot_tx.take());
+        if let Some(h) = self.snapshot_worker.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.persist_worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NodeAgent {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn snapshot_loop(
+    rx: Receiver<CheckpointJob>,
+    persist_tx: Sender<(u64, Vec<ShardJob>)>,
+    inner: Arc<Inner>,
+    memory: Arc<NodeMemoryStore>,
+) {
+    while let Ok(job) = rx.recv() {
+        let mut bytes = 0u64;
+        for shard in &job.shards {
+            memory.put(&shard.key, shard.payload.clone());
+            bytes += shard.payload.len() as u64;
+        }
+        let persist_shards: Vec<ShardJob> =
+            job.shards.into_iter().filter(|s| s.persist).collect();
+
+        {
+            let mut buffers = inner.buffers.lock();
+            // Find this job's buffer: the one snapshotting at this version.
+            let id = (0..3)
+                .map(crate::twolevel::buffers::BufferId)
+                .find(|&b| {
+                    buffers.state(b) == crate::twolevel::buffers::BufferState::Snapshotting
+                        && buffers.version(b) == job.version
+                })
+                .expect("buffer claimed at submit");
+            // Either starts persisting immediately or queues in Ready;
+            // the single persist worker drains versions in order, so its
+            // buffer is guaranteed Persisting by the time it is handled.
+            let _outcome: SnapshotOutcome =
+                buffers.finish_snapshot(id).expect("valid transition");
+        }
+        {
+            let mut p = inner.progress.lock();
+            p.snapshots_done += 1;
+            p.snapshot_bytes += bytes;
+        }
+        persist_tx
+            .send((job.version, persist_shards))
+            .expect("persist worker alive");
+    }
+}
+
+fn persist_loop(
+    rx: Receiver<(u64, Vec<ShardJob>)>,
+    inner: Arc<Inner>,
+    store: Arc<dyn ObjectStore>,
+) {
+    while let Ok((version, shards)) = rx.recv() {
+        let mut bytes = 0u64;
+        for shard in &shards {
+            match store.put(&shard.key, shard.payload.clone()) {
+                Ok(()) => bytes += shard.payload.len() as u64,
+                Err(e) => inner.progress.lock().errors.push(e.to_string()),
+            }
+        }
+        {
+            let mut buffers = inner.buffers.lock();
+            // Versions drain through the single persist worker in order,
+            // so this version's buffer is the one Persisting right now
+            // (promoted either by its own finish_snapshot or by the
+            // previous finish_persist).
+            let id = (0..3)
+                .map(crate::twolevel::buffers::BufferId)
+                .find(|&b| {
+                    buffers.version(b) == version
+                        && buffers.state(b)
+                            == crate::twolevel::buffers::BufferState::Persisting
+                })
+                .expect("persisting buffer for drained version");
+            buffers.finish_persist(id).expect("valid transition");
+            inner.buffer_freed.notify_all();
+        }
+        {
+            let mut p = inner.progress.lock();
+            p.persists_done += 1;
+            p.persist_bytes += bytes;
+        }
+        {
+            let mut pending = inner.pending.lock();
+            *pending = pending.saturating_sub(1);
+        }
+        inner.idle.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_store::{MemoryObjectStore, StatePart};
+
+    fn job(version: u64, n_shards: usize, persist_every: usize) -> CheckpointJob {
+        CheckpointJob {
+            version,
+            shards: (0..n_shards)
+                .map(|i| ShardJob {
+                    key: ShardKey::new(format!("m{i}"), StatePart::Weights, version),
+                    payload: Bytes::from(vec![i as u8; 128]),
+                    persist: persist_every != 0 && i % persist_every == 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn snapshot_lands_in_memory_persist_in_store() {
+        let memory = Arc::new(NodeMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let agent = NodeAgent::spawn(NodeId(0), memory.clone(), store.clone());
+
+        agent.submit(job(10, 8, 2)).unwrap();
+        agent.wait_idle();
+
+        // All 8 shards snapshotted to memory.
+        assert_eq!(memory.len(), 8);
+        // Every other shard persisted (indices 0,2,4,6).
+        assert_eq!(store.keys().unwrap().len(), 4);
+        let stats = agent.shutdown();
+        assert_eq!(stats.snapshots_done, 1);
+        assert_eq!(stats.persists_done, 1);
+        assert_eq!(stats.snapshot_bytes, 8 * 128);
+        assert_eq!(stats.persist_bytes, 4 * 128);
+        assert!(stats.errors.is_empty());
+    }
+
+    #[test]
+    fn successive_checkpoints_update_versions() {
+        let memory = Arc::new(NodeMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let agent = NodeAgent::spawn(NodeId(1), memory.clone(), store.clone());
+
+        for v in [10, 20, 30] {
+            agent.submit(job(v, 4, 1)).unwrap();
+        }
+        agent.wait_idle();
+
+        // Memory keeps only the latest version per slot.
+        assert_eq!(memory.version("m0", StatePart::Weights), Some(30));
+        // Storage keeps all versions.
+        assert_eq!(
+            store
+                .latest_version("m0", StatePart::Weights, 25)
+                .unwrap(),
+            Some(20)
+        );
+        assert_eq!(agent.recovery_version(), Some(30));
+        let stats = agent.shutdown();
+        assert_eq!(stats.snapshots_done, 3);
+        assert_eq!(stats.persists_done, 3);
+    }
+
+    #[test]
+    fn many_rapid_submissions_never_lose_jobs() {
+        let memory = Arc::new(NodeMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let agent = NodeAgent::spawn(NodeId(2), memory, store.clone());
+        for v in 1..=20u64 {
+            agent.submit(job(v, 2, 1)).unwrap();
+        }
+        agent.wait_idle();
+        let stats = agent.shutdown();
+        assert_eq!(stats.snapshots_done, 20);
+        assert_eq!(stats.persists_done, 20);
+        // Latest version of every module persisted.
+        assert_eq!(
+            store.latest_version("m0", StatePart::Weights, u64::MAX).unwrap(),
+            Some(20)
+        );
+    }
+
+    #[test]
+    fn drop_without_shutdown_is_clean() {
+        let memory = Arc::new(NodeMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let agent = NodeAgent::spawn(NodeId(3), memory, store);
+        agent.submit(job(1, 1, 1)).unwrap();
+        drop(agent); // must join workers without panicking
+    }
+
+    #[test]
+    fn empty_persist_set_still_completes() {
+        let memory = Arc::new(NodeMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let agent = NodeAgent::spawn(NodeId(4), memory, store.clone());
+        agent.submit(job(5, 3, 0)).unwrap(); // nothing persisted
+        agent.wait_idle();
+        assert!(store.is_empty_compat());
+        let stats = agent.shutdown();
+        assert_eq!(stats.persists_done, 1);
+        assert_eq!(stats.persist_bytes, 0);
+    }
+
+    trait EmptyCompat {
+        fn is_empty_compat(&self) -> bool;
+    }
+    impl EmptyCompat for Arc<dyn ObjectStore> {
+        fn is_empty_compat(&self) -> bool {
+            self.keys().unwrap().is_empty()
+        }
+    }
+}

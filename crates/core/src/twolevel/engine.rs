@@ -1,0 +1,431 @@
+//! The MoC checkpoint engine: PEC selection × sharding plan × per-node
+//! asynchronous agents × two-level recovery, end to end.
+//!
+//! [`CheckpointEngine`] is the integration point a training loop talks to:
+//! call [`CheckpointEngine::checkpoint`] every `I_ckpt` iterations with a
+//! [`StateSource`] producing shard payloads, inject faults with
+//! [`CheckpointEngine::fault`], and rebuild state with
+//! [`CheckpointEngine::recover`].
+
+use crate::recovery::{plan_recovery, RecoveryError, RecoveryPlan};
+use crate::selection::PecConfig;
+use crate::sharding::{
+    base_module, PlanError, ShardingPlanner, ShardingStrategy,
+};
+use crate::topology::ParallelTopology;
+use crate::twolevel::agent::{CheckpointJob, NodeAgent, ShardJob};
+use bytes::Bytes;
+use moc_moe::MoeModelConfig;
+use moc_store::{ClusterMemory, NodeId, ObjectStore, ShardKey, StatePart};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Produces the payload bytes of a shard when the engine checkpoints.
+pub trait StateSource {
+    /// Returns `len` bytes representing `(module, part)` at `version`.
+    fn shard_payload(&self, module: &str, part: StatePart, len: u64, version: u64) -> Bytes;
+}
+
+/// A [`StateSource`] emitting deterministic synthetic payloads whose first
+/// bytes encode the version — recovery tests can verify which version a
+/// restore produced. Payload sizes are divided by `scale` so planet-sized
+/// models can exercise the engine cheaply.
+#[derive(Debug, Clone)]
+pub struct SyntheticState {
+    /// Divide every shard length by this factor (min 16 bytes kept).
+    pub scale: u64,
+}
+
+impl SyntheticState {
+    /// Full-size payloads.
+    pub fn full() -> Self {
+        Self { scale: 1 }
+    }
+
+    /// Payloads shrunk by `scale`.
+    pub fn scaled(scale: u64) -> Self {
+        Self { scale: scale.max(1) }
+    }
+}
+
+impl StateSource for SyntheticState {
+    fn shard_payload(&self, module: &str, _part: StatePart, len: u64, version: u64) -> Bytes {
+        let n = (len / self.scale).max(16) as usize;
+        let mut v = vec![0u8; n];
+        v[..8].copy_from_slice(&version.to_le_bytes());
+        let h = module.bytes().fold(0u8, |a, b| a.wrapping_add(b));
+        v[8] = h;
+        Bytes::from(v)
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Parameter-sharding strategy (Section 4).
+    pub strategy: ShardingStrategy,
+    /// Snapshot-level PEC (`K_snapshot` selection).
+    pub snapshot_pec: PecConfig,
+    /// Experts persisted per layer per checkpoint (`K_persist`).
+    pub k_persist: usize,
+    /// Whether recovery may read healthy nodes' in-memory snapshots.
+    pub two_level_recovery: bool,
+}
+
+/// Outcome of one checkpoint submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Checkpoint version (iteration).
+    pub version: u64,
+    /// Bytes snapshotted per node.
+    pub node_bytes: Vec<u64>,
+    /// Nodes whose agents stalled waiting for a buffer.
+    pub stalled_nodes: Vec<usize>,
+}
+
+/// The MoC two-level checkpoint engine.
+pub struct CheckpointEngine {
+    planner: ShardingPlanner,
+    config: EngineConfig,
+    memory: Arc<ClusterMemory>,
+    store: Arc<dyn ObjectStore>,
+    agents: Vec<NodeAgent>,
+    checkpoint_index: u64,
+    healthy: Vec<bool>,
+}
+
+impl std::fmt::Debug for CheckpointEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointEngine")
+            .field("model", &self.planner.model().name())
+            .field("checkpoint_index", &self.checkpoint_index)
+            .finish()
+    }
+}
+
+impl CheckpointEngine {
+    /// Builds an engine for `model` on `topo`, persisting into `store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if the model cannot be placed on the topology.
+    pub fn new(
+        model: MoeModelConfig,
+        topo: ParallelTopology,
+        store: Arc<dyn ObjectStore>,
+        config: EngineConfig,
+    ) -> Result<Self, PlanError> {
+        let planner = ShardingPlanner::new(model, topo)?;
+        let nodes = planner.topology().nodes();
+        let memory = Arc::new(ClusterMemory::new(nodes));
+        let agents = (0..nodes)
+            .map(|n| NodeAgent::spawn(NodeId(n), memory.node_arc(NodeId(n)), store.clone()))
+            .collect();
+        Ok(Self {
+            planner,
+            config,
+            memory,
+            store,
+            agents,
+            checkpoint_index: 0,
+            healthy: vec![true; nodes],
+        })
+    }
+
+    /// The engine's cluster memory (shared with agents).
+    pub fn memory(&self) -> &ClusterMemory {
+        &self.memory
+    }
+
+    /// The persistent store.
+    pub fn store(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
+    }
+
+    /// The sharding planner in use.
+    pub fn planner(&self) -> &ShardingPlanner {
+        &self.planner
+    }
+
+    /// Number of checkpoints taken.
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoint_index
+    }
+
+    /// Takes a *full* checkpoint of the state at `iteration`, persisting
+    /// every shard. Training must bootstrap with one of these before PEC
+    /// checkpoints can guarantee recoverability: an expert that has never
+    /// been persisted cannot be restored after its node faults.
+    pub fn bootstrap(&mut self, iteration: u64, source: &dyn StateSource) -> CheckpointReport {
+        let selection = self.planner.model().expert_ids();
+        self.submit_selection(iteration, source, &selection, true)
+    }
+
+    /// Submits an asynchronous two-level checkpoint of the state at
+    /// `iteration`, pulling payloads from `source`.
+    pub fn checkpoint(&mut self, iteration: u64, source: &dyn StateSource) -> CheckpointReport {
+        let t = self.checkpoint_index;
+        self.checkpoint_index += 1;
+        let selection = self.config.snapshot_pec.select(t);
+        self.submit_selection(iteration, source, &selection, false)
+    }
+
+    fn submit_selection(
+        &mut self,
+        iteration: u64,
+        source: &dyn StateSource,
+        selection: &[moc_moe::ExpertId],
+        persist_all: bool,
+    ) -> CheckpointReport {
+        let workload = self.planner.plan_selected(self.config.strategy, selection);
+
+        // persist-PEC: the first k_persist experts of each layer's
+        // snapshot selection are persisted; non-expert always persists.
+        let persist_experts: BTreeSet<String> = selection
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| {
+                persist_all || slot % self.config.snapshot_pec.k < self.config.k_persist
+            })
+            .map(|(_, id)| crate::sharding::expert_module_name(self.planner.model(), id))
+            .collect();
+
+        let topo = *self.planner.topology();
+        let mut per_node: BTreeMap<usize, Vec<ShardJob>> = BTreeMap::new();
+        for (rank, rank_load) in workload.per_rank.iter().enumerate() {
+            let node = topo.node_of(rank);
+            let jobs = per_node.entry(node).or_default();
+            for item in &rank_load.items {
+                let is_expert_item = base_module(&item.module).contains(".expert");
+                let persist = if is_expert_item {
+                    persist_experts.contains(base_module(&item.module))
+                } else {
+                    true
+                };
+                jobs.push(ShardJob {
+                    key: ShardKey::new(item.module.clone(), item.part, iteration),
+                    payload: source.shard_payload(
+                        &item.module,
+                        item.part,
+                        item.bytes,
+                        iteration,
+                    ),
+                    persist,
+                });
+            }
+        }
+
+        let mut node_bytes = vec![0u64; topo.nodes()];
+        let mut stalled_nodes = Vec::new();
+        for (node, shards) in per_node {
+            node_bytes[node] = shards.iter().map(|s| s.payload.len() as u64).sum();
+            let stalled = self.agents[node]
+                .submit(CheckpointJob {
+                    version: iteration,
+                    shards,
+                })
+                .expect("agent accepts jobs");
+            if stalled {
+                stalled_nodes.push(node);
+            }
+        }
+        CheckpointReport {
+            version: iteration,
+            node_bytes,
+            stalled_nodes,
+        }
+    }
+
+    /// Blocks until every agent drained its snapshot and persist queues.
+    pub fn wait_idle(&self) {
+        for agent in &self.agents {
+            agent.wait_idle();
+        }
+    }
+
+    /// Injects a node fault: the node's CPU memory is wiped and it is
+    /// marked unhealthy until [`CheckpointEngine::restart_node`].
+    pub fn fault(&mut self, node: usize) {
+        self.memory.fault(NodeId(node));
+        self.healthy[node] = false;
+    }
+
+    /// Marks a node healthy again (post-restart).
+    pub fn restart_node(&mut self, node: usize) {
+        self.healthy[node] = true;
+    }
+
+    /// The complete slot inventory a recovery must restore: every shard
+    /// name the current strategy ever writes (zero shards, expert slices,
+    /// non-expert modules).
+    pub fn slot_inventory(&self) -> Vec<(String, StatePart)> {
+        let workload = self.planner.plan_full(self.config.strategy);
+        let mut slots = BTreeSet::new();
+        for rank_load in &workload.per_rank {
+            for item in &rank_load.items {
+                slots.insert((item.module.clone(), item.part));
+            }
+        }
+        slots.into_iter().collect()
+    }
+
+    /// Plans recovery of all slots as of `at_iteration`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecoveryError`] if a slot cannot be recovered anywhere.
+    pub fn recover(&self, at_iteration: u64) -> Result<RecoveryPlan, RecoveryError> {
+        plan_recovery(
+            &self.slot_inventory(),
+            &self.memory,
+            self.store.as_ref(),
+            &self.healthy,
+            at_iteration,
+            self.config.two_level_recovery,
+        )
+    }
+
+    /// Shuts all agents down, draining queues.
+    pub fn shutdown(mut self) {
+        self.agents.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recovery::RecoverySource;
+    use moc_moe::presets;
+    use moc_store::MemoryObjectStore;
+
+    fn engine(k_snapshot: usize, k_persist: usize, two_level: bool) -> CheckpointEngine {
+        let model = presets::tiny_lm_16e();
+        let topo = ParallelTopology::case2();
+        let config = EngineConfig {
+            strategy: ShardingStrategy::FullySharded,
+            snapshot_pec: PecConfig::sequential(
+                k_snapshot,
+                model.num_experts(),
+                model.num_moe_layers(),
+            ),
+            k_persist,
+            two_level_recovery: two_level,
+        };
+        CheckpointEngine::new(model, topo, Arc::new(MemoryObjectStore::new()), config).unwrap()
+    }
+
+    #[test]
+    fn checkpoint_distributes_over_nodes() {
+        let mut e = engine(16, 16, true);
+        let report = e.checkpoint(10, &SyntheticState::full());
+        e.wait_idle();
+        assert_eq!(report.version, 10);
+        assert_eq!(report.node_bytes.len(), 2);
+        assert!(report.node_bytes.iter().all(|&b| b > 0));
+        // Memory on both nodes holds snapshots.
+        assert!(e.memory().node(NodeId(0)).len() > 0);
+        assert!(e.memory().node(NodeId(1)).len() > 0);
+        // Full persist: store holds every slot.
+        assert_eq!(
+            e.store().keys().unwrap().len(),
+            e.slot_inventory().len()
+        );
+    }
+
+    #[test]
+    fn pec_persists_fewer_expert_shards() {
+        let mut full = engine(16, 16, true);
+        full.checkpoint(10, &SyntheticState::full());
+        full.wait_idle();
+        let full_keys = full.store().keys().unwrap().len();
+
+        let mut pec = engine(4, 1, true);
+        pec.checkpoint(10, &SyntheticState::full());
+        pec.wait_idle();
+        let pec_keys = pec.store().keys().unwrap().len();
+        assert!(pec_keys < full_keys, "pec {pec_keys} vs full {full_keys}");
+    }
+
+    #[test]
+    fn recovery_roundtrip_after_fault() {
+        let mut e = engine(16, 16, true);
+        for (i, iter) in [10u64, 20, 30].into_iter().enumerate() {
+            let _ = i;
+            e.checkpoint(iter, &SyntheticState::full());
+        }
+        e.wait_idle();
+        e.fault(0);
+        let plan = e.recover(35).unwrap();
+        assert_eq!(plan.resume_iteration, 30);
+        // Every slot restorable; faulted node's slots come from storage.
+        for action in &plan.actions {
+            let bytes =
+                crate::recovery::fetch_action(action, e.memory(), e.store().as_ref()).unwrap();
+            let v = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+            assert_eq!(v, action.version);
+        }
+    }
+
+    #[test]
+    fn two_level_recovery_uses_memory_for_healthy_nodes() {
+        let mut e = engine(4, 1, true);
+        e.bootstrap(0, &SyntheticState::full());
+        for iter in [10u64, 20, 30, 40] {
+            e.checkpoint(iter, &SyntheticState::full());
+        }
+        e.wait_idle();
+        e.fault(0);
+        let plan = e.recover(45).unwrap();
+        assert!(plan.memory_actions() > 0, "healthy node snapshots used");
+        assert!(plan.storage_actions() > 0, "dead node slots from storage");
+        // Memory restores can be fresher than the persist level.
+        let mem_max = plan
+            .actions
+            .iter()
+            .filter(|a| matches!(a.source, RecoverySource::Memory { .. }))
+            .map(|a| a.version)
+            .max()
+            .unwrap();
+        assert_eq!(mem_max, 40);
+    }
+
+    #[test]
+    fn storage_only_recovery_never_reads_memory() {
+        let mut e = engine(4, 1, false);
+        e.bootstrap(0, &SyntheticState::full());
+        for iter in [10u64, 20] {
+            e.checkpoint(iter, &SyntheticState::full());
+        }
+        e.wait_idle();
+        e.fault(1);
+        let plan = e.recover(25).unwrap();
+        assert_eq!(plan.memory_actions(), 0);
+    }
+
+    #[test]
+    fn recover_before_any_checkpoint_fails() {
+        let e = engine(4, 1, true);
+        assert!(e.recover(100).is_err());
+    }
+
+    #[test]
+    fn restart_node_restores_health() {
+        let mut e = engine(4, 4, true);
+        e.checkpoint(10, &SyntheticState::full());
+        e.wait_idle();
+        e.fault(0);
+        e.restart_node(0);
+        // Node 0 memory is empty but healthy: next checkpoints repopulate.
+        e.checkpoint(20, &SyntheticState::full());
+        e.wait_idle();
+        assert!(e.memory().node(NodeId(0)).len() > 0);
+    }
+
+    #[test]
+    fn synthetic_payload_encodes_version() {
+        let s = SyntheticState::scaled(1024);
+        let b = s.shard_payload("m", StatePart::Weights, 1 << 20, 42);
+        assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), 42);
+        assert_eq!(b.len(), 1024);
+    }
+}

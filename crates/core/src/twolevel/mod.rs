@@ -1,0 +1,16 @@
+//! Two-level checkpointing management — Section 5.
+//!
+//! * [`buffers`] — the triple-buffer state machine of Fig. 9;
+//! * [`agent`] — per-node asynchronous snapshot/persist workers;
+//! * [`engine`] — the integrated checkpoint engine (selection × sharding ×
+//!   agents × recovery).
+
+pub mod agent;
+pub mod buffers;
+pub mod engine;
+
+pub use agent::{AgentStats, CheckpointJob, NodeAgent, ShardJob};
+pub use buffers::{BufferError, BufferId, BufferState, SnapshotOutcome, TripleBuffer};
+pub use engine::{
+    CheckpointEngine, CheckpointReport, EngineConfig, StateSource, SyntheticState,
+};

@@ -1,0 +1,42 @@
+//! # moc-moe — MoE model substrate for the MoC-System reproduction
+//!
+//! This crate describes sparse Mixture-of-Experts transformer models at the
+//! level of detail the checkpointing system needs:
+//!
+//! * [`MoeModelConfig`] — architecture configuration with a builder and the
+//!   Table-1 [`presets`] of the paper (GPT-125M-8E, GPT-350M-16E,
+//!   SwinV2-MoE, LLaMA-like MoE scaling models);
+//! * [`params`] — parameter inventory and checkpoint sizing (Eq. 5/6,
+//!   Fig. 2 composition);
+//! * [`modules`] — the unit-of-sharding module enumeration (whole experts,
+//!   whole non-expert layers);
+//! * [`gating`] — noisy top-k softmax gating with expert-capacity token
+//!   dropping (Eq. 1–2);
+//! * [`routing`] — deterministic expert-load models and the
+//!   unsaved-update tracker that feeds the PLT metric (Eq. 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use moc_moe::presets;
+//!
+//! let cfg = presets::gpt_350m_16e();
+//! let full = cfg.full_checkpoint_bytes();
+//! let pec = cfg.pec_checkpoint_bytes(1);
+//! assert!(pec < full);
+//! println!("PEC K=1 keeps {:.1}% of the checkpoint", 100.0 * pec as f64 / full as f64);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod gating;
+pub mod modules;
+pub mod params;
+pub mod presets;
+pub mod routing;
+
+pub use config::{ConfigError, MoeModelConfig, MoeModelConfigBuilder, StateBytes};
+pub use modules::{ExpertId, ModuleDesc, ModuleKind};
+pub use params::{CheckpointComposition, ParamCounts};
+pub use routing::{ExpertLoadTracker, LoadModel, LoadProfile};

@@ -1,0 +1,80 @@
+//! Property-based tests of gating and load-model invariants.
+
+use moc_moe::gating::{softmax, top_k_gate, Dispatcher, GatingConfig};
+use moc_moe::{LoadModel, LoadProfile};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn softmax_is_a_distribution(logits in proptest::collection::vec(-30.0f64..30.0, 1..32)) {
+        let p = softmax(&logits);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn top_k_weights_renormalised_and_sorted(
+        logits in proptest::collection::vec(-10.0f64..10.0, 2..16),
+        k_frac in 0.0f64..1.0,
+    ) {
+        let k = 1 + ((logits.len() - 1) as f64 * k_frac) as usize;
+        let gate = top_k_gate(&logits, k);
+        prop_assert_eq!(gate.len(), k);
+        let sum: f64 = gate.iter().map(|&(_, w)| w).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        for pair in gate.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1 - 1e-12);
+        }
+        // Indices are distinct.
+        let mut idx: Vec<usize> = gate.iter().map(|&(i, _)| i).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        prop_assert_eq!(idx.len(), k);
+    }
+
+    #[test]
+    fn dispatch_conserves_assignments(
+        tokens in 1usize..64,
+        experts in 1usize..8,
+        cap in 0.25f64..4.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = GatingConfig {
+            num_experts: experts,
+            top_k: 1,
+            noise_std: 0.3,
+            capacity_factor: cap,
+        };
+        let logits: Vec<Vec<f64>> = (0..tokens)
+            .map(|t| (0..experts).map(|e| ((t * 7 + e * 3) % 5) as f64).collect())
+            .collect();
+        let out = Dispatcher::new(cfg, seed).dispatch(&logits);
+        prop_assert_eq!(out.total_accepted() + out.total_dropped(), tokens as u64);
+        let cap_limit = cfg.capacity(tokens) as u64;
+        prop_assert!(out.accepted.iter().all(|&a| a <= cap_limit));
+    }
+
+    #[test]
+    fn load_models_conserve_token_assignments(
+        tokens in 1u64..10_000,
+        experts in 1usize..32,
+        top_k in 1usize..3,
+        iteration in 0u64..1000,
+        profile_idx in 0usize..3,
+    ) {
+        let profile = match profile_idx {
+            0 => LoadProfile::Balanced,
+            1 => LoadProfile::Zipf { exponent: 1.1 },
+            _ => LoadProfile::Noisy { jitter: 0.7 },
+        };
+        let m = LoadModel::new(2, experts, tokens, top_k, profile, 42);
+        for layer in 0..2 {
+            let loads = m.loads(iteration, layer);
+            prop_assert_eq!(loads.len(), experts);
+            prop_assert_eq!(loads.iter().sum::<u64>(), tokens * top_k as u64);
+        }
+    }
+}

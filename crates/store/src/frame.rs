@@ -1,0 +1,242 @@
+//! Binary shard framing: the on-disk / on-wire format of a checkpoint shard.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   u32   0x4D4F4353 ("MOCS")
+//! format  u16   1
+//! key     u16 module-name length | bytes | u8 part tag | u64 version
+//! crc32   u32   checksum of the payload
+//! len     u64   payload length
+//! payload bytes
+//! ```
+//!
+//! The checksum guards recovery: a torn persist (e.g. a node dying
+//! mid-write) is detected instead of silently restoring corrupt state.
+
+use crate::key::{ShardKey, StatePart};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: u32 = 0x4D4F_4353;
+const FORMAT: u16 = 1;
+
+/// Error decoding a framed shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Buffer too short to contain a frame at the expected offset.
+    Truncated,
+    /// Magic number mismatch: not a shard frame.
+    BadMagic(u32),
+    /// Unsupported format version.
+    BadFormat(u16),
+    /// Unknown state-part tag byte.
+    BadPartTag(u8),
+    /// Module name was not valid UTF-8.
+    BadModuleName,
+    /// Payload checksum mismatch (torn or corrupted write).
+    ChecksumMismatch {
+        /// Checksum recorded in the frame header.
+        expected: u32,
+        /// Checksum computed over the payload read back.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "truncated shard frame"),
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:#x}"),
+            FrameError::BadFormat(v) => write!(f, "unsupported frame format {v}"),
+            FrameError::BadPartTag(t) => write!(f, "unknown state-part tag {t}"),
+            FrameError::BadModuleName => write!(f, "module name is not valid utf-8"),
+            FrameError::ChecksumMismatch { expected, actual } => {
+                write!(f, "payload checksum mismatch: header {expected:#x}, computed {actual:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes a shard into a framed byte buffer.
+///
+/// # Examples
+///
+/// ```
+/// use moc_store::{frame, ShardKey, StatePart};
+/// use bytes::Bytes;
+/// let key = ShardKey::new("layer1.expert0", StatePart::Weights, 10);
+/// let framed = frame::encode(&key, &Bytes::from_static(b"payload"));
+/// let (decoded, payload) = frame::decode(&framed)?;
+/// assert_eq!(decoded, key);
+/// assert_eq!(&payload[..], b"payload");
+/// # Ok::<(), moc_store::frame::FrameError>(())
+/// ```
+pub fn encode(key: &ShardKey, payload: &Bytes) -> Bytes {
+    let mut buf = BytesMut::with_capacity(32 + key.module.len() + payload.len());
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(FORMAT);
+    buf.put_u16_le(key.module.len() as u16);
+    buf.put_slice(key.module.as_bytes());
+    buf.put_u8(part_tag(key.part));
+    buf.put_u64_le(key.version);
+    buf.put_u32_le(crc32(payload));
+    buf.put_u64_le(payload.len() as u64);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Decodes a framed shard, verifying magic, format and payload checksum.
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] describing the first malformed field.
+pub fn decode(framed: &Bytes) -> Result<(ShardKey, Bytes), FrameError> {
+    let mut buf = framed.clone();
+    if buf.remaining() < 8 {
+        return Err(FrameError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let format = buf.get_u16_le();
+    if format != FORMAT {
+        return Err(FrameError::BadFormat(format));
+    }
+    let name_len = buf.get_u16_le() as usize;
+    if buf.remaining() < name_len + 1 + 8 + 4 + 8 {
+        return Err(FrameError::Truncated);
+    }
+    let name_bytes = buf.copy_to_bytes(name_len);
+    let module =
+        String::from_utf8(name_bytes.to_vec()).map_err(|_| FrameError::BadModuleName)?;
+    let part = decode_part(buf.get_u8())?;
+    let version = buf.get_u64_le();
+    let expected = buf.get_u32_le();
+    let len = buf.get_u64_le() as usize;
+    if buf.remaining() < len {
+        return Err(FrameError::Truncated);
+    }
+    let payload = buf.copy_to_bytes(len);
+    let actual = crc32(&payload);
+    if actual != expected {
+        return Err(FrameError::ChecksumMismatch { expected, actual });
+    }
+    Ok((ShardKey { module, part, version }, payload))
+}
+
+fn part_tag(p: StatePart) -> u8 {
+    match p {
+        StatePart::Weights => 0,
+        StatePart::Optimizer => 1,
+        StatePart::Extra => 2,
+    }
+}
+
+fn decode_part(t: u8) -> Result<StatePart, FrameError> {
+    match t {
+        0 => Ok(StatePart::Weights),
+        1 => Ok(StatePart::Optimizer),
+        2 => Ok(StatePart::Extra),
+        other => Err(FrameError::BadPartTag(other)),
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> ShardKey {
+        ShardKey::new("layer0.attention", StatePart::Optimizer, 123)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let payload = Bytes::from(vec![7u8; 1024]);
+        let framed = encode(&key(), &payload);
+        let (k, p) = decode(&framed).unwrap();
+        assert_eq!(k, key());
+        assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let framed = encode(&key(), &Bytes::new());
+        let (k, p) = decode(&framed).unwrap();
+        assert_eq!(k, key());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let mut bytes = encode(&key(), &Bytes::from_static(b"x")).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            decode(&Bytes::from(bytes)),
+            Err(FrameError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn detects_corrupt_payload() {
+        let mut bytes = encode(&key(), &Bytes::from(vec![1u8; 64])).to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        assert!(matches!(
+            decode(&Bytes::from(bytes)),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let bytes = encode(&key(), &Bytes::from(vec![1u8; 64]));
+        let cut = bytes.slice(0..bytes.len() - 10);
+        assert_eq!(decode(&cut), Err(FrameError::Truncated));
+        assert_eq!(decode(&bytes.slice(0..4)), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: crc32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn bad_part_tag_rejected() {
+        let framed = encode(&key(), &Bytes::from_static(b"x"));
+        let mut bytes = framed.to_vec();
+        // part tag sits right after the module name.
+        let tag_pos = 4 + 2 + 2 + key().module.len();
+        bytes[tag_pos] = 9;
+        assert_eq!(
+            decode(&Bytes::from(bytes)),
+            Err(FrameError::BadPartTag(9))
+        );
+    }
+}

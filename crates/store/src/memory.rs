@@ -1,0 +1,261 @@
+//! Per-node CPU-memory snapshot stores: the first level of the two-level
+//! checkpoint hierarchy (Fig. 3, Fig. 8).
+//!
+//! Each training node owns a [`NodeMemoryStore`] holding the most recent
+//! GPU→CPU snapshot of every module it is responsible for. A node fault
+//! wipes its store (GPU *and* CPU state die together); healthy nodes keep
+//! theirs and can recover newer expert states from memory than from
+//! persistent storage — the mechanism that lets two-level recovery shrink
+//! PLT (Section 5.1).
+
+use crate::key::{ShardKey, StatePart};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Identifier of a physical node in the training cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Node-{}", self.0)
+    }
+}
+
+/// CPU-memory snapshot store of a single node.
+///
+/// Keeps only the *latest* snapshot per `(module, part)` slot — memory is
+/// precious, and recovery only ever wants the newest in-memory state.
+#[derive(Debug, Default)]
+pub struct NodeMemoryStore {
+    slots: RwLock<HashMap<(String, StatePart), (u64, Bytes)>>,
+}
+
+impl NodeMemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a snapshot, replacing any older snapshot of the same slot.
+    ///
+    /// Snapshots never move backwards: a put with a version older than the
+    /// stored one is ignored (a late-arriving stale snapshot must not
+    /// shadow newer state).
+    pub fn put(&self, key: &ShardKey, payload: Bytes) {
+        let mut guard = self.slots.write();
+        let slot = (key.module.clone(), key.part);
+        match guard.get(&slot) {
+            Some(&(existing, _)) if existing > key.version => {}
+            _ => {
+                guard.insert(slot, (key.version, payload));
+            }
+        }
+    }
+
+    /// Latest snapshot of a `(module, part)` slot, with its version.
+    pub fn get(&self, module: &str, part: StatePart) -> Option<(u64, Bytes)> {
+        self.slots
+            .read()
+            .get(&(module.to_string(), part))
+            .map(|(v, b)| (*v, b.clone()))
+    }
+
+    /// Version of the latest snapshot of a slot, if any.
+    pub fn version(&self, module: &str, part: StatePart) -> Option<u64> {
+        self.slots
+            .read()
+            .get(&(module.to_string(), part))
+            .map(|(v, _)| *v)
+    }
+
+    /// All `(module, part, version)` entries, sorted by module then part.
+    pub fn inventory(&self) -> Vec<(String, StatePart, u64)> {
+        let mut items: Vec<_> = self
+            .slots
+            .read()
+            .iter()
+            .map(|((m, p), (v, _))| (m.clone(), *p, *v))
+            .collect();
+        items.sort();
+        items
+    }
+
+    /// Total payload bytes held.
+    pub fn total_bytes(&self) -> u64 {
+        self.slots.read().values().map(|(_, b)| b.len() as u64).sum()
+    }
+
+    /// Number of slots held.
+    pub fn len(&self) -> usize {
+        self.slots.read().len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.read().is_empty()
+    }
+
+    /// Destroys all held snapshots — the effect of a node fault.
+    pub fn wipe(&self) {
+        self.slots.write().clear();
+    }
+}
+
+/// The CPU-memory tier of a whole cluster: one [`NodeMemoryStore`] per node.
+#[derive(Debug)]
+pub struct ClusterMemory {
+    nodes: Vec<std::sync::Arc<NodeMemoryStore>>,
+}
+
+impl ClusterMemory {
+    /// Creates stores for `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            nodes: (0..num_nodes)
+                .map(|_| std::sync::Arc::new(NodeMemoryStore::new()))
+                .collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The store of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node(&self, id: NodeId) -> &NodeMemoryStore {
+        &self.nodes[id.0]
+    }
+
+    /// A shared handle to one node's store (for handing to agent threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node id is out of range.
+    pub fn node_arc(&self, id: NodeId) -> std::sync::Arc<NodeMemoryStore> {
+        self.nodes[id.0].clone()
+    }
+
+    /// Applies a node fault: wipes exactly that node's memory.
+    pub fn fault(&self, id: NodeId) {
+        self.nodes[id.0].wipe();
+    }
+
+    /// Searches all *healthy* nodes for the newest in-memory snapshot of a
+    /// slot. `healthy` masks which nodes survived the fault.
+    pub fn newest_across(
+        &self,
+        module: &str,
+        part: StatePart,
+        healthy: &[bool],
+    ) -> Option<(NodeId, u64)> {
+        assert_eq!(healthy.len(), self.nodes.len(), "health mask arity");
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| healthy[*i])
+            .filter_map(|(i, n)| n.version(module, part).map(|v| (NodeId(i), v)))
+            .max_by_key(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(module: &str, v: u64) -> ShardKey {
+        ShardKey::new(module, StatePart::Weights, v)
+    }
+
+    #[test]
+    fn put_keeps_latest_only() {
+        let store = NodeMemoryStore::new();
+        store.put(&k("e0", 10), Bytes::from_static(b"ten"));
+        store.put(&k("e0", 20), Bytes::from_static(b"twenty"));
+        let (v, b) = store.get("e0", StatePart::Weights).unwrap();
+        assert_eq!(v, 20);
+        assert_eq!(b, Bytes::from_static(b"twenty"));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn stale_put_is_ignored() {
+        let store = NodeMemoryStore::new();
+        store.put(&k("e0", 20), Bytes::from_static(b"twenty"));
+        store.put(&k("e0", 10), Bytes::from_static(b"ten"));
+        assert_eq!(store.version("e0", StatePart::Weights), Some(20));
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let store = NodeMemoryStore::new();
+        store.put(&k("a", 1), Bytes::from_static(b"x"));
+        store.put(&k("b", 1), Bytes::from_static(b"y"));
+        assert_eq!(store.total_bytes(), 2);
+        store.wipe();
+        assert!(store.is_empty());
+        assert_eq!(store.get("a", StatePart::Weights), None);
+    }
+
+    #[test]
+    fn parts_are_independent_slots() {
+        let store = NodeMemoryStore::new();
+        store.put(
+            &ShardKey::new("m", StatePart::Weights, 5),
+            Bytes::from_static(b"w"),
+        );
+        store.put(
+            &ShardKey::new("m", StatePart::Optimizer, 9),
+            Bytes::from_static(b"o"),
+        );
+        assert_eq!(store.version("m", StatePart::Weights), Some(5));
+        assert_eq!(store.version("m", StatePart::Optimizer), Some(9));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn inventory_sorted() {
+        let store = NodeMemoryStore::new();
+        store.put(&k("b", 2), Bytes::new());
+        store.put(&k("a", 1), Bytes::new());
+        let inv = store.inventory();
+        assert_eq!(inv[0].0, "a");
+        assert_eq!(inv[1].0, "b");
+    }
+
+    #[test]
+    fn cluster_fault_wipes_one_node() {
+        let cluster = ClusterMemory::new(2);
+        cluster.node(NodeId(0)).put(&k("e0", 5), Bytes::from_static(b"a"));
+        cluster.node(NodeId(1)).put(&k("e1", 5), Bytes::from_static(b"b"));
+        cluster.fault(NodeId(0));
+        assert!(cluster.node(NodeId(0)).is_empty());
+        assert_eq!(cluster.node(NodeId(1)).len(), 1);
+    }
+
+    #[test]
+    fn newest_across_respects_health_mask() {
+        let cluster = ClusterMemory::new(3);
+        cluster.node(NodeId(0)).put(&k("e", 30), Bytes::new());
+        cluster.node(NodeId(1)).put(&k("e", 20), Bytes::new());
+        cluster.node(NodeId(2)).put(&k("e", 10), Bytes::new());
+        let newest = cluster.newest_across("e", StatePart::Weights, &[true, true, true]);
+        assert_eq!(newest, Some((NodeId(0), 30)));
+        // Node 0 died: its newer snapshot is unavailable.
+        let newest = cluster.newest_across("e", StatePart::Weights, &[false, true, true]);
+        assert_eq!(newest, Some((NodeId(1), 20)));
+        let none = cluster.newest_across("e", StatePart::Weights, &[false, false, false]);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(3).to_string(), "Node-3");
+    }
+}

@@ -1,0 +1,392 @@
+//! Object stores: the persistent level of the two-level hierarchy.
+//!
+//! [`ObjectStore`] abstracts the distributed persistent storage of Fig. 3.
+//! Two implementations are provided: [`MemoryObjectStore`] (fast,
+//! process-local, used by simulations and tests) and [`FileObjectStore`]
+//! (real filesystem I/O with framed shards, used by persistence benches and
+//! crash-consistency tests). Both are thread-safe: persist agents on
+//! different "nodes" write concurrently.
+
+use crate::frame;
+use crate::key::{ShardKey, StatePart};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Error from an object store operation.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A shard existed but failed frame validation.
+    Frame(frame::FrameError),
+    /// The store root is not usable.
+    BadRoot(PathBuf),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "object store i/o error: {e}"),
+            StoreError::Frame(e) => write!(f, "object store frame error: {e}"),
+            StoreError::BadRoot(p) => write!(f, "object store root unusable: {}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Frame(e) => Some(e),
+            StoreError::BadRoot(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<frame::FrameError> for StoreError {
+    fn from(e: frame::FrameError) -> Self {
+        StoreError::Frame(e)
+    }
+}
+
+/// A versioned key-value store of checkpoint shards.
+///
+/// Shards are immutable once written; "latest" queries drive recovery.
+pub trait ObjectStore: Send + Sync {
+    /// Stores a shard. Overwrites any shard with the identical key.
+    fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError>;
+
+    /// Fetches a shard by exact key.
+    fn get(&self, key: &ShardKey) -> Result<Option<Bytes>, StoreError>;
+
+    /// Newest version of `(module, part)` no newer than `at_or_before`.
+    fn latest_version(
+        &self,
+        module: &str,
+        part: StatePart,
+        at_or_before: u64,
+    ) -> Result<Option<u64>, StoreError>;
+
+    /// All keys currently stored, sorted.
+    fn keys(&self) -> Result<Vec<ShardKey>, StoreError>;
+
+    /// Total payload bytes stored.
+    fn total_bytes(&self) -> Result<u64, StoreError>;
+
+    /// Deletes all shards of `(module, part)` strictly older than
+    /// `before_version`, returning the number removed (garbage collection
+    /// of superseded checkpoints).
+    fn prune(&self, module: &str, part: StatePart, before_version: u64)
+        -> Result<usize, StoreError>;
+}
+
+/// In-memory, thread-safe object store.
+#[derive(Debug, Default)]
+pub struct MemoryObjectStore {
+    shards: RwLock<BTreeMap<ShardKey, Bytes>>,
+}
+
+impl MemoryObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of shards stored.
+    pub fn len(&self) -> usize {
+        self.shards.read().len()
+    }
+
+    /// Whether the store holds no shards.
+    pub fn is_empty(&self) -> bool {
+        self.shards.read().is_empty()
+    }
+}
+
+impl ObjectStore for MemoryObjectStore {
+    fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError> {
+        self.shards.write().insert(key.clone(), payload);
+        Ok(())
+    }
+
+    fn get(&self, key: &ShardKey) -> Result<Option<Bytes>, StoreError> {
+        Ok(self.shards.read().get(key).cloned())
+    }
+
+    fn latest_version(
+        &self,
+        module: &str,
+        part: StatePart,
+        at_or_before: u64,
+    ) -> Result<Option<u64>, StoreError> {
+        let guard = self.shards.read();
+        let lo = ShardKey::new(module, part, 0);
+        let hi = ShardKey::new(module, part, at_or_before);
+        Ok(guard
+            .range(lo..=hi)
+            .next_back()
+            .map(|(k, _)| k.version))
+    }
+
+    fn keys(&self) -> Result<Vec<ShardKey>, StoreError> {
+        Ok(self.shards.read().keys().cloned().collect())
+    }
+
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        Ok(self.shards.read().values().map(|b| b.len() as u64).sum())
+    }
+
+    fn prune(
+        &self,
+        module: &str,
+        part: StatePart,
+        before_version: u64,
+    ) -> Result<usize, StoreError> {
+        let mut guard = self.shards.write();
+        let doomed: Vec<ShardKey> = guard
+            .range(ShardKey::new(module, part, 0)..ShardKey::new(module, part, before_version))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            guard.remove(k);
+        }
+        Ok(doomed.len())
+    }
+}
+
+/// File-backed object store writing framed shards under a root directory.
+///
+/// Writes are crash-consistent: shards are written to a temporary file and
+/// atomically renamed into place, and every read validates the frame
+/// checksum.
+#[derive(Debug)]
+pub struct FileObjectStore {
+    root: PathBuf,
+}
+
+impl FileObjectStore {
+    /// Opens (creating if necessary) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::BadRoot`] if `root` exists but is not a
+    /// directory, or an I/O error if it cannot be created.
+    pub fn open(root: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let root = root.as_ref().to_path_buf();
+        if root.exists() && !root.is_dir() {
+            return Err(StoreError::BadRoot(root));
+        }
+        std::fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, key: &ShardKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    fn scan(&self) -> Result<Vec<(ShardKey, PathBuf, u64)>, StoreError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("shard") {
+                continue;
+            }
+            let bytes = Bytes::from(std::fs::read(&path)?);
+            match frame::decode(&bytes) {
+                Ok((key, payload)) => out.push((key, path, payload.len() as u64)),
+                Err(_) => continue, // torn write left behind; ignore
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        Ok(out)
+    }
+}
+
+impl ObjectStore for FileObjectStore {
+    fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError> {
+        let framed = frame::encode(key, &payload);
+        let final_path = self.path_for(key);
+        let tmp_path = final_path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp_path)?;
+            f.write_all(&framed)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &final_path)?;
+        Ok(())
+    }
+
+    fn get(&self, key: &ShardKey) -> Result<Option<Bytes>, StoreError> {
+        let path = self.path_for(key);
+        if !path.exists() {
+            return Ok(None);
+        }
+        let bytes = Bytes::from(std::fs::read(&path)?);
+        let (decoded, payload) = frame::decode(&bytes)?;
+        debug_assert_eq!(&decoded, key);
+        Ok(Some(payload))
+    }
+
+    fn latest_version(
+        &self,
+        module: &str,
+        part: StatePart,
+        at_or_before: u64,
+    ) -> Result<Option<u64>, StoreError> {
+        Ok(self
+            .scan()?
+            .into_iter()
+            .filter(|(k, _, _)| {
+                k.module == module && k.part == part && k.version <= at_or_before
+            })
+            .map(|(k, _, _)| k.version)
+            .max())
+    }
+
+    fn keys(&self) -> Result<Vec<ShardKey>, StoreError> {
+        Ok(self.scan()?.into_iter().map(|(k, _, _)| k).collect())
+    }
+
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        Ok(self.scan()?.into_iter().map(|(_, _, n)| n).sum())
+    }
+
+    fn prune(
+        &self,
+        module: &str,
+        part: StatePart,
+        before_version: u64,
+    ) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        for (k, path, _) in self.scan()? {
+            if k.module == module && k.part == part && k.version < before_version {
+                std::fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(store: &dyn ObjectStore) {
+        let k1 = ShardKey::new("m", StatePart::Weights, 10);
+        let k2 = ShardKey::new("m", StatePart::Weights, 20);
+        let k3 = ShardKey::new("m", StatePart::Optimizer, 20);
+        store.put(&k1, Bytes::from_static(b"v10")).unwrap();
+        store.put(&k2, Bytes::from_static(b"v20")).unwrap();
+        store.put(&k3, Bytes::from_static(b"opt")).unwrap();
+
+        assert_eq!(store.get(&k1).unwrap().unwrap(), Bytes::from_static(b"v10"));
+        assert_eq!(
+            store.latest_version("m", StatePart::Weights, 15).unwrap(),
+            Some(10)
+        );
+        assert_eq!(
+            store.latest_version("m", StatePart::Weights, 99).unwrap(),
+            Some(20)
+        );
+        assert_eq!(
+            store.latest_version("m", StatePart::Weights, 5).unwrap(),
+            None
+        );
+        assert_eq!(store.keys().unwrap().len(), 3);
+        assert_eq!(store.total_bytes().unwrap(), 9);
+
+        assert_eq!(store.prune("m", StatePart::Weights, 20).unwrap(), 1);
+        assert!(store.get(&k1).unwrap().is_none());
+        assert!(store.get(&k2).unwrap().is_some());
+    }
+
+    #[test]
+    fn memory_store_semantics() {
+        let store = MemoryObjectStore::new();
+        assert!(store.is_empty());
+        exercise(&store);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn file_store_semantics() {
+        let dir = std::env::temp_dir().join(format!("moc-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileObjectStore::open(&dir).unwrap();
+        exercise(&store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("moc-store-reopen-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = ShardKey::new("e", StatePart::Extra, 3);
+        {
+            let store = FileObjectStore::open(&dir).unwrap();
+            store.put(&key, Bytes::from_static(b"state")).unwrap();
+        }
+        let store = FileObjectStore::open(&dir).unwrap();
+        assert_eq!(store.get(&key).unwrap().unwrap(), Bytes::from_static(b"state"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_store_ignores_torn_writes() {
+        let dir = std::env::temp_dir().join(format!("moc-store-torn-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileObjectStore::open(&dir).unwrap();
+        let key = ShardKey::new("good", StatePart::Weights, 1);
+        store.put(&key, Bytes::from_static(b"fine")).unwrap();
+        // Simulate a torn write: garbage in a .shard file.
+        std::fs::write(dir.join("torn.w.000000000001.shard"), b"garbage").unwrap();
+        assert_eq!(store.keys().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn put_overwrites_same_key() {
+        let store = MemoryObjectStore::new();
+        let k = ShardKey::new("m", StatePart::Weights, 1);
+        store.put(&k, Bytes::from_static(b"a")).unwrap();
+        store.put(&k, Bytes::from_static(b"bb")).unwrap();
+        assert_eq!(store.get(&k).unwrap().unwrap(), Bytes::from_static(b"bb"));
+        assert_eq!(store.total_bytes().unwrap(), 2);
+    }
+
+    #[test]
+    fn concurrent_puts_are_safe() {
+        let store = std::sync::Arc::new(MemoryObjectStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let s = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for v in 0..50u64 {
+                    let k = ShardKey::new(format!("m{t}"), StatePart::Weights, v);
+                    s.put(&k, Bytes::from(vec![t as u8; 16])).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 8 * 50);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests of store semantics.
+
+use bytes::Bytes;
+use moc_store::{FaultPlan, MemoryObjectStore, NodeMemoryStore, ObjectStore, ShardKey, StatePart};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `latest_version` returns the max stored version <= the bound.
+    #[test]
+    fn latest_version_is_supremum(versions in proptest::collection::btree_set(0u64..1000, 1..20), bound in 0u64..1000) {
+        let store = MemoryObjectStore::new();
+        for &v in &versions {
+            store
+                .put(&ShardKey::new("m", StatePart::Weights, v), Bytes::new())
+                .unwrap();
+        }
+        let expected = versions.iter().copied().filter(|&v| v <= bound).max();
+        let got = store.latest_version("m", StatePart::Weights, bound).unwrap();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Memory stores keep exactly the newest version per slot.
+    #[test]
+    fn node_memory_keeps_newest(puts in proptest::collection::vec((0u64..100, 0u8..4), 1..40)) {
+        let store = NodeMemoryStore::new();
+        let mut newest = std::collections::HashMap::new();
+        for (v, m) in &puts {
+            let module = format!("m{m}");
+            store.put(&ShardKey::new(&module, StatePart::Weights, *v), Bytes::new());
+            let e = newest.entry(module).or_insert(0u64);
+            *e = (*e).max(*v);
+        }
+        for (module, v) in newest {
+            prop_assert_eq!(store.version(&module, StatePart::Weights), Some(v));
+        }
+    }
+
+    /// Periodic fault plans produce strictly increasing iterations below
+    /// the horizon with valid victims.
+    #[test]
+    fn every_plan_well_formed(interval in 1u64..50, nodes in 1usize..8, horizon in 1u64..500) {
+        let plan = FaultPlan::Every { interval, num_nodes: nodes };
+        let events = plan.events(horizon);
+        for pair in events.windows(2) {
+            prop_assert!(pair[0].iteration < pair[1].iteration);
+        }
+        for e in &events {
+            prop_assert!(e.iteration < horizon);
+            prop_assert!(e.node < nodes);
+        }
+        prop_assert_eq!(events.len() as f64, plan.expected_faults(horizon));
+    }
+
+    /// Pruning never removes shards at or above the cutoff.
+    #[test]
+    fn prune_respects_cutoff(versions in proptest::collection::btree_set(0u64..100, 1..20), cutoff in 0u64..100) {
+        let store = MemoryObjectStore::new();
+        for &v in &versions {
+            store
+                .put(&ShardKey::new("m", StatePart::Optimizer, v), Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        let removed = store.prune("m", StatePart::Optimizer, cutoff).unwrap();
+        let expected_removed = versions.iter().filter(|&&v| v < cutoff).count();
+        prop_assert_eq!(removed, expected_removed);
+        for &v in &versions {
+            let present = store
+                .get(&ShardKey::new("m", StatePart::Optimizer, v))
+                .unwrap()
+                .is_some();
+            prop_assert_eq!(present, v >= cutoff);
+        }
+    }
+}

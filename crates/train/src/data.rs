@@ -1,0 +1,232 @@
+//! Synthetic corpora with learnable structure.
+//!
+//! The paper pre-trains on WikiText / SlimPajama; this lab substitutes a
+//! *topic-structured Markov corpus*: the vocabulary splits into topics,
+//! each token has a preferred successor inside its topic, and walks
+//! occasionally jump topics. A language model reduces loss by learning the
+//! successor table, and MoE experts can specialise per topic — giving the
+//! PEC experiments a real signal to lose when expert updates are dropped.
+
+use rand::{RngExt, SeedableRng};
+
+/// Generator of topic-structured token sequences.
+#[derive(Debug, Clone)]
+pub struct MarkovCorpus {
+    vocab: usize,
+    topics: usize,
+    /// `successor[t]` — the preferred next token of `t`.
+    successor: Vec<u16>,
+    /// Probability of following the preferred successor.
+    fidelity: f64,
+    /// Probability of jumping to a different topic.
+    jump: f64,
+    seed: u64,
+}
+
+impl MarkovCorpus {
+    /// Builds a corpus over `vocab` tokens split into `topics` topics.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `topics` divides `vocab` and both are positive.
+    pub fn new(vocab: usize, topics: usize, seed: u64) -> Self {
+        assert!(vocab > 0 && topics > 0, "need tokens and topics");
+        assert!(vocab % topics == 0, "topics must divide vocab");
+        let per = vocab / topics;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
+        // A random cyclic successor permutation inside each topic makes
+        // the bigram table learnable but non-trivial.
+        let mut successor = vec![0u16; vocab];
+        for topic in 0..topics {
+            let base = topic * per;
+            let mut members: Vec<usize> = (base..base + per).collect();
+            // Fisher-Yates.
+            for i in (1..members.len()).rev() {
+                let j = rng.random_range(0..=i);
+                members.swap(i, j);
+            }
+            for w in 0..members.len() {
+                successor[members[w]] = members[(w + 1) % members.len()] as u16;
+            }
+        }
+        Self {
+            vocab,
+            topics,
+            successor,
+            fidelity: 0.85,
+            jump: 0.05,
+            seed,
+        }
+    }
+
+    /// A corpus with the same topology but a different successor table —
+    /// the distribution shift used by the fine-tuning experiments
+    /// (Table 4 proxy).
+    pub fn shifted(&self, shift_seed: u64) -> Self {
+        Self::new(self.vocab, self.topics, self.seed ^ shift_seed ^ 0xDEAD_BEEF)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Topic count.
+    pub fn topics(&self) -> usize {
+        self.topics
+    }
+
+    /// Topic of a token.
+    pub fn topic_of(&self, token: u16) -> usize {
+        token as usize / (self.vocab / self.topics)
+    }
+
+    /// The preferred successor of a token (the learnable signal).
+    pub fn preferred_successor(&self, token: u16) -> u16 {
+        self.successor[token as usize]
+    }
+
+    /// Generates a training batch: `batch` sequences of `seq_len` tokens.
+    /// Deterministic in `(corpus seed, iteration)`, so replaying an
+    /// iteration after fault recovery reproduces the same data.
+    pub fn batch(&self, iteration: u64, batch: usize, seq_len: usize) -> Vec<Vec<u16>> {
+        (0..batch)
+            .map(|b| self.sequence(self.seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(iteration)
+                    .wrapping_add((b as u64) << 40), seq_len))
+            .collect()
+    }
+
+    /// A validation batch disjoint from all training batches.
+    pub fn validation(&self, batch: usize, seq_len: usize) -> Vec<Vec<u16>> {
+        (0..batch)
+            .map(|b| self.sequence(self.seed ^ 0x5EED_5EED ^ ((b as u64) << 17), seq_len))
+            .collect()
+    }
+
+    /// A sequence biased to stay inside `topic`, for topic-restricted
+    /// probes (the downstream-task proxies).
+    pub fn topic_probe(&self, topic: usize, probe: u64, seq_len: usize) -> Vec<u16> {
+        assert!(topic < self.topics, "topic out of range");
+        let per = self.vocab / self.topics;
+        let mut rng =
+            rand::rngs::StdRng::seed_from_u64(self.seed ^ 0x0B5E ^ probe ^ ((topic as u64) << 32));
+        let mut out = Vec::with_capacity(seq_len);
+        let mut tok = (topic * per + rng.random_range(0..per)) as u16;
+        for _ in 0..seq_len {
+            out.push(tok);
+            tok = if rng.random::<f64>() < self.fidelity {
+                self.successor[tok as usize]
+            } else {
+                (topic * per + rng.random_range(0..per)) as u16
+            };
+        }
+        out
+    }
+
+    fn sequence(&self, seed: u64, seq_len: usize) -> Vec<u16> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let per = self.vocab / self.topics;
+        let mut out = Vec::with_capacity(seq_len);
+        let mut tok = rng.random_range(0..self.vocab) as u16;
+        for _ in 0..seq_len {
+            out.push(tok);
+            let roll: f64 = rng.random();
+            tok = if roll < self.jump {
+                // Jump to a uniformly random token anywhere.
+                rng.random_range(0..self.vocab) as u16
+            } else if roll < self.jump + (1.0 - self.fidelity) {
+                // Stay in topic but wander.
+                let topic = self.topic_of(tok);
+                (topic * per + rng.random_range(0..per)) as u16
+            } else {
+                self.successor[tok as usize]
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_are_deterministic_per_iteration() {
+        let c = MarkovCorpus::new(64, 4, 7);
+        assert_eq!(c.batch(3, 2, 16), c.batch(3, 2, 16));
+        assert_ne!(c.batch(3, 2, 16), c.batch(4, 2, 16));
+    }
+
+    #[test]
+    fn successors_stay_in_topic() {
+        let c = MarkovCorpus::new(64, 4, 1);
+        for t in 0..64u16 {
+            assert_eq!(
+                c.topic_of(t),
+                c.topic_of(c.preferred_successor(t)),
+                "successor must stay in topic"
+            );
+        }
+    }
+
+    #[test]
+    fn successor_is_a_permutation_within_topics() {
+        let c = MarkovCorpus::new(64, 4, 2);
+        let mut seen = vec![false; 64];
+        for t in 0..64u16 {
+            let s = c.preferred_successor(t) as usize;
+            assert!(!seen[s], "successor table must be injective");
+            seen[s] = true;
+        }
+    }
+
+    #[test]
+    fn sequences_follow_the_chain_mostly() {
+        let c = MarkovCorpus::new(64, 4, 3);
+        let seq = &c.batch(0, 1, 500)[0];
+        let mut follows = 0;
+        for w in seq.windows(2) {
+            if c.preferred_successor(w[0]) == w[1] {
+                follows += 1;
+            }
+        }
+        let frac = follows as f64 / (seq.len() - 1) as f64;
+        assert!(
+            (0.6..0.95).contains(&frac),
+            "preferred-successor fraction {frac}"
+        );
+    }
+
+    #[test]
+    fn topic_probe_stays_in_topic() {
+        let c = MarkovCorpus::new(64, 4, 5);
+        for topic in 0..4 {
+            let probe = c.topic_probe(topic, 0, 100);
+            assert!(probe.iter().all(|&t| c.topic_of(t) == topic));
+        }
+    }
+
+    #[test]
+    fn shifted_corpus_differs() {
+        let c = MarkovCorpus::new(64, 4, 9);
+        let s = c.shifted(1);
+        let same = (0..64u16)
+            .filter(|&t| c.preferred_successor(t) == s.preferred_successor(t))
+            .count();
+        assert!(same < 32, "shift must change most successors ({same} kept)");
+    }
+
+    #[test]
+    fn validation_differs_from_training() {
+        let c = MarkovCorpus::new(64, 4, 11);
+        assert_ne!(c.validation(2, 32), c.batch(0, 2, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "topics must divide vocab")]
+    fn uneven_topics_panic() {
+        MarkovCorpus::new(65, 4, 0);
+    }
+}

@@ -1,0 +1,796 @@
+//! A real, trainable sparse-MoE language model with manual backprop.
+//!
+//! Architecture (per transformer block, attention replaced by a
+//! parameter-free causal prefix-mean mixer to keep backprop compact — see
+//! DESIGN.md):
+//!
+//! ```text
+//! X   = Embed(tokens) + Pos
+//! M   = CausalMean(X);  H = X + M·W_mix + b_mix
+//! F   = FFN(H)                       (dense layers)
+//!     | p_e · Expert_e(H)            (MoE layers: noisy top-1 gate,
+//!     |  0                            capacity overflow ⇒ token dropped)
+//! X'  = H + F
+//! ```
+//!
+//! with a tied-embedding LM head and token-level cross-entropy. Every
+//! gradient is derived and applied by hand; `grad_check` tests in this
+//! module validate them against finite differences. The MoE path follows
+//! Switch-style routing: the chosen expert's output is scaled by its gate
+//! probability (which is what gives the gate a gradient), and experts
+//! beyond capacity pass tokens through untouched.
+
+use crate::params::ParamStore;
+use crate::tensor::{cross_entropy, relu_backward, relu_forward, softmax_inplace, Matrix};
+use moc_moe::MoeModelConfig;
+use rand::{RngExt, SeedableRng};
+
+/// Statistics of one forward(+backward) pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchStats {
+    /// Mean cross-entropy loss per predicted token.
+    pub loss: f32,
+    /// Number of loss-bearing token positions.
+    pub positions: u64,
+    /// Tokens accepted per expert, per MoE layer (feeds PLT / load-aware
+    /// selection).
+    pub expert_loads: Vec<Vec<u64>>,
+    /// Tokens dropped by expert-capacity overflow.
+    pub dropped_tokens: u64,
+}
+
+/// The trainable model.
+#[derive(Debug, Clone)]
+pub struct TinyMoeLm {
+    cfg: MoeModelConfig,
+    store: ParamStore,
+    /// Gate noise std during training (Eq. 2's ε); zero at eval.
+    pub gate_noise_std: f32,
+}
+
+struct MoeTokenTrace {
+    expert: usize,
+    prob: f32,
+    probs: Vec<f32>,
+    hidden_in: Vec<f32>,
+    act: Vec<f32>,
+    mask: Vec<bool>,
+    expert_out: Vec<f32>,
+    dropped: bool,
+}
+
+impl TinyMoeLm {
+    /// Initialises a model for `cfg` with seeded Gaussian weights.
+    pub fn new(cfg: MoeModelConfig, seed: u64) -> Self {
+        let mut store = ParamStore::new();
+        let d = cfg.hidden_size();
+        let f = cfg.ffn_intermediate();
+        let v = cfg.vocab_size();
+        let tmax = cfg.max_seq_len();
+        let n = cfg.num_experts();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let init = |rows: usize, cols: usize, rng: &mut rand::rngs::StdRng| {
+            let mut m = Matrix::zeros(rows, cols);
+            for x in m.data_mut() {
+                *x = gauss(rng) * 0.02;
+            }
+            m
+        };
+        store.add("embedding/tok", init(v, d, &mut rng));
+        store.add("embedding/pos", init(tmax, d, &mut rng));
+        for layer in 0..cfg.num_layers() {
+            store.add(format!("layer{layer}.mix/w"), init(d, d, &mut rng));
+            store.add(format!("layer{layer}.mix/b"), Matrix::zeros(1, d));
+            if cfg.is_moe_layer(layer) {
+                store.add(format!("layer{layer}.gate/w"), init(d, n, &mut rng));
+                store.add(format!("layer{layer}.gate/b"), Matrix::zeros(1, n));
+                for e in 0..n {
+                    store.add(format!("layer{layer}.expert{e}/w1"), init(d, f, &mut rng));
+                    store.add(format!("layer{layer}.expert{e}/b1"), Matrix::zeros(1, f));
+                    store.add(format!("layer{layer}.expert{e}/w2"), init(f, d, &mut rng));
+                    store.add(format!("layer{layer}.expert{e}/b2"), Matrix::zeros(1, d));
+                }
+            } else {
+                store.add(format!("layer{layer}.ffn/w1"), init(d, f, &mut rng));
+                store.add(format!("layer{layer}.ffn/b1"), Matrix::zeros(1, f));
+                store.add(format!("layer{layer}.ffn/w2"), init(f, d, &mut rng));
+                store.add(format!("layer{layer}.ffn/b2"), Matrix::zeros(1, d));
+            }
+        }
+        Self {
+            cfg,
+            store,
+            gate_noise_std: 0.01,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &MoeModelConfig {
+        &self.cfg
+    }
+
+    /// The parameter store (weights, gradients, optimizer state).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter store.
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Runs forward + backward over a batch, accumulating gradients.
+    /// `noise_seed` makes the gate noise deterministic per iteration.
+    pub fn forward_backward(&mut self, batch: &[Vec<u16>], noise_seed: u64) -> BatchStats {
+        self.run(batch, true, noise_seed)
+    }
+
+    /// Evaluation loss (no gradients, no gate noise).
+    pub fn evaluate(&mut self, batch: &[Vec<u16>]) -> BatchStats {
+        self.run(batch, false, 0)
+    }
+
+    /// Greedy next-token prediction given a prefix (for probes).
+    pub fn predict_next(&mut self, prefix: &[u16]) -> u16 {
+        let x = self.forward_hidden(prefix, false, 0).0;
+        let last = x.rows() - 1;
+        let emb = self.store.value("embedding/tok");
+        let mut best = (0u16, f32::NEG_INFINITY);
+        for tok in 0..self.cfg.vocab_size() {
+            let mut dot = 0.0;
+            for (a, b) in x.row(last).iter().zip(emb.row(tok)) {
+                dot += a * b;
+            }
+            if dot > best.1 {
+                best = (tok as u16, dot);
+            }
+        }
+        best.0
+    }
+
+    fn capacity(&self, tokens: usize) -> u64 {
+        let n = self.cfg.num_experts() as f64;
+        (self.cfg.capacity_factor() * self.cfg.top_k() as f64 * tokens as f64 / n).ceil() as u64
+    }
+
+    /// Forward through the blocks only (no head); returns final hidden
+    /// states and per-layer traces when `train` is set.
+    #[allow(clippy::type_complexity)]
+    fn forward_hidden(
+        &mut self,
+        tokens: &[u16],
+        train: bool,
+        noise_seed: u64,
+    ) -> (Matrix, Vec<LayerTrace>) {
+        let d = self.cfg.hidden_size();
+        let t_len = tokens.len();
+        assert!(t_len <= self.cfg.max_seq_len(), "sequence too long");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(noise_seed);
+        let mut x = Matrix::zeros(t_len, d);
+        {
+            let tok_emb = self.store.value("embedding/tok");
+            let pos_emb = self.store.value("embedding/pos");
+            for (t, &tok) in tokens.iter().enumerate() {
+                let row = tok_emb.row(tok as usize);
+                let pos = pos_emb.row(t);
+                for ((o, &a), &b) in x.row_mut(t).iter_mut().zip(row).zip(pos) {
+                    *o = a + b;
+                }
+            }
+        }
+        let mut traces = Vec::with_capacity(self.cfg.num_layers());
+        let cap = self.capacity(t_len);
+        for layer in 0..self.cfg.num_layers() {
+            let (next, trace) = self.forward_layer(layer, &x, cap, train, &mut rng);
+            traces.push(trace);
+            x = next;
+        }
+        (x, traces)
+    }
+
+    fn forward_layer(
+        &mut self,
+        layer: usize,
+        x: &Matrix,
+        capacity: u64,
+        train: bool,
+        rng: &mut rand::rngs::StdRng,
+    ) -> (Matrix, LayerTrace) {
+        let t_len = x.rows();
+        let d = x.cols();
+        // Causal prefix mean.
+        let mut mean = Matrix::zeros(t_len, d);
+        let mut acc = vec![0.0f32; d];
+        for t in 0..t_len {
+            for (a, &v) in acc.iter_mut().zip(x.row(t)) {
+                *a += v;
+            }
+            let inv = 1.0 / (t + 1) as f32;
+            for (o, &a) in mean.row_mut(t).iter_mut().zip(&acc) {
+                *o = a * inv;
+            }
+        }
+        let w_mix = self.store.value(&format!("layer{layer}.mix/w")).clone();
+        let b_mix = self.store.value(&format!("layer{layer}.mix/b")).clone();
+        let mut h = mean.matmul(&w_mix);
+        for t in 0..t_len {
+            for ((o, &xi), &b) in h.row_mut(t).iter_mut().zip(x.row(t)).zip(b_mix.row(0)) {
+                *o += xi + b;
+            }
+        }
+
+        if self.cfg.is_moe_layer(layer) {
+            let n = self.cfg.num_experts();
+            let gate_w = self.store.value(&format!("layer{layer}.gate/w")).clone();
+            let gate_b = self.store.value(&format!("layer{layer}.gate/b")).clone();
+            let mut out = h.clone();
+            let mut counts = vec![0u64; n];
+            let mut dropped = 0u64;
+            let mut tokens = Vec::with_capacity(t_len);
+            for t in 0..t_len {
+                let mut logits = vec![0.0f32; n];
+                for (j, l) in logits.iter_mut().enumerate() {
+                    let mut dot = gate_b.at(0, j);
+                    for (k, &hv) in h.row(t).iter().enumerate() {
+                        dot += hv * gate_w.at(k, j);
+                    }
+                    *l = dot;
+                }
+                let mut noisy = logits.clone();
+                if train && self.gate_noise_std > 0.0 {
+                    for v in noisy.iter_mut() {
+                        *v += gauss(rng) * self.gate_noise_std;
+                    }
+                }
+                let expert = argmax(&noisy);
+                let mut probs = logits;
+                softmax_inplace(&mut probs);
+                let prob = probs[expert];
+                if counts[expert] >= capacity {
+                    dropped += 1;
+                    tokens.push(MoeTokenTrace {
+                        expert,
+                        prob,
+                        probs,
+                        hidden_in: h.row(t).to_vec(),
+                        act: Vec::new(),
+                        mask: Vec::new(),
+                        expert_out: Vec::new(),
+                        dropped: true,
+                    });
+                    continue;
+                }
+                counts[expert] += 1;
+                let w1 = self.store.value(&format!("layer{layer}.expert{expert}/w1"));
+                let b1 = self.store.value(&format!("layer{layer}.expert{expert}/b1"));
+                let f_dim = w1.cols();
+                let mut a = Matrix::zeros(1, f_dim);
+                for (k, &hv) in h.row(t).iter().enumerate() {
+                    if hv == 0.0 {
+                        continue;
+                    }
+                    for (o, &w) in a.row_mut(0).iter_mut().zip(w1.row(k)) {
+                        *o += hv * w;
+                    }
+                }
+                for (o, &b) in a.row_mut(0).iter_mut().zip(b1.row(0)) {
+                    *o += b;
+                }
+                let mask = relu_forward(&mut a);
+                let w2 = self.store.value(&format!("layer{layer}.expert{expert}/w2"));
+                let b2 = self.store.value(&format!("layer{layer}.expert{expert}/b2"));
+                let mut f_out = vec![0.0f32; d];
+                for (k, &av) in a.row(0).iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (o, &w) in f_out.iter_mut().zip(w2.row(k)) {
+                        *o += av * w;
+                    }
+                }
+                for (o, &b) in f_out.iter_mut().zip(b2.row(0)) {
+                    *o += b;
+                }
+                for ((o, &f), _) in out.row_mut(t).iter_mut().zip(&f_out).zip(0..d) {
+                    *o += prob * f;
+                }
+                tokens.push(MoeTokenTrace {
+                    expert,
+                    prob,
+                    probs,
+                    hidden_in: h.row(t).to_vec(),
+                    act: a.row(0).to_vec(),
+                    mask,
+                    expert_out: f_out,
+                    dropped: false,
+                });
+            }
+            (
+                out,
+                LayerTrace {
+                    x_in: x.clone(),
+                    mean,
+                    hidden: h,
+                    ffn: FfnTrace::Moe { tokens, counts, dropped },
+                },
+            )
+        } else {
+            let w1 = self.store.value(&format!("layer{layer}.ffn/w1")).clone();
+            let b1 = self.store.value(&format!("layer{layer}.ffn/b1")).clone();
+            let mut a = h.matmul(&w1);
+            for t in 0..t_len {
+                for (o, &b) in a.row_mut(t).iter_mut().zip(b1.row(0)) {
+                    *o += b;
+                }
+            }
+            let mask = relu_forward(&mut a);
+            let w2 = self.store.value(&format!("layer{layer}.ffn/w2")).clone();
+            let b2 = self.store.value(&format!("layer{layer}.ffn/b2")).clone();
+            let mut f = a.matmul(&w2);
+            for t in 0..t_len {
+                for (o, &b) in f.row_mut(t).iter_mut().zip(b2.row(0)) {
+                    *o += b;
+                }
+            }
+            let mut out = h.clone();
+            out.add_scaled(&f, 1.0);
+            (
+                out,
+                LayerTrace {
+                    x_in: x.clone(),
+                    mean,
+                    hidden: h,
+                    ffn: FfnTrace::Dense { act: a, mask },
+                },
+            )
+        }
+    }
+
+    fn run(&mut self, batch: &[Vec<u16>], train: bool, noise_seed: u64) -> BatchStats {
+        let mut total_loss = 0.0f64;
+        let mut positions = 0u64;
+        let mut expert_loads = vec![vec![0u64; self.cfg.num_experts()]; self.cfg.num_moe_layers()];
+        let mut dropped_tokens = 0u64;
+        for (b, tokens) in batch.iter().enumerate() {
+            if tokens.len() < 2 {
+                continue;
+            }
+            let (x_final, traces) =
+                self.forward_hidden(tokens, train, noise_seed.wrapping_add((b as u64) << 32));
+            // Collect routing stats.
+            for trace in &traces {
+                if let FfnTrace::Moe { counts, dropped, .. } = &trace.ffn {
+                    let pos = moe_position(&traces, trace);
+                    for (slot, &c) in expert_loads[pos].iter_mut().zip(counts) {
+                        *slot += c;
+                    }
+                    dropped_tokens += dropped;
+                }
+            }
+            // Head + loss (+ backward).
+            let t_len = tokens.len();
+            let preds = t_len - 1;
+            positions += preds as u64;
+            let mut d_x = Matrix::zeros(t_len, x_final.cols());
+            {
+                let emb = self.store.value("embedding/tok").clone();
+                let scale = 1.0 / (batch.len() * preds) as f32;
+                let mut d_emb_out = Matrix::zeros(emb.rows(), emb.cols());
+                for t in 0..preds {
+                    let mut logits = vec![0.0f32; self.cfg.vocab_size()];
+                    for (tok, l) in logits.iter_mut().enumerate() {
+                        let mut dot = 0.0;
+                        for (a, b) in x_final.row(t).iter().zip(emb.row(tok)) {
+                            dot += a * b;
+                        }
+                        *l = dot;
+                    }
+                    let (loss, grad) = cross_entropy(&logits, tokens[t + 1] as usize);
+                    total_loss += loss as f64;
+                    if train {
+                        for (tok, &g) in grad.iter().enumerate() {
+                            if g == 0.0 {
+                                continue;
+                            }
+                            let gs = g * scale;
+                            for (o, &xv) in
+                                d_emb_out.row_mut(tok).iter_mut().zip(x_final.row(t))
+                            {
+                                *o += gs * xv;
+                            }
+                            for (o, &ev) in d_x.row_mut(t).iter_mut().zip(emb.row(tok)) {
+                                *o += gs * ev;
+                            }
+                        }
+                    }
+                }
+                if train {
+                    self.store.grad_mut("embedding/tok").add_scaled(&d_emb_out, 1.0);
+                }
+            }
+            if train {
+                self.backward_blocks(tokens, traces, d_x);
+            }
+        }
+        BatchStats {
+            loss: if positions == 0 {
+                0.0
+            } else {
+                (total_loss / positions as f64) as f32
+            },
+            positions,
+            expert_loads,
+            dropped_tokens,
+        }
+    }
+
+    fn backward_blocks(&mut self, tokens: &[u16], traces: Vec<LayerTrace>, mut d_x: Matrix) {
+        for (layer, trace) in traces.into_iter().enumerate().rev() {
+            d_x = self.backward_layer(layer, trace, d_x);
+        }
+        // Embedding input side.
+        let t_len = tokens.len();
+        {
+            let tok_grad = self.store.grad_mut("embedding/tok");
+            for (t, &tok) in tokens.iter().enumerate().take(t_len) {
+                for (o, &g) in tok_grad.row_mut(tok as usize).iter_mut().zip(d_x.row(t)) {
+                    *o += g;
+                }
+            }
+        }
+        let pos_grad = self.store.grad_mut("embedding/pos");
+        for t in 0..t_len {
+            for (o, &g) in pos_grad.row_mut(t).iter_mut().zip(d_x.row(t)) {
+                *o += g;
+            }
+        }
+    }
+
+    fn backward_layer(&mut self, layer: usize, trace: LayerTrace, d_out: Matrix) -> Matrix {
+        let t_len = d_out.rows();
+        let d = d_out.cols();
+        // d_out = gradient at block output; residual: dH += d_out plus the
+        // FFN path's contribution to dH.
+        let mut d_h = d_out.clone();
+        match trace.ffn {
+            FfnTrace::Dense { act, mask } => {
+                let w2 = self.store.value(&format!("layer{layer}.ffn/w2")).clone();
+                let w1 = self.store.value(&format!("layer{layer}.ffn/w1")).clone();
+                // dF = d_out.
+                let mut d_a = d_out.matmul_transposed(&w2);
+                // dW2 = actᵀ·dF ; db2 = colsum(dF).
+                let d_w2 = act.transposed_matmul(&d_out);
+                self.store
+                    .grad_mut(&format!("layer{layer}.ffn/w2"))
+                    .add_scaled(&d_w2, 1.0);
+                add_colsum(self.store.grad_mut(&format!("layer{layer}.ffn/b2")), &d_out);
+                relu_backward(&mut d_a, &mask);
+                let d_w1 = trace.hidden.transposed_matmul(&d_a);
+                self.store
+                    .grad_mut(&format!("layer{layer}.ffn/w1"))
+                    .add_scaled(&d_w1, 1.0);
+                add_colsum(self.store.grad_mut(&format!("layer{layer}.ffn/b1")), &d_a);
+                let d_h_ffn = d_a.matmul_transposed(&w1);
+                d_h.add_scaled(&d_h_ffn, 1.0);
+            }
+            FfnTrace::Moe { tokens, .. } => {
+                let n = self.cfg.num_experts();
+                let gate_w = self.store.value(&format!("layer{layer}.gate/w")).clone();
+                for (t, tok) in tokens.iter().enumerate() {
+                    if tok.dropped {
+                        continue;
+                    }
+                    let d_out_t = d_out.row(t);
+                    // dF = p · d_out ; dp = <d_out, expert_out>.
+                    let mut d_p = 0.0f32;
+                    for (g, &f) in d_out_t.iter().zip(&tok.expert_out) {
+                        d_p += g * f;
+                    }
+                    // Gate gradient through softmax at the chosen index.
+                    let mut d_logits = vec![0.0f32; n];
+                    for (j, dl) in d_logits.iter_mut().enumerate() {
+                        let delta = if j == tok.expert { 1.0 } else { 0.0 };
+                        *dl = d_p * tok.prob * (delta - tok.probs[j]);
+                    }
+                    {
+                        let g_w = self.store.grad_mut(&format!("layer{layer}.gate/w"));
+                        for (k, &hv) in tok.hidden_in.iter().enumerate() {
+                            if hv == 0.0 {
+                                continue;
+                            }
+                            for (o, &dl) in g_w.row_mut(k).iter_mut().zip(&d_logits) {
+                                *o += hv * dl;
+                            }
+                        }
+                    }
+                    {
+                        let g_b = self.store.grad_mut(&format!("layer{layer}.gate/b"));
+                        for (o, &dl) in g_b.row_mut(0).iter_mut().zip(&d_logits) {
+                            *o += dl;
+                        }
+                    }
+                    // dH from the gate path: Wg·d_logits.
+                    for k in 0..d {
+                        let mut acc = 0.0;
+                        for (j, &dl) in d_logits.iter().enumerate() {
+                            acc += gate_w.at(k, j) * dl;
+                        }
+                        *d_h.at_mut(t, k) += acc;
+                    }
+                    // Expert backward (per token).
+                    let e = tok.expert;
+                    let w2 = self.store.value(&format!("layer{layer}.expert{e}/w2")).clone();
+                    let w1 = self.store.value(&format!("layer{layer}.expert{e}/w1")).clone();
+                    let f_dim = w1.cols();
+                    // df = p·d_out.
+                    let df: Vec<f32> = d_out_t.iter().map(|&g| g * tok.prob).collect();
+                    // da = df·W2ᵀ, relu mask.
+                    let mut da = vec![0.0f32; f_dim];
+                    for (k, dav) in da.iter_mut().enumerate() {
+                        if !tok.mask[k] {
+                            continue;
+                        }
+                        let mut acc = 0.0;
+                        for (j, &dfv) in df.iter().enumerate() {
+                            acc += w2.at(k, j) * dfv;
+                        }
+                        *dav = acc;
+                    }
+                    {
+                        let g_w2 = self.store.grad_mut(&format!("layer{layer}.expert{e}/w2"));
+                        for (k, &av) in tok.act.iter().enumerate() {
+                            if av == 0.0 {
+                                continue;
+                            }
+                            for (o, &dfv) in g_w2.row_mut(k).iter_mut().zip(&df) {
+                                *o += av * dfv;
+                            }
+                        }
+                        let g_b2 = self.store.grad_mut(&format!("layer{layer}.expert{e}/b2"));
+                        for (o, &dfv) in g_b2.row_mut(0).iter_mut().zip(&df) {
+                            *o += dfv;
+                        }
+                        let g_w1 = self.store.grad_mut(&format!("layer{layer}.expert{e}/w1"));
+                        for (k, &hv) in tok.hidden_in.iter().enumerate() {
+                            if hv == 0.0 {
+                                continue;
+                            }
+                            for (o, &dav) in g_w1.row_mut(k).iter_mut().zip(&da) {
+                                *o += hv * dav;
+                            }
+                        }
+                        let g_b1 = self.store.grad_mut(&format!("layer{layer}.expert{e}/b1"));
+                        for (o, &dav) in g_b1.row_mut(0).iter_mut().zip(&da) {
+                            *o += dav;
+                        }
+                    }
+                    // dH from the expert input path: da·W1ᵀ.
+                    for k in 0..d {
+                        let mut acc = 0.0;
+                        for (j, &dav) in da.iter().enumerate() {
+                            acc += w1.at(k, j) * dav;
+                        }
+                        *d_h.at_mut(t, k) += acc;
+                    }
+                }
+            }
+        }
+
+        // Mixer backward: H = X + M·W_mix + b_mix.
+        let w_mix = self.store.value(&format!("layer{layer}.mix/w")).clone();
+        let d_w_mix = trace.mean.transposed_matmul(&d_h);
+        self.store
+            .grad_mut(&format!("layer{layer}.mix/w"))
+            .add_scaled(&d_w_mix, 1.0);
+        add_colsum(self.store.grad_mut(&format!("layer{layer}.mix/b")), &d_h);
+        let d_mean = d_h.matmul_transposed(&w_mix);
+        // dX = dH (residual) + prefix-mean transpose of d_mean.
+        let mut d_x = d_h;
+        let mut suffix = vec![0.0f32; d];
+        for t in (0..t_len).rev() {
+            let inv = 1.0 / (t + 1) as f32;
+            for (s, &g) in suffix.iter_mut().zip(d_mean.row(t)) {
+                *s += g * inv;
+            }
+            for (o, &s) in d_x.row_mut(t).iter_mut().zip(&suffix) {
+                *o += s;
+            }
+        }
+        let _ = trace.x_in;
+        d_x
+    }
+}
+
+struct LayerTrace {
+    x_in: Matrix,
+    mean: Matrix,
+    hidden: Matrix,
+    ffn: FfnTrace,
+}
+
+enum FfnTrace {
+    Dense {
+        act: Matrix,
+        mask: Vec<bool>,
+    },
+    Moe {
+        tokens: Vec<MoeTokenTrace>,
+        counts: Vec<u64>,
+        dropped: u64,
+    },
+}
+
+fn moe_position(traces: &[LayerTrace], target: &LayerTrace) -> usize {
+    traces
+        .iter()
+        .filter(|t| matches!(t.ffn, FfnTrace::Moe { .. }))
+        .position(|t| std::ptr::eq(t, target))
+        .expect("trace belongs to the list")
+}
+
+fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn add_colsum(grad: &mut Matrix, rows: &Matrix) {
+    for t in 0..rows.rows() {
+        for (o, &g) in grad.row_mut(0).iter_mut().zip(rows.row(t)) {
+            *o += g;
+        }
+    }
+}
+
+fn gauss(rng: &mut rand::rngs::StdRng) -> f32 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> MoeModelConfig {
+        MoeModelConfig::builder("grad-check")
+            .num_layers(2)
+            .hidden_size(8)
+            .num_heads(2)
+            .ffn_mult(2)
+            .vocab_size(16)
+            .max_seq_len(12)
+            .moe_layer_indices(vec![1])
+            .num_experts(4)
+            .top_k(1)
+            .capacity_factor(4.0)
+            .build()
+            .unwrap()
+    }
+
+    fn batch() -> Vec<Vec<u16>> {
+        vec![vec![1, 5, 9, 2, 7, 3], vec![4, 4, 8, 1, 0, 15]]
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let mut m1 = TinyMoeLm::new(tiny_cfg(), 3);
+        let mut m2 = TinyMoeLm::new(tiny_cfg(), 3);
+        let a = m1.evaluate(&batch());
+        let b = m2.evaluate(&batch());
+        assert_eq!(a, b);
+        assert!(a.loss > 0.0);
+    }
+
+    #[test]
+    fn expert_loads_counted() {
+        let mut m = TinyMoeLm::new(tiny_cfg(), 3);
+        let stats = m.evaluate(&batch());
+        assert_eq!(stats.expert_loads.len(), 1);
+        let total: u64 = stats.expert_loads[0].iter().sum();
+        assert_eq!(total + stats.dropped_tokens, 12, "every token routed");
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut model = TinyMoeLm::new(tiny_cfg(), 7);
+        model.gate_noise_std = 0.0;
+        let data = batch();
+        model.store_mut().zero_grads();
+        model.forward_backward(&data, 0);
+
+        // Check a handful of parameters from every module kind.
+        let checks = [
+            ("embedding/tok", 5usize),
+            ("embedding/pos", 3),
+            ("layer0.mix/w", 11),
+            ("layer0.ffn/w1", 17),
+            ("layer0.ffn/b2", 2),
+            ("layer1.gate/w", 9),
+        ];
+        let eps = 3e-3f32;
+        for (name, idx) in checks {
+            let analytic = model.store().grad(name).data()[idx];
+            let orig = model.store().value(name).data()[idx];
+            let loss_at = |m: &mut TinyMoeLm, v: f32| {
+                m.store_mut().value_mut(name).data_mut()[idx] = v;
+                let s = m.evaluate(&data);
+                m.store_mut().value_mut(name).data_mut()[idx] = orig;
+                s.loss
+            };
+            let lp = loss_at(&mut model, orig + eps);
+            let lm = loss_at(&mut model, orig - eps);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+                "{name}[{idx}]: finite-diff {fd} vs analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn expert_gradient_check() {
+        // Dedicated check through the MoE path (gate prob scaling).
+        let mut model = TinyMoeLm::new(tiny_cfg(), 11);
+        model.gate_noise_std = 0.0;
+        let data = batch();
+        model.store_mut().zero_grads();
+        model.forward_backward(&data, 0);
+        // Find an expert that received tokens.
+        let stats = model.evaluate(&data);
+        let expert = stats.expert_loads[0]
+            .iter()
+            .position(|&c| c > 0)
+            .expect("some expert used");
+        let name = format!("layer1.expert{expert}/w1");
+        let idx = 4;
+        let analytic = model.store().grad(&name).data()[idx];
+        let orig = model.store().value(&name).data()[idx];
+        let eps = 3e-3f32;
+        let mut eval_at = |v: f32| {
+            model.store_mut().value_mut(&name).data_mut()[idx] = v;
+            let l = model.evaluate(&data).loss;
+            model.store_mut().value_mut(&name).data_mut()[idx] = orig;
+            l
+        };
+        let fd = (eval_at(orig + eps) - eval_at(orig - eps)) / (2.0 * eps);
+        assert!(
+            (fd - analytic).abs() < 2e-2 * analytic.abs().max(1.0),
+            "{name}[{idx}]: fd {fd} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn capacity_drops_tokens() {
+        let cfg = MoeModelConfig::builder("cap")
+            .num_layers(1)
+            .hidden_size(8)
+            .num_heads(2)
+            .ffn_mult(2)
+            .vocab_size(16)
+            .max_seq_len(16)
+            .moe_layer_indices(vec![0])
+            .num_experts(4)
+            .top_k(1)
+            .capacity_factor(0.25)
+            .build()
+            .unwrap();
+        let mut m = TinyMoeLm::new(cfg, 0);
+        let stats = m.evaluate(&vec![vec![1u16; 16]]);
+        // Capacity ceil(0.25·16/4) = 1 per expert: at most 4 of the 16
+        // tokens can be accepted; position embeddings may split the
+        // routing across a few experts.
+        assert!(stats.dropped_tokens >= 12, "dropped {}", stats.dropped_tokens);
+    }
+
+    #[test]
+    fn predict_next_returns_valid_token() {
+        let mut m = TinyMoeLm::new(tiny_cfg(), 5);
+        let tok = m.predict_next(&[1, 2, 3]);
+        assert!((tok as usize) < m.config().vocab_size());
+    }
+}

@@ -1,0 +1,335 @@
+//! Minimal dense-matrix kernel for the training lab.
+//!
+//! The lab needs exactly the operations a manual-backprop MoE transformer
+//! uses: matmul (plain, A·Bᵀ and Aᵀ·B variants for gradients), elementwise
+//! combinators, and a numerically stable softmax/cross-entropy pair. All
+//! storage is row-major `f32`.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major `rows × cols` matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows · cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape/data mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// One row as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// One row as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` (`[m,k]·[k,n] → [m,n]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul inner dims");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` (`[m,k]·[n,k]ᵀ → [m,n]`).
+    pub fn matmul_transposed(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_t inner dims");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..other.rows {
+                let brow = other.row(j);
+                let mut acc = 0.0;
+                for (a, b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *out.at_mut(i, j) = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` (`[k,m]ᵀ·[k,n] → [m,n]`), the weight-gradient shape.
+    pub fn transposed_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "t_matmul inner dims");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = other.row(k);
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = out.row_mut(i);
+                for (o, &b) in orow.iter_mut().zip(brow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds `other` scaled by `alpha` in place.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.data.len(), other.data.len(), "axpy shape");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sets all elements to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of squared elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+}
+
+/// In-place ReLU; returns the activation mask needed by the backward pass.
+pub fn relu_forward(x: &mut Matrix) -> Vec<bool> {
+    x.data_mut()
+        .iter_mut()
+        .map(|v| {
+            if *v > 0.0 {
+                true
+            } else {
+                *v = 0.0;
+                false
+            }
+        })
+        .collect()
+}
+
+/// Backward of ReLU: zeroes gradient where the activation was clamped.
+pub fn relu_backward(grad: &mut Matrix, mask: &[bool]) {
+    assert_eq!(grad.len(), mask.len(), "mask shape");
+    for (g, &m) in grad.data_mut().iter_mut().zip(mask) {
+        if !m {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Stable softmax over a slice, in place.
+pub fn softmax_inplace(xs: &mut [f32]) {
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Cross-entropy loss and gradient for one position.
+///
+/// Returns `(loss, grad)` where `grad = softmax(logits) − one_hot(target)`.
+pub fn cross_entropy(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    let mut probs = logits.to_vec();
+    softmax_inplace(&mut probs);
+    let p = probs[target].max(1e-12);
+    let loss = -p.ln();
+    probs[target] -= 1.0;
+    (loss, probs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_matches_explicit_transpose() {
+        let a = m(2, 3, &[1.0, 0.5, -1.0, 2.0, 1.5, 0.0]);
+        let b = m(4, 3, &[1.0, 2.0, 3.0, 0.0, 1.0, 0.0, -1.0, 0.5, 2.0, 1.0, 1.0, 1.0]);
+        let direct = a.matmul_transposed(&b);
+        // Explicit transpose of b.
+        let mut bt = Matrix::zeros(3, 4);
+        for i in 0..4 {
+            for j in 0..3 {
+                *bt.at_mut(j, i) = b.at(i, j);
+            }
+        }
+        assert_eq!(direct, a.matmul(&bt));
+    }
+
+    #[test]
+    fn transposed_matmul_matches_explicit() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[0.5, 1.0, -1.0, 0.0, 2.0, 2.0]);
+        let direct = a.transposed_matmul(&b);
+        let mut at = Matrix::zeros(2, 3);
+        for i in 0..3 {
+            for j in 0..2 {
+                *at.at_mut(j, i) = a.at(i, j);
+            }
+        }
+        assert_eq!(direct, at.matmul(&b));
+    }
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut x = m(1, 4, &[-1.0, 2.0, 0.0, 3.0]);
+        let mask = relu_forward(&mut x);
+        assert_eq!(x.data(), &[0.0, 2.0, 0.0, 3.0]);
+        assert_eq!(mask, vec![false, true, false, true]);
+        let mut g = m(1, 4, &[1.0, 1.0, 1.0, 1.0]);
+        relu_backward(&mut g, &mask);
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_normalises() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_is_softmax_minus_onehot() {
+        let (loss, grad) = cross_entropy(&[0.0, 0.0], 0);
+        assert!((loss - 0.5f32.ln().abs()).abs() < 1e-6);
+        assert!((grad[0] + 0.5).abs() < 1e-6);
+        assert!((grad[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_grad_matches_finite_difference() {
+        let logits = vec![0.3f32, -0.7, 1.1, 0.2];
+        let target = 2;
+        let (_, grad) = cross_entropy(&logits, target);
+        let eps = 1e-3;
+        for i in 0..logits.len() {
+            let mut plus = logits.clone();
+            plus[i] += eps;
+            let mut minus = logits.clone();
+            minus[i] -= eps;
+            let (lp, _) = cross_entropy(&plus, target);
+            let (lm, _) = cross_entropy(&minus, target);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad[i]).abs() < 1e-3,
+                "dim {i}: fd {fd} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = m(1, 3, &[1.0, 1.0, 1.0]);
+        let b = m(1, 3, &[2.0, 4.0, 6.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,25 @@
+//! Project checkpointing efficiency across cluster scales, the Fig. 13
+//! style study: Baseline vs Base-Async vs MoC-Async from 32 to 512 GPUs.
+//!
+//! Run with `cargo run --example cluster_sweep`.
+
+use moc_system::cluster::scaling::{sweep_gpus, SweepConfig};
+
+fn main() {
+    let config = SweepConfig::default_a800();
+    println!("LLaMA-MoE (hidden 2048), DP+EP on A800, one expert/GPU/layer");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>10}",
+        "gpus", "baseline", "base-async", "moc-async", "speedup"
+    );
+    for point in sweep_gpus(&config, &[32, 64, 128, 256, 512]) {
+        println!(
+            "{:<8} {:>11.2}s {:>11.2}s {:>11.2}s {:>9.2}x",
+            point.gpus,
+            point.row.baseline.iteration_sec,
+            point.row.base_async.iteration_sec,
+            point.row.moc_async.iteration_sec,
+            point.row.speedup()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: size a PEC checkpoint, plan fully sharded saving, and take
+//! an asynchronous two-level checkpoint of a (synthetic) model.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use moc_system::core::selection::PecConfig;
+use moc_system::core::sharding::{ShardingPlanner, ShardingStrategy};
+use moc_system::core::twolevel::{CheckpointEngine, EngineConfig, SyntheticState};
+use moc_system::core::ParallelTopology;
+use moc_system::moe::presets;
+use moc_system::store::MemoryObjectStore;
+use std::sync::Arc;
+
+fn main() {
+    // 1. How much does PEC shrink a GPT-350M-16E checkpoint?
+    let model = presets::gpt_350m_16e();
+    let full = model.full_checkpoint_bytes();
+    println!("model {} — full checkpoint {:.2} GiB", model.name(), gib(full));
+    for k in [16, 8, 4, 2, 1] {
+        println!(
+            "  K_pec = {k:>2}: {:>6.2} GiB ({:.1}% of full)",
+            gib(model.pec_checkpoint_bytes(k)),
+            100.0 * model.pec_size_ratio(k)
+        );
+    }
+
+    // 2. Who writes what under fully sharded checkpointing?
+    let topo = ParallelTopology::case3();
+    let planner = ShardingPlanner::new(model.clone(), topo).expect("model fits topology");
+    let baseline = planner.plan_full(ShardingStrategy::Baseline);
+    let sharded = planner.plan_full(ShardingStrategy::FullySharded);
+    println!(
+        "bottleneck rank: baseline {:.2} GiB -> fully sharded {:.2} GiB",
+        gib(baseline.bottleneck().1),
+        gib(sharded.bottleneck().1)
+    );
+
+    // 3. Take asynchronous two-level PEC checkpoints of a tiny model and
+    //    recover after a node fault.
+    let tiny = presets::tiny_lm_16e();
+    let pec = PecConfig::sequential(4, tiny.num_experts(), tiny.num_moe_layers());
+    let mut engine = CheckpointEngine::new(
+        tiny,
+        ParallelTopology::case2(),
+        Arc::new(MemoryObjectStore::new()),
+        EngineConfig {
+            strategy: ShardingStrategy::FullyShardedAdaptive,
+            snapshot_pec: pec,
+            k_persist: 1,
+            two_level_recovery: true,
+        },
+    )
+    .expect("engine");
+    let state = SyntheticState::full();
+    engine.bootstrap(0, &state);
+    for iteration in [100, 200, 300] {
+        engine.checkpoint(iteration, &state);
+    }
+    engine.wait_idle();
+    engine.fault(0);
+    let plan = engine.recover(350).expect("recoverable");
+    println!(
+        "after node-0 fault: resume at iteration {}, {} shards from memory, {} from storage",
+        plan.resume_iteration,
+        plan.memory_actions(),
+        plan.storage_actions()
+    );
+}
+
+fn gib(bytes: u64) -> f64 {
+    bytes as f64 / (1u64 << 30) as f64
+}

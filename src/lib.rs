@@ -1,0 +1,9 @@
+//! # MoC-System
+//!
+//! Facade crate for the MoC-System reproduction. See the member crates:
+//! [`moc_core`], [`moc_moe`], [`moc_store`], [`moc_cluster`], [`moc_train`].
+pub use moc_cluster as cluster;
+pub use moc_core as core;
+pub use moc_moe as moe;
+pub use moc_store as store;
+pub use moc_train as train;

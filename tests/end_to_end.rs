@@ -1,0 +1,165 @@
+//! Cross-crate integration tests: the full MoC pipeline from model
+//! description through sharding, asynchronous saving, fault injection and
+//! recovery, on both the synthetic engine and the real training lab.
+
+use moc_system::cluster::timeline::fig12_row;
+use moc_system::cluster::ClusterSpec;
+use moc_system::core::plt::{analytic_plt, PltSimulation};
+use moc_system::core::selection::PecConfig;
+use moc_system::core::sharding::{ShardingPlanner, ShardingStrategy};
+use moc_system::core::twolevel::{CheckpointEngine, EngineConfig, SyntheticState};
+use moc_system::core::ParallelTopology;
+use moc_system::moe::presets;
+use moc_system::moe::{LoadModel, LoadProfile};
+use moc_system::store::{FaultEvent, FileObjectStore, MemoryObjectStore, ObjectStore};
+use moc_system::train::harness::{run_experiment, FaultToleranceConfig, TrainConfig};
+use moc_system::train::PecMode;
+use std::sync::Arc;
+
+#[test]
+fn sharded_engine_checkpoints_and_recovers_on_disk() {
+    let root = std::env::temp_dir().join(format!("moc-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(FileObjectStore::open(&root).unwrap());
+    let tiny = presets::tiny_lm_16e();
+    let mut engine = CheckpointEngine::new(
+        tiny.clone(),
+        ParallelTopology::case3(),
+        store.clone(),
+        EngineConfig {
+            strategy: ShardingStrategy::FullyShardedAdaptive,
+            snapshot_pec: PecConfig::sequential(4, 16, tiny.num_moe_layers()),
+            k_persist: 2,
+            two_level_recovery: true,
+        },
+    )
+    .unwrap();
+    let state = SyntheticState::full();
+    engine.bootstrap(0, &state);
+    for it in [10u64, 20, 30] {
+        engine.checkpoint(it, &state);
+    }
+    engine.wait_idle();
+    assert!(store.total_bytes().unwrap() > 0, "real files written");
+
+    engine.fault(1);
+    let plan = engine.recover(35).unwrap();
+    assert_eq!(plan.resume_iteration, 30);
+    // Every action fetchable and version-consistent.
+    for action in &plan.actions {
+        let bytes =
+            moc_system::core::recovery::fetch_action(action, engine.memory(), store.as_ref())
+                .unwrap();
+        let v = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+        assert_eq!(v, action.version);
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn plt_simulator_tracks_real_training_plt() {
+    // The event-accurate PLT simulator and the real training lab should
+    // agree on the order of magnitude of update loss for the same
+    // (K, I_ckpt, fault) configuration.
+    let train = TrainConfig {
+        total_iterations: 96,
+        eval_every: 96,
+        batch: 4,
+        seq_len: 16,
+        ..TrainConfig::tiny_8e()
+    };
+    let faults = vec![FaultEvent { iteration: 48, node: 0 }];
+    let ft = FaultToleranceConfig::pec(
+        &train.model,
+        1,
+        1,
+        PecMode::WO,
+        false,
+        8,
+        faults.clone(),
+    );
+    let real = run_experiment(&train, &ft).plt;
+
+    let sim = PltSimulation {
+        load: LoadModel::new(2, 8, 64, 1, LoadProfile::Balanced, 0),
+        snapshot_pec: PecConfig::sequential(1, 8, 2),
+        k_persist: 1,
+        i_ckpt: 8,
+        total_iterations: 96,
+        faults,
+        two_level_recovery: false,
+        topology: ParallelTopology::case1(),
+    }
+    .run()
+    .plt;
+
+    let analytic = analytic_plt(1, 8, 8, 96, 1);
+    assert!(real > 0.0 && sim > 0.0);
+    assert!(
+        (real / sim) > 0.3 && (real / sim) < 3.0,
+        "real {real} vs simulated {sim}"
+    );
+    assert!(
+        (sim / analytic) > 0.5 && (sim / analytic) < 2.0,
+        "sim {sim} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn paper_claim_pec_checkpoint_shrinks_majorly() {
+    // Headline: "PEC achieves a 57.7% reduction in total checkpoint size"
+    // (K=1 on GPT-350M-16E). Eq. 6 with the Fig. 2 composition gives an
+    // even larger reduction; assert at least the paper's.
+    let model = presets::gpt_350m_16e();
+    assert!(model.pec_size_ratio(1) < 0.423 + 1e-9);
+}
+
+#[test]
+fn paper_claim_fig12_bands_hold() {
+    let model = presets::gpt_350m_16e();
+    for topo in [
+        ParallelTopology::case1(),
+        ParallelTopology::case2(),
+        ParallelTopology::case3(),
+    ] {
+        let row = fig12_row("case", model.clone(), topo, ClusterSpec::a800(), 4, 1);
+        assert!(row.o_save_reduction() > 0.95, "o_save cut {}", row.o_save_reduction());
+        assert!(row.speedup() > 2.0, "speedup {}", row.speedup());
+    }
+}
+
+#[test]
+fn engine_with_memory_store_handles_many_checkpoints() {
+    let tiny = presets::tiny_lm_8e();
+    let mut engine = CheckpointEngine::new(
+        tiny.clone(),
+        ParallelTopology::case1(),
+        Arc::new(MemoryObjectStore::new()),
+        EngineConfig {
+            strategy: ShardingStrategy::FullySharded,
+            snapshot_pec: PecConfig::sequential(1, 8, tiny.num_moe_layers()),
+            k_persist: 1,
+            two_level_recovery: true,
+        },
+    )
+    .unwrap();
+    let state = SyntheticState::scaled(64);
+    engine.bootstrap(0, &state);
+    for it in 1..=40u64 {
+        engine.checkpoint(it * 10, &state);
+    }
+    engine.wait_idle();
+    assert_eq!(engine.checkpoints_taken(), 40);
+    let plan = engine.recover(1000).unwrap();
+    assert_eq!(plan.resume_iteration, 400);
+}
+
+#[test]
+fn sharding_plans_are_deterministic() {
+    let planner =
+        ShardingPlanner::new(presets::gpt_350m_16e(), ParallelTopology::case3()).unwrap();
+    let pec = PecConfig::sequential(2, 16, 12);
+    let a = planner.plan_pec(ShardingStrategy::FullyShardedAdaptive, &pec, 5);
+    let b = planner.plan_pec(ShardingStrategy::FullyShardedAdaptive, &pec, 5);
+    assert_eq!(a, b);
+}

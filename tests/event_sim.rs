@@ -1,0 +1,80 @@
+//! Integration test: the discrete-event checkpoint simulator agrees with
+//! the analytic timeline model on stall behaviour, closing the loop
+//! between Fig. 9's buffer mechanics and Fig. 11/12's closed forms.
+
+use moc_system::cluster::events::{simulate, EventSimConfig};
+use moc_system::cluster::timeline::{MethodSpec, TimelineModel};
+use moc_system::cluster::{ClusterSpec, IterationWorkload};
+use moc_system::core::ParallelTopology;
+use moc_system::moe::presets;
+
+#[test]
+fn event_sim_matches_analytic_stall_model() {
+    let tm = TimelineModel::new(
+        presets::gpt_350m_16e(),
+        ParallelTopology::case1(),
+        ClusterSpec::a800(),
+        IterationWorkload::default_case(),
+    );
+    for method in [
+        MethodSpec::base_async(),
+        MethodSpec::moc_async(4, 1),
+        MethodSpec::fully_sharded_k(16),
+    ] {
+        let t = tm.timeline(&method);
+        let report = simulate(&EventSimConfig {
+            fb_sec: t.fb_sec,
+            update_sec: t.update_sec,
+            snapshot_sec: t.snapshot_sec,
+            persist_sec: t.persist_sec,
+            i_ckpt: 8,
+            iterations: 128,
+        });
+        let checkpoints = report.requested_checkpoints as f64;
+        // The final checkpoint's snapshot drains in the tail without a
+        // following update to stall, so (n-1) stall windows apply.
+        let analytic_stall = (t.snapshot_sec - t.fb_sec).max(0.0) * (checkpoints - 1.0);
+        // The event simulation may add storage-backpressure stalls on top
+        // of the snapshot-overrun stalls the closed form captures.
+        assert!(
+            report.stall_sec + 1e-6 >= analytic_stall,
+            "{}: event stall {} < analytic {}",
+            method.label,
+            report.stall_sec,
+            analytic_stall
+        );
+        let slack = 0.15 * checkpoints * (t.snapshot_sec + t.persist_sec) + 1e-6;
+        assert!(
+            report.stall_sec <= analytic_stall + checkpoints * t.persist_sec + slack,
+            "{}: event stall {} far above analytic {}",
+            method.label,
+            report.stall_sec,
+            analytic_stall
+        );
+    }
+}
+
+#[test]
+fn event_sim_effective_interval_obeys_persist_bound() {
+    let tm = TimelineModel::new(
+        presets::gpt_350m_16e(),
+        ParallelTopology::case2(),
+        ClusterSpec::a800(),
+        IterationWorkload::default_case(),
+    );
+    let t = tm.timeline(&MethodSpec::base_async());
+    let report = simulate(&EventSimConfig {
+        fb_sec: t.fb_sec,
+        update_sec: t.update_sec,
+        snapshot_sec: t.snapshot_sec,
+        persist_sec: t.persist_sec,
+        i_ckpt: 1, // request every iteration: storage becomes the bottleneck
+        iterations: 64,
+    });
+    assert!(
+        report.effective_interval_sec + 1e-6 >= t.min_interval_sec,
+        "interval {} below persist bound {}",
+        report.effective_interval_sec,
+        t.min_interval_sec
+    );
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the core invariants, with proptest.
+
+use moc_system::core::selection::PecConfig;
+use moc_system::core::sharding::{ShardingPlanner, ShardingStrategy};
+use moc_system::core::twolevel::TripleBuffer;
+use moc_system::core::ParallelTopology;
+use moc_system::moe::MoeModelConfig;
+use moc_system::store::{frame, ShardKey, StatePart};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sequential selection always returns K experts per layer, all in
+    /// range, and covers every expert within one rotation period.
+    #[test]
+    fn sequential_selection_invariants(
+        k in 1usize..=8,
+        extra in 0usize..=8,
+        layers in 1usize..=6,
+        start in 0u64..100,
+    ) {
+        let n = k + extra;
+        let pec = PecConfig::sequential(k, n, layers);
+        let sel = pec.select(start);
+        prop_assert_eq!(sel.len(), k * layers);
+        for id in &sel {
+            prop_assert!(id.layer < layers && id.expert < n);
+        }
+        let mut covered = vec![vec![false; n]; layers];
+        for t in 0..pec.rotation_period() as u64 {
+            for id in pec.select(start + t) {
+                covered[id.layer][id.expert] = true;
+            }
+        }
+        prop_assert!(covered.iter().flatten().all(|&c| c));
+    }
+
+    /// Frame encode/decode round-trips arbitrary payloads and keys.
+    #[test]
+    fn frame_roundtrip(
+        module in "[a-z0-9.]{1,32}",
+        version in 0u64..u64::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..4096),
+        part_idx in 0usize..3,
+    ) {
+        let key = ShardKey::new(module, StatePart::ALL[part_idx], version);
+        let framed = frame::encode(&key, &bytes::Bytes::from(payload.clone()));
+        let (decoded, out) = frame::decode(&framed).unwrap();
+        prop_assert_eq!(decoded, key);
+        prop_assert_eq!(&out[..], &payload[..]);
+    }
+
+    /// Any single-bit corruption of the payload region is detected.
+    #[test]
+    fn frame_detects_payload_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..512),
+        flip in any::<u8>(),
+    ) {
+        let key = ShardKey::new("m", StatePart::Weights, 1);
+        let framed = frame::encode(&key, &bytes::Bytes::from(payload.clone()));
+        let mut bytes = framed.to_vec();
+        let idx = bytes.len() - 1 - (flip as usize % payload.len());
+        bytes[idx] ^= 1 << (flip % 8);
+        let result = frame::decode(&bytes::Bytes::from(bytes));
+        prop_assert!(result.is_err());
+    }
+
+    /// Workload plans conserve total bytes across strategies (modulo
+    /// integer-division slack) and the bottleneck never exceeds the total.
+    #[test]
+    fn sharding_conserves_bytes(
+        strategy_idx in 0usize..4,
+        k in 1usize..=16,
+    ) {
+        let model = moc_system::moe::presets::gpt_350m_16e();
+        let planner = ShardingPlanner::new(model.clone(), ParallelTopology::case3()).unwrap();
+        let strategy = ShardingStrategy::ALL[strategy_idx];
+        let pec = PecConfig::sequential(k, 16, 12);
+        let plan = planner.plan_pec(strategy, &pec, 0);
+        let expected = model.pec_checkpoint_bytes(k);
+        let total = plan.total_bytes();
+        prop_assert!(expected >= total && expected - total < 8192,
+            "strategy {:?} total {} vs expected {}", strategy, total, expected);
+        prop_assert!(plan.bottleneck().1 <= total);
+        for rank in &plan.per_rank {
+            let items: u64 = rank.items.iter().map(|i| i.bytes).sum();
+            prop_assert_eq!(items, rank.total());
+        }
+    }
+
+    /// The triple buffer never admits two persisting buffers or two
+    /// recovery buffers, under arbitrary interleavings of operations.
+    #[test]
+    fn triple_buffer_invariants(ops in proptest::collection::vec(0u8..3, 1..64)) {
+        let mut tb = TripleBuffer::new();
+        let mut version = 0u64;
+        let mut snapshotting: Vec<moc_system::core::twolevel::BufferId> = Vec::new();
+        let mut persisting: Vec<moc_system::core::twolevel::BufferId> = Vec::new();
+        for op in ops {
+            match op {
+                0 => {
+                    version += 1;
+                    if let Ok(id) = tb.begin_snapshot(version) {
+                        snapshotting.push(id);
+                    }
+                }
+                1 => {
+                    if let Some(id) = snapshotting.pop() {
+                        match tb.finish_snapshot(id).unwrap() {
+                            moc_system::core::twolevel::SnapshotOutcome::StartPersist(p) => {
+                                persisting.push(p)
+                            }
+                            moc_system::core::twolevel::SnapshotOutcome::Queued(_) => {}
+                        }
+                    }
+                }
+                _ => {
+                    if let Some(id) = persisting.pop() {
+                        if let Ok(Some(next)) = tb.finish_persist(id) {
+                            persisting.push(next);
+                        }
+                    }
+                }
+            }
+            prop_assert!(tb.check_invariants().is_ok());
+        }
+    }
+
+    /// PEC checkpoint bytes are monotone in K and bounded by the full
+    /// checkpoint, for arbitrary small architectures.
+    #[test]
+    fn pec_bytes_monotone(
+        layers in 2usize..=8,
+        hidden_units in 1usize..=8,
+        experts in 2usize..=16,
+    ) {
+        let hidden = hidden_units * 64;
+        let model = MoeModelConfig::builder("prop")
+            .num_layers(layers)
+            .hidden_size(hidden)
+            .num_heads(hidden / 64)
+            .vocab_size(1000)
+            .max_seq_len(128)
+            .moe_every_other_layer()
+            .num_experts(experts)
+            .top_k(1)
+            .build()
+            .unwrap();
+        let full = model.full_checkpoint_bytes();
+        let mut prev = 0;
+        for k in 1..=experts {
+            let b = model.pec_checkpoint_bytes(k);
+            prop_assert!(b > prev);
+            prop_assert!(b <= full);
+            prev = b;
+        }
+        prop_assert_eq!(prev, full);
+    }
+}

@@ -1,0 +1,105 @@
+//! Integration tests of the real-training fault path: checkpoint state
+//! really round-trips, PEC really loses updates, and accuracy effects
+//! follow the paper's direction.
+
+use moc_system::store::FaultEvent;
+use moc_system::train::harness::{
+    run_experiment, run_experiment_with_model, FaultToleranceConfig, TrainConfig,
+};
+use moc_system::train::{downstream_suite, MarkovCorpus, PecMode};
+
+fn quick() -> TrainConfig {
+    TrainConfig {
+        batch: 4,
+        seq_len: 16,
+        total_iterations: 80,
+        eval_every: 40,
+        ..TrainConfig::tiny_8e()
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_runs_exactly() {
+    let train = quick();
+    let ft = FaultToleranceConfig::pec(
+        &train.model,
+        2,
+        1,
+        PecMode::WO,
+        true,
+        10,
+        vec![FaultEvent { iteration: 45, node: 0 }],
+    );
+    let a = run_experiment(&train, &ft);
+    let b = run_experiment(&train, &ft);
+    assert_eq!(a, b, "whole runs must be bit-deterministic");
+}
+
+#[test]
+fn plt_ordering_matches_paper_fig5() {
+    // Smaller K and larger I_ckpt => more PLT.
+    let train = quick();
+    let fault = vec![FaultEvent { iteration: 45, node: 0 }];
+    let plt_of = |k: usize, ickpt: u64| {
+        run_experiment(
+            &train,
+            &FaultToleranceConfig::pec(&train.model, k, k, PecMode::WO, false, ickpt, fault.clone()),
+        )
+        .plt
+    };
+    let k1 = plt_of(1, 10);
+    let k4 = plt_of(4, 10);
+    assert!(k1 > k4, "K=1 {k1} vs K=4 {k4}");
+    let i5 = plt_of(2, 5);
+    let i20 = plt_of(2, 20);
+    assert!(i20 > i5, "I=20 {i20} vs I=5 {i5}");
+}
+
+#[test]
+fn lossy_recovery_keeps_accuracy_in_family() {
+    // Fig. 14(a): W/O/WO loss curves remain comparable to the baseline.
+    let train = TrainConfig {
+        total_iterations: 120,
+        eval_every: 120,
+        ..quick()
+    };
+    let faults = vec![FaultEvent { iteration: 65, node: 0 }];
+    let base = run_experiment(
+        &train,
+        &FaultToleranceConfig::baseline(&train.model, 10, faults.clone()),
+    )
+    .final_val_loss;
+    for mode in [PecMode::W, PecMode::O, PecMode::WO] {
+        let lossy = run_experiment(
+            &train,
+            &FaultToleranceConfig::pec(&train.model, 2, 1, mode, true, 10, faults.clone()),
+        )
+        .final_val_loss;
+        let gap = (lossy - base).abs() / base;
+        assert!(
+            gap < 0.15,
+            "mode {mode:?}: loss {lossy} vs baseline {base} (gap {gap})"
+        );
+    }
+}
+
+#[test]
+fn downstream_probes_improve_with_training() {
+    let train = TrainConfig {
+        total_iterations: 160,
+        eval_every: 160,
+        ..TrainConfig::tiny_8e()
+    };
+    let corpus = MarkovCorpus::new(train.model.vocab_size(), train.topics, train.seed);
+    let (_, mut trained) = run_experiment_with_model(
+        &train,
+        &FaultToleranceConfig::baseline(&train.model, 40, vec![]),
+    );
+    let mut untrained = moc_system::train::TinyMoeLm::new(train.model.clone(), train.seed);
+    let acc_trained: f64 = downstream_suite(&mut trained, &corpus, 2, 12).iter().sum();
+    let acc_untrained: f64 = downstream_suite(&mut untrained, &corpus, 2, 12).iter().sum();
+    assert!(
+        acc_trained > acc_untrained,
+        "training must beat init: {acc_trained} vs {acc_untrained}"
+    );
+}
