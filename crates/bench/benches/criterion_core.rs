@@ -20,11 +20,8 @@ fn bench_selection(c: &mut Criterion) {
 }
 
 fn bench_sharding(c: &mut Criterion) {
-    let planner = ShardingPlanner::new(
-        moc_moe::presets::gpt_350m_16e(),
-        ParallelTopology::case3(),
-    )
-    .unwrap();
+    let planner =
+        ShardingPlanner::new(moc_moe::presets::gpt_350m_16e(), ParallelTopology::case3()).unwrap();
     c.bench_function("plan_full_fully_sharded_case3", |b| {
         b.iter(|| black_box(planner.plan_full(ShardingStrategy::FullySharded)))
     });
@@ -51,8 +48,7 @@ fn bench_agent(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let memory = Arc::new(NodeMemoryStore::new());
-                let store: Arc<dyn moc_store::ObjectStore> =
-                    Arc::new(MemoryObjectStore::new());
+                let store: Arc<dyn moc_store::ObjectStore> = Arc::new(MemoryObjectStore::new());
                 let agent = NodeAgent::spawn(NodeId(0), memory, store);
                 let shards: Vec<ShardJob> = (0..64)
                     .map(|i| ShardJob {

@@ -15,5 +15,10 @@ fn main() {
     println!("{:<24} {:>10} {:>8}", "expert weights", pct(ew), "12%");
     println!("{:<24} {:>10} {:>8}", "non-expert weights", pct(nw), "2%");
     println!("{:<24} {:>10} {:>8}", "expert optimizer", pct(eo), "74%");
-    println!("{:<24} {:>10} {:>8}", "non-expert optimizer", pct(no), "12%");
+    println!(
+        "{:<24} {:>10} {:>8}",
+        "non-expert optimizer",
+        pct(no),
+        "12%"
+    );
 }

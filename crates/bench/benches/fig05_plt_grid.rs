@@ -18,8 +18,11 @@ use moc_train::PecMode;
 fn main() {
     banner("Fig. 5(a) — PLT grid (simulated, GPT-125M-8E structure)");
     let total = 1280u64;
-    let fault = vec![FaultEvent { iteration: total / 2, node: 0 }];
-    println!("{:<7} {}", "", "I_ckpt ->");
+    let fault = vec![FaultEvent {
+        iteration: total / 2,
+        node: 0,
+    }];
+    println!("{:<7} I_ckpt ->", "");
     print!("{:<7}", "K_pec");
     let intervals = [1u64, 2, 4, 8, 16, 32, 64];
     for i in intervals {
@@ -54,7 +57,10 @@ fn main() {
         eval_every: 192,
         ..TrainConfig::tiny_8e()
     };
-    let fault = vec![FaultEvent { iteration: 96, node: 0 }];
+    let fault = vec![FaultEvent {
+        iteration: 96,
+        node: 0,
+    }];
     let baseline = run_experiment(
         &train,
         &FaultToleranceConfig::baseline(&train.model, 16, fault.clone()),
@@ -64,7 +70,10 @@ fn main() {
         baseline.final_val_loss,
         pct(baseline.plt)
     );
-    println!("{:<7} {:>8} {:>10} {:>12}", "K_pec", "I_ckpt", "PLT", "val loss");
+    println!(
+        "{:<7} {:>8} {:>10} {:>12}",
+        "K_pec", "I_ckpt", "PLT", "val loss"
+    );
     for k in [4usize, 2, 1] {
         for i_ckpt in [8u64, 16, 32] {
             let ft = FaultToleranceConfig::pec(

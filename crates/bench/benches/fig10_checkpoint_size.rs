@@ -18,7 +18,13 @@ fn main() {
         "{:<8} {:>12} {:>10} {:>12}",
         "K_pec", "size", "ratio", "paper-ratio"
     );
-    let paper = [(16, "100%"), (8, "69.2%"), (4, "53.8%"), (2, "46.1%"), (1, "42.3%")];
+    let paper = [
+        (16, "100%"),
+        (8, "69.2%"),
+        (4, "53.8%"),
+        (2, "46.1%"),
+        (1, "42.3%"),
+    ];
     for (k, paper_ratio) in paper {
         let bytes = cfg.pec_checkpoint_bytes(k);
         println!(
@@ -31,17 +37,23 @@ fn main() {
     }
 
     for (label, topo) in [
-        ("Fig. 10(b) — bottleneck rank, Case1", ParallelTopology::case1()),
-        ("Fig. 10(c) — bottleneck rank, Case2", ParallelTopology::case2()),
-        ("Fig. 10(d) — bottleneck rank, Case3", ParallelTopology::case3()),
+        (
+            "Fig. 10(b) — bottleneck rank, Case1",
+            ParallelTopology::case1(),
+        ),
+        (
+            "Fig. 10(c) — bottleneck rank, Case2",
+            ParallelTopology::case2(),
+        ),
+        (
+            "Fig. 10(d) — bottleneck rank, Case3",
+            ParallelTopology::case3(),
+        ),
     ] {
         banner(label);
         let planner = ShardingPlanner::new(cfg.clone(), topo).expect("valid");
         let pec = PecConfig::sequential(1, cfg.num_experts(), cfg.num_moe_layers());
-        println!(
-            "{:<10} {:>14} {:>14}",
-            "method", "full", "K_pec=1"
-        );
+        println!("{:<10} {:>14} {:>14}", "method", "full", "K_pec=1");
         for strategy in ShardingStrategy::ALL {
             let full = planner.plan_full(strategy).bottleneck().1;
             let partial = planner.plan_pec(strategy, &pec, 0).bottleneck().1;

@@ -50,6 +50,9 @@ fn main() {
                 secs(stall),
             );
         }
-        println!("(green overlap line of the paper = F&B window: {})", secs(tm.fb_secs()));
+        println!(
+            "(green overlap line of the paper = F&B window: {})",
+            secs(tm.fb_secs())
+        );
     }
 }

@@ -15,7 +15,11 @@ fn main() {
         "{:<7} {:>10} {:>11} {:>10} {:>9} {:>12} {:>12}",
         "case", "baseline", "base-async", "moc-async", "speedup", "o_save-cut", "paper"
     );
-    let paper = [("Case1", "4.13x/-98.2%"), ("Case2", "5.12x/-98.5%"), ("Case3", "3.25x/-98.9%")];
+    let paper = [
+        ("Case1", "4.13x/-98.2%"),
+        ("Case2", "5.12x/-98.5%"),
+        ("Case3", "3.25x/-98.9%"),
+    ];
     for ((case, paper_note), topo) in paper.into_iter().zip([
         ParallelTopology::case1(),
         ParallelTopology::case2(),

@@ -51,7 +51,10 @@ fn main() {
     );
 
     banner("Fig. 13(e) — model-size generalization (256 A800)");
-    print_points(&sweep_model_size(&SweepConfig::default_a800(), 256), "hidden");
+    print_points(
+        &sweep_model_size(&SweepConfig::default_a800(), 256),
+        "hidden",
+    );
 
     banner("Fig. 13(f) — persist volume per checkpoint");
     println!("{:<8} {:>14} {:>14}", "gpus", "base-persist", "moc-persist");

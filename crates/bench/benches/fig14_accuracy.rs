@@ -23,7 +23,10 @@ fn main() {
     // (N/K_persist · I_ckpt = 80 iterations), mirroring the paper's
     // fault-every-2k-of-10k cadence.
     let faults: Vec<FaultEvent> = (1..=2)
-        .map(|i| FaultEvent { iteration: i * 90 + 3, node: 0 })
+        .map(|i| FaultEvent {
+            iteration: i * 90 + 3,
+            node: 0,
+        })
         .collect();
     let variants: Vec<(&str, FaultToleranceConfig)> = vec![
         (
@@ -71,8 +74,14 @@ fn main() {
         ..TrainConfig::tiny_8e()
     };
     let faults = vec![
-        FaultEvent { iteration: 40, node: 0 },
-        FaultEvent { iteration: 120, node: 1 },
+        FaultEvent {
+            iteration: 40,
+            node: 0,
+        },
+        FaultEvent {
+            iteration: 120,
+            node: 1,
+        },
     ];
     for (name, strategy, k) in [
         ("Baseline", SelectionStrategy::Sequential, 8usize),

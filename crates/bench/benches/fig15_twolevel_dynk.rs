@@ -31,7 +31,10 @@ fn main() {
         "{:<14} {:>16} {:>16}",
         "(K_snap,K_per)", "storage-recovery", "two-level"
     );
-    let fault = vec![FaultEvent { iteration: 512, node: 0 }];
+    let fault = vec![FaultEvent {
+        iteration: 512,
+        node: 0,
+    }];
     for k in [1usize, 2, 4, 8, 16] {
         let storage = sim(k, 1, false, fault.clone());
         let two = sim(k, 1, true, fault.clone());

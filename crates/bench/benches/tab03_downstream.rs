@@ -22,14 +22,32 @@ fn main() {
         ..TrainConfig::tiny_16e()
     };
     let faults: Vec<FaultEvent> = (1..=2)
-        .map(|i| FaultEvent { iteration: i * 90, node: 0 })
+        .map(|i| FaultEvent {
+            iteration: i * 90,
+            node: 0,
+        })
         .collect();
     let variants: Vec<(&str, FaultToleranceConfig)> = vec![
-        ("Baseline", FaultToleranceConfig::baseline(&train.model, 5, faults.clone())),
-        ("W", FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::W, false, 5, faults.clone())),
-        ("O", FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::O, false, 5, faults.clone())),
-        ("WO", FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::WO, false, 5, faults.clone())),
-        ("WO-2L", FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::WO, true, 5, faults.clone())),
+        (
+            "Baseline",
+            FaultToleranceConfig::baseline(&train.model, 5, faults.clone()),
+        ),
+        (
+            "W",
+            FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::W, false, 5, faults.clone()),
+        ),
+        (
+            "O",
+            FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::O, false, 5, faults.clone()),
+        ),
+        (
+            "WO",
+            FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::WO, false, 5, faults.clone()),
+        ),
+        (
+            "WO-2L",
+            FaultToleranceConfig::pec(&train.model, 4, 1, PecMode::WO, true, 5, faults.clone()),
+        ),
     ];
     let corpus = MarkovCorpus::new(train.model.vocab_size(), train.topics, train.seed);
     print!("{:<9}", "method");

@@ -91,11 +91,9 @@ impl ComputeModel {
 
         // Four All-to-Alls per MoE layer (dispatch + combine, fwd + bwd),
         // each moving the layer's activation bytes per rank.
-        let a2a_bytes =
-            (work.tokens_per_gpu as usize * model.hidden_size() * 2) as u64; // bf16 activations
-        let all_to_all_sec = 4.0
-            * model.num_moe_layers() as f64
-            * self.comm.all_to_all_secs(a2a_bytes, topo.ep());
+        let a2a_bytes = (work.tokens_per_gpu as usize * model.hidden_size() * 2) as u64; // bf16 activations
+        let all_to_all_sec =
+            4.0 * model.num_moe_layers() as f64 * self.comm.all_to_all_secs(a2a_bytes, topo.ep());
 
         // ZeRO-2 reduce-scatter of non-expert gradients over the DP group.
         let grad_bytes = model.param_counts().non_expert() * 2;
@@ -138,10 +136,7 @@ mod tests {
     fn fb_in_plausible_range() {
         // The paper's Case-1 F&B window is on the order of a second.
         let b = fb(ParallelTopology::case1());
-        assert!(
-            (0.2..5.0).contains(&b.total()),
-            "F&B {b:?} out of range"
-        );
+        assert!((0.2..5.0).contains(&b.total()), "F&B {b:?} out of range");
     }
 
     #[test]
@@ -166,12 +161,18 @@ mod tests {
         let short = m.fb_breakdown(
             &model,
             &topo,
-            &IterationWorkload { seq_len: 512, tokens_per_gpu: 16 * 512 },
+            &IterationWorkload {
+                seq_len: 512,
+                tokens_per_gpu: 16 * 512,
+            },
         );
         let long = m.fb_breakdown(
             &model,
             &topo,
-            &IterationWorkload { seq_len: 4096, tokens_per_gpu: 16 * 4096 },
+            &IterationWorkload {
+                seq_len: 4096,
+                tokens_per_gpu: 16 * 4096,
+            },
         );
         assert!(long.total() > 4.0 * short.total());
     }

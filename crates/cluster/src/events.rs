@@ -224,14 +224,23 @@ mod tests {
 
     #[test]
     fn faster_persist_gives_smaller_interval() {
-        let slow = simulate(&EventSimConfig { persist_sec: 6.0, ..base() });
-        let fast = simulate(&EventSimConfig { persist_sec: 1.0, ..base() });
+        let slow = simulate(&EventSimConfig {
+            persist_sec: 6.0,
+            ..base()
+        });
+        let fast = simulate(&EventSimConfig {
+            persist_sec: 1.0,
+            ..base()
+        });
         assert!(fast.effective_interval_sec < slow.effective_interval_sec);
     }
 
     #[test]
     #[should_panic(expected = "checkpoint interval must be positive")]
     fn zero_interval_rejected() {
-        simulate(&EventSimConfig { i_ckpt: 0, ..base() });
+        simulate(&EventSimConfig {
+            i_ckpt: 0,
+            ..base()
+        });
     }
 }

@@ -128,7 +128,10 @@ mod tests {
     fn snapshot_time_scales_with_bytes() {
         let c = ClusterSpec::a800();
         let t1 = c.snapshot_secs(1_000_000_000);
-        assert!((t1 - 1.005).abs() < 1e-6, "1 GB at 1 GB/s plus latency: {t1}");
+        assert!(
+            (t1 - 1.005).abs() < 1e-6,
+            "1 GB at 1 GB/s plus latency: {t1}"
+        );
     }
 
     #[test]

@@ -44,8 +44,11 @@ pub mod scaling;
 pub mod timeline;
 
 pub use comm::{CommModel, GroupSpan};
-pub use events::{simulate, EventSimConfig, EventSimReport};
 pub use compute::{ComputeModel, FbBreakdown, IterationWorkload};
+pub use events::{simulate, EventSimConfig, EventSimReport};
 pub use hardware::{ClusterSpec, GpuSpec};
-pub use scaling::{scaling_point, sweep_gpus, sweep_model_size, sweep_seq_len, Parallelism, ScalingPoint, SweepConfig};
+pub use scaling::{
+    scaling_point, sweep_gpus, sweep_model_size, sweep_seq_len, Parallelism, ScalingPoint,
+    SweepConfig,
+};
 pub use timeline::{fig12_row, Fig12Row, IterationTimeline, MethodSpec, TimelineModel};

@@ -7,8 +7,8 @@
 //! Each sweep point trains a LLaMA-like MoE model with one expert of every
 //! layer per GPU, weak-scaling the model with the cluster.
 
-use crate::hardware::ClusterSpec;
 use crate::compute::IterationWorkload;
+use crate::hardware::ClusterSpec;
 use crate::timeline::{Fig12Row, MethodSpec, TimelineModel};
 use moc_core::topology::ParallelTopology;
 use moc_moe::presets::{llama_moe, LlamaMoeSize};
@@ -98,8 +98,8 @@ impl SweepConfig {
 pub fn scaling_point(config: &SweepConfig, gpus: usize) -> ScalingPoint {
     let tp = config.parallelism.tp();
     let gpn = config.cluster.gpus_per_node;
-    assert!(gpus % gpn == 0, "gpus must fill whole nodes");
-    assert!(gpus % tp == 0, "gpus must divide by tp");
+    assert!(gpus.is_multiple_of(gpn), "gpus must fill whole nodes");
+    assert!(gpus.is_multiple_of(tp), "gpus must divide by tp");
     let nodes = gpus / gpn;
     let dp = gpus / tp;
     // One expert per GPU per layer in the DP+EP sweep; the TP variant
@@ -161,11 +161,7 @@ pub fn sweep_gpus(config: &SweepConfig, gpu_counts: &[usize]) -> Vec<ScalingPoin
 }
 
 /// Sweeps sequence lengths at a fixed GPU count (Fig. 13(d)).
-pub fn sweep_seq_len(
-    base: &SweepConfig,
-    gpus: usize,
-    seq_lens: &[usize],
-) -> Vec<ScalingPoint> {
+pub fn sweep_seq_len(base: &SweepConfig, gpus: usize, seq_lens: &[usize]) -> Vec<ScalingPoint> {
     seq_lens
         .iter()
         .map(|&s| {
@@ -182,10 +178,14 @@ pub fn sweep_seq_len(
 
 /// Sweeps model sizes at a fixed GPU count (Fig. 13(e)).
 pub fn sweep_model_size(base: &SweepConfig, gpus: usize) -> Vec<ScalingPoint> {
-    [LlamaMoeSize::Small, LlamaMoeSize::Medium, LlamaMoeSize::Large]
-        .into_iter()
-        .map(|size| scaling_point(&SweepConfig { size, ..*base }, gpus))
-        .collect()
+    [
+        LlamaMoeSize::Small,
+        LlamaMoeSize::Medium,
+        LlamaMoeSize::Large,
+    ]
+    .into_iter()
+    .map(|size| scaling_point(&SweepConfig { size, ..*base }, gpus))
+    .collect()
 }
 
 #[cfg(test)]
@@ -261,7 +261,10 @@ mod tests {
         assert!(points[2].row.moc_async.fb_sec > points[0].row.moc_async.fb_sec);
         let s0 = points[0].row.moc_async.snapshot_sec;
         let s2 = points[2].row.moc_async.snapshot_sec;
-        assert!((s0 - s2).abs() < 1e-9, "snapshot must not depend on seq len");
+        assert!(
+            (s0 - s2).abs() < 1e-9,
+            "snapshot must not depend on seq len"
+        );
     }
 
     #[test]

@@ -152,8 +152,7 @@ impl TimelineModel {
             None => self.planner.plan_full(strategy),
             Some(k) => {
                 let model = self.planner.model();
-                let pec =
-                    PecConfig::sequential(k, model.num_experts(), model.num_moe_layers());
+                let pec = PecConfig::sequential(k, model.num_experts(), model.num_moe_layers());
                 // Checkpoint index 0 is representative; sequential selection
                 // keeps per-rank counts within ±1 across the rotation.
                 self.planner.plan_pec(strategy, &pec, 0)

@@ -52,7 +52,10 @@ impl DynamicK {
     /// Panics if `initial_k` is zero or exceeds `num_experts`, or the
     /// budget is not positive.
     pub fn new(initial_k: usize, num_experts: usize, budget: f64) -> Self {
-        assert!(initial_k >= 1 && initial_k <= num_experts, "invalid initial k");
+        assert!(
+            initial_k >= 1 && initial_k <= num_experts,
+            "invalid initial k"
+        );
         assert!(budget > 0.0, "budget must be positive");
         Self {
             k: initial_k,

@@ -47,10 +47,7 @@ impl Manifest {
 
     /// Records a persisted shard.
     pub fn record(&mut self, module: &str, part: StatePart, version: u64) {
-        let v = self
-            .slots
-            .entry((module.to_string(), part))
-            .or_default();
+        let v = self.slots.entry((module.to_string(), part)).or_default();
         match v.binary_search(&version) {
             Ok(_) => {}
             Err(pos) => v.insert(pos, version),
@@ -126,7 +123,11 @@ impl Manifest {
     pub fn prunable(&self, keep_from: u64) -> Vec<(String, StatePart, u64)> {
         let mut out = Vec::new();
         for ((module, part), versions) in &self.slots {
-            if let Some(anchor) = versions.iter().copied().take_while(|&v| v <= keep_from).last()
+            if let Some(anchor) = versions
+                .iter()
+                .copied()
+                .take_while(|&v| v <= keep_from)
+                .last()
             {
                 for &v in versions.iter().take_while(|&&v| v < anchor) {
                     out.push((module.clone(), *part, v));

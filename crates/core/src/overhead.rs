@@ -141,8 +141,7 @@ pub struct AdaptivePecChoice {
 /// clamped to `K_snapshot`.
 pub fn choose_adaptive_pec(inputs: &AdaptivePecInputs, k_persist: usize) -> AdaptivePecChoice {
     assert!(inputs.num_experts >= 1, "need experts");
-    let snap_time =
-        |k: usize| inputs.snapshot_sec_base + k as f64 * inputs.snapshot_sec_per_k;
+    let snap_time = |k: usize| inputs.snapshot_sec_base + k as f64 * inputs.snapshot_sec_per_k;
     let mut k_snapshot = 1;
     for k in (1..=inputs.num_experts).rev() {
         if snap_time(k) <= inputs.t_fb_sec {
@@ -153,8 +152,7 @@ pub fn choose_adaptive_pec(inputs: &AdaptivePecInputs, k_persist: usize) -> Adap
     // Even K=1 may stall; it is still the minimal-stall choice.
     let t_snapshot_sec = snap_time(k_snapshot);
     let k_persist = k_persist.clamp(1, k_snapshot);
-    let min_interval_sec =
-        inputs.persist_sec_base + k_persist as f64 * inputs.persist_sec_per_k;
+    let min_interval_sec = inputs.persist_sec_base + k_persist as f64 * inputs.persist_sec_per_k;
     AdaptivePecChoice {
         k_snapshot,
         k_persist,

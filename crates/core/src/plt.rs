@@ -307,14 +307,20 @@ mod tests {
 
     #[test]
     fn full_checkpointing_loses_nothing() {
-        let faults = vec![FaultEvent { iteration: 64, node: 0 }];
+        let faults = vec![FaultEvent {
+            iteration: 64,
+            node: 0,
+        }];
         let report = sim(8, 8, 128, faults).run();
         assert_eq!(report.plt, 0.0);
     }
 
     #[test]
     fn pec_loses_tokens_on_fault() {
-        let faults = vec![FaultEvent { iteration: 64, node: 0 }];
+        let faults = vec![FaultEvent {
+            iteration: 64,
+            node: 0,
+        }];
         let report = sim(1, 8, 128, faults).run();
         assert!(report.plt > 0.0);
         assert_eq!(report.per_fault.len(), 1);
@@ -323,7 +329,10 @@ mod tests {
     #[test]
     fn smaller_k_and_larger_interval_increase_plt() {
         // The Fig. 5(a) monotonicity: PLT grows as K shrinks or I_ckpt grows.
-        let fault = vec![FaultEvent { iteration: 512, node: 0 }];
+        let fault = vec![FaultEvent {
+            iteration: 512,
+            node: 0,
+        }];
         let p_k1 = sim(1, 16, 1024, fault.clone()).run().plt;
         let p_k2 = sim(2, 16, 1024, fault.clone()).run().plt;
         let p_k4 = sim(4, 16, 1024, fault.clone()).run().plt;
@@ -339,7 +348,10 @@ mod tests {
         // checkpoint: the simulation should land near the closed form.
         for (k, i_ckpt) in [(1, 16u64), (2, 16), (4, 8)] {
             let total = 1024;
-            let faults = vec![FaultEvent { iteration: 512, node: 0 }];
+            let faults = vec![FaultEvent {
+                iteration: 512,
+                node: 0,
+            }];
             let measured = sim(k, i_ckpt, total, faults).run().plt;
             let expected = analytic_plt(k, 8, i_ckpt, total, 1);
             let tol = expected * 0.35 + 1e-4;
@@ -354,7 +366,10 @@ mod tests {
     fn two_level_recovery_reduces_plt() {
         // K_snapshot = 4, K_persist = 1 (the Fig. 15(a) setting): memory
         // recovery on healthy nodes must beat storage-only recovery.
-        let faults = vec![FaultEvent { iteration: 512, node: 0 }];
+        let faults = vec![FaultEvent {
+            iteration: 512,
+            node: 0,
+        }];
         let base = PltSimulation {
             load: LoadModel::new(2, 16, 800, 1, LoadProfile::Balanced, 0),
             snapshot_pec: PecConfig::sequential(4, 16, 2),
@@ -394,16 +409,30 @@ mod tests {
 
     #[test]
     fn plt_accumulates_over_faults() {
-        let one = sim(1, 16, 1024, vec![FaultEvent { iteration: 256, node: 0 }])
-            .run()
-            .plt;
+        let one = sim(
+            1,
+            16,
+            1024,
+            vec![FaultEvent {
+                iteration: 256,
+                node: 0,
+            }],
+        )
+        .run()
+        .plt;
         let two = sim(
             1,
             16,
             1024,
             vec![
-                FaultEvent { iteration: 256, node: 0 },
-                FaultEvent { iteration: 768, node: 0 },
+                FaultEvent {
+                    iteration: 256,
+                    node: 0,
+                },
+                FaultEvent {
+                    iteration: 768,
+                    node: 0,
+                },
             ],
         )
         .run()

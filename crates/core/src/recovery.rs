@@ -197,10 +197,12 @@ pub fn fetch_action(
             }),
         RecoverySource::Storage => {
             let key = moc_store::ShardKey::new(&action.module, action.part, action.version);
-            store.get(&key)?.ok_or_else(|| RecoveryError::Unrecoverable {
-                module: action.module.clone(),
-                part: action.part,
-            })
+            store
+                .get(&key)?
+                .ok_or_else(|| RecoveryError::Unrecoverable {
+                    module: action.module.clone(),
+                    part: action.part,
+                })
         }
     }
 }
@@ -217,7 +219,10 @@ mod tests {
         // Storage has everything at version 10; node 1 memory has e1 at 20.
         for m in ["ne", "e0", "e1"] {
             store
-                .put(&ShardKey::new(m, StatePart::Weights, 10), Bytes::from_static(b"old"))
+                .put(
+                    &ShardKey::new(m, StatePart::Weights, 10),
+                    Bytes::from_static(b"old"),
+                )
                 .unwrap();
         }
         memory.node(NodeId(0)).put(
@@ -261,8 +266,7 @@ mod tests {
     #[test]
     fn storage_only_ignores_memory() {
         let (memory, store) = setup();
-        let plan =
-            plan_recovery(&slots(), &memory, &store, &[true, true], 25, false).unwrap();
+        let plan = plan_recovery(&slots(), &memory, &store, &[true, true], 25, false).unwrap();
         assert!(plan
             .actions
             .iter()

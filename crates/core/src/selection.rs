@@ -48,7 +48,12 @@ impl PecConfig {
     ///
     /// Panics if `k == 0` or `k > num_experts`.
     pub fn sequential(k: usize, num_experts: usize, num_moe_layers: usize) -> Self {
-        Self::new(k, num_experts, num_moe_layers, SelectionStrategy::Sequential)
+        Self::new(
+            k,
+            num_experts,
+            num_moe_layers,
+            SelectionStrategy::Sequential,
+        )
     }
 
     /// Creates a load-aware PEC configuration.
@@ -78,10 +83,7 @@ impl PecConfig {
         strategy: SelectionStrategy,
     ) -> Self {
         assert!(k >= 1, "k must be at least 1");
-        assert!(
-            k <= num_experts,
-            "k {k} exceeds expert count {num_experts}"
-        );
+        assert!(k <= num_experts, "k {k} exceeds expert count {num_experts}");
         Self {
             k,
             num_experts,
@@ -188,12 +190,12 @@ impl PecConfig {
     /// divide evenly over the EP ranks / expert replicas).
     pub fn is_imbalanced(&self, ep_degree: usize, dp_degree: usize) -> bool {
         let kn = self.k * self.num_moe_layers;
-        if kn % ep_degree != 0 {
+        if !kn.is_multiple_of(ep_degree) {
             return true;
         }
         let per_rank = kn / ep_degree;
         let replicas = dp_degree / ep_degree;
-        replicas > 0 && per_rank % replicas != 0
+        replicas > 0 && !per_rank.is_multiple_of(replicas)
     }
 }
 
@@ -260,8 +262,16 @@ mod tests {
         tracker.record(1, &[1, 2, 3, 400]);
         let pec = PecConfig::load_aware(2, 4, 2);
         let sel = pec.select_with_tracker(0, &tracker);
-        let layer0: Vec<usize> = sel.iter().filter(|e| e.layer == 0).map(|e| e.expert).collect();
-        let layer1: Vec<usize> = sel.iter().filter(|e| e.layer == 1).map(|e| e.expert).collect();
+        let layer0: Vec<usize> = sel
+            .iter()
+            .filter(|e| e.layer == 0)
+            .map(|e| e.expert)
+            .collect();
+        let layer1: Vec<usize> = sel
+            .iter()
+            .filter(|e| e.layer == 1)
+            .map(|e| e.expert)
+            .collect();
         assert_eq!(layer0, vec![0, 2]);
         assert_eq!(layer1, vec![3, 2]);
     }

@@ -180,7 +180,7 @@ impl ShardingPlanner {
     /// Returns [`PlanError::ExpertsNotDivisible`] if the model's experts
     /// cannot be placed evenly on the topology's EP ranks.
     pub fn new(model: MoeModelConfig, topo: ParallelTopology) -> Result<Self, PlanError> {
-        if model.num_moe_layers() > 0 && model.num_experts() % topo.ep() != 0 {
+        if model.num_moe_layers() > 0 && !model.num_experts().is_multiple_of(topo.ep()) {
             return Err(PlanError::ExpertsNotDivisible {
                 num_experts: model.num_experts(),
                 ep: topo.ep(),
@@ -395,10 +395,7 @@ mod tests {
                 let expected = p.model().full_checkpoint_bytes();
                 let total = w.total_bytes();
                 // Integer division of shards may shave a few bytes.
-                assert!(
-                    expected - total < 4096,
-                    "{strategy}: {total} vs {expected}"
-                );
+                assert!(expected - total < 4096, "{strategy}: {total} vs {expected}");
             }
         }
     }
@@ -438,7 +435,12 @@ mod tests {
         let base = p.plan_full(ShardingStrategy::Baseline);
         let ee = p.plan_full(ShardingStrategy::EqualExpert);
         assert!(ee.bottleneck().1 < base.bottleneck().1);
-        let base_ew: u64 = base.per_rank.iter().map(|r| r.expert_weights).max().unwrap();
+        let base_ew: u64 = base
+            .per_rank
+            .iter()
+            .map(|r| r.expert_weights)
+            .max()
+            .unwrap();
         let ee_ew: u64 = ee.per_rank.iter().map(|r| r.expert_weights).max().unwrap();
         assert!((ee_ew as f64 / base_ew as f64 - 0.5).abs() < 0.01);
     }
@@ -497,8 +499,7 @@ mod tests {
         // expert's optimizer.
         let p = planner(ParallelTopology::case3());
         let w = p.plan_full(ShardingStrategy::Baseline);
-        let per_expert_opt =
-            p.model().param_counts().per_expert * p.model().bytes().optimizer;
+        let per_expert_opt = p.model().param_counts().per_expert * p.model().bytes().optimizer;
         // Rank 1 hosts experts 2..3 of each of 12 layers (24 experts),
         // optimizer halved.
         let expected = 24 * per_expert_opt / 2;

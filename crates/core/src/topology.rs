@@ -86,7 +86,7 @@ impl ParallelTopology {
                 return Err(TopologyError::ZeroField(name));
             }
         }
-        if dp % ep != 0 {
+        if !dp.is_multiple_of(ep) {
             return Err(TopologyError::EpDoesNotDivideDp { ep, dp });
         }
         let world = dp * tp * pp;
@@ -208,7 +208,7 @@ impl ParallelTopology {
     /// Panics if `ep` does not divide `num_experts`.
     pub fn experts_per_gpu(&self, num_experts: usize) -> usize {
         assert!(
-            num_experts % self.ep == 0,
+            num_experts.is_multiple_of(self.ep),
             "expert count {num_experts} must divide evenly over ep {}",
             self.ep
         );

@@ -83,18 +83,16 @@ pub struct NodeAgent {
 
 impl std::fmt::Debug for NodeAgent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NodeAgent").field("node", &self.node).finish()
+        f.debug_struct("NodeAgent")
+            .field("node", &self.node)
+            .finish()
     }
 }
 
 impl NodeAgent {
     /// Spawns the agent's workers for `node`, snapshotting into `memory`
     /// and persisting into `store`.
-    pub fn spawn(
-        node: NodeId,
-        memory: Arc<NodeMemoryStore>,
-        store: Arc<dyn ObjectStore>,
-    ) -> Self {
+    pub fn spawn(node: NodeId, memory: Arc<NodeMemoryStore>, store: Arc<dyn ObjectStore>) -> Self {
         let inner = Arc::new(Inner {
             buffers: Mutex::new(TripleBuffer::new()),
             progress: Mutex::new(AgentProgress::default()),
@@ -224,8 +222,7 @@ fn snapshot_loop(
             memory.put(&shard.key, shard.payload.clone());
             bytes += shard.payload.len() as u64;
         }
-        let persist_shards: Vec<ShardJob> =
-            job.shards.into_iter().filter(|s| s.persist).collect();
+        let persist_shards: Vec<ShardJob> = job.shards.into_iter().filter(|s| s.persist).collect();
 
         {
             let mut buffers = inner.buffers.lock();
@@ -240,8 +237,7 @@ fn snapshot_loop(
             // Either starts persisting immediately or queues in Ready;
             // the single persist worker drains versions in order, so its
             // buffer is guaranteed Persisting by the time it is handled.
-            let _outcome: SnapshotOutcome =
-                buffers.finish_snapshot(id).expect("valid transition");
+            let _outcome: SnapshotOutcome = buffers.finish_snapshot(id).expect("valid transition");
         }
         {
             let mut p = inner.progress.lock();
@@ -277,8 +273,7 @@ fn persist_loop(
                 .map(crate::twolevel::buffers::BufferId)
                 .find(|&b| {
                     buffers.version(b) == version
-                        && buffers.state(b)
-                            == crate::twolevel::buffers::BufferState::Persisting
+                        && buffers.state(b) == crate::twolevel::buffers::BufferState::Persisting
                 })
                 .expect("persisting buffer for drained version");
             buffers.finish_persist(id).expect("valid transition");
@@ -351,9 +346,7 @@ mod tests {
         assert_eq!(memory.version("m0", StatePart::Weights), Some(30));
         // Storage keeps all versions.
         assert_eq!(
-            store
-                .latest_version("m0", StatePart::Weights, 25)
-                .unwrap(),
+            store.latest_version("m0", StatePart::Weights, 25).unwrap(),
             Some(20)
         );
         assert_eq!(agent.recovery_version(), Some(30));
@@ -376,7 +369,9 @@ mod tests {
         assert_eq!(stats.persists_done, 20);
         // Latest version of every module persisted.
         assert_eq!(
-            store.latest_version("m0", StatePart::Weights, u64::MAX).unwrap(),
+            store
+                .latest_version("m0", StatePart::Weights, u64::MAX)
+                .unwrap(),
             Some(20)
         );
     }

@@ -68,7 +68,10 @@ impl fmt::Display for BufferError {
                 buffer,
                 actual,
                 required,
-            } => write!(f, "buffer {buffer} is {actual:?}, transition requires {required:?}"),
+            } => write!(
+                f,
+                "buffer {buffer} is {actual:?}, transition requires {required:?}"
+            ),
         }
     }
 }
@@ -138,7 +141,7 @@ impl TripleBuffer {
 
     /// Whether a snapshot could start right now without stalling.
     pub fn can_begin_snapshot(&self) -> bool {
-        self.states.iter().any(|&s| s == BufferState::Free)
+        self.states.contains(&BufferState::Free)
     }
 
     /// Claims a `Free` buffer for an incoming snapshot of `version`.
@@ -297,7 +300,7 @@ mod tests {
         tb.finish_snapshot(b2).unwrap(); // ready
         let b3 = tb.begin_snapshot(3).unwrap();
         tb.finish_snapshot(b3).unwrap(); // ready
-        // Persist finishes: the OLDEST ready buffer (b2) goes next.
+                                         // Persist finishes: the OLDEST ready buffer (b2) goes next.
         let next = tb.finish_persist(b1).unwrap();
         assert_eq!(next, Some(b2));
         let next = tb.finish_persist(b2).unwrap();

@@ -9,9 +9,7 @@
 
 use crate::recovery::{plan_recovery, RecoveryError, RecoveryPlan};
 use crate::selection::PecConfig;
-use crate::sharding::{
-    base_module, PlanError, ShardingPlanner, ShardingStrategy,
-};
+use crate::sharding::{base_module, PlanError, ShardingPlanner, ShardingStrategy};
 use crate::topology::ParallelTopology;
 use crate::twolevel::agent::{CheckpointJob, NodeAgent, ShardJob};
 use bytes::Bytes;
@@ -44,7 +42,9 @@ impl SyntheticState {
 
     /// Payloads shrunk by `scale`.
     pub fn scaled(scale: u64) -> Self {
-        Self { scale: scale.max(1) }
+        Self {
+            scale: scale.max(1),
+        }
     }
 }
 
@@ -204,12 +204,7 @@ impl CheckpointEngine {
                 };
                 jobs.push(ShardJob {
                     key: ShardKey::new(item.module.clone(), item.part, iteration),
-                    payload: source.shard_payload(
-                        &item.module,
-                        item.part,
-                        item.bytes,
-                        iteration,
-                    ),
+                    payload: source.shard_payload(&item.module, item.part, item.bytes, iteration),
                     persist,
                 });
             }
@@ -323,13 +318,10 @@ mod tests {
         assert_eq!(report.node_bytes.len(), 2);
         assert!(report.node_bytes.iter().all(|&b| b > 0));
         // Memory on both nodes holds snapshots.
-        assert!(e.memory().node(NodeId(0)).len() > 0);
-        assert!(e.memory().node(NodeId(1)).len() > 0);
+        assert!(!e.memory().node(NodeId(0)).is_empty());
+        assert!(!e.memory().node(NodeId(1)).is_empty());
         // Full persist: store holds every slot.
-        assert_eq!(
-            e.store().keys().unwrap().len(),
-            e.slot_inventory().len()
-        );
+        assert_eq!(e.store().keys().unwrap().len(), e.slot_inventory().len());
     }
 
     #[test]
@@ -418,7 +410,7 @@ mod tests {
         // Node 0 memory is empty but healthy: next checkpoints repopulate.
         e.checkpoint(20, &SyntheticState::full());
         e.wait_idle();
-        assert!(e.memory().node(NodeId(0)).len() > 0);
+        assert!(!e.memory().node(NodeId(0)).is_empty());
     }
 
     #[test]

@@ -11,6 +11,4 @@ pub mod engine;
 
 pub use agent::{AgentStats, CheckpointJob, NodeAgent, ShardJob};
 pub use buffers::{BufferError, BufferId, BufferState, SnapshotOutcome, TripleBuffer};
-pub use engine::{
-    CheckpointEngine, CheckpointReport, EngineConfig, StateSource, SyntheticState,
-};
+pub use engine::{CheckpointEngine, CheckpointReport, EngineConfig, StateSource, SyntheticState};

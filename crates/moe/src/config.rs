@@ -407,7 +407,7 @@ impl MoeModelConfigBuilder {
         if self.ffn_mult == 0 {
             return Err(ConfigError::ZeroField("ffn_mult"));
         }
-        if self.hidden_size % self.num_heads != 0 {
+        if !self.hidden_size.is_multiple_of(self.num_heads) {
             return Err(ConfigError::HeadsDoNotDivideHidden {
                 hidden: self.hidden_size,
                 heads: self.num_heads,
@@ -500,10 +500,7 @@ mod tests {
 
     #[test]
     fn top_k_exceeding_experts_rejected() {
-        let err = MoeModelConfig::builder("t")
-            .num_experts(4)
-            .top_k(5)
-            .build();
+        let err = MoeModelConfig::builder("t").num_experts(4).top_k(5).build();
         assert_eq!(
             err,
             Err(ConfigError::TopKTooLarge {

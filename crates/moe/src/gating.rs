@@ -37,7 +37,11 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
 ///
 /// Panics if `k == 0` or `k > logits.len()`.
 pub fn top_k_gate(logits: &[f64], k: usize) -> Vec<(usize, f64)> {
-    assert!(k >= 1 && k <= logits.len(), "invalid k {k} for {} experts", logits.len());
+    assert!(
+        k >= 1 && k <= logits.len(),
+        "invalid k {k} for {} experts",
+        logits.len()
+    );
     let probs = softmax(logits);
     let mut order: Vec<usize> = (0..probs.len()).collect();
     order.sort_by(|&a, &b| {
@@ -50,7 +54,16 @@ pub fn top_k_gate(logits: &[f64], k: usize) -> Vec<(usize, f64)> {
     let norm: f64 = chosen.iter().map(|&i| probs[i]).sum();
     chosen
         .iter()
-        .map(|&i| (i, if norm > 0.0 { probs[i] / norm } else { 1.0 / k as f64 }))
+        .map(|&i| {
+            (
+                i,
+                if norm > 0.0 {
+                    probs[i] / norm
+                } else {
+                    1.0 / k as f64
+                },
+            )
+        })
         .collect()
 }
 
@@ -71,8 +84,8 @@ pub struct GatingConfig {
 impl GatingConfig {
     /// Per-expert token capacity for a batch of `tokens` tokens.
     pub fn capacity(&self, tokens: usize) -> usize {
-        let ideal = self.capacity_factor * self.top_k as f64 * tokens as f64
-            / self.num_experts as f64;
+        let ideal =
+            self.capacity_factor * self.top_k as f64 * tokens as f64 / self.num_experts as f64;
         ideal.ceil() as usize
     }
 }
@@ -277,7 +290,9 @@ mod tests {
             noise_std: 0.5,
             capacity_factor: 1.0,
         };
-        let logits: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64 % 3.0, 1.0, 0.5, 2.0]).collect();
+        let logits: Vec<Vec<f64>> = (0..32)
+            .map(|i| vec![i as f64 % 3.0, 1.0, 0.5, 2.0])
+            .collect();
         let out = Dispatcher::new(cfg, 7).dispatch(&logits);
         assert_eq!(out.total_accepted() + out.total_dropped(), 32 * 2);
     }

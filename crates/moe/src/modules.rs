@@ -125,7 +125,11 @@ impl MoeModelConfig {
             });
         };
 
-        push("embedding".to_string(), ModuleKind::Embedding, counts.embedding);
+        push(
+            "embedding".to_string(),
+            ModuleKind::Embedding,
+            counts.embedding,
+        );
 
         let attn_params = 4 * h * h + 4 * h;
         let ffn_params = counts.per_expert;
@@ -185,7 +189,11 @@ mod tests {
 
     #[test]
     fn module_bytes_sum_to_full_checkpoint() {
-        for cfg in [presets::gpt_125m_8e(), presets::gpt_350m_16e(), presets::swinv2_moe()] {
+        for cfg in [
+            presets::gpt_125m_8e(),
+            presets::gpt_350m_16e(),
+            presets::swinv2_moe(),
+        ] {
             let total: u64 = cfg.modules().iter().map(|m| m.total_bytes()).sum();
             assert_eq!(total, cfg.full_checkpoint_bytes(), "model {}", cfg.name());
         }

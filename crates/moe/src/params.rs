@@ -206,8 +206,7 @@ impl MoeModelConfig {
     /// layer (used by the compute model to size F&B FLOPs).
     pub fn active_params_per_token(&self) -> u64 {
         let counts = self.param_counts();
-        counts.non_expert()
-            + self.num_moe_layers() as u64 * self.top_k() as u64 * counts.per_expert
+        counts.non_expert() + self.num_moe_layers() as u64 * self.top_k() as u64 * counts.per_expert
     }
 }
 
@@ -273,8 +272,7 @@ mod tests {
     #[test]
     fn pec_halving_k_removes_half_the_expert_bytes() {
         let cfg = presets::gpt_350m_16e();
-        let expert_bytes =
-            cfg.param_counts().expert() * cfg.bytes().total();
+        let expert_bytes = cfg.param_counts().expert() * cfg.bytes().total();
         let full = cfg.full_checkpoint_bytes();
         let half = cfg.pec_checkpoint_bytes(cfg.num_experts() / 2);
         assert_eq!(full - half, expert_bytes / 2);

@@ -87,24 +87,21 @@ impl LlamaMoeSize {
 /// MoE with `num_experts` experts (one per GPU in the DP+EP sweeps).
 pub fn llama_moe(size: LlamaMoeSize, num_experts: usize, seq_len: usize) -> MoeModelConfig {
     let hidden = size.hidden_size();
-    MoeModelConfig::builder(format!(
-        "LLaMA-MoE-{}x{num_experts}E",
-        hidden
-    ))
-    .num_layers(24)
-    .hidden_size(hidden)
-    // Head count chosen so head_dim = 128 as in the paper's simulations.
-    .num_heads(hidden / 128)
-    .vocab_size(32_000)
-    // The context capacity (position-embedding rows) is an architecture
-    // constant; training on shorter sequences must not change the
-    // checkpoint volume (Fig. 13(d)).
-    .max_seq_len(seq_len.max(1).max(4096))
-    .moe_every(1)
-    .num_experts(num_experts)
-    .top_k(2)
-    .build()
-    .expect("preset is valid")
+    MoeModelConfig::builder(format!("LLaMA-MoE-{}x{num_experts}E", hidden))
+        .num_layers(24)
+        .hidden_size(hidden)
+        // Head count chosen so head_dim = 128 as in the paper's simulations.
+        .num_heads(hidden / 128)
+        .vocab_size(32_000)
+        // The context capacity (position-embedding rows) is an architecture
+        // constant; training on shorter sequences must not change the
+        // checkpoint volume (Fig. 13(d)).
+        .max_seq_len(seq_len.max(1).max(4096))
+        .moe_every(1)
+        .num_experts(num_experts)
+        .top_k(2)
+        .build()
+        .expect("preset is valid")
 }
 
 /// Tiny 8-expert LM used by the real-training lab (`moc-train`) to stand in
@@ -181,7 +178,11 @@ mod tests {
 
     #[test]
     fn llama_moe_head_dim_is_128() {
-        for size in [LlamaMoeSize::Small, LlamaMoeSize::Medium, LlamaMoeSize::Large] {
+        for size in [
+            LlamaMoeSize::Small,
+            LlamaMoeSize::Medium,
+            LlamaMoeSize::Large,
+        ] {
             let cfg = llama_moe(size, 64, 2048);
             assert_eq!(cfg.head_dim(), 128);
             assert_eq!(cfg.num_moe_layers(), 24);

@@ -96,9 +96,7 @@ impl LoadModel {
             LoadProfile::Balanced => {
                 let base = total / n as u64;
                 let rem = (total % n as u64) as usize;
-                (0..n)
-                    .map(|i| base + if i < rem { 1 } else { 0 })
-                    .collect()
+                (0..n).map(|i| base + if i < rem { 1 } else { 0 }).collect()
             }
             LoadProfile::Zipf { exponent } => {
                 let rot = (iteration as usize + layer) % n;

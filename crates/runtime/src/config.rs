@@ -1,0 +1,335 @@
+//! Runtime configuration.
+//!
+//! A [`RuntimeConfig`] fully determines a live run: the model and virtual
+//! cluster, the training workload, the two-level checkpointing policy
+//! (including whether persists run synchronously inside the iteration or
+//! asynchronously through the node agents), and the fault schedule. All
+//! randomness derives from `seed`, so two runs with the same configuration
+//! produce bitwise-identical parameters.
+
+use moc_core::topology::ParallelTopology;
+use moc_moe::MoeModelConfig;
+use moc_store::FaultPlan;
+use moc_train::{AdamConfig, PecMode};
+use std::fmt;
+use std::time::Duration;
+
+/// How checkpoints reach the persistent store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// The paper's baseline: training blocks while shards are written to
+    /// CPU memory *and* persistent storage inside the iteration.
+    Sync,
+    /// MoC's two-level path: shards are handed to the per-node agents,
+    /// which copy to CPU memory and persist in the background while
+    /// training continues (Fig. 8–9).
+    Async,
+}
+
+/// Error from [`RuntimeConfig::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The topology uses TP or PP, which the live runtime does not model.
+    UnsupportedParallelism,
+    /// The global batch does not divide evenly over the DP ranks.
+    BatchNotDivisible {
+        /// Configured global batch.
+        batch: usize,
+        /// Data-parallel degree.
+        dp: usize,
+    },
+    /// The expert count does not spread evenly over the EP degree.
+    ExpertsNotDivisible {
+        /// Experts per MoE layer.
+        experts: usize,
+        /// Expert-parallel degree.
+        ep: usize,
+    },
+    /// A PEC degree is zero or exceeds the expert count.
+    BadPecDegree {
+        /// Offending value.
+        k: usize,
+        /// Expert count.
+        experts: usize,
+    },
+    /// `K_persist` exceeds `K_snapshot`: only snapshotted shards can be
+    /// persisted, so the persist level must be a subset.
+    PersistExceedsSnapshot {
+        /// Configured persist degree.
+        k_persist: usize,
+        /// Configured snapshot degree.
+        k_snapshot: usize,
+    },
+    /// The checkpoint interval is zero.
+    ZeroCheckpointInterval,
+    /// The corpus topic count does not divide the vocabulary.
+    TopicsDontDivideVocab {
+        /// Topic count.
+        topics: usize,
+        /// Vocabulary size.
+        vocab: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnsupportedParallelism => {
+                write!(f, "live runtime requires tp = pp = 1")
+            }
+            ConfigError::BatchNotDivisible { batch, dp } => {
+                write!(f, "global batch {batch} must divide over dp {dp}")
+            }
+            ConfigError::ExpertsNotDivisible { experts, ep } => {
+                write!(f, "experts {experts} must divide over ep {ep}")
+            }
+            ConfigError::BadPecDegree { k, experts } => {
+                write!(f, "pec degree {k} invalid for {experts} experts")
+            }
+            ConfigError::PersistExceedsSnapshot {
+                k_persist,
+                k_snapshot,
+            } => {
+                write!(
+                    f,
+                    "k_persist {k_persist} must not exceed k_snapshot {k_snapshot}"
+                )
+            }
+            ConfigError::ZeroCheckpointInterval => write!(f, "i_ckpt must be positive"),
+            ConfigError::TopicsDontDivideVocab { topics, vocab } => {
+                write!(f, "topics {topics} must divide vocab {vocab}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Full description of a live training run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Model architecture (one full replica per DP rank).
+    pub model: MoeModelConfig,
+    /// Virtual cluster layout (one OS thread per DP rank).
+    pub topology: ParallelTopology,
+    /// Training horizon in iterations.
+    pub total_iterations: u64,
+    /// Checkpoint every `i_ckpt` iterations.
+    pub i_ckpt: u64,
+    /// Experts snapshotted per layer per checkpoint (`K_snapshot`).
+    pub k_snapshot: usize,
+    /// Experts persisted per layer per checkpoint (`K_persist`).
+    pub k_persist: usize,
+    /// Which state parts PEC governs (W / O / WO / NONE).
+    pub pec_mode: PecMode,
+    /// Whether recovery may read healthy nodes' CPU-memory snapshots.
+    pub two_level: bool,
+    /// Synchronous baseline or asynchronous two-level checkpointing.
+    pub checkpoint_mode: CheckpointMode,
+    /// Fault schedule driving the injector.
+    pub faults: FaultPlan,
+    /// Dynamic-K cumulative PLT budget (`None` = fixed K).
+    pub dynamic_k_budget: Option<f64>,
+    /// Global batch (sequences per iteration, split over DP ranks).
+    pub batch: usize,
+    /// Tokens per sequence.
+    pub seq_len: usize,
+    /// Topic count of the synthetic corpus.
+    pub topics: usize,
+    /// Optimizer settings.
+    pub adam: AdamConfig,
+    /// Master seed (model init, corpus, gate noise).
+    pub seed: u64,
+    /// Evaluate validation loss every this many iterations (0 = only at end).
+    pub eval_every: u64,
+    /// How long the coordinator waits for a rank's iteration result before
+    /// declaring its node failed. Must exceed the worst-case iteration
+    /// compute time.
+    pub heartbeat_timeout: Duration,
+}
+
+impl RuntimeConfig {
+    /// A small deterministic default: the tiny 8-expert LM, one sequence
+    /// per rank, PEC `K_snapshot = 2`, `K_persist = 1`, async two-level
+    /// checkpointing, no faults.
+    pub fn tiny(topology: ParallelTopology) -> Self {
+        let model = moc_moe::presets::tiny_lm_8e();
+        Self {
+            model,
+            topology,
+            total_iterations: 24,
+            i_ckpt: 6,
+            k_snapshot: 2,
+            k_persist: 1,
+            pec_mode: PecMode::WO,
+            two_level: true,
+            checkpoint_mode: CheckpointMode::Async,
+            faults: FaultPlan::None,
+            dynamic_k_budget: None,
+            batch: topology.dp(),
+            seq_len: 32,
+            topics: 8,
+            adam: AdamConfig::default(),
+            seed: 17,
+            eval_every: 8,
+            heartbeat_timeout: Duration::from_secs(2),
+        }
+    }
+
+    /// Full checkpointing baseline over the same workload: PEC disabled,
+    /// synchronous persists, storage-only recovery.
+    pub fn baseline(topology: ParallelTopology) -> Self {
+        let model = moc_moe::presets::tiny_lm_8e();
+        let n = model.num_experts();
+        Self {
+            k_snapshot: n,
+            k_persist: n,
+            pec_mode: PecMode::NONE,
+            two_level: false,
+            checkpoint_mode: CheckpointMode::Sync,
+            ..Self::tiny(topology)
+        }
+    }
+
+    /// Number of rank threads (`dp`, since `tp = pp = 1`).
+    pub fn world_size(&self) -> usize {
+        self.topology.dp()
+    }
+
+    /// Sequences each rank computes per iteration.
+    pub fn batch_per_rank(&self) -> usize {
+        self.batch / self.topology.dp()
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.topology.tp() != 1 || self.topology.pp() != 1 {
+            return Err(ConfigError::UnsupportedParallelism);
+        }
+        let dp = self.topology.dp();
+        if self.batch == 0 || !self.batch.is_multiple_of(dp) {
+            return Err(ConfigError::BatchNotDivisible {
+                batch: self.batch,
+                dp,
+            });
+        }
+        let experts = self.model.num_experts();
+        if !experts.is_multiple_of(self.topology.ep()) {
+            return Err(ConfigError::ExpertsNotDivisible {
+                experts,
+                ep: self.topology.ep(),
+            });
+        }
+        for k in [self.k_snapshot, self.k_persist] {
+            if k == 0 || k > experts {
+                return Err(ConfigError::BadPecDegree { k, experts });
+            }
+        }
+        if self.k_persist > self.k_snapshot {
+            return Err(ConfigError::PersistExceedsSnapshot {
+                k_persist: self.k_persist,
+                k_snapshot: self.k_snapshot,
+            });
+        }
+        if self.i_ckpt == 0 {
+            return Err(ConfigError::ZeroCheckpointInterval);
+        }
+        let vocab = self.model.vocab_size();
+        if self.topics == 0 || !vocab.is_multiple_of(self.topics) {
+            return Err(ConfigError::TopicsDontDivideVocab {
+                topics: self.topics,
+                vocab,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ParallelTopology {
+        ParallelTopology::dp_ep(2, 4, 8, 8).unwrap()
+    }
+
+    #[test]
+    fn tiny_config_is_valid() {
+        let cfg = RuntimeConfig::tiny(topo());
+        cfg.validate().unwrap();
+        assert_eq!(cfg.world_size(), 8);
+        assert_eq!(cfg.batch_per_rank(), 1);
+    }
+
+    #[test]
+    fn baseline_disables_pec() {
+        let cfg = RuntimeConfig::baseline(topo());
+        cfg.validate().unwrap();
+        assert_eq!(cfg.k_snapshot, cfg.model.num_experts());
+        assert_eq!(cfg.checkpoint_mode, CheckpointMode::Sync);
+        assert!(!cfg.two_level);
+    }
+
+    #[test]
+    fn uneven_batch_rejected() {
+        let cfg = RuntimeConfig {
+            batch: 5,
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::BatchNotDivisible { batch: 5, dp: 8 })
+        );
+    }
+
+    #[test]
+    fn zero_interval_rejected() {
+        let cfg = RuntimeConfig {
+            i_ckpt: 0,
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroCheckpointInterval));
+    }
+
+    #[test]
+    fn bad_pec_rejected() {
+        let cfg = RuntimeConfig {
+            k_snapshot: 99,
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadPecDegree { k: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn persist_above_snapshot_rejected() {
+        let cfg = RuntimeConfig {
+            k_snapshot: 2,
+            k_persist: 4,
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::PersistExceedsSnapshot {
+                k_persist: 4,
+                k_snapshot: 2
+            })
+        );
+    }
+
+    #[test]
+    fn tp_pp_rejected() {
+        let cfg = RuntimeConfig {
+            topology: ParallelTopology::new(2, 8, 4, 4, 1, 4).unwrap(),
+            batch: 4,
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::UnsupportedParallelism));
+    }
+}

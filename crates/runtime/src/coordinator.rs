@@ -1,0 +1,926 @@
+//! The coordinator control plane.
+//!
+//! [`Coordinator::run`] drives a live training run: it spawns one OS
+//! thread per DP rank, runs the lock-step gradient exchange (the
+//! collective stand-in over crossbeam channels), orchestrates two-level
+//! checkpoints through the per-node agents, injects node kills from the
+//! fault plan, *detects* failures through missing heartbeat replies, and
+//! executes live recovery — pulling from surviving nodes' CPU-memory
+//! snapshots when possible, falling back to the persistent store —
+//! before rewinding the data stream and resuming.
+//!
+//! Everything observable is deterministic in the configuration seed: the
+//! same config produces bitwise-identical final parameters, which the
+//! coordinator verifies by comparing every rank's parameter checksum.
+
+use crate::config::{CheckpointMode, ConfigError, RuntimeConfig};
+use crate::injector::FaultInjector;
+use crate::metrics::{EventKind, MetricsRegistry, Phase, RunSummary};
+use crate::node::NodeRuntime;
+use crate::rank::{run_rank, RankCommand, RankContext, RankEvent};
+use crate::recovery_exec::{execute_recovery, RecoveryOutcome};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use moc_core::dynamic_k::DynamicK;
+use moc_core::plt::PltAccumulator;
+use moc_core::recovery::RecoveryError;
+use moc_core::selection::PecConfig;
+use moc_core::twolevel::ShardJob;
+use moc_moe::ExpertId;
+use moc_store::{ClusterMemory, NodeId, ObjectStore, StatePart};
+use moc_train::checkpoint::expert_of;
+use moc_train::TinyMoeLm;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Error from a live run.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The configuration is inconsistent.
+    Config(ConfigError),
+    /// Recovery could not restore a module from any surviving source.
+    Recovery(RecoveryError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Config(e) => write!(f, "invalid runtime config: {e}"),
+            RuntimeError::Recovery(e) => write!(f, "live recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Config(e) => Some(e),
+            RuntimeError::Recovery(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for RuntimeError {
+    fn from(e: ConfigError) -> Self {
+        RuntimeError::Config(e)
+    }
+}
+
+impl From<RecoveryError> for RuntimeError {
+    fn from(e: RecoveryError) -> Self {
+        RuntimeError::Recovery(e)
+    }
+}
+
+/// Consecutive no-progress recoveries tolerated before the run fails
+/// loudly (see `Run::recoveries_without_progress`).
+const MAX_RECOVERIES_WITHOUT_PROGRESS: u32 = 3;
+
+/// The live-runtime entry point.
+pub struct Coordinator {
+    config: RuntimeConfig,
+    store: Arc<dyn ObjectStore>,
+}
+
+impl fmt::Debug for Coordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Coordinator")
+            .field("model", &self.config.model.name())
+            .field("topology", &self.config.topology.to_string())
+            .finish()
+    }
+}
+
+impl Coordinator {
+    /// Creates a coordinator persisting checkpoints into `store`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Config`] for inconsistent configurations.
+    pub fn new(config: RuntimeConfig, store: Arc<dyn ObjectStore>) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        Ok(Self { config, store })
+    }
+
+    /// Runs the configured training job to completion and returns the
+    /// measured summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Recovery`] if a fault strikes state that no
+    /// surviving source can restore (impossible after the bootstrap
+    /// checkpoint this method always takes).
+    pub fn run(self) -> Result<RunSummary, RuntimeError> {
+        Run::start(self.config, self.store)?.drive()
+    }
+}
+
+/// One grad reply.
+struct GradResult {
+    grad: Vec<f32>,
+    expert_loads: Vec<Vec<u64>>,
+    compute_secs: f64,
+}
+
+/// In-flight run state.
+struct Run {
+    config: RuntimeConfig,
+    store: Arc<dyn ObjectStore>,
+    memory: ClusterMemory,
+    nodes: Vec<NodeRuntime>,
+    cmd_txs: Vec<Sender<RankCommand>>,
+    handles: Vec<Option<JoinHandle<()>>>,
+    events: Receiver<RankEvent>,
+    events_tx: Sender<RankEvent>,
+    injector: FaultInjector,
+    metrics: MetricsRegistry,
+    /// Snapshot-level PEC selection (rebuilt when Dynamic-K raises K).
+    pec: PecConfig,
+    k_persist: usize,
+    dynamic_k: Option<DynamicK>,
+    ckpt_index: u64,
+    /// Recovery generation: bumped on every recovery so events from
+    /// threads spawned before a rollback can never be mistaken for
+    /// replies to re-executed iterations.
+    epoch: u64,
+    plt: PltAccumulator,
+    cum_routed: Vec<Vec<u64>>,
+    routed_at: HashMap<u64, Vec<Vec<u64>>>,
+    /// Checkpoint iterations currently retained in `routed_at`, oldest
+    /// first (the bootstrap version 0 is kept separately, forever).
+    ckpt_history: Vec<u64>,
+    val_curve: Vec<(u64, f32)>,
+    k_trace: Vec<usize>,
+    module_names: Vec<String>,
+    /// Recoveries triggered since the last completed iteration. Failure
+    /// detection is timeout-based, so a rank that is merely slower than
+    /// `heartbeat_timeout` is indistinguishable from a dead one; if the
+    /// same iteration keeps timing out the run would otherwise livelock
+    /// in rollback. After a few consecutive recoveries with no forward
+    /// progress the run fails loudly instead, pointing at the timeout.
+    recoveries_without_progress: u32,
+}
+
+impl Run {
+    fn start(config: RuntimeConfig, store: Arc<dyn ObjectStore>) -> Result<Self, RuntimeError> {
+        let world = config.world_size();
+        let num_nodes = config.topology.nodes();
+        let memory = ClusterMemory::new(num_nodes);
+        let nodes: Vec<NodeRuntime> = (0..num_nodes)
+            .map(|n| NodeRuntime::spawn(NodeId(n), memory.node_arc(NodeId(n)), store.clone()))
+            .collect();
+        let (events_tx, events) = unbounded();
+
+        let layers = config.model.num_moe_layers();
+        let n_experts = config.model.num_experts();
+        let pec = PecConfig::sequential(config.k_snapshot, n_experts, layers);
+        let dynamic_k = config
+            .dynamic_k_budget
+            .map(|budget| DynamicK::new(config.k_snapshot, n_experts, budget));
+        let module_names = TinyMoeLm::new(config.model.clone(), config.seed)
+            .store()
+            .module_names();
+        let injector = FaultInjector::new(&config.faults, config.total_iterations, num_nodes);
+        let k_persist = config.k_persist;
+        let cum_routed = vec![vec![0u64; n_experts]; layers];
+
+        let mut run = Self {
+            config,
+            store,
+            memory,
+            nodes,
+            cmd_txs: Vec::with_capacity(world),
+            handles: Vec::with_capacity(world),
+            events,
+            events_tx,
+            injector,
+            metrics: MetricsRegistry::new(),
+            pec,
+            k_persist,
+            dynamic_k,
+            ckpt_index: 0,
+            epoch: 0,
+            plt: PltAccumulator::new(layers),
+            cum_routed,
+            routed_at: HashMap::new(),
+            ckpt_history: Vec::new(),
+            val_curve: Vec::new(),
+            k_trace: Vec::new(),
+            module_names,
+            recoveries_without_progress: 0,
+        };
+        for rank in 0..world {
+            let (tx, handle) = run.spawn_rank(rank);
+            run.cmd_txs.push(tx);
+            run.handles.push(Some(handle));
+        }
+        Ok(run)
+    }
+
+    fn spawn_rank(&self, rank: usize) -> (Sender<RankCommand>, JoinHandle<()>) {
+        let (tx, rx) = unbounded();
+        let ctx = RankContext {
+            rank,
+            config: self.config.clone(),
+            commands: rx,
+            events: self.events_tx.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("moc-rank-{rank}"))
+            .spawn(move || run_rank(ctx))
+            .expect("spawn rank thread");
+        (tx, handle)
+    }
+
+    fn world(&self) -> usize {
+        self.config.world_size()
+    }
+
+    fn node_of(&self, rank: usize) -> usize {
+        self.config.topology.node_of(rank)
+    }
+
+    fn send_all(&self, command: &RankCommand) {
+        for tx in &self.cmd_txs {
+            tx.send(command.clone()).expect("rank thread alive");
+        }
+    }
+
+    fn drive(mut self) -> Result<RunSummary, RuntimeError> {
+        self.bootstrap();
+
+        let loop_start = Instant::now();
+        let mut it = 1u64;
+        while it <= self.config.total_iterations {
+            self.metrics.iterations_executed += 1;
+
+            // 1. Inject scheduled kills: the node's CPU memory dies now;
+            //    its ranks are told to die mid-iteration.
+            let kills = self.injector.kills_at(it);
+            if !kills.is_empty() {
+                // Quiesce agents first so the surviving tier contents are
+                // deterministic when recovery plans against them.
+                for node in &self.nodes {
+                    node.wait_idle();
+                }
+                for &node in &kills {
+                    self.memory.fault(NodeId(node));
+                }
+                self.metrics.faults_injected += kills.len() as u64;
+                self.metrics.event(
+                    it,
+                    EventKind::FaultInjected {
+                        nodes: kills.clone(),
+                    },
+                );
+            }
+
+            // 2. Step all ranks.
+            for (rank, tx) in self.cmd_txs.iter().enumerate() {
+                let die = kills.contains(&self.node_of(rank));
+                tx.send(RankCommand::Step {
+                    iteration: it,
+                    epoch: self.epoch,
+                    die,
+                })
+                .expect("rank thread alive");
+            }
+
+            // 3. Gather gradients; missing replies mean dead nodes.
+            let collect_start = Instant::now();
+            let grads = self.collect_grads(it);
+            if grads.len() < self.world() {
+                let missing: Vec<usize> = (0..self.world())
+                    .filter(|r| !grads.contains_key(r))
+                    .collect();
+                let dead_nodes: BTreeSet<usize> =
+                    missing.iter().map(|&r| self.node_of(r)).collect();
+                self.metrics.event(
+                    it,
+                    EventKind::FaultDetected {
+                        nodes: dead_nodes.iter().copied().collect(),
+                        detect_secs: collect_start.elapsed().as_secs_f64(),
+                    },
+                );
+                self.recoveries_without_progress += 1;
+                assert!(
+                    self.recoveries_without_progress <= MAX_RECOVERIES_WITHOUT_PROGRESS,
+                    "{} consecutive recoveries without completing an iteration: \
+                     ranks are timing out repeatedly — if no faults were injected, \
+                     heartbeat_timeout ({:?}) is shorter than the iteration compute \
+                     time and healthy nodes are being declared dead",
+                    self.recoveries_without_progress,
+                    self.config.heartbeat_timeout,
+                );
+                let resume = self.recover(it, &dead_nodes)?;
+                it = resume + 1;
+                continue;
+            }
+            self.recoveries_without_progress = 0;
+            let max_compute = grads
+                .values()
+                .map(|g| g.compute_secs)
+                .fold(0.0f64, f64::max);
+            self.metrics.record(Phase::Compute, max_compute);
+
+            // 4. Reduce (sum in rank order, then average) and book-keep
+            //    routing statistics.
+            let world = self.world();
+            let reduced = {
+                let start = Instant::now();
+                let mut sum = vec![0.0f32; grads[&0].grad.len()];
+                for rank in 0..world {
+                    for (s, &x) in sum.iter_mut().zip(&grads[&rank].grad) {
+                        *s += x;
+                    }
+                }
+                let inv = 1.0 / world as f32;
+                for s in &mut sum {
+                    *s *= inv;
+                }
+                self.metrics
+                    .record(Phase::Reduce, start.elapsed().as_secs_f64());
+                sum
+            };
+            for grad in grads.values() {
+                for (layer, loads) in grad.expert_loads.iter().enumerate() {
+                    self.plt.record_processed(layer, loads.iter().sum());
+                    for (slot, &l) in self.cum_routed[layer].iter_mut().zip(loads) {
+                        *slot += l;
+                    }
+                }
+            }
+
+            // 5. Broadcast the reduced gradient; every rank applies the
+            //    same Adam step, keeping replicas bitwise identical.
+            let apply_start = Instant::now();
+            self.send_all(&RankCommand::Apply {
+                grad: Arc::new(reduced),
+            });
+            self.wait_applied();
+            self.metrics
+                .record(Phase::Apply, apply_start.elapsed().as_secs_f64());
+
+            // 6. Two-level checkpoint.
+            if it.is_multiple_of(self.config.i_ckpt) {
+                self.checkpoint(it);
+            }
+
+            // 7. Validation.
+            let eval_due = (self.config.eval_every > 0
+                && it.is_multiple_of(self.config.eval_every))
+                || it == self.config.total_iterations;
+            if eval_due {
+                let loss = self.eval();
+                self.val_curve.push((it, loss));
+                self.metrics.event(it, EventKind::Eval { loss });
+            }
+
+            it += 1;
+        }
+        self.metrics.loop_secs = loop_start.elapsed().as_secs_f64();
+
+        self.finish()
+    }
+
+    /// Full synchronous checkpoint of everything at iteration 0 — the
+    /// recoverability floor every PEC run needs.
+    fn bootstrap(&mut self) {
+        let all: Arc<HashSet<ExpertId>> =
+            Arc::new(self.config.model.expert_ids().into_iter().collect());
+        self.send_all(&RankCommand::Checkpoint {
+            iteration: 0,
+            snapshot: all.clone(),
+            persist: all,
+        });
+        // Bootstrap timing is excluded from the checkpoint phase stats:
+        // it is a one-off full write both modes share.
+        let shards = self.collect_shards(false);
+        self.write_sync(&shards, false);
+        self.routed_at.insert(0, self.cum_routed.clone());
+    }
+
+    fn collect_grads(&mut self, iteration: u64) -> BTreeMap<usize, GradResult> {
+        let mut grads = BTreeMap::new();
+        while grads.len() < self.world() {
+            match self.events.recv_timeout(self.config.heartbeat_timeout) {
+                Ok(RankEvent::Grad {
+                    rank,
+                    iteration: it,
+                    epoch,
+                    grad,
+                    expert_loads,
+                    compute_secs,
+                }) if it == iteration && epoch == self.epoch => {
+                    grads.insert(
+                        rank,
+                        GradResult {
+                            grad,
+                            expert_loads,
+                            compute_secs,
+                        },
+                    );
+                }
+                Ok(_) => {} // stale event from before a recovery
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        grads
+    }
+
+    /// Upper bound on how long the coordinator waits for a reply that is
+    /// not allowed to go missing (barrier acks, shard serialization,
+    /// restores). A rank-thread panic leaves the events channel open — the
+    /// coordinator holds a sender for respawns — so without this cap such
+    /// a bug would hang the run instead of failing it loudly.
+    fn reply_deadline(&self) -> std::time::Duration {
+        (self.config.heartbeat_timeout * 10).max(std::time::Duration::from_secs(60))
+    }
+
+    /// Receives the next event, panicking (not hanging) if no rank
+    /// replies within the deadline.
+    fn recv_reply(&self, context: &str) -> RankEvent {
+        match self.events.recv_timeout(self.reply_deadline()) {
+            Ok(event) => event,
+            Err(e) => panic!("rank lost during {context} ({e:?})"),
+        }
+    }
+
+    /// Waits for rank 0's apply acknowledgement (the barrier release).
+    /// Non-matching events are stale and discarded.
+    fn wait_applied(&self) {
+        loop {
+            if let RankEvent::Applied = self.recv_reply("apply barrier") {
+                return;
+            }
+        }
+    }
+
+    /// Gathers one `Shards` reply per rank, returning `(rank, jobs)` plus
+    /// the slowest serialization time.
+    fn collect_shards(&mut self, record_metrics: bool) -> Vec<(usize, Vec<ShardJob>)> {
+        let mut out: BTreeMap<usize, Vec<ShardJob>> = BTreeMap::new();
+        let mut max_serialize = 0.0f64;
+        while out.len() < self.world() {
+            // Non-matching events are stale and discarded.
+            if let RankEvent::Shards {
+                rank,
+                jobs,
+                serialize_secs,
+            } = self.recv_reply("checkpoint collection")
+            {
+                max_serialize = max_serialize.max(serialize_secs);
+                out.insert(rank, jobs);
+            }
+        }
+        if record_metrics {
+            self.metrics.record(Phase::CkptSerialize, max_serialize);
+        }
+        out.into_iter().collect()
+    }
+
+    /// Synchronous two-level write: blocks the iteration for the full
+    /// memory copy + persist, the paper's baseline behaviour.
+    fn write_sync(&mut self, shards: &[(usize, Vec<ShardJob>)], record_metrics: bool) {
+        let start = Instant::now();
+        for (rank, jobs) in shards {
+            let node = NodeId(self.config.topology.node_of(*rank));
+            for job in jobs {
+                self.memory.node(node).put(&job.key, job.payload.clone());
+                if job.persist {
+                    self.store
+                        .put(&job.key, job.payload.clone())
+                        .expect("store put");
+                }
+            }
+        }
+        if record_metrics {
+            self.metrics
+                .record(Phase::CkptWrite, start.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Asynchronous submission through the per-node agents.
+    fn submit_async(&mut self, version: u64, shards: Vec<(usize, Vec<ShardJob>)>) -> Vec<usize> {
+        let mut per_node: BTreeMap<usize, Vec<ShardJob>> = BTreeMap::new();
+        for (rank, jobs) in shards {
+            per_node.entry(self.node_of(rank)).or_default().extend(jobs);
+        }
+        let mut stalled_nodes = Vec::new();
+        let start = Instant::now();
+        for (node, jobs) in per_node {
+            if self.nodes[node].submit(version, jobs) {
+                self.metrics.stall_count += 1;
+                stalled_nodes.push(node);
+            }
+        }
+        self.metrics
+            .record(Phase::CkptSubmit, start.elapsed().as_secs_f64());
+        stalled_nodes
+    }
+
+    fn checkpoint(&mut self, iteration: u64) {
+        let t = self.ckpt_index;
+        self.ckpt_index += 1;
+        // persist-PEC rotates independently with stride `k_persist`, so
+        // its coverage never stalls when `K_snapshot` is large (the
+        // TrainingCheckpointer convention). Ranks only serialize
+        // snapshotted shards, so persist-due experts outside the snapshot
+        // window are pulled into the snapshot set too — a deterministic
+        // stand-in for §5.1's "persist the latest in-memory snapshot"
+        // retrieval that keeps persist ⊆ serialized on the live path.
+        let persist: Arc<HashSet<ExpertId>> = Arc::new(
+            PecConfig::sequential(
+                self.k_persist,
+                self.pec.num_experts,
+                self.pec.num_moe_layers,
+            )
+            .select(t)
+            .into_iter()
+            .collect(),
+        );
+        let mut snapshot: HashSet<ExpertId> = self.pec.select(t).into_iter().collect();
+        snapshot.extend(persist.iter().copied());
+        let snapshot = Arc::new(snapshot);
+        let overhead_start = Instant::now();
+        self.send_all(&RankCommand::Checkpoint {
+            iteration,
+            snapshot,
+            persist,
+        });
+        let shards = self.collect_shards(true);
+        let stalled_nodes = match self.config.checkpoint_mode {
+            CheckpointMode::Sync => {
+                self.write_sync(&shards, true);
+                Vec::new()
+            }
+            CheckpointMode::Async => self.submit_async(iteration, shards),
+        };
+        self.record_routed_at(iteration);
+        self.metrics.checkpoints_taken += 1;
+        self.metrics.event(
+            iteration,
+            EventKind::Checkpoint {
+                stalled_nodes,
+                overhead_secs: overhead_start.elapsed().as_secs_f64(),
+            },
+        );
+    }
+
+    /// Records the cumulative routing counters at a checkpoint version,
+    /// pruning versions old enough that no recovery can restore them any
+    /// more: with `k_persist >= 1` every expert persists at least once per
+    /// `num_experts` checkpoints, so versions older than the last
+    /// `2 * num_experts` checkpoints (plus the bootstrap at 0, kept
+    /// forever) can never be chosen by a recovery plan.
+    fn record_routed_at(&mut self, iteration: u64) {
+        if self
+            .routed_at
+            .insert(iteration, self.cum_routed.clone())
+            .is_none()
+        {
+            self.ckpt_history.push(iteration);
+        }
+        let cap = 2 * self.pec.num_experts + 1;
+        while self.ckpt_history.len() > cap {
+            let old = self.ckpt_history.remove(0);
+            self.routed_at.remove(&old);
+        }
+    }
+
+    fn eval(&mut self) -> f32 {
+        self.cmd_txs[0]
+            .send(RankCommand::Eval)
+            .expect("rank 0 alive");
+        loop {
+            // Non-matching events are stale and discarded.
+            if let RankEvent::EvalLoss { loss } = self.recv_reply("evaluation") {
+                return loss;
+            }
+        }
+    }
+
+    /// Executes a live two-level recovery after `dead_nodes` were detected
+    /// at `detected_at`, returning the iteration training resumes from.
+    fn recover(
+        &mut self,
+        detected_at: u64,
+        dead_nodes: &BTreeSet<usize>,
+    ) -> Result<u64, RuntimeError> {
+        let recovery_start = Instant::now();
+        // Invalidate replies from threads spawned before this recovery.
+        self.epoch += 1;
+        // Quiesce surviving agents so the plan sees settled tiers.
+        for node in &self.nodes {
+            node.wait_idle();
+        }
+        for &node in dead_nodes {
+            self.memory.fault(NodeId(node));
+            self.nodes[node].set_alive(false);
+        }
+        let healthy: Vec<bool> = self.nodes.iter().map(NodeRuntime::alive).collect();
+
+        let slots: Vec<(String, StatePart)> = self
+            .module_names
+            .iter()
+            .flat_map(|m| {
+                [
+                    (m.clone(), StatePart::Weights),
+                    (m.clone(), StatePart::Optimizer),
+                ]
+            })
+            .collect();
+        let outcome = execute_recovery(
+            &slots,
+            &self.memory,
+            self.store.as_ref(),
+            &healthy,
+            detected_at,
+            self.config.two_level,
+        )?;
+        self.metrics.record(Phase::RecoveryPlan, outcome.plan_secs);
+        self.metrics
+            .record(Phase::RecoveryFetch, outcome.fetch_secs);
+        self.metrics.recoveries += 1;
+        self.metrics.recovered_bytes += outcome.bytes;
+        self.metrics.memory_hits += outcome.memory_hits as u64;
+        self.metrics.storage_hits += outcome.storage_hits as u64;
+
+        let resume = outcome.plan.resume_iteration;
+        let fault_plt = self.account_plt(&outcome, resume);
+        self.k_trace.push(self.pec.k);
+        if let Some(ctl) = self.dynamic_k.as_mut() {
+            // The controller escalates *both* levels: once K saturates at
+            // N, every checkpoint persists everything and PLT growth
+            // stops entirely — the property that lets the budget bound
+            // hold under fault accumulation (Section 5.3).
+            let new_k = ctl.on_fault_recovery(fault_plt);
+            self.pec = PecConfig::sequential(new_k, self.pec.num_experts, self.pec.num_moe_layers);
+            self.k_persist = self.k_persist.max(new_k.min(self.pec.num_experts));
+        }
+
+        // Restart the dead nodes' ranks with fresh threads.
+        for &node in dead_nodes {
+            for rank in self.config.topology.ranks_on_node(node) {
+                let (tx, handle) = self.spawn_rank(rank);
+                let old_tx = std::mem::replace(&mut self.cmd_txs[rank], tx);
+                drop(old_tx);
+                if let Some(old) = self.handles[rank].take() {
+                    let _ = old.join();
+                }
+                self.handles[rank] = Some(handle);
+            }
+            self.nodes[node].set_alive(true);
+        }
+
+        // Broadcast restored state; every rank (survivor or respawned)
+        // rolls back to the recovered versions.
+        let restore_start = Instant::now();
+        let blobs = Arc::new(outcome.blobs);
+        self.send_all(&RankCommand::Restore { blobs });
+        let mut restored = HashSet::new();
+        while restored.len() < self.world() {
+            // Stale pre-recovery events are drained and discarded here.
+            if let RankEvent::Restored { rank } = self.recv_reply("restore") {
+                restored.insert(rank);
+            }
+        }
+        self.metrics.record(
+            Phase::RecoveryRestore,
+            restore_start.elapsed().as_secs_f64(),
+        );
+
+        // Rewind bookkeeping: routing statistics return to the resume
+        // iteration; the data stream rewinds implicitly (batches are a
+        // pure function of the iteration number).
+        self.cum_routed = self
+            .routed_at
+            .get(&resume)
+            .expect("resume iteration was checkpointed")
+            .clone();
+        self.metrics.event(
+            detected_at,
+            EventKind::Recovery {
+                resume_iteration: resume,
+                memory_hits: outcome.memory_hits,
+                storage_hits: outcome.storage_hits,
+                total_secs: recovery_start.elapsed().as_secs_f64(),
+            },
+        );
+        Ok(resume)
+    }
+
+    /// Exact lost-token accounting (Eq. 7): for every expert restored at
+    /// version `v`, the tokens it routed between `v` and the resume
+    /// iteration are lost.
+    fn account_plt(&mut self, outcome: &RecoveryOutcome, resume: u64) -> f64 {
+        let layers = self.config.model.num_moe_layers();
+        let routed_r = self
+            .routed_at
+            .get(&resume)
+            .expect("resume iteration was checkpointed")
+            .clone();
+        // BTreeMap keeps the accumulation order deterministic (f64 sums
+        // feed the Dynamic-K thresholds).
+        let mut expert_versions: BTreeMap<ExpertId, u64> = BTreeMap::new();
+        for action in &outcome.plan.actions {
+            if let Some(id) = expert_of(&self.config.model, &action.module) {
+                let v = expert_versions.entry(id).or_insert(u64::MAX);
+                *v = (*v).min(action.version);
+            }
+        }
+        let mut fault_plt = 0.0;
+        for (id, version) in expert_versions {
+            let routed_v = self
+                .routed_at
+                .get(&version)
+                .expect("expert restored from a recorded version");
+            let lost = routed_r[id.layer][id.expert].saturating_sub(routed_v[id.layer][id.expert]);
+            self.plt.record_loss(id.layer, lost);
+            if self.plt.processed(id.layer) > 0 {
+                fault_plt += lost as f64 / self.plt.processed(id.layer) as f64;
+            }
+        }
+        fault_plt / layers as f64
+    }
+
+    fn finish(mut self) -> Result<RunSummary, RuntimeError> {
+        // Drain in-flight persists before measuring final storage state.
+        for node in &self.nodes {
+            node.wait_idle();
+        }
+        self.send_all(&RankCommand::Finish);
+        let mut finals: BTreeMap<usize, (Vec<f32>, u32)> = BTreeMap::new();
+        while finals.len() < self.world() {
+            if let RankEvent::Finished {
+                rank,
+                params,
+                param_crc,
+            } = self.recv_reply("shutdown")
+            {
+                finals.insert(rank, (params, param_crc));
+            }
+        }
+        for handle in self.handles.iter_mut().filter_map(Option::take) {
+            let _ = handle.join();
+        }
+        for node in &mut self.nodes {
+            node.shutdown();
+        }
+
+        let crc0 = finals[&0].1;
+        let replicas_consistent = finals.values().all(|(_, crc)| *crc == crc0);
+        let final_params = finals.remove(&0).expect("rank 0 reported").0;
+        let final_val_loss = self.val_curve.last().map(|&(_, l)| l).unwrap_or(f32::NAN);
+        let persisted_bytes = self.store.total_bytes().unwrap_or(0);
+
+        Ok(RunSummary {
+            val_curve: self.val_curve,
+            final_val_loss,
+            plt: self.plt.plt(),
+            k_trace: self.k_trace,
+            iterations_executed: self.metrics.iterations_executed,
+            checkpoints_taken: self.metrics.checkpoints_taken,
+            faults_injected: self.metrics.faults_injected,
+            recoveries: self.metrics.recoveries,
+            stall_count: self.metrics.stall_count,
+            recovered_bytes: self.metrics.recovered_bytes,
+            memory_hits: self.metrics.memory_hits,
+            storage_hits: self.metrics.storage_hits,
+            persisted_bytes,
+            phases: self.metrics.phases().clone(),
+            timeline: self.metrics.timeline().to_vec(),
+            loop_secs: self.metrics.loop_secs,
+            i_ckpt: self.config.i_ckpt,
+            final_params,
+            replicas_consistent,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_core::topology::ParallelTopology;
+    use moc_store::{FaultEvent, FaultPlan, MemoryObjectStore};
+
+    fn quick_config() -> RuntimeConfig {
+        RuntimeConfig {
+            total_iterations: 12,
+            i_ckpt: 4,
+            eval_every: 6,
+            seq_len: 16,
+            ..RuntimeConfig::tiny(ParallelTopology::dp_ep(2, 2, 4, 4).unwrap())
+        }
+    }
+
+    fn run(config: RuntimeConfig) -> RunSummary {
+        Coordinator::new(config, Arc::new(MemoryObjectStore::new()))
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn fault_free_run_trains_and_stays_consistent() {
+        let summary = run(quick_config());
+        assert!(summary.replicas_consistent, "replicas diverged");
+        assert_eq!(summary.iterations_executed, 12);
+        assert_eq!(summary.checkpoints_taken, 3);
+        assert_eq!(summary.faults_injected, 0);
+        assert_eq!(summary.plt, 0.0);
+        let first = summary.val_curve.first().unwrap().1;
+        assert!(
+            summary.final_val_loss < first,
+            "loss should fall: {first} -> {}",
+            summary.final_val_loss
+        );
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_bitwise() {
+        let a = run(quick_config());
+        let b = run(quick_config());
+        assert_eq!(a.final_params, b.final_params);
+        assert_eq!(a.val_curve, b.val_curve);
+    }
+
+    #[test]
+    fn node_kill_recovers_and_resumes() {
+        let config = RuntimeConfig {
+            faults: FaultPlan::At(vec![FaultEvent {
+                iteration: 7,
+                node: 1,
+            }]),
+            heartbeat_timeout: std::time::Duration::from_millis(500),
+            ..quick_config()
+        };
+        let summary = run(config);
+        assert_eq!(summary.faults_injected, 1);
+        assert_eq!(summary.recoveries, 1);
+        assert!(summary.replicas_consistent);
+        // Rolled back from 7 to the checkpoint at 4: 3 redone iterations.
+        assert_eq!(summary.iterations_executed, 12 + 3);
+        assert!(summary.recovered_bytes > 0);
+        assert!(summary.memory_hits + summary.storage_hits > 0);
+    }
+
+    #[test]
+    fn persist_rotation_covers_every_expert() {
+        // K_persist = 1 persists one expert per layer per checkpoint, as a
+        // subset of the snapshot selection; after a full rotation every
+        // expert must have a post-bootstrap version in persistent storage.
+        let config = RuntimeConfig {
+            total_iterations: 36,
+            i_ckpt: 2,
+            k_snapshot: 2,
+            k_persist: 1,
+            eval_every: 0,
+            ..quick_config()
+        };
+        let store = Arc::new(MemoryObjectStore::new());
+        Coordinator::new(config.clone(), store.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let layers: Vec<usize> = config.model.moe_layer_indices().to_vec();
+        for layer in layers {
+            for expert in 0..config.model.num_experts() {
+                let module = format!("layer{layer}.expert{expert}");
+                let latest = store
+                    .latest_version(&module, moc_store::StatePart::Weights, u64::MAX)
+                    .unwrap()
+                    .unwrap_or(0);
+                assert!(
+                    latest > 0,
+                    "{module} never persisted past bootstrap (latest {latest})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_level_recovery_uses_surviving_memory() {
+        let config = RuntimeConfig {
+            faults: FaultPlan::At(vec![FaultEvent {
+                iteration: 6,
+                node: 0,
+            }]),
+            heartbeat_timeout: std::time::Duration::from_millis(500),
+            two_level: true,
+            ..quick_config()
+        };
+        let summary = run(config);
+        assert!(
+            summary.memory_hits > 0,
+            "healthy node snapshots must serve recovery: {summary:?}"
+        );
+        assert!(
+            summary.storage_hits > 0,
+            "dead node slots come from storage"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Fault injection on a [`FaultPlan`] schedule.
+//!
+//! The injector materialises a fault plan into a per-iteration kill map.
+//! At the start of each iteration the coordinator asks
+//! [`FaultInjector::kills_at`]; the victims' rank threads are told to die
+//! mid-iteration (after computing, before reporting), their node's CPU
+//! memory is wiped, and the coordinator is left to *detect* the failure
+//! through missing heartbeat replies — the injector never shortcuts
+//! detection.
+
+use moc_store::{FaultEvent, FaultPlan};
+use std::collections::BTreeMap;
+
+/// Materialised fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    by_iteration: BTreeMap<u64, Vec<usize>>,
+    injected: Vec<FaultEvent>,
+}
+
+impl FaultInjector {
+    /// Materialises `plan` over `0..=horizon` iterations for a cluster of
+    /// `num_nodes` nodes. Events scheduled before the first iteration are
+    /// shifted to iteration 1 (a node cannot die before training starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan names a node outside the cluster.
+    pub fn new(plan: &FaultPlan, horizon: u64, num_nodes: usize) -> Self {
+        let mut by_iteration: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for event in plan.events(horizon + 1) {
+            assert!(
+                event.node < num_nodes,
+                "fault plan names node {} outside cluster of {num_nodes}",
+                event.node
+            );
+            let it = event.iteration.max(1);
+            let victims = by_iteration.entry(it).or_default();
+            if !victims.contains(&event.node) {
+                victims.push(event.node);
+            }
+        }
+        Self {
+            by_iteration,
+            injected: Vec::new(),
+        }
+    }
+
+    /// Nodes to kill at the start of `iteration` (empty most of the time).
+    /// Recording is idempotent per iteration: re-executed iterations after
+    /// a rollback do not re-kill (a node only dies once per scheduled
+    /// event, matching how the analytic harness replays faults).
+    pub fn kills_at(&mut self, iteration: u64) -> Vec<usize> {
+        match self.by_iteration.remove(&iteration) {
+            Some(nodes) => {
+                for &node in &nodes {
+                    self.injected.push(FaultEvent { iteration, node });
+                }
+                nodes
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Faults injected so far, in order.
+    pub fn injected(&self) -> &[FaultEvent] {
+        &self.injected
+    }
+
+    /// Faults still pending.
+    pub fn pending(&self) -> usize {
+        self.by_iteration.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_plan_fires_once() {
+        let plan = FaultPlan::At(vec![
+            FaultEvent {
+                iteration: 5,
+                node: 1,
+            },
+            FaultEvent {
+                iteration: 9,
+                node: 0,
+            },
+        ]);
+        let mut inj = FaultInjector::new(&plan, 20, 2);
+        assert_eq!(inj.pending(), 2);
+        assert!(inj.kills_at(4).is_empty());
+        assert_eq!(inj.kills_at(5), vec![1]);
+        // Re-executing iteration 5 after a rollback does not re-kill.
+        assert!(inj.kills_at(5).is_empty());
+        assert_eq!(inj.kills_at(9), vec![0]);
+        assert_eq!(inj.injected().len(), 2);
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn iteration_zero_shifts_to_one() {
+        let plan = FaultPlan::At(vec![FaultEvent {
+            iteration: 0,
+            node: 0,
+        }]);
+        let mut inj = FaultInjector::new(&plan, 10, 1);
+        assert_eq!(inj.kills_at(1), vec![0]);
+    }
+
+    #[test]
+    fn duplicate_victims_deduplicated() {
+        let plan = FaultPlan::At(vec![
+            FaultEvent {
+                iteration: 3,
+                node: 0,
+            },
+            FaultEvent {
+                iteration: 3,
+                node: 0,
+            },
+            FaultEvent {
+                iteration: 3,
+                node: 1,
+            },
+        ]);
+        let mut inj = FaultInjector::new(&plan, 10, 2);
+        assert_eq!(inj.kills_at(3), vec![0, 1]);
+    }
+
+    #[test]
+    fn poisson_plan_materialises_deterministically() {
+        let plan = FaultPlan::Poisson {
+            rate: 0.05,
+            num_nodes: 2,
+            seed: 9,
+        };
+        let a = FaultInjector::new(&plan, 100, 2);
+        let b = FaultInjector::new(&plan, 100, 2);
+        assert_eq!(a.pending(), b.pending());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside cluster")]
+    fn out_of_range_node_panics() {
+        let plan = FaultPlan::At(vec![FaultEvent {
+            iteration: 1,
+            node: 5,
+        }]);
+        FaultInjector::new(&plan, 10, 2);
+    }
+}

@@ -1,0 +1,331 @@
+//! Wall-clock metrics of a live run.
+//!
+//! The analytic models in `moc-cluster` predict per-phase times from
+//! hardware constants; the runtime *measures* them. [`MetricsRegistry`]
+//! accumulates per-phase wall-clock statistics, stall and recovery
+//! counters, and a per-iteration timeline, which [`RunSummary`] exposes
+//! alongside training results. [`RunSummary::analytic_projection`] feeds
+//! the measured phase means back into `moc-cluster`'s discrete-event
+//! simulator so live runs can be compared against the analytic timelines.
+
+use moc_cluster::events::{simulate, EventSimConfig, EventSimReport};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// A measured phase of the runtime's iteration loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Forward + backward over the rank's sub-batch (max across ranks).
+    Compute,
+    /// Gradient gather + sum on the coordinator.
+    Reduce,
+    /// Optimizer step on every rank (wall time of the barrier round).
+    Apply,
+    /// Shard serialization at checkpoint time (max across ranks).
+    CkptSerialize,
+    /// Handing shards to the async node agents (includes stall waits).
+    CkptSubmit,
+    /// Synchronous-mode blocking write of all shards.
+    CkptWrite,
+    /// Recovery planning (source resolution over memory + storage).
+    RecoveryPlan,
+    /// Fetching planned shard payloads.
+    RecoveryFetch,
+    /// Broadcasting and applying restored state on every rank.
+    RecoveryRestore,
+}
+
+impl Phase {
+    /// Short stable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::Compute => "compute",
+            Phase::Reduce => "reduce",
+            Phase::Apply => "apply",
+            Phase::CkptSerialize => "ckpt-serialize",
+            Phase::CkptSubmit => "ckpt-submit",
+            Phase::CkptWrite => "ckpt-write",
+            Phase::RecoveryPlan => "recovery-plan",
+            Phase::RecoveryFetch => "recovery-fetch",
+            Phase::RecoveryRestore => "recovery-restore",
+        }
+    }
+}
+
+/// Accumulated statistics of one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Number of recorded occurrences.
+    pub count: u64,
+    /// Total seconds across occurrences.
+    pub total_secs: f64,
+    /// Longest single occurrence.
+    pub max_secs: f64,
+}
+
+impl PhaseStats {
+    /// Mean seconds per occurrence (0 when never recorded).
+    pub fn mean_secs(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_secs / self.count as f64
+        }
+    }
+}
+
+/// One entry of the run timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Iteration the event belongs to.
+    pub iteration: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Kinds of timeline events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A checkpoint was taken; lists nodes whose agents stalled.
+    Checkpoint {
+        /// Nodes that had to wait for a free buffer.
+        stalled_nodes: Vec<usize>,
+        /// Wall seconds the checkpoint added to the iteration.
+        overhead_secs: f64,
+    },
+    /// Node kills were injected at the start of this iteration.
+    FaultInjected {
+        /// Nodes killed.
+        nodes: Vec<usize>,
+    },
+    /// The coordinator detected missing ranks and identified dead nodes.
+    FaultDetected {
+        /// Nodes declared dead.
+        nodes: Vec<usize>,
+        /// Seconds from iteration start to detection.
+        detect_secs: f64,
+    },
+    /// A two-level recovery completed.
+    Recovery {
+        /// Iteration training resumed from.
+        resume_iteration: u64,
+        /// Shards restored from healthy nodes' CPU memory.
+        memory_hits: usize,
+        /// Shards restored from persistent storage.
+        storage_hits: usize,
+        /// Total wall seconds of the recovery.
+        total_secs: f64,
+    },
+    /// A validation evaluation.
+    Eval {
+        /// Validation loss.
+        loss: f32,
+    },
+}
+
+/// Mutable metric accumulation during a run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    phases: BTreeMap<Phase, PhaseStats>,
+    timeline: Vec<TimelineEvent>,
+    /// Checkpoint submissions that stalled waiting for a buffer.
+    pub stall_count: u64,
+    /// Node kills injected.
+    pub faults_injected: u64,
+    /// Recoveries executed.
+    pub recoveries: u64,
+    /// Bytes fetched during recoveries.
+    pub recovered_bytes: u64,
+    /// Recovery shards served from CPU memory.
+    pub memory_hits: u64,
+    /// Recovery shards served from persistent storage.
+    pub storage_hits: u64,
+    /// Iterations executed, including re-done work after rollbacks.
+    pub iterations_executed: u64,
+    /// Checkpoints taken (bootstrap excluded).
+    pub checkpoints_taken: u64,
+    /// Total wall seconds spent in the iteration loop.
+    pub loop_secs: f64,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one occurrence of a phase.
+    pub fn record(&mut self, phase: Phase, secs: f64) {
+        let stats = self.phases.entry(phase).or_default();
+        stats.count += 1;
+        stats.total_secs += secs;
+        if secs > stats.max_secs {
+            stats.max_secs = secs;
+        }
+    }
+
+    /// Times a closure into a phase, returning its output.
+    pub fn time<T>(&mut self, phase: Phase, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(phase, start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Appends a timeline event.
+    pub fn event(&mut self, iteration: u64, kind: EventKind) {
+        self.timeline.push(TimelineEvent { iteration, kind });
+    }
+
+    /// Statistics of one phase.
+    pub fn phase(&self, phase: Phase) -> PhaseStats {
+        self.phases.get(&phase).copied().unwrap_or_default()
+    }
+
+    /// All recorded phases.
+    pub fn phases(&self) -> &BTreeMap<Phase, PhaseStats> {
+        &self.phases
+    }
+
+    /// The timeline so far.
+    pub fn timeline(&self) -> &[TimelineEvent] {
+        &self.timeline
+    }
+}
+
+/// Immutable result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// `(iteration, validation loss)` curve.
+    pub val_curve: Vec<(u64, f32)>,
+    /// Final validation loss.
+    pub final_val_loss: f32,
+    /// Measured PLT (Eq. 7) across all faults.
+    pub plt: f64,
+    /// `K_snapshot` in effect at each fault (Dynamic-K trace).
+    pub k_trace: Vec<usize>,
+    /// Iterations executed including redone work.
+    pub iterations_executed: u64,
+    /// Checkpoints taken (bootstrap excluded).
+    pub checkpoints_taken: u64,
+    /// Node kills injected.
+    pub faults_injected: u64,
+    /// Recoveries executed.
+    pub recoveries: u64,
+    /// Checkpoint submissions that stalled on buffer exhaustion.
+    pub stall_count: u64,
+    /// Bytes fetched during recoveries.
+    pub recovered_bytes: u64,
+    /// Recovery shards served from CPU memory.
+    pub memory_hits: u64,
+    /// Recovery shards served from persistent storage.
+    pub storage_hits: u64,
+    /// Bytes held by the persistent store at the end of the run.
+    pub persisted_bytes: u64,
+    /// Per-phase wall-clock statistics.
+    pub phases: BTreeMap<Phase, PhaseStats>,
+    /// Ordered run timeline (checkpoints, faults, recoveries, evals).
+    pub timeline: Vec<TimelineEvent>,
+    /// Total wall seconds of the iteration loop.
+    pub loop_secs: f64,
+    /// Checkpoint interval the run used.
+    pub i_ckpt: u64,
+    /// Final parameters of rank 0, flattened in registration order.
+    pub final_params: Vec<f32>,
+    /// Whether every rank finished with bitwise-identical parameters.
+    pub replicas_consistent: bool,
+}
+
+impl RunSummary {
+    /// Statistics of one phase.
+    pub fn phase(&self, phase: Phase) -> PhaseStats {
+        self.phases.get(&phase).copied().unwrap_or_default()
+    }
+
+    /// Mean wall seconds a checkpoint added to its iteration:
+    /// serialization plus submission (async) or blocking write (sync).
+    pub fn checkpoint_overhead_secs(&self) -> f64 {
+        if self.checkpoints_taken == 0 {
+            return 0.0;
+        }
+        let total = self.phase(Phase::CkptSerialize).total_secs
+            + self.phase(Phase::CkptSubmit).total_secs
+            + self.phase(Phase::CkptWrite).total_secs;
+        total / self.checkpoints_taken as f64
+    }
+
+    /// Mean wall seconds per executed iteration.
+    pub fn mean_iteration_secs(&self) -> f64 {
+        if self.iterations_executed == 0 {
+            0.0
+        } else {
+            self.loop_secs / self.iterations_executed as f64
+        }
+    }
+
+    /// The measured phase means expressed as an `moc-cluster` event-sim
+    /// configuration: the validation hook tying live wall-clock numbers
+    /// back to the analytic models.
+    pub fn event_sim_config(&self) -> EventSimConfig {
+        EventSimConfig {
+            fb_sec: self.phase(Phase::Compute).mean_secs() + self.phase(Phase::Reduce).mean_secs(),
+            update_sec: self.phase(Phase::Apply).mean_secs(),
+            snapshot_sec: self.phase(Phase::CkptSerialize).mean_secs()
+                + self.phase(Phase::CkptSubmit).mean_secs(),
+            persist_sec: self.phase(Phase::CkptWrite).mean_secs(),
+            i_ckpt: self.i_ckpt.max(1),
+            iterations: self.iterations_executed,
+        }
+    }
+
+    /// Replays the measured phase means through `moc-cluster`'s
+    /// discrete-event simulator, projecting what the analytic timeline
+    /// model predicts for this workload.
+    pub fn analytic_projection(&self) -> EventSimReport {
+        simulate(&self.event_sim_config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_stats_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.record(Phase::Compute, 0.5);
+        m.record(Phase::Compute, 1.5);
+        let s = m.phase(Phase::Compute);
+        assert_eq!(s.count, 2);
+        assert!((s.total_secs - 2.0).abs() < 1e-12);
+        assert!((s.mean_secs() - 1.0).abs() < 1e-12);
+        assert!((s.max_secs - 1.5).abs() < 1e-12);
+        assert_eq!(m.phase(Phase::Apply), PhaseStats::default());
+    }
+
+    #[test]
+    fn time_measures_closures() {
+        let mut m = MetricsRegistry::new();
+        let out = m.time(Phase::Reduce, || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            41 + 1
+        });
+        assert_eq!(out, 42);
+        assert!(m.phase(Phase::Reduce).total_secs >= 0.002);
+    }
+
+    #[test]
+    fn timeline_preserves_order() {
+        let mut m = MetricsRegistry::new();
+        m.event(1, EventKind::Eval { loss: 5.0 });
+        m.event(2, EventKind::FaultInjected { nodes: vec![0] });
+        assert_eq!(m.timeline().len(), 2);
+        assert_eq!(m.timeline()[0].iteration, 1);
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        assert_eq!(Phase::CkptSubmit.label(), "ckpt-submit");
+        assert_eq!(Phase::RecoveryRestore.label(), "recovery-restore");
+    }
+}

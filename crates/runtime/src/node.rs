@@ -1,0 +1,125 @@
+//! Per-node runtime state: CPU-memory tier handle and checkpoint agent.
+//!
+//! A [`NodeRuntime`] bundles what one physical node owns in the live
+//! runtime: its slice of the cluster's CPU-memory tier and the
+//! asynchronous two-level checkpoint agent (`moc_core::twolevel`) whose
+//! snapshot/persist workers serve all ranks hosted on the node.
+
+use moc_core::twolevel::{AgentStats, CheckpointJob, NodeAgent, ShardJob};
+use moc_store::{NodeId, NodeMemoryStore, ObjectStore};
+use std::sync::Arc;
+
+/// Live state of one node.
+pub struct NodeRuntime {
+    id: NodeId,
+    memory: Arc<NodeMemoryStore>,
+    agent: Option<NodeAgent>,
+    alive: bool,
+}
+
+impl std::fmt::Debug for NodeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeRuntime")
+            .field("id", &self.id)
+            .field("alive", &self.alive)
+            .finish()
+    }
+}
+
+impl NodeRuntime {
+    /// Spawns the node's checkpoint agent over its memory store and the
+    /// shared persistent store.
+    pub fn spawn(id: NodeId, memory: Arc<NodeMemoryStore>, store: Arc<dyn ObjectStore>) -> Self {
+        let agent = NodeAgent::spawn(id, memory.clone(), store);
+        Self {
+            id,
+            memory,
+            agent: Some(agent),
+            alive: true,
+        }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's CPU-memory snapshot store.
+    pub fn memory(&self) -> &Arc<NodeMemoryStore> {
+        &self.memory
+    }
+
+    /// Whether the node is currently healthy.
+    pub fn alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Marks the node dead (after fault detection) or alive (after
+    /// restart).
+    pub fn set_alive(&mut self, alive: bool) {
+        self.alive = alive;
+    }
+
+    /// Submits an asynchronous checkpoint job to the node's agent.
+    /// Returns whether the submission stalled waiting for a free buffer.
+    pub fn submit(&self, version: u64, shards: Vec<ShardJob>) -> bool {
+        self.agent
+            .as_ref()
+            .expect("agent alive")
+            .submit(CheckpointJob { version, shards })
+            .expect("agent accepts jobs")
+    }
+
+    /// Blocks until the node's agent drained its snapshot and persist
+    /// queues.
+    pub fn wait_idle(&self) {
+        if let Some(agent) = &self.agent {
+            agent.wait_idle();
+        }
+    }
+
+    /// Shuts the agent down, returning its work counters.
+    pub fn shutdown(&mut self) -> AgentStats {
+        self.agent
+            .take()
+            .map(NodeAgent::shutdown)
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use moc_store::{MemoryObjectStore, ShardKey, StatePart};
+
+    #[test]
+    fn submit_lands_in_both_tiers() {
+        let memory = Arc::new(NodeMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let mut node = NodeRuntime::spawn(NodeId(0), memory.clone(), store.clone());
+        let shards = vec![ShardJob {
+            key: ShardKey::new("m", StatePart::Weights, 3),
+            payload: Bytes::from_static(b"payload"),
+            persist: true,
+        }];
+        let stalled = node.submit(3, shards);
+        node.wait_idle();
+        assert!(!stalled);
+        assert_eq!(memory.version("m", StatePart::Weights), Some(3));
+        assert_eq!(store.keys().unwrap().len(), 1);
+        let stats = node.shutdown();
+        assert_eq!(stats.snapshots_done, 1);
+    }
+
+    #[test]
+    fn alive_flag_toggles() {
+        let memory = Arc::new(NodeMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let mut node = NodeRuntime::spawn(NodeId(1), memory, store);
+        assert!(node.alive());
+        node.set_alive(false);
+        assert!(!node.alive());
+        node.shutdown();
+    }
+}

@@ -1,0 +1,348 @@
+//! Rank worker threads and the coordinator↔rank wire protocol.
+//!
+//! Each DP rank is an OS thread owning a full replica of the model (the
+//! paper's ZeRO-2 DP setting replicates weights; checkpoint *duties* are
+//! sharded, not the replicas). Ranks run a lock-step protocol over
+//! crossbeam channels — the collective stand-in:
+//!
+//! 1. `Step`: compute forward+backward on the rank's slice of the global
+//!    batch, report the flattened gradient (the all-reduce gather half).
+//! 2. `Apply`: load the reduced gradient and take an identical Adam step
+//!    (the broadcast half) — replicas stay bitwise identical.
+//! 3. `Checkpoint`: serialize the modules this rank *owns* under the
+//!    checkpoint-sharding placement and report the shard jobs.
+//! 4. `Restore`: overwrite local state from recovery blobs.
+//!
+//! A `Step` carrying `die: true` makes the thread exit mid-iteration
+//! without reporting — the injected node kill. The coordinator only
+//! learns of it through the missing reply.
+
+use crate::config::RuntimeConfig;
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, Sender};
+use moc_core::topology::ParallelTopology;
+use moc_core::twolevel::ShardJob;
+use moc_moe::{ExpertId, MoeModelConfig};
+use moc_store::{ShardKey, StatePart};
+use moc_train::checkpoint::{deserialize_module, expert_of, serialize_module};
+use moc_train::{adam_step, MarkovCorpus, ParamStore, TinyMoeLm};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One restored shard broadcast to every rank after recovery.
+#[derive(Debug, Clone)]
+pub(crate) struct RestoreBlob {
+    pub module: String,
+    pub part: StatePart,
+    pub payload: Bytes,
+}
+
+/// Coordinator → rank commands.
+#[derive(Debug, Clone)]
+pub(crate) enum RankCommand {
+    /// Run one training iteration; `die` simulates the node kill.
+    Step {
+        iteration: u64,
+        /// Recovery generation, echoed back so the coordinator can
+        /// discard replies from threads that predate a rollback.
+        epoch: u64,
+        die: bool,
+    },
+    /// Load the reduced gradient and apply the optimizer step.
+    Apply { grad: Arc<Vec<f32>> },
+    /// Serialize owned modules for the checkpoint at `iteration`.
+    Checkpoint {
+        iteration: u64,
+        snapshot: Arc<HashSet<ExpertId>>,
+        persist: Arc<HashSet<ExpertId>>,
+    },
+    /// Evaluate validation loss (sent to rank 0 only).
+    Eval,
+    /// Overwrite local state from recovery blobs.
+    Restore { blobs: Arc<Vec<RestoreBlob>> },
+    /// Report final parameters and exit.
+    Finish,
+}
+
+/// Rank → coordinator events.
+#[derive(Debug)]
+pub(crate) enum RankEvent {
+    /// Iteration result: flattened gradient plus routing statistics.
+    Grad {
+        rank: usize,
+        iteration: u64,
+        epoch: u64,
+        grad: Vec<f32>,
+        expert_loads: Vec<Vec<u64>>,
+        compute_secs: f64,
+    },
+    /// Rank 0's acknowledgement that the optimizer step was applied.
+    Applied,
+    /// Serialized checkpoint shards of the rank's owned modules.
+    Shards {
+        rank: usize,
+        jobs: Vec<ShardJob>,
+        serialize_secs: f64,
+    },
+    /// Validation loss (rank 0).
+    EvalLoss { loss: f32 },
+    /// Recovery blobs applied.
+    Restored { rank: usize },
+    /// Final flattened parameters and their checksum.
+    Finished {
+        rank: usize,
+        params: Vec<f32>,
+        param_crc: u32,
+    },
+}
+
+/// Everything a rank thread needs.
+pub(crate) struct RankContext {
+    pub rank: usize,
+    pub config: RuntimeConfig,
+    pub commands: Receiver<RankCommand>,
+    pub events: Sender<RankEvent>,
+}
+
+/// The rank that owns checkpointing a module under the runtime's
+/// checkpoint-sharding placement: expert modules live on their EP rank
+/// (spread over EP groups by layer), non-expert modules spread over all
+/// DP ranks by a deterministic name hash — mirroring
+/// `moc_train::TrainingCheckpointer`'s node placement at rank granularity.
+pub fn owner_rank(topo: &ParallelTopology, model: &MoeModelConfig, module: &str) -> usize {
+    let n = model.num_experts();
+    match expert_of(model, module) {
+        Some(id) => {
+            let ep_rank = topo.expert_ep_rank(id.expert, n);
+            let group = id.layer % topo.num_ep_groups();
+            group * topo.ep() + ep_rank
+        }
+        None => {
+            let h: usize = module.bytes().map(|b| b as usize).sum();
+            h % topo.dp()
+        }
+    }
+}
+
+/// Flattens every parameter gradient in registration order.
+pub(crate) fn flatten_grads(store: &ParamStore) -> Vec<f32> {
+    store
+        .params()
+        .iter()
+        .flat_map(|p| p.grad.data().iter().copied())
+        .collect()
+}
+
+/// Loads a flattened gradient back into the store.
+pub(crate) fn load_grads(store: &mut ParamStore, grad: &[f32]) {
+    let mut offset = 0;
+    for p in store.params_mut() {
+        let n = p.grad.len();
+        p.grad.data_mut().copy_from_slice(&grad[offset..offset + n]);
+        offset += n;
+    }
+    assert_eq!(offset, grad.len(), "gradient length mismatch");
+}
+
+/// Flattens every parameter value in registration order.
+pub(crate) fn flatten_values(store: &ParamStore) -> Vec<f32> {
+    store
+        .params()
+        .iter()
+        .flat_map(|p| p.value.data().iter().copied())
+        .collect()
+}
+
+/// CRC-32 over the little-endian bit pattern of a parameter vector, used
+/// to verify replicas stayed bitwise identical.
+pub(crate) fn params_crc(params: &[f32]) -> u32 {
+    let mut bytes = Vec::with_capacity(params.len() * 4);
+    for &x in params {
+        bytes.extend_from_slice(&x.to_le_bytes());
+    }
+    moc_store::frame::crc32(&bytes)
+}
+
+/// Gate-noise seed of one rank at one iteration.
+pub(crate) fn noise_seed(seed: u64, iteration: u64, rank: usize) -> u64 {
+    seed ^ (iteration << 1) ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The rank thread body: processes commands until `Finish` or a `die`.
+pub(crate) fn run_rank(ctx: RankContext) {
+    let cfg = &ctx.config;
+    let corpus = MarkovCorpus::new(cfg.model.vocab_size(), cfg.topics, cfg.seed);
+    let mut model = TinyMoeLm::new(cfg.model.clone(), cfg.seed);
+    let per = cfg.batch_per_rank();
+    let lo = ctx.rank * per;
+
+    let owned: Vec<String> = model
+        .store()
+        .module_names()
+        .into_iter()
+        .filter(|m| owner_rank(&cfg.topology, &cfg.model, m) == ctx.rank)
+        .collect();
+
+    while let Ok(command) = ctx.commands.recv() {
+        match command {
+            RankCommand::Step {
+                iteration,
+                epoch,
+                die,
+            } => {
+                let start = Instant::now();
+                model.store_mut().zero_grads();
+                let global = corpus.batch(iteration - 1, cfg.batch, cfg.seq_len);
+                let sub = &global[lo..lo + per];
+                let stats = model.forward_backward(sub, noise_seed(cfg.seed, iteration, ctx.rank));
+                if die {
+                    // The node dies mid-iteration: work done, never reported.
+                    return;
+                }
+                let grad = flatten_grads(model.store());
+                let _ = ctx.events.send(RankEvent::Grad {
+                    rank: ctx.rank,
+                    iteration,
+                    epoch,
+                    grad,
+                    expert_loads: stats.expert_loads,
+                    compute_secs: start.elapsed().as_secs_f64(),
+                });
+            }
+            RankCommand::Apply { grad } => {
+                load_grads(model.store_mut(), &grad);
+                adam_step(model.store_mut(), &cfg.adam);
+                if ctx.rank == 0 {
+                    let _ = ctx.events.send(RankEvent::Applied);
+                }
+            }
+            RankCommand::Checkpoint {
+                iteration,
+                snapshot,
+                persist,
+            } => {
+                let start = Instant::now();
+                let mut jobs = Vec::new();
+                for module in &owned {
+                    let expert = expert_of(&cfg.model, module);
+                    for part in [StatePart::Weights, StatePart::Optimizer] {
+                        let governed = match part {
+                            StatePart::Weights => cfg.pec_mode.weights,
+                            StatePart::Optimizer => cfg.pec_mode.optimizer,
+                            StatePart::Extra => false,
+                        };
+                        let (do_snapshot, do_persist) = match (expert, governed) {
+                            (None, _) | (Some(_), false) => (true, true),
+                            (Some(id), true) => (snapshot.contains(&id), persist.contains(&id)),
+                        };
+                        if do_snapshot {
+                            jobs.push(ShardJob {
+                                key: ShardKey::new(module.clone(), part, iteration),
+                                payload: serialize_module(&model, module, part),
+                                persist: do_persist,
+                            });
+                        }
+                    }
+                }
+                let _ = ctx.events.send(RankEvent::Shards {
+                    rank: ctx.rank,
+                    jobs,
+                    serialize_secs: start.elapsed().as_secs_f64(),
+                });
+            }
+            RankCommand::Eval => {
+                let val = corpus.validation(cfg.batch, cfg.seq_len);
+                let loss = model.evaluate(&val).loss;
+                let _ = ctx.events.send(RankEvent::EvalLoss { loss });
+            }
+            RankCommand::Restore { blobs } => {
+                for blob in blobs.iter() {
+                    deserialize_module(&mut model, &blob.module, blob.part, &blob.payload);
+                }
+                model.store_mut().zero_grads();
+                let _ = ctx.events.send(RankEvent::Restored { rank: ctx.rank });
+            }
+            RankCommand::Finish => {
+                let params = flatten_values(model.store());
+                let param_crc = params_crc(&params);
+                let _ = ctx.events.send(RankEvent::Finished {
+                    rank: ctx.rank,
+                    params,
+                    param_crc,
+                });
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> ParallelTopology {
+        ParallelTopology::dp_ep(2, 4, 8, 8).unwrap()
+    }
+
+    #[test]
+    fn every_module_has_exactly_one_owner() {
+        let cfg = RuntimeConfig::tiny(topo());
+        let model = TinyMoeLm::new(cfg.model.clone(), 1);
+        for module in model.store().module_names() {
+            let owner = owner_rank(&cfg.topology, &cfg.model, &module);
+            assert!(owner < cfg.topology.dp(), "{module} -> rank {owner}");
+        }
+    }
+
+    #[test]
+    fn expert_owner_follows_ep_placement() {
+        let cfg = RuntimeConfig::tiny(topo());
+        // tiny_lm_8e: 8 experts over ep=8 -> expert e on ep rank e.
+        for e in 0..8 {
+            let owner = owner_rank(&cfg.topology, &cfg.model, &format!("layer1.expert{e}"));
+            assert_eq!(owner, e);
+        }
+    }
+
+    #[test]
+    fn expert_owner_spreads_over_ep_groups() {
+        // dp=16, ep=8 -> two EP groups; layers alternate groups.
+        let topo = ParallelTopology::dp_ep(2, 8, 16, 8).unwrap();
+        let model = moc_moe::presets::tiny_lm_8e();
+        let l1 = owner_rank(&topo, &model, "layer1.expert0");
+        let l3 = owner_rank(&topo, &model, "layer3.expert0");
+        assert_eq!(l1, 0);
+        assert_eq!(l3, 8, "second MoE layer owned by the second EP group");
+    }
+
+    #[test]
+    fn grad_roundtrip_preserves_values() {
+        let cfg = RuntimeConfig::tiny(topo());
+        let mut model = TinyMoeLm::new(cfg.model.clone(), 3);
+        let corpus = MarkovCorpus::new(cfg.model.vocab_size(), cfg.topics, cfg.seed);
+        let batch = corpus.batch(0, 2, 16);
+        model.forward_backward(&batch, 1);
+        let grad = flatten_grads(model.store());
+        assert_eq!(grad.len() as u64, model.store().scalar_count());
+        let mut other = TinyMoeLm::new(cfg.model.clone(), 3);
+        load_grads(other.store_mut(), &grad);
+        assert_eq!(flatten_grads(other.store()), grad);
+    }
+
+    #[test]
+    fn params_crc_detects_divergence() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let mut b = a.clone();
+        assert_eq!(params_crc(&a), params_crc(&b));
+        b[1] = f32::from_bits(b[1].to_bits() ^ 1); // one-ulp divergence
+        assert_ne!(params_crc(&a), params_crc(&b));
+    }
+
+    #[test]
+    fn noise_seeds_differ_per_rank_and_iteration() {
+        assert_ne!(noise_seed(7, 1, 0), noise_seed(7, 1, 1));
+        assert_ne!(noise_seed(7, 1, 0), noise_seed(7, 2, 0));
+        assert_eq!(noise_seed(7, 5, 3), noise_seed(7, 5, 3));
+    }
+}

@@ -69,7 +69,10 @@ impl FaultPlan {
                 v.sort_by_key(|e| e.iteration);
                 v
             }
-            FaultPlan::Every { interval, num_nodes } => {
+            FaultPlan::Every {
+                interval,
+                num_nodes,
+            } => {
                 assert!(*interval > 0, "fault interval must be positive");
                 assert!(*num_nodes > 0, "need at least one node");
                 (1..)
@@ -82,7 +85,11 @@ impl FaultPlan {
                     })
                     .collect()
             }
-            FaultPlan::Poisson { rate, num_nodes, seed } => {
+            FaultPlan::Poisson {
+                rate,
+                num_nodes,
+                seed,
+            } => {
                 assert!(*num_nodes > 0, "need at least one node");
                 assert!((0.0..=1.0).contains(rate), "rate must be a probability");
                 let mut rng = rand::rngs::StdRng::seed_from_u64(*seed);
@@ -134,9 +141,18 @@ mod tests {
     #[test]
     fn explicit_events_filtered_and_sorted() {
         let plan = FaultPlan::At(vec![
-            FaultEvent { iteration: 500, node: 1 },
-            FaultEvent { iteration: 100, node: 0 },
-            FaultEvent { iteration: 9999, node: 0 },
+            FaultEvent {
+                iteration: 500,
+                node: 1,
+            },
+            FaultEvent {
+                iteration: 100,
+                node: 0,
+            },
+            FaultEvent {
+                iteration: 9999,
+                node: 0,
+            },
         ]);
         let ev = plan.events(1000);
         assert_eq!(ev.len(), 2);
@@ -146,29 +162,51 @@ mod tests {
 
     #[test]
     fn every_interval_round_robins_nodes() {
-        let plan = FaultPlan::Every { interval: 100, num_nodes: 2 };
+        let plan = FaultPlan::Every {
+            interval: 100,
+            num_nodes: 2,
+        };
         let ev = plan.events(450);
         assert_eq!(
             ev,
             vec![
-                FaultEvent { iteration: 100, node: 0 },
-                FaultEvent { iteration: 200, node: 1 },
-                FaultEvent { iteration: 300, node: 0 },
-                FaultEvent { iteration: 400, node: 1 },
+                FaultEvent {
+                    iteration: 100,
+                    node: 0
+                },
+                FaultEvent {
+                    iteration: 200,
+                    node: 1
+                },
+                FaultEvent {
+                    iteration: 300,
+                    node: 0
+                },
+                FaultEvent {
+                    iteration: 400,
+                    node: 1
+                },
             ]
         );
     }
 
     #[test]
     fn every_interval_excludes_endpoint() {
-        let plan = FaultPlan::Every { interval: 100, num_nodes: 1 };
+        let plan = FaultPlan::Every {
+            interval: 100,
+            num_nodes: 1,
+        };
         assert_eq!(plan.events(100).len(), 0);
         assert_eq!(plan.events(101).len(), 1);
     }
 
     #[test]
     fn poisson_is_deterministic_and_near_rate() {
-        let plan = FaultPlan::Poisson { rate: 0.01, num_nodes: 4, seed: 7 };
+        let plan = FaultPlan::Poisson {
+            rate: 0.01,
+            num_nodes: 4,
+            seed: 7,
+        };
         let a = plan.events(10_000);
         let b = plan.events(10_000);
         assert_eq!(a, b);
@@ -179,21 +217,35 @@ mod tests {
 
     #[test]
     fn expected_faults_formulas() {
-        let every = FaultPlan::Every { interval: 100, num_nodes: 1 };
+        let every = FaultPlan::Every {
+            interval: 100,
+            num_nodes: 1,
+        };
         assert_eq!(every.expected_faults(1000), 9.0);
-        let poisson = FaultPlan::Poisson { rate: 0.001, num_nodes: 1, seed: 0 };
+        let poisson = FaultPlan::Poisson {
+            rate: 0.001,
+            num_nodes: 1,
+            seed: 0,
+        };
         assert!((poisson.expected_faults(5000) - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn fault_event_node_id() {
-        let e = FaultEvent { iteration: 1, node: 3 };
+        let e = FaultEvent {
+            iteration: 1,
+            node: 3,
+        };
         assert_eq!(e.node_id(), NodeId(3));
     }
 
     #[test]
     #[should_panic(expected = "fault interval must be positive")]
     fn zero_interval_panics() {
-        FaultPlan::Every { interval: 0, num_nodes: 1 }.events(10);
+        FaultPlan::Every {
+            interval: 0,
+            num_nodes: 1,
+        }
+        .events(10);
     }
 }

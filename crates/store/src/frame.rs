@@ -52,7 +52,10 @@ impl fmt::Display for FrameError {
             FrameError::BadPartTag(t) => write!(f, "unknown state-part tag {t}"),
             FrameError::BadModuleName => write!(f, "module name is not valid utf-8"),
             FrameError::ChecksumMismatch { expected, actual } => {
-                write!(f, "payload checksum mismatch: header {expected:#x}, computed {actual:#x}")
+                write!(
+                    f,
+                    "payload checksum mismatch: header {expected:#x}, computed {actual:#x}"
+                )
             }
         }
     }
@@ -111,8 +114,7 @@ pub fn decode(framed: &Bytes) -> Result<(ShardKey, Bytes), FrameError> {
         return Err(FrameError::Truncated);
     }
     let name_bytes = buf.copy_to_bytes(name_len);
-    let module =
-        String::from_utf8(name_bytes.to_vec()).map_err(|_| FrameError::BadModuleName)?;
+    let module = String::from_utf8(name_bytes.to_vec()).map_err(|_| FrameError::BadModuleName)?;
     let part = decode_part(buf.get_u8())?;
     let version = buf.get_u64_le();
     let expected = buf.get_u32_le();
@@ -125,7 +127,14 @@ pub fn decode(framed: &Bytes) -> Result<(ShardKey, Bytes), FrameError> {
     if actual != expected {
         return Err(FrameError::ChecksumMismatch { expected, actual });
     }
-    Ok((ShardKey { module, part, version }, payload))
+    Ok((
+        ShardKey {
+            module,
+            part,
+            version,
+        },
+        payload,
+    ))
 }
 
 fn part_tag(p: StatePart) -> u8 {
@@ -153,7 +162,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, slot) in t.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *slot = c;
         }
@@ -234,9 +247,6 @@ mod tests {
         // part tag sits right after the module name.
         let tag_pos = 4 + 2 + 2 + key().module.len();
         bytes[tag_pos] = 9;
-        assert_eq!(
-            decode(&Bytes::from(bytes)),
-            Err(FrameError::BadPartTag(9))
-        );
+        assert_eq!(decode(&Bytes::from(bytes)), Err(FrameError::BadPartTag(9)));
     }
 }

@@ -81,7 +81,13 @@ impl ShardKey {
         let safe: String = self
             .module
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '.' || c == '-' {
+                    c
+                } else {
+                    '_'
+                }
+            })
             .collect();
         format!("{safe}.{}.{:012}.shard", self.part.tag(), self.version)
     }
@@ -123,7 +129,7 @@ mod tests {
 
     #[test]
     fn ordering_is_module_part_version() {
-        let mut keys = vec![
+        let mut keys = [
             ShardKey::new("b", StatePart::Weights, 0),
             ShardKey::new("a", StatePart::Optimizer, 5),
             ShardKey::new("a", StatePart::Weights, 9),

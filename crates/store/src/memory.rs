@@ -84,7 +84,11 @@ impl NodeMemoryStore {
 
     /// Total payload bytes held.
     pub fn total_bytes(&self) -> u64 {
-        self.slots.read().values().map(|(_, b)| b.len() as u64).sum()
+        self.slots
+            .read()
+            .values()
+            .map(|(_, b)| b.len() as u64)
+            .sum()
     }
 
     /// Number of slots held.
@@ -232,8 +236,12 @@ mod tests {
     #[test]
     fn cluster_fault_wipes_one_node() {
         let cluster = ClusterMemory::new(2);
-        cluster.node(NodeId(0)).put(&k("e0", 5), Bytes::from_static(b"a"));
-        cluster.node(NodeId(1)).put(&k("e1", 5), Bytes::from_static(b"b"));
+        cluster
+            .node(NodeId(0))
+            .put(&k("e0", 5), Bytes::from_static(b"a"));
+        cluster
+            .node(NodeId(1))
+            .put(&k("e1", 5), Bytes::from_static(b"b"));
         cluster.fault(NodeId(0));
         assert!(cluster.node(NodeId(0)).is_empty());
         assert_eq!(cluster.node(NodeId(1)).len(), 1);

@@ -86,8 +86,12 @@ pub trait ObjectStore: Send + Sync {
     /// Deletes all shards of `(module, part)` strictly older than
     /// `before_version`, returning the number removed (garbage collection
     /// of superseded checkpoints).
-    fn prune(&self, module: &str, part: StatePart, before_version: u64)
-        -> Result<usize, StoreError>;
+    fn prune(
+        &self,
+        module: &str,
+        part: StatePart,
+        before_version: u64,
+    ) -> Result<usize, StoreError>;
 }
 
 /// In-memory, thread-safe object store.
@@ -132,10 +136,7 @@ impl ObjectStore for MemoryObjectStore {
         let guard = self.shards.read();
         let lo = ShardKey::new(module, part, 0);
         let hi = ShardKey::new(module, part, at_or_before);
-        Ok(guard
-            .range(lo..=hi)
-            .next_back()
-            .map(|(k, _)| k.version))
+        Ok(guard.range(lo..=hi).next_back().map(|(k, _)| k.version))
     }
 
     fn keys(&self) -> Result<Vec<ShardKey>, StoreError> {
@@ -220,15 +221,33 @@ impl FileObjectStore {
 
 impl ObjectStore for FileObjectStore {
     fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError> {
+        // Crash-safe write protocol: frame into a uniquely named temp file
+        // (concurrent writers of the same key — e.g. persist agents on two
+        // nodes — must never interleave into one temp file), fsync the
+        // data, atomically rename over the final name, then fsync the
+        // directory so the rename itself survives a crash. A reader can
+        // therefore only ever observe no shard or a complete frame, and
+        // the frame checksum stays a second line of defence rather than
+        // the only one.
+        static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let framed = frame::encode(key, &payload);
         let final_path = self.path_for(key);
-        let tmp_path = final_path.with_extension("tmp");
+        let unique = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp_path = final_path.with_extension(format!("tmp.{}.{unique}", std::process::id()));
         {
             let mut f = std::fs::File::create(&tmp_path)?;
             f.write_all(&framed)?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp_path, &final_path)?;
+        if let Err(e) = std::fs::rename(&tmp_path, &final_path) {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e.into());
+        }
+        // Persist the directory entry; without this a crash after rename
+        // can still lose the shard even though the data blocks are synced.
+        // A failure here means the shard is NOT durably named yet, so it
+        // must surface to the caller rather than be swallowed.
+        std::fs::File::open(&self.root)?.sync_all()?;
         Ok(())
     }
 
@@ -252,9 +271,7 @@ impl ObjectStore for FileObjectStore {
         Ok(self
             .scan()?
             .into_iter()
-            .filter(|(k, _, _)| {
-                k.module == module && k.part == part && k.version <= at_or_before
-            })
+            .filter(|(k, _, _)| k.module == module && k.part == part && k.version <= at_or_before)
             .map(|(k, _, _)| k.version)
             .max())
     }
@@ -344,7 +361,10 @@ mod tests {
             store.put(&key, Bytes::from_static(b"state")).unwrap();
         }
         let store = FileObjectStore::open(&dir).unwrap();
-        assert_eq!(store.get(&key).unwrap().unwrap(), Bytes::from_static(b"state"));
+        assert_eq!(
+            store.get(&key).unwrap().unwrap(),
+            Bytes::from_static(b"state")
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -369,6 +389,33 @@ mod tests {
         store.put(&k, Bytes::from_static(b"bb")).unwrap();
         assert_eq!(store.get(&k).unwrap().unwrap(), Bytes::from_static(b"bb"));
         assert_eq!(store.total_bytes().unwrap(), 2);
+    }
+
+    #[test]
+    fn concurrent_same_key_file_puts_never_tear() {
+        let dir = std::env::temp_dir().join(format!("moc-store-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = std::sync::Arc::new(FileObjectStore::open(&dir).unwrap());
+        let key = ShardKey::new("contended", StatePart::Weights, 1);
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let s = store.clone();
+            let k = key.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..16 {
+                    s.put(&k, Bytes::from(vec![t; 512])).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The surviving shard decodes cleanly to one writer's payload —
+        // never an interleaving of two writers.
+        let payload = store.get(&key).unwrap().expect("shard present");
+        assert_eq!(payload.len(), 512);
+        assert!(payload.iter().all(|&b| b == payload[0]));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

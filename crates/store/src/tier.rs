@@ -106,8 +106,7 @@ mod tests {
     fn h100_snapshot_twice_a800() {
         let a = StorageHierarchy::a800();
         let h = StorageHierarchy::h100();
-        let ratio =
-            h.snapshot.bandwidth_bytes_per_sec / a.snapshot.bandwidth_bytes_per_sec;
+        let ratio = h.snapshot.bandwidth_bytes_per_sec / a.snapshot.bandwidth_bytes_per_sec;
         assert!((ratio - 2.0).abs() < 1e-9);
     }
 

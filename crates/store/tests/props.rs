@@ -1,8 +1,36 @@
 //! Property-based tests of store semantics.
 
 use bytes::Bytes;
-use moc_store::{FaultPlan, MemoryObjectStore, NodeMemoryStore, ObjectStore, ShardKey, StatePart};
+use moc_store::{
+    frame, FaultPlan, MemoryObjectStore, NodeMemoryStore, ObjectStore, ShardKey, StatePart,
+};
 use proptest::prelude::*;
+
+/// Exhaustive single-bit corruption: flipping *any* bit of an encoded
+/// frame — header, key, checksum, length or payload — is always detected:
+/// decoding either fails outright or yields a different `(key, payload)`
+/// than the original, never a silent acceptance of the original value.
+#[test]
+fn every_single_bit_flip_is_detected() {
+    let key = ShardKey::new("layer2.expert3", StatePart::Optimizer, 7_777);
+    let payload = Bytes::from((0..=255u8).collect::<Vec<u8>>());
+    let framed = frame::encode(&key, &payload);
+    for byte in 0..framed.len() {
+        for bit in 0..8 {
+            let mut corrupt = framed.to_vec();
+            corrupt[byte] ^= 1 << bit;
+            match frame::decode(&Bytes::from(corrupt)) {
+                Err(_) => {}
+                Ok((k, p)) => {
+                    assert!(
+                        k != key || p != payload,
+                        "bit {bit} of byte {byte} flipped yet decode returned the original"
+                    );
+                }
+            }
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

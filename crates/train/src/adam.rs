@@ -52,7 +52,9 @@ pub fn adam_step(store: &mut ParamStore, cfg: &AdamConfig) -> f32 {
         let bc1 = 1.0 - cfg.beta1.powi(p.steps as i32);
         let bc2 = 1.0 - cfg.beta2.powi(p.steps as i32);
         let g_iter = p.grad.data().iter();
-        for ((g, m), v) in g_iter.zip(p.m.data_mut().iter_mut()).zip(p.v.data_mut().iter_mut())
+        for ((g, m), v) in g_iter
+            .zip(p.m.data_mut().iter_mut())
+            .zip(p.v.data_mut().iter_mut())
         {
             let g = g * scale;
             *m = cfg.beta1 * *m + (1.0 - cfg.beta1) * g;

@@ -31,13 +31,25 @@ pub struct PecMode {
 
 impl PecMode {
     /// PEC on weights only ("W").
-    pub const W: PecMode = PecMode { weights: true, optimizer: false };
+    pub const W: PecMode = PecMode {
+        weights: true,
+        optimizer: false,
+    };
     /// PEC on optimizer states only ("O").
-    pub const O: PecMode = PecMode { weights: false, optimizer: true };
+    pub const O: PecMode = PecMode {
+        weights: false,
+        optimizer: true,
+    };
     /// PEC on both ("WO").
-    pub const WO: PecMode = PecMode { weights: true, optimizer: true };
+    pub const WO: PecMode = PecMode {
+        weights: true,
+        optimizer: true,
+    };
     /// PEC disabled (full checkpointing baseline).
-    pub const NONE: PecMode = PecMode { weights: false, optimizer: false };
+    pub const NONE: PecMode = PecMode {
+        weights: false,
+        optimizer: false,
+    };
 }
 
 /// Checkpointer configuration.
@@ -170,8 +182,7 @@ impl TrainingCheckpointer {
         self.routed_at_version.insert(iteration, routed);
         let cfg = model.config().clone();
         let n = cfg.num_experts();
-        let snap: std::collections::HashSet<ExpertId> =
-            snapshot_experts.iter().copied().collect();
+        let snap: std::collections::HashSet<ExpertId> = snapshot_experts.iter().copied().collect();
         let persist: std::collections::HashSet<ExpertId> =
             persist_experts.iter().copied().collect();
         for module in model.store().module_names() {
@@ -197,8 +208,7 @@ impl TrainingCheckpointer {
                 } else if do_persist {
                     // Persist the expert's latest in-memory snapshot (an
                     // older version than `iteration`).
-                    if let Some((version, payload)) = self.memory.node(node).get(&module, part)
-                    {
+                    if let Some((version, payload)) = self.memory.node(node).get(&module, part) {
                         let key = ShardKey::new(module.clone(), part, version);
                         self.store.put(&key, payload).expect("in-memory store put");
                     }
@@ -246,12 +256,7 @@ impl TrainingCheckpointer {
             .store()
             .module_names()
             .into_iter()
-            .flat_map(|m| {
-                [
-                    (m.clone(), StatePart::Weights),
-                    (m, StatePart::Optimizer),
-                ]
-            })
+            .flat_map(|m| [(m.clone(), StatePart::Weights), (m, StatePart::Optimizer)])
             .collect();
         let plan = plan_recovery(
             &slots,
@@ -382,7 +387,12 @@ mod tests {
         TinyMoeLm::new(presets::tiny_lm_8e(), 42)
     }
 
-    fn checkpointer(k_snapshot: usize, k_persist: usize, mode: PecMode, two_level: bool) -> TrainingCheckpointer {
+    fn checkpointer(
+        k_snapshot: usize,
+        k_persist: usize,
+        mode: PecMode,
+        two_level: bool,
+    ) -> TrainingCheckpointer {
         let cfg = presets::tiny_lm_8e();
         TrainingCheckpointer::new(CheckpointerConfig {
             snapshot_pec: PecConfig::new(
@@ -423,10 +433,7 @@ mod tests {
         let mut restored = model();
         deserialize_module(&mut restored, "layer1.expert0", StatePart::Weights, &w);
         deserialize_module(&mut restored, "layer1.expert0", StatePart::Optimizer, &o);
-        assert_eq!(
-            restored.store().value("layer1.expert0/w1").data()[0],
-            1.25
-        );
+        assert_eq!(restored.store().value("layer1.expert0/w1").data()[0], 1.25);
     }
 
     #[test]
@@ -520,11 +527,7 @@ mod tests {
         assert!(s.memory_hits > 0, "healthy node snapshots used");
         // Snapshot-selected experts on healthy nodes restore at 10; the
         // same selection through storage-only would mostly sit at 0.
-        let fresh = s
-            .expert_versions
-            .iter()
-            .filter(|(_, v)| *v == 10)
-            .count();
+        let fresh = s.expert_versions.iter().filter(|(_, v)| *v == 10).count();
         assert!(fresh >= 4, "snapshot level supplies fresher experts: {s:?}");
     }
 

@@ -31,7 +31,7 @@ impl MarkovCorpus {
     /// Panics unless `topics` divides `vocab` and both are positive.
     pub fn new(vocab: usize, topics: usize, seed: u64) -> Self {
         assert!(vocab > 0 && topics > 0, "need tokens and topics");
-        assert!(vocab % topics == 0, "topics must divide vocab");
+        assert!(vocab.is_multiple_of(topics), "topics must divide vocab");
         let per = vocab / topics;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FF_EE00);
         // A random cyclic successor permutation inside each topic makes
@@ -63,7 +63,11 @@ impl MarkovCorpus {
     /// the distribution shift used by the fine-tuning experiments
     /// (Table 4 proxy).
     pub fn shifted(&self, shift_seed: u64) -> Self {
-        Self::new(self.vocab, self.topics, self.seed ^ shift_seed ^ 0xDEAD_BEEF)
+        Self::new(
+            self.vocab,
+            self.topics,
+            self.seed ^ shift_seed ^ 0xDEAD_BEEF,
+        )
     }
 
     /// Vocabulary size.
@@ -91,10 +95,15 @@ impl MarkovCorpus {
     /// iteration after fault recovery reproduces the same data.
     pub fn batch(&self, iteration: u64, batch: usize, seq_len: usize) -> Vec<Vec<u16>> {
         (0..batch)
-            .map(|b| self.sequence(self.seed
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                    .wrapping_add(iteration)
-                    .wrapping_add((b as u64) << 40), seq_len))
+            .map(|b| {
+                self.sequence(
+                    self.seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(iteration)
+                        .wrapping_add((b as u64) << 40),
+                    seq_len,
+                )
+            })
             .collect()
     }
 
@@ -174,7 +183,7 @@ mod tests {
     #[test]
     fn successor_is_a_permutation_within_topics() {
         let c = MarkovCorpus::new(64, 4, 2);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for t in 0..64u16 {
             let s = c.preferred_successor(t) as usize;
             assert!(!seen[s], "successor table must be injective");

@@ -311,7 +311,11 @@ impl TinyMoeLm {
                     x_in: x.clone(),
                     mean,
                     hidden: h,
-                    ffn: FfnTrace::Moe { tokens, counts, dropped },
+                    ffn: FfnTrace::Moe {
+                        tokens,
+                        counts,
+                        dropped,
+                    },
                 },
             )
         } else {
@@ -359,7 +363,10 @@ impl TinyMoeLm {
                 self.forward_hidden(tokens, train, noise_seed.wrapping_add((b as u64) << 32));
             // Collect routing stats.
             for trace in &traces {
-                if let FfnTrace::Moe { counts, dropped, .. } = &trace.ffn {
+                if let FfnTrace::Moe {
+                    counts, dropped, ..
+                } = &trace.ffn
+                {
                     let pos = moe_position(&traces, trace);
                     for (slot, &c) in expert_loads[pos].iter_mut().zip(counts) {
                         *slot += c;
@@ -393,9 +400,7 @@ impl TinyMoeLm {
                                 continue;
                             }
                             let gs = g * scale;
-                            for (o, &xv) in
-                                d_emb_out.row_mut(tok).iter_mut().zip(x_final.row(t))
-                            {
+                            for (o, &xv) in d_emb_out.row_mut(tok).iter_mut().zip(x_final.row(t)) {
                                 *o += gs * xv;
                             }
                             for (o, &ev) in d_x.row_mut(t).iter_mut().zip(emb.row(tok)) {
@@ -405,7 +410,9 @@ impl TinyMoeLm {
                     }
                 }
                 if train {
-                    self.store.grad_mut("embedding/tok").add_scaled(&d_emb_out, 1.0);
+                    self.store
+                        .grad_mut("embedding/tok")
+                        .add_scaled(&d_emb_out, 1.0);
                 }
             }
             if train {
@@ -519,8 +526,14 @@ impl TinyMoeLm {
                     }
                     // Expert backward (per token).
                     let e = tok.expert;
-                    let w2 = self.store.value(&format!("layer{layer}.expert{e}/w2")).clone();
-                    let w1 = self.store.value(&format!("layer{layer}.expert{e}/w1")).clone();
+                    let w2 = self
+                        .store
+                        .value(&format!("layer{layer}.expert{e}/w2"))
+                        .clone();
+                    let w1 = self
+                        .store
+                        .value(&format!("layer{layer}.expert{e}/w1"))
+                        .clone();
                     let f_dim = w1.cols();
                     // df = p·d_out.
                     let df: Vec<f32> = d_out_t.iter().map(|&g| g * tok.prob).collect();
@@ -780,11 +793,15 @@ mod tests {
             .build()
             .unwrap();
         let mut m = TinyMoeLm::new(cfg, 0);
-        let stats = m.evaluate(&vec![vec![1u16; 16]]);
+        let stats = m.evaluate(&[vec![1u16; 16]]);
         // Capacity ceil(0.25·16/4) = 1 per expert: at most 4 of the 16
         // tokens can be accepted; position embeddings may split the
         // routing across a few experts.
-        assert!(stats.dropped_tokens >= 12, "dropped {}", stats.dropped_tokens);
+        assert!(
+            stats.dropped_tokens >= 12,
+            "dropped {}",
+            stats.dropped_tokens
+        );
     }
 
     #[test]

@@ -133,8 +133,7 @@ impl ParamStore {
         let mut seen = Vec::new();
         for p in &self.params {
             let module = module_of(&p.name);
-            if seen.last().map(String::as_str) != Some(module)
-                && !seen.iter().any(|s| s == module)
+            if seen.last().map(String::as_str) != Some(module) && !seen.iter().any(|s| s == module)
             {
                 seen.push(module.to_string());
             }

@@ -241,7 +241,11 @@ mod tests {
     #[test]
     fn matmul_transposed_matches_explicit_transpose() {
         let a = m(2, 3, &[1.0, 0.5, -1.0, 2.0, 1.5, 0.0]);
-        let b = m(4, 3, &[1.0, 2.0, 3.0, 0.0, 1.0, 0.0, -1.0, 0.5, 2.0, 1.0, 1.0, 1.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 2.0, 3.0, 0.0, 1.0, 0.0, -1.0, 0.5, 2.0, 1.0, 1.0, 1.0],
+        );
         let direct = a.matmul_transposed(&b);
         // Explicit transpose of b.
         let mut bt = Matrix::zeros(3, 4);

@@ -14,8 +14,14 @@ fn main() {
         ..TrainConfig::tiny_8e()
     };
     let faults = vec![
-        FaultEvent { iteration: 70, node: 0 },
-        FaultEvent { iteration: 150, node: 1 },
+        FaultEvent {
+            iteration: 70,
+            node: 0,
+        },
+        FaultEvent {
+            iteration: 150,
+            node: 1,
+        },
     ];
 
     println!("== full checkpointing (baseline) ==");

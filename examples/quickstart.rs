@@ -15,7 +15,11 @@ fn main() {
     // 1. How much does PEC shrink a GPT-350M-16E checkpoint?
     let model = presets::gpt_350m_16e();
     let full = model.full_checkpoint_bytes();
-    println!("model {} — full checkpoint {:.2} GiB", model.name(), gib(full));
+    println!(
+        "model {} — full checkpoint {:.2} GiB",
+        model.name(),
+        gib(full)
+    );
     for k in [16, 8, 4, 2, 1] {
         println!(
             "  K_pec = {k:>2}: {:>6.2} GiB ({:.1}% of full)",

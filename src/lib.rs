@@ -5,5 +5,6 @@
 pub use moc_cluster as cluster;
 pub use moc_core as core;
 pub use moc_moe as moe;
+pub use moc_runtime as runtime;
 pub use moc_store as store;
 pub use moc_train as train;

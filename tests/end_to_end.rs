@@ -68,16 +68,11 @@ fn plt_simulator_tracks_real_training_plt() {
         seq_len: 16,
         ..TrainConfig::tiny_8e()
     };
-    let faults = vec![FaultEvent { iteration: 48, node: 0 }];
-    let ft = FaultToleranceConfig::pec(
-        &train.model,
-        1,
-        1,
-        PecMode::WO,
-        false,
-        8,
-        faults.clone(),
-    );
+    let faults = vec![FaultEvent {
+        iteration: 48,
+        node: 0,
+    }];
+    let ft = FaultToleranceConfig::pec(&train.model, 1, 1, PecMode::WO, false, 8, faults.clone());
     let real = run_experiment(&train, &ft).plt;
 
     let sim = PltSimulation {
@@ -123,7 +118,11 @@ fn paper_claim_fig12_bands_hold() {
         ParallelTopology::case3(),
     ] {
         let row = fig12_row("case", model.clone(), topo, ClusterSpec::a800(), 4, 1);
-        assert!(row.o_save_reduction() > 0.95, "o_save cut {}", row.o_save_reduction());
+        assert!(
+            row.o_save_reduction() > 0.95,
+            "o_save cut {}",
+            row.o_save_reduction()
+        );
         assert!(row.speedup() > 2.0, "speedup {}", row.speedup());
     }
 }
@@ -156,8 +155,7 @@ fn engine_with_memory_store_handles_many_checkpoints() {
 
 #[test]
 fn sharding_plans_are_deterministic() {
-    let planner =
-        ShardingPlanner::new(presets::gpt_350m_16e(), ParallelTopology::case3()).unwrap();
+    let planner = ShardingPlanner::new(presets::gpt_350m_16e(), ParallelTopology::case3()).unwrap();
     let pec = PecConfig::sequential(2, 16, 12);
     let a = planner.plan_pec(ShardingStrategy::FullyShardedAdaptive, &pec, 5);
     let b = planner.plan_pec(ShardingStrategy::FullyShardedAdaptive, &pec, 5);

@@ -1,0 +1,191 @@
+//! Integration tests of the live multi-rank runtime: a node kill at a
+//! known iteration recovers to bitwise-identical parameters versus an
+//! unfaulted run, async two-level checkpointing beats the synchronous
+//! baseline on per-iteration overhead, and Dynamic-K bounds measured PLT.
+
+use moc_system::core::ParallelTopology;
+use moc_system::runtime::{CheckpointMode, Coordinator, RunSummary, RuntimeConfig};
+use moc_system::store::{FaultEvent, FaultPlan, FileObjectStore, MemoryObjectStore, ObjectStore};
+use moc_system::train::PecMode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn topo() -> ParallelTopology {
+    // 2 nodes × 4 GPUs, DP = EP = 8: one expert of the tiny 8-expert LM
+    // per rank, four ranks per node.
+    ParallelTopology::dp_ep(2, 4, 8, 8).unwrap()
+}
+
+fn base_config() -> RuntimeConfig {
+    RuntimeConfig {
+        total_iterations: 18,
+        i_ckpt: 6,
+        eval_every: 0,
+        seq_len: 16,
+        heartbeat_timeout: Duration::from_millis(800),
+        ..RuntimeConfig::tiny(topo())
+    }
+}
+
+fn run(config: RuntimeConfig, store: Arc<dyn ObjectStore>) -> RunSummary {
+    Coordinator::new(config, store).unwrap().run().unwrap()
+}
+
+/// The headline recovery guarantee: with full checkpointing (PEC
+/// disabled), killing a node mid-run rolls every replica back to exactly
+/// the state the unfaulted run passed through, so both runs finish with
+/// bitwise-identical parameters.
+#[test]
+fn node_kill_recovers_bitwise_identical_to_unfaulted_run() {
+    let full = RuntimeConfig {
+        k_snapshot: 8,
+        k_persist: 8,
+        pec_mode: PecMode::NONE,
+        ..base_config()
+    };
+    let faulted = RuntimeConfig {
+        faults: FaultPlan::At(vec![FaultEvent {
+            iteration: 10,
+            node: 0,
+        }]),
+        ..full.clone()
+    };
+
+    let clean = run(full, Arc::new(MemoryObjectStore::new()));
+    let recovered = run(faulted, Arc::new(MemoryObjectStore::new()));
+
+    assert!(clean.replicas_consistent && recovered.replicas_consistent);
+    assert_eq!(recovered.faults_injected, 1);
+    assert_eq!(recovered.recoveries, 1);
+    // Kill at 10 rolls back to the checkpoint at 6: four redone iterations.
+    assert_eq!(recovered.iterations_executed, 18 + 4);
+    assert_eq!(recovered.plt, 0.0, "full checkpointing loses no updates");
+    let clean_bits: Vec<u32> = clean.final_params.iter().map(|x| x.to_bits()).collect();
+    let recovered_bits: Vec<u32> = recovered.final_params.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(
+        clean_bits, recovered_bits,
+        "recovery must reproduce the unfaulted trajectory bitwise"
+    );
+}
+
+/// PEC recovery loses expert updates (PLT > 0) but two-level recovery
+/// pulls fresher expert state from surviving nodes' memory than storage
+/// alone would.
+#[test]
+fn pec_recovery_reports_plt_and_uses_memory_tier() {
+    let config = RuntimeConfig {
+        k_snapshot: 4,
+        k_persist: 1,
+        pec_mode: PecMode::WO,
+        two_level: true,
+        faults: FaultPlan::At(vec![FaultEvent {
+            iteration: 14,
+            node: 1,
+        }]),
+        ..base_config()
+    };
+    let summary = run(config, Arc::new(MemoryObjectStore::new()));
+    assert!(summary.replicas_consistent);
+    assert!(summary.plt > 0.0, "PEC recovery must lose expert updates");
+    assert!(
+        summary.memory_hits > 0,
+        "two-level recovery must hit surviving CPU memory: {summary:?}"
+    );
+    assert!(
+        summary.storage_hits > 0,
+        "dead node slots come from storage"
+    );
+}
+
+/// Acceptance (a): asynchronous two-level checkpointing overlaps persists
+/// with compute, so the measured per-checkpoint overhead is lower than
+/// the synchronous baseline writing the same shards to the same store.
+#[test]
+fn async_checkpointing_beats_sync_overhead() {
+    let root = std::env::temp_dir().join(format!("moc-runtime-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let sync_cfg = RuntimeConfig {
+        checkpoint_mode: CheckpointMode::Sync,
+        ..base_config()
+    };
+    let async_cfg = RuntimeConfig {
+        checkpoint_mode: CheckpointMode::Async,
+        ..base_config()
+    };
+    let sync_store = Arc::new(FileObjectStore::open(root.join("sync")).unwrap());
+    let async_store = Arc::new(FileObjectStore::open(root.join("async")).unwrap());
+    let sync_run = run(sync_cfg, sync_store.clone());
+    let async_run = run(async_cfg, async_store.clone());
+
+    // Same policy, same store: both persist the same shard volume.
+    assert_eq!(sync_run.checkpoints_taken, async_run.checkpoints_taken);
+    assert_eq!(
+        sync_store.keys().unwrap(),
+        async_store.keys().unwrap(),
+        "modes must persist identical shard sets"
+    );
+    let sync_overhead = sync_run.checkpoint_overhead_secs();
+    let async_overhead = async_run.checkpoint_overhead_secs();
+    assert!(
+        async_overhead < sync_overhead,
+        "async {async_overhead:.6}s per checkpoint must beat sync {sync_overhead:.6}s"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Acceptance (b): under a late-run fault burst, the Dynamic-K controller
+/// raises K so that measured PLT stays bounded by the configured budget.
+#[test]
+fn dynamic_k_bounds_measured_plt_under_fault_burst() {
+    let budget = 0.12;
+    let config = RuntimeConfig {
+        total_iterations: 120,
+        i_ckpt: 2,
+        k_snapshot: 2,
+        k_persist: 2,
+        pec_mode: PecMode::WO,
+        two_level: true,
+        dynamic_k_budget: Some(budget),
+        faults: FaultPlan::At(vec![
+            FaultEvent {
+                iteration: 60,
+                node: 0,
+            },
+            FaultEvent {
+                iteration: 90,
+                node: 1,
+            },
+            FaultEvent {
+                iteration: 110,
+                node: 0,
+            },
+        ]),
+        ..base_config()
+    };
+    let summary = run(config, Arc::new(MemoryObjectStore::new()));
+    assert_eq!(summary.recoveries, 3);
+    assert!(summary.replicas_consistent);
+    assert_eq!(summary.k_trace.len(), 3);
+    assert!(
+        summary.k_trace.windows(2).all(|w| w[0] <= w[1]),
+        "K must be non-decreasing: {:?}",
+        summary.k_trace
+    );
+    assert!(
+        summary.plt <= budget,
+        "measured PLT {} must stay within the Dynamic-K budget {budget}",
+        summary.plt
+    );
+}
+
+/// The cluster-model validation hook: projecting measured phase means
+/// through the analytic event simulator yields a finite, comparable
+/// timeline.
+#[test]
+fn analytic_projection_accepts_measured_phases() {
+    let summary = run(base_config(), Arc::new(MemoryObjectStore::new()));
+    let projection = summary.analytic_projection();
+    assert_eq!(projection.requested_checkpoints, 3);
+    assert!(projection.total_sec.is_finite() && projection.total_sec > 0.0);
+}

@@ -28,7 +28,10 @@ fn identical_seeds_reproduce_runs_exactly() {
         PecMode::WO,
         true,
         10,
-        vec![FaultEvent { iteration: 45, node: 0 }],
+        vec![FaultEvent {
+            iteration: 45,
+            node: 0,
+        }],
     );
     let a = run_experiment(&train, &ft);
     let b = run_experiment(&train, &ft);
@@ -39,11 +42,22 @@ fn identical_seeds_reproduce_runs_exactly() {
 fn plt_ordering_matches_paper_fig5() {
     // Smaller K and larger I_ckpt => more PLT.
     let train = quick();
-    let fault = vec![FaultEvent { iteration: 45, node: 0 }];
+    let fault = vec![FaultEvent {
+        iteration: 45,
+        node: 0,
+    }];
     let plt_of = |k: usize, ickpt: u64| {
         run_experiment(
             &train,
-            &FaultToleranceConfig::pec(&train.model, k, k, PecMode::WO, false, ickpt, fault.clone()),
+            &FaultToleranceConfig::pec(
+                &train.model,
+                k,
+                k,
+                PecMode::WO,
+                false,
+                ickpt,
+                fault.clone(),
+            ),
         )
         .plt
     };
@@ -63,7 +77,10 @@ fn lossy_recovery_keeps_accuracy_in_family() {
         eval_every: 120,
         ..quick()
     };
-    let faults = vec![FaultEvent { iteration: 65, node: 0 }];
+    let faults = vec![FaultEvent {
+        iteration: 65,
+        node: 0,
+    }];
     let base = run_experiment(
         &train,
         &FaultToleranceConfig::baseline(&train.model, 10, faults.clone()),
@@ -97,7 +114,9 @@ fn downstream_probes_improve_with_training() {
     );
     let mut untrained = moc_system::train::TinyMoeLm::new(train.model.clone(), train.seed);
     let acc_trained: f64 = downstream_suite(&mut trained, &corpus, 2, 12).iter().sum();
-    let acc_untrained: f64 = downstream_suite(&mut untrained, &corpus, 2, 12).iter().sum();
+    let acc_untrained: f64 = downstream_suite(&mut untrained, &corpus, 2, 12)
+        .iter()
+        .sum();
     assert!(
         acc_trained > acc_untrained,
         "training must beat init: {acc_trained} vs {acc_untrained}"

@@ -1,0 +1,471 @@
+//! Workspace-local stand-in for `proptest`.
+//!
+//! A compact property-testing harness implementing the subset of the
+//! proptest API this workspace uses: the [`proptest!`] macro,
+//! `prop_assert!` / `prop_assert_eq!`, [`any`], numeric range strategies,
+//! tuple strategies, `collection::vec` / `collection::btree_set`, and
+//! character-class string strategies of the form `"[chars]{lo,hi}"`.
+//!
+//! Cases are generated from a deterministic per-test seed (derived from
+//! the test name), so failures are reproducible run-to-run. There is no
+//! shrinking: the failing inputs are printed verbatim.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Error type carried by failed `prop_assert!` macros.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic generator driving case generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a) so every property has
+    /// a stable, independent stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self { state: h | 1 }
+    }
+
+    /// Next 64 pseudo-random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty sampling domain");
+        self.next_u64() % n
+    }
+}
+
+/// Produces values of an output type from a [`TestRng`].
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.abs_diff(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.abs_diff(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// Character-class string strategy: `"[a-z0-9.]{1,32}"` draws a string of
+/// 1..=32 characters uniformly from the class. Only this `[class]{lo,hi}`
+/// shape is supported (the one shape the workspace uses).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = parse_char_class(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len)
+            .map(|_| class[rng.below(class.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_char_class(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let (class_str, rest) = rest.split_once(']')?;
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = counts.parse().ok()?;
+            (n, n)
+        }
+    };
+    if lo > hi {
+        return None;
+    }
+    let chars: Vec<char> = class_str.chars().collect();
+    let mut class = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            for c in a..=b {
+                class.push(c);
+            }
+            i += 3;
+        } else {
+            class.push(chars[i]);
+            i += 1;
+        }
+    }
+    if class.is_empty() {
+        return None;
+    }
+    Some((class, lo, hi))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident / $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Types generatable over their whole domain via [`any`].
+pub trait Arbitrary {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over a type's whole domain.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// The `any::<T>()` strategy.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, lo..hi)` — vectors of `lo..hi` elements.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy producing `BTreeSet`s with target sizes drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `btree_set(element, lo..hi)` — sets of roughly `lo..hi` distinct
+    /// elements (bounded retries when the element domain is small).
+    pub fn btree_set<S>(element: S, len: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(len.start < len.end, "empty length range");
+        BTreeSetStrategy { element, len }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let target = self.len.start + rng.below(span) as usize;
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 20 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+// Re-exported so `proptest::collection::vec` resolves both through the
+// crate root path used in tests and through the prelude.
+pub use collection as collections;
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Defines property tests: each function runs its body over many generated
+/// cases, panicking with the offending inputs on the first failure.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                // Render inputs before the body, which may consume them.
+                let mut inputs = ::std::string::String::new();
+                $(inputs.push_str(&format!("\n  {} = {:?}", stringify!($arg), &$arg));)+
+                let result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}\ninputs:{}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e,
+                        inputs,
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn char_class_parses() {
+        let (class, lo, hi) = super::parse_char_class("[a-c9.]{1,4}").unwrap();
+        assert_eq!(class, vec!['a', 'b', 'c', '9', '.']);
+        assert_eq!((lo, hi), (1, 4));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respected(x in 3u64..10, y in -5i32..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in super::collection::vec(super::any::<u8>(), 2..6)) {
+            prop_assert!((2..6).contains(&v.len()), "len {}", v.len());
+        }
+
+        #[test]
+        fn btree_sets_are_sets(s in super::collection::btree_set(0u64..50, 1..10)) {
+            prop_assert!(!s.is_empty());
+            prop_assert!(s.iter().all(|&x| x < 50));
+        }
+
+        #[test]
+        fn string_strategy_matches_class(s in "[a-f0-9]{1,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_hexdigit() && !c.is_uppercase()));
+        }
+
+        #[test]
+        fn tuples_generate(pair in (0u8..4, 10usize..20)) {
+            prop_assert!(pair.0 < 4 && (10..20).contains(&pair.1));
+        }
+
+        #[test]
+        fn floats_in_range(x in -2.5f64..2.5) {
+            prop_assert!((-2.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed")]
+    fn failures_report_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn failing(x in 0u8..200) {
+                prop_assert!(x > 250, "x was {}", x);
+            }
+        }
+        failing();
+    }
+}

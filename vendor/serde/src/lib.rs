@@ -1,0 +1,16 @@
+//! Workspace-local stand-in for `serde`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! to declare serializability, but no code path performs actual serde
+//! serialization (there is no format crate in the graph). This stand-in
+//! provides same-named marker traits and re-exports the no-op derives from
+//! the companion `serde_derive` crate so the annotations compile
+//! unchanged offline.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Workspace-local stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` (plus `#[serde(...)]`
+//! field attributes) as declarations of serializability, but nothing in the
+//! build actually drives serde serialization — there is no `serde_json` or
+//! similar in the dependency graph. These derives therefore only need to
+//! accept the syntax: they register the `serde` helper attribute and emit
+//! no code, leaving the marker traits in the companion `serde` stand-in
+//! unimplemented (which is fine, as no bound ever requires them).
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attributes; emits nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attributes; emits nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
