@@ -1,0 +1,94 @@
+//! All-reduce scaling: coordinator star vs decentralized ring.
+//!
+//! The star collective gathers every rank's gradient on the coordinator
+//! thread and sums in rank order: its reduce cost is `O(world · |grad|)`
+//! serialized on one thread. The chunked ring all-reduce pipelines the
+//! same rank-order fold along peer channels, so each rank touches
+//! ~`2 · |grad|` elements regardless of world size. This bench sweeps
+//! world ∈ {2, 4, 8, 16, 32} under both collectives and reports the
+//! star's coordinator-thread reduce time growing ~linearly while the
+//! per-rank ring time stays ~flat (busy time is reported, not wall time,
+//! so the numbers measure the algorithm rather than how many hardware
+//! threads the host happens to have).
+//!
+//! Run with `cargo bench --bench fig17_allreduce_scaling`.
+
+use moc_bench::{banner, millis};
+use moc_runtime::{CollectiveKind, Coordinator, Phase, RunSummary, RuntimeConfig};
+use moc_store::MemoryObjectStore;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// (world, nodes, gpus_per_node, ep) sweep points.
+const SWEEP: [(usize, usize, usize, usize); 5] = [
+    (2, 1, 2, 2),
+    (4, 2, 2, 4),
+    (8, 2, 4, 8),
+    (16, 2, 8, 8),
+    (32, 4, 8, 8),
+];
+
+fn run(point: (usize, usize, usize, usize), collective: CollectiveKind) -> RunSummary {
+    let (world, nodes, gpus, ep) = point;
+    let topo = moc_core::ParallelTopology::dp_ep(nodes, gpus, world, ep).expect("topology");
+    let config = RuntimeConfig {
+        total_iterations: 8,
+        i_ckpt: 1000, // bootstrap only: isolate the iteration loop
+        eval_every: 0,
+        seq_len: 8,
+        collective,
+        // Generous detection window: 32 compute threads on a small host
+        // must not be declared dead by scheduling skew.
+        heartbeat_timeout: Duration::from_secs(20),
+        ..RuntimeConfig::tiny(topo)
+    };
+    Coordinator::new(config, Arc::new(MemoryObjectStore::new()))
+        .expect("valid config")
+        .run()
+        .expect("fault-free run")
+}
+
+fn main() {
+    banner("Fig. 17 — all-reduce scaling: coordinator star vs decentralized ring");
+    println!("tiny 8-expert LM, 8 measured iterations per point, per-phase busy time\n");
+    println!(
+        "{:>6} {:>18} {:>18} {:>18} {:>14}",
+        "world", "star reduce", "ring per-rank", "ring wait", "ring allocs"
+    );
+    let mut star_reduce = Vec::new();
+    let mut ring_rank = Vec::new();
+    for point in SWEEP {
+        let star = run(point, CollectiveKind::Star);
+        let ring = run(point, CollectiveKind::Ring);
+        // Least-disturbed iteration: on an oversubscribed host the mean
+        // measures the scheduler, the min measures the algorithm.
+        let star_secs = star.phase(Phase::Reduce).min_secs;
+        let ring_secs =
+            ring.phase(Phase::ReduceScatter).min_secs + ring.phase(Phase::AllGather).min_secs;
+        println!(
+            "{:>6} {:>18} {:>18} {:>18} {:>14}",
+            point.0,
+            millis(star_secs),
+            millis(ring_secs),
+            millis(ring.phase(Phase::RingWait).mean_secs()),
+            ring.collective_allocs,
+        );
+        star_reduce.push(star_secs);
+        ring_rank.push(ring_secs);
+    }
+
+    let star_growth = star_reduce.last().unwrap() / star_reduce.first().unwrap().max(1e-9);
+    let ring_growth = ring_rank.last().unwrap() / ring_rank.first().unwrap().max(1e-9);
+    println!(
+        "\nworld 2 → 32: star coordinator reduce grew {star_growth:.1}x, \
+         per-rank ring work grew {ring_growth:.1}x"
+    );
+    assert!(
+        star_growth > 4.0,
+        "star coordinator reduce must grow with world size (got {star_growth:.1}x)"
+    );
+    assert!(
+        ring_growth < 2.0,
+        "per-rank ring time must stay ~flat (got {ring_growth:.1}x)"
+    );
+}

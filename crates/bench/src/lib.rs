@@ -28,6 +28,12 @@ pub fn secs(x: f64) -> String {
     format!("{x:.3}s")
 }
 
+/// Formats seconds as milliseconds with microsecond resolution, for
+/// sub-millisecond phase measurements.
+pub fn millis(x: f64) -> String {
+    format!("{:.3} ms", 1e3 * x)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

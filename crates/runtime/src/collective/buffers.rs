@@ -1,0 +1,197 @@
+//! Reusable chunk buffers for the ring collective.
+//!
+//! A [`ChunkPool`] is preallocated when a ring mesh is built and **never
+//! grows**: [`ChunkPool::try_get`] returns `None` when every buffer is in
+//! flight, which backpressures the chunk producer (ring rank 0) instead
+//! of allocating. Combined with the per-rank flattened-gradient buffer in
+//! `rank.rs`, this makes the steady-state ring iteration perform zero
+//! gradient-buffer heap allocations: every byte a ring message carries
+//! lives in a buffer allocated once at mesh-build time.
+//!
+//! Buffers are handed out as [`PooledBuf`] guards that return their
+//! storage to the pool on drop — including when a message is discarded
+//! because its channel died mid-collective, so an aborted ring never
+//! leaks pool capacity.
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+struct Inner {
+    free: Mutex<Vec<Vec<f32>>>,
+    preallocated: usize,
+    capacity_each: usize,
+}
+
+impl Inner {
+    fn free(&self) -> std::sync::MutexGuard<'_, Vec<Vec<f32>>> {
+        self.free.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Fixed-size pool of reusable `f32` chunk buffers.
+#[derive(Clone)]
+pub struct ChunkPool {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for ChunkPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkPool")
+            .field("preallocated", &self.inner.preallocated)
+            .field("available", &self.available())
+            .finish()
+    }
+}
+
+impl ChunkPool {
+    /// Preallocates `buffers` buffers of `capacity_each` elements. This is
+    /// the only place the pool ever allocates.
+    pub fn new(buffers: usize, capacity_each: usize) -> Self {
+        let free = (0..buffers)
+            .map(|_| Vec::with_capacity(capacity_each))
+            .collect();
+        Self {
+            inner: Arc::new(Inner {
+                free: Mutex::new(free),
+                preallocated: buffers,
+                capacity_each,
+            }),
+        }
+    }
+
+    /// Takes a buffer resized (zero-filled) to `len` elements, or `None`
+    /// when every buffer is in flight. Never allocates: `len` must not
+    /// exceed the per-buffer capacity the pool was built with.
+    pub fn try_get(&self, len: usize) -> Option<PooledBuf> {
+        assert!(
+            len <= self.inner.capacity_each,
+            "chunk of {len} elements exceeds pool buffer capacity {}",
+            self.inner.capacity_each
+        );
+        let mut data = self.inner.free().pop()?;
+        data.clear();
+        data.resize(len, 0.0);
+        Some(PooledBuf {
+            data,
+            pool: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Takes a buffer holding a copy of `src`, or `None` when every
+    /// buffer is in flight. The hot-path variant of [`ChunkPool::try_get`]:
+    /// the buffer is filled directly from `src`, skipping the redundant
+    /// zero-fill a get-then-overwrite would pay. Never allocates: `src`
+    /// must not exceed the per-buffer capacity the pool was built with.
+    pub fn try_copy(&self, src: &[f32]) -> Option<PooledBuf> {
+        assert!(
+            src.len() <= self.inner.capacity_each,
+            "chunk of {} elements exceeds pool buffer capacity {}",
+            src.len(),
+            self.inner.capacity_each
+        );
+        let mut data = self.inner.free().pop()?;
+        data.clear();
+        data.extend_from_slice(src);
+        Some(PooledBuf {
+            data,
+            pool: Arc::clone(&self.inner),
+        })
+    }
+
+    /// Buffers currently available.
+    pub fn available(&self) -> usize {
+        self.inner.free().len()
+    }
+
+    /// Buffers the pool was built with (its total and permanent size).
+    pub fn preallocated(&self) -> usize {
+        self.inner.preallocated
+    }
+}
+
+/// A pooled buffer; returns its storage to the pool on drop.
+pub struct PooledBuf {
+    data: Vec<f32>,
+    pool: Arc<Inner>,
+}
+
+impl std::fmt::Debug for PooledBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledBuf")
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = [f32];
+    fn deref(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        self.pool.free().push(std::mem::take(&mut self.data));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_never_grows_beyond_preallocation() {
+        let pool = ChunkPool::new(2, 8);
+        assert_eq!(pool.preallocated(), 2);
+        let a = pool.try_get(8).unwrap();
+        let b = pool.try_get(4).unwrap();
+        assert_eq!(a.len(), 8);
+        assert_eq!(b.len(), 4);
+        assert!(
+            pool.try_get(1).is_none(),
+            "exhausted pool must not allocate"
+        );
+        drop(a);
+        assert_eq!(pool.available(), 1);
+        let c = pool.try_get(3).unwrap();
+        assert_eq!(&*c, &[0.0; 3]);
+        drop(b);
+        drop(c);
+        assert_eq!(pool.available(), 2);
+    }
+
+    #[test]
+    fn buffers_are_zeroed_on_reuse() {
+        let pool = ChunkPool::new(1, 4);
+        let mut a = pool.try_get(4).unwrap();
+        a.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        drop(a);
+        let b = pool.try_get(2).unwrap();
+        assert_eq!(&*b, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds pool buffer capacity")]
+    fn oversized_request_panics_instead_of_allocating() {
+        let pool = ChunkPool::new(1, 4);
+        let _ = pool.try_get(5);
+    }
+
+    #[test]
+    fn try_copy_fills_from_source_without_growing() {
+        let pool = ChunkPool::new(1, 4);
+        let src = [1.0f32, -0.0, 3.0];
+        let buf = pool.try_copy(&src).unwrap();
+        assert_eq!(&*buf, &src);
+        assert_eq!(buf[1].to_bits(), (-0.0f32).to_bits());
+        assert!(pool.try_copy(&src).is_none(), "pool must not grow");
+        drop(buf);
+        assert_eq!(pool.available(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! Decentralized gradient collectives.
+//!
+//! PR 1's runtime exchanged gradients through a coordinator star: every
+//! rank shipped its full gradient to the coordinator thread, which summed
+//! in rank order and broadcast the result — `O(world · |grad|)` traffic
+//! *and* compute serialized on one thread. This module replaces that hot
+//! path with a decentralized chunked ring all-reduce executed by the rank
+//! threads themselves:
+//!
+//! * [`mesh`] — [`RingMesh`]: per-rank peer channels forming the ring
+//!   topology, rebuilt by the coordinator after every recovery;
+//! * [`ring`] — [`ring_all_reduce`]: the chunked reduce + gather legs
+//!   with the fixed rank-order combine contract (bitwise identical to the
+//!   star sum) and deadline-based abort on peer death;
+//! * [`buffers`] — [`ChunkPool`]: preallocated, never-growing chunk
+//!   buffers, so steady-state iterations perform zero gradient-buffer
+//!   heap allocations.
+//!
+//! The coordinator star path remains available as [`CollectiveKind::Star`]
+//! — both the paper-baseline configuration and the fallback the ring
+//! aborts into when a heartbeat death is detected mid-collective.
+
+pub mod buffers;
+pub mod mesh;
+pub mod ring;
+
+pub use buffers::{ChunkPool, PooledBuf};
+pub use mesh::{Leg, RingEndpoints, RingMesh, RingMsg};
+pub use ring::{ring_all_reduce, sequential_sum_reference, RingAbort, RingTimings};
+
+/// Which collective performs the per-iteration gradient exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// Coordinator star: gather on the coordinator thread, sum in rank
+    /// order, broadcast. Simple, but its coordinator-side cost grows
+    /// linearly with world size.
+    Star,
+    /// Chunked ring all-reduce among the rank threads; per-rank cost is
+    /// ~flat in world size. Falls back to [`CollectiveKind::Star`] for a
+    /// configured window after a mid-collective fault.
+    Ring,
+}
+
+impl std::fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CollectiveKind::Star => f.write_str("star"),
+            CollectiveKind::Ring => f.write_str("ring"),
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //! randomness derives from `seed`, so two runs with the same configuration
 //! produce bitwise-identical parameters.
 
+use crate::collective::CollectiveKind;
+use crate::injector::SlowEvent;
 use moc_core::topology::ParallelTopology;
 use moc_moe::MoeModelConfig;
 use moc_store::FaultPlan;
@@ -27,7 +29,7 @@ pub enum CheckpointMode {
 }
 
 /// Error from [`RuntimeConfig::validate`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
     /// The topology uses TP or PP, which the live runtime does not model.
     UnsupportedParallelism,
@@ -69,6 +71,16 @@ pub enum ConfigError {
         /// Vocabulary size.
         vocab: usize,
     },
+    /// The ring collective's chunk size is zero.
+    ZeroRingChunk,
+    /// A straggler event names a rank outside the world or a slowdown
+    /// factor below 1.
+    BadStraggler {
+        /// Offending rank.
+        rank: usize,
+        /// Offending slowdown factor.
+        factor: f64,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -99,6 +111,10 @@ impl fmt::Display for ConfigError {
             ConfigError::TopicsDontDivideVocab { topics, vocab } => {
                 write!(f, "topics {topics} must divide vocab {vocab}")
             }
+            ConfigError::ZeroRingChunk => write!(f, "ring_chunk must be positive"),
+            ConfigError::BadStraggler { rank, factor } => {
+                write!(f, "straggler rank {rank} / factor {factor} invalid")
+            }
         }
     }
 }
@@ -128,6 +144,15 @@ pub struct RuntimeConfig {
     pub checkpoint_mode: CheckpointMode,
     /// Fault schedule driving the injector.
     pub faults: FaultPlan,
+    /// Straggler (slow-rank) schedule driving the injector.
+    pub stragglers: Vec<SlowEvent>,
+    /// Which collective exchanges gradients each iteration.
+    pub collective: CollectiveKind,
+    /// Ring chunk size in `f32` elements (ignored by the star path).
+    pub ring_chunk: usize,
+    /// After a ring collective aborts on a fault, run this many
+    /// iterations on the star fallback before returning to the ring.
+    pub ring_fallback_iterations: u64,
     /// Dynamic-K cumulative PLT budget (`None` = fixed K).
     pub dynamic_k_budget: Option<f64>,
     /// Global batch (sequences per iteration, split over DP ranks).
@@ -151,7 +176,7 @@ pub struct RuntimeConfig {
 impl RuntimeConfig {
     /// A small deterministic default: the tiny 8-expert LM, one sequence
     /// per rank, PEC `K_snapshot = 2`, `K_persist = 1`, async two-level
-    /// checkpointing, no faults.
+    /// checkpointing, ring gradient exchange, no faults.
     pub fn tiny(topology: ParallelTopology) -> Self {
         let model = moc_moe::presets::tiny_lm_8e();
         Self {
@@ -165,6 +190,10 @@ impl RuntimeConfig {
             two_level: true,
             checkpoint_mode: CheckpointMode::Async,
             faults: FaultPlan::None,
+            stragglers: Vec::new(),
+            collective: CollectiveKind::Ring,
+            ring_chunk: 4096,
+            ring_fallback_iterations: 1,
             dynamic_k_budget: None,
             batch: topology.dp(),
             seq_len: 32,
@@ -177,7 +206,8 @@ impl RuntimeConfig {
     }
 
     /// Full checkpointing baseline over the same workload: PEC disabled,
-    /// synchronous persists, storage-only recovery.
+    /// synchronous persists, storage-only recovery, coordinator-star
+    /// gradient exchange.
     pub fn baseline(topology: ParallelTopology) -> Self {
         let model = moc_moe::presets::tiny_lm_8e();
         let n = model.num_experts();
@@ -187,6 +217,7 @@ impl RuntimeConfig {
             pec_mode: PecMode::NONE,
             two_level: false,
             checkpoint_mode: CheckpointMode::Sync,
+            collective: CollectiveKind::Star,
             ..Self::tiny(topology)
         }
     }
@@ -245,6 +276,19 @@ impl RuntimeConfig {
                 vocab,
             });
         }
+        if self.ring_chunk == 0 {
+            return Err(ConfigError::ZeroRingChunk);
+        }
+        for event in &self.stragglers {
+            // The finiteness check also rejects NaN, which would slip
+            // through a plain `factor < 1.0` comparison.
+            if event.rank >= dp || !event.factor.is_finite() || event.factor < 1.0 {
+                return Err(ConfigError::BadStraggler {
+                    rank: event.rank,
+                    factor: event.factor,
+                });
+            }
+        }
         Ok(())
     }
 }
@@ -272,6 +316,65 @@ mod tests {
         assert_eq!(cfg.k_snapshot, cfg.model.num_experts());
         assert_eq!(cfg.checkpoint_mode, CheckpointMode::Sync);
         assert!(!cfg.two_level);
+        assert_eq!(cfg.collective, CollectiveKind::Star);
+    }
+
+    #[test]
+    fn tiny_defaults_to_ring_collective() {
+        let cfg = RuntimeConfig::tiny(topo());
+        assert_eq!(cfg.collective, CollectiveKind::Ring);
+        assert!(cfg.ring_chunk > 0);
+    }
+
+    #[test]
+    fn zero_ring_chunk_rejected() {
+        let cfg = RuntimeConfig {
+            ring_chunk: 0,
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroRingChunk));
+    }
+
+    #[test]
+    fn bad_straggler_rejected() {
+        let out_of_range = RuntimeConfig {
+            stragglers: vec![SlowEvent {
+                iteration: 2,
+                rank: 99,
+                factor: 2.0,
+            }],
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert!(matches!(
+            out_of_range.validate(),
+            Err(ConfigError::BadStraggler { rank: 99, .. })
+        ));
+        let speedup = RuntimeConfig {
+            stragglers: vec![SlowEvent {
+                iteration: 2,
+                rank: 0,
+                factor: 0.5,
+            }],
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert!(matches!(
+            speedup.validate(),
+            Err(ConfigError::BadStraggler { rank: 0, .. })
+        ));
+        for bad in [f64::NAN, f64::INFINITY] {
+            let cfg = RuntimeConfig {
+                stragglers: vec![SlowEvent {
+                    iteration: 2,
+                    rank: 0,
+                    factor: bad,
+                }],
+                ..RuntimeConfig::tiny(topo())
+            };
+            assert!(
+                matches!(cfg.validate(), Err(ConfigError::BadStraggler { .. })),
+                "factor {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! same config produces bitwise-identical final parameters, which the
 //! coordinator verifies by comparing every rank's parameter checksum.
 
+use crate::collective::{CollectiveKind, RingMesh};
 use crate::config::{CheckpointMode, ConfigError, RuntimeConfig};
 use crate::injector::FaultInjector;
 use crate::metrics::{EventKind, MetricsRegistry, Phase, RunSummary};
@@ -117,11 +118,31 @@ impl Coordinator {
     }
 }
 
-/// One grad reply.
+/// One grad reply (star collective).
 struct GradResult {
     grad: Vec<f32>,
     expert_loads: Vec<Vec<u64>>,
     compute_secs: f64,
+    stall_secs: f64,
+}
+
+/// One rank's report from a ring iteration.
+enum RingReply {
+    /// The rank finished the collective and applied the step.
+    Done(RingDone),
+    /// The rank abandoned the collective after a peer timeout.
+    Aborted,
+}
+
+/// Statistics of a completed ring step.
+struct RingDone {
+    expert_loads: Vec<Vec<u64>>,
+    compute_secs: f64,
+    stall_secs: f64,
+    reduce_scatter_secs: f64,
+    all_gather_secs: f64,
+    ring_wait_secs: f64,
+    apply_secs: f64,
 }
 
 /// In-flight run state.
@@ -154,6 +175,19 @@ struct Run {
     val_curve: Vec<(u64, f32)>,
     k_trace: Vec<usize>,
     module_names: Vec<String>,
+    /// Flattened-gradient length, fixed by the model architecture.
+    grad_len: usize,
+    /// The live ring mesh (ring collective only); rebuilt after every
+    /// recovery so stranded messages die with their channels.
+    mesh: Option<RingMesh>,
+    /// Iterations strictly below this bound run on the star fallback
+    /// (set after a ring abort; 0 when the ring is healthy).
+    star_fallback_until: u64,
+    /// Reduced-gradient buffer reused across star iterations: the Arc is
+    /// reclaimed once every rank dropped its clone (guaranteed by the
+    /// next iteration's gradient barrier), so the steady state does not
+    /// allocate per iteration.
+    apply_buf: Arc<Vec<f32>>,
     /// Recoveries triggered since the last completed iteration. Failure
     /// detection is timeout-based, so a rank that is merely slower than
     /// `heartbeat_timeout` is indistinguishable from a dead one; if the
@@ -179,10 +213,17 @@ impl Run {
         let dynamic_k = config
             .dynamic_k_budget
             .map(|budget| DynamicK::new(config.k_snapshot, n_experts, budget));
-        let module_names = TinyMoeLm::new(config.model.clone(), config.seed)
-            .store()
-            .module_names();
-        let injector = FaultInjector::new(&config.faults, config.total_iterations, num_nodes);
+        let probe = TinyMoeLm::new(config.model.clone(), config.seed);
+        let module_names = probe.store().module_names();
+        let grad_len = usize::try_from(probe.store().scalar_count()).expect("model fits memory");
+        drop(probe);
+        let injector = FaultInjector::new(
+            &config.faults,
+            &config.stragglers,
+            config.total_iterations,
+            num_nodes,
+            world,
+        );
         let k_persist = config.k_persist;
         let cum_routed = vec![vec![0u64; n_experts]; layers];
 
@@ -209,6 +250,10 @@ impl Run {
             val_curve: Vec::new(),
             k_trace: Vec::new(),
             module_names,
+            grad_len,
+            mesh: None,
+            star_fallback_until: 0,
+            apply_buf: Arc::new(Vec::new()),
             recoveries_without_progress: 0,
         };
         for rank in 0..world {
@@ -216,7 +261,34 @@ impl Run {
             run.cmd_txs.push(tx);
             run.handles.push(Some(handle));
         }
+        if run.config.collective == CollectiveKind::Ring {
+            run.build_ring();
+        }
         Ok(run)
+    }
+
+    /// Builds a fresh ring mesh and hands every rank its endpoints. The
+    /// previous mesh (if any) is dropped, which drops any messages an
+    /// aborted collective stranded in its channels.
+    fn build_ring(&mut self) {
+        let mesh = RingMesh::new(self.world(), self.grad_len, self.config.ring_chunk);
+        self.metrics.collective_allocs += mesh.pool().preallocated() as u64;
+        for (rank, tx) in self.cmd_txs.iter().enumerate() {
+            tx.send(RankCommand::InstallRing {
+                endpoints: mesh.endpoints(rank),
+            })
+            .expect("rank thread alive");
+        }
+        self.mesh = Some(mesh);
+    }
+
+    /// The collective iteration `it` runs on: the configured one, unless
+    /// a ring abort opened a star-fallback window that `it` falls into.
+    fn collective_for(&self, it: u64) -> CollectiveKind {
+        match self.config.collective {
+            CollectiveKind::Ring if it >= self.star_fallback_until => CollectiveKind::Ring,
+            _ => CollectiveKind::Star,
+        }
     }
 
     fn spawn_rank(&self, rank: usize) -> (Sender<RankCommand>, JoinHandle<()>) {
@@ -277,91 +349,42 @@ impl Run {
                 );
             }
 
-            // 2. Step all ranks.
+            // 2. Step all ranks through this iteration's collective,
+            //    injecting scheduled straggler slowdowns.
+            let collective = self.collective_for(it);
+            let slows = self.injector.slows_at(it);
+            if !slows.is_empty() {
+                self.metrics.stragglers_injected += slows.len() as u64;
+                for &(rank, factor) in &slows {
+                    self.metrics
+                        .event(it, EventKind::StragglerInjected { rank, factor });
+                }
+            }
             for (rank, tx) in self.cmd_txs.iter().enumerate() {
                 let die = kills.contains(&self.node_of(rank));
+                let slow_factor = slows.iter().find(|&&(r, _)| r == rank).map(|&(_, f)| f);
                 tx.send(RankCommand::Step {
                     iteration: it,
                     epoch: self.epoch,
                     die,
+                    collective,
+                    slow_factor,
                 })
                 .expect("rank thread alive");
             }
 
-            // 3. Gather gradients; missing replies mean dead nodes.
-            let collect_start = Instant::now();
-            let grads = self.collect_grads(it);
-            if grads.len() < self.world() {
-                let missing: Vec<usize> = (0..self.world())
-                    .filter(|r| !grads.contains_key(r))
-                    .collect();
-                let dead_nodes: BTreeSet<usize> =
-                    missing.iter().map(|&r| self.node_of(r)).collect();
-                self.metrics.event(
-                    it,
-                    EventKind::FaultDetected {
-                        nodes: dead_nodes.iter().copied().collect(),
-                        detect_secs: collect_start.elapsed().as_secs_f64(),
-                    },
-                );
-                self.recoveries_without_progress += 1;
-                assert!(
-                    self.recoveries_without_progress <= MAX_RECOVERIES_WITHOUT_PROGRESS,
-                    "{} consecutive recoveries without completing an iteration: \
-                     ranks are timing out repeatedly — if no faults were injected, \
-                     heartbeat_timeout ({:?}) is shorter than the iteration compute \
-                     time and healthy nodes are being declared dead",
-                    self.recoveries_without_progress,
-                    self.config.heartbeat_timeout,
-                );
-                let resume = self.recover(it, &dead_nodes)?;
+            // 3.–5. Gradient exchange (collection, reduction, apply).
+            //    Missing or aborted ranks mean dead nodes: detect,
+            //    recover, and resume from the rolled-back iteration.
+            let fault_resume = match collective {
+                CollectiveKind::Star => self.exchange_star(it)?,
+                CollectiveKind::Ring => self.exchange_ring(it)?,
+            };
+            if let Some(resume) = fault_resume {
                 it = resume + 1;
                 continue;
             }
             self.recoveries_without_progress = 0;
-            let max_compute = grads
-                .values()
-                .map(|g| g.compute_secs)
-                .fold(0.0f64, f64::max);
-            self.metrics.record(Phase::Compute, max_compute);
-
-            // 4. Reduce (sum in rank order, then average) and book-keep
-            //    routing statistics.
-            let world = self.world();
-            let reduced = {
-                let start = Instant::now();
-                let mut sum = vec![0.0f32; grads[&0].grad.len()];
-                for rank in 0..world {
-                    for (s, &x) in sum.iter_mut().zip(&grads[&rank].grad) {
-                        *s += x;
-                    }
-                }
-                let inv = 1.0 / world as f32;
-                for s in &mut sum {
-                    *s *= inv;
-                }
-                self.metrics
-                    .record(Phase::Reduce, start.elapsed().as_secs_f64());
-                sum
-            };
-            for grad in grads.values() {
-                for (layer, loads) in grad.expert_loads.iter().enumerate() {
-                    self.plt.record_processed(layer, loads.iter().sum());
-                    for (slot, &l) in self.cum_routed[layer].iter_mut().zip(loads) {
-                        *slot += l;
-                    }
-                }
-            }
-
-            // 5. Broadcast the reduced gradient; every rank applies the
-            //    same Adam step, keeping replicas bitwise identical.
-            let apply_start = Instant::now();
-            self.send_all(&RankCommand::Apply {
-                grad: Arc::new(reduced),
-            });
-            self.wait_applied();
-            self.metrics
-                .record(Phase::Apply, apply_start.elapsed().as_secs_f64());
 
             // 6. Two-level checkpoint.
             if it.is_multiple_of(self.config.i_ckpt) {
@@ -402,6 +425,196 @@ impl Run {
         self.routed_at.insert(0, self.cum_routed.clone());
     }
 
+    /// Star-collective exchange: gather every rank's gradient, reduce in
+    /// rank order on the coordinator thread, broadcast, barrier on the
+    /// apply. Returns `Some(resume)` when a fault was detected and
+    /// recovered.
+    fn exchange_star(&mut self, it: u64) -> Result<Option<u64>, RuntimeError> {
+        let collect_start = Instant::now();
+        let grads = self.collect_grads(it);
+        if grads.len() < self.world() {
+            let missing: Vec<usize> = (0..self.world())
+                .filter(|r| !grads.contains_key(r))
+                .collect();
+            let resume = self.handle_exchange_fault(it, &missing, &[], false, collect_start)?;
+            return Ok(Some(resume));
+        }
+        let max_compute = grads
+            .values()
+            .map(|g| g.compute_secs)
+            .fold(0.0f64, f64::max);
+        self.metrics.record(Phase::Compute, max_compute);
+        for g in grads.values() {
+            if g.stall_secs > 0.0 {
+                self.metrics.record(Phase::StragglerStall, g.stall_secs);
+            }
+        }
+
+        // Reduce: rank-order left fold into the reused scratch buffer,
+        // then average. The fold is seeded by *copying* rank 0's
+        // gradient — not by adding it to zero, which would flip -0.0 to
+        // +0.0 and diverge bitwise from the ring's fold. `Arc::get_mut`
+        // succeeds in steady state because every rank drops its clone of
+        // the previous broadcast before sending this iteration's
+        // gradient.
+        let world = self.world();
+        let start = Instant::now();
+        if Arc::get_mut(&mut self.apply_buf).is_none() {
+            self.apply_buf = Arc::new(Vec::new());
+        }
+        let sum = Arc::get_mut(&mut self.apply_buf).expect("freshly replaced Arc");
+        sum.clear();
+        sum.extend_from_slice(&grads[&0].grad);
+        for rank in 1..world {
+            for (s, &x) in sum.iter_mut().zip(&grads[&rank].grad) {
+                *s += x;
+            }
+        }
+        let inv = 1.0 / world as f32;
+        for s in sum.iter_mut() {
+            *s *= inv;
+        }
+        self.metrics
+            .record(Phase::Reduce, start.elapsed().as_secs_f64());
+        self.record_routing(grads.values().map(|g| &g.expert_loads));
+
+        // Broadcast the reduced gradient; every rank applies the same
+        // Adam step, keeping replicas bitwise identical.
+        let apply_start = Instant::now();
+        self.send_all(&RankCommand::Apply {
+            grad: self.apply_buf.clone(),
+        });
+        self.wait_applied();
+        self.metrics
+            .record(Phase::Apply, apply_start.elapsed().as_secs_f64());
+        Ok(None)
+    }
+
+    /// Ring-collective exchange: the ranks all-reduce and apply among
+    /// themselves; the coordinator only collects statistics and watches
+    /// for aborts. Returns `Some(resume)` when a fault was detected and
+    /// recovered.
+    fn exchange_ring(&mut self, it: u64) -> Result<Option<u64>, RuntimeError> {
+        let collect_start = Instant::now();
+        let replies = self.collect_ring(it);
+        let missing: Vec<usize> = (0..self.world())
+            .filter(|r| !replies.contains_key(r))
+            .collect();
+        let aborted: Vec<usize> = replies
+            .iter()
+            .filter(|(_, r)| matches!(r, RingReply::Aborted))
+            .map(|(&rank, _)| rank)
+            .collect();
+        if !missing.is_empty() || !aborted.is_empty() {
+            let resume = self.handle_exchange_fault(it, &missing, &aborted, true, collect_start)?;
+            return Ok(Some(resume));
+        }
+
+        // Compute / wait / apply are reported as the max across ranks
+        // (the iteration's critical path); the ring legs as the median
+        // across ranks (the representative per-rank cost of the
+        // decentralized collective, robust to scheduler outliers on
+        // oversubscribed hosts).
+        let mut max_compute = 0.0f64;
+        let mut max_wait = 0.0f64;
+        let mut max_apply = 0.0f64;
+        let mut max_collective_wall = 0.0f64;
+        let mut sum_busy = 0.0f64;
+        let mut rs_vals: Vec<f64> = Vec::new();
+        let mut ag_vals: Vec<f64> = Vec::new();
+        for reply in replies.values() {
+            let RingReply::Done(d) = reply else { continue };
+            max_compute = max_compute.max(d.compute_secs);
+            max_wait = max_wait.max(d.ring_wait_secs);
+            max_apply = max_apply.max(d.apply_secs);
+            let busy = d.reduce_scatter_secs + d.all_gather_secs;
+            sum_busy += busy;
+            max_collective_wall = max_collective_wall.max(busy + d.ring_wait_secs);
+            rs_vals.push(d.reduce_scatter_secs);
+            ag_vals.push(d.all_gather_secs);
+            if d.stall_secs > 0.0 {
+                self.metrics.record(Phase::StragglerStall, d.stall_secs);
+            }
+        }
+        rs_vals.sort_by(f64::total_cmp);
+        ag_vals.sort_by(f64::total_cmp);
+        let median_rs = rs_vals[rs_vals.len() / 2];
+        let median_ag = ag_vals[ag_vals.len() / 2];
+        self.metrics.record(Phase::Compute, max_compute);
+        self.metrics.record(Phase::ReduceScatter, median_rs);
+        self.metrics.record(Phase::AllGather, median_ag);
+        self.metrics.record(Phase::RingWait, max_wait);
+        self.metrics.record(Phase::Apply, max_apply);
+        // Cross-rank pipelining: total active collective work minus the
+        // slowest rank's collective wall — the seconds of ring work that
+        // ran concurrently with other ranks' work instead of extending
+        // the critical path.
+        let overlap = (sum_busy - max_collective_wall).max(0.0);
+        self.metrics.record(Phase::CommOverlap, overlap);
+        self.record_routing(replies.values().filter_map(|r| match r {
+            RingReply::Done(d) => Some(&d.expert_loads),
+            RingReply::Aborted => None,
+        }));
+        Ok(None)
+    }
+
+    /// Shared fault path of both collectives: surface detection events,
+    /// enforce the forward-progress bound, recover, and (for a ring run)
+    /// open the star-fallback window. Returns the resume iteration.
+    fn handle_exchange_fault(
+        &mut self,
+        it: u64,
+        missing: &[usize],
+        aborted: &[usize],
+        ring: bool,
+        collect_start: Instant,
+    ) -> Result<u64, RuntimeError> {
+        let dead_nodes: BTreeSet<usize> = missing.iter().map(|&r| self.node_of(r)).collect();
+        if !dead_nodes.is_empty() {
+            self.metrics.event(
+                it,
+                EventKind::FaultDetected {
+                    nodes: dead_nodes.iter().copied().collect(),
+                    detect_secs: collect_start.elapsed().as_secs_f64(),
+                },
+            );
+        }
+        if ring {
+            self.metrics.ring_aborts += 1;
+            self.metrics.event(
+                it,
+                EventKind::CollectiveAbort {
+                    aborted_ranks: aborted.to_vec(),
+                    fallback_iterations: self.config.ring_fallback_iterations,
+                },
+            );
+        }
+        self.recoveries_without_progress += 1;
+        assert!(
+            self.recoveries_without_progress <= MAX_RECOVERIES_WITHOUT_PROGRESS,
+            "{} consecutive recoveries without completing an iteration: \
+             ranks are timing out repeatedly — if no faults were injected, \
+             heartbeat_timeout ({:?}) is shorter than the iteration compute \
+             time and healthy nodes are being declared dead",
+            self.recoveries_without_progress,
+            self.config.heartbeat_timeout,
+        );
+        self.recover(it, &dead_nodes)
+    }
+
+    /// Accumulates per-layer routing counters and PLT processed totals
+    /// from every rank's expert loads.
+    fn record_routing<'a>(&mut self, all_loads: impl Iterator<Item = &'a Vec<Vec<u64>>>) {
+        for loads in all_loads {
+            for (layer, layer_loads) in loads.iter().enumerate() {
+                self.plt.record_processed(layer, layer_loads.iter().sum());
+                for (slot, &l) in self.cum_routed[layer].iter_mut().zip(layer_loads) {
+                    *slot += l;
+                }
+            }
+        }
+    }
+
     fn collect_grads(&mut self, iteration: u64) -> BTreeMap<usize, GradResult> {
         let mut grads = BTreeMap::new();
         while grads.len() < self.world() {
@@ -413,6 +626,7 @@ impl Run {
                     grad,
                     expert_loads,
                     compute_secs,
+                    stall_secs,
                 }) if it == iteration && epoch == self.epoch => {
                     grads.insert(
                         rank,
@@ -420,6 +634,7 @@ impl Run {
                             grad,
                             expert_loads,
                             compute_secs,
+                            stall_secs,
                         },
                     );
                 }
@@ -429,6 +644,55 @@ impl Run {
             }
         }
         grads
+    }
+
+    /// Collects every rank's ring report for `iteration`. The window per
+    /// receive is twice the heartbeat: survivors of a mid-collective
+    /// death only report after their *own* ring timeout fires, so the
+    /// coordinator must outwait detection-by-proxy, not just compute.
+    fn collect_ring(&mut self, iteration: u64) -> BTreeMap<usize, RingReply> {
+        let mut replies = BTreeMap::new();
+        let window = self.config.heartbeat_timeout * 2;
+        while replies.len() < self.world() {
+            match self.events.recv_timeout(window) {
+                Ok(RankEvent::StepDone {
+                    rank,
+                    iteration: it,
+                    epoch,
+                    expert_loads,
+                    compute_secs,
+                    stall_secs,
+                    reduce_scatter_secs,
+                    all_gather_secs,
+                    ring_wait_secs,
+                    apply_secs,
+                }) if it == iteration && epoch == self.epoch => {
+                    replies.insert(
+                        rank,
+                        RingReply::Done(RingDone {
+                            expert_loads,
+                            compute_secs,
+                            stall_secs,
+                            reduce_scatter_secs,
+                            all_gather_secs,
+                            ring_wait_secs,
+                            apply_secs,
+                        }),
+                    );
+                }
+                Ok(RankEvent::RingAborted {
+                    rank,
+                    iteration: it,
+                    epoch,
+                }) if it == iteration && epoch == self.epoch => {
+                    replies.insert(rank, RingReply::Aborted);
+                }
+                Ok(_) => {} // stale event from before a recovery
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        replies
     }
 
     /// Upper bound on how long the coordinator waits for a reply that is
@@ -676,6 +940,16 @@ impl Run {
             self.nodes[node].set_alive(true);
         }
 
+        // A ring run aborts into the star fallback: rebuild the mesh
+        // (fresh channels drop anything the aborted collective stranded,
+        // and respawned ranks need endpoints), then run the configured
+        // window of post-recovery iterations on the star path before the
+        // ring takes over again.
+        if self.config.collective == CollectiveKind::Ring {
+            self.build_ring();
+            self.star_fallback_until = resume + self.config.ring_fallback_iterations + 1;
+        }
+
         // Broadcast restored state; every rank (survivor or respawned)
         // rolls back to the recovered versions.
         let restore_start = Instant::now();
@@ -785,6 +1059,9 @@ impl Run {
             iterations_executed: self.metrics.iterations_executed,
             checkpoints_taken: self.metrics.checkpoints_taken,
             faults_injected: self.metrics.faults_injected,
+            stragglers_injected: self.metrics.stragglers_injected,
+            ring_aborts: self.metrics.ring_aborts,
+            collective_allocs: self.metrics.collective_allocs,
             recoveries: self.metrics.recoveries,
             stall_count: self.metrics.stall_count,
             recovered_bytes: self.metrics.recovered_bytes,

@@ -1,32 +1,60 @@
-//! Fault injection on a [`FaultPlan`] schedule.
+//! Fault and straggler injection on a schedule.
 //!
-//! The injector materialises a fault plan into a per-iteration kill map.
-//! At the start of each iteration the coordinator asks
-//! [`FaultInjector::kills_at`]; the victims' rank threads are told to die
-//! mid-iteration (after computing, before reporting), their node's CPU
-//! memory is wiped, and the coordinator is left to *detect* the failure
-//! through missing heartbeat replies — the injector never shortcuts
-//! detection.
+//! The injector materialises a fault plan into a per-iteration kill map
+//! and a straggler schedule into a per-iteration slowdown map. At the
+//! start of each iteration the coordinator asks
+//! [`FaultInjector::kills_at`] and [`FaultInjector::slows_at`]:
+//!
+//! * kill victims' rank threads are told to die mid-iteration (after
+//!   computing, before reporting), their node's CPU memory is wiped, and
+//!   the coordinator is left to *detect* the failure through missing
+//!   heartbeat replies — the injector never shortcuts detection;
+//! * straggler victims stretch their step by the configured factor
+//!   (simulating a slow node) and report the induced stall, which the
+//!   coordinator records so checkpoint stall amplification is
+//!   measurable against `moc_cluster::events`.
 
 use moc_store::{FaultEvent, FaultPlan};
 use std::collections::BTreeMap;
 
-/// Materialised fault schedule.
+/// One scheduled slow-rank (straggler) event: at `iteration`, `rank`'s
+/// step takes `factor` times its normal duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowEvent {
+    /// Iteration the slowdown strikes.
+    pub iteration: u64,
+    /// Rank slowed down.
+    pub rank: usize,
+    /// Step-duration multiplier (`>= 1.0`); the induced stall is
+    /// `(factor - 1) ×` the measured compute time.
+    pub factor: f64,
+}
+
+/// Materialised fault + straggler schedule.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     by_iteration: BTreeMap<u64, Vec<usize>>,
+    slow_by_iteration: BTreeMap<u64, Vec<(usize, f64)>>,
     injected: Vec<FaultEvent>,
 }
 
 impl FaultInjector {
-    /// Materialises `plan` over `0..=horizon` iterations for a cluster of
-    /// `num_nodes` nodes. Events scheduled before the first iteration are
-    /// shifted to iteration 1 (a node cannot die before training starts).
+    /// Materialises `plan` and `stragglers` over `0..=horizon` iterations
+    /// for a cluster of `num_nodes` nodes running `world` ranks. Events
+    /// scheduled before the first iteration are shifted to iteration 1 (a
+    /// node cannot die before training starts).
     ///
     /// # Panics
     ///
-    /// Panics if the plan names a node outside the cluster.
-    pub fn new(plan: &FaultPlan, horizon: u64, num_nodes: usize) -> Self {
+    /// Panics if the plan names a node outside the cluster, or a
+    /// straggler names a rank outside the world or a factor below 1.
+    pub fn new(
+        plan: &FaultPlan,
+        stragglers: &[SlowEvent],
+        horizon: u64,
+        num_nodes: usize,
+        world: usize,
+    ) -> Self {
         let mut by_iteration: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
         for event in plan.events(horizon + 1) {
             assert!(
@@ -40,8 +68,30 @@ impl FaultInjector {
                 victims.push(event.node);
             }
         }
+        let mut slow_by_iteration: BTreeMap<u64, Vec<(usize, f64)>> = BTreeMap::new();
+        for event in stragglers {
+            assert!(
+                event.rank < world,
+                "straggler names rank {} outside world of {world}",
+                event.rank
+            );
+            assert!(
+                event.factor >= 1.0,
+                "straggler factor {} would be a speed-up",
+                event.factor
+            );
+            if event.iteration > horizon {
+                continue;
+            }
+            let it = event.iteration.max(1);
+            let victims = slow_by_iteration.entry(it).or_default();
+            if !victims.iter().any(|&(r, _)| r == event.rank) {
+                victims.push((event.rank, event.factor));
+            }
+        }
         Self {
             by_iteration,
+            slow_by_iteration,
             injected: Vec::new(),
         }
     }
@@ -62,6 +112,15 @@ impl FaultInjector {
         }
     }
 
+    /// `(rank, factor)` slowdowns striking at `iteration`. Like kills,
+    /// each scheduled straggler fires once: re-executed iterations after
+    /// a rollback are not re-slowed.
+    pub fn slows_at(&mut self, iteration: u64) -> Vec<(usize, f64)> {
+        self.slow_by_iteration
+            .remove(&iteration)
+            .unwrap_or_default()
+    }
+
     /// Faults injected so far, in order.
     pub fn injected(&self) -> &[FaultEvent] {
         &self.injected
@@ -71,11 +130,20 @@ impl FaultInjector {
     pub fn pending(&self) -> usize {
         self.by_iteration.values().map(Vec::len).sum()
     }
+
+    /// Straggler events still pending.
+    pub fn pending_stragglers(&self) -> usize {
+        self.slow_by_iteration.values().map(Vec::len).sum()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn plain(plan: &FaultPlan, horizon: u64, num_nodes: usize) -> FaultInjector {
+        FaultInjector::new(plan, &[], horizon, num_nodes, 8)
+    }
 
     #[test]
     fn explicit_plan_fires_once() {
@@ -89,7 +157,7 @@ mod tests {
                 node: 0,
             },
         ]);
-        let mut inj = FaultInjector::new(&plan, 20, 2);
+        let mut inj = plain(&plan, 20, 2);
         assert_eq!(inj.pending(), 2);
         assert!(inj.kills_at(4).is_empty());
         assert_eq!(inj.kills_at(5), vec![1]);
@@ -106,7 +174,7 @@ mod tests {
             iteration: 0,
             node: 0,
         }]);
-        let mut inj = FaultInjector::new(&plan, 10, 1);
+        let mut inj = plain(&plan, 10, 1);
         assert_eq!(inj.kills_at(1), vec![0]);
     }
 
@@ -126,7 +194,7 @@ mod tests {
                 node: 1,
             },
         ]);
-        let mut inj = FaultInjector::new(&plan, 10, 2);
+        let mut inj = plain(&plan, 10, 2);
         assert_eq!(inj.kills_at(3), vec![0, 1]);
     }
 
@@ -137,8 +205,8 @@ mod tests {
             num_nodes: 2,
             seed: 9,
         };
-        let a = FaultInjector::new(&plan, 100, 2);
-        let b = FaultInjector::new(&plan, 100, 2);
+        let a = plain(&plan, 100, 2);
+        let b = plain(&plan, 100, 2);
         assert_eq!(a.pending(), b.pending());
     }
 
@@ -149,6 +217,61 @@ mod tests {
             iteration: 1,
             node: 5,
         }]);
-        FaultInjector::new(&plan, 10, 2);
+        plain(&plan, 10, 2);
+    }
+
+    #[test]
+    fn stragglers_fire_once_and_dedupe() {
+        let slow = [
+            SlowEvent {
+                iteration: 4,
+                rank: 2,
+                factor: 3.0,
+            },
+            SlowEvent {
+                iteration: 4,
+                rank: 2,
+                factor: 5.0,
+            },
+            SlowEvent {
+                iteration: 0,
+                rank: 1,
+                factor: 2.0,
+            },
+            SlowEvent {
+                iteration: 99,
+                rank: 0,
+                factor: 2.0,
+            },
+        ];
+        let mut inj = FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
+        // The event beyond the horizon is dropped.
+        assert_eq!(inj.pending_stragglers(), 2);
+        assert_eq!(inj.slows_at(1), vec![(1, 2.0)]);
+        assert_eq!(inj.slows_at(4), vec![(2, 3.0)]);
+        assert!(inj.slows_at(4).is_empty(), "stragglers fire once");
+        assert_eq!(inj.pending_stragglers(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside world")]
+    fn out_of_range_straggler_rank_panics() {
+        let slow = [SlowEvent {
+            iteration: 1,
+            rank: 9,
+            factor: 2.0,
+        }];
+        FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed-up")]
+    fn sub_unit_factor_panics() {
+        let slow = [SlowEvent {
+            iteration: 1,
+            rank: 0,
+            factor: 0.25,
+        }];
+        FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
     }
 }

@@ -8,17 +8,26 @@
 //! measurements of every phase.
 //!
 //! * [`config`] — [`RuntimeConfig`]: model, topology, PEC policy,
-//!   sync/async checkpoint mode, fault plan, seeds;
+//!   sync/async checkpoint mode, collective choice, fault and straggler
+//!   plans, seeds;
 //! * [`coordinator`] — the control plane: thread-per-rank membership,
-//!   gradient-exchange barriers over crossbeam channels, heartbeat-based
-//!   failure detection, recovery orchestration;
+//!   iteration barriers, heartbeat-based failure detection, recovery
+//!   orchestration;
+//! * [`collective`] — the gradient-exchange layer:
+//!   [`CollectiveKind::Ring`] is a decentralized chunked ring all-reduce
+//!   run by the rank threads over peer channels
+//!   ([`collective::ring_all_reduce`]) with preallocated zero-alloc
+//!   chunk buffers ([`collective::ChunkPool`]);
+//!   [`CollectiveKind::Star`] is the coordinator gather/sum/broadcast
+//!   baseline and the fallback the ring aborts into on a fault;
 //! * [`rank`] — rank worker threads owning real [`moc_train::TinyMoeLm`]
 //!   replicas, plus the checkpoint-sharding ownership map
 //!   ([`owner_rank`]);
 //! * [`node`] — per-node CPU-memory tier handle and the asynchronous
 //!   two-level checkpoint agent;
 //! * [`injector`] — [`FaultInjector`]: materialises a
-//!   [`moc_store::FaultPlan`] into mid-iteration node kills;
+//!   [`moc_store::FaultPlan`] into mid-iteration node kills and a
+//!   [`SlowEvent`] schedule into straggler slowdowns;
 //! * [`recovery_exec`] — live execution of two-level recovery plans;
 //! * [`metrics`] — per-phase wall-clock statistics, run timelines, and
 //!   the [`RunSummary::analytic_projection`] hook feeding measured phase
@@ -28,11 +37,15 @@
 //!
 //! Batches, gate noise, expert selection and fault schedules are all pure
 //! functions of the configured seed and iteration number, and gradients
-//! are reduced in fixed rank order — so a run's final parameters are
-//! bitwise reproducible, and a faulted run under full checkpointing
-//! recovers to exactly the state an unfaulted run had at the resume
-//! iteration. The coordinator cross-checks every rank's final parameter
-//! checksum and reports [`RunSummary::replicas_consistent`].
+//! are reduced in one fixed combine order — the rank-order left fold
+//! `((g₀ + g₁) + g₂) + …` scaled by `1/world` — regardless of which
+//! collective runs it and independent of message arrival timing (see
+//! [`collective::ring`]). So a run's final parameters are bitwise
+//! reproducible, ring and star runs of the same seed are bitwise
+//! identical, and a faulted run under full checkpointing recovers to
+//! exactly the state an unfaulted run had at the resume iteration. The
+//! coordinator cross-checks every rank's final parameter checksum and
+//! reports [`RunSummary::replicas_consistent`].
 //!
 //! # Examples
 //!
@@ -57,6 +70,7 @@
 
 #![warn(missing_docs)]
 
+pub mod collective;
 pub mod config;
 pub mod coordinator;
 pub mod injector;
@@ -65,9 +79,10 @@ pub mod node;
 pub(crate) mod rank;
 pub mod recovery_exec;
 
+pub use collective::{ChunkPool, CollectiveKind, RingAbort, RingMesh, RingTimings};
 pub use config::{CheckpointMode, ConfigError, RuntimeConfig};
 pub use coordinator::{Coordinator, RuntimeError};
-pub use injector::FaultInjector;
+pub use injector::{FaultInjector, SlowEvent};
 pub use metrics::{EventKind, MetricsRegistry, Phase, PhaseStats, RunSummary, TimelineEvent};
 pub use node::NodeRuntime;
 pub use rank::owner_rank;

@@ -17,9 +17,26 @@ use std::time::Instant;
 pub enum Phase {
     /// Forward + backward over the rank's sub-batch (max across ranks).
     Compute,
-    /// Gradient gather + sum on the coordinator.
+    /// Gradient gather + sum on the coordinator (star collective only).
     Reduce,
-    /// Optimizer step on every rank (wall time of the barrier round).
+    /// Ring reduce leg: active fold/copy/send work (median across ranks
+    /// — the representative per-rank cost of the decentralized
+    /// collective).
+    ReduceScatter,
+    /// Ring gather leg: active copy/forward work (median across ranks).
+    AllGather,
+    /// Ring blocking time waiting on peers (max across ranks): the
+    /// exposed, non-overlapped part of the collective.
+    RingWait,
+    /// Cross-rank pipelining in the ring: the sum of every rank's active
+    /// leg work minus the slowest rank's collective wall (busy + wait) —
+    /// seconds of collective work that ran concurrently with other
+    /// ranks' work instead of extending the critical path.
+    CommOverlap,
+    /// Stall injected into a straggling rank's step.
+    StragglerStall,
+    /// Optimizer step: wall time of the broadcast barrier round (star)
+    /// or the slowest rank's local load + Adam step (ring).
     Apply,
     /// Shard serialization at checkpoint time (max across ranks).
     CkptSerialize,
@@ -41,6 +58,11 @@ impl Phase {
         match self {
             Phase::Compute => "compute",
             Phase::Reduce => "reduce",
+            Phase::ReduceScatter => "reduce-scatter",
+            Phase::AllGather => "all-gather",
+            Phase::RingWait => "ring-wait",
+            Phase::CommOverlap => "comm-overlap",
+            Phase::StragglerStall => "straggler-stall",
             Phase::Apply => "apply",
             Phase::CkptSerialize => "ckpt-serialize",
             Phase::CkptSubmit => "ckpt-submit",
@@ -61,6 +83,9 @@ pub struct PhaseStats {
     pub total_secs: f64,
     /// Longest single occurrence.
     pub max_secs: f64,
+    /// Shortest single occurrence (0 when never recorded) — the least
+    /// scheduler-disturbed sample, which scaling benchmarks compare.
+    pub min_secs: f64,
 }
 
 impl PhaseStats {
@@ -121,6 +146,22 @@ pub enum EventKind {
         /// Validation loss.
         loss: f32,
     },
+    /// A ring collective aborted mid-iteration (a peer stopped
+    /// responding); the runtime recovers and runs the star fallback for
+    /// the advertised window.
+    CollectiveAbort {
+        /// Ranks that reported aborting their ring collective.
+        aborted_ranks: Vec<usize>,
+        /// Iterations the run falls back to the star path for.
+        fallback_iterations: u64,
+    },
+    /// A straggler slowdown was injected into a rank's step.
+    StragglerInjected {
+        /// Rank slowed down.
+        rank: usize,
+        /// Step-duration multiplier.
+        factor: f64,
+    },
 }
 
 /// Mutable metric accumulation during a run.
@@ -132,6 +173,14 @@ pub struct MetricsRegistry {
     pub stall_count: u64,
     /// Node kills injected.
     pub faults_injected: u64,
+    /// Straggler slowdowns injected.
+    pub stragglers_injected: u64,
+    /// Ring collectives that aborted on a fault.
+    pub ring_aborts: u64,
+    /// Gradient chunk buffers preallocated by the collective layer across
+    /// all mesh builds (the layer's total heap footprint: steady-state
+    /// iterations allocate nothing).
+    pub collective_allocs: u64,
     /// Recoveries executed.
     pub recoveries: u64,
     /// Bytes fetched during recoveries.
@@ -157,6 +206,9 @@ impl MetricsRegistry {
     /// Records one occurrence of a phase.
     pub fn record(&mut self, phase: Phase, secs: f64) {
         let stats = self.phases.entry(phase).or_default();
+        if stats.count == 0 || secs < stats.min_secs {
+            stats.min_secs = secs;
+        }
         stats.count += 1;
         stats.total_secs += secs;
         if secs > stats.max_secs {
@@ -210,6 +262,13 @@ pub struct RunSummary {
     pub checkpoints_taken: u64,
     /// Node kills injected.
     pub faults_injected: u64,
+    /// Straggler slowdowns injected.
+    pub stragglers_injected: u64,
+    /// Ring collectives that aborted on a fault.
+    pub ring_aborts: u64,
+    /// Gradient chunk buffers preallocated by the collective layer across
+    /// all mesh builds; steady-state ring iterations allocate nothing.
+    pub collective_allocs: u64,
     /// Recoveries executed.
     pub recoveries: u64,
     /// Checkpoint submissions that stalled on buffer exhaustion.
@@ -267,8 +326,20 @@ impl RunSummary {
     /// configuration: the validation hook tying live wall-clock numbers
     /// back to the analytic models.
     pub fn event_sim_config(&self) -> EventSimConfig {
+        // Each iteration runs exactly one collective, so the star and
+        // ring phases must be weighted by how often they occurred, not
+        // summed as per-occurrence means — a ring run with a star
+        // fallback window records both, and charging every simulated
+        // iteration both costs would project high. The ring's exposed
+        // peer wait is part of the iteration's wall time and is charged
+        // here too.
+        let exchanges = self.phase(Phase::Compute).count.max(1) as f64;
+        let collective_total = self.phase(Phase::Reduce).total_secs
+            + self.phase(Phase::ReduceScatter).total_secs
+            + self.phase(Phase::AllGather).total_secs
+            + self.phase(Phase::RingWait).total_secs;
         EventSimConfig {
-            fb_sec: self.phase(Phase::Compute).mean_secs() + self.phase(Phase::Reduce).mean_secs(),
+            fb_sec: self.phase(Phase::Compute).mean_secs() + collective_total / exchanges,
             update_sec: self.phase(Phase::Apply).mean_secs(),
             snapshot_sec: self.phase(Phase::CkptSerialize).mean_secs()
                 + self.phase(Phase::CkptSubmit).mean_secs(),
@@ -300,6 +371,7 @@ mod tests {
         assert!((s.total_secs - 2.0).abs() < 1e-12);
         assert!((s.mean_secs() - 1.0).abs() < 1e-12);
         assert!((s.max_secs - 1.5).abs() < 1e-12);
+        assert!((s.min_secs - 0.5).abs() < 1e-12);
         assert_eq!(m.phase(Phase::Apply), PhaseStats::default());
     }
 
@@ -327,5 +399,8 @@ mod tests {
     fn phase_labels_are_stable() {
         assert_eq!(Phase::CkptSubmit.label(), "ckpt-submit");
         assert_eq!(Phase::RecoveryRestore.label(), "recovery-restore");
+        assert_eq!(Phase::ReduceScatter.label(), "reduce-scatter");
+        assert_eq!(Phase::AllGather.label(), "all-gather");
+        assert_eq!(Phase::StragglerStall.label(), "straggler-stall");
     }
 }

@@ -3,20 +3,33 @@
 //! Each DP rank is an OS thread owning a full replica of the model (the
 //! paper's ZeRO-2 DP setting replicates weights; checkpoint *duties* are
 //! sharded, not the replicas). Ranks run a lock-step protocol over
-//! crossbeam channels — the collective stand-in:
+//! crossbeam channels:
 //!
 //! 1. `Step`: compute forward+backward on the rank's slice of the global
-//!    batch, report the flattened gradient (the all-reduce gather half).
-//! 2. `Apply`: load the reduced gradient and take an identical Adam step
-//!    (the broadcast half) — replicas stay bitwise identical.
+//!    batch, then exchange gradients through the collective the step
+//!    names — in star mode the flattened gradient is reported to the
+//!    coordinator, in ring mode the rank all-reduces with its ring peers
+//!    ([`crate::collective::ring_all_reduce`]), applies the optimizer
+//!    step locally, and reports only timings and routing statistics.
+//! 2. `Apply` (star mode): load the reduced gradient and take an
+//!    identical Adam step — replicas stay bitwise identical.
 //! 3. `Checkpoint`: serialize the modules this rank *owns* under the
 //!    checkpoint-sharding placement and report the shard jobs.
 //! 4. `Restore`: overwrite local state from recovery blobs.
+//! 5. `InstallRing`: adopt fresh ring endpoints (sent at run start and
+//!    after every recovery, so aborted collectives can never leak
+//!    messages into the next epoch).
 //!
 //! A `Step` carrying `die: true` makes the thread exit mid-iteration
 //! without reporting — the injected node kill. The coordinator only
-//! learns of it through the missing reply.
+//! learns of it through the missing reply (star) or through the ring
+//! aborts the death causes in the surviving peers.
+//!
+//! The flattened gradient lives in a per-thread buffer reused across
+//! iterations, so ring-mode steps perform zero gradient-buffer heap
+//! allocations after the first iteration.
 
+use crate::collective::{ring_all_reduce, CollectiveKind, RingEndpoints};
 use crate::config::RuntimeConfig;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
@@ -48,8 +61,15 @@ pub(crate) enum RankCommand {
         /// discard replies from threads that predate a rollback.
         epoch: u64,
         die: bool,
+        /// Collective to exchange gradients through this iteration (the
+        /// coordinator switches to `Star` during ring-fallback windows).
+        collective: CollectiveKind,
+        /// Injected straggler slowdown factor, if this rank is a victim.
+        slow_factor: Option<f64>,
     },
-    /// Load the reduced gradient and apply the optimizer step.
+    /// Adopt fresh ring endpoints (run start and after every recovery).
+    InstallRing { endpoints: RingEndpoints },
+    /// Load the reduced gradient and apply the optimizer step (star).
     Apply { grad: Arc<Vec<f32>> },
     /// Serialize owned modules for the checkpoint at `iteration`.
     Checkpoint {
@@ -68,7 +88,7 @@ pub(crate) enum RankCommand {
 /// Rank → coordinator events.
 #[derive(Debug)]
 pub(crate) enum RankEvent {
-    /// Iteration result: flattened gradient plus routing statistics.
+    /// Star iteration result: flattened gradient plus routing statistics.
     Grad {
         rank: usize,
         iteration: u64,
@@ -76,6 +96,34 @@ pub(crate) enum RankEvent {
         grad: Vec<f32>,
         expert_loads: Vec<Vec<u64>>,
         compute_secs: f64,
+        /// Injected straggler stall, 0 when the rank was not slowed.
+        stall_secs: f64,
+    },
+    /// Ring iteration result: the gradient was all-reduced peer-to-peer
+    /// and applied locally; only statistics travel to the coordinator.
+    StepDone {
+        rank: usize,
+        iteration: u64,
+        epoch: u64,
+        expert_loads: Vec<Vec<u64>>,
+        compute_secs: f64,
+        /// Injected straggler stall, 0 when the rank was not slowed.
+        stall_secs: f64,
+        /// Active reduce-leg work (fold/copy/send).
+        reduce_scatter_secs: f64,
+        /// Active gather-leg work (copy/forward).
+        all_gather_secs: f64,
+        /// Blocking time waiting on ring peers.
+        ring_wait_secs: f64,
+        /// Local optimizer step (load + Adam).
+        apply_secs: f64,
+    },
+    /// The rank's ring collective timed out on a peer and was abandoned
+    /// without applying (the coordinator will recover and roll back).
+    RingAborted {
+        rank: usize,
+        iteration: u64,
+        epoch: u64,
     },
     /// Rank 0's acknowledgement that the optimizer step was applied.
     Applied,
@@ -126,12 +174,21 @@ pub fn owner_rank(topo: &ParallelTopology, model: &MoeModelConfig, module: &str)
 }
 
 /// Flattens every parameter gradient in registration order.
+#[cfg(test)]
 pub(crate) fn flatten_grads(store: &ParamStore) -> Vec<f32> {
-    store
-        .params()
-        .iter()
-        .flat_map(|p| p.grad.data().iter().copied())
-        .collect()
+    let mut out = Vec::new();
+    flatten_grads_into(store, &mut out);
+    out
+}
+
+/// Flattens every parameter gradient in registration order into a reused
+/// buffer — after warm-up the buffer's capacity suffices and no
+/// allocation happens.
+pub(crate) fn flatten_grads_into(store: &ParamStore, out: &mut Vec<f32>) {
+    out.clear();
+    for p in store.params() {
+        out.extend_from_slice(p.grad.data());
+    }
 }
 
 /// Loads a flattened gradient back into the store.
@@ -184,31 +241,99 @@ pub(crate) fn run_rank(ctx: RankContext) {
         .filter(|m| owner_rank(&cfg.topology, &cfg.model, m) == ctx.rank)
         .collect();
 
+    // Ring endpoints and the flattened-gradient buffer persist across
+    // iterations: the buffer is the rank's only gradient-sized scratch
+    // and is never reallocated after the first step.
+    let mut ring: Option<RingEndpoints> = None;
+    let mut grad_buf: Vec<f32> = Vec::new();
+
     while let Ok(command) = ctx.commands.recv() {
         match command {
             RankCommand::Step {
                 iteration,
                 epoch,
                 die,
+                collective,
+                slow_factor,
             } => {
                 let start = Instant::now();
                 model.store_mut().zero_grads();
                 let global = corpus.batch(iteration - 1, cfg.batch, cfg.seq_len);
                 let sub = &global[lo..lo + per];
                 let stats = model.forward_backward(sub, noise_seed(cfg.seed, iteration, ctx.rank));
+                let compute_secs = start.elapsed().as_secs_f64();
+                // An injected straggler stretches the step: the extra
+                // wall time is reported so stall amplification shows up
+                // in the metrics, while the numerics stay untouched.
+                let stall_secs = match slow_factor {
+                    Some(factor) => {
+                        let stall = compute_secs * (factor - 1.0);
+                        std::thread::sleep(std::time::Duration::from_secs_f64(stall));
+                        stall
+                    }
+                    None => 0.0,
+                };
                 if die {
                     // The node dies mid-iteration: work done, never reported.
                     return;
                 }
-                let grad = flatten_grads(model.store());
-                let _ = ctx.events.send(RankEvent::Grad {
-                    rank: ctx.rank,
-                    iteration,
-                    epoch,
-                    grad,
-                    expert_loads: stats.expert_loads,
-                    compute_secs: start.elapsed().as_secs_f64(),
-                });
+                match collective {
+                    CollectiveKind::Star => {
+                        flatten_grads_into(model.store(), &mut grad_buf);
+                        let _ = ctx.events.send(RankEvent::Grad {
+                            rank: ctx.rank,
+                            iteration,
+                            epoch,
+                            grad: grad_buf.clone(),
+                            expert_loads: stats.expert_loads,
+                            compute_secs,
+                            stall_secs,
+                        });
+                    }
+                    CollectiveKind::Ring => {
+                        flatten_grads_into(model.store(), &mut grad_buf);
+                        let endpoints = ring.as_ref().expect("ring endpoints installed");
+                        match ring_all_reduce(
+                            endpoints,
+                            &mut grad_buf,
+                            epoch,
+                            iteration,
+                            cfg.heartbeat_timeout,
+                        ) {
+                            Ok(timings) => {
+                                let apply_start = Instant::now();
+                                load_grads(model.store_mut(), &grad_buf);
+                                adam_step(model.store_mut(), &cfg.adam);
+                                let _ = ctx.events.send(RankEvent::StepDone {
+                                    rank: ctx.rank,
+                                    iteration,
+                                    epoch,
+                                    expert_loads: stats.expert_loads,
+                                    compute_secs,
+                                    stall_secs,
+                                    reduce_scatter_secs: timings.reduce_scatter_secs,
+                                    all_gather_secs: timings.all_gather_secs,
+                                    ring_wait_secs: timings.wait_secs,
+                                    apply_secs: apply_start.elapsed().as_secs_f64(),
+                                });
+                            }
+                            Err(_) => {
+                                // A peer died or stalled past the
+                                // heartbeat: abandon the iteration
+                                // without applying; the coordinator
+                                // rolls everyone back.
+                                let _ = ctx.events.send(RankEvent::RingAborted {
+                                    rank: ctx.rank,
+                                    iteration,
+                                    epoch,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            RankCommand::InstallRing { endpoints } => {
+                ring = Some(endpoints);
             }
             RankCommand::Apply { grad } => {
                 load_grads(model.store_mut(), &grad);

@@ -121,6 +121,21 @@ fn print_timeline(summary: &RunSummary) {
                     event.iteration
                 );
             }
+            EventKind::CollectiveAbort {
+                aborted_ranks,
+                fallback_iterations,
+            } => {
+                println!(
+                    "  iter {:>3}  RING ABORT  ranks {aborted_ranks:?} bailed; star fallback for {fallback_iterations} iteration(s)",
+                    event.iteration
+                );
+            }
+            EventKind::StragglerInjected { rank, factor } => {
+                println!(
+                    "  iter {:>3}  SLOW        rank {rank} stretched {factor}x",
+                    event.iteration
+                );
+            }
         }
     }
 }
@@ -157,4 +172,14 @@ fn print_summary(label: &str, summary: &RunSummary) {
         1e3 * summary.phase(Phase::CkptSubmit).mean_secs(),
         1e3 * summary.phase(Phase::CkptWrite).mean_secs(),
     );
+    if summary.phase(Phase::ReduceScatter).count > 0 {
+        println!(
+            "  ring collective: reduce-scatter {:.2} ms, all-gather {:.2} ms, ring-wait {:.2} ms per iteration; {} aborts, {} chunk buffers preallocated (zero steady-state allocs)",
+            1e3 * summary.phase(Phase::ReduceScatter).mean_secs(),
+            1e3 * summary.phase(Phase::AllGather).mean_secs(),
+            1e3 * summary.phase(Phase::RingWait).mean_secs(),
+            summary.ring_aborts,
+            summary.collective_allocs,
+        );
+    }
 }

@@ -1,0 +1,194 @@
+//! Integration tests of the decentralized collective layer: ring runs
+//! are bitwise identical to star runs, a node killed mid-all-reduce
+//! surfaces as a detected fault with a clean recovery (converging
+//! bitwise-identical to an unfaulted run), the steady-state ring
+//! allocates no gradient buffers, and injected stragglers stall the
+//! pipeline measurably without perturbing the numerics.
+
+use moc_system::core::ParallelTopology;
+use moc_system::runtime::{
+    CollectiveKind, Coordinator, EventKind, Phase, RunSummary, RuntimeConfig, SlowEvent,
+};
+use moc_system::store::{FaultEvent, FaultPlan, MemoryObjectStore, ObjectStore};
+use moc_system::train::PecMode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn base_config(collective: CollectiveKind) -> RuntimeConfig {
+    // 2 nodes × 2 GPUs, DP = EP = 4: two experts of the tiny 8-expert LM
+    // per rank, two ranks per node.
+    let topo = ParallelTopology::dp_ep(2, 2, 4, 4).unwrap();
+    RuntimeConfig {
+        total_iterations: 10,
+        i_ckpt: 4,
+        eval_every: 0,
+        seq_len: 8,
+        collective,
+        heartbeat_timeout: Duration::from_millis(800),
+        ..RuntimeConfig::tiny(topo)
+    }
+}
+
+fn run(config: RuntimeConfig) -> RunSummary {
+    Coordinator::new(
+        config,
+        Arc::new(MemoryObjectStore::new()) as Arc<dyn ObjectStore>,
+    )
+    .unwrap()
+    .run()
+    .unwrap()
+}
+
+fn bits(params: &[f32]) -> Vec<u32> {
+    params.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Acceptance: the ring collective reproduces the star path bitwise on
+/// the same seed — same final parameters, same replica consistency —
+/// while routing zero gradient bytes through the coordinator.
+#[test]
+fn ring_run_is_bitwise_identical_to_star_run() {
+    let star = run(base_config(CollectiveKind::Star));
+    let ring = run(base_config(CollectiveKind::Ring));
+    assert!(star.replicas_consistent && ring.replicas_consistent);
+    assert_eq!(
+        bits(&star.final_params),
+        bits(&ring.final_params),
+        "ring must reproduce the star's rank-order fold bitwise"
+    );
+    // Phase accounting matches the collective that ran.
+    assert!(star.phase(Phase::Reduce).count > 0);
+    assert_eq!(star.phase(Phase::ReduceScatter).count, 0);
+    assert_eq!(ring.phase(Phase::Reduce).count, 0);
+    assert_eq!(
+        ring.phase(Phase::ReduceScatter).count,
+        ring.iterations_executed
+    );
+    assert_eq!(ring.phase(Phase::AllGather).count, ring.iterations_executed);
+}
+
+/// Acceptance: a node killed mid-all-reduce makes the surviving ring
+/// peers abort instead of hanging; the coordinator detects the death,
+/// recovers, runs the star-fallback window, and the run converges
+/// bitwise-identical to an unfaulted ring run under full checkpointing.
+#[test]
+fn node_kill_mid_allreduce_recovers_bitwise_identical() {
+    let full = RuntimeConfig {
+        k_snapshot: 8,
+        k_persist: 8,
+        pec_mode: PecMode::NONE,
+        ..base_config(CollectiveKind::Ring)
+    };
+    let faulted_config = RuntimeConfig {
+        faults: FaultPlan::At(vec![FaultEvent {
+            iteration: 7,
+            node: 1,
+        }]),
+        ..full.clone()
+    };
+    let clean = run(full);
+    let faulted = run(faulted_config);
+
+    assert_eq!(faulted.faults_injected, 1);
+    assert_eq!(faulted.recoveries, 1);
+    assert!(faulted.ring_aborts >= 1, "survivors must abort the ring");
+    assert!(faulted.replicas_consistent);
+    assert!(
+        faulted
+            .timeline
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CollectiveAbort { .. })),
+        "timeline must record the collective abort"
+    );
+    assert!(
+        faulted
+            .timeline
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FaultDetected { .. })),
+        "the dead peer must surface as a detected fault"
+    );
+    // The abort fell back to the star path for the configured window.
+    assert!(
+        faulted.phase(Phase::Reduce).count >= 1,
+        "post-recovery iterations must run the star fallback"
+    );
+    assert_eq!(
+        bits(&clean.final_params),
+        bits(&faulted.final_params),
+        "recovery must rejoin the unfaulted trajectory bitwise"
+    );
+}
+
+/// Acceptance: the collective layer's gradient-buffer footprint is fixed
+/// at mesh build time — running twice as many iterations allocates not
+/// one buffer more, i.e. the steady-state hot path is zero-alloc.
+#[test]
+fn ring_steady_state_allocates_no_gradient_buffers() {
+    let topo = ParallelTopology::dp_ep(1, 2, 2, 2).unwrap();
+    let config = |iters: u64| RuntimeConfig {
+        total_iterations: iters,
+        i_ckpt: 4,
+        eval_every: 0,
+        seq_len: 8,
+        heartbeat_timeout: Duration::from_millis(800),
+        ..RuntimeConfig::tiny(topo)
+    };
+    let short = run(config(6));
+    let long = run(config(12));
+    assert!(short.collective_allocs > 0, "mesh build must preallocate");
+    assert_eq!(
+        short.collective_allocs, long.collective_allocs,
+        "extra iterations must not allocate gradient buffers"
+    );
+    // The star path allocates no chunk buffers at all.
+    let star = run(RuntimeConfig {
+        collective: CollectiveKind::Star,
+        ..config(6)
+    });
+    assert_eq!(star.collective_allocs, 0);
+}
+
+/// Satellite: an injected straggler stretches its rank's step, the stall
+/// is recorded in the metrics and timeline (so checkpoint stall
+/// amplification is measurable), and — because the slowdown is pure wall
+/// time — the numerics are untouched: the run stays bitwise identical to
+/// an uninjected one, with no spurious fault detection.
+#[test]
+fn straggler_injection_stalls_without_perturbing_numerics() {
+    // Generous heartbeat: the injected stall (2× the measured compute
+    // time) must stay comfortably below the ring deadline even when the
+    // host is oversubscribed, or the straggler would be declared dead —
+    // the documented timeout-detection ambiguity, not what this test is
+    // about.
+    let config = RuntimeConfig {
+        heartbeat_timeout: Duration::from_secs(4),
+        ..base_config(CollectiveKind::Ring)
+    };
+    let smooth = run(config.clone());
+    let slowed = run(RuntimeConfig {
+        stragglers: vec![SlowEvent {
+            iteration: 3,
+            rank: 1,
+            factor: 3.0,
+        }],
+        ..config
+    });
+    assert_eq!(slowed.stragglers_injected, 1);
+    assert_eq!(slowed.recoveries, 0, "a straggler is slow, not dead");
+    assert_eq!(slowed.ring_aborts, 0);
+    let stall = slowed.phase(Phase::StragglerStall);
+    assert_eq!(stall.count, 1);
+    assert!(stall.total_secs > 0.0, "induced stall must be measured");
+    assert!(
+        slowed
+            .timeline
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::StragglerInjected { rank: 1, .. })),
+        "timeline must record the straggler"
+    );
+    assert_eq!(
+        bits(&smooth.final_params),
+        bits(&slowed.final_params),
+        "a stall must not change the training trajectory"
+    );
+}
