@@ -1,0 +1,235 @@
+//! Checkpoint-engine overhead: measured wall-clock and bytes of the
+//! `moc-ckpt` pipeline, validated against the analytic overhead model
+//! (Eqs. 3–16).
+//!
+//! The same multi-rank training job runs three times against a
+//! file-backed store:
+//!
+//! 1. **sync full** — the baseline: full-module shards, blocking persist;
+//! 2. **async full** — the engine pipeline, full shards, no deltas;
+//! 3. **async partial+delta** — PEC selection plus delta shards with
+//!    periodic rebase.
+//!
+//! Measured per-checkpoint overhead is compared against Eq. 10's hidden
+//! asynchronous saving overhead and Eq. 16's break-even rule, and the
+//! whole summary is emitted as `BENCH_ckpt.json` so the perf trajectory
+//! is machine-readable across commits.
+//!
+//! Run with `cargo bench --bench fig18_ckpt_overhead`.
+
+use moc_bench::{banner, gib, millis, secs};
+use moc_ckpt::EngineConfig;
+use moc_core::overhead::{async_save_overhead, moc_beats_full, OverheadInputs};
+use moc_runtime::{CheckpointMode, Coordinator, Phase, RunSummary, RuntimeConfig};
+use moc_store::FileObjectStore;
+use moc_train::PecMode;
+use std::sync::Arc;
+
+struct Mode {
+    label: &'static str,
+    summary: RunSummary,
+}
+
+fn run(
+    root: &std::path::Path,
+    mode: CheckpointMode,
+    k: (usize, usize),
+    pec: PecMode,
+    delta: bool,
+) -> RunSummary {
+    let topo = moc_core::ParallelTopology::dp_ep(2, 4, 8, 8).expect("topology");
+    let config = RuntimeConfig {
+        total_iterations: 40,
+        i_ckpt: 4,
+        eval_every: 0,
+        checkpoint_mode: mode,
+        k_snapshot: k.0,
+        k_persist: k.1,
+        pec_mode: pec,
+        ckpt: EngineConfig {
+            delta,
+            ..EngineConfig::default()
+        },
+        ..RuntimeConfig::tiny(topo)
+    };
+    let store = Arc::new(FileObjectStore::open(root).expect("store root"));
+    Coordinator::new(config, store)
+        .expect("valid config")
+        .run()
+        .expect("fault-free run")
+}
+
+fn json_entry(label: &str, s: &RunSummary) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"ckpt_overhead_secs\": {:.9},\n",
+            "      \"mean_iteration_secs\": {:.9},\n",
+            "      \"persisted_bytes\": {},\n",
+            "      \"raw_bytes\": {},\n",
+            "      \"stored_bytes\": {},\n",
+            "      \"manifest_bytes\": {},\n",
+            "      \"full_shards\": {},\n",
+            "      \"delta_shards\": {},\n",
+            "      \"pool_allocs\": {},\n",
+            "      \"stall_count\": {},\n",
+            "      \"blocking_write_phases\": {}\n",
+            "    }}"
+        ),
+        label,
+        s.checkpoint_overhead_secs(),
+        s.mean_iteration_secs(),
+        s.persisted_bytes,
+        s.ckpt_engine.writer.raw_bytes,
+        s.ckpt_engine.writer.stored_bytes,
+        s.ckpt_engine.writer.manifest_bytes,
+        s.ckpt_engine.writer.full_shards,
+        s.ckpt_engine.writer.delta_shards,
+        s.ckpt_engine.pool_allocs,
+        s.stall_count,
+        s.phase(Phase::CkptWrite).count,
+    )
+}
+
+fn main() {
+    banner("Fig. 18 — checkpoint-engine overhead (measured) vs the analytic model");
+    let root = std::env::temp_dir().join(format!("moc-fig18-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let modes = [
+        Mode {
+            label: "sync_full",
+            summary: run(
+                &root.join("sync"),
+                CheckpointMode::Sync,
+                (8, 8),
+                PecMode::NONE,
+                false,
+            ),
+        },
+        Mode {
+            label: "async_full",
+            summary: run(
+                &root.join("async"),
+                CheckpointMode::Async,
+                (8, 8),
+                PecMode::NONE,
+                false,
+            ),
+        },
+        Mode {
+            label: "async_partial_delta",
+            summary: run(
+                &root.join("delta"),
+                CheckpointMode::Async,
+                (4, 2),
+                PecMode::WO,
+                true,
+            ),
+        },
+    ];
+
+    println!("8 ranks on 2 nodes, tiny 8-expert LM, checkpoint every 4 of 40 iterations");
+    println!(
+        "{:<22} {:>13} {:>13} {:>11} {:>9} {:>7} {:>7}",
+        "mode", "ovh/ckpt", "iter mean", "persisted", "stored", "full", "delta"
+    );
+    for m in &modes {
+        let s = &m.summary;
+        println!(
+            "{:<22} {:>13} {:>13} {:>11} {:>9} {:>7} {:>7}",
+            m.label,
+            millis(s.checkpoint_overhead_secs()),
+            millis(s.mean_iteration_secs()),
+            gib(s.persisted_bytes),
+            gib(s.ckpt_engine.writer.stored_bytes),
+            s.ckpt_engine.writer.full_shards,
+            s.ckpt_engine.writer.delta_shards,
+        );
+    }
+
+    let sync = &modes[0].summary;
+    let async_full = &modes[1].summary;
+    let delta = &modes[2].summary;
+
+    // Eq. 10: the async saving overhead is only the part of the snapshot
+    // the next iteration's forward/backward cannot hide.
+    let t_snapshot = async_full.phase(Phase::CkptSerialize).mean_secs()
+        + async_full.phase(Phase::CkptSubmit).mean_secs();
+    let t_fb = async_full.phase(Phase::Compute).mean_secs();
+    let eq10 = async_save_overhead(t_snapshot, t_fb);
+    println!(
+        "Eq. 10 hidden-overhead model: snapshot {} vs F&B window {} -> predicted exposed {}",
+        millis(t_snapshot),
+        millis(t_fb),
+        millis(eq10),
+    );
+
+    // Eq. 4/12: total fault-tolerance overhead over the run at λ = 1e-3
+    // faults/iteration for each strategy, from measured per-ckpt costs.
+    let lambda = 1e-3;
+    let inputs = |s: &RunSummary| OverheadInputs {
+        o_save_sec: s.checkpoint_overhead_secs(),
+        o_restart_sec: 0.5,
+        i_ckpt: s.i_ckpt as f64,
+        i_total: 40.0,
+        iteration_sec: s.mean_iteration_secs(),
+        lambda,
+    };
+    for m in &modes {
+        println!(
+            "Eq. 4 projected O_ckpt({}): {}",
+            m.label,
+            secs(inputs(&m.summary).total_overhead_sec())
+        );
+    }
+
+    // Eq. 16: does the engine configuration beat the sync-full baseline?
+    let beats = moc_beats_full(
+        delta.checkpoint_overhead_secs(),
+        delta.i_ckpt as f64,
+        sync.checkpoint_overhead_secs(),
+        sync.i_ckpt as f64,
+        lambda,
+        sync.mean_iteration_secs(),
+    );
+    println!("Eq. 16 break-even: async partial+delta beats sync full -> {beats}");
+    println!(
+        "delta savings: {:.2} MB of {:.2} MB raw persisted ({:.2} MB manifests), pool allocs {}",
+        delta.ckpt_engine.delta_saved_bytes() as f64 / 1e6,
+        delta.ckpt_engine.writer.raw_bytes as f64 / 1e6,
+        delta.ckpt_engine.writer.manifest_bytes as f64 / 1e6,
+        delta.ckpt_engine.pool_allocs,
+    );
+
+    // Machine-readable trajectory.
+    let json = format!(
+        "{{\n  \"bench\": \"fig18_ckpt_overhead\",\n  \"modes\": {{\n{}\n  }},\n  \"eq10_predicted_exposed_secs\": {:.9},\n  \"eq16_moc_beats_full\": {}\n}}\n",
+        modes
+            .iter()
+            .map(|m| json_entry(m.label, &m.summary))
+            .collect::<Vec<_>>()
+            .join(",\n"),
+        eq10,
+        beats,
+    );
+    let json_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ckpt.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_ckpt.json");
+    println!("wrote {}", json_path.display());
+
+    assert!(
+        async_full.checkpoint_overhead_secs() < sync.checkpoint_overhead_secs(),
+        "async engine must beat the blocking baseline"
+    );
+    assert_eq!(
+        async_full.phase(Phase::CkptWrite).count,
+        0,
+        "async mode must never block the training thread on store I/O"
+    );
+    assert!(
+        delta.persisted_bytes < sync.persisted_bytes,
+        "partial+delta must persist strictly fewer bytes than full-module"
+    );
+    assert!(beats, "Eq. 16 must favour the engine configuration");
+    let _ = std::fs::remove_dir_all(&root);
+}

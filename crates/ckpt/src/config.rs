@@ -1,0 +1,81 @@
+//! Checkpoint engine configuration.
+
+/// Policy knobs of a checkpoint engine / shard writer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Encode shards as deltas against their last full shard when
+    /// profitable.
+    pub delta: bool,
+    /// After this many consecutive delta shards of a slot, force a full
+    /// rebase (`1` = every persist is full, i.e. deltas disabled in
+    /// practice). Must be at least 1.
+    pub rebase_interval: u64,
+    /// Checkpoint batches allowed in flight before `submit` stalls the
+    /// caller. `2` is the double-buffered default: one batch draining to
+    /// storage while the next is being filled.
+    pub inflight_limit: usize,
+    /// Idle buffers the engine's pool retains for reuse.
+    pub pool_idle_limit: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            delta: true,
+            rebase_interval: 4,
+            inflight_limit: 2,
+            pool_idle_limit: 256,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A configuration writing only full shards (the pre-delta behaviour).
+    pub fn full_only() -> Self {
+        Self {
+            delta: false,
+            ..Self::default()
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rebase_interval == 0 {
+            return Err("rebase_interval must be at least 1".into());
+        }
+        if self.inflight_limit == 0 {
+            return Err("inflight_limit must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        EngineConfig::default().validate().unwrap();
+        EngineConfig::full_only().validate().unwrap();
+        assert!(!EngineConfig::full_only().delta);
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let bad = EngineConfig {
+            rebase_interval: 0,
+            ..EngineConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = EngineConfig {
+            inflight_limit: 0,
+            ..EngineConfig::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+}

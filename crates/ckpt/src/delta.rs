@@ -1,0 +1,402 @@
+//! Delta shards: a shard encoded against the last *full* shard of the
+//! same slot.
+//!
+//! Checkpoint payloads here are little-endian `f32` streams whose values
+//! drift slowly between checkpoints: the sign, exponent and high-mantissa
+//! bytes of a parameter are usually unchanged while the low-mantissa
+//! bytes churn. The codec exploits that structure:
+//!
+//! 1. XOR the new payload against the base full payload (identical bytes
+//!    become zero);
+//! 2. transpose the XOR stream into its four byte planes (`i % 4`), so
+//!    the mostly-zero high bytes of every float land in long contiguous
+//!    zero runs;
+//! 3. run-length encode: `(zero_run, literal_len, literal bytes)` tokens
+//!    with LEB128 lengths.
+//!
+//! Encoding is lossless and self-checking: the delta records the CRC of
+//! both the base it was built against and the payload it reconstructs, so
+//! [`apply`] can never silently produce wrong bytes. When a delta would
+//! not be smaller than the full payload (or the shapes changed),
+//! [`encode_into`] declines and the writer falls back to a full shard —
+//! the periodic rebase additionally bounds how far any delta sits from
+//! its base.
+
+use bytes::Bytes;
+use moc_store::frame::crc32;
+use std::fmt;
+
+const MAGIC: u32 = 0x4D4F_4344; // "MOCD"
+const FORMAT: u16 = 1;
+/// Fixed header size: magic, format, base_version, base_crc, raw_len,
+/// raw_crc.
+const HEADER_LEN: usize = 4 + 2 + 8 + 4 + 8 + 4;
+/// Zero runs shorter than this are cheaper left inside a literal token.
+const MIN_ZERO_RUN: usize = 4;
+
+/// Error applying a delta shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The payload is not a delta frame (wrong magic or truncated header).
+    NotADelta,
+    /// Unsupported delta format version.
+    BadFormat(u16),
+    /// The base payload's CRC does not match the one the delta was
+    /// encoded against (wrong or corrupted base).
+    BaseMismatch {
+        /// CRC recorded at encode time.
+        expected: u32,
+        /// CRC of the base supplied to [`apply`].
+        actual: u32,
+    },
+    /// The token stream was truncated or overran the declared length.
+    Corrupt,
+    /// The reconstructed payload failed its CRC check.
+    ReconstructionMismatch {
+        /// CRC recorded at encode time.
+        expected: u32,
+        /// CRC of the reconstructed payload.
+        actual: u32,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::NotADelta => write!(f, "payload is not a delta frame"),
+            DeltaError::BadFormat(v) => write!(f, "unsupported delta format {v}"),
+            DeltaError::BaseMismatch { expected, actual } => {
+                write!(f, "delta base crc mismatch: {expected:#x} vs {actual:#x}")
+            }
+            DeltaError::Corrupt => write!(f, "corrupt delta token stream"),
+            DeltaError::ReconstructionMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "delta reconstruction crc mismatch: {expected:#x} vs {actual:#x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Decoded delta header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaHeader {
+    /// Version of the full shard the delta was encoded against.
+    pub base_version: u64,
+    /// CRC of that base payload.
+    pub base_crc: u32,
+    /// Length of the reconstructed payload.
+    pub raw_len: u64,
+    /// CRC of the reconstructed payload.
+    pub raw_crc: u32,
+}
+
+/// Whether a stored payload is a delta frame.
+pub fn is_delta(payload: &[u8]) -> bool {
+    payload.len() >= 4 && payload[..4] == MAGIC.to_le_bytes()
+}
+
+/// Reads a delta frame's header.
+///
+/// # Errors
+///
+/// [`DeltaError::NotADelta`] / [`DeltaError::BadFormat`] when the payload
+/// is not a supported delta frame.
+pub fn decode_header(payload: &[u8]) -> Result<DeltaHeader, DeltaError> {
+    if payload.len() < HEADER_LEN || !is_delta(payload) {
+        return Err(DeltaError::NotADelta);
+    }
+    let u16_at = |i: usize| u16::from_le_bytes(payload[i..i + 2].try_into().expect("2 bytes"));
+    let u32_at = |i: usize| u32::from_le_bytes(payload[i..i + 4].try_into().expect("4 bytes"));
+    let u64_at = |i: usize| u64::from_le_bytes(payload[i..i + 8].try_into().expect("8 bytes"));
+    let format = u16_at(4);
+    if format != FORMAT {
+        return Err(DeltaError::BadFormat(format));
+    }
+    Ok(DeltaHeader {
+        base_version: u64_at(6),
+        base_crc: u32_at(14),
+        raw_len: u64_at(18),
+        raw_crc: u32_at(26),
+    })
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut &[u8]) -> Result<u64, DeltaError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if buf.is_empty() || shift >= 64 {
+            return Err(DeltaError::Corrupt);
+        }
+        let byte = buf[0];
+        *buf = &buf[1..];
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Index of the `k`-th byte of the plane-transposed stream in the
+/// original payload of length `len`.
+#[inline]
+fn plane_index(k: usize, len: usize) -> usize {
+    // Plane p holds ceil((len - p) / 4) bytes; walk planes in order.
+    let mut k = k;
+    for p in 0..4usize {
+        let plane_len = (len + 3 - p) / 4;
+        if k < plane_len {
+            return p + 4 * k;
+        }
+        k -= plane_len;
+    }
+    unreachable!("k out of range");
+}
+
+/// Encodes `new` against `base` into `out` (cleared first). Returns
+/// `false` — leaving `out` unspecified — when the payloads have different
+/// lengths or the delta would not be strictly smaller than `new`; the
+/// caller then writes a full shard instead.
+pub fn encode_into(base: &[u8], new: &[u8], base_version: u64, out: &mut Vec<u8>) -> bool {
+    if base.len() != new.len() || new.len() < HEADER_LEN {
+        return false;
+    }
+    let len = new.len();
+    out.clear();
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&FORMAT.to_le_bytes());
+    out.extend_from_slice(&base_version.to_le_bytes());
+    out.extend_from_slice(&crc32(base).to_le_bytes());
+    out.extend_from_slice(&(len as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(new).to_le_bytes());
+
+    // Tokenize the plane-transposed XOR stream without materializing it.
+    let xor_at = |k: usize| -> u8 {
+        let i = plane_index(k, len);
+        base[i] ^ new[i]
+    };
+    let mut pos = 0usize;
+    while pos < len {
+        if out.len() >= len {
+            return false; // not profitable
+        }
+        // Zero run.
+        let zero_start = pos;
+        while pos < len && xor_at(pos) == 0 {
+            pos += 1;
+        }
+        put_varint(out, (pos - zero_start) as u64);
+        // Literal run: extends over short zero gaps.
+        let lit_start = pos;
+        let mut probe = pos;
+        while probe < len {
+            if xor_at(probe) != 0 {
+                probe += 1;
+                pos = probe;
+                continue;
+            }
+            // Count the zero gap; stop the literal before a long one.
+            let gap_start = probe;
+            while probe < len && xor_at(probe) == 0 {
+                probe += 1;
+            }
+            if probe - gap_start >= MIN_ZERO_RUN || probe == len {
+                break;
+            }
+            pos = probe;
+        }
+        put_varint(out, (pos - lit_start) as u64);
+        for k in lit_start..pos {
+            out.push(xor_at(k));
+        }
+    }
+    out.len() < len
+}
+
+/// Reconstructs the full payload from `base` and a delta frame.
+///
+/// # Errors
+///
+/// Any [`DeltaError`]: wrong frame, wrong base, corrupt stream, or a
+/// reconstruction that fails its CRC.
+pub fn apply(base: &[u8], delta: &[u8]) -> Result<Bytes, DeltaError> {
+    let header = decode_header(delta)?;
+    let actual_base_crc = crc32(base);
+    if actual_base_crc != header.base_crc {
+        return Err(DeltaError::BaseMismatch {
+            expected: header.base_crc,
+            actual: actual_base_crc,
+        });
+    }
+    let len = usize::try_from(header.raw_len).map_err(|_| DeltaError::Corrupt)?;
+    if base.len() != len {
+        return Err(DeltaError::Corrupt);
+    }
+    let mut out = base.to_vec();
+    let mut stream = &delta[HEADER_LEN..];
+    let mut pos = 0usize; // transposed position
+    while pos < len {
+        let zeros = get_varint(&mut stream)? as usize;
+        pos = pos.checked_add(zeros).ok_or(DeltaError::Corrupt)?;
+        if pos > len {
+            return Err(DeltaError::Corrupt);
+        }
+        if pos == len {
+            // The encoder closes a trailing zero run with an empty
+            // literal token; anything else is corruption.
+            if get_varint(&mut stream)? != 0 {
+                return Err(DeltaError::Corrupt);
+            }
+            break;
+        }
+        let lits = get_varint(&mut stream)? as usize;
+        if lits > len - pos || stream.len() < lits {
+            return Err(DeltaError::Corrupt);
+        }
+        for &b in &stream[..lits] {
+            let i = plane_index(pos, len);
+            out[i] ^= b;
+            pos += 1;
+        }
+        stream = &stream[lits..];
+    }
+    if !stream.is_empty() {
+        return Err(DeltaError::Corrupt);
+    }
+    let actual = crc32(&out);
+    if actual != header.raw_crc {
+        return Err(DeltaError::ReconstructionMismatch {
+            expected: header.raw_crc,
+            actual,
+        });
+    }
+    Ok(Bytes::from(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f32s(values: &[f32]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn roundtrip_close_floats_saves_bytes() {
+        let base: Vec<f32> = (0..512).map(|i| (i as f32).sin()).collect();
+        let new: Vec<f32> = base.iter().map(|v| v + 1e-4).collect();
+        let (base_b, new_b) = (f32s(&base), f32s(&new));
+        let mut delta = Vec::new();
+        assert!(encode_into(&base_b, &new_b, 10, &mut delta));
+        assert!(
+            delta.len() < new_b.len() * 3 / 4,
+            "close floats keep their high byte planes: {} vs {}",
+            delta.len(),
+            new_b.len()
+        );
+        assert!(is_delta(&delta));
+        let restored = apply(&base_b, &delta).unwrap();
+        assert_eq!(&restored[..], &new_b[..], "bitwise reconstruction");
+    }
+
+    #[test]
+    fn identical_payload_is_header_sized() {
+        let b = f32s(&vec![1.5f32; 256]);
+        let mut delta = Vec::new();
+        assert!(encode_into(&b, &b, 3, &mut delta));
+        assert!(delta.len() <= HEADER_LEN + 4, "only header + one token");
+        assert_eq!(&apply(&b, &delta).unwrap()[..], &b[..]);
+    }
+
+    #[test]
+    fn random_payload_declines() {
+        // Unrelated noise has no zero structure: encode must decline.
+        let base: Vec<u8> = (0..4096u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) as u8)
+            .collect();
+        let new: Vec<u8> = (0..4096u32)
+            .map(|i| (i + 7).wrapping_mul(2_246_822_519) as u8)
+            .collect();
+        let mut delta = Vec::new();
+        assert!(!encode_into(&base, &new, 1, &mut delta));
+    }
+
+    #[test]
+    fn length_mismatch_declines() {
+        let mut delta = Vec::new();
+        assert!(!encode_into(&[0u8; 64], &[0u8; 68], 1, &mut delta));
+    }
+
+    #[test]
+    fn wrong_base_is_rejected() {
+        let base = f32s(&(0..128).map(|i| i as f32).collect::<Vec<_>>());
+        let mut new = base.clone();
+        new[17] ^= 0x55; // sparse change: encoding clearly profitable
+        let mut delta = Vec::new();
+        assert!(encode_into(&base, &new, 5, &mut delta));
+        let mut wrong = base.clone();
+        wrong[0] ^= 0xFF;
+        assert!(matches!(
+            apply(&wrong, &delta),
+            Err(DeltaError::BaseMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected() {
+        let base = f32s(&vec![2.0f32; 256]);
+        let new = f32s(&vec![2.0001f32; 256]);
+        let mut delta = Vec::new();
+        assert!(encode_into(&base, &new, 5, &mut delta));
+        for byte in HEADER_LEN..delta.len() {
+            let mut corrupt = delta.clone();
+            corrupt[byte] ^= 0x40;
+            assert!(
+                apply(&base, &corrupt).is_err(),
+                "flip at {byte} must not reconstruct silently"
+            );
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let base = f32s(&vec![1.0f32; 64]);
+        let new = f32s(&vec![1.0000001f32; 64]);
+        let mut delta = Vec::new();
+        assert!(encode_into(&base, &new, 42, &mut delta));
+        let h = decode_header(&delta).unwrap();
+        assert_eq!(h.base_version, 42);
+        assert_eq!(h.raw_len, 256);
+        assert_eq!(h.base_crc, crc32(&base));
+        assert_eq!(h.raw_crc, crc32(&new));
+        assert_eq!(decode_header(b"nope"), Err(DeltaError::NotADelta));
+    }
+
+    #[test]
+    fn plane_index_is_a_bijection() {
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 63, 64, 65] {
+            let mut seen = vec![false; len];
+            for k in 0..len {
+                let i = plane_index(k, len);
+                assert!(!seen[i], "len {len}: index {i} hit twice");
+                seen[i] = true;
+            }
+        }
+    }
+}

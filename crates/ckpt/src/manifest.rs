@@ -1,0 +1,299 @@
+//! Versioned manifest chain: the commit protocol of the checkpoint engine.
+//!
+//! Every writer (one per node agent) persists its checkpoint in two
+//! phases: first the shard payloads, then — only after every shard write
+//! succeeded — a *manifest* object describing them. Because the store's
+//! `put` is atomic (unique temp file + rename + directory fsync in
+//! [`moc_store::FileObjectStore`]), the manifest is the commit point: a
+//! crash between shard writes leaves orphaned shards that no manifest
+//! references, and recovery simply resumes from the newest version for
+//! which **every** writer committed a manifest.
+//!
+//! Each manifest records, per shard: the exact key, whether the payload is
+//! a full shard or a delta (and against which base version), the stored
+//! payload's CRC, and the reconstructed length — enough to re-validate the
+//! whole chain without trusting anything but the manifest bytes
+//! themselves (which carry their own CRC inside the store frame, and a
+//! `prev` pointer linking the writer's chain).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use moc_store::{ShardKey, StatePart};
+use std::fmt;
+
+const MAGIC: u32 = 0x4D4F_434D; // "MOCM"
+const FORMAT: u16 = 1;
+
+/// Reserved module-name prefix of manifest shards. Model modules are
+/// `layer<i>.…`/`embedding`/… and can never collide.
+pub const MANIFEST_PREFIX: &str = "__ckpt_manifest__";
+
+/// The manifest module name of one writer's chain.
+pub fn manifest_module(writer: usize) -> String {
+    format!("{MANIFEST_PREFIX}.n{writer}")
+}
+
+/// Whether a module name belongs to a manifest chain; returns the writer
+/// id when it does.
+pub fn manifest_writer(module: &str) -> Option<usize> {
+    module
+        .strip_prefix(MANIFEST_PREFIX)?
+        .strip_prefix(".n")?
+        .parse()
+        .ok()
+}
+
+/// How a shard's payload is encoded in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardKind {
+    /// The raw serialized payload.
+    Full,
+    /// A delta against the slot's full shard at `base_version`.
+    Delta {
+        /// Version of the full shard the delta applies to.
+        base_version: u64,
+    },
+}
+
+/// One shard a manifest commits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// The shard's store key.
+    pub key: ShardKey,
+    /// Payload encoding.
+    pub kind: ShardKind,
+    /// CRC-32 of the *stored* payload (delta bytes for delta shards).
+    pub stored_crc: u32,
+    /// Stored payload length in bytes.
+    pub stored_len: u64,
+    /// Length of the reconstructed (raw) payload.
+    pub raw_len: u64,
+}
+
+/// One writer's committed checkpoint: the shard set of one version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Checkpoint version (training iteration).
+    pub version: u64,
+    /// The writer's previous committed version (chain pointer).
+    pub prev: Option<u64>,
+    /// Shards this checkpoint wrote.
+    pub shards: Vec<ShardRecord>,
+}
+
+/// Error decoding a manifest payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    /// Not a manifest frame (magic mismatch or truncated).
+    Malformed,
+    /// Unsupported manifest format version.
+    BadFormat(u16),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Malformed => write!(f, "malformed manifest payload"),
+            ManifestError::BadFormat(v) => write!(f, "unsupported manifest format {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+fn part_tag(p: StatePart) -> u8 {
+    match p {
+        StatePart::Weights => 0,
+        StatePart::Optimizer => 1,
+        StatePart::Extra => 2,
+    }
+}
+
+fn decode_part(t: u8) -> Result<StatePart, ManifestError> {
+    match t {
+        0 => Ok(StatePart::Weights),
+        1 => Ok(StatePart::Optimizer),
+        2 => Ok(StatePart::Extra),
+        _ => Err(ManifestError::Malformed),
+    }
+}
+
+impl ManifestEntry {
+    /// Serializes the manifest to its store payload.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.shards.len() * 64);
+        buf.put_u32_le(MAGIC);
+        buf.put_u16_le(FORMAT);
+        buf.put_u64_le(self.version);
+        match self.prev {
+            Some(p) => {
+                buf.put_u8(1);
+                buf.put_u64_le(p);
+            }
+            None => {
+                buf.put_u8(0);
+                buf.put_u64_le(0);
+            }
+        }
+        buf.put_u32_le(self.shards.len() as u32);
+        for s in &self.shards {
+            buf.put_u16_le(s.key.module.len() as u16);
+            buf.put_slice(s.key.module.as_bytes());
+            buf.put_u8(part_tag(s.key.part));
+            buf.put_u64_le(s.key.version);
+            match s.kind {
+                ShardKind::Full => {
+                    buf.put_u8(0);
+                    buf.put_u64_le(0);
+                }
+                ShardKind::Delta { base_version } => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(base_version);
+                }
+            }
+            buf.put_u32_le(s.stored_crc);
+            buf.put_u64_le(s.stored_len);
+            buf.put_u64_le(s.raw_len);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a manifest payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError`] when the payload is not a valid manifest.
+    pub fn decode(payload: &Bytes) -> Result<Self, ManifestError> {
+        let mut buf = payload.clone();
+        if buf.remaining() < 4 + 2 + 8 + 9 + 4 {
+            return Err(ManifestError::Malformed);
+        }
+        if buf.get_u32_le() != MAGIC {
+            return Err(ManifestError::Malformed);
+        }
+        let format = buf.get_u16_le();
+        if format != FORMAT {
+            return Err(ManifestError::BadFormat(format));
+        }
+        let version = buf.get_u64_le();
+        let has_prev = buf.get_u8() == 1;
+        let prev_raw = buf.get_u64_le();
+        let prev = has_prev.then_some(prev_raw);
+        let count = buf.get_u32_le() as usize;
+        let mut shards = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 2 {
+                return Err(ManifestError::Malformed);
+            }
+            let name_len = buf.get_u16_le() as usize;
+            if buf.remaining() < name_len + 1 + 8 + 1 + 8 + 4 + 8 + 8 {
+                return Err(ManifestError::Malformed);
+            }
+            let name_bytes = buf.copy_to_bytes(name_len);
+            let module =
+                String::from_utf8(name_bytes.to_vec()).map_err(|_| ManifestError::Malformed)?;
+            let part = decode_part(buf.get_u8())?;
+            let shard_version = buf.get_u64_le();
+            let kind_tag = buf.get_u8();
+            let base_version = buf.get_u64_le();
+            let kind = match kind_tag {
+                0 => ShardKind::Full,
+                1 => ShardKind::Delta { base_version },
+                _ => return Err(ManifestError::Malformed),
+            };
+            shards.push(ShardRecord {
+                key: ShardKey::new(module, part, shard_version),
+                kind,
+                stored_crc: buf.get_u32_le(),
+                stored_len: buf.get_u64_le(),
+                raw_len: buf.get_u64_le(),
+            });
+        }
+        if buf.remaining() != 0 {
+            return Err(ManifestError::Malformed);
+        }
+        Ok(Self {
+            version,
+            prev,
+            shards,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry() -> ManifestEntry {
+        ManifestEntry {
+            version: 20,
+            prev: Some(10),
+            shards: vec![
+                ShardRecord {
+                    key: ShardKey::new("layer1.expert0", StatePart::Weights, 20),
+                    kind: ShardKind::Full,
+                    stored_crc: 0xDEAD_BEEF,
+                    stored_len: 4096,
+                    raw_len: 4096,
+                },
+                ShardRecord {
+                    key: ShardKey::new("embedding", StatePart::Optimizer, 20),
+                    kind: ShardKind::Delta { base_version: 10 },
+                    stored_crc: 7,
+                    stored_len: 128,
+                    raw_len: 8192,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = entry();
+        let decoded = ManifestEntry::decode(&e.encode()).unwrap();
+        assert_eq!(decoded, e);
+    }
+
+    #[test]
+    fn roundtrip_empty_and_no_prev() {
+        let e = ManifestEntry {
+            version: 0,
+            prev: None,
+            shards: Vec::new(),
+        };
+        assert_eq!(ManifestEntry::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = entry().encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                ManifestEntry::decode(&bytes.slice(0..cut)).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(ManifestEntry::decode(&Bytes::from(long)).is_err());
+    }
+
+    #[test]
+    fn magic_mismatch_detected() {
+        let mut bytes = entry().encode().to_vec();
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            ManifestEntry::decode(&Bytes::from(bytes)),
+            Err(ManifestError::Malformed)
+        );
+    }
+
+    #[test]
+    fn module_names_and_writers() {
+        assert_eq!(manifest_module(3), "__ckpt_manifest__.n3");
+        assert_eq!(manifest_writer("__ckpt_manifest__.n3"), Some(3));
+        assert_eq!(manifest_writer("__ckpt_manifest__.nx"), None);
+        assert_eq!(manifest_writer("layer1.expert0"), None);
+        assert_eq!(manifest_writer("embedding"), None);
+    }
+}

@@ -1,0 +1,160 @@
+//! Partial-expert shard selection for the checkpoint engine (PEC-FSS).
+//!
+//! Wraps `moc_core::selection` into the two-level selection the engine
+//! consumes each checkpoint: the snapshot-level expert window
+//! (`K_snapshot`) and the independently rotating persist subset
+//! (`K_persist`), with persist ⊆ snapshot enforced by construction so the
+//! live path always serializes what it persists. The byte-level workload
+//! of a selection under the paper's fully-sharded placements comes from
+//! `moc_core::sharding` via [`PartialPlan::persist_workload`] /
+//! [`PartialPlan::snapshot_workload`].
+
+use moc_core::selection::PecConfig;
+use moc_core::sharding::{CheckpointWorkload, ShardingPlanner, ShardingStrategy};
+use moc_moe::ExpertId;
+use std::collections::HashSet;
+
+/// The expert sets of one checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointSelection {
+    /// Experts snapshotted to CPU memory (includes every persisted one).
+    pub snapshot: HashSet<ExpertId>,
+    /// Experts persisted to storage.
+    pub persist: HashSet<ExpertId>,
+}
+
+/// Rotating partial-expert checkpoint plan.
+#[derive(Debug, Clone)]
+pub struct PartialPlan {
+    /// Experts snapshotted per layer per checkpoint.
+    pub k_snapshot: usize,
+    /// Experts persisted per layer per checkpoint.
+    pub k_persist: usize,
+    /// Experts per MoE layer.
+    pub num_experts: usize,
+    /// MoE layers.
+    pub num_moe_layers: usize,
+    snapshot_pec: PecConfig,
+    persist_pec: PecConfig,
+}
+
+impl PartialPlan {
+    /// Creates a plan with sequential rotation at both levels.
+    pub fn new(k_snapshot: usize, k_persist: usize, num_experts: usize, layers: usize) -> Self {
+        Self {
+            k_snapshot,
+            k_persist,
+            num_experts,
+            num_moe_layers: layers,
+            snapshot_pec: PecConfig::sequential(k_snapshot, num_experts, layers),
+            persist_pec: PecConfig::sequential(k_persist, num_experts, layers),
+        }
+    }
+
+    /// The same plan with new degrees (the Dynamic-K escalation path).
+    pub fn with_k(&self, k_snapshot: usize, k_persist: usize) -> Self {
+        Self::new(k_snapshot, k_persist, self.num_experts, self.num_moe_layers)
+    }
+
+    /// The selection of checkpoint index `t`.
+    ///
+    /// The persist level rotates independently with stride `K_persist`, so
+    /// its coverage never stalls when `K_snapshot` is large; persist-due
+    /// experts outside the snapshot window are pulled into the snapshot
+    /// set, keeping persist ⊆ snapshot on the live path (the engine only
+    /// persists what was serialized this checkpoint).
+    pub fn at(&self, t: u64) -> CheckpointSelection {
+        let persist: HashSet<ExpertId> = self.persist_pec.select(t).into_iter().collect();
+        let mut snapshot: HashSet<ExpertId> = self.snapshot_pec.select(t).into_iter().collect();
+        snapshot.extend(persist.iter().copied());
+        CheckpointSelection { snapshot, persist }
+    }
+
+    /// The full selection (bootstrap / Dynamic-K saturation).
+    pub fn full_selection(&self) -> CheckpointSelection {
+        let all: HashSet<ExpertId> = (0..self.num_moe_layers)
+            .flat_map(|layer| (0..self.num_experts).map(move |e| ExpertId::new(layer, e)))
+            .collect();
+        CheckpointSelection {
+            snapshot: all.clone(),
+            persist: all,
+        }
+    }
+
+    /// Per-rank byte workload of checkpoint `t`'s *persist* level under a
+    /// sharding strategy (Section 4's planner reused for the engine).
+    pub fn persist_workload(
+        &self,
+        planner: &ShardingPlanner,
+        strategy: ShardingStrategy,
+        t: u64,
+    ) -> CheckpointWorkload {
+        let mut selected: Vec<ExpertId> = self.at(t).persist.into_iter().collect();
+        selected.sort();
+        planner.plan_selected(strategy, &selected)
+    }
+
+    /// Per-rank byte workload of checkpoint `t`'s *snapshot* level.
+    pub fn snapshot_workload(
+        &self,
+        planner: &ShardingPlanner,
+        strategy: ShardingStrategy,
+        t: u64,
+    ) -> CheckpointWorkload {
+        let mut selected: Vec<ExpertId> = self.at(t).snapshot.into_iter().collect();
+        selected.sort();
+        planner.plan_selected(strategy, &selected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_is_subset_of_snapshot() {
+        let plan = PartialPlan::new(2, 1, 8, 2);
+        for t in 0..32 {
+            let sel = plan.at(t);
+            assert!(sel.persist.is_subset(&sel.snapshot), "t={t}");
+            assert_eq!(sel.persist.len(), 2, "1 expert × 2 layers");
+        }
+    }
+
+    #[test]
+    fn persist_rotation_covers_all_experts() {
+        let plan = PartialPlan::new(4, 1, 8, 1);
+        let mut seen: HashSet<ExpertId> = HashSet::new();
+        for t in 0..8 {
+            seen.extend(plan.at(t).persist);
+        }
+        assert_eq!(seen.len(), 8, "stride-K_persist rotation covers everyone");
+    }
+
+    #[test]
+    fn full_selection_is_everything() {
+        let plan = PartialPlan::new(2, 1, 8, 3);
+        let full = plan.full_selection();
+        assert_eq!(full.snapshot.len(), 24);
+        assert_eq!(full.snapshot, full.persist);
+    }
+
+    #[test]
+    fn with_k_rebuilds_rotations() {
+        let plan = PartialPlan::new(1, 1, 8, 1).with_k(8, 8);
+        assert_eq!(plan.at(0).snapshot.len(), 8);
+    }
+
+    #[test]
+    fn persist_workload_shrinks_with_k() {
+        let model = moc_moe::presets::gpt_350m_16e();
+        let topo = moc_core::ParallelTopology::case2();
+        let planner = ShardingPlanner::new(model, topo).unwrap();
+        let partial = PartialPlan::new(2, 1, 16, 12);
+        let full = PartialPlan::new(16, 16, 16, 12);
+        let p = partial.persist_workload(&planner, ShardingStrategy::FullySharded, 0);
+        let f = full.persist_workload(&planner, ShardingStrategy::FullySharded, 0);
+        assert!(p.total_bytes() < f.total_bytes());
+        assert!(p.bottleneck().1 < f.bottleneck().1);
+    }
+}

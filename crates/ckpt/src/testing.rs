@@ -1,0 +1,224 @@
+//! Fault-injection store wrappers for crash-consistency tests.
+//!
+//! These wrappers let tests model a node dying *between* shard writes —
+//! the torn-persist scenario — and record global put order so "any prefix
+//! of persisted shards" properties can be checked literally.
+
+use bytes::Bytes;
+use moc_store::{MemoryObjectStore, ObjectStore, ShardKey, StatePart, StoreError};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn injected_crash() -> StoreError {
+    StoreError::Io(std::io::Error::other("injected crash between shard writes"))
+}
+
+/// A store whose `put` starts failing after a budget of writes — the
+/// writer "dies" mid-persist, before its manifest.
+pub struct FlakyStore {
+    inner: Arc<dyn ObjectStore>,
+    remaining_puts: AtomicI64,
+}
+
+impl FlakyStore {
+    /// Allows `allow_puts` writes, then fails every later one.
+    pub fn new(inner: Arc<dyn ObjectStore>, allow_puts: i64) -> Self {
+        Self {
+            inner,
+            remaining_puts: AtomicI64::new(allow_puts),
+        }
+    }
+
+    /// Restores full write service.
+    pub fn heal(&self) {
+        self.remaining_puts.store(i64::MAX, Ordering::SeqCst);
+    }
+}
+
+impl ObjectStore for FlakyStore {
+    fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError> {
+        if self.remaining_puts.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            return Err(injected_crash());
+        }
+        self.inner.put(key, payload)
+    }
+
+    fn get(&self, key: &ShardKey) -> Result<Option<Bytes>, StoreError> {
+        self.inner.get(key)
+    }
+
+    fn latest_version(
+        &self,
+        module: &str,
+        part: StatePart,
+        at_or_before: u64,
+    ) -> Result<Option<u64>, StoreError> {
+        self.inner.latest_version(module, part, at_or_before)
+    }
+
+    fn keys(&self) -> Result<Vec<ShardKey>, StoreError> {
+        self.inner.keys()
+    }
+
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        self.inner.total_bytes()
+    }
+
+    fn prune(
+        &self,
+        module: &str,
+        part: StatePart,
+        before_version: u64,
+    ) -> Result<usize, StoreError> {
+        self.inner.prune(module, part, before_version)
+    }
+}
+
+/// A store that sleeps on every `put`, surfacing pipeline backpressure.
+pub struct SlowStore {
+    inner: Arc<dyn ObjectStore>,
+    delay: Duration,
+}
+
+impl SlowStore {
+    /// Delays every write by `delay`.
+    pub fn new(inner: Arc<dyn ObjectStore>, delay: Duration) -> Self {
+        Self { inner, delay }
+    }
+}
+
+impl ObjectStore for SlowStore {
+    fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError> {
+        std::thread::sleep(self.delay);
+        self.inner.put(key, payload)
+    }
+
+    fn get(&self, key: &ShardKey) -> Result<Option<Bytes>, StoreError> {
+        self.inner.get(key)
+    }
+
+    fn latest_version(
+        &self,
+        module: &str,
+        part: StatePart,
+        at_or_before: u64,
+    ) -> Result<Option<u64>, StoreError> {
+        self.inner.latest_version(module, part, at_or_before)
+    }
+
+    fn keys(&self) -> Result<Vec<ShardKey>, StoreError> {
+        self.inner.keys()
+    }
+
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        self.inner.total_bytes()
+    }
+
+    fn prune(
+        &self,
+        module: &str,
+        part: StatePart,
+        before_version: u64,
+    ) -> Result<usize, StoreError> {
+        self.inner.prune(module, part, before_version)
+    }
+}
+
+/// A store recording the global order of successful `put`s, so tests can
+/// replay any prefix into a fresh store and check what it reconstructs.
+#[derive(Default)]
+pub struct RecordingStore {
+    inner: MemoryObjectStore,
+    log: Mutex<Vec<(ShardKey, Bytes)>>,
+}
+
+impl RecordingStore {
+    /// Creates an empty recording store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The successful puts, in order.
+    pub fn log(&self) -> Vec<(ShardKey, Bytes)> {
+        self.log.lock().clone()
+    }
+
+    /// Materializes the first `n` puts into a fresh in-memory store (the
+    /// state a crash after put `n` would leave behind).
+    pub fn prefix(&self, n: usize) -> MemoryObjectStore {
+        let store = MemoryObjectStore::new();
+        for (key, payload) in self.log.lock().iter().take(n) {
+            store.put(key, payload.clone()).expect("memory put");
+        }
+        store
+    }
+}
+
+impl ObjectStore for RecordingStore {
+    fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError> {
+        self.inner.put(key, payload.clone())?;
+        self.log.lock().push((key.clone(), payload));
+        Ok(())
+    }
+
+    fn get(&self, key: &ShardKey) -> Result<Option<Bytes>, StoreError> {
+        self.inner.get(key)
+    }
+
+    fn latest_version(
+        &self,
+        module: &str,
+        part: StatePart,
+        at_or_before: u64,
+    ) -> Result<Option<u64>, StoreError> {
+        self.inner.latest_version(module, part, at_or_before)
+    }
+
+    fn keys(&self) -> Result<Vec<ShardKey>, StoreError> {
+        self.inner.keys()
+    }
+
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        self.inner.total_bytes()
+    }
+
+    fn prune(
+        &self,
+        module: &str,
+        part: StatePart,
+        before_version: u64,
+    ) -> Result<usize, StoreError> {
+        self.inner.prune(module, part, before_version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flaky_store_fails_after_budget() {
+        let store = FlakyStore::new(Arc::new(MemoryObjectStore::new()), 2);
+        let k = |v| ShardKey::new("m", StatePart::Weights, v);
+        assert!(store.put(&k(1), Bytes::new()).is_ok());
+        assert!(store.put(&k(2), Bytes::new()).is_ok());
+        assert!(store.put(&k(3), Bytes::new()).is_err());
+        store.heal();
+        assert!(store.put(&k(4), Bytes::new()).is_ok());
+    }
+
+    #[test]
+    fn recording_store_replays_prefixes() {
+        let store = RecordingStore::new();
+        let k = |v| ShardKey::new("m", StatePart::Weights, v);
+        for v in 1..=3u64 {
+            store.put(&k(v), Bytes::from(vec![v as u8])).unwrap();
+        }
+        assert_eq!(store.log().len(), 3);
+        let prefix = store.prefix(2);
+        assert!(prefix.get(&k(2)).unwrap().is_some());
+        assert!(prefix.get(&k(3)).unwrap().is_none());
+    }
+}

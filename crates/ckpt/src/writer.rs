@@ -1,0 +1,446 @@
+//! The synchronous shard writer: delta encoding + two-phase manifest
+//! commit.
+//!
+//! [`ShardWriter`] is the persist core shared by the background
+//! [`crate::engine::CkptEngine`] worker and by synchronous callers (the
+//! training-lab checkpointer). One [`ShardWriter::persist`] call writes
+//! one checkpoint batch: every shard payload first (full or
+//! delta-encoded), then the [`crate::manifest::ManifestEntry`] that
+//! commits them. A crash — or an injected store failure — between shard
+//! writes leaves orphans that no manifest references and **no** writer
+//! state changes, so the chain's last committed checkpoint stays
+//! recoverable bit-for-bit.
+
+use crate::config::EngineConfig;
+use crate::delta;
+use crate::manifest::{manifest_module, ManifestEntry, ShardKind, ShardRecord};
+use crate::pool::BufferPool;
+use bytes::Bytes;
+use moc_store::frame::crc32;
+use moc_store::{ObjectStore, ShardKey, StatePart, StoreError};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Work counters of one writer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WriterStats {
+    /// Committed checkpoint batches (manifests written).
+    pub checkpoints: u64,
+    /// Shards stored as full payloads.
+    pub full_shards: u64,
+    /// Shards stored as deltas.
+    pub delta_shards: u64,
+    /// Shards skipped because the identical payload was already committed.
+    pub dedup_skips: u64,
+    /// Full writes that replaced an existing delta base (periodic rebase
+    /// or unprofitable delta).
+    pub rebases: u64,
+    /// Raw payload bytes of written shards (before delta encoding).
+    pub raw_bytes: u64,
+    /// Bytes actually stored for those shards (after delta encoding).
+    pub stored_bytes: u64,
+    /// Manifest payload bytes written.
+    pub manifest_bytes: u64,
+    /// Seconds spent delta-encoding.
+    pub encode_secs: f64,
+    /// Seconds spent in store writes (shards + manifests).
+    pub persist_secs: f64,
+}
+
+impl WriterStats {
+    /// Bytes the delta encoding avoided storing.
+    pub fn delta_saved_bytes(&self) -> u64 {
+        self.raw_bytes.saturating_sub(self.stored_bytes)
+    }
+
+    /// Folds another writer's counters into this one.
+    pub fn merge(&mut self, other: &WriterStats) {
+        self.checkpoints += other.checkpoints;
+        self.full_shards += other.full_shards;
+        self.delta_shards += other.delta_shards;
+        self.dedup_skips += other.dedup_skips;
+        self.rebases += other.rebases;
+        self.raw_bytes += other.raw_bytes;
+        self.stored_bytes += other.stored_bytes;
+        self.manifest_bytes += other.manifest_bytes;
+        self.encode_secs += other.encode_secs;
+        self.persist_secs += other.persist_secs;
+    }
+}
+
+/// Per-slot delta state: the last committed full shard and what has been
+/// written against it.
+struct BaseState {
+    /// Version of the last committed full shard.
+    version: u64,
+    /// Its payload (shared so staging a delta does not copy it).
+    bytes: Arc<Vec<u8>>,
+    /// Consecutive deltas committed against it.
+    deltas_since: u64,
+    /// Version of the slot's last committed write (full or delta).
+    last_version: u64,
+    /// CRC of that write's raw payload (dedup key).
+    last_crc: u32,
+    /// Manifest record of that last committed write. A dedup-skipped
+    /// shard still contributes this record to the new manifest, so
+    /// re-committing a version (e.g. re-executed checkpoint iterations
+    /// after a rollback) overwrites the old manifest with a superset,
+    /// never a gutted one.
+    last_record: ShardRecord,
+}
+
+/// Synchronous checkpoint writer owning one manifest chain.
+pub struct ShardWriter {
+    writer_id: usize,
+    config: EngineConfig,
+    store: Arc<dyn ObjectStore>,
+    bases: HashMap<(String, StatePart), BaseState>,
+    /// Last committed manifest version (the chain head).
+    committed: Option<u64>,
+    pool: BufferPool,
+    stats: WriterStats,
+}
+
+impl std::fmt::Debug for ShardWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardWriter")
+            .field("writer_id", &self.writer_id)
+            .field("committed", &self.committed)
+            .finish()
+    }
+}
+
+impl ShardWriter {
+    /// Creates a writer persisting chain `writer_id` into `store`.
+    pub fn new(writer_id: usize, store: Arc<dyn ObjectStore>, config: EngineConfig) -> Self {
+        let pool = BufferPool::new(config.pool_idle_limit);
+        Self::with_pool(writer_id, store, config, pool)
+    }
+
+    /// Like [`ShardWriter::new`] but drawing encode scratch from an
+    /// external pool (the engine shares one pool across submit copies and
+    /// writer scratch so the whole pipeline has one heap footprint).
+    pub fn with_pool(
+        writer_id: usize,
+        store: Arc<dyn ObjectStore>,
+        config: EngineConfig,
+        pool: BufferPool,
+    ) -> Self {
+        Self {
+            writer_id,
+            config,
+            store,
+            bases: HashMap::new(),
+            committed: None,
+            pool,
+            stats: WriterStats::default(),
+        }
+    }
+
+    /// The writer's chain id.
+    pub fn writer_id(&self) -> usize {
+        self.writer_id
+    }
+
+    /// The last committed checkpoint version.
+    pub fn committed_version(&self) -> Option<u64> {
+        self.committed
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> WriterStats {
+        self.stats.clone()
+    }
+
+    /// The writer's scratch-buffer pool (shared with the engine so the
+    /// whole persist pipeline draws from one footprint).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Persists one checkpoint batch and commits it with a manifest.
+    /// Shard keys carry their own versions (an old in-memory snapshot may
+    /// be persisted under a manifest of a newer iteration); `version` is
+    /// the checkpoint iteration the manifest commits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first store failure. Nothing is committed in that
+    /// case: the manifest is only written after every shard write
+    /// succeeded, and the writer's delta state is left untouched.
+    pub fn persist<'a>(
+        &mut self,
+        version: u64,
+        shards: impl IntoIterator<Item = (&'a ShardKey, &'a [u8])>,
+    ) -> Result<(), StoreError> {
+        let mut records: Vec<ShardRecord> = Vec::new();
+        let mut staged: HashMap<(String, StatePart), BaseState> = HashMap::new();
+        let mut batch = WriterStats::default();
+
+        for (key, raw) in shards {
+            let slot = (key.module.clone(), key.part);
+            let raw_crc = crc32(raw);
+            let base = staged.get(&slot).or_else(|| self.bases.get(&slot));
+            if let Some(b) = base {
+                if b.last_version == key.version && b.last_crc == raw_crc {
+                    // Already durably committed: skip the write but keep
+                    // the record in this manifest so the commit stays
+                    // self-contained even if it overwrites a previous
+                    // manifest of the same version.
+                    records.push(b.last_record.clone());
+                    batch.dedup_skips += 1;
+                    continue;
+                }
+            }
+
+            // Delta-eligible: a strictly older committed base exists, the
+            // rebase budget allows another delta, and encoding pays off.
+            let mut encoded: Option<(Bytes, u64)> = None;
+            if self.config.delta && self.config.rebase_interval > 1 {
+                if let Some(b) = base {
+                    if b.version < key.version && b.deltas_since < self.config.rebase_interval - 1 {
+                        let mut scratch = self.pool.acquire();
+                        let t0 = Instant::now();
+                        let ok = delta::encode_into(&b.bytes, raw, b.version, &mut scratch);
+                        batch.encode_secs += t0.elapsed().as_secs_f64();
+                        if ok {
+                            encoded = Some((Bytes::copy_from_slice(&scratch), b.version));
+                        }
+                    }
+                }
+            }
+
+            let (stored, kind, base_meta) = match encoded {
+                Some((delta_bytes, base_version)) => {
+                    let b = base.expect("delta implies base");
+                    batch.delta_shards += 1;
+                    let meta = (b.version, b.bytes.clone(), b.deltas_since + 1);
+                    (delta_bytes, ShardKind::Delta { base_version }, meta)
+                }
+                None => {
+                    batch.full_shards += 1;
+                    if base.is_some() {
+                        batch.rebases += 1;
+                    }
+                    (
+                        Bytes::copy_from_slice(raw),
+                        ShardKind::Full,
+                        (key.version, Arc::new(raw.to_vec()), 0),
+                    )
+                }
+            };
+
+            batch.raw_bytes += raw.len() as u64;
+            batch.stored_bytes += stored.len() as u64;
+            let record = ShardRecord {
+                key: key.clone(),
+                kind,
+                stored_crc: crc32(&stored),
+                stored_len: stored.len() as u64,
+                raw_len: raw.len() as u64,
+            };
+            let (base_version, base_bytes, deltas_since) = base_meta;
+            let next_state = BaseState {
+                version: base_version,
+                bytes: base_bytes,
+                deltas_since,
+                last_version: key.version,
+                last_crc: raw_crc,
+                last_record: record.clone(),
+            };
+            records.push(record);
+            let t0 = Instant::now();
+            self.store.put(key, stored)?;
+            batch.persist_secs += t0.elapsed().as_secs_f64();
+            staged.insert(slot, next_state);
+        }
+
+        // Commit point: the manifest goes in only after every shard write
+        // succeeded. Anything before a crash here is an orphan the chain
+        // reader never surfaces.
+        let entry = ManifestEntry {
+            version,
+            // On a re-commit of the head version (re-executed checkpoint
+            // after a rollback) the chain pointer stays strictly older.
+            prev: self.committed.filter(|&c| c < version),
+            shards: records,
+        };
+        let payload = entry.encode();
+        batch.manifest_bytes += payload.len() as u64;
+        let manifest_key =
+            ShardKey::new(manifest_module(self.writer_id), StatePart::Extra, version);
+        let t0 = Instant::now();
+        self.store.put(&manifest_key, payload)?;
+        batch.persist_secs += t0.elapsed().as_secs_f64();
+
+        // Committed: fold the staged delta state and counters in.
+        for (slot, state) in staged {
+            self.bases.insert(slot, state);
+        }
+        self.committed = Some(version);
+        batch.checkpoints = 1;
+        self.stats.merge(&batch);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::ChainStore;
+    use moc_store::MemoryObjectStore;
+
+    fn payload(seed: u8, len: usize) -> Vec<u8> {
+        let values: Vec<f32> = (0..len)
+            .map(|i| (i as f32) + f32::from(seed) * 1e-3)
+            .collect();
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    fn store() -> Arc<dyn ObjectStore> {
+        Arc::new(MemoryObjectStore::new())
+    }
+
+    #[test]
+    fn full_then_delta_then_rebase() {
+        let store = store();
+        let cfg = EngineConfig {
+            delta: true,
+            rebase_interval: 3,
+            ..EngineConfig::default()
+        };
+        let mut w = ShardWriter::new(0, store.clone(), cfg);
+        let key = |v: u64| ShardKey::new("layer1.expert0", StatePart::Weights, v);
+        for v in 1..=5u64 {
+            let p = payload(v as u8, 256);
+            w.persist(v * 10, [(&key(v * 10), &p[..])]).unwrap();
+        }
+        let s = w.stats();
+        // v10 full, v20/v30 deltas, v40 rebase (budget exhausted), v50 delta.
+        assert_eq!(s.checkpoints, 5);
+        assert_eq!(s.full_shards, 2);
+        assert_eq!(s.delta_shards, 3);
+        assert_eq!(s.rebases, 1);
+        assert!(s.stored_bytes < s.raw_bytes, "deltas must save bytes");
+        // Every version reconstructs bitwise through the chain.
+        let chain = ChainStore::load(store).unwrap();
+        for v in 1..=5u64 {
+            let got = chain.get(&key(v * 10)).unwrap().unwrap();
+            assert_eq!(&got[..], &payload(v as u8, 256)[..], "version {v}");
+        }
+    }
+
+    #[test]
+    fn identical_repersist_is_deduped() {
+        let store = store();
+        let mut w = ShardWriter::new(0, store.clone(), EngineConfig::default());
+        let key = ShardKey::new("m", StatePart::Optimizer, 7);
+        let p = payload(1, 64);
+        w.persist(10, [(&key, &p[..])]).unwrap();
+        w.persist(20, [(&key, &p[..])]).unwrap();
+        let s = w.stats();
+        assert_eq!(s.dedup_skips, 1);
+        assert_eq!(s.full_shards, 1);
+        // Both manifests committed; the shard resolves either way.
+        let chain = ChainStore::load(store).unwrap();
+        assert_eq!(chain.newest_committed(), Some(20));
+        assert_eq!(&chain.get(&key).unwrap().unwrap()[..], &p[..]);
+    }
+
+    #[test]
+    fn store_failure_commits_nothing() {
+        let store = store();
+        let mut w = ShardWriter::new(0, store.clone(), EngineConfig::default());
+        let k1 = ShardKey::new("a", StatePart::Weights, 10);
+        let p1 = payload(3, 128);
+        w.persist(10, [(&k1, &p1[..])]).unwrap();
+
+        let flaky = crate::testing::FlakyStore::new(store.clone(), 1);
+        let mut w2 = ShardWriter::new(0, Arc::new(flaky), EngineConfig::default());
+        let k2a = ShardKey::new("a", StatePart::Weights, 20);
+        let k2b = ShardKey::new("b", StatePart::Weights, 20);
+        let p2 = payload(4, 128);
+        // First put succeeds, second fails: no manifest for version 20.
+        assert!(w2.persist(20, [(&k2a, &p2[..]), (&k2b, &p2[..])]).is_err());
+        assert_eq!(w2.committed_version(), None);
+
+        let chain = ChainStore::load(store).unwrap();
+        assert_eq!(chain.newest_committed(), Some(10));
+        // The torn version is invisible; version 10 still reconstructs.
+        assert_eq!(
+            chain.latest_version("a", StatePart::Weights, 99).unwrap(),
+            Some(10)
+        );
+        assert_eq!(&chain.get(&k1).unwrap().unwrap()[..], &p1[..]);
+    }
+
+    /// A re-committed version (re-executed checkpoint iteration after a
+    /// rollback) overwrites the old manifest with a superset: dedup
+    /// skips the store writes but keeps every record, so the chain keeps
+    /// resolving the version and later deltas against it.
+    #[test]
+    fn recommitted_version_keeps_its_records() {
+        let store = store();
+        let mut w = ShardWriter::new(0, store.clone(), EngineConfig::default());
+        let key10 = ShardKey::new("m", StatePart::Weights, 10);
+        let key20 = ShardKey::new("m", StatePart::Weights, 20);
+        let p10 = payload(1, 128);
+        let p20 = payload(2, 128);
+        w.persist(10, [(&key10, &p10[..])]).unwrap();
+        w.persist(20, [(&key20, &p20[..])]).unwrap(); // delta vs 10
+                                                      // Replay re-commits version 20 with the identical payload.
+        w.persist(20, [(&key20, &p20[..])]).unwrap();
+        assert_eq!(w.stats().dedup_skips, 1);
+        let chain = ChainStore::load(store).unwrap();
+        assert_eq!(chain.newest_committed(), Some(20));
+        assert_eq!(
+            &chain.get(&key20).unwrap().unwrap()[..],
+            &p20[..],
+            "the re-committed manifest must still carry the record"
+        );
+        // And a later delta against the same chain still resolves.
+        let key30 = ShardKey::new("m", StatePart::Weights, 30);
+        let p30 = payload(3, 128);
+        w.persist(30, [(&key30, &p30[..])]).unwrap();
+        let chain = ChainStore::load(w.store.clone()).unwrap();
+        assert_eq!(&chain.get(&key30).unwrap().unwrap()[..], &p30[..]);
+    }
+
+    /// Two versions of one slot inside a single batch: the second
+    /// delta-encodes against the first (staged) base, and the chain
+    /// resolves both even though base and delta share a manifest.
+    #[test]
+    fn intra_batch_same_slot_delta_resolves() {
+        let store = store();
+        let mut w = ShardWriter::new(0, store.clone(), EngineConfig::default());
+        let k1 = ShardKey::new("m", StatePart::Weights, 5);
+        let k2 = ShardKey::new("m", StatePart::Weights, 9);
+        let p1 = payload(1, 128);
+        let p2 = payload(2, 128);
+        w.persist(9, [(&k1, &p1[..]), (&k2, &p2[..])]).unwrap();
+        assert_eq!(
+            w.stats().delta_shards,
+            1,
+            "second write deltas vs staged base"
+        );
+        let chain = ChainStore::load(store).unwrap();
+        assert_eq!(&chain.get(&k1).unwrap().unwrap()[..], &p1[..]);
+        assert_eq!(&chain.get(&k2).unwrap().unwrap()[..], &p2[..]);
+    }
+
+    #[test]
+    fn delta_disabled_writes_full_only() {
+        let store = store();
+        let mut w = ShardWriter::new(0, store, EngineConfig::full_only());
+        let key = |v: u64| ShardKey::new("m", StatePart::Weights, v);
+        for v in [1u64, 2, 3] {
+            let p = payload(v as u8, 64);
+            w.persist(v, [(&key(v), &p[..])]).unwrap();
+        }
+        let s = w.stats();
+        assert_eq!(s.delta_shards, 0);
+        assert_eq!(s.full_shards, 3);
+        assert_eq!(s.raw_bytes, s.stored_bytes);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests of the manifest chain's crash consistency.
+//!
+//! The central guarantee the checkpoint engine makes: for **any prefix**
+//! of the global put order (the state any crash point leaves behind in
+//! the store), the chain view either reconstructs bitwise-identical
+//! payloads for every slot of every committed version, or rejects the
+//! incomplete tail entirely — it never serves partially persisted state.
+
+use bytes::Bytes;
+use moc_ckpt::testing::RecordingStore;
+use moc_ckpt::{ChainStore, EngineConfig, ShardWriter};
+use moc_store::{ObjectStore, ShardKey, StatePart};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const SLOTS: [&str; 3] = ["layer1.expert0", "layer1.expert1", "embedding"];
+
+/// Deterministic slot payload at a version: a float ramp whose low bytes
+/// drift per version (delta-friendly) plus a version-dependent patch in a
+/// region selected by `mask` (so consecutive payloads always differ and
+/// delta sizes vary).
+fn payload(slot: usize, version: u64, mask: u8) -> Vec<u8> {
+    let mut bytes: Vec<u8> = (0..128u32)
+        .flat_map(|i| ((i as f32) * 0.25 + slot as f32).to_le_bytes())
+        .collect();
+    let start = (usize::from(mask) * 16) % (bytes.len() - 24);
+    for (offset, b) in bytes[start..start + 16].iter_mut().enumerate() {
+        *b = b.wrapping_add(version as u8).wrapping_add(offset as u8);
+    }
+    bytes
+}
+
+/// Drives `checkpoints` batches through per-writer `ShardWriter`s over a
+/// recording store; returns the store and the reference payloads.
+#[allow(clippy::type_complexity)]
+fn drive(
+    checkpoints: &[u8],
+    writers: usize,
+    rebase_interval: u64,
+) -> (Arc<RecordingStore>, HashMap<(usize, u64), Vec<u8>>) {
+    let store = Arc::new(RecordingStore::new());
+    let as_dyn: Arc<dyn ObjectStore> = store.clone();
+    let config = EngineConfig {
+        delta: true,
+        rebase_interval,
+        ..EngineConfig::default()
+    };
+    let mut shard_writers: Vec<ShardWriter> = (0..writers)
+        .map(|w| ShardWriter::new(w, as_dyn.clone(), config))
+        .collect();
+    let mut reference = HashMap::new();
+    for (i, &mask) in checkpoints.iter().enumerate() {
+        let version = 10 * (i as u64 + 1);
+        for (w, writer) in shard_writers.iter_mut().enumerate() {
+            let owned: Vec<(ShardKey, Vec<u8>)> = SLOTS
+                .iter()
+                .enumerate()
+                .filter(|(s, _)| s % writers == w)
+                .map(|(s, name)| {
+                    let p = payload(s, version, mask);
+                    reference.insert((s, version), p.clone());
+                    (ShardKey::new(*name, StatePart::Weights, version), p)
+                })
+                .collect();
+            writer
+                .persist(version, owned.iter().map(|(k, p)| (k, &p[..])))
+                .expect("memory store persists");
+        }
+    }
+    (store, reference)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any prefix of the put log reconstructs every committed slot
+    /// bitwise, and never surfaces a version past the last complete
+    /// manifest set.
+    #[test]
+    fn any_prefix_reconstructs_bitwise_or_rejects(
+        checkpoints in proptest::collection::vec(0u8..8, 1..5),
+        writers in 1usize..3,
+        rebase_interval in 1u64..4,
+    ) {
+        let (store, reference) = drive(&checkpoints, writers, rebase_interval);
+        let log_len = store.log().len();
+        for cut in 0..=log_len {
+            let prefix: Arc<dyn ObjectStore> = Arc::new(store.prefix(cut));
+            let chain = ChainStore::load_expecting(prefix, Some(writers))
+                .expect("load never fails on a healthy store");
+            let committed = chain.committed_versions();
+            // Committed versions are a prefix of the checkpoint sequence.
+            let all_versions: Vec<u64> =
+                (1..=checkpoints.len() as u64).map(|i| 10 * i).collect();
+            prop_assert_eq!(
+                &committed[..],
+                &all_versions[..committed.len()],
+                "cut {}: committed set must be a version prefix", cut
+            );
+            // Every slot of every committed version reconstructs bitwise.
+            for &v in &committed {
+                for (s, name) in SLOTS.iter().enumerate() {
+                    let key = ShardKey::new(*name, StatePart::Weights, v);
+                    let got = chain
+                        .get(&key)
+                        .expect("committed shard reconstructs")
+                        .expect("committed shard present");
+                    let want = &reference[&(s, v)];
+                    prop_assert_eq!(&got[..], &want[..], "cut {} {}@{}", cut, name, v);
+                }
+            }
+            // Nothing newer than the last complete manifest set leaks out.
+            let newest = chain.newest_committed().unwrap_or(0);
+            for name in SLOTS {
+                let latest = chain
+                    .latest_version(name, StatePart::Weights, u64::MAX)
+                    .expect("latest_version");
+                prop_assert!(
+                    latest.unwrap_or(0) <= newest,
+                    "cut {}: {} surfaced uncommitted version {:?} past {}",
+                    cut, name, latest, newest
+                );
+            }
+        }
+    }
+}
+
+/// The full log (no crash) commits every checkpoint — the property above
+/// is not vacuous.
+#[test]
+fn full_log_commits_everything() {
+    let checkpoints = [0u8, 3, 6, 1];
+    let (store, _) = drive(&checkpoints, 2, 3);
+    let prefix: Arc<dyn ObjectStore> = Arc::new(store.prefix(store.log().len()));
+    let chain = ChainStore::load(prefix).unwrap();
+    assert_eq!(chain.committed_versions(), vec![10, 20, 30, 40]);
+}
+
+/// A cut strictly inside a batch (after its first put, before its
+/// manifest) must reject exactly that version — directly modelling a
+/// writer death between shard writes.
+#[test]
+fn mid_batch_cut_rejects_exactly_the_torn_version() {
+    let checkpoints = [0u8, 2, 4];
+    let (store, reference) = drive(&checkpoints, 1, 2);
+    let log = store.log();
+    // Find the first put of version 20 (batch 2) and cut just after it.
+    let v20_start = log
+        .iter()
+        .position(|(k, _)| k.version == 20)
+        .expect("version 20 written");
+    let prefix: Arc<dyn ObjectStore> = Arc::new(store.prefix(v20_start + 1));
+    let chain = ChainStore::load(prefix).unwrap();
+    assert_eq!(chain.newest_committed(), Some(10), "version 20 is torn");
+    // Version 10 still reconstructs bitwise.
+    let got = chain
+        .get(&ShardKey::new(SLOTS[0], StatePart::Weights, 10))
+        .unwrap()
+        .unwrap();
+    assert_eq!(Bytes::from(reference[&(0usize, 10u64)].clone()), got);
+}

@@ -9,6 +9,7 @@
 
 use crate::collective::CollectiveKind;
 use crate::injector::SlowEvent;
+use moc_ckpt::EngineConfig;
 use moc_core::topology::ParallelTopology;
 use moc_moe::MoeModelConfig;
 use moc_store::FaultPlan;
@@ -73,13 +74,21 @@ pub enum ConfigError {
     },
     /// The ring collective's chunk size is zero.
     ZeroRingChunk,
-    /// A straggler event names a rank outside the world or a slowdown
-    /// factor below 1.
+    /// The checkpoint-engine policy is inconsistent (zero rebase interval
+    /// or in-flight limit).
+    BadCkptEngine {
+        /// Why the engine config was rejected.
+        reason: String,
+    },
+    /// A straggler event names a rank outside the world, a slowdown
+    /// factor below 1, or a zero duration.
     BadStraggler {
         /// Offending rank.
         rank: usize,
         /// Offending slowdown factor.
         factor: f64,
+        /// Offending profile duration.
+        duration: u64,
     },
 }
 
@@ -112,8 +121,18 @@ impl fmt::Display for ConfigError {
                 write!(f, "topics {topics} must divide vocab {vocab}")
             }
             ConfigError::ZeroRingChunk => write!(f, "ring_chunk must be positive"),
-            ConfigError::BadStraggler { rank, factor } => {
-                write!(f, "straggler rank {rank} / factor {factor} invalid")
+            ConfigError::BadCkptEngine { reason } => {
+                write!(f, "checkpoint engine config invalid: {reason}")
+            }
+            ConfigError::BadStraggler {
+                rank,
+                factor,
+                duration,
+            } => {
+                write!(
+                    f,
+                    "straggler rank {rank} / factor {factor} / duration {duration} invalid"
+                )
             }
         }
     }
@@ -142,6 +161,9 @@ pub struct RuntimeConfig {
     pub two_level: bool,
     /// Synchronous baseline or asynchronous two-level checkpointing.
     pub checkpoint_mode: CheckpointMode,
+    /// Checkpoint-engine policy: delta shards, rebase interval, and the
+    /// double-buffered in-flight limit of the persist pipeline.
+    pub ckpt: EngineConfig,
     /// Fault schedule driving the injector.
     pub faults: FaultPlan,
     /// Straggler (slow-rank) schedule driving the injector.
@@ -189,6 +211,7 @@ impl RuntimeConfig {
             pec_mode: PecMode::WO,
             two_level: true,
             checkpoint_mode: CheckpointMode::Async,
+            ckpt: EngineConfig::default(),
             faults: FaultPlan::None,
             stragglers: Vec::new(),
             collective: CollectiveKind::Ring,
@@ -217,6 +240,7 @@ impl RuntimeConfig {
             pec_mode: PecMode::NONE,
             two_level: false,
             checkpoint_mode: CheckpointMode::Sync,
+            ckpt: EngineConfig::full_only(),
             collective: CollectiveKind::Star,
             ..Self::tiny(topology)
         }
@@ -279,13 +303,21 @@ impl RuntimeConfig {
         if self.ring_chunk == 0 {
             return Err(ConfigError::ZeroRingChunk);
         }
+        if let Err(reason) = self.ckpt.validate() {
+            return Err(ConfigError::BadCkptEngine { reason });
+        }
         for event in &self.stragglers {
             // The finiteness check also rejects NaN, which would slip
             // through a plain `factor < 1.0` comparison.
-            if event.rank >= dp || !event.factor.is_finite() || event.factor < 1.0 {
+            if event.rank >= dp
+                || !event.factor.is_finite()
+                || event.factor < 1.0
+                || event.duration == 0
+            {
                 return Err(ConfigError::BadStraggler {
                     rank: event.rank,
                     factor: event.factor,
+                    duration: event.duration,
                 });
             }
         }
@@ -338,11 +370,7 @@ mod tests {
     #[test]
     fn bad_straggler_rejected() {
         let out_of_range = RuntimeConfig {
-            stragglers: vec![SlowEvent {
-                iteration: 2,
-                rank: 99,
-                factor: 2.0,
-            }],
+            stragglers: vec![SlowEvent::once(2, 99, 2.0)],
             ..RuntimeConfig::tiny(topo())
         };
         assert!(matches!(
@@ -350,24 +378,24 @@ mod tests {
             Err(ConfigError::BadStraggler { rank: 99, .. })
         ));
         let speedup = RuntimeConfig {
-            stragglers: vec![SlowEvent {
-                iteration: 2,
-                rank: 0,
-                factor: 0.5,
-            }],
+            stragglers: vec![SlowEvent::once(2, 0, 0.5)],
             ..RuntimeConfig::tiny(topo())
         };
         assert!(matches!(
             speedup.validate(),
             Err(ConfigError::BadStraggler { rank: 0, .. })
         ));
+        let zero_duration = RuntimeConfig {
+            stragglers: vec![SlowEvent::sustained(0, 2, 0, 2.0)],
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert!(matches!(
+            zero_duration.validate(),
+            Err(ConfigError::BadStraggler { rank: 0, .. })
+        ));
         for bad in [f64::NAN, f64::INFINITY] {
             let cfg = RuntimeConfig {
-                stragglers: vec![SlowEvent {
-                    iteration: 2,
-                    rank: 0,
-                    factor: bad,
-                }],
+                stragglers: vec![SlowEvent::once(2, 0, bad)],
                 ..RuntimeConfig::tiny(topo())
             };
             assert!(
@@ -375,6 +403,27 @@ mod tests {
                 "factor {bad} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn bad_ckpt_engine_rejected() {
+        let cfg = RuntimeConfig {
+            ckpt: EngineConfig {
+                rebase_interval: 0,
+                ..EngineConfig::default()
+            },
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::BadCkptEngine { .. })
+        ));
+    }
+
+    #[test]
+    fn tiny_enables_delta_baseline_disables() {
+        assert!(RuntimeConfig::tiny(topo()).ckpt.delta);
+        assert!(!RuntimeConfig::baseline(topo()).ckpt.delta);
     }
 
     #[test]

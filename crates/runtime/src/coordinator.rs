@@ -21,10 +21,10 @@ use crate::node::NodeRuntime;
 use crate::rank::{run_rank, RankCommand, RankContext, RankEvent};
 use crate::recovery_exec::{execute_recovery, RecoveryOutcome};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use moc_ckpt::{ChainStore, EngineStats, PartialPlan};
 use moc_core::dynamic_k::DynamicK;
 use moc_core::plt::PltAccumulator;
 use moc_core::recovery::RecoveryError;
-use moc_core::selection::PecConfig;
 use moc_core::twolevel::ShardJob;
 use moc_moe::ExpertId;
 use moc_store::{ClusterMemory, NodeId, ObjectStore, StatePart};
@@ -157,9 +157,9 @@ struct Run {
     events_tx: Sender<RankEvent>,
     injector: FaultInjector,
     metrics: MetricsRegistry,
-    /// Snapshot-level PEC selection (rebuilt when Dynamic-K raises K).
-    pec: PecConfig,
-    k_persist: usize,
+    /// Partial-expert checkpoint plan: the rotating snapshot / persist
+    /// selections (rebuilt when Dynamic-K raises K).
+    plan: PartialPlan,
     dynamic_k: Option<DynamicK>,
     ckpt_index: u64,
     /// Recovery generation: bumped on every recovery so events from
@@ -203,13 +203,20 @@ impl Run {
         let num_nodes = config.topology.nodes();
         let memory = ClusterMemory::new(num_nodes);
         let nodes: Vec<NodeRuntime> = (0..num_nodes)
-            .map(|n| NodeRuntime::spawn(NodeId(n), memory.node_arc(NodeId(n)), store.clone()))
+            .map(|n| {
+                NodeRuntime::spawn(
+                    NodeId(n),
+                    memory.node_arc(NodeId(n)),
+                    store.clone(),
+                    config.ckpt,
+                )
+            })
             .collect();
         let (events_tx, events) = unbounded();
 
         let layers = config.model.num_moe_layers();
         let n_experts = config.model.num_experts();
-        let pec = PecConfig::sequential(config.k_snapshot, n_experts, layers);
+        let plan = PartialPlan::new(config.k_snapshot, config.k_persist, n_experts, layers);
         let dynamic_k = config
             .dynamic_k_budget
             .map(|budget| DynamicK::new(config.k_snapshot, n_experts, budget));
@@ -224,7 +231,6 @@ impl Run {
             num_nodes,
             world,
         );
-        let k_persist = config.k_persist;
         let cum_routed = vec![vec![0u64; n_experts]; layers];
 
         let mut run = Self {
@@ -238,8 +244,7 @@ impl Run {
             events_tx,
             injector,
             metrics: MetricsRegistry::new(),
-            pec,
-            k_persist,
+            plan,
             dynamic_k,
             ckpt_index: 0,
             epoch: 0,
@@ -411,17 +416,18 @@ impl Run {
     /// Full synchronous checkpoint of everything at iteration 0 — the
     /// recoverability floor every PEC run needs.
     fn bootstrap(&mut self) {
-        let all: Arc<HashSet<ExpertId>> =
-            Arc::new(self.config.model.expert_ids().into_iter().collect());
+        let full = self.plan.full_selection();
+        let snapshot = Arc::new(full.snapshot);
+        let persist = Arc::new(full.persist);
         self.send_all(&RankCommand::Checkpoint {
             iteration: 0,
-            snapshot: all.clone(),
-            persist: all,
+            snapshot,
+            persist,
         });
         // Bootstrap timing is excluded from the checkpoint phase stats:
         // it is a one-off full write both modes share.
         let shards = self.collect_shards(false);
-        self.write_sync(&shards, false);
+        self.submit_and_drain(0, shards);
         self.routed_at.insert(0, self.cum_routed.clone());
     }
 
@@ -746,33 +752,42 @@ impl Run {
         out.into_iter().collect()
     }
 
-    /// Synchronous two-level write: blocks the iteration for the full
-    /// memory copy + persist, the paper's baseline behaviour.
-    fn write_sync(&mut self, shards: &[(usize, Vec<ShardJob>)], record_metrics: bool) {
-        let start = Instant::now();
-        for (rank, jobs) in shards {
-            let node = NodeId(self.config.topology.node_of(*rank));
-            for job in jobs {
-                self.memory.node(node).put(&job.key, job.payload.clone());
-                if job.persist {
-                    self.store
-                        .put(&job.key, job.payload.clone())
-                        .expect("store put");
-                }
-            }
-        }
-        if record_metrics {
-            self.metrics
-                .record(Phase::CkptWrite, start.elapsed().as_secs_f64());
-        }
-    }
-
-    /// Asynchronous submission through the per-node agents.
-    fn submit_async(&mut self, version: u64, shards: Vec<(usize, Vec<ShardJob>)>) -> Vec<usize> {
-        let mut per_node: BTreeMap<usize, Vec<ShardJob>> = BTreeMap::new();
+    /// Groups per-rank shard jobs by hosting node. Every node gets an
+    /// entry (possibly empty), so every node's manifest chain advances at
+    /// every checkpoint — the global commit rule requires it.
+    fn group_by_node(&self, shards: Vec<(usize, Vec<ShardJob>)>) -> BTreeMap<usize, Vec<ShardJob>> {
+        let mut per_node: BTreeMap<usize, Vec<ShardJob>> =
+            (0..self.nodes.len()).map(|n| (n, Vec::new())).collect();
         for (rank, jobs) in shards {
             per_node.entry(self.node_of(rank)).or_default().extend(jobs);
         }
+        per_node
+    }
+
+    /// Synchronous write: submit to every node's engine and block until
+    /// the pipelines drained — the paper's baseline behaviour of paying
+    /// the full persist inside the iteration.
+    fn write_sync(&mut self, version: u64, shards: Vec<(usize, Vec<ShardJob>)>) {
+        let start = Instant::now();
+        self.submit_and_drain(version, shards);
+        self.metrics
+            .record(Phase::CkptWrite, start.elapsed().as_secs_f64());
+    }
+
+    /// Untimed submit + drain (bootstrap and sync mode share it).
+    fn submit_and_drain(&mut self, version: u64, shards: Vec<(usize, Vec<ShardJob>)>) {
+        for (node, jobs) in self.group_by_node(shards) {
+            self.nodes[node].submit(version, jobs);
+        }
+        for node in &self.nodes {
+            node.wait_idle();
+        }
+    }
+
+    /// Asynchronous submission through the per-node engines: copies into
+    /// pooled buffers and enqueues; no store I/O on this thread.
+    fn submit_async(&mut self, version: u64, shards: Vec<(usize, Vec<ShardJob>)>) -> Vec<usize> {
+        let per_node = self.group_by_node(shards);
         let mut stalled_nodes = Vec::new();
         let start = Instant::now();
         for (node, jobs) in per_node {
@@ -789,26 +804,14 @@ impl Run {
     fn checkpoint(&mut self, iteration: u64) {
         let t = self.ckpt_index;
         self.ckpt_index += 1;
-        // persist-PEC rotates independently with stride `k_persist`, so
-        // its coverage never stalls when `K_snapshot` is large (the
-        // TrainingCheckpointer convention). Ranks only serialize
-        // snapshotted shards, so persist-due experts outside the snapshot
-        // window are pulled into the snapshot set too — a deterministic
-        // stand-in for §5.1's "persist the latest in-memory snapshot"
-        // retrieval that keeps persist ⊆ serialized on the live path.
-        let persist: Arc<HashSet<ExpertId>> = Arc::new(
-            PecConfig::sequential(
-                self.k_persist,
-                self.pec.num_experts,
-                self.pec.num_moe_layers,
-            )
-            .select(t)
-            .into_iter()
-            .collect(),
-        );
-        let mut snapshot: HashSet<ExpertId> = self.pec.select(t).into_iter().collect();
-        snapshot.extend(persist.iter().copied());
-        let snapshot = Arc::new(snapshot);
+        // The engine's PartialPlan rotates persist-PEC independently with
+        // stride `k_persist`, so its coverage never stalls when
+        // `K_snapshot` is large, and pulls persist-due experts into the
+        // snapshot window so persist ⊆ serialized holds on the live path
+        // (§5.1's key-value retrieval, deterministically).
+        let selection = self.plan.at(t);
+        let snapshot = Arc::new(selection.snapshot);
+        let persist = Arc::new(selection.persist);
         let overhead_start = Instant::now();
         self.send_all(&RankCommand::Checkpoint {
             iteration,
@@ -818,7 +821,7 @@ impl Run {
         let shards = self.collect_shards(true);
         let stalled_nodes = match self.config.checkpoint_mode {
             CheckpointMode::Sync => {
-                self.write_sync(&shards, true);
+                self.write_sync(iteration, shards);
                 Vec::new()
             }
             CheckpointMode::Async => self.submit_async(iteration, shards),
@@ -848,7 +851,7 @@ impl Run {
         {
             self.ckpt_history.push(iteration);
         }
-        let cap = 2 * self.pec.num_experts + 1;
+        let cap = 2 * self.plan.num_experts + 1;
         while self.ckpt_history.len() > cap {
             let old = self.ckpt_history.remove(0);
             self.routed_at.remove(&old);
@@ -897,10 +900,16 @@ impl Run {
                 ]
             })
             .collect();
+        // Recovery plans against the *committed* chain view, not the raw
+        // store: delta shards reconstruct transparently and a torn
+        // persist (shards without their manifest) is invisible, so the
+        // plan can only choose state that restores bit-for-bit.
+        let chain = ChainStore::load_expecting(self.store.clone(), Some(self.nodes.len()))
+            .map_err(RecoveryError::from)?;
         let outcome = execute_recovery(
             &slots,
             &self.memory,
-            self.store.as_ref(),
+            &chain,
             &healthy,
             detected_at,
             self.config.two_level,
@@ -915,15 +924,15 @@ impl Run {
 
         let resume = outcome.plan.resume_iteration;
         let fault_plt = self.account_plt(&outcome, resume);
-        self.k_trace.push(self.pec.k);
+        self.k_trace.push(self.plan.k_snapshot);
         if let Some(ctl) = self.dynamic_k.as_mut() {
             // The controller escalates *both* levels: once K saturates at
             // N, every checkpoint persists everything and PLT growth
             // stops entirely — the property that lets the budget bound
             // hold under fault accumulation (Section 5.3).
             let new_k = ctl.on_fault_recovery(fault_plt);
-            self.pec = PecConfig::sequential(new_k, self.pec.num_experts, self.pec.num_moe_layers);
-            self.k_persist = self.k_persist.max(new_k.min(self.pec.num_experts));
+            let k_persist = self.plan.k_persist.max(new_k.min(self.plan.num_experts));
+            self.plan = self.plan.with_k(new_k, k_persist);
         }
 
         // Restart the dead nodes' ranks with fresh threads.
@@ -1041,8 +1050,9 @@ impl Run {
         for handle in self.handles.iter_mut().filter_map(Option::take) {
             let _ = handle.join();
         }
+        let mut ckpt_engine = EngineStats::default();
         for node in &mut self.nodes {
-            node.shutdown();
+            ckpt_engine.merge(&node.shutdown());
         }
 
         let crc0 = finals[&0].1;
@@ -1068,6 +1078,7 @@ impl Run {
             memory_hits: self.metrics.memory_hits,
             storage_hits: self.metrics.storage_hits,
             persisted_bytes,
+            ckpt_engine,
             phases: self.metrics.phases().clone(),
             timeline: self.metrics.timeline().to_vec(),
             loop_secs: self.metrics.loop_secs,

@@ -17,17 +17,44 @@
 use moc_store::{FaultEvent, FaultPlan};
 use std::collections::BTreeMap;
 
-/// One scheduled slow-rank (straggler) event: at `iteration`, `rank`'s
-/// step takes `factor` times its normal duration.
+/// One scheduled slow-rank (straggler) degradation profile: from
+/// iteration `start`, `rank`'s steps take `factor` times their normal
+/// duration for `duration` consecutive iterations — modelling both a
+/// one-off hiccup (`duration = 1`) and sustained degradation (a
+/// thermally throttled GPU, a congested NIC).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SlowEvent {
-    /// Iteration the slowdown strikes.
-    pub iteration: u64,
     /// Rank slowed down.
     pub rank: usize,
-    /// Step-duration multiplier (`>= 1.0`); the induced stall is
-    /// `(factor - 1) ×` the measured compute time.
+    /// First iteration the slowdown strikes.
+    pub start: u64,
+    /// Consecutive iterations the degradation lasts (`>= 1`).
+    pub duration: u64,
+    /// Step-duration multiplier (`>= 1.0`); the induced stall per
+    /// iteration is `(factor - 1) ×` the measured compute time.
     pub factor: f64,
+}
+
+impl SlowEvent {
+    /// A one-iteration slowdown (the pre-profile behaviour).
+    pub fn once(iteration: u64, rank: usize, factor: f64) -> Self {
+        Self {
+            rank,
+            start: iteration,
+            duration: 1,
+            factor,
+        }
+    }
+
+    /// A sustained degradation profile.
+    pub fn sustained(rank: usize, start: u64, duration: u64, factor: f64) -> Self {
+        Self {
+            rank,
+            start,
+            duration,
+            factor,
+        }
+    }
 }
 
 /// Materialised fault + straggler schedule.
@@ -80,13 +107,25 @@ impl FaultInjector {
                 "straggler factor {} would be a speed-up",
                 event.factor
             );
-            if event.iteration > horizon {
-                continue;
-            }
-            let it = event.iteration.max(1);
-            let victims = slow_by_iteration.entry(it).or_default();
-            if !victims.iter().any(|&(r, _)| r == event.rank) {
-                victims.push((event.rank, event.factor));
+            assert!(
+                event.duration >= 1,
+                "straggler profile must last at least one iteration"
+            );
+            // A profile scheduled before the first iteration shifts whole
+            // (a rank cannot straggle before training starts) so its
+            // duration is preserved instead of collapsing onto iteration 1.
+            let start = event.start.max(1);
+            let end = start.saturating_add(event.duration);
+            for it in start..end {
+                if it > horizon {
+                    break;
+                }
+                let victims = slow_by_iteration.entry(it).or_default();
+                // Overlapping profiles on one rank keep the worst factor.
+                match victims.iter_mut().find(|(r, _)| *r == event.rank) {
+                    Some((_, f)) => *f = f.max(event.factor),
+                    None => victims.push((event.rank, event.factor)),
+                }
             }
         }
         Self {
@@ -223,55 +262,70 @@ mod tests {
     #[test]
     fn stragglers_fire_once_and_dedupe() {
         let slow = [
-            SlowEvent {
-                iteration: 4,
-                rank: 2,
-                factor: 3.0,
-            },
-            SlowEvent {
-                iteration: 4,
-                rank: 2,
-                factor: 5.0,
-            },
-            SlowEvent {
-                iteration: 0,
-                rank: 1,
-                factor: 2.0,
-            },
-            SlowEvent {
-                iteration: 99,
-                rank: 0,
-                factor: 2.0,
-            },
+            SlowEvent::once(4, 2, 3.0),
+            SlowEvent::once(4, 2, 5.0),
+            SlowEvent::once(0, 1, 2.0),
+            SlowEvent::once(99, 0, 2.0),
         ];
         let mut inj = FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
         // The event beyond the horizon is dropped.
         assert_eq!(inj.pending_stragglers(), 2);
         assert_eq!(inj.slows_at(1), vec![(1, 2.0)]);
-        assert_eq!(inj.slows_at(4), vec![(2, 3.0)]);
+        // Overlapping events on one rank keep the worst factor.
+        assert_eq!(inj.slows_at(4), vec![(2, 5.0)]);
         assert!(inj.slows_at(4).is_empty(), "stragglers fire once");
         assert_eq!(inj.pending_stragglers(), 0);
     }
 
     #[test]
+    fn sustained_profile_covers_every_iteration() {
+        let slow = [SlowEvent::sustained(1, 3, 4, 2.5)];
+        let mut inj = FaultInjector::new(&FaultPlan::None, &slow, 20, 2, 4);
+        assert_eq!(inj.pending_stragglers(), 4);
+        assert!(inj.slows_at(2).is_empty());
+        for it in 3..7u64 {
+            assert_eq!(inj.slows_at(it), vec![(1, 2.5)], "iteration {it}");
+        }
+        assert!(inj.slows_at(7).is_empty(), "profile ends after duration");
+    }
+
+    #[test]
+    fn profile_starting_at_zero_keeps_its_duration() {
+        let slow = [SlowEvent::sustained(0, 0, 3, 2.0)];
+        let mut inj = FaultInjector::new(&FaultPlan::None, &slow, 20, 2, 4);
+        assert_eq!(inj.pending_stragglers(), 3, "shifted, not collapsed");
+        for it in 1..4u64 {
+            assert_eq!(inj.slows_at(it), vec![(0, 2.0)], "iteration {it}");
+        }
+        assert!(inj.slows_at(4).is_empty());
+    }
+
+    #[test]
+    fn sustained_profile_truncates_at_horizon() {
+        let slow = [SlowEvent::sustained(0, 8, 100, 2.0)];
+        let mut inj = FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
+        assert_eq!(inj.pending_stragglers(), 3, "8, 9, 10 only");
+        assert_eq!(inj.slows_at(10), vec![(0, 2.0)]);
+    }
+
+    #[test]
     #[should_panic(expected = "outside world")]
     fn out_of_range_straggler_rank_panics() {
-        let slow = [SlowEvent {
-            iteration: 1,
-            rank: 9,
-            factor: 2.0,
-        }];
+        let slow = [SlowEvent::once(1, 9, 2.0)];
         FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
     }
 
     #[test]
     #[should_panic(expected = "speed-up")]
     fn sub_unit_factor_panics() {
-        let slow = [SlowEvent {
-            iteration: 1,
-            rank: 0,
-            factor: 0.25,
-        }];
+        let slow = [SlowEvent::once(1, 0, 0.25)];
+        FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_duration_panics() {
+        let slow = [SlowEvent::sustained(0, 1, 0, 2.0)];
         FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
     }
 }

@@ -24,7 +24,11 @@
 //!   replicas, plus the checkpoint-sharding ownership map
 //!   ([`owner_rank`]);
 //! * [`node`] — per-node CPU-memory tier handle and the asynchronous
-//!   two-level checkpoint agent;
+//!   checkpoint engine ([`moc_ckpt::CkptEngine`]): copy-on-snapshot into
+//!   pooled buffers, delta shards against the last full shard, and a
+//!   per-node manifest chain committed strictly after the shards, so
+//!   checkpoint iterations perform no blocking store I/O and recovery
+//!   (through [`moc_ckpt::ChainStore`]) only ever sees committed state;
 //! * [`injector`] — [`FaultInjector`]: materialises a
 //!   [`moc_store::FaultPlan`] into mid-iteration node kills and a
 //!   [`SlowEvent`] schedule into straggler slowdowns;
@@ -84,6 +88,7 @@ pub use config::{CheckpointMode, ConfigError, RuntimeConfig};
 pub use coordinator::{Coordinator, RuntimeError};
 pub use injector::{FaultInjector, SlowEvent};
 pub use metrics::{EventKind, MetricsRegistry, Phase, PhaseStats, RunSummary, TimelineEvent};
+pub use moc_ckpt::{ChainStore, EngineConfig as CkptEngineConfig, EngineStats as CkptEngineStats};
 pub use node::NodeRuntime;
 pub use rank::owner_rank;
 pub use recovery_exec::{execute_recovery, RecoveryOutcome};

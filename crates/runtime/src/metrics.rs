@@ -8,6 +8,7 @@
 //! the measured phase means back into `moc-cluster`'s discrete-event
 //! simulator so live runs can be compared against the analytic timelines.
 
+use moc_ckpt::EngineStats;
 use moc_cluster::events::{simulate, EventSimConfig, EventSimReport};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -279,8 +280,13 @@ pub struct RunSummary {
     pub memory_hits: u64,
     /// Recovery shards served from persistent storage.
     pub storage_hits: u64,
-    /// Bytes held by the persistent store at the end of the run.
+    /// Bytes held by the persistent store at the end of the run
+    /// (including manifests and any orphaned shards).
     pub persisted_bytes: u64,
+    /// Aggregated checkpoint-engine counters across all node engines:
+    /// full/delta shard mix, stored vs raw bytes, manifest bytes, pool
+    /// footprint, and background persist time.
+    pub ckpt_engine: EngineStats,
     /// Per-phase wall-clock statistics.
     pub phases: BTreeMap<Phase, PhaseStats>,
     /// Ordered run timeline (checkpoints, faults, recoveries, evals).
@@ -299,6 +305,12 @@ impl RunSummary {
     /// Statistics of one phase.
     pub fn phase(&self, phase: Phase) -> PhaseStats {
         self.phases.get(&phase).copied().unwrap_or_default()
+    }
+
+    /// Cumulative injected straggler stall across the run (the
+    /// `StragglerStall` phase total).
+    pub fn straggler_stall_secs(&self) -> f64 {
+        self.phase(Phase::StragglerStall).total_secs
     }
 
     /// Mean wall seconds a checkpoint added to its iteration:

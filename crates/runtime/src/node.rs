@@ -1,11 +1,15 @@
-//! Per-node runtime state: CPU-memory tier handle and checkpoint agent.
+//! Per-node runtime state: CPU-memory tier handle and checkpoint engine.
 //!
 //! A [`NodeRuntime`] bundles what one physical node owns in the live
 //! runtime: its slice of the cluster's CPU-memory tier and the
-//! asynchronous two-level checkpoint agent (`moc_core::twolevel`) whose
-//! snapshot/persist workers serve all ranks hosted on the node.
+//! asynchronous checkpoint engine ([`moc_ckpt::CkptEngine`]) whose
+//! snapshot → shard → persist pipeline serves all ranks hosted on the
+//! node. Each node writes its own manifest chain (chain id = node id), so
+//! a kill between shard writes can only lose the node's uncommitted tail
+//! — never a committed checkpoint.
 
-use moc_core::twolevel::{AgentStats, CheckpointJob, NodeAgent, ShardJob};
+use moc_ckpt::{CkptEngine, EngineConfig, EngineStats};
+use moc_core::twolevel::ShardJob;
 use moc_store::{NodeId, NodeMemoryStore, ObjectStore};
 use std::sync::Arc;
 
@@ -13,7 +17,7 @@ use std::sync::Arc;
 pub struct NodeRuntime {
     id: NodeId,
     memory: Arc<NodeMemoryStore>,
-    agent: Option<NodeAgent>,
+    engine: Option<CkptEngine>,
     alive: bool,
 }
 
@@ -27,14 +31,19 @@ impl std::fmt::Debug for NodeRuntime {
 }
 
 impl NodeRuntime {
-    /// Spawns the node's checkpoint agent over its memory store and the
+    /// Spawns the node's checkpoint engine over its memory store and the
     /// shared persistent store.
-    pub fn spawn(id: NodeId, memory: Arc<NodeMemoryStore>, store: Arc<dyn ObjectStore>) -> Self {
-        let agent = NodeAgent::spawn(id, memory.clone(), store);
+    pub fn spawn(
+        id: NodeId,
+        memory: Arc<NodeMemoryStore>,
+        store: Arc<dyn ObjectStore>,
+        config: EngineConfig,
+    ) -> Self {
+        let engine = CkptEngine::spawn(id.0, Some(memory.clone()), store, config);
         Self {
             id,
             memory,
-            agent: Some(agent),
+            engine: Some(engine),
             alive: true,
         }
     }
@@ -60,29 +69,28 @@ impl NodeRuntime {
         self.alive = alive;
     }
 
-    /// Submits an asynchronous checkpoint job to the node's agent.
-    /// Returns whether the submission stalled waiting for a free buffer.
+    /// Submits an asynchronous checkpoint batch to the node's engine.
+    /// Returns whether the submission stalled waiting for the in-flight
+    /// limit. Performs no store I/O on the calling thread.
     pub fn submit(&self, version: u64, shards: Vec<ShardJob>) -> bool {
-        self.agent
+        self.engine
             .as_ref()
-            .expect("agent alive")
-            .submit(CheckpointJob { version, shards })
-            .expect("agent accepts jobs")
+            .expect("engine alive")
+            .submit(version, shards)
     }
 
-    /// Blocks until the node's agent drained its snapshot and persist
-    /// queues.
+    /// Blocks until the node's engine drained its persist pipeline.
     pub fn wait_idle(&self) {
-        if let Some(agent) = &self.agent {
-            agent.wait_idle();
+        if let Some(engine) = &self.engine {
+            engine.wait_idle();
         }
     }
 
-    /// Shuts the agent down, returning its work counters.
-    pub fn shutdown(&mut self) -> AgentStats {
-        self.agent
+    /// Shuts the engine down, returning its work counters.
+    pub fn shutdown(&mut self) -> EngineStats {
+        self.engine
             .take()
-            .map(NodeAgent::shutdown)
+            .map(CkptEngine::shutdown)
             .unwrap_or_default()
     }
 }
@@ -91,13 +99,19 @@ impl NodeRuntime {
 mod tests {
     use super::*;
     use bytes::Bytes;
+    use moc_ckpt::ChainStore;
     use moc_store::{MemoryObjectStore, ShardKey, StatePart};
 
     #[test]
-    fn submit_lands_in_both_tiers() {
+    fn submit_lands_in_both_tiers_with_manifest() {
         let memory = Arc::new(NodeMemoryStore::new());
         let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
-        let mut node = NodeRuntime::spawn(NodeId(0), memory.clone(), store.clone());
+        let mut node = NodeRuntime::spawn(
+            NodeId(0),
+            memory.clone(),
+            store.clone(),
+            EngineConfig::default(),
+        );
         let shards = vec![ShardJob {
             key: ShardKey::new("m", StatePart::Weights, 3),
             payload: Bytes::from_static(b"payload"),
@@ -107,16 +121,18 @@ mod tests {
         node.wait_idle();
         assert!(!stalled);
         assert_eq!(memory.version("m", StatePart::Weights), Some(3));
-        assert_eq!(store.keys().unwrap().len(), 1);
+        let chain = ChainStore::load(store).unwrap();
+        assert_eq!(chain.newest_committed(), Some(3));
         let stats = node.shutdown();
-        assert_eq!(stats.snapshots_done, 1);
+        assert_eq!(stats.writer.checkpoints, 1);
+        assert_eq!(stats.snapshots, 1);
     }
 
     #[test]
     fn alive_flag_toggles() {
         let memory = Arc::new(NodeMemoryStore::new());
         let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
-        let mut node = NodeRuntime::spawn(NodeId(1), memory, store);
+        let mut node = NodeRuntime::spawn(NodeId(1), memory, store, EngineConfig::default());
         assert!(node.alive());
         node.set_alive(false);
         assert!(!node.alive());

@@ -25,6 +25,14 @@ pub enum StoreError {
     Frame(frame::FrameError),
     /// The store root is not usable.
     BadRoot(PathBuf),
+    /// A shard file decoded cleanly but carries a different key than the
+    /// one requested (e.g. a file renamed or restored to the wrong name).
+    KeyMismatch {
+        /// The key that was requested.
+        requested: ShardKey,
+        /// The key recorded inside the frame.
+        found: ShardKey,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -33,6 +41,12 @@ impl fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "object store i/o error: {e}"),
             StoreError::Frame(e) => write!(f, "object store frame error: {e}"),
             StoreError::BadRoot(p) => write!(f, "object store root unusable: {}", p.display()),
+            StoreError::KeyMismatch { requested, found } => {
+                write!(
+                    f,
+                    "shard key mismatch: requested {requested}, found {found}"
+                )
+            }
         }
     }
 }
@@ -42,7 +56,7 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Frame(e) => Some(e),
-            StoreError::BadRoot(_) => None,
+            StoreError::BadRoot(_) | StoreError::KeyMismatch { .. } => None,
         }
     }
 }
@@ -256,9 +270,21 @@ impl ObjectStore for FileObjectStore {
         if !path.exists() {
             return Ok(None);
         }
+        // The read path re-validates everything the write path framed:
+        // `frame::decode` verifies magic, lengths and the payload CRC
+        // (surfacing on-disk corruption as an error instead of returning
+        // corrupt state), and the decoded key must match the requested
+        // one — `file_name()` sanitizes module names, so two distinct
+        // keys can collide on a path, and a mis-renamed file must not
+        // silently serve the wrong shard.
         let bytes = Bytes::from(std::fs::read(&path)?);
         let (decoded, payload) = frame::decode(&bytes)?;
-        debug_assert_eq!(&decoded, key);
+        if &decoded != key {
+            return Err(StoreError::KeyMismatch {
+                requested: key.clone(),
+                found: decoded,
+            });
+        }
         Ok(Some(payload))
     }
 
@@ -378,6 +404,62 @@ mod tests {
         // Simulate a torn write: garbage in a .shard file.
         std::fs::write(dir.join("torn.w.000000000001.shard"), b"garbage").unwrap();
         assert_eq!(store.keys().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Satellite (read-path audit): a shard corrupted *on disk* after a
+    /// clean write must surface as an error on `get`, never as silently
+    /// corrupt payload bytes — flipping any single byte of the file
+    /// yields an error or, at worst, a different-but-valid frame that the
+    /// key check rejects.
+    #[test]
+    fn file_store_get_detects_corruption_on_read() {
+        let dir =
+            std::env::temp_dir().join(format!("moc-store-readcorrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileObjectStore::open(&dir).unwrap();
+        let key = ShardKey::new("layer1.expert2", StatePart::Weights, 9);
+        let payload = Bytes::from((0..=255u8).collect::<Vec<u8>>());
+        store.put(&key, payload.clone()).unwrap();
+        let path = dir.join(key.file_name());
+        let clean = std::fs::read(&path).unwrap();
+        for byte in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[byte] ^= 0xA5;
+            std::fs::write(&path, &corrupt).unwrap();
+            match store.get(&key) {
+                Err(_) => {}
+                Ok(got) => assert_ne!(
+                    got,
+                    Some(payload.clone()),
+                    "byte {byte} corrupted on disk yet get returned the original payload"
+                ),
+            }
+        }
+        // Restore and confirm the clean read still works.
+        std::fs::write(&path, &clean).unwrap();
+        assert_eq!(store.get(&key).unwrap(), Some(payload));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A decodable frame sitting under the wrong file name (e.g. restored
+    /// from a backup into the wrong path) is rejected by the key check.
+    #[test]
+    fn file_store_get_rejects_misnamed_shard() {
+        let dir = std::env::temp_dir().join(format!("moc-store-misname-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileObjectStore::open(&dir).unwrap();
+        let real = ShardKey::new("layer1.expert0", StatePart::Weights, 1);
+        let other = ShardKey::new("layer1.expert1", StatePart::Weights, 1);
+        store.put(&real, Bytes::from_static(b"mine")).unwrap();
+        std::fs::rename(dir.join(real.file_name()), dir.join(other.file_name())).unwrap();
+        match store.get(&other) {
+            Err(StoreError::KeyMismatch { requested, found }) => {
+                assert_eq!(requested, other);
+                assert_eq!(found, real);
+            }
+            other_result => panic!("expected KeyMismatch, got {other_result:?}"),
+        }
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

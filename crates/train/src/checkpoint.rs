@@ -7,10 +7,17 @@
 //! them in a simulated cluster (per-node CPU memory + shared object
 //! store), and performs two-level recovery after node faults, physically
 //! rolling expert tensors back to their restored versions.
+//!
+//! Persistence goes through the checkpoint engine's
+//! [`moc_ckpt::ShardWriter`]: shards are delta-encoded against their last
+//! full version and committed by a versioned manifest, and recovery reads
+//! the store through [`moc_ckpt::ChainStore`] so only committed state —
+//! reconstructed `full ⊕ delta`, CRC-checked — is ever restored.
 
 use crate::model::TinyMoeLm;
 use crate::params::Param;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use moc_ckpt::{ChainStore, EngineConfig, ShardWriter, WriterStats};
 use moc_core::recovery::{fetch_action, plan_recovery, RecoveryError, RecoverySource};
 use moc_core::selection::PecConfig;
 use moc_core::topology::ParallelTopology;
@@ -65,6 +72,8 @@ pub struct CheckpointerConfig {
     pub two_level: bool,
     /// Virtual cluster placing experts on nodes.
     pub topology: ParallelTopology,
+    /// Persist-pipeline policy (delta shards, rebase interval).
+    pub engine: EngineConfig,
 }
 
 /// Outcome of a recovery.
@@ -88,6 +97,7 @@ pub struct TrainingCheckpointer {
     config: CheckpointerConfig,
     memory: ClusterMemory,
     store: Arc<dyn ObjectStore>,
+    writer: ShardWriter,
     checkpoint_index: u64,
     /// Cumulative per-expert routed tokens recorded at each checkpoint
     /// version (for exact lost-token accounting).
@@ -106,13 +116,22 @@ impl TrainingCheckpointer {
     /// Creates a checkpointer over an in-memory object store.
     pub fn new(config: CheckpointerConfig) -> Self {
         let nodes = config.topology.nodes();
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let writer = ShardWriter::new(0, store.clone(), config.engine);
         Self {
             config,
             memory: ClusterMemory::new(nodes),
-            store: Arc::new(MemoryObjectStore::new()),
+            store,
+            writer,
             checkpoint_index: 0,
             routed_at_version: HashMap::new(),
         }
+    }
+
+    /// The persist writer's counters (full/delta shard mix, stored vs raw
+    /// bytes).
+    pub fn writer_stats(&self) -> WriterStats {
+        self.writer.stats()
     }
 
     /// The configuration.
@@ -185,6 +204,10 @@ impl TrainingCheckpointer {
         let snap: std::collections::HashSet<ExpertId> = snapshot_experts.iter().copied().collect();
         let persist: std::collections::HashSet<ExpertId> =
             persist_experts.iter().copied().collect();
+        // Snapshot level runs inline; the persist level is batched and
+        // handed to the engine's shard writer, which delta-encodes and
+        // commits the whole batch under one manifest.
+        let mut batch: Vec<(ShardKey, Bytes)> = Vec::new();
         for module in model.store().module_names() {
             let expert = expert_of(&cfg, &module);
             for part in [StatePart::Weights, StatePart::Optimizer] {
@@ -203,18 +226,21 @@ impl TrainingCheckpointer {
                     let key = ShardKey::new(module.clone(), part, iteration);
                     self.memory.node(node).put(&key, payload.clone());
                     if do_persist {
-                        self.store.put(&key, payload).expect("in-memory store put");
+                        batch.push((key, payload));
                     }
                 } else if do_persist {
                     // Persist the expert's latest in-memory snapshot (an
-                    // older version than `iteration`).
+                    // older version than `iteration`); the writer dedups
+                    // it if that exact version is already committed.
                     if let Some((version, payload)) = self.memory.node(node).get(&module, part) {
-                        let key = ShardKey::new(module.clone(), part, version);
-                        self.store.put(&key, payload).expect("in-memory store put");
+                        batch.push((ShardKey::new(module.clone(), part, version), payload));
                     }
                 }
             }
         }
+        self.writer
+            .persist(iteration, batch.iter().map(|(k, b)| (k, &b[..])))
+            .expect("in-memory store persist");
     }
 
     /// Which virtual node holds a module's snapshot.
@@ -258,10 +284,14 @@ impl TrainingCheckpointer {
             .into_iter()
             .flat_map(|m| [(m.clone(), StatePart::Weights), (m, StatePart::Optimizer)])
             .collect();
+        // Recovery reads through the committed chain view: delta shards
+        // reconstruct transparently and uncommitted (torn) persists are
+        // invisible.
+        let chain = ChainStore::load_expecting(self.store.clone(), Some(1))?;
         let plan = plan_recovery(
             &slots,
             &self.memory,
-            self.store.as_ref(),
+            &chain,
             &healthy,
             at_iteration,
             self.config.two_level,
@@ -270,7 +300,7 @@ impl TrainingCheckpointer {
         let mut memory_hits = 0;
         let mut storage_hits = 0;
         for action in &plan.actions {
-            let bytes = fetch_action(action, &self.memory, self.store.as_ref())?;
+            let bytes = fetch_action(action, &self.memory, &chain)?;
             deserialize_module(model, &action.module, action.part, &bytes);
             match action.source {
                 RecoverySource::Memory { .. } => memory_hits += 1,
@@ -405,6 +435,7 @@ mod tests {
             mode,
             two_level,
             topology: ParallelTopology::dp_ep(2, 4, 8, 8).unwrap(),
+            engine: EngineConfig::default(),
         })
     }
 

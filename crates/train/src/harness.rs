@@ -172,6 +172,7 @@ pub fn run_experiment_with_model(
         mode: ft.mode,
         two_level: ft.two_level,
         topology: ft.topology,
+        engine: moc_ckpt::EngineConfig::default(),
     });
     let mut tracker = ExpertLoadTracker::new(layers, n);
     let mut cum_routed = vec![vec![0u64; n]; layers];
@@ -363,6 +364,7 @@ pub fn finetune_experiment(
         mode,
         two_level: false,
         topology: ParallelTopology::dp_ep(2, 4, 8, 8).expect("lab topology"),
+        engine: moc_ckpt::EngineConfig::default(),
     });
     let mut cum = vec![vec![0u64; n]; layers];
     checkpointer.bootstrap(&model, 0, cum.clone());

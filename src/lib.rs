@@ -1,7 +1,9 @@
 //! # MoC-System
 //!
 //! Facade crate for the MoC-System reproduction. See the member crates:
-//! [`moc_core`], [`moc_moe`], [`moc_store`], [`moc_cluster`], [`moc_train`].
+//! [`moc_core`], [`moc_moe`], [`moc_store`], [`moc_ckpt`], [`moc_cluster`],
+//! [`moc_train`], [`moc_runtime`].
+pub use moc_ckpt as ckpt;
 pub use moc_cluster as cluster;
 pub use moc_core as core;
 pub use moc_moe as moe;

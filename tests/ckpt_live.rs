@@ -1,0 +1,272 @@
+//! Integration tests of the `moc-ckpt` checkpoint engine inside the live
+//! runtime: steady-state checkpoints never block the training thread on
+//! store I/O, delta + partial-expert checkpoints persist strictly fewer
+//! bytes than full-module checkpoints at equal fidelity, and a node kill
+//! at any persist boundary (torn persist) recovers bitwise-identical
+//! parameters from the last complete manifest.
+
+use moc_system::ckpt::testing::FlakyStore;
+use moc_system::ckpt::{ChainStore, EngineConfig};
+use moc_system::core::ParallelTopology;
+use moc_system::runtime::{CheckpointMode, Coordinator, Phase, RunSummary, RuntimeConfig};
+use moc_system::store::{
+    FaultEvent, FaultPlan, FileObjectStore, MemoryObjectStore, ObjectStore, ShardKey, StatePart,
+};
+use moc_system::train::PecMode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn topo() -> ParallelTopology {
+    ParallelTopology::dp_ep(2, 4, 8, 8).unwrap()
+}
+
+fn base_config() -> RuntimeConfig {
+    RuntimeConfig {
+        total_iterations: 18,
+        i_ckpt: 6,
+        eval_every: 0,
+        seq_len: 16,
+        heartbeat_timeout: Duration::from_millis(800),
+        ..RuntimeConfig::tiny(topo())
+    }
+}
+
+/// Full-module checkpointing (PEC disabled) with a given delta policy.
+fn full_config(delta: bool) -> RuntimeConfig {
+    RuntimeConfig {
+        k_snapshot: 8,
+        k_persist: 8,
+        pec_mode: PecMode::NONE,
+        ckpt: EngineConfig {
+            delta,
+            ..EngineConfig::default()
+        },
+        ..base_config()
+    }
+}
+
+fn run(config: RuntimeConfig, store: Arc<dyn ObjectStore>) -> RunSummary {
+    Coordinator::new(config, store).unwrap().run().unwrap()
+}
+
+fn bits(params: &[f32]) -> Vec<u32> {
+    params.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Acceptance: steady-state checkpoint iterations perform no blocking
+/// store I/O on the training thread. In async mode the `CkptWrite`
+/// (blocking-write) phase never fires and no submission stalls; all
+/// persistence happens on the engines' background writers, whose measured
+/// persist time shows up only in the engine stats.
+#[test]
+fn async_checkpoints_do_no_blocking_store_io_on_training_thread() {
+    let root = std::env::temp_dir().join(format!("moc-ckpt-noblock-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(FileObjectStore::open(&root).unwrap());
+    let summary = run(
+        RuntimeConfig {
+            checkpoint_mode: CheckpointMode::Async,
+            ..base_config()
+        },
+        store,
+    );
+    assert_eq!(summary.checkpoints_taken, 3);
+    assert_eq!(
+        summary.phase(Phase::CkptWrite).count,
+        0,
+        "async mode must never block on the write phase"
+    );
+    assert_eq!(
+        summary.stall_count, 0,
+        "double buffering must absorb all batches"
+    );
+    assert!(
+        summary.ckpt_engine.writer.persist_secs > 0.0,
+        "the background writers did the actual I/O: {:?}",
+        summary.ckpt_engine
+    );
+    // 2 nodes × (bootstrap + 3 checkpoints) manifests committed.
+    assert_eq!(summary.ckpt_engine.writer.checkpoints, 8);
+    assert!(summary.ckpt_engine.errors.is_empty());
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Acceptance: delta encoding is lossless end-to-end (equal fidelity —
+/// the faulted run still recovers to the bitwise trajectory of the clean
+/// run) while persisting strictly fewer bytes than full payloads, and
+/// partial-expert selection cuts the bytes further below any full-module
+/// configuration.
+#[test]
+fn delta_and_partial_persist_strictly_fewer_bytes_at_equal_fidelity() {
+    let fault = FaultPlan::At(vec![FaultEvent {
+        iteration: 10,
+        node: 0,
+    }]);
+
+    // Clean reference trajectory (full checkpointing, delta off).
+    let clean = run(full_config(false), Arc::new(MemoryObjectStore::new()));
+
+    // Full-module checkpoints, no delta, with a kill.
+    let full_raw = run(
+        RuntimeConfig {
+            faults: fault.clone(),
+            ..full_config(false)
+        },
+        Arc::new(MemoryObjectStore::new()),
+    );
+    // Full-module checkpoints, delta on, same kill.
+    let full_delta = run(
+        RuntimeConfig {
+            faults: fault.clone(),
+            ..full_config(true)
+        },
+        Arc::new(MemoryObjectStore::new()),
+    );
+    // Partial-expert + delta, same kill (PEC trades fidelity knowingly —
+    // compared only on bytes).
+    let partial_delta = run(
+        RuntimeConfig {
+            k_snapshot: 4,
+            k_persist: 2,
+            pec_mode: PecMode::WO,
+            faults: fault,
+            ..full_config(true)
+        },
+        Arc::new(MemoryObjectStore::new()),
+    );
+
+    // Equal fidelity: both full runs recover onto the clean trajectory.
+    assert_eq!(full_raw.recoveries, 1);
+    assert_eq!(full_delta.recoveries, 1);
+    assert_eq!(
+        bits(&clean.final_params),
+        bits(&full_raw.final_params),
+        "raw full checkpointing must recover bitwise"
+    );
+    assert_eq!(
+        bits(&clean.final_params),
+        bits(&full_delta.final_params),
+        "delta shards must change nothing about the recovered trajectory"
+    );
+
+    // Fewer bytes: delta alone beats raw at identical selection...
+    assert!(full_delta.ckpt_engine.writer.delta_shards > 0);
+    assert!(
+        full_delta.persisted_bytes < full_raw.persisted_bytes,
+        "delta {} must beat raw {}",
+        full_delta.persisted_bytes,
+        full_raw.persisted_bytes
+    );
+    // ...and partial selection cuts strictly further.
+    assert!(
+        partial_delta.persisted_bytes < full_delta.persisted_bytes,
+        "partial+delta {} must beat full+delta {}",
+        partial_delta.persisted_bytes,
+        full_delta.persisted_bytes
+    );
+    assert!(partial_delta.replicas_consistent);
+}
+
+/// Satellite: node-agent death mid-persist (torn persist). The store
+/// starts failing writes partway through a checkpoint batch, so the
+/// manifest for that version is never committed; when a node kill then
+/// forces storage-only recovery, the run reconstructs from the last
+/// complete manifest and finishes on the bitwise trajectory of a clean
+/// run.
+#[test]
+fn torn_persist_recovers_bitwise_from_last_complete_manifest() {
+    // Count the puts of a clean faulted-free run, then cut the budget
+    // mid-way through the second checkpoint's writes.
+    let counting_store = Arc::new(moc_system::ckpt::testing::RecordingStore::new());
+    run(full_config(true), counting_store.clone());
+    let log = counting_store.log();
+    let second_ckpt_start = log
+        .iter()
+        .position(|(k, _)| k.version == 12)
+        .expect("checkpoint at iteration 12 persisted");
+    let budget = second_ckpt_start + 3; // die between shard writes of v12
+
+    let inner: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+    let flaky: Arc<dyn ObjectStore> = Arc::new(FlakyStore::new(inner.clone(), budget as i64));
+    let summary = run(
+        RuntimeConfig {
+            // Storage-only recovery: the torn persistent state is all
+            // recovery has.
+            two_level: false,
+            faults: FaultPlan::At(vec![FaultEvent {
+                iteration: 14,
+                node: 0,
+            }]),
+            ..full_config(true)
+        },
+        flaky,
+    );
+    let clean = run(full_config(true), Arc::new(MemoryObjectStore::new()));
+
+    assert_eq!(summary.recoveries, 1);
+    assert!(
+        !summary.ckpt_engine.errors.is_empty(),
+        "the injected mid-batch crash must be observed"
+    );
+    // The torn checkpoint at 12 was never committed: recovery resumed
+    // from 6, so at least 14 - 6 = 8 iterations were redone.
+    assert!(
+        summary.iterations_executed >= 18 + 8,
+        "resume must fall back past the torn checkpoint: {} iterations",
+        summary.iterations_executed
+    );
+    assert!(summary.replicas_consistent);
+    assert_eq!(
+        bits(&clean.final_params),
+        bits(&summary.final_params),
+        "torn-persist recovery must land on the clean bitwise trajectory"
+    );
+    // The chain view confirms version 12 was rejected as incomplete.
+    let chain = ChainStore::load_expecting(inner, Some(2)).unwrap();
+    assert!(!chain.committed_versions().contains(&12));
+}
+
+/// Satellite (crash-safe rename path): on the file-backed store, garbage
+/// left by a torn rename plus orphaned shards of an uncommitted version
+/// are both invisible to the chain, and the last committed version still
+/// reconstructs bitwise after reopening the directory.
+#[test]
+fn file_store_chain_survives_torn_writes_and_reopen() {
+    use moc_system::ckpt::ShardWriter;
+    let root = std::env::temp_dir().join(format!("moc-ckpt-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let payload_v1: Vec<u8> = (0..256u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+    let payload_v2: Vec<u8> = (0..256u32)
+        .flat_map(|i| (i as f32 + 1e-3).to_le_bytes())
+        .collect();
+    let key_v1 = ShardKey::new("layer1.expert0", StatePart::Weights, 10);
+    let key_v2 = ShardKey::new("layer1.expert0", StatePart::Weights, 20);
+    {
+        let store: Arc<dyn ObjectStore> = Arc::new(FileObjectStore::open(&root).unwrap());
+        let mut writer = ShardWriter::new(0, store.clone(), EngineConfig::default());
+        writer.persist(10, [(&key_v1, &payload_v1[..])]).unwrap();
+        // Version 20: the shard lands but the writer "dies" before its
+        // manifest (budget = 1 put).
+        let flaky: Arc<dyn ObjectStore> = Arc::new(FlakyStore::new(store, 1));
+        let mut torn_writer = ShardWriter::new(0, flaky, EngineConfig::full_only());
+        assert!(torn_writer
+            .persist(20, [(&key_v2, &payload_v2[..])])
+            .is_err());
+    }
+    // Simulate a torn rename: garbage that never became a valid frame.
+    std::fs::write(root.join("torn.w.000000000099.shard"), b"garbage").unwrap();
+
+    let reopened: Arc<dyn ObjectStore> = Arc::new(FileObjectStore::open(&root).unwrap());
+    let chain = ChainStore::load_expecting(reopened, Some(1)).unwrap();
+    assert_eq!(chain.newest_committed(), Some(10));
+    assert_eq!(
+        chain
+            .latest_version("layer1.expert0", StatePart::Weights, u64::MAX)
+            .unwrap(),
+        Some(10),
+        "the orphaned v20 shard must be invisible"
+    );
+    let got = chain.get(&key_v1).unwrap().unwrap();
+    assert_eq!(&got[..], &payload_v1[..], "bitwise after reopen");
+    std::fs::remove_dir_all(&root).unwrap();
+}

@@ -166,11 +166,7 @@ fn straggler_injection_stalls_without_perturbing_numerics() {
     };
     let smooth = run(config.clone());
     let slowed = run(RuntimeConfig {
-        stragglers: vec![SlowEvent {
-            iteration: 3,
-            rank: 1,
-            factor: 3.0,
-        }],
+        stragglers: vec![SlowEvent::once(3, 1, 3.0)],
         ..config
     });
     assert_eq!(slowed.stragglers_injected, 1);
@@ -190,5 +186,53 @@ fn straggler_injection_stalls_without_perturbing_numerics() {
         bits(&smooth.final_params),
         bits(&slowed.final_params),
         "a stall must not change the training trajectory"
+    );
+}
+
+/// Satellite: a sustained degradation profile (`rank, start, duration,
+/// factor`) slows every covered iteration, accumulates a cumulative
+/// `StragglerStall` roughly `duration ×` a single hiccup's, and still
+/// leaves the numerics bitwise untouched.
+#[test]
+fn sustained_degradation_profile_accumulates_stall() {
+    let config = RuntimeConfig {
+        heartbeat_timeout: Duration::from_secs(4),
+        ..base_config(CollectiveKind::Ring)
+    };
+    let smooth = run(config.clone());
+    let slowed = run(RuntimeConfig {
+        stragglers: vec![SlowEvent::sustained(1, 3, 4, 2.5)],
+        ..config
+    });
+    assert_eq!(
+        slowed.stragglers_injected, 4,
+        "one injection per covered iteration"
+    );
+    assert_eq!(slowed.recoveries, 0, "degraded, not dead");
+    let stall = slowed.phase(Phase::StragglerStall);
+    assert_eq!(stall.count, 4);
+    assert!(
+        (slowed.straggler_stall_secs() - stall.total_secs).abs() < 1e-12,
+        "summary must surface the cumulative stall"
+    );
+    assert!(
+        stall.total_secs > 3.0 * stall.max_secs / 2.0,
+        "cumulative stall must reflect the sustained window, not one hiccup: {stall:?}"
+    );
+    let injected: Vec<u64> = slowed
+        .timeline
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::StragglerInjected { rank: 1, .. }))
+        .map(|e| e.iteration)
+        .collect();
+    assert_eq!(
+        injected,
+        vec![3, 4, 5, 6],
+        "profile covers start..start+duration"
+    );
+    assert_eq!(
+        bits(&smooth.final_params),
+        bits(&slowed.final_params),
+        "sustained degradation must not change the training trajectory"
     );
 }
