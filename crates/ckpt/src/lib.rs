@@ -60,7 +60,7 @@ pub mod writer;
 pub use config::EngineConfig;
 pub use engine::{CkptEngine, EngineStats};
 pub use manifest::{manifest_module, manifest_writer, ManifestEntry, ShardKind, ShardRecord};
-pub use plan::{CheckpointSelection, PartialPlan};
+pub use plan::{shard_group_of_expert, CheckpointSelection, PartialPlan};
 pub use pool::BufferPool;
 pub use reader::ChainStore;
 pub use writer::{ShardWriter, WriterStats};

@@ -11,8 +11,21 @@
 
 use moc_core::selection::PecConfig;
 use moc_core::sharding::{CheckpointWorkload, ShardingPlanner, ShardingStrategy};
+use moc_core::topology::ParallelTopology;
 use moc_moe::ExpertId;
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+
+/// The shard group (DP index) hosting an expert's state under `topo`:
+/// the expert's EP rank within the EP group its layer rotates onto.
+/// This is the group-coordinate key checkpoint plans and recovery both
+/// resolve ownership through — a selection is a property of shard
+/// groups, not of flat global ranks (whose `tp · pp` members share the
+/// group's duties).
+pub fn shard_group_of_expert(topo: &ParallelTopology, id: ExpertId, num_experts: usize) -> usize {
+    let ep_rank = topo.expert_ep_rank(id.expert, num_experts);
+    let group = id.layer % topo.num_ep_groups();
+    group * topo.ep() + ep_rank
+}
 
 /// The expert sets of one checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +34,32 @@ pub struct CheckpointSelection {
     pub snapshot: HashSet<ExpertId>,
     /// Experts persisted to storage.
     pub persist: HashSet<ExpertId>,
+}
+
+impl CheckpointSelection {
+    /// Splits the selection by the shard group (DP index) owning each
+    /// expert under `topo` — the group-coordinate keying of the plan.
+    /// Every selected expert lands in exactly one group's selection, so
+    /// the returned selections partition `self`.
+    pub fn by_shard_group(
+        &self,
+        topo: &ParallelTopology,
+        num_experts: usize,
+    ) -> BTreeMap<usize, CheckpointSelection> {
+        let mut out: BTreeMap<usize, CheckpointSelection> = BTreeMap::new();
+        for &id in &self.snapshot {
+            let group = shard_group_of_expert(topo, id, num_experts);
+            let entry = out.entry(group).or_insert_with(|| CheckpointSelection {
+                snapshot: HashSet::new(),
+                persist: HashSet::new(),
+            });
+            entry.snapshot.insert(id);
+            if self.persist.contains(&id) {
+                entry.persist.insert(id);
+            }
+        }
+        out
+    }
 }
 
 /// Rotating partial-expert checkpoint plan.
@@ -143,6 +182,45 @@ mod tests {
     fn with_k_rebuilds_rotations() {
         let plan = PartialPlan::new(1, 1, 8, 1).with_k(8, 8);
         assert_eq!(plan.at(0).snapshot.len(), 8);
+    }
+
+    #[test]
+    fn group_keyed_selection_partitions_exactly() {
+        // dp = 16, ep = 8: two EP groups, expert layers rotate between
+        // them.
+        let topo = moc_core::ParallelTopology::dp_ep(2, 8, 16, 8).unwrap();
+        let plan = PartialPlan::new(4, 2, 8, 2);
+        for t in 0..8 {
+            let sel = plan.at(t);
+            let by_group = sel.by_shard_group(&topo, 8);
+            let mut snap_union: HashSet<ExpertId> = HashSet::new();
+            let mut persist_union: HashSet<ExpertId> = HashSet::new();
+            let mut total_snap = 0;
+            for (group, gsel) in &by_group {
+                assert!(*group < topo.dp(), "group key is a DP index");
+                total_snap += gsel.snapshot.len();
+                snap_union.extend(gsel.snapshot.iter().copied());
+                persist_union.extend(gsel.persist.iter().copied());
+                assert!(gsel.persist.is_subset(&gsel.snapshot));
+                for &id in &gsel.snapshot {
+                    assert_eq!(shard_group_of_expert(&topo, id, 8), *group);
+                }
+            }
+            assert_eq!(total_snap, sel.snapshot.len(), "no expert counted twice");
+            assert_eq!(snap_union, sel.snapshot, "t={t}: snapshot partition");
+            assert_eq!(persist_union, sel.persist, "t={t}: persist partition");
+        }
+    }
+
+    #[test]
+    fn expert_layers_rotate_over_ep_groups() {
+        let topo = moc_core::ParallelTopology::dp_ep(2, 8, 16, 8).unwrap();
+        // Layer 0 sits in EP group 0, layer 1 in EP group 1.
+        assert_eq!(shard_group_of_expert(&topo, ExpertId::new(0, 0), 8), 0);
+        assert_eq!(shard_group_of_expert(&topo, ExpertId::new(1, 0), 8), 8);
+        // With one EP group everything collapses onto 0..ep.
+        let flat = moc_core::ParallelTopology::dp_ep(1, 8, 8, 8).unwrap();
+        assert_eq!(shard_group_of_expert(&flat, ExpertId::new(1, 5), 8), 5);
     }
 
     #[test]

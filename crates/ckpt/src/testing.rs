@@ -126,6 +126,87 @@ impl ObjectStore for SlowStore {
     }
 }
 
+/// A store counting every read: `get` calls, payload bytes served, and
+/// `keys` listings. Tests wrap a real store in this to prove access-path
+/// properties — e.g. that key listing and recovery *planning* never
+/// deserialize shard payloads, only the shards a plan actually fetches.
+pub struct CountingStore {
+    inner: Arc<dyn ObjectStore>,
+    gets: AtomicI64,
+    get_bytes: AtomicI64,
+    key_listings: AtomicI64,
+}
+
+impl CountingStore {
+    /// Wraps `inner`, counting reads.
+    pub fn new(inner: Arc<dyn ObjectStore>) -> Self {
+        Self {
+            inner,
+            gets: AtomicI64::new(0),
+            get_bytes: AtomicI64::new(0),
+            key_listings: AtomicI64::new(0),
+        }
+    }
+
+    /// Number of `get` calls served.
+    pub fn gets(&self) -> i64 {
+        self.gets.load(Ordering::SeqCst)
+    }
+
+    /// Total payload bytes returned by `get`.
+    pub fn get_bytes(&self) -> i64 {
+        self.get_bytes.load(Ordering::SeqCst)
+    }
+
+    /// Number of `keys` listings served.
+    pub fn key_listings(&self) -> i64 {
+        self.key_listings.load(Ordering::SeqCst)
+    }
+}
+
+impl ObjectStore for CountingStore {
+    fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError> {
+        self.inner.put(key, payload)
+    }
+
+    fn get(&self, key: &ShardKey) -> Result<Option<Bytes>, StoreError> {
+        let got = self.inner.get(key)?;
+        self.gets.fetch_add(1, Ordering::SeqCst);
+        if let Some(payload) = &got {
+            self.get_bytes
+                .fetch_add(payload.len() as i64, Ordering::SeqCst);
+        }
+        Ok(got)
+    }
+
+    fn latest_version(
+        &self,
+        module: &str,
+        part: StatePart,
+        at_or_before: u64,
+    ) -> Result<Option<u64>, StoreError> {
+        self.inner.latest_version(module, part, at_or_before)
+    }
+
+    fn keys(&self) -> Result<Vec<ShardKey>, StoreError> {
+        self.key_listings.fetch_add(1, Ordering::SeqCst);
+        self.inner.keys()
+    }
+
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        self.inner.total_bytes()
+    }
+
+    fn prune(
+        &self,
+        module: &str,
+        part: StatePart,
+        before_version: u64,
+    ) -> Result<usize, StoreError> {
+        self.inner.prune(module, part, before_version)
+    }
+}
+
 /// A store recording the global order of successful `put`s, so tests can
 /// replay any prefix into a fresh store and check what it reconstructs.
 #[derive(Default)]

@@ -46,6 +46,20 @@ pub struct EventSimReport {
     pub effective_interval_sec: f64,
 }
 
+/// Predicted cumulative stall of a sustained straggler profile: a rank
+/// whose steps take `factor ×` their normal duration for `duration`
+/// consecutive iterations delays every one of those lock-step
+/// iterations by `(factor − 1) · fb_sec`, because the synchronous
+/// gradient exchange cannot complete before the slowest rank reports —
+/// the stall amplification the runtime measures as its
+/// `StragglerStall` phase. `fb_sec` is the F&B window of an unslowed
+/// iteration (use the measured `Compute` phase mean when validating a
+/// live run).
+pub fn straggler_stall_prediction(factor: f64, duration: u64, fb_sec: f64) -> f64 {
+    assert!(factor >= 1.0, "a factor below 1 would be a speed-up");
+    (factor - 1.0) * duration as f64 * fb_sec
+}
+
 /// Runs the simulation.
 ///
 /// Model: iteration `i` runs F&B then update. A checkpoint requested at
@@ -233,6 +247,21 @@ mod tests {
             ..base()
         });
         assert!(fast.effective_interval_sec < slow.effective_interval_sec);
+    }
+
+    #[test]
+    fn straggler_prediction_scales_linearly() {
+        let one = straggler_stall_prediction(2.0, 1, 0.5);
+        assert!((one - 0.5).abs() < 1e-12);
+        let sustained = straggler_stall_prediction(2.0, 4, 0.5);
+        assert!((sustained - 4.0 * one).abs() < 1e-12);
+        assert_eq!(straggler_stall_prediction(1.0, 10, 3.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "speed-up")]
+    fn straggler_prediction_rejects_speedup() {
+        straggler_stall_prediction(0.5, 1, 1.0);
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod timeline;
 
 pub use comm::{CommModel, GroupSpan};
 pub use compute::{ComputeModel, FbBreakdown, IterationWorkload};
-pub use events::{simulate, EventSimConfig, EventSimReport};
+pub use events::{simulate, straggler_stall_prediction, EventSimConfig, EventSimReport};
 pub use hardware::{ClusterSpec, GpuSpec};
 pub use scaling::{
     scaling_point, sweep_gpus, sweep_model_size, sweep_seq_len, Parallelism, ScalingPoint,

@@ -50,5 +50,5 @@ pub use sharding::{
     base_module, expert_module_name, CheckpointWorkload, PlanError, RankWorkload, SaveItem,
     ShardingPlanner, ShardingStrategy,
 };
-pub use topology::{ParallelTopology, TopologyError};
+pub use topology::{ParallelTopology, RankCoord, TopologyError};
 pub use twolevel::{CheckpointEngine, EngineConfig, StateSource, SyntheticState, TripleBuffer};

@@ -32,6 +32,31 @@ pub enum TopologyError {
     },
 }
 
+/// Coordinates of one global rank in the DP × PP × TP grid.
+///
+/// The global rank order fixes TP as the fastest-varying axis, then PP,
+/// then DP: `rank = (dp · pp_degree + pp) · tp_degree + tp`. With that
+/// convention the `tp_degree · pp_degree` ranks of one DP index — its
+/// *shard group*, which jointly holds one model replica's worth of
+/// checkpoint duties — occupy consecutive global ranks, so the physical
+/// node mapping of [`ParallelTopology::node_of`] stays consistent between
+/// the per-DP-rank and per-global-rank views.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RankCoord {
+    /// Data-parallel index (`0..dp`): which gradient-group member.
+    pub dp: usize,
+    /// Tensor-parallel index (`0..tp`): which tensor slice.
+    pub tp: usize,
+    /// Pipeline-parallel index (`0..pp`): which pipeline stage.
+    pub pp: usize,
+}
+
+impl fmt::Display for RankCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(dp={}, tp={}, pp={})", self.dp, self.tp, self.pp)
+    }
+}
+
 impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -236,6 +261,119 @@ impl ParallelTopology {
     pub fn ranks_on_node(&self, node: usize) -> Vec<usize> {
         (0..self.dp).filter(|&r| self.node_of(r) == node).collect()
     }
+
+    /// Coordinates of a global rank (TP fastest, then PP, then DP).
+    pub fn coords_of(&self, global_rank: usize) -> RankCoord {
+        assert!(
+            global_rank < self.world_size(),
+            "global rank {global_rank} outside world {}",
+            self.world_size()
+        );
+        RankCoord {
+            dp: global_rank / (self.tp * self.pp),
+            tp: global_rank % self.tp,
+            pp: (global_rank / self.tp) % self.pp,
+        }
+    }
+
+    /// Global rank of a coordinate.
+    pub fn global_rank_of(&self, coord: RankCoord) -> usize {
+        assert!(
+            coord.dp < self.dp && coord.tp < self.tp && coord.pp < self.pp,
+            "coordinate {coord} outside DP={} TP={} PP={}",
+            self.dp,
+            self.tp,
+            self.pp
+        );
+        (coord.dp * self.pp + coord.pp) * self.tp + coord.tp
+    }
+
+    /// Number of DP gradient groups (`tp · pp`): sets of ranks sharing
+    /// tensor/pipeline coordinates whose gradients are all-reduced
+    /// together.
+    pub fn num_dp_groups(&self) -> usize {
+        self.tp * self.pp
+    }
+
+    /// Number of shard groups (`dp`): each shard group is one DP index's
+    /// `tp · pp` ranks, jointly owning one replica's checkpoint duties.
+    pub fn num_shard_groups(&self) -> usize {
+        self.dp
+    }
+
+    /// The DP gradient group of a global rank: the ranks sharing its
+    /// `(tp, pp)` coordinates, ordered by DP index (the all-reduce fold
+    /// order).
+    pub fn dp_group(&self, global_rank: usize) -> Vec<usize> {
+        let c = self.coords_of(global_rank);
+        (0..self.dp)
+            .map(|dp| self.global_rank_of(RankCoord { dp, ..c }))
+            .collect()
+    }
+
+    /// The TP group of a global rank: the ranks sharing its `(dp, pp)`
+    /// coordinates, ordered by TP index (the replica-consistency
+    /// exchange ring).
+    pub fn tp_group(&self, global_rank: usize) -> Vec<usize> {
+        let c = self.coords_of(global_rank);
+        (0..self.tp)
+            .map(|tp| self.global_rank_of(RankCoord { tp, ..c }))
+            .collect()
+    }
+
+    /// The PP group of a global rank: the ranks sharing its `(dp, tp)`
+    /// coordinates, ordered by pipeline stage (the send/recv relay
+    /// chain).
+    pub fn pp_group(&self, global_rank: usize) -> Vec<usize> {
+        let c = self.coords_of(global_rank);
+        (0..self.pp)
+            .map(|pp| self.global_rank_of(RankCoord { pp, ..c }))
+            .collect()
+    }
+
+    /// The shard group of a global rank: all `tp · pp` ranks sharing its
+    /// DP index, which jointly own the checkpoint shards of one model
+    /// replica and are recovered together when any of them dies.
+    pub fn shard_group(&self, global_rank: usize) -> Vec<usize> {
+        let c = self.coords_of(global_rank);
+        let base = c.dp * self.tp * self.pp;
+        (base..base + self.tp * self.pp).collect()
+    }
+
+    /// Physical node hosting a *global* rank (ranks fill nodes in order).
+    pub fn node_of_global(&self, global_rank: usize) -> usize {
+        assert!(
+            global_rank < self.world_size(),
+            "global rank {global_rank} outside world {}",
+            self.world_size()
+        );
+        global_rank / self.gpus_per_node
+    }
+
+    /// All global ranks hosted on a given node.
+    pub fn global_ranks_on_node(&self, node: usize) -> Vec<usize> {
+        (0..self.world_size())
+            .filter(|&r| self.node_of_global(r) == node)
+            .collect()
+    }
+
+    /// The pipeline stage owning model layer `layer` of `num_layers`:
+    /// layers are split into `pp` contiguous blocks, earliest layers on
+    /// stage 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= num_layers` or `num_layers < pp` (a stage
+    /// would own no layer).
+    pub fn stage_of_layer(&self, layer: usize, num_layers: usize) -> usize {
+        assert!(layer < num_layers, "layer index out of range");
+        assert!(
+            num_layers >= self.pp,
+            "{num_layers} layers cannot fill {} pipeline stages",
+            self.pp
+        );
+        layer * self.pp / num_layers
+    }
 }
 
 impl fmt::Display for ParallelTopology {
@@ -346,5 +484,109 @@ mod tests {
     fn display_format() {
         let t = ParallelTopology::case1();
         assert_eq!(t.to_string(), "1x8 gpus, DP=8 TP=1 PP=1 EP=8");
+    }
+
+    #[test]
+    fn coords_roundtrip_over_full_grid() {
+        let t = ParallelTopology::new(2, 8, 2, 2, 4, 2).unwrap();
+        for g in 0..t.world_size() {
+            let c = t.coords_of(g);
+            assert_eq!(t.global_rank_of(c), g);
+        }
+        // TP varies fastest: consecutive ranks differ in tp first.
+        assert_eq!(
+            t.coords_of(0),
+            RankCoord {
+                dp: 0,
+                tp: 0,
+                pp: 0
+            }
+        );
+        assert_eq!(
+            t.coords_of(1),
+            RankCoord {
+                dp: 0,
+                tp: 1,
+                pp: 0
+            }
+        );
+        assert_eq!(
+            t.coords_of(2),
+            RankCoord {
+                dp: 0,
+                tp: 0,
+                pp: 1
+            }
+        );
+        assert_eq!(
+            t.coords_of(8),
+            RankCoord {
+                dp: 1,
+                tp: 0,
+                pp: 0
+            }
+        );
+    }
+
+    #[test]
+    fn groups_partition_the_world() {
+        let t = ParallelTopology::new(3, 8, 3, 2, 4, 3).unwrap();
+        let world = t.world_size();
+        assert_eq!(t.num_dp_groups() * t.dp(), world);
+        assert_eq!(t.num_shard_groups() * t.tp() * t.pp(), world);
+        for g in 0..world {
+            assert_eq!(t.dp_group(g).len(), t.dp());
+            assert_eq!(t.tp_group(g).len(), t.tp());
+            assert_eq!(t.pp_group(g).len(), t.pp());
+            assert_eq!(t.shard_group(g).len(), t.tp() * t.pp());
+            assert!(t.dp_group(g).contains(&g));
+            assert!(t.tp_group(g).contains(&g));
+            assert!(t.pp_group(g).contains(&g));
+            assert!(t.shard_group(g).contains(&g));
+        }
+    }
+
+    #[test]
+    fn dp_group_ordered_by_dp_index() {
+        let t = ParallelTopology::new(1, 8, 2, 2, 2, 2).unwrap();
+        // Rank 1 = (dp 0, tp 1, pp 0); its DP peer is (dp 1, tp 1, pp 0).
+        assert_eq!(t.dp_group(1), vec![1, 5]);
+        // Rank 2 = (dp 0, tp 0, pp 1); PP chain is [0, 2] in stage order.
+        assert_eq!(t.pp_group(2), vec![0, 2]);
+        assert_eq!(t.tp_group(2), vec![2, 3]);
+        assert_eq!(t.shard_group(5), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn global_node_mapping_matches_dp_mapping() {
+        let t = ParallelTopology::new(2, 8, 4, 2, 2, 4).unwrap();
+        for d in 0..t.dp() {
+            let g = t.global_rank_of(RankCoord {
+                dp: d,
+                tp: 0,
+                pp: 0,
+            });
+            assert_eq!(t.node_of_global(g), t.node_of(d));
+        }
+        let all: Vec<usize> = (0..t.nodes())
+            .flat_map(|n| t.global_ranks_on_node(n))
+            .collect();
+        assert_eq!(all, (0..t.world_size()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stage_of_layer_splits_contiguously() {
+        let t = ParallelTopology::new(1, 8, 2, 2, 2, 2).unwrap(); // pp = 2
+        assert_eq!(t.stage_of_layer(0, 4), 0);
+        assert_eq!(t.stage_of_layer(1, 4), 0);
+        assert_eq!(t.stage_of_layer(2, 4), 1);
+        assert_eq!(t.stage_of_layer(3, 4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fill")]
+    fn stage_of_layer_rejects_starved_stage() {
+        let t = ParallelTopology::new(1, 8, 2, 1, 4, 2).unwrap();
+        t.stage_of_layer(0, 2);
     }
 }

@@ -14,17 +14,26 @@
 //!   star sum) and deadline-based abort on peer death;
 //! * [`buffers`] — [`ChunkPool`]: preallocated, never-growing chunk
 //!   buffers, so steady-state iterations perform zero gradient-buffer
-//!   heap allocations.
+//!   heap allocations;
+//! * [`groups`] — [`GroupMesh`]: TP replica-consistency rings and PP
+//!   stage-relay chains for mixed-parallelism worlds (`tp · pp > 1`),
+//!   with the same deadline-abort discipline as the ring.
+//!
+//! With TP/PP shard groups, one ring (or one star reduction) runs *per
+//! DP gradient group* — the `dp` ranks sharing `(tp, pp)` coordinates —
+//! rather than over the flat world.
 //!
 //! The coordinator star path remains available as [`CollectiveKind::Star`]
 //! — both the paper-baseline configuration and the fallback the ring
 //! aborts into when a heartbeat death is detected mid-collective.
 
 pub mod buffers;
+pub mod groups;
 pub mod mesh;
 pub mod ring;
 
 pub use buffers::{ChunkPool, PooledBuf};
+pub use groups::{GroupAbort, GroupEndpoints, GroupMesh, GroupMsg};
 pub use mesh::{Leg, RingEndpoints, RingMesh, RingMsg};
 pub use ring::{ring_all_reduce, sequential_sum_reference, RingAbort, RingTimings};
 

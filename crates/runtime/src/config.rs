@@ -32,8 +32,18 @@ pub enum CheckpointMode {
 /// Error from [`RuntimeConfig::validate`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigError {
-    /// The topology uses TP or PP, which the live runtime does not model.
-    UnsupportedParallelism,
+    /// The TP/PP shape cannot be mapped onto the model: a pipeline stage
+    /// or tensor slice would own nothing. (Until PR 4 this variant
+    /// rejected *any* `tp·pp > 1`; the live runtime now runs real shard
+    /// groups and only genuinely impossible shapes are refused.)
+    UnsupportedParallelism {
+        /// Configured tensor-parallel degree.
+        tp: usize,
+        /// Configured pipeline-parallel degree.
+        pp: usize,
+        /// Why the shape cannot run.
+        reason: String,
+    },
     /// The global batch does not divide evenly over the DP ranks.
     BatchNotDivisible {
         /// Configured global batch.
@@ -95,8 +105,8 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ConfigError::UnsupportedParallelism => {
-                write!(f, "live runtime requires tp = pp = 1")
+            ConfigError::UnsupportedParallelism { tp, pp, reason } => {
+                write!(f, "unsupported TP={tp}/PP={pp} shape: {reason}")
             }
             ConfigError::BatchNotDivisible { batch, dp } => {
                 write!(f, "global batch {batch} must divide over dp {dp}")
@@ -246,12 +256,15 @@ impl RuntimeConfig {
         }
     }
 
-    /// Number of rank threads (`dp`, since `tp = pp = 1`).
+    /// Number of rank threads (`dp · tp · pp`): one OS thread per global
+    /// rank of the grid.
     pub fn world_size(&self) -> usize {
-        self.topology.dp()
+        self.topology.world_size()
     }
 
-    /// Sequences each rank computes per iteration.
+    /// Sequences each rank computes per iteration: the global batch
+    /// splits over the DP axis; the `tp · pp` members of one shard group
+    /// step the same DP slice.
     pub fn batch_per_rank(&self) -> usize {
         self.batch / self.topology.dp()
     }
@@ -262,8 +275,26 @@ impl RuntimeConfig {
     ///
     /// Returns the first [`ConfigError`] found.
     pub fn validate(&self) -> Result<(), ConfigError> {
-        if self.topology.tp() != 1 || self.topology.pp() != 1 {
-            return Err(ConfigError::UnsupportedParallelism);
+        let (tp, pp) = (self.topology.tp(), self.topology.pp());
+        if pp > self.model.num_layers() {
+            return Err(ConfigError::UnsupportedParallelism {
+                tp,
+                pp,
+                reason: format!(
+                    "{pp} pipeline stages over {} layers leaves a stage with no layer",
+                    self.model.num_layers()
+                ),
+            });
+        }
+        if tp > self.model.hidden_size() {
+            return Err(ConfigError::UnsupportedParallelism {
+                tp,
+                pp,
+                reason: format!(
+                    "{tp} tensor slices over hidden size {} leaves a slice with no column",
+                    self.model.hidden_size()
+                ),
+            });
         }
         let dp = self.topology.dp();
         if self.batch == 0 || !self.batch.is_multiple_of(dp) {
@@ -309,7 +340,7 @@ impl RuntimeConfig {
         for event in &self.stragglers {
             // The finiteness check also rejects NaN, which would slip
             // through a plain `factor < 1.0` comparison.
-            if event.rank >= dp
+            if event.rank >= self.world_size()
                 || !event.factor.is_finite()
                 || event.factor < 1.0
                 || event.duration == 0
@@ -476,12 +507,78 @@ mod tests {
     }
 
     #[test]
-    fn tp_pp_rejected() {
+    fn supported_tp_pp_shapes_accepted() {
+        // tiny_lm_8e has 4 layers, so pp <= 4 and any small tp is fine.
+        for (nodes, gpn, dp, tp, pp, ep) in
+            [(2, 8, 4, 4, 1, 4), (2, 8, 4, 1, 4, 2), (2, 8, 2, 2, 4, 2)]
+        {
+            let topology = ParallelTopology::new(nodes, gpn, dp, tp, pp, ep).unwrap();
+            let cfg = RuntimeConfig {
+                batch: dp,
+                ..RuntimeConfig::tiny(topology)
+            };
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("shape {topology} must validate: {e}"));
+            assert_eq!(cfg.world_size(), dp * tp * pp);
+            assert_eq!(cfg.batch_per_rank(), 1);
+        }
+    }
+
+    #[test]
+    fn starved_pipeline_stage_rejected() {
+        // 8 pipeline stages over the tiny model's 4 layers: a stage would
+        // own no layer.
         let cfg = RuntimeConfig {
-            topology: ParallelTopology::new(2, 8, 4, 4, 1, 4).unwrap(),
-            batch: 4,
+            topology: ParallelTopology::new(2, 8, 2, 1, 8, 2).unwrap(),
+            batch: 2,
             ..RuntimeConfig::tiny(topo())
         };
-        assert_eq!(cfg.validate(), Err(ConfigError::UnsupportedParallelism));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::UnsupportedParallelism { pp: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn starved_tensor_slice_rejected() {
+        let hidden = RuntimeConfig::tiny(topo()).model.hidden_size();
+        let tp = hidden + 1;
+        // Build a grid wide enough to hold the oversized tp degree.
+        let cfg = RuntimeConfig {
+            topology: ParallelTopology::new(1, 2 * tp, 2, tp, 1, 2).unwrap(),
+            batch: 2,
+            ..RuntimeConfig::tiny(topo())
+        };
+        match cfg.validate() {
+            Err(ConfigError::UnsupportedParallelism {
+                tp: got, reason, ..
+            }) => {
+                assert_eq!(got, tp);
+                assert!(reason.contains("slice"), "reason: {reason}");
+            }
+            other => panic!("expected UnsupportedParallelism, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn straggler_rank_bound_is_the_global_world() {
+        // dp = 2, tp = 2, pp = 2: global ranks 0..8 are all valid
+        // straggler victims even though dp is only 2.
+        let topology = ParallelTopology::new(1, 8, 2, 2, 2, 2).unwrap();
+        let ok = RuntimeConfig {
+            stragglers: vec![SlowEvent::once(2, 7, 2.0)],
+            batch: 2,
+            ..RuntimeConfig::tiny(topology)
+        };
+        ok.validate().unwrap();
+        let bad = RuntimeConfig {
+            stragglers: vec![SlowEvent::once(2, 8, 2.0)],
+            batch: 2,
+            ..RuntimeConfig::tiny(topology)
+        };
+        assert!(matches!(
+            bad.validate(),
+            Err(ConfigError::BadStraggler { rank: 8, .. })
+        ));
     }
 }

@@ -13,12 +13,12 @@
 //! same config produces bitwise-identical final parameters, which the
 //! coordinator verifies by comparing every rank's parameter checksum.
 
-use crate::collective::{CollectiveKind, RingMesh};
+use crate::collective::{CollectiveKind, GroupMesh, RingMesh};
 use crate::config::{CheckpointMode, ConfigError, RuntimeConfig};
 use crate::injector::FaultInjector;
 use crate::metrics::{EventKind, MetricsRegistry, Phase, RunSummary};
 use crate::node::NodeRuntime;
-use crate::rank::{run_rank, RankCommand, RankContext, RankEvent};
+use crate::rank::{owner_coord, run_rank, RankCommand, RankContext, RankEvent};
 use crate::recovery_exec::{execute_recovery, RecoveryOutcome};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use moc_ckpt::{ChainStore, EngineStats, PartialPlan};
@@ -118,12 +118,29 @@ impl Coordinator {
     }
 }
 
+/// Group-collective statistics every step reply carries.
+#[derive(Clone, Copy)]
+struct GroupStats {
+    tp_consistent: bool,
+    tp_sync_secs: f64,
+    pp_wait_secs: f64,
+}
+
 /// One grad reply (star collective).
 struct GradResult {
     grad: Vec<f32>,
     expert_loads: Vec<Vec<u64>>,
     compute_secs: f64,
     stall_secs: f64,
+    group: GroupStats,
+}
+
+/// One rank's report from a star iteration.
+enum StarReply {
+    /// The rank computed and shipped its gradient.
+    Grad(GradResult),
+    /// The rank abandoned the iteration after a group-collective timeout.
+    Aborted,
 }
 
 /// One rank's report from a ring iteration.
@@ -143,6 +160,7 @@ struct RingDone {
     all_gather_secs: f64,
     ring_wait_secs: f64,
     apply_secs: f64,
+    group: GroupStats,
 }
 
 /// In-flight run state.
@@ -177,17 +195,21 @@ struct Run {
     module_names: Vec<String>,
     /// Flattened-gradient length, fixed by the model architecture.
     grad_len: usize,
-    /// The live ring mesh (ring collective only); rebuilt after every
-    /// recovery so stranded messages die with their channels.
-    mesh: Option<RingMesh>,
+    /// The live ring meshes, one per DP gradient group (ring collective
+    /// only); rebuilt after every recovery so stranded messages die with
+    /// their channels.
+    meshes: Vec<RingMesh>,
+    /// TP/PP group wiring (mixed-parallelism worlds only); rebuilt with
+    /// the ring meshes.
+    group_mesh: Option<GroupMesh>,
     /// Iterations strictly below this bound run on the star fallback
     /// (set after a ring abort; 0 when the ring is healthy).
     star_fallback_until: u64,
-    /// Reduced-gradient buffer reused across star iterations: the Arc is
-    /// reclaimed once every rank dropped its clone (guaranteed by the
-    /// next iteration's gradient barrier), so the steady state does not
-    /// allocate per iteration.
-    apply_buf: Arc<Vec<f32>>,
+    /// Per-DP-group reduced-gradient buffers reused across star
+    /// iterations: each Arc is reclaimed once every group member dropped
+    /// its clone (guaranteed by the next iteration's gradient barrier),
+    /// so the steady state does not allocate per iteration.
+    apply_bufs: Vec<Arc<Vec<f32>>>,
     /// Recoveries triggered since the last completed iteration. Failure
     /// detection is timeout-based, so a rank that is merely slower than
     /// `heartbeat_timeout` is indistinguishable from a dead one; if the
@@ -256,35 +278,58 @@ impl Run {
             k_trace: Vec::new(),
             module_names,
             grad_len,
-            mesh: None,
+            meshes: Vec::new(),
+            group_mesh: None,
             star_fallback_until: 0,
-            apply_buf: Arc::new(Vec::new()),
+            apply_bufs: Vec::new(),
             recoveries_without_progress: 0,
         };
+        run.apply_bufs = (0..run.config.topology.num_dp_groups())
+            .map(|_| Arc::new(Vec::new()))
+            .collect();
         for rank in 0..world {
             let (tx, handle) = run.spawn_rank(rank);
             run.cmd_txs.push(tx);
             run.handles.push(Some(handle));
         }
-        if run.config.collective == CollectiveKind::Ring {
-            run.build_ring();
-        }
+        run.build_links();
         Ok(run)
     }
 
-    /// Builds a fresh ring mesh and hands every rank its endpoints. The
-    /// previous mesh (if any) is dropped, which drops any messages an
-    /// aborted collective stranded in its channels.
-    fn build_ring(&mut self) {
-        let mesh = RingMesh::new(self.world(), self.grad_len, self.config.ring_chunk);
-        self.metrics.collective_allocs += mesh.pool().preallocated() as u64;
-        for (rank, tx) in self.cmd_txs.iter().enumerate() {
-            tx.send(RankCommand::InstallRing {
-                endpoints: mesh.endpoints(rank),
-            })
-            .expect("rank thread alive");
+    /// Builds fresh collective wiring — one ring mesh per DP gradient
+    /// group (ring collective only) plus the TP/PP group mesh (mixed
+    /// parallelism only) — and hands every rank its endpoints. The
+    /// previous meshes (if any) are dropped, which drops any messages an
+    /// aborted collective stranded in their channels.
+    fn build_links(&mut self) {
+        let topo = self.config.topology;
+        let num_groups = topo.num_dp_groups();
+        self.meshes = if self.config.collective == CollectiveKind::Ring {
+            (0..num_groups)
+                .map(|_| RingMesh::new(topo.dp(), self.grad_len, self.config.ring_chunk))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        for mesh in &self.meshes {
+            self.metrics.collective_allocs += mesh.pool().preallocated() as u64;
         }
-        self.mesh = Some(mesh);
+        self.group_mesh = (num_groups > 1).then(|| GroupMesh::new(&topo));
+        if self.meshes.is_empty() && self.group_mesh.is_none() {
+            return; // flat star world: nothing to install
+        }
+        for (rank, tx) in self.cmd_txs.iter().enumerate() {
+            // A rank's DP group is its position-independent coordinate
+            // pair `(tp, pp)`; its slot on that group's ring is its DP
+            // index.
+            let ring = self
+                .meshes
+                .get(rank % num_groups)
+                .map(|m| m.endpoints(rank / num_groups));
+            let groups = self.group_mesh.as_ref().map(|g| g.endpoints(rank));
+            tx.send(RankCommand::InstallLinks { ring, groups })
+                .expect("rank thread alive");
+        }
     }
 
     /// The collective iteration `it` runs on: the configured one, unless
@@ -300,6 +345,7 @@ impl Run {
         let (tx, rx) = unbounded();
         let ctx = RankContext {
             rank,
+            coord: self.config.topology.coords_of(rank),
             config: self.config.clone(),
             commands: rx,
             events: self.events_tx.clone(),
@@ -316,7 +362,28 @@ impl Run {
     }
 
     fn node_of(&self, rank: usize) -> usize {
-        self.config.topology.node_of(rank)
+        self.config.topology.node_of_global(rank)
+    }
+
+    /// Records per-iteration TP/PP group statistics: TP divergences (the
+    /// replica-consistency verdicts) plus the TP-sync and pipeline-bubble
+    /// phases, charged as the max across ranks. No-ops in a flat world,
+    /// keeping baseline summaries free of empty phases.
+    fn record_group_stats(&mut self, stats: impl Iterator<Item = (usize, GroupStats)>) {
+        if self.config.topology.num_dp_groups() == 1 {
+            return;
+        }
+        let mut max_tp = 0.0f64;
+        let mut max_pp = 0.0f64;
+        for (_, s) in stats {
+            if !s.tp_consistent {
+                self.metrics.tp_divergences += 1;
+            }
+            max_tp = max_tp.max(s.tp_sync_secs);
+            max_pp = max_pp.max(s.pp_wait_secs);
+        }
+        self.metrics.record(Phase::TpSync, max_tp);
+        self.metrics.record(Phase::PpBubble, max_pp);
     }
 
     fn send_all(&self, command: &RankCommand) {
@@ -431,20 +498,33 @@ impl Run {
         self.routed_at.insert(0, self.cum_routed.clone());
     }
 
-    /// Star-collective exchange: gather every rank's gradient, reduce in
-    /// rank order on the coordinator thread, broadcast, barrier on the
-    /// apply. Returns `Some(resume)` when a fault was detected and
-    /// recovered.
+    /// Star-collective exchange: gather every rank's gradient, reduce
+    /// each DP gradient group in DP order on the coordinator thread,
+    /// broadcast per group, barrier on the apply. Returns `Some(resume)`
+    /// when a fault was detected and recovered.
     fn exchange_star(&mut self, it: u64) -> Result<Option<u64>, RuntimeError> {
         let collect_start = Instant::now();
-        let grads = self.collect_grads(it);
-        if grads.len() < self.world() {
-            let missing: Vec<usize> = (0..self.world())
-                .filter(|r| !grads.contains_key(r))
-                .collect();
-            let resume = self.handle_exchange_fault(it, &missing, &[], false, collect_start)?;
+        let replies = self.collect_star(it);
+        let missing: Vec<usize> = (0..self.world())
+            .filter(|r| !replies.contains_key(r))
+            .collect();
+        let aborted: Vec<usize> = replies
+            .iter()
+            .filter(|(_, r)| matches!(r, StarReply::Aborted))
+            .map(|(&rank, _)| rank)
+            .collect();
+        if !missing.is_empty() || !aborted.is_empty() {
+            let resume =
+                self.handle_exchange_fault(it, &missing, &aborted, false, collect_start)?;
             return Ok(Some(resume));
         }
+        let grads: BTreeMap<usize, GradResult> = replies
+            .into_iter()
+            .map(|(rank, r)| match r {
+                StarReply::Grad(g) => (rank, g),
+                StarReply::Aborted => unreachable!("aborts handled above"),
+            })
+            .collect();
         let max_compute = grads
             .values()
             .map(|g| g.compute_secs)
@@ -455,41 +535,55 @@ impl Run {
                 self.metrics.record(Phase::StragglerStall, g.stall_secs);
             }
         }
+        self.record_group_stats(grads.iter().map(|(&rank, g)| (rank, g.group)));
 
-        // Reduce: rank-order left fold into the reused scratch buffer,
-        // then average. The fold is seeded by *copying* rank 0's
-        // gradient — not by adding it to zero, which would flip -0.0 to
-        // +0.0 and diverge bitwise from the ring's fold. `Arc::get_mut`
-        // succeeds in steady state because every rank drops its clone of
-        // the previous broadcast before sending this iteration's
-        // gradient.
-        let world = self.world();
+        // Reduce each DP group: DP-order left fold into the group's
+        // reused scratch buffer, then average by the group size. The fold
+        // is seeded by *copying* the dp-0 member's gradient — not by
+        // adding it to zero, which would flip -0.0 to +0.0 and diverge
+        // bitwise from the ring's fold. `Arc::get_mut` succeeds in steady
+        // state because every rank drops its clone of the previous
+        // broadcast before sending this iteration's gradient.
+        let dp = self.config.topology.dp();
+        let num_groups = self.config.topology.num_dp_groups();
         let start = Instant::now();
-        if Arc::get_mut(&mut self.apply_buf).is_none() {
-            self.apply_buf = Arc::new(Vec::new());
-        }
-        let sum = Arc::get_mut(&mut self.apply_buf).expect("freshly replaced Arc");
-        sum.clear();
-        sum.extend_from_slice(&grads[&0].grad);
-        for rank in 1..world {
-            for (s, &x) in sum.iter_mut().zip(&grads[&rank].grad) {
-                *s += x;
+        for group in 0..num_groups {
+            let buf = &mut self.apply_bufs[group];
+            if Arc::get_mut(buf).is_none() {
+                *buf = Arc::new(Vec::new());
             }
-        }
-        let inv = 1.0 / world as f32;
-        for s in sum.iter_mut() {
-            *s *= inv;
+            let sum = Arc::get_mut(buf).expect("freshly replaced Arc");
+            sum.clear();
+            sum.extend_from_slice(&grads[&group].grad);
+            for d in 1..dp {
+                let member = d * num_groups + group;
+                for (s, &x) in sum.iter_mut().zip(&grads[&member].grad) {
+                    *s += x;
+                }
+            }
+            let inv = 1.0 / dp as f32;
+            for s in sum.iter_mut() {
+                *s *= inv;
+            }
         }
         self.metrics
             .record(Phase::Reduce, start.elapsed().as_secs_f64());
-        self.record_routing(grads.values().map(|g| &g.expert_loads));
+        self.record_routing(
+            grads
+                .iter()
+                .filter(|(&rank, _)| rank % num_groups == 0)
+                .map(|(_, g)| &g.expert_loads),
+        );
 
-        // Broadcast the reduced gradient; every rank applies the same
-        // Adam step, keeping replicas bitwise identical.
+        // Broadcast each group's reduced gradient; every member applies
+        // the same Adam step, keeping replicas bitwise identical.
         let apply_start = Instant::now();
-        self.send_all(&RankCommand::Apply {
-            grad: self.apply_buf.clone(),
-        });
+        for (rank, tx) in self.cmd_txs.iter().enumerate() {
+            tx.send(RankCommand::Apply {
+                grad: self.apply_bufs[rank % num_groups].clone(),
+            })
+            .expect("rank thread alive");
+        }
         self.wait_applied();
         self.metrics
             .record(Phase::Apply, apply_start.elapsed().as_secs_f64());
@@ -557,9 +651,16 @@ impl Run {
         // the critical path.
         let overlap = (sum_busy - max_collective_wall).max(0.0);
         self.metrics.record(Phase::CommOverlap, overlap);
-        self.record_routing(replies.values().filter_map(|r| match r {
-            RingReply::Done(d) => Some(&d.expert_loads),
+        self.record_group_stats(replies.iter().filter_map(|(&rank, r)| match r {
+            RingReply::Done(d) => Some((rank, d.group)),
             RingReply::Aborted => None,
+        }));
+        // Routing statistics come from each shard group's representative
+        // only (TP/PP members duplicate the same DP slice).
+        let num_groups = self.config.topology.num_dp_groups();
+        self.record_routing(replies.iter().filter_map(|(&rank, r)| match r {
+            RingReply::Done(d) if rank % num_groups == 0 => Some(&d.expert_loads),
+            _ => None,
         }));
         Ok(None)
     }
@@ -585,13 +686,19 @@ impl Run {
                 },
             );
         }
-        if ring {
-            self.metrics.ring_aborts += 1;
+        if !aborted.is_empty() {
+            if ring {
+                self.metrics.ring_aborts += 1;
+            }
             self.metrics.event(
                 it,
                 EventKind::CollectiveAbort {
                     aborted_ranks: aborted.to_vec(),
-                    fallback_iterations: self.config.ring_fallback_iterations,
+                    fallback_iterations: if ring {
+                        self.config.ring_fallback_iterations
+                    } else {
+                        0
+                    },
                 },
             );
         }
@@ -621,10 +728,20 @@ impl Run {
         }
     }
 
-    fn collect_grads(&mut self, iteration: u64) -> BTreeMap<usize, GradResult> {
-        let mut grads = BTreeMap::new();
-        while grads.len() < self.world() {
-            match self.events.recv_timeout(self.config.heartbeat_timeout) {
+    /// Collects every rank's star report for `iteration`. In a mixed
+    /// parallelism world the per-receive window doubles (like the ring
+    /// collector's): survivors of a mid-group death only report after
+    /// their own relay timeout fires. A flat DP world keeps the single
+    /// heartbeat window, preserving the baseline's detection latency.
+    fn collect_star(&mut self, iteration: u64) -> BTreeMap<usize, StarReply> {
+        let mut replies = BTreeMap::new();
+        let window = if self.config.topology.num_dp_groups() > 1 {
+            self.config.heartbeat_timeout * 2
+        } else {
+            self.config.heartbeat_timeout
+        };
+        while replies.len() < self.world() {
+            match self.events.recv_timeout(window) {
                 Ok(RankEvent::Grad {
                     rank,
                     iteration: it,
@@ -633,23 +750,38 @@ impl Run {
                     expert_loads,
                     compute_secs,
                     stall_secs,
+                    tp_consistent,
+                    tp_sync_secs,
+                    pp_wait_secs,
                 }) if it == iteration && epoch == self.epoch => {
-                    grads.insert(
+                    replies.insert(
                         rank,
-                        GradResult {
+                        StarReply::Grad(GradResult {
                             grad,
                             expert_loads,
                             compute_secs,
                             stall_secs,
-                        },
+                            group: GroupStats {
+                                tp_consistent,
+                                tp_sync_secs,
+                                pp_wait_secs,
+                            },
+                        }),
                     );
+                }
+                Ok(RankEvent::StepAborted {
+                    rank,
+                    iteration: it,
+                    epoch,
+                }) if it == iteration && epoch == self.epoch => {
+                    replies.insert(rank, StarReply::Aborted);
                 }
                 Ok(_) => {} // stale event from before a recovery
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        grads
+        replies
     }
 
     /// Collects every rank's ring report for `iteration`. The window per
@@ -672,6 +804,9 @@ impl Run {
                     all_gather_secs,
                     ring_wait_secs,
                     apply_secs,
+                    tp_consistent,
+                    tp_sync_secs,
+                    pp_wait_secs,
                 }) if it == iteration && epoch == self.epoch => {
                     replies.insert(
                         rank,
@@ -683,10 +818,15 @@ impl Run {
                             all_gather_secs,
                             ring_wait_secs,
                             apply_secs,
+                            group: GroupStats {
+                                tp_consistent,
+                                tp_sync_secs,
+                                pp_wait_secs,
+                            },
                         }),
                     );
                 }
-                Ok(RankEvent::RingAborted {
+                Ok(RankEvent::StepAborted {
                     rank,
                     iteration: it,
                     epoch,
@@ -719,12 +859,13 @@ impl Run {
         }
     }
 
-    /// Waits for rank 0's apply acknowledgement (the barrier release).
-    /// Non-matching events are stale and discarded.
+    /// Waits for every rank's apply acknowledgement (the barrier
+    /// release). Non-matching events are stale and discarded.
     fn wait_applied(&self) {
-        loop {
-            if let RankEvent::Applied = self.recv_reply("apply barrier") {
-                return;
+        let mut acks = HashSet::new();
+        while acks.len() < self.world() {
+            if let RankEvent::Applied { rank } = self.recv_reply("apply barrier") {
+                acks.insert(rank);
             }
         }
     }
@@ -935,9 +1076,15 @@ impl Run {
             self.plan = self.plan.with_k(new_k, k_persist);
         }
 
-        // Restart the dead nodes' ranks with fresh threads.
+        // Restart the dead nodes' ranks with fresh threads, and account
+        // which shard groups the failure touched: a dead rank drags its
+        // whole shard group — the `tp · pp` ranks sharing its DP index,
+        // which jointly own the group's checkpoint shards — through the
+        // rollback.
+        let mut shard_groups: BTreeSet<usize> = BTreeSet::new();
         for &node in dead_nodes {
-            for rank in self.config.topology.ranks_on_node(node) {
+            for rank in self.config.topology.global_ranks_on_node(node) {
+                shard_groups.insert(self.config.topology.coords_of(rank).dp);
                 let (tx, handle) = self.spawn_rank(rank);
                 let old_tx = std::mem::replace(&mut self.cmd_txs[rank], tx);
                 drop(old_tx);
@@ -948,14 +1095,26 @@ impl Run {
             }
             self.nodes[node].set_alive(true);
         }
+        self.metrics.shard_groups_recovered += shard_groups.len() as u64;
+        // How many restored expert shards the dead shard groups own under
+        // the partial plan's group keying — the part of the restore that
+        // recovered *their* state rather than rolling survivors back.
+        let group_owned_shards = outcome
+            .plan
+            .actions
+            .iter()
+            .filter(|a| {
+                let coord = owner_coord(&self.config.topology, &self.config.model, &a.module);
+                shard_groups.contains(&coord.dp)
+            })
+            .count();
 
-        // A ring run aborts into the star fallback: rebuild the mesh
-        // (fresh channels drop anything the aborted collective stranded,
-        // and respawned ranks need endpoints), then run the configured
-        // window of post-recovery iterations on the star path before the
-        // ring takes over again.
+        // Rebuild the collective wiring: fresh channels drop anything the
+        // aborted collectives stranded, and respawned ranks need
+        // endpoints. A ring run additionally falls back to the star path
+        // for the configured window of post-recovery iterations.
+        self.build_links();
         if self.config.collective == CollectiveKind::Ring {
-            self.build_ring();
             self.star_fallback_until = resume + self.config.ring_fallback_iterations + 1;
         }
 
@@ -991,6 +1150,8 @@ impl Run {
                 memory_hits: outcome.memory_hits,
                 storage_hits: outcome.storage_hits,
                 total_secs: recovery_start.elapsed().as_secs_f64(),
+                shard_groups: shard_groups.into_iter().collect(),
+                group_owned_shards,
             },
         );
         Ok(resume)
@@ -1073,6 +1234,8 @@ impl Run {
             ring_aborts: self.metrics.ring_aborts,
             collective_allocs: self.metrics.collective_allocs,
             recoveries: self.metrics.recoveries,
+            shard_groups_recovered: self.metrics.shard_groups_recovered,
+            tp_groups_consistent: self.metrics.tp_divergences == 0,
             stall_count: self.metrics.stall_count,
             recovered_bytes: self.metrics.recovered_bytes,
             memory_hits: self.metrics.memory_hits,

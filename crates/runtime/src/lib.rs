@@ -3,9 +3,13 @@
 //! Where `moc-cluster` *models* checkpoint timelines analytically and
 //! `moc-train`'s harness replays faults inside a single-threaded loop,
 //! this crate actually runs the scenario the paper is about: a
-//! multi-rank data-parallel training job in which a node dies
-//! mid-iteration and two-level recovery happens live, with wall-clock
-//! measurements of every phase.
+//! multi-rank hybrid-parallel (DP × TP × PP with EP inside DP) training
+//! job in which a node dies mid-iteration and two-level recovery
+//! happens live, with wall-clock measurements of every phase. Every
+//! global rank of the grid is an OS thread; gradients all-reduce per DP
+//! gradient group, TP groups exchange replica-consistency CRCs, PP
+//! chains relay stage tokens, and checkpoint duties are owned per shard
+//! group ([`owner_coord`]).
 //!
 //! * [`config`] — [`RuntimeConfig`]: model, topology, PEC policy,
 //!   sync/async checkpoint mode, collective choice, fault and straggler
@@ -40,16 +44,21 @@
 //! # Determinism
 //!
 //! Batches, gate noise, expert selection and fault schedules are all pure
-//! functions of the configured seed and iteration number, and gradients
-//! are reduced in one fixed combine order — the rank-order left fold
-//! `((g₀ + g₁) + g₂) + …` scaled by `1/world` — regardless of which
+//! functions of the configured seed and iteration number (batch slice
+//! and gate noise keyed by the *DP coordinate*, so a shard group's
+//! members step identically), and gradients are reduced in one fixed
+//! combine order — the DP-order left fold `((g₀ + g₁) + g₂) + …` scaled
+//! by `1/dp` within each DP gradient group — regardless of which
 //! collective runs it and independent of message arrival timing (see
 //! [`collective::ring`]). So a run's final parameters are bitwise
 //! reproducible, ring and star runs of the same seed are bitwise
-//! identical, and a faulted run under full checkpointing recovers to
-//! exactly the state an unfaulted run had at the resume iteration. The
-//! coordinator cross-checks every rank's final parameter checksum and
-//! reports [`RunSummary::replicas_consistent`].
+//! identical, a `(dp, tp, pp)` grid run is bitwise identical to the
+//! `tp = pp = 1` baseline with the same `dp`, and a faulted run under
+//! full checkpointing recovers to exactly the state an unfaulted run had
+//! at the resume iteration. The coordinator cross-checks every rank's
+//! final parameter checksum ([`RunSummary::replicas_consistent`]) and
+//! every TP group's per-iteration CRC exchange
+//! ([`RunSummary::tp_groups_consistent`]).
 //!
 //! # Examples
 //!
@@ -83,12 +92,15 @@ pub mod node;
 pub(crate) mod rank;
 pub mod recovery_exec;
 
-pub use collective::{ChunkPool, CollectiveKind, RingAbort, RingMesh, RingTimings};
+pub use collective::{
+    ChunkPool, CollectiveKind, GroupAbort, GroupEndpoints, GroupMesh, RingAbort, RingMesh,
+    RingTimings,
+};
 pub use config::{CheckpointMode, ConfigError, RuntimeConfig};
 pub use coordinator::{Coordinator, RuntimeError};
 pub use injector::{FaultInjector, SlowEvent};
 pub use metrics::{EventKind, MetricsRegistry, Phase, PhaseStats, RunSummary, TimelineEvent};
 pub use moc_ckpt::{ChainStore, EngineConfig as CkptEngineConfig, EngineStats as CkptEngineStats};
 pub use node::NodeRuntime;
-pub use rank::owner_rank;
+pub use rank::{owner_coord, owner_rank};
 pub use recovery_exec::{execute_recovery, RecoveryOutcome};

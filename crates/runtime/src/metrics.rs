@@ -36,6 +36,12 @@ pub enum Phase {
     CommOverlap,
     /// Stall injected into a straggling rank's step.
     StragglerStall,
+    /// TP replica-consistency exchange (max across ranks; only recorded
+    /// in mixed-parallelism worlds).
+    TpSync,
+    /// Blocking time in the PP stage relay — the pipeline bubble (max
+    /// across ranks; only recorded in mixed-parallelism worlds).
+    PpBubble,
     /// Optimizer step: wall time of the broadcast barrier round (star)
     /// or the slowest rank's local load + Adam step (ring).
     Apply,
@@ -64,6 +70,8 @@ impl Phase {
             Phase::RingWait => "ring-wait",
             Phase::CommOverlap => "comm-overlap",
             Phase::StragglerStall => "straggler-stall",
+            Phase::TpSync => "tp-sync",
+            Phase::PpBubble => "pp-bubble",
             Phase::Apply => "apply",
             Phase::CkptSerialize => "ckpt-serialize",
             Phase::CkptSubmit => "ckpt-submit",
@@ -141,6 +149,13 @@ pub enum EventKind {
         storage_hits: usize,
         /// Total wall seconds of the recovery.
         total_secs: f64,
+        /// DP indices of the shard groups the dead ranks belonged to —
+        /// the groups whose state the recovery targeted.
+        shard_groups: Vec<usize>,
+        /// Restored shards owned by those shard groups under the
+        /// group-keyed checkpoint placement (the rest of the restore is
+        /// survivor rollback).
+        group_owned_shards: usize,
     },
     /// A validation evaluation.
     Eval {
@@ -184,6 +199,10 @@ pub struct MetricsRegistry {
     pub collective_allocs: u64,
     /// Recoveries executed.
     pub recoveries: u64,
+    /// Shard groups dragged through a recovery (summed over recoveries).
+    pub shard_groups_recovered: u64,
+    /// Step replies whose TP group exchanged mismatching parameter CRCs.
+    pub tp_divergences: u64,
     /// Bytes fetched during recoveries.
     pub recovered_bytes: u64,
     /// Recovery shards served from CPU memory.
@@ -272,6 +291,13 @@ pub struct RunSummary {
     pub collective_allocs: u64,
     /// Recoveries executed.
     pub recoveries: u64,
+    /// Shard groups dragged through a recovery (summed over recoveries;
+    /// equals `recoveries × groups-per-dead-node` for node kills).
+    pub shard_groups_recovered: u64,
+    /// Whether every TP group's per-iteration replica-consistency
+    /// exchange saw bitwise-identical parameter CRCs (vacuously true
+    /// when `tp = 1`).
+    pub tp_groups_consistent: bool,
     /// Checkpoint submissions that stalled on buffer exhaustion.
     pub stall_count: u64,
     /// Bytes fetched during recoveries.
@@ -349,7 +375,9 @@ impl RunSummary {
         let collective_total = self.phase(Phase::Reduce).total_secs
             + self.phase(Phase::ReduceScatter).total_secs
             + self.phase(Phase::AllGather).total_secs
-            + self.phase(Phase::RingWait).total_secs;
+            + self.phase(Phase::RingWait).total_secs
+            + self.phase(Phase::TpSync).total_secs
+            + self.phase(Phase::PpBubble).total_secs;
         EventSimConfig {
             fb_sec: self.phase(Phase::Compute).mean_secs() + collective_total / exchanges,
             update_sec: self.phase(Phase::Apply).mean_secs(),

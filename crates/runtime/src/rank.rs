@@ -1,39 +1,48 @@
 //! Rank worker threads and the coordinator↔rank wire protocol.
 //!
-//! Each DP rank is an OS thread owning a full replica of the model (the
-//! paper's ZeRO-2 DP setting replicates weights; checkpoint *duties* are
-//! sharded, not the replicas). Ranks run a lock-step protocol over
-//! crossbeam channels:
+//! Each *global* rank of the DP × TP × PP grid is an OS thread owning a
+//! full replica of the model (the paper's ZeRO-2 DP setting replicates
+//! weights; checkpoint *duties* are sharded over the shard groups, not
+//! the replicas). A rank's [`moc_core::topology::RankCoord`] fixes its
+//! role: the `tp · pp` members of one DP index form a shard group and
+//! step the same DP batch slice with the same gate-noise seed, so the
+//! grid run is bitwise identical to the `tp = pp = 1` baseline with the
+//! same `dp`. Ranks run a lock-step protocol over crossbeam channels:
 //!
-//! 1. `Step`: compute forward+backward on the rank's slice of the global
-//!    batch, then exchange gradients through the collective the step
-//!    names — in star mode the flattened gradient is reported to the
-//!    coordinator, in ring mode the rank all-reduces with its ring peers
+//! 1. `Step`: exchange parameter CRCs around the TP consistency ring,
+//!    wait for the upstream pipeline stage's token, compute
+//!    forward+backward on the DP slice, relay tokens on (forward to the
+//!    next stage, backward to the previous), then exchange gradients
+//!    through the DP-group collective the step names — in star mode the
+//!    flattened gradient is reported to the coordinator, in ring mode
+//!    the rank all-reduces with its DP-group ring peers
 //!    ([`crate::collective::ring_all_reduce`]), applies the optimizer
 //!    step locally, and reports only timings and routing statistics.
-//! 2. `Apply` (star mode): load the reduced gradient and take an
+//! 2. `Apply` (star mode): load the group-reduced gradient and take an
 //!    identical Adam step — replicas stay bitwise identical.
 //! 3. `Checkpoint`: serialize the modules this rank *owns* under the
-//!    checkpoint-sharding placement and report the shard jobs.
+//!    group-aware checkpoint-sharding placement and report the shard
+//!    jobs.
 //! 4. `Restore`: overwrite local state from recovery blobs.
-//! 5. `InstallRing`: adopt fresh ring endpoints (sent at run start and
-//!    after every recovery, so aborted collectives can never leak
-//!    messages into the next epoch).
+//! 5. `InstallLinks`: adopt fresh ring/group endpoints (sent at run
+//!    start and after every recovery, so aborted collectives can never
+//!    leak messages into the next epoch).
 //!
 //! A `Step` carrying `die: true` makes the thread exit mid-iteration
 //! without reporting — the injected node kill. The coordinator only
-//! learns of it through the missing reply (star) or through the ring
-//! aborts the death causes in the surviving peers.
+//! learns of it through the missing reply (star), through the ring
+//! aborts the death causes in the DP-group peers, or through the
+//! stalled PP relays of its shard group.
 //!
-//! The flattened gradient lives in a per-thread buffer reused across
-//! iterations, so ring-mode steps perform zero gradient-buffer heap
-//! allocations after the first iteration.
+//! The flattened gradient and the CRC scratch live in per-thread
+//! buffers reused across iterations, so steady-state steps perform zero
+//! gradient-buffer heap allocations after the first iteration.
 
-use crate::collective::{ring_all_reduce, CollectiveKind, RingEndpoints};
+use crate::collective::{ring_all_reduce, CollectiveKind, GroupEndpoints, RingEndpoints};
 use crate::config::RuntimeConfig;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
-use moc_core::topology::ParallelTopology;
+use moc_core::topology::{ParallelTopology, RankCoord};
 use moc_core::twolevel::ShardJob;
 use moc_moe::{ExpertId, MoeModelConfig};
 use moc_store::{ShardKey, StatePart};
@@ -67,8 +76,13 @@ pub(crate) enum RankCommand {
         /// Injected straggler slowdown factor, if this rank is a victim.
         slow_factor: Option<f64>,
     },
-    /// Adopt fresh ring endpoints (run start and after every recovery).
-    InstallRing { endpoints: RingEndpoints },
+    /// Adopt fresh collective endpoints (run start and after every
+    /// recovery): the rank's DP-group ring (ring collective only) and
+    /// its TP/PP group links (mixed-parallelism worlds only).
+    InstallLinks {
+        ring: Option<RingEndpoints>,
+        groups: Option<GroupEndpoints>,
+    },
     /// Load the reduced gradient and apply the optimizer step (star).
     Apply { grad: Arc<Vec<f32>> },
     /// Serialize owned modules for the checkpoint at `iteration`.
@@ -98,9 +112,16 @@ pub(crate) enum RankEvent {
         compute_secs: f64,
         /// Injected straggler stall, 0 when the rank was not slowed.
         stall_secs: f64,
+        /// Whether the rank's TP group exchanged identical param CRCs.
+        tp_consistent: bool,
+        /// Time spent in the TP consistency exchange.
+        tp_sync_secs: f64,
+        /// Blocking time in the PP relay (the rank's pipeline bubble).
+        pp_wait_secs: f64,
     },
     /// Ring iteration result: the gradient was all-reduced peer-to-peer
-    /// and applied locally; only statistics travel to the coordinator.
+    /// within the DP group and applied locally; only statistics travel
+    /// to the coordinator.
     StepDone {
         rank: usize,
         iteration: u64,
@@ -117,16 +138,23 @@ pub(crate) enum RankEvent {
         ring_wait_secs: f64,
         /// Local optimizer step (load + Adam).
         apply_secs: f64,
+        /// Whether the rank's TP group exchanged identical param CRCs.
+        tp_consistent: bool,
+        /// Time spent in the TP consistency exchange.
+        tp_sync_secs: f64,
+        /// Blocking time in the PP relay (the rank's pipeline bubble).
+        pp_wait_secs: f64,
     },
-    /// The rank's ring collective timed out on a peer and was abandoned
-    /// without applying (the coordinator will recover and roll back).
-    RingAborted {
+    /// A group collective (DP ring, TP ring, or PP relay) timed out on a
+    /// peer and the iteration was abandoned without applying (the
+    /// coordinator will recover and roll back).
+    StepAborted {
         rank: usize,
         iteration: u64,
         epoch: u64,
     },
-    /// Rank 0's acknowledgement that the optimizer step was applied.
-    Applied,
+    /// A rank's acknowledgement that the optimizer step was applied.
+    Applied { rank: usize },
     /// Serialized checkpoint shards of the rank's owned modules.
     Shards {
         rank: usize,
@@ -148,29 +176,57 @@ pub(crate) enum RankEvent {
 /// Everything a rank thread needs.
 pub(crate) struct RankContext {
     pub rank: usize,
+    pub coord: RankCoord,
     pub config: RuntimeConfig,
     pub commands: Receiver<RankCommand>,
     pub events: Sender<RankEvent>,
 }
 
-/// The rank that owns checkpointing a module under the runtime's
-/// checkpoint-sharding placement: expert modules live on their EP rank
-/// (spread over EP groups by layer), non-expert modules spread over all
-/// DP ranks by a deterministic name hash — mirroring
-/// `moc_train::TrainingCheckpointer`'s node placement at rank granularity.
-pub fn owner_rank(topo: &ParallelTopology, model: &MoeModelConfig, module: &str) -> usize {
+/// The model layer a module belongs to (`layer{N}.…` names), if any.
+fn layer_of(module: &str) -> Option<usize> {
+    let rest = module.strip_prefix("layer")?;
+    let (layer_str, _) = rest.split_once('.')?;
+    layer_str.parse().ok()
+}
+
+/// The grid coordinates that own checkpointing a module under the
+/// runtime's group-aware checkpoint-sharding placement:
+///
+/// * **DP**: expert modules live on the shard group hosting them under
+///   the plan's group keying ([`moc_ckpt::shard_group_of_expert`]);
+///   non-expert modules spread over all DP indices by a deterministic
+///   name hash — mirroring `moc_train::TrainingCheckpointer`'s node
+///   placement.
+/// * **PP**: a module with a layer index lives on the pipeline stage
+///   owning that layer; layer-less modules (the embedding) live on
+///   stage 0.
+/// * **TP**: the owning tensor slice within the stage is spread by a
+///   second name hash, so TP peers share the group's serialization
+///   load.
+pub fn owner_coord(topo: &ParallelTopology, model: &MoeModelConfig, module: &str) -> RankCoord {
     let n = model.num_experts();
-    match expert_of(model, module) {
-        Some(id) => {
-            let ep_rank = topo.expert_ep_rank(id.expert, n);
-            let group = id.layer % topo.num_ep_groups();
-            group * topo.ep() + ep_rank
-        }
+    let dp = match expert_of(model, module) {
+        Some(id) => moc_ckpt::shard_group_of_expert(topo, id, n),
         None => {
             let h: usize = module.bytes().map(|b| b as usize).sum();
             h % topo.dp()
         }
-    }
+    };
+    let pp = match layer_of(module) {
+        Some(layer) => topo.stage_of_layer(layer, model.num_layers()),
+        None => 0,
+    };
+    let tp = module.bytes().fold(0usize, |acc, b| {
+        acc.wrapping_mul(31).wrapping_add(b as usize)
+    }) % topo.tp();
+    RankCoord { dp, tp, pp }
+}
+
+/// The global rank that owns checkpointing a module (see
+/// [`owner_coord`]). With `tp = pp = 1` this is exactly the DP owner of
+/// the pre-shard-group runtime.
+pub fn owner_rank(topo: &ParallelTopology, model: &MoeModelConfig, module: &str) -> usize {
+    topo.global_rank_of(owner_coord(topo, model, module))
 }
 
 /// Flattens every parameter gradient in registration order.
@@ -221,9 +277,26 @@ pub(crate) fn params_crc(params: &[f32]) -> u32 {
     moc_store::frame::crc32(&bytes)
 }
 
-/// Gate-noise seed of one rank at one iteration.
-pub(crate) fn noise_seed(seed: u64, iteration: u64, rank: usize) -> u64 {
-    seed ^ (iteration << 1) ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+/// CRC-32 over every parameter value in registration order, staged
+/// through a reused byte scratch — after warm-up the buffer's capacity
+/// suffices and the per-iteration TP consistency check allocates
+/// nothing.
+pub(crate) fn store_params_crc(store: &ParamStore, scratch: &mut Vec<u8>) -> u32 {
+    scratch.clear();
+    for p in store.params() {
+        for &x in p.value.data() {
+            scratch.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+    moc_store::frame::crc32(scratch)
+}
+
+/// Gate-noise seed of one shard group at one iteration. Keyed by the DP
+/// coordinate — not the global rank — so the `tp · pp` members of a
+/// shard group draw identical gate noise and a grid run reproduces the
+/// `tp = pp = 1` baseline bitwise.
+pub(crate) fn noise_seed(seed: u64, iteration: u64, dp: usize) -> u64 {
+    seed ^ (iteration << 1) ^ (dp as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// The rank thread body: processes commands until `Finish` or a `die`.
@@ -232,7 +305,10 @@ pub(crate) fn run_rank(ctx: RankContext) {
     let corpus = MarkovCorpus::new(cfg.model.vocab_size(), cfg.topics, cfg.seed);
     let mut model = TinyMoeLm::new(cfg.model.clone(), cfg.seed);
     let per = cfg.batch_per_rank();
-    let lo = ctx.rank * per;
+    // The batch slice follows the DP coordinate: every member of a shard
+    // group steps the same slice (TP/PP parallelize the model, not the
+    // data).
+    let lo = ctx.coord.dp * per;
 
     let owned: Vec<String> = model
         .store()
@@ -241,11 +317,14 @@ pub(crate) fn run_rank(ctx: RankContext) {
         .filter(|m| owner_rank(&cfg.topology, &cfg.model, m) == ctx.rank)
         .collect();
 
-    // Ring endpoints and the flattened-gradient buffer persist across
-    // iterations: the buffer is the rank's only gradient-sized scratch
-    // and is never reallocated after the first step.
+    // Collective endpoints and the flattened-gradient / CRC buffers
+    // persist across iterations: the gradient buffer is the rank's only
+    // gradient-sized scratch and is never reallocated after the first
+    // step.
     let mut ring: Option<RingEndpoints> = None;
+    let mut groups: Option<GroupEndpoints> = None;
     let mut grad_buf: Vec<f32> = Vec::new();
+    let mut crc_buf: Vec<u8> = Vec::new();
 
     while let Ok(command) = ctx.commands.recv() {
         match command {
@@ -256,11 +335,51 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 collective,
                 slow_factor,
             } => {
+                let abort = |_: crate::collective::GroupAbort| {
+                    let _ = ctx.events.send(RankEvent::StepAborted {
+                        rank: ctx.rank,
+                        iteration,
+                        epoch,
+                    });
+                };
+                // TP replica-consistency exchange on the entry params
+                // (the state every peer should share after the previous
+                // apply). Skipped entirely — including the
+                // O(|params|) CRC — when the TP degree is 1 (e.g. a
+                // PP-only grid).
+                let tp_start = Instant::now();
+                let mut tp_consistent = true;
+                let mut tp_sync_secs = 0.0;
+                if let Some(g) = groups.as_ref().filter(|g| g.tp > 1) {
+                    let crc = store_params_crc(model.store(), &mut crc_buf);
+                    match g.tp_exchange(crc, epoch, iteration, cfg.heartbeat_timeout) {
+                        Ok(consistent) => {
+                            tp_consistent = consistent;
+                            tp_sync_secs = tp_start.elapsed().as_secs_f64();
+                        }
+                        Err(e) => {
+                            abort(e);
+                            continue;
+                        }
+                    }
+                }
+                // PP forward relay: wait for the upstream stage's token.
+                let mut pp_wait_secs = 0.0;
+                if let Some(g) = &groups {
+                    match g.pp_forward_wait(epoch, iteration, cfg.heartbeat_timeout) {
+                        Ok(waited) => pp_wait_secs += waited,
+                        Err(e) => {
+                            abort(e);
+                            continue;
+                        }
+                    }
+                }
                 let start = Instant::now();
                 model.store_mut().zero_grads();
                 let global = corpus.batch(iteration - 1, cfg.batch, cfg.seq_len);
                 let sub = &global[lo..lo + per];
-                let stats = model.forward_backward(sub, noise_seed(cfg.seed, iteration, ctx.rank));
+                let stats =
+                    model.forward_backward(sub, noise_seed(cfg.seed, iteration, ctx.coord.dp));
                 let compute_secs = start.elapsed().as_secs_f64();
                 // An injected straggler stretches the step: the extra
                 // wall time is reported so stall amplification shows up
@@ -274,8 +393,24 @@ pub(crate) fn run_rank(ctx: RankContext) {
                     None => 0.0,
                 };
                 if die {
-                    // The node dies mid-iteration: work done, never reported.
+                    // The node dies mid-iteration: work done, never
+                    // reported, relay tokens never sent — the death
+                    // propagates through the group collectives.
                     return;
+                }
+                // PP relay: hand the activation token downstream, then
+                // run the backward leg (last stage initiates).
+                if let Some(g) = &groups {
+                    let relay = g
+                        .pp_forward_send(epoch, iteration)
+                        .and_then(|()| g.pp_backward(epoch, iteration, cfg.heartbeat_timeout));
+                    match relay {
+                        Ok(waited) => pp_wait_secs += waited,
+                        Err(e) => {
+                            abort(e);
+                            continue;
+                        }
+                    }
                 }
                 match collective {
                     CollectiveKind::Star => {
@@ -288,6 +423,9 @@ pub(crate) fn run_rank(ctx: RankContext) {
                             expert_loads: stats.expert_loads,
                             compute_secs,
                             stall_secs,
+                            tp_consistent,
+                            tp_sync_secs,
+                            pp_wait_secs,
                         });
                     }
                     CollectiveKind::Ring => {
@@ -315,6 +453,9 @@ pub(crate) fn run_rank(ctx: RankContext) {
                                     all_gather_secs: timings.all_gather_secs,
                                     ring_wait_secs: timings.wait_secs,
                                     apply_secs: apply_start.elapsed().as_secs_f64(),
+                                    tp_consistent,
+                                    tp_sync_secs,
+                                    pp_wait_secs,
                                 });
                             }
                             Err(_) => {
@@ -322,7 +463,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                                 // heartbeat: abandon the iteration
                                 // without applying; the coordinator
                                 // rolls everyone back.
-                                let _ = ctx.events.send(RankEvent::RingAborted {
+                                let _ = ctx.events.send(RankEvent::StepAborted {
                                     rank: ctx.rank,
                                     iteration,
                                     epoch,
@@ -332,15 +473,17 @@ pub(crate) fn run_rank(ctx: RankContext) {
                     }
                 }
             }
-            RankCommand::InstallRing { endpoints } => {
-                ring = Some(endpoints);
+            RankCommand::InstallLinks {
+                ring: new_ring,
+                groups: new_groups,
+            } => {
+                ring = new_ring;
+                groups = new_groups;
             }
             RankCommand::Apply { grad } => {
                 load_grads(model.store_mut(), &grad);
                 adam_step(model.store_mut(), &cfg.adam);
-                if ctx.rank == 0 {
-                    let _ = ctx.events.send(RankEvent::Applied);
-                }
+                let _ = ctx.events.send(RankEvent::Applied { rank: ctx.rank });
             }
             RankCommand::Checkpoint {
                 iteration,
@@ -439,6 +582,41 @@ mod tests {
         let l3 = owner_rank(&topo, &model, "layer3.expert0");
         assert_eq!(l1, 0);
         assert_eq!(l3, 8, "second MoE layer owned by the second EP group");
+    }
+
+    #[test]
+    fn owner_coord_spreads_over_stages_and_slices() {
+        // dp=2, tp=2, pp=2 over the 4-layer tiny model: layers 0-1 on
+        // stage 0, layers 2-3 on stage 1; the embedding on stage 0.
+        let topo = ParallelTopology::new(1, 8, 2, 2, 2, 2).unwrap();
+        let model = moc_moe::presets::tiny_lm_8e();
+        assert_eq!(owner_coord(&topo, &model, "layer1.expert0").pp, 0);
+        assert_eq!(owner_coord(&topo, &model, "layer3.expert0").pp, 1);
+        assert_eq!(owner_coord(&topo, &model, "embedding").pp, 0);
+        // Every owner is a valid global rank, and ownership is a
+        // partition: each module has exactly one owner in the world.
+        let m = TinyMoeLm::new(model.clone(), 1);
+        let mut seen_tp = std::collections::HashSet::new();
+        for module in m.store().module_names() {
+            let owner = owner_rank(&topo, &model, &module);
+            assert!(owner < topo.world_size(), "{module} -> {owner}");
+            seen_tp.insert(owner_coord(&topo, &model, &module).tp);
+        }
+        assert_eq!(seen_tp.len(), 2, "both tensor slices share the load");
+    }
+
+    #[test]
+    fn owner_rank_with_flat_topology_matches_dp_owner() {
+        // tp = pp = 1: the global owner must equal the historical DP
+        // owner, keeping pre-shard-group stores recoverable.
+        let topo = ParallelTopology::dp_ep(2, 4, 8, 8).unwrap();
+        let model = moc_moe::presets::tiny_lm_8e();
+        let m = TinyMoeLm::new(model.clone(), 1);
+        for module in m.store().module_names() {
+            let c = owner_coord(&topo, &model, &module);
+            assert_eq!((c.tp, c.pp), (0, 0));
+            assert_eq!(owner_rank(&topo, &model, &module), c.dp);
+        }
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Property tests of the group structure the runtime builds its
+//! collectives on: for arbitrary valid `(dp, tp, pp, ep)` grids, the DP
+//! gradient groups, TP rings, PP chains and shard groups each partition
+//! the global rank space exactly, group sizes multiply back to the
+//! world, and the coordinate mapping round-trips.
+
+use moc_core::topology::ParallelTopology;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Materializes an arbitrary valid topology from raw draws: `ep` is
+/// picked among the divisors of `dp`, and the node count among the
+/// divisors of the world, so every generated shape constructs.
+fn topology(dp: usize, tp: usize, pp: usize, ep_pick: usize, node_pick: usize) -> ParallelTopology {
+    let divisors: Vec<usize> = (1..=dp).filter(|e| dp.is_multiple_of(*e)).collect();
+    let ep = divisors[ep_pick % divisors.len()];
+    let world = dp * tp * pp;
+    let node_counts: Vec<usize> = (1..=world).filter(|n| world.is_multiple_of(*n)).collect();
+    let nodes = node_counts[node_pick % node_counts.len()];
+    ParallelTopology::new(nodes, world / nodes, dp, tp, pp, ep).expect("constructed shape is valid")
+}
+
+/// Checks that `groups` partitions `0..world`: every rank in exactly one
+/// group, all groups the stated size.
+fn assert_partition(world: usize, groups: &[Vec<usize>], size: usize, what: &str) {
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    for group in groups {
+        assert_eq!(group.len(), size, "{what} group size");
+        for &r in group {
+            assert!(r < world, "{what} member {r} outside world {world}");
+            assert!(seen.insert(r), "{what}: rank {r} in two groups");
+        }
+    }
+    assert_eq!(seen.len(), world, "{what}: every rank in a group");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn coords_roundtrip(
+        dp in 1usize..=6, tp in 1usize..=4, pp in 1usize..=4,
+        ep_pick in 0usize..64, node_pick in 0usize..64,
+    ) {
+        let topo = topology(dp, tp, pp, ep_pick, node_pick);
+        for r in 0..topo.world_size() {
+            let c = topo.coords_of(r);
+            prop_assert!(c.dp < topo.dp() && c.tp < topo.tp() && c.pp < topo.pp());
+            prop_assert_eq!(topo.global_rank_of(c), r);
+        }
+    }
+
+    #[test]
+    fn groups_partition_global_ranks(
+        dp in 1usize..=6, tp in 1usize..=4, pp in 1usize..=4,
+        ep_pick in 0usize..64, node_pick in 0usize..64,
+    ) {
+        let topo = topology(dp, tp, pp, ep_pick, node_pick);
+        let world = topo.world_size();
+        // Distinct DP groups: one per (tp, pp) pair, i.e. one per rank
+        // with DP coordinate 0.
+        let dp_groups: Vec<Vec<usize>> = (0..world)
+            .filter(|&r| topo.coords_of(r).dp == 0)
+            .map(|r| topo.dp_group(r))
+            .collect();
+        prop_assert_eq!(dp_groups.len(), topo.num_dp_groups());
+        assert_partition(world, &dp_groups, topo.dp(), "dp");
+
+        let tp_groups: Vec<Vec<usize>> = (0..world)
+            .filter(|&r| topo.coords_of(r).tp == 0)
+            .map(|r| topo.tp_group(r))
+            .collect();
+        assert_partition(world, &tp_groups, topo.tp(), "tp");
+
+        let pp_groups: Vec<Vec<usize>> = (0..world)
+            .filter(|&r| topo.coords_of(r).pp == 0)
+            .map(|r| topo.pp_group(r))
+            .collect();
+        assert_partition(world, &pp_groups, topo.pp(), "pp");
+
+        let shard_groups: Vec<Vec<usize>> = (0..topo.num_shard_groups())
+            .map(|d| topo.shard_group(d * topo.tp() * topo.pp()))
+            .collect();
+        assert_partition(world, &shard_groups, topo.tp() * topo.pp(), "shard");
+
+        // Sizes multiply back to the world along both factorizations.
+        prop_assert_eq!(topo.num_dp_groups() * topo.dp(), world);
+        prop_assert_eq!(topo.num_shard_groups() * topo.tp() * topo.pp(), world);
+    }
+
+    #[test]
+    fn every_rank_agrees_with_its_groups(
+        dp in 1usize..=6, tp in 1usize..=4, pp in 1usize..=4,
+        ep_pick in 0usize..64, node_pick in 0usize..64,
+    ) {
+        let topo = topology(dp, tp, pp, ep_pick, node_pick);
+        for r in 0..topo.world_size() {
+            let c = topo.coords_of(r);
+            // Membership: each group a rank names contains it at the
+            // position of the varying coordinate.
+            prop_assert_eq!(topo.dp_group(r)[c.dp], r);
+            prop_assert_eq!(topo.tp_group(r)[c.tp], r);
+            prop_assert_eq!(topo.pp_group(r)[c.pp], r);
+            prop_assert!(topo.shard_group(r).contains(&r));
+            // Every shard-group member shares the rank's DP index.
+            for &m in &topo.shard_group(r) {
+                prop_assert_eq!(topo.coords_of(m).dp, c.dp);
+            }
+        }
+    }
+
+    #[test]
+    fn node_mapping_covers_world(
+        dp in 1usize..=6, tp in 1usize..=4, pp in 1usize..=4,
+        ep_pick in 0usize..64, node_pick in 0usize..64,
+    ) {
+        let topo = topology(dp, tp, pp, ep_pick, node_pick);
+        let mut all: Vec<usize> = (0..topo.nodes())
+            .flat_map(|n| topo.global_ranks_on_node(n))
+            .collect();
+        all.sort_unstable();
+        let want: Vec<usize> = (0..topo.world_size()).collect();
+        prop_assert_eq!(all, want);
+        for r in 0..topo.world_size() {
+            prop_assert!(topo.node_of_global(r) < topo.nodes());
+        }
+    }
+}

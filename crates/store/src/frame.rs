@@ -15,7 +15,7 @@
 //! mid-write) is detected instead of silently restoring corrupt state.
 
 use crate::key::{ShardKey, StatePart};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
 
 const MAGIC: u32 = 0x4D4F_4353;
@@ -91,50 +91,98 @@ pub fn encode(key: &ShardKey, payload: &Bytes) -> Bytes {
     buf.freeze()
 }
 
+/// Fixed header bytes around the variable-length module name: magic,
+/// format, name length, part tag, version, payload CRC, payload length.
+const HEADER_FIXED: usize = 4 + 2 + 2 + 1 + 8 + 4 + 8;
+
+/// The largest possible frame header (a `u16::MAX`-byte module name).
+/// Reading this many bytes from the front of a shard file always
+/// suffices to decode its header.
+pub const HEADER_MAX: usize = HEADER_FIXED + u16::MAX as usize;
+
+/// A decoded frame header: everything known about a shard without
+/// touching its payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The shard's key.
+    pub key: ShardKey,
+    /// Checksum recorded for the payload.
+    pub payload_crc: u32,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+    /// Bytes the header itself occupies; the payload starts here.
+    pub header_len: usize,
+}
+
+/// Decodes a frame header from the leading bytes of a framed shard,
+/// without requiring (or validating) the payload. Key listings scan
+/// headers only, so their cost is independent of stored payload bytes;
+/// payload integrity stays enforced on the read path ([`decode`]).
+///
+/// # Errors
+///
+/// Returns a [`FrameError`] describing the first malformed field.
+pub fn decode_header(bytes: &[u8]) -> Result<FrameHeader, FrameError> {
+    fn take<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N], FrameError> {
+        if buf.len() < N {
+            return Err(FrameError::Truncated);
+        }
+        let (head, rest) = buf.split_at(N);
+        *buf = rest;
+        Ok(head.try_into().expect("split_at guarantees length"))
+    }
+    let mut buf = bytes;
+    let magic = u32::from_le_bytes(take(&mut buf)?);
+    if magic != MAGIC {
+        return Err(FrameError::BadMagic(magic));
+    }
+    let format = u16::from_le_bytes(take(&mut buf)?);
+    if format != FORMAT {
+        return Err(FrameError::BadFormat(format));
+    }
+    let name_len = u16::from_le_bytes(take(&mut buf)?) as usize;
+    if buf.len() < name_len + 1 + 8 + 4 + 8 {
+        return Err(FrameError::Truncated);
+    }
+    let module =
+        String::from_utf8(buf[..name_len].to_vec()).map_err(|_| FrameError::BadModuleName)?;
+    buf = &buf[name_len..];
+    let part = decode_part(take::<1>(&mut buf)?[0])?;
+    let version = u64::from_le_bytes(take(&mut buf)?);
+    let payload_crc = u32::from_le_bytes(take(&mut buf)?);
+    let payload_len = u64::from_le_bytes(take(&mut buf)?);
+    Ok(FrameHeader {
+        key: ShardKey {
+            module,
+            part,
+            version,
+        },
+        payload_crc,
+        payload_len,
+        header_len: HEADER_FIXED + name_len,
+    })
+}
+
 /// Decodes a framed shard, verifying magic, format and payload checksum.
 ///
 /// # Errors
 ///
 /// Returns a [`FrameError`] describing the first malformed field.
 pub fn decode(framed: &Bytes) -> Result<(ShardKey, Bytes), FrameError> {
-    let mut buf = framed.clone();
-    if buf.remaining() < 8 {
+    let header = decode_header(framed)?;
+    let len = header.payload_len as usize;
+    if framed.len() < header.header_len + len {
         return Err(FrameError::Truncated);
     }
-    let magic = buf.get_u32_le();
-    if magic != MAGIC {
-        return Err(FrameError::BadMagic(magic));
-    }
-    let format = buf.get_u16_le();
-    if format != FORMAT {
-        return Err(FrameError::BadFormat(format));
-    }
-    let name_len = buf.get_u16_le() as usize;
-    if buf.remaining() < name_len + 1 + 8 + 4 + 8 {
-        return Err(FrameError::Truncated);
-    }
-    let name_bytes = buf.copy_to_bytes(name_len);
-    let module = String::from_utf8(name_bytes.to_vec()).map_err(|_| FrameError::BadModuleName)?;
-    let part = decode_part(buf.get_u8())?;
-    let version = buf.get_u64_le();
-    let expected = buf.get_u32_le();
-    let len = buf.get_u64_le() as usize;
-    if buf.remaining() < len {
-        return Err(FrameError::Truncated);
-    }
-    let payload = buf.copy_to_bytes(len);
+    let payload = framed.slice(header.header_len..header.header_len + len);
     let actual = crc32(&payload);
-    if actual != expected {
-        return Err(FrameError::ChecksumMismatch { expected, actual });
+    if actual != header.payload_crc {
+        return Err(FrameError::ChecksumMismatch {
+            expected: header.payload_crc,
+            actual,
+        });
     }
-    Ok((
-        ShardKey {
-            module,
-            part,
-            version,
-        },
-        payload,
-    ))
+    Ok((header.key, payload))
 }
 
 fn part_tag(p: StatePart) -> u8 {
@@ -231,6 +279,39 @@ mod tests {
         let cut = bytes.slice(0..bytes.len() - 10);
         assert_eq!(decode(&cut), Err(FrameError::Truncated));
         assert_eq!(decode(&bytes.slice(0..4)), Err(FrameError::Truncated));
+    }
+
+    #[test]
+    fn header_decodes_without_payload() {
+        let payload = Bytes::from(vec![9u8; 512]);
+        let framed = encode(&key(), &payload);
+        // The header alone — no payload bytes at all — suffices.
+        let h = decode_header(&framed[..framed.len() - 512]).unwrap();
+        assert_eq!(h.key, key());
+        assert_eq!(h.payload_len, 512);
+        assert_eq!(h.payload_crc, crc32(&payload));
+        assert_eq!(h.header_len + 512, framed.len());
+        assert!(h.header_len <= HEADER_MAX);
+        // A corrupt payload is invisible to the header decode (the whole
+        // point: listings must not pay for payload validation)...
+        let mut corrupt = framed.to_vec();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        assert_eq!(decode_header(&corrupt).unwrap(), h);
+        // ...but not to the full decode.
+        assert!(matches!(
+            decode(&Bytes::from(corrupt)),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn header_truncation_and_bad_fields_detected() {
+        let framed = encode(&key(), &Bytes::from_static(b"x"));
+        assert_eq!(decode_header(&framed[..5]), Err(FrameError::Truncated));
+        let mut bad = framed.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(matches!(decode_header(&bad), Err(FrameError::BadMagic(_))));
     }
 
     #[test]

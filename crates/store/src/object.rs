@@ -214,18 +214,32 @@ impl FileObjectStore {
         self.root.join(key.file_name())
     }
 
+    /// Lists the store's shards by reading *frame headers only*: the
+    /// per-file cost is one bounded read of at most
+    /// [`frame::HEADER_MAX`] bytes, so key listing (and everything built
+    /// on it — `keys`, `latest_version`, `total_bytes`, recovery
+    /// planning over large stores) does not scale with stored payload
+    /// bytes. A header whose recorded payload length disagrees with the
+    /// file size is a torn write and is skipped; payload *content*
+    /// integrity stays enforced by the CRC + key checks on `get`.
     fn scan(&self) -> Result<Vec<(ShardKey, PathBuf, u64)>, StoreError> {
+        use std::io::Read;
         let mut out = Vec::new();
+        let mut buf = vec![0u8; frame::HEADER_MAX];
         for entry in std::fs::read_dir(&self.root)? {
             let entry = entry?;
             let path = entry.path();
             if path.extension().and_then(|e| e.to_str()) != Some("shard") {
                 continue;
             }
-            let bytes = Bytes::from(std::fs::read(&path)?);
-            match frame::decode(&bytes) {
-                Ok((key, payload)) => out.push((key, path, payload.len() as u64)),
-                Err(_) => continue, // torn write left behind; ignore
+            let file_len = entry.metadata()?.len();
+            let prefix = frame::HEADER_MAX.min(file_len as usize);
+            std::fs::File::open(&path)?.read_exact(&mut buf[..prefix])?;
+            match frame::decode_header(&buf[..prefix]) {
+                Ok(h) if h.header_len as u64 + h.payload_len == file_len => {
+                    out.push((h.key, path, h.payload_len));
+                }
+                _ => continue, // torn write left behind; ignore
             }
         }
         out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -460,6 +474,44 @@ mod tests {
             }
             other_result => panic!("expected KeyMismatch, got {other_result:?}"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Key listing reads frame headers only: a shard whose *payload*
+    /// bytes are corrupt on disk (header intact, length unchanged) still
+    /// lists — proof the scan never deserializes payloads — while the
+    /// read path still rejects it. A payload-only *truncation* changes
+    /// the file length and is skipped as a torn write.
+    #[test]
+    fn key_listing_reads_headers_not_payloads() {
+        let dir = std::env::temp_dir().join(format!("moc-store-hdrscan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileObjectStore::open(&dir).unwrap();
+        let key = ShardKey::new("layer1.expert4", StatePart::Weights, 7);
+        let payload = Bytes::from(vec![0x5Au8; 4096]);
+        store.put(&key, payload).unwrap();
+        let path = dir.join(key.file_name());
+        let mut bytes = std::fs::read(&path).unwrap();
+
+        // Flip a payload byte: header-only scan cannot notice, get must.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(store.keys().unwrap(), vec![key.clone()]);
+        assert_eq!(store.total_bytes().unwrap(), 4096);
+        assert_eq!(
+            store
+                .latest_version("layer1.expert4", StatePart::Weights, 99)
+                .unwrap(),
+            Some(7)
+        );
+        assert!(store.get(&key).is_err(), "get still validates the CRC");
+
+        // Truncate the payload: the header/length mismatch marks a torn
+        // write and the shard disappears from listings.
+        bytes.truncate(bytes.len() - 16);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.keys().unwrap().is_empty());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

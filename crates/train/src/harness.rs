@@ -105,6 +105,16 @@ impl FaultToleranceConfig {
         }
     }
 
+    /// The same configuration over a different virtual topology (e.g. a
+    /// TP/PP grid). The single-loop harness computes identical numerics
+    /// on any topology — only checkpoint-shard placement and which
+    /// memory tier a fault wipes follow the node mapping — so reports
+    /// are comparable across topologies at equal `(dp, ep)`.
+    pub fn with_topology(mut self, topology: ParallelTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
     /// PEC with the given `(K_snapshot, K_persist)` and mode.
     pub fn pec(
         model: &MoeModelConfig,
@@ -445,6 +455,33 @@ mod tests {
         );
         assert_eq!(report.plt, 0.0);
         assert_eq!(report.iterations_executed, 60);
+    }
+
+    #[test]
+    fn tp_pp_topology_reproduces_flat_reports() {
+        // Same dp and ep, but each DP rank's state spread over a 2×2
+        // TP/PP shard group across two nodes: the harness numerics and
+        // the full-checkpointing recovery must be identical to the flat
+        // layout, fault-free and faulted.
+        let train = quick_train();
+        let grid = ParallelTopology::new(2, 8, 4, 2, 2, 4).unwrap();
+        let flat = ParallelTopology::dp_ep(1, 4, 4, 4).unwrap();
+        for faults in [
+            vec![],
+            vec![FaultEvent {
+                iteration: 35,
+                node: 0,
+            }],
+        ] {
+            let base = FaultToleranceConfig::baseline(&train.model, 10, faults).with_topology(flat);
+            let on_grid = base.clone().with_topology(grid);
+            let flat_report = run_experiment(&train, &base);
+            let grid_report = run_experiment(&train, &on_grid);
+            assert_eq!(
+                flat_report, grid_report,
+                "grid topology must not change the harness trajectory"
+            );
+        }
     }
 
     #[test]

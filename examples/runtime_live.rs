@@ -108,9 +108,11 @@ fn print_timeline(summary: &RunSummary) {
                 memory_hits,
                 storage_hits,
                 total_secs,
+                shard_groups,
+                ..
             } => {
                 println!(
-                    "  iter {:>3}  RECOVERED   resume at {resume_iteration} ({memory_hits} shards from memory, {storage_hits} from storage, {:.0} ms)",
+                    "  iter {:>3}  RECOVERED   resume at {resume_iteration} ({memory_hits} shards from memory, {storage_hits} from storage, shard groups {shard_groups:?}, {:.0} ms)",
                     event.iteration,
                     1e3 * total_secs
                 );

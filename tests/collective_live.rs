@@ -189,6 +189,46 @@ fn straggler_injection_stalls_without_perturbing_numerics() {
     );
 }
 
+/// Satellite (model vs measured): the cumulative `StragglerStall` a
+/// sustained `SlowEvent` run measures must agree with the
+/// `moc_cluster::events` prediction `(factor − 1) · duration · fb_sec`,
+/// where `fb_sec` is the run's own measured mean compute window.
+///
+/// Stated tolerance: agreement within a factor of two in either
+/// direction. The injected stall is exact per covered iteration
+/// (`(factor − 1) ×` that iteration's measured compute), so the only
+/// divergence from the model is scheduler noise between the covered
+/// iterations' compute times and the run-wide mean — far inside 2× even
+/// on oversubscribed CI hosts, while still tight enough to catch a
+/// broken accounting (a lost iteration, a double count, or stall
+/// measured in the wrong units).
+#[test]
+fn sustained_straggler_stall_matches_cluster_model() {
+    let config = RuntimeConfig {
+        total_iterations: 12,
+        heartbeat_timeout: Duration::from_secs(4),
+        ..base_config(CollectiveKind::Ring)
+    };
+    let factor = 3.0;
+    let duration = 4;
+    let slowed = run(RuntimeConfig {
+        stragglers: vec![SlowEvent::sustained(1, 3, duration, factor)],
+        ..config
+    });
+    assert_eq!(slowed.stragglers_injected, duration);
+    let measured = slowed.straggler_stall_secs();
+    assert!(measured > 0.0, "stall must be measured");
+    let fb_sec = slowed.phase(Phase::Compute).mean_secs();
+    let predicted = moc_system::cluster::straggler_stall_prediction(factor, duration, fb_sec);
+    assert!(predicted > 0.0);
+    let ratio = measured / predicted;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "measured stall {measured:.6}s vs predicted {predicted:.6}s \
+         (ratio {ratio:.3}) outside the 2x tolerance"
+    );
+}
+
 /// Satellite: a sustained degradation profile (`rank, start, duration,
 /// factor`) slows every covered iteration, accumulates a cumulative
 /// `StragglerStall` roughly `duration ×` a single hiccup's, and still
