@@ -1,0 +1,173 @@
+//! Elastic recovery vs respawn-replay: time-to-resume after a node
+//! death across world sizes.
+//!
+//! For each world, the same training job runs three times with a
+//! mid-run node kill:
+//!
+//! 1. **respawn** — the fixed-shape baseline: dead ranks respawn and
+//!    the run replays from the committed chain;
+//! 2. **shrink** — elastic recovery: surviving shard groups adopt the
+//!    dead groups' batch slices and experts, no respawn;
+//! 3. **shrink+expand** — elastic with replacement ranks rejoining
+//!    three iterations later.
+//!
+//! Time-to-resume is the recovery's wall time (detection excluded; the
+//! `Recovery` timeline event's `total_secs`) plus, for the elastic
+//! runs, the rebalance cost (`ShrinkRebalance` phase). All three paths
+//! land bitwise on the same trajectory — asserted here — so the
+//! comparison is purely about recovery latency and degraded throughput.
+//! The summary is emitted as `BENCH_elastic.json` so the perf
+//! trajectory is machine-readable across commits.
+//!
+//! Run with `cargo bench --bench fig19_elastic_recovery`.
+
+use moc_bench::{banner, millis};
+use moc_core::ParallelTopology;
+use moc_runtime::{
+    CollectiveKind, Coordinator, ElasticConfig, EventKind, Phase, RunSummary, RuntimeConfig,
+};
+use moc_store::{FaultEvent, FaultPlan, MemoryObjectStore};
+use moc_train::PecMode;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config(topo: ParallelTopology, elastic: ElasticConfig) -> RuntimeConfig {
+    RuntimeConfig {
+        total_iterations: 12,
+        i_ckpt: 4,
+        eval_every: 0,
+        seq_len: 8,
+        k_snapshot: 8,
+        k_persist: 8,
+        pec_mode: PecMode::NONE,
+        collective: CollectiveKind::Ring,
+        heartbeat_timeout: Duration::from_millis(800),
+        faults: FaultPlan::At(vec![FaultEvent {
+            iteration: 7,
+            node: topo.nodes() - 1,
+        }]),
+        elastic,
+        ..RuntimeConfig::tiny(topo)
+    }
+}
+
+fn run(topo: ParallelTopology, elastic: ElasticConfig) -> RunSummary {
+    Coordinator::new(config(topo, elastic), Arc::new(MemoryObjectStore::new()))
+        .expect("valid config")
+        .run()
+        .expect("run completes")
+}
+
+/// Recovery wall seconds from the `Recovery` timeline events.
+fn recovery_secs(summary: &RunSummary) -> f64 {
+    summary
+        .timeline
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::Recovery { total_secs, .. } => Some(*total_secs),
+            _ => None,
+        })
+        .sum()
+}
+
+struct Row {
+    world: usize,
+    respawn_secs: f64,
+    shrink_secs: f64,
+    rebalance_secs: f64,
+    expand_secs: f64,
+    experts_migrated: u64,
+    degraded_iterations: u64,
+}
+
+fn main() {
+    banner("fig19: elastic shrink vs respawn-replay time-to-resume");
+
+    // (nodes, gpus/node, dp, ep): worlds 4 -> 16, one node killed each.
+    let shapes = [
+        (2usize, 2usize, 4usize, 4usize),
+        (2, 4, 8, 8),
+        (2, 8, 16, 8),
+    ];
+    let mut rows = Vec::new();
+    for &(nodes, gpn, dp, ep) in &shapes {
+        let topo = ParallelTopology::dp_ep(nodes, gpn, dp, ep).expect("shape");
+        let respawn = run(topo, ElasticConfig::default());
+        let shrink = run(topo, ElasticConfig::shrink(1));
+        let expand = run(
+            topo,
+            ElasticConfig {
+                shrink: true,
+                replication: 1,
+                rejoin_after: Some(3),
+            },
+        );
+        assert_eq!(respawn.recoveries, 1);
+        assert_eq!(shrink.elastic_shrinks, 1);
+        assert_eq!(expand.elastic_expands, 1);
+        // All three recovery strategies land on the same trajectory.
+        let bits = |s: &RunSummary| {
+            s.final_params
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(bits(&respawn), bits(&shrink), "shrink must match respawn");
+        assert_eq!(bits(&respawn), bits(&expand), "expand must match respawn");
+
+        rows.push(Row {
+            world: topo.world_size(),
+            respawn_secs: recovery_secs(&respawn),
+            shrink_secs: recovery_secs(&shrink),
+            rebalance_secs: shrink.phase(Phase::ShrinkRebalance).total_secs,
+            expand_secs: expand.phase(Phase::ExpandRestore).total_secs,
+            experts_migrated: shrink.experts_migrated,
+            degraded_iterations: shrink.degraded_iterations,
+        });
+    }
+
+    println!(
+        "{:<7} {:>13} {:>13} {:>12} {:>12} {:>9} {:>9}",
+        "world", "respawn", "shrink", "rebalance", "expand", "migrated", "degraded"
+    );
+    for r in &rows {
+        println!(
+            "{:<7} {:>13} {:>13} {:>12} {:>12} {:>9} {:>9}",
+            r.world,
+            millis(r.respawn_secs),
+            millis(r.shrink_secs),
+            millis(r.rebalance_secs),
+            millis(r.expand_secs),
+            r.experts_migrated,
+            r.degraded_iterations,
+        );
+    }
+
+    // Machine-readable trajectory.
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{ \"world\": {}, \"respawn_recovery_secs\": {:.9}, \
+                 \"shrink_recovery_secs\": {:.9}, \"shrink_rebalance_secs\": {:.9}, \
+                 \"expand_restore_secs\": {:.9}, \"experts_migrated\": {}, \
+                 \"degraded_iterations\": {} }}",
+                r.world,
+                r.respawn_secs,
+                r.shrink_secs,
+                r.rebalance_secs,
+                r.expand_secs,
+                r.experts_migrated,
+                r.degraded_iterations,
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"fig19_elastic_recovery\",\n  \"worlds\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let json_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_elastic.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_elastic.json");
+    println!("wrote {}", json_path.display());
+}

@@ -16,6 +16,24 @@ pub struct EngineConfig {
     pub inflight_limit: usize,
     /// Idle buffers the engine's pool retains for reuse.
     pub pool_idle_limit: usize,
+    /// Run chain-aware garbage collection after every this many
+    /// committed checkpoints (`0` = GC disabled, the historical
+    /// behaviour). GC drops superseded full+delta shard groups — and
+    /// their manifests — from the head of the writer's chain while every
+    /// version the chain still reports stays recoverable.
+    pub gc_interval: u64,
+    /// Committed chain versions GC always keeps fully recoverable (the
+    /// prune anchor is the `gc_keep_last`-newest committed version).
+    /// Must cover the worst-case commit lag between *live* writers —
+    /// with the runtime's lock-step submission that lag is bounded by
+    /// the in-flight limit. Writers retired by an elastic shrink leave
+    /// the commit rule entirely (`ChainStore::load_for_writers`) and
+    /// are re-synced by a full rejoin-barrier checkpoint when they come
+    /// back, so their unbounded lag never gates recoverability. Must be
+    /// at least 1 when GC is enabled.
+    ///
+    /// [`ChainStore::load_for_writers`]: crate::ChainStore::load_for_writers
+    pub gc_keep_last: usize,
 }
 
 impl Default for EngineConfig {
@@ -25,6 +43,8 @@ impl Default for EngineConfig {
             rebase_interval: 4,
             inflight_limit: 2,
             pool_idle_limit: 256,
+            gc_interval: 0,
+            gc_keep_last: 2,
         }
     }
 }
@@ -34,6 +54,15 @@ impl EngineConfig {
     pub fn full_only() -> Self {
         Self {
             delta: false,
+            ..Self::default()
+        }
+    }
+
+    /// The default configuration with chain-aware GC running every
+    /// `interval` committed checkpoints.
+    pub fn with_gc(interval: u64) -> Self {
+        Self {
+            gc_interval: interval,
             ..Self::default()
         }
     }
@@ -49,6 +78,9 @@ impl EngineConfig {
         }
         if self.inflight_limit == 0 {
             return Err("inflight_limit must be at least 1".into());
+        }
+        if self.gc_interval > 0 && self.gc_keep_last == 0 {
+            return Err("gc_keep_last must be at least 1 when GC is enabled".into());
         }
         Ok(())
     }
@@ -77,5 +109,16 @@ mod tests {
             ..EngineConfig::default()
         };
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn gc_without_keep_anchor_rejected() {
+        let bad = EngineConfig {
+            gc_keep_last: 0,
+            ..EngineConfig::with_gc(2)
+        };
+        assert!(bad.validate().is_err());
+        EngineConfig::with_gc(2).validate().unwrap();
+        assert_eq!(EngineConfig::default().gc_interval, 0, "GC is opt-in");
     }
 }

@@ -245,6 +245,15 @@ fn writer_loop(rx: Receiver<Batch>, mut writer: ShardWriter, inner: Arc<Inner>) 
             batch.version,
             batch.entries.iter().map(|(key, buf)| (key, &buf[..])),
         );
+        // Chain-aware GC rides the background worker: after a committed
+        // batch, superseded full+delta groups of this writer's chain are
+        // dropped on the configured cadence. A GC store failure leaves
+        // the commit intact and is reported distinctly.
+        let gc_result = if result.is_ok() {
+            writer.maybe_gc().map(|_| ())
+        } else {
+            Ok(())
+        };
         {
             let mut stats = inner.stats.lock();
             stats.writer = writer.stats();
@@ -253,6 +262,11 @@ fn writer_loop(rx: Receiver<Batch>, mut writer: ShardWriter, inner: Arc<Inner>) 
                     "persist of version {} aborted uncommitted: {e}",
                     batch.version
                 ));
+            }
+            if let Err(e) = gc_result {
+                stats
+                    .errors
+                    .push(format!("gc after version {} failed: {e}", batch.version));
             }
         }
         drop(batch); // buffers return to the pool
@@ -337,6 +351,41 @@ mod tests {
             assert_eq!(got, job("m", v * 10, v as u8, true).payload, "version {v}");
         }
         engine.shutdown();
+    }
+
+    /// The background worker runs chain-aware GC on the configured
+    /// cadence: superseded versions disappear from the committed view
+    /// while everything the view still reports reconstructs.
+    #[test]
+    fn background_gc_prunes_superseded_versions() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let config = EngineConfig {
+            rebase_interval: 2,
+            gc_keep_last: 2,
+            ..EngineConfig::with_gc(1)
+        };
+        let engine = CkptEngine::spawn(0, None, store.clone(), config);
+        for v in 1..=8u64 {
+            engine.submit(v * 10, vec![job("m", v * 10, v as u8, true)]);
+        }
+        engine.wait_idle();
+        let stats = engine.shutdown();
+        assert!(stats.writer.gc_runs > 0, "{stats:?}");
+        assert!(stats.writer.gc_pruned_shards > 0);
+        assert!(stats.errors.is_empty(), "{:?}", stats.errors);
+        let chain = ChainStore::load(store).unwrap();
+        let committed = chain.committed_versions();
+        assert!(committed.len() < 8, "{committed:?}");
+        assert!(committed.contains(&80));
+        for &v in &committed {
+            assert!(
+                chain
+                    .get(&ShardKey::new("m", StatePart::Weights, v))
+                    .unwrap()
+                    .is_some(),
+                "version {v} must stay recoverable"
+            );
+        }
     }
 
     #[test]

@@ -86,6 +86,42 @@ impl ChainStore {
         store: Arc<dyn ObjectStore>,
         expected_writers: Option<usize>,
     ) -> Result<Self, StoreError> {
+        Self::load_inner(store, expected_writers.map(|n| (0..n).collect()), None)
+    }
+
+    /// Like [`ChainStore::load`], but the commit rule spans exactly the
+    /// `required` writers: a version is committed when **every required**
+    /// writer committed it and all listed shards (of every chain that
+    /// has the version, required or not) validate. Chains outside
+    /// `required` still *serve* their shards at committed versions —
+    /// this is the elastic-shrink view, where a dead node's frozen chain
+    /// must keep serving its pre-fault checkpoints without its absence
+    /// freezing the commit frontier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates raw-store failures.
+    pub fn load_for_writers(
+        store: Arc<dyn ObjectStore>,
+        required: &[usize],
+    ) -> Result<Self, StoreError> {
+        let set: BTreeSet<usize> = required.iter().copied().collect();
+        Self::load_inner(
+            store,
+            Some(set.iter().copied().collect::<Vec<_>>()),
+            Some(set),
+        )
+    }
+
+    /// Shared loader. `ensure` writers contribute (possibly empty)
+    /// chains even without manifests; `commit_over`, when given,
+    /// restricts the commit intersection to that writer set (otherwise
+    /// every observed-or-ensured chain participates).
+    fn load_inner(
+        store: Arc<dyn ObjectStore>,
+        ensure: Option<Vec<usize>>,
+        commit_over: Option<BTreeSet<usize>>,
+    ) -> Result<Self, StoreError> {
         let keys = store.keys()?;
         let key_set: HashSet<&ShardKey> = keys.iter().collect();
 
@@ -111,10 +147,13 @@ impl ChainStore {
         // An expected writer with no manifests at all contributes an
         // empty chain, voiding every candidate version — a crash that
         // early left nothing committed.
-        for w in 0..expected_writers.unwrap_or(0) {
+        for w in ensure.unwrap_or_default() {
             chains.entry(w).or_default();
         }
         let writers: BTreeSet<usize> = chains.keys().copied().collect();
+        // The writers whose agreement commits a version: all of them,
+        // unless an explicit required set restricts the rule.
+        let commit_writers: BTreeSet<usize> = commit_over.unwrap_or_else(|| writers.clone());
         let mut committed = BTreeSet::new();
         let mut slots: BTreeMap<(String, StatePart), BTreeMap<u64, ShardRecord>> = BTreeMap::new();
 
@@ -136,27 +175,32 @@ impl ChainStore {
             }
         }
 
-        if !chains.is_empty() {
-            // Candidate versions: committed by every writer.
-            let mut candidates: BTreeSet<u64> = chains
-                .values()
-                .next()
-                .expect("nonempty")
-                .keys()
-                .copied()
-                .collect();
-            for chain in chains.values() {
-                let versions: BTreeSet<u64> = chain.keys().copied().collect();
-                candidates = candidates.intersection(&versions).copied().collect();
+        if !chains.is_empty() && !commit_writers.is_empty() {
+            // Candidate versions: committed by every commit-rule writer
+            // (a required writer without a chain voids everything).
+            let empty = BTreeMap::new();
+            let mut candidates: Option<BTreeSet<u64>> = None;
+            for &w in &commit_writers {
+                let versions: BTreeSet<u64> =
+                    chains.get(&w).unwrap_or(&empty).keys().copied().collect();
+                candidates = Some(match candidates {
+                    None => versions,
+                    Some(c) => c.intersection(&versions).copied().collect(),
+                });
             }
 
             // Accept ascending, prefix-strict: a version is committed only
-            // if every listed shard exists and every delta's base resolves
-            // to an already-accepted full record.
-            'versions: for v in candidates {
+            // if every listed shard — from every chain that has the
+            // version — exists and every delta's base resolves to a full
+            // record.
+            'versions: for v in candidates.unwrap_or_default() {
                 let mut version_records: Vec<&ShardRecord> = Vec::new();
                 for chain in chains.values() {
-                    let entry = &chain[&v];
+                    let Some(entry) = chain.get(&v) else {
+                        // A non-required writer never committed v; its
+                        // chain simply contributes nothing here.
+                        continue;
+                    };
                     for record in &entry.shards {
                         if !key_set.contains(&record.key) {
                             break 'versions;
@@ -427,6 +471,51 @@ mod tests {
             None,
             "v20 itself stays invisible"
         );
+    }
+
+    /// The elastic-shrink view: after writer 1 dies, the commit rule
+    /// spans only writer 0, so writer 0's later versions commit — while
+    /// writer 1's frozen chain keeps serving its pre-fault shards.
+    #[test]
+    fn live_writer_view_advances_past_a_dead_chain() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let mut w0 = ShardWriter::new(0, store.clone(), EngineConfig::default());
+        let mut w1 = ShardWriter::new(1, store.clone(), EngineConfig::default());
+        let ka = |v: u64| ShardKey::new("a", StatePart::Weights, v);
+        let kb = ShardKey::new("b", StatePart::Weights, 10);
+        w0.persist(10, [(&ka(10), &payload(1, 64)[..])]).unwrap();
+        w1.persist(10, [(&kb, &payload(2, 64)[..])]).unwrap();
+        // Writer 1 dies; writer 0 keeps checkpointing.
+        w0.persist(20, [(&ka(20), &payload(3, 64)[..])]).unwrap();
+
+        // The full-quorum view stays pinned at 10 …
+        let all = ChainStore::load_expecting(store.clone(), Some(2)).unwrap();
+        assert_eq!(all.newest_committed(), Some(10));
+        // … the live-writer view advances, and still serves the dead
+        // writer's committed shard.
+        let live = ChainStore::load_for_writers(store, &[0]).unwrap();
+        assert_eq!(live.committed_versions(), vec![10, 20]);
+        assert_eq!(
+            &live.get(&ka(20)).unwrap().unwrap()[..],
+            &payload(3, 64)[..]
+        );
+        assert_eq!(&live.get(&kb).unwrap().unwrap()[..], &payload(2, 64)[..]);
+        assert_eq!(
+            live.latest_version("b", StatePart::Weights, 99).unwrap(),
+            Some(10)
+        );
+    }
+
+    /// A required writer with no chain at all voids every version under
+    /// the live-writer view, exactly like `load_expecting`.
+    #[test]
+    fn missing_required_writer_voids_commits() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let mut w0 = ShardWriter::new(0, store.clone(), EngineConfig::default());
+        let k = ShardKey::new("a", StatePart::Weights, 10);
+        w0.persist(10, [(&k, &payload(1, 64)[..])]).unwrap();
+        let view = ChainStore::load_for_writers(store, &[0, 7]).unwrap();
+        assert_eq!(view.newest_committed(), None);
     }
 
     /// Orphaned shards without any manifest are invisible.

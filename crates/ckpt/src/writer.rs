@@ -18,7 +18,7 @@ use crate::pool::BufferPool;
 use bytes::Bytes;
 use moc_store::frame::crc32;
 use moc_store::{ObjectStore, ShardKey, StatePart, StoreError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +42,12 @@ pub struct WriterStats {
     pub stored_bytes: u64,
     /// Manifest payload bytes written.
     pub manifest_bytes: u64,
+    /// Chain-aware GC passes executed.
+    pub gc_runs: u64,
+    /// Shard objects GC removed from the store.
+    pub gc_pruned_shards: u64,
+    /// Manifest objects GC removed from the store.
+    pub gc_pruned_manifests: u64,
     /// Seconds spent delta-encoding.
     pub encode_secs: f64,
     /// Seconds spent in store writes (shards + manifests).
@@ -64,6 +70,9 @@ impl WriterStats {
         self.raw_bytes += other.raw_bytes;
         self.stored_bytes += other.stored_bytes;
         self.manifest_bytes += other.manifest_bytes;
+        self.gc_runs += other.gc_runs;
+        self.gc_pruned_shards += other.gc_pruned_shards;
+        self.gc_pruned_manifests += other.gc_pruned_manifests;
         self.encode_secs += other.encode_secs;
         self.persist_secs += other.persist_secs;
     }
@@ -98,6 +107,12 @@ pub struct ShardWriter {
     bases: HashMap<(String, StatePart), BaseState>,
     /// Last committed manifest version (the chain head).
     committed: Option<u64>,
+    /// The writer's committed chain, ascending by version — its own
+    /// committed `ChainStore` view, which chain-aware GC prunes from the
+    /// head.
+    chain: Vec<ManifestEntry>,
+    /// Commits since the last GC pass.
+    commits_since_gc: u64,
     pool: BufferPool,
     stats: WriterStats,
 }
@@ -133,6 +148,8 @@ impl ShardWriter {
             store,
             bases: HashMap::new(),
             committed: None,
+            chain: Vec::new(),
+            commits_since_gc: 0,
             pool,
             stats: WriterStats::default(),
         }
@@ -279,8 +296,223 @@ impl ShardWriter {
             self.bases.insert(slot, state);
         }
         self.committed = Some(version);
+        // Maintain the committed chain. A rollback can re-commit *any*
+        // earlier version (re-executed checkpoint iterations after a
+        // recovery): entries at or above it are stale re-execution
+        // targets — the replay will re-commit them in order — so they
+        // drop here, keeping the chain ascending and duplicate-free
+        // (the sortedness GC's anchor and `Manifest::prunable` rely
+        // on).
+        self.chain.retain(|e| e.version < version);
+        self.chain.push(entry);
         batch.checkpoints = 1;
         self.stats.merge(&batch);
+        self.commits_since_gc += 1;
+        Ok(())
+    }
+
+    /// Runs [`ShardWriter::gc`] when the configured GC interval has
+    /// elapsed since the last pass. Returns whether a pass ran. The
+    /// engine's background worker calls this after every committed
+    /// batch; synchronous callers may invoke it at their own cadence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures from the pass.
+    pub fn maybe_gc(&mut self) -> Result<bool, StoreError> {
+        if self.config.gc_interval == 0 || self.commits_since_gc < self.config.gc_interval {
+            return Ok(false);
+        }
+        self.commits_since_gc = 0;
+        self.gc()?;
+        Ok(true)
+    }
+
+    /// Chain-aware garbage collection over this writer's committed view.
+    ///
+    /// The prune anchor is the `gc_keep_last`-newest committed version:
+    /// [`moc_core::manifest::Manifest::prunable`] over the chain's
+    /// records nominates every shard version superseded before that
+    /// anchor. A nominated shard is *doomed* unless a retained record
+    /// still needs it — directly (a dedup re-commit re-records an old
+    /// key) or as the full base of a retained delta — so superseded
+    /// full+delta groups are dropped while every version the chain still
+    /// reports keeps reconstructing bitwise.
+    ///
+    /// Deletion is two-phase for crash safety under the reader's
+    /// prefix-strict commit rule: first every manifest listing a doomed
+    /// record is *compacted* (atomically rewritten without it; leading
+    /// manifests left empty are deleted so the chain start advances),
+    /// then the doomed shard objects are removed. A crash between the
+    /// phases leaves unreferenced orphans, never a manifest pointing at
+    /// missing bytes.
+    ///
+    /// Store deletions go through [`ObjectStore::prune`] per slot,
+    /// capped at the slot's contiguous doomed prefix of *stored*
+    /// versions, so a slot another writer also persisted (expert
+    /// migration during an elastic shrink) can never lose a foreign
+    /// committed shard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures; the in-memory chain only forgets what
+    /// the store confirmed.
+    pub fn gc(&mut self) -> Result<(), StoreError> {
+        if self.chain.len() <= self.config.gc_keep_last {
+            return Ok(());
+        }
+        let keep_from = self.chain[self.chain.len() - self.config.gc_keep_last].version;
+
+        // The writer's committed view as a core manifest: per-slot
+        // version lists feeding the prunable-shard nomination.
+        let mut manifest = moc_core::Manifest::new();
+        for entry in &self.chain {
+            for record in &entry.shards {
+                manifest.record(&record.key.module, record.key.part, record.key.version);
+            }
+            manifest.complete_checkpoint(entry.version);
+        }
+        // Nomination as a ShardKey set: every membership probe below
+        // reuses a record's existing key reference instead of cloning
+        // its module string (GC runs on the background persist thread,
+        // which sits on the checkpoint critical path in sync mode).
+        let nominated: std::collections::HashSet<ShardKey> = manifest
+            .prunable(keep_from)
+            .into_iter()
+            .map(|(module, part, version)| ShardKey::new(module, part, version))
+            .collect();
+
+        // Partition the chain's keys: a nominated key survives only if a
+        // kept record still needs it as its delta base (delta -> full is
+        // one level, so a single closure pass suffices).
+        let mut kept: std::collections::HashSet<ShardKey> = std::collections::HashSet::new();
+        for entry in &self.chain {
+            for record in &entry.shards {
+                if !nominated.contains(&record.key) {
+                    kept.insert(record.key.clone());
+                }
+            }
+        }
+        for entry in &self.chain {
+            for record in &entry.shards {
+                if let ShardKind::Delta { base_version } = record.kind {
+                    if kept.contains(&record.key) {
+                        kept.insert(ShardKey::new(
+                            record.key.module.clone(),
+                            record.key.part,
+                            base_version,
+                        ));
+                    }
+                }
+            }
+        }
+        // Per-slot candidate versions (nominated and unneeded), for the
+        // stored-prefix scan below.
+        let mut cand_by_slot: BTreeMap<(String, StatePart), std::collections::HashSet<u64>> =
+            BTreeMap::new();
+        for entry in &self.chain {
+            for record in &entry.shards {
+                let k = &record.key;
+                if nominated.contains(k) && !kept.contains(k) {
+                    cand_by_slot
+                        .entry((k.module.clone(), k.part))
+                        .or_default()
+                        .insert(k.version);
+                }
+            }
+        }
+        if cand_by_slot.is_empty() {
+            return Ok(());
+        }
+
+        // Deletion goes through [`ObjectStore::prune`], a strictly
+        // range-below operation, so only each slot's contiguous
+        // candidate prefix of *stored* versions is actually deletable —
+        // a kept old delta base, or a foreign writer's interleaved
+        // version (expert migration during an elastic shrink), caps the
+        // range. Keys beyond the cap stay committed and recoverable
+        // instead of becoming dead weight in a compacted manifest.
+        let mut stored: BTreeMap<(String, StatePart), Vec<u64>> = BTreeMap::new();
+        for key in self.store.keys()? {
+            stored
+                .entry((key.module, key.part))
+                .or_default()
+                .push(key.version);
+        }
+        let mut doomed: std::collections::HashSet<ShardKey> = std::collections::HashSet::new();
+        let mut prune_bounds: Vec<(String, StatePart, u64)> = Vec::new();
+        for ((module, part), candidates) in &cand_by_slot {
+            let Some(versions) = stored.get_mut(&(module.clone(), *part)) else {
+                continue;
+            };
+            versions.sort_unstable();
+            let mut bound = None;
+            for &v in versions.iter() {
+                if candidates.contains(&v) {
+                    doomed.insert(ShardKey::new(module.clone(), *part, v));
+                    bound = Some(v);
+                } else {
+                    break;
+                }
+            }
+            if let Some(v) = bound {
+                prune_bounds.push((module.clone(), *part, v));
+            }
+        }
+        if doomed.is_empty() {
+            return Ok(());
+        }
+
+        // Phase 1: compact every manifest listing a doomed record —
+        // after this, no committed manifest references the bytes phase 2
+        // removes. Each stored rewrite succeeds *before* the in-memory
+        // entry adopts it, so a mid-phase store failure leaves the
+        // writer's view never ahead of the store: un-compacted entries
+        // still carry their records and a later pass re-nominates them.
+        for entry in &mut self.chain {
+            if !entry.shards.iter().any(|r| doomed.contains(&r.key)) {
+                continue;
+            }
+            let mut compacted = entry.clone();
+            compacted.shards.retain(|r| !doomed.contains(&r.key));
+            let manifest_key = ShardKey::new(
+                manifest_module(self.writer_id),
+                StatePart::Extra,
+                entry.version,
+            );
+            let payload = compacted.encode();
+            self.stats.manifest_bytes += payload.len() as u64;
+            self.store.put(&manifest_key, payload)?;
+            *entry = compacted;
+        }
+        // Leading manifests left empty carry no information: delete them
+        // so the chain start advances (never past the keep anchor).
+        let mut first_kept_idx = 0usize;
+        while first_kept_idx < self.chain.len() - self.config.gc_keep_last
+            && self.chain[first_kept_idx].shards.is_empty()
+        {
+            first_kept_idx += 1;
+        }
+        let mut pruned_manifests = 0u64;
+        if first_kept_idx > 0 {
+            let first_kept = self.chain[first_kept_idx].version;
+            pruned_manifests = self.store.prune(
+                &manifest_module(self.writer_id),
+                StatePart::Extra,
+                first_kept,
+            )? as u64;
+            self.chain.drain(..first_kept_idx);
+        }
+
+        // Phase 2: the deletions themselves, per slot up to the bound
+        // established above.
+        let mut pruned_shards = 0u64;
+        for (module, part, v) in prune_bounds {
+            pruned_shards += self.store.prune(&module, part, v + 1)? as u64;
+        }
+        self.stats.gc_runs += 1;
+        self.stats.gc_pruned_shards += pruned_shards;
+        self.stats.gc_pruned_manifests += pruned_manifests;
         Ok(())
     }
 }
@@ -427,6 +659,137 @@ mod tests {
         let chain = ChainStore::load(store).unwrap();
         assert_eq!(&chain.get(&k1).unwrap().unwrap()[..], &p1[..]);
         assert_eq!(&chain.get(&k2).unwrap().unwrap()[..], &p2[..]);
+    }
+
+    /// Chain-aware GC drops superseded full+delta groups from the head
+    /// of the chain — and their manifests — while every version the
+    /// chain still reports reconstructs bitwise.
+    #[test]
+    fn gc_prunes_superseded_groups_and_keeps_chain_valid() {
+        let store = store();
+        let cfg = EngineConfig {
+            rebase_interval: 2,
+            gc_keep_last: 2,
+            ..EngineConfig::with_gc(1)
+        };
+        let mut w = ShardWriter::new(0, store.clone(), cfg);
+        let key = |v: u64| ShardKey::new("m", StatePart::Weights, v);
+        for v in 1..=8u64 {
+            let p = payload(v as u8, 256);
+            w.persist(v * 10, [(&key(v * 10), &p[..])]).unwrap();
+            w.maybe_gc().unwrap();
+        }
+        let s = w.stats();
+        assert!(s.gc_runs > 0, "GC must have run: {s:?}");
+        assert!(s.gc_pruned_shards > 0, "old groups must be dropped");
+        assert!(s.gc_pruned_manifests > 0, "their manifests too");
+
+        let chain = ChainStore::load(store.clone()).unwrap();
+        let committed = chain.committed_versions();
+        assert!(
+            committed.len() < 8,
+            "superseded versions must be gone: {committed:?}"
+        );
+        assert!(
+            committed.contains(&80),
+            "the chain head must survive: {committed:?}"
+        );
+        // Every version the post-GC chain reports still reconstructs
+        // bitwise (no stranded delta, no missing base).
+        for &v in &committed {
+            let got = chain.get(&key(v)).unwrap().unwrap();
+            assert_eq!(&got[..], &payload((v / 10) as u8, 256)[..], "version {v}");
+        }
+        // Bytes actually shrank versus the no-GC run.
+        let unpruned = store_without_gc(8);
+        assert!(
+            store.total_bytes().unwrap() < unpruned,
+            "GC must reclaim store bytes"
+        );
+    }
+
+    fn store_without_gc(versions: u64) -> u64 {
+        let store = store();
+        let cfg = EngineConfig {
+            rebase_interval: 2,
+            ..EngineConfig::default()
+        };
+        let mut w = ShardWriter::new(0, store.clone(), cfg);
+        for v in 1..=versions {
+            let p = payload(v as u8, 256);
+            let key = ShardKey::new("m", StatePart::Weights, v * 10);
+            w.persist(v * 10, [(&key, &p[..])]).unwrap();
+        }
+        store.total_bytes().unwrap()
+    }
+
+    /// GC never strands a delta: the full base of retained deltas
+    /// survives even when it sits far below the prune anchor, while
+    /// superseded sibling deltas between base and anchor are dropped.
+    #[test]
+    fn gc_keeps_delta_bases_alive() {
+        let store = store();
+        let cfg = EngineConfig {
+            rebase_interval: 8,
+            gc_keep_last: 2,
+            ..EngineConfig::with_gc(1)
+        };
+        let mut w = ShardWriter::new(0, store.clone(), cfg);
+        let key = |v: u64| ShardKey::new("m", StatePart::Weights, v);
+        for v in 1..=6u64 {
+            let p = payload(v as u8, 256);
+            w.persist(v * 10, [(&key(v * 10), &p[..])]).unwrap();
+            w.maybe_gc().unwrap();
+        }
+        // With rebase_interval 8 every later shard deltas against the
+        // v10 full: the middle deltas are superseded, but deleting them
+        // would require removing versions *above* the still-needed v10
+        // base — outside `prune`'s range-below reach — so GC leaves the
+        // whole group intact and recoverable rather than compacting
+        // records it cannot reclaim.
+        assert_eq!(w.stats().gc_pruned_shards, 0);
+        let chain = ChainStore::load(store).unwrap();
+        assert_eq!(chain.committed_versions().len(), 6);
+        for v in 1..=6u64 {
+            let got = chain.get(&key(v * 10)).unwrap().unwrap();
+            assert_eq!(&got[..], &payload(v as u8, 256)[..], "version {v}");
+        }
+    }
+
+    /// GC caps each slot's deletion at the contiguous doomed prefix of
+    /// *stored* versions: a foreign writer's interleaved shard (expert
+    /// migration during an elastic shrink) is never collateral damage.
+    #[test]
+    fn gc_spares_foreign_writers_shards() {
+        let store = store();
+        // Writer 1 owns "m" during a degraded window and committed v25.
+        let mut w1 = ShardWriter::new(1, store.clone(), EngineConfig::full_only());
+        let foreign = ShardKey::new("m", StatePart::Weights, 25);
+        let fp = payload(9, 64);
+        w1.persist(25, [(&foreign, &fp[..])]).unwrap();
+
+        // Writer 0 wrote v10/v20 before and v30/v40 after; its GC wants
+        // v10..v30 gone but must stop below the foreign v25.
+        let cfg = EngineConfig {
+            gc_keep_last: 1,
+            rebase_interval: 2,
+            ..EngineConfig::with_gc(8)
+        };
+        let mut w0 = ShardWriter::new(0, store.clone(), cfg);
+        let key = |v: u64| ShardKey::new("m", StatePart::Weights, v);
+        for v in [10u64, 20, 30, 40] {
+            let p = payload(v as u8, 64);
+            w0.persist(v, [(&key(v), &p[..])]).unwrap();
+        }
+        w0.gc().unwrap();
+        assert!(w0.stats().gc_pruned_shards > 0);
+        // v10 and v20 (below the foreign shard) are gone; v25 survives.
+        assert!(store.get(&key(10)).unwrap().is_none());
+        assert!(store.get(&key(20)).unwrap().is_none());
+        assert_eq!(&store.get(&foreign).unwrap().unwrap()[..], &fp[..]);
+        // Writer 1's chain still validates and serves its shard.
+        let view = ChainStore::load_for_writers(store, &[1]).unwrap();
+        assert_eq!(&view.get(&foreign).unwrap().unwrap()[..], &fp[..]);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! chosen to reproduce the paper's qualitative observations (e.g. Case 3's
 //! intra-node All-to-All beating Case 2's inter-node one).
 
-use moc_store::StorageHierarchy;
+use moc_store::{StorageHierarchy, TierLink};
 use serde::{Deserialize, Serialize};
 
 /// One GPU class plus its node-level interconnects.
@@ -102,6 +102,28 @@ impl ClusterSpec {
         }
         self.gpu.storage.persist.latency_sec + bytes as f64 / self.persist_bytes_per_sec
     }
+
+    /// Calibrates the spec against measured transfers: least-squares
+    /// fits of the snapshot and persist [`TierLink`]s from live
+    /// `(bytes, seconds)` samples ([`TierLink::fit`]). A tier whose
+    /// samples cannot be fitted (too few distinct sizes, degenerate
+    /// slope) keeps its configured constants, so calibration is always
+    /// safe to apply.
+    pub fn calibrated(
+        &self,
+        snapshot_samples: &[(u64, f64)],
+        persist_samples: &[(u64, f64)],
+    ) -> Self {
+        let mut spec = *self;
+        if let Some(link) = TierLink::fit(snapshot_samples) {
+            spec.gpu.storage.snapshot = link;
+        }
+        if let Some(link) = TierLink::fit(persist_samples) {
+            spec.gpu.storage.persist = link;
+            spec.persist_bytes_per_sec = link.bandwidth_bytes_per_sec;
+        }
+        spec
+    }
 }
 
 #[cfg(test)]
@@ -137,5 +159,26 @@ mod tests {
     #[test]
     fn persist_zero_bytes_is_free() {
         assert_eq!(ClusterSpec::a800().persist_secs(0), 0.0);
+    }
+
+    #[test]
+    fn calibration_replaces_fitted_tiers_only() {
+        let base = ClusterSpec::a800();
+        // Snapshot measured at 2 GB/s with 1 ms latency; persist samples
+        // degenerate (one distinct size) and must keep the defaults.
+        let snap: Vec<(u64, f64)> = [1u64 << 28, 1 << 29, 1 << 30]
+            .iter()
+            .map(|&b| (b, 0.001 + b as f64 / 2.0e9))
+            .collect();
+        let persist = vec![(1u64 << 30, 1.0), (1 << 30, 1.1)];
+        let cal = base.calibrated(&snap, &persist);
+        assert!(
+            (cal.gpu.storage.snapshot.bandwidth_bytes_per_sec - 2.0e9).abs() / 2.0e9 < 1e-6,
+            "snapshot bandwidth must follow the fit"
+        );
+        assert_eq!(cal.persist_bytes_per_sec, base.persist_bytes_per_sec);
+        assert_eq!(cal.gpu.storage.persist, base.gpu.storage.persist);
+        // Fitted snapshot time reproduces the measurements.
+        assert!((cal.snapshot_secs(1 << 30) - snap[2].1).abs() < 1e-9);
     }
 }

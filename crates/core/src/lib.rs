@@ -9,6 +9,8 @@
 //! * [`dynamic_k`] — the Dynamic-K controller bounding PLT under fault
 //!   accumulation (Section 5.3, Fig. 15(b));
 //! * [`topology`] — ZeRO-2 DP + EP layouts (Table 2);
+//! * [`placement`] — failure-domain-aware expert placement plans, the
+//!   substrate of `moc-elastic`'s shrink/expand recovery;
 //! * [`sharding`] — baseline / equal-expert / equal / adaptive non-expert
 //!   checkpoint sharding with bottleneck-rank analysis (Section 4, Fig. 10);
 //! * [`twolevel`] — triple-buffered asynchronous snapshot/persist agents
@@ -33,6 +35,7 @@
 pub mod dynamic_k;
 pub mod manifest;
 pub mod overhead;
+pub mod placement;
 pub mod plt;
 pub mod recovery;
 pub mod selection;
@@ -43,6 +46,7 @@ pub mod twolevel;
 pub use dynamic_k::DynamicK;
 pub use manifest::Manifest;
 pub use overhead::{AdaptivePecChoice, AdaptivePecInputs, OverheadInputs};
+pub use placement::{domain_of_group, num_failure_domains, PlacementError, PlacementPlan};
 pub use plt::{analytic_plt, PltAccumulator, PltReport, PltSimulation};
 pub use recovery::{RecoveryAction, RecoveryError, RecoveryPlan, RecoverySource};
 pub use selection::{PecConfig, SelectionStrategy};

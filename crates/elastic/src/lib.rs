@@ -1,0 +1,31 @@
+//! # moc-elastic — failure-domain-aware placement and elastic recovery
+//!
+//! MoC-System's two-level recovery (PRs 1–4) restores state fast, but it
+//! assumes a fixed-shape grid: the dead ranks are respawned and the run
+//! replays from the committed chain. Lazarus-style elastic recovery keeps
+//! training *without* the respawn: experts are placed on shard groups
+//! spread over distinct failure domains, and when a node dies the
+//! surviving groups adopt the dead groups' experts and batch slices, DP
+//! gradient groups re-form over the reduced world, and the run continues
+//! degraded until replacement capacity rejoins.
+//!
+//! * [`planner`] — [`PlacementPlanner`]: deterministic, load-balanced
+//!   assignment of every expert to `replication` shard groups on
+//!   distinct failure domains ([`moc_core::placement`] types);
+//! * [`rebalance`] — the shrink/expand plans: [`plan_shrink`] maps dead
+//!   groups onto surviving adopters (slices and experts),
+//!   [`plan_expand`] returns them home.
+//!
+//! The plans are pure data: `moc-runtime` executes them live (surviving
+//! ranks adopt slices so the DP-order gradient fold — and therefore the
+//! loss trajectory — stays bitwise identical to a fixed-shape run
+//! replaying from the same checkpoint).
+
+#![warn(missing_docs)]
+
+pub mod planner;
+pub mod rebalance;
+
+pub use moc_core::placement::{PlacementError, PlacementPlan};
+pub use planner::PlacementPlanner;
+pub use rebalance::{plan_expand, plan_shrink, ExpandPlan, ShrinkPlan};

@@ -1,0 +1,194 @@
+//! The placement planner: balanced, domain-spread expert assignment.
+//!
+//! [`PlacementPlanner::plan`] assigns every expert of every MoE layer to
+//! `replication` shard groups such that
+//!
+//! * the groups hosting one expert sit on **distinct failure domains**
+//!   (physical nodes, via [`moc_core::placement::domain_of_group`]),
+//! * per-group **primary load is balanced within ±1 expert** (primaries
+//!   are picked by a deterministic least-loaded scan, so no group ever
+//!   runs more than one expert ahead of another),
+//! * the plan is a **pure function of the topology and model shape** —
+//!   two planners over the same inputs emit identical plans, which the
+//!   runtime's determinism contract requires.
+//!
+//! Replication factors the cluster cannot host are rejected with
+//! [`PlacementError::ReplicationExceedsDomains`] instead of panicking —
+//! config validation surfaces this before any run starts.
+
+use moc_core::placement::{domain_of_group, num_failure_domains, PlacementError, PlacementPlan};
+use moc_core::topology::ParallelTopology;
+use std::collections::BTreeSet;
+
+/// Deterministic failure-domain-aware placement planner.
+#[derive(Debug, Clone)]
+pub struct PlacementPlanner {
+    topo: ParallelTopology,
+    num_experts: usize,
+    num_moe_layers: usize,
+    replication: usize,
+}
+
+impl PlacementPlanner {
+    /// Creates a planner for `num_experts` experts per MoE layer over
+    /// `num_moe_layers` layers, replicating each expert onto
+    /// `replication` shard groups of `topo`.
+    pub fn new(
+        topo: ParallelTopology,
+        num_experts: usize,
+        num_moe_layers: usize,
+        replication: usize,
+    ) -> Self {
+        Self {
+            topo,
+            num_experts,
+            num_moe_layers,
+            replication,
+        }
+    }
+
+    /// Checks the replication factor against the cluster.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::ZeroReplication`] for `replication == 0`;
+    /// [`PlacementError::ReplicationExceedsDomains`] when the topology
+    /// has fewer failure domains than requested replicas.
+    pub fn validate(&self) -> Result<(), PlacementError> {
+        if self.replication == 0 {
+            return Err(PlacementError::ZeroReplication);
+        }
+        let domains = num_failure_domains(&self.topo);
+        if self.replication > domains {
+            return Err(PlacementError::ReplicationExceedsDomains {
+                replication: self.replication,
+                domains,
+            });
+        }
+        Ok(())
+    }
+
+    /// Emits the placement plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlacementPlanner::validate`] failures.
+    pub fn plan(&self) -> Result<PlacementPlan, PlacementError> {
+        self.validate()?;
+        let groups = self.topo.num_shard_groups();
+        // Primary load drives primary picks (strict ±1 balance); total
+        // load (primaries + replicas) drives replica picks so secondary
+        // copies spread too.
+        let mut primary_load = vec![0usize; groups];
+        let mut total_load = vec![0usize; groups];
+        let domains: Vec<usize> = (0..groups)
+            .map(|g| domain_of_group(&self.topo, g))
+            .collect();
+
+        let mut replicas = Vec::with_capacity(self.num_experts * self.num_moe_layers);
+        for _layer in 0..self.num_moe_layers {
+            for _e in 0..self.num_experts {
+                let mut list = Vec::with_capacity(self.replication);
+                let mut used_domains: BTreeSet<usize> = BTreeSet::new();
+
+                // Primary: least primary-loaded group, ties toward the
+                // lowest index.
+                let primary = (0..groups)
+                    .min_by_key(|&g| (primary_load[g], g))
+                    .expect("at least one group");
+                primary_load[primary] += 1;
+                total_load[primary] += 1;
+                used_domains.insert(domains[primary]);
+                list.push(primary);
+
+                // Replicas: least total-loaded group on an unused domain.
+                for _ in 1..self.replication {
+                    let pick = (0..groups)
+                        .filter(|&g| !used_domains.contains(&domains[g]))
+                        .min_by_key(|&g| (total_load[g], g))
+                        .expect("validate() guarantees enough domains");
+                    total_load[pick] += 1;
+                    used_domains.insert(domains[pick]);
+                    list.push(pick);
+                }
+                replicas.push(list);
+            }
+        }
+        PlacementPlan::from_replicas(
+            self.replication,
+            groups,
+            self.num_experts,
+            self.num_moe_layers,
+            replicas,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_moe::ExpertId;
+
+    fn topo() -> ParallelTopology {
+        ParallelTopology::dp_ep(2, 4, 8, 8).unwrap()
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = PlacementPlanner::new(topo(), 8, 4, 2).plan().unwrap();
+        let b = PlacementPlanner::new(topo(), 8, 4, 2).plan().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replicas_span_distinct_domains() {
+        let plan = PlacementPlanner::new(topo(), 8, 4, 2).plan().unwrap();
+        let t = topo();
+        for id in plan.all_experts() {
+            let doms: BTreeSet<usize> = plan
+                .replicas_of(id)
+                .iter()
+                .map(|&g| domain_of_group(&t, g))
+                .collect();
+            assert_eq!(doms.len(), 2, "{id:?} replicas must span 2 nodes");
+        }
+    }
+
+    #[test]
+    fn primary_load_is_balanced_within_one() {
+        for r in 1..=2 {
+            let plan = PlacementPlanner::new(topo(), 8, 4, r).plan().unwrap();
+            let loads = plan.primary_loads();
+            let max = loads.iter().max().unwrap();
+            let min = loads.iter().min().unwrap();
+            assert!(max - min <= 1, "r={r}: primary loads {loads:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_replication_rejected() {
+        // 2 nodes -> 2 failure domains: r = 3 cannot be hosted.
+        let err = PlacementPlanner::new(topo(), 8, 4, 3).plan();
+        assert_eq!(
+            err,
+            Err(PlacementError::ReplicationExceedsDomains {
+                replication: 3,
+                domains: 2
+            })
+        );
+        let zero = PlacementPlanner::new(topo(), 8, 4, 0).plan();
+        assert_eq!(zero, Err(PlacementError::ZeroReplication));
+    }
+
+    #[test]
+    fn single_replica_plan_covers_every_expert() {
+        let plan = PlacementPlanner::new(topo(), 8, 4, 1).plan().unwrap();
+        for layer in 0..4 {
+            for e in 0..8 {
+                let id = ExpertId::new(layer, e);
+                assert_eq!(plan.replicas_of(id).len(), 1);
+                assert_eq!(plan.owner_of(id), plan.primary_of(id));
+            }
+        }
+    }
+}

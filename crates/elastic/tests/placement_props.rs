@@ -1,0 +1,174 @@
+//! Property tests of the placement planner and the shrink/expand
+//! rebalance over arbitrary valid topologies:
+//!
+//! * every expert lands on `replication` shard groups spanning that
+//!   many **distinct failure domains**;
+//! * per-group **primary load is balanced within ±1 expert**;
+//! * plans are **deterministic** (pure functions of their inputs);
+//! * replication factors the cluster cannot host are **rejected**, not
+//!   panicked on;
+//! * after an arbitrary proper subset of groups dies, every expert's
+//!   owner is a survivor, slice adoptions map dead → surviving groups
+//!   in a balanced way, and a full expand restores the original plan.
+
+use moc_core::placement::{domain_of_group, num_failure_domains, PlacementError};
+use moc_core::topology::ParallelTopology;
+use moc_elastic::{plan_expand, plan_shrink, PlacementPlanner};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Materializes an arbitrary valid topology from raw draws (`ep = 1`
+/// always divides `dp`; the node count is picked among the divisors of
+/// the world so every shape constructs).
+fn topology(dp: usize, tp: usize, pp: usize, node_pick: usize) -> ParallelTopology {
+    let world = dp * tp * pp;
+    let node_counts: Vec<usize> = (1..=world).filter(|n| world.is_multiple_of(*n)).collect();
+    let nodes = node_counts[node_pick % node_counts.len()];
+    ParallelTopology::new(nodes, world / nodes, dp, tp, pp, 1).expect("constructed shape is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn placement_spreads_replicas_and_balances_primaries(
+        dp in 1..9usize,
+        tp in 1..3usize,
+        pp in 1..3usize,
+        node_pick in 0..64usize,
+        experts in 1..9usize,
+        layers in 1..5usize,
+        r_pick in 0..4usize,
+    ) {
+        let topo = topology(dp, tp, pp, node_pick);
+        let domains = num_failure_domains(&topo);
+        let replication = 1 + r_pick % domains.max(1);
+        let planner = PlacementPlanner::new(topo, experts, layers, replication);
+        let plan = planner.plan().expect("hostable replication");
+
+        // Determinism: the plan is a pure function of its inputs.
+        prop_assert_eq!(
+            &plan,
+            &PlacementPlanner::new(topo, experts, layers, replication)
+                .plan()
+                .unwrap()
+        );
+
+        for id in plan.all_experts() {
+            let replicas = plan.replicas_of(id);
+            prop_assert_eq!(replicas.len(), replication, "{:?}", id);
+            let doms: BTreeSet<usize> =
+                replicas.iter().map(|&g| domain_of_group(&topo, g)).collect();
+            prop_assert_eq!(
+                doms.len(),
+                replication,
+                "{:?}: replicas {:?} must span distinct domains",
+                id,
+                replicas
+            );
+            prop_assert_eq!(plan.owner_of(id), replicas[0]);
+        }
+
+        // Primary load within ±1 expert of balanced.
+        let loads = plan.primary_loads();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "primary loads {:?}", loads);
+        prop_assert_eq!(loads.iter().sum::<usize>(), experts * layers);
+    }
+
+    #[test]
+    fn unhostable_replication_is_an_error_not_a_panic(
+        dp in 1..9usize,
+        node_pick in 0..64usize,
+        experts in 1..9usize,
+        layers in 1..5usize,
+        extra in 1..4usize,
+    ) {
+        let topo = topology(dp, 1, 1, node_pick);
+        let domains = num_failure_domains(&topo);
+        let planner = PlacementPlanner::new(topo, experts, layers, domains + extra);
+        prop_assert_eq!(
+            planner.plan().err(),
+            Some(PlacementError::ReplicationExceedsDomains {
+                replication: domains + extra,
+                domains,
+            })
+        );
+        prop_assert_eq!(
+            PlacementPlanner::new(topo, experts, layers, 0).plan().err(),
+            Some(PlacementError::ZeroReplication)
+        );
+    }
+
+    #[test]
+    fn shrink_rekeys_onto_survivors_and_expand_restores(
+        dp in 2..9usize,
+        node_pick in 0..64usize,
+        experts in 1..9usize,
+        layers in 1..5usize,
+        r_pick in 0..4usize,
+        dead_mask in 1..255usize,
+    ) {
+        let topo = topology(dp, 1, 1, node_pick);
+        let domains = num_failure_domains(&topo);
+        let replication = 1 + r_pick % domains;
+        let plan = PlacementPlanner::new(topo, experts, layers, replication)
+            .plan()
+            .unwrap();
+
+        let groups = topo.num_shard_groups();
+        let mut dead: BTreeSet<usize> = (0..groups).filter(|g| dead_mask >> g & 1 == 1).collect();
+        // Force a nonempty *proper* subset (dp >= 2 guarantees room).
+        if dead.is_empty() {
+            dead.insert(0);
+        }
+        if dead.len() == groups {
+            let last = *dead.iter().next_back().unwrap();
+            dead.remove(&last);
+        }
+
+        let shrink = plan_shrink(&plan, &dead).expect("survivors exist");
+        // Every expert's owner survives; experts that *had* a surviving
+        // owner did not move.
+        for id in plan.all_experts() {
+            let owner = shrink.placement.owner_of(id);
+            prop_assert!(!dead.contains(&owner), "{:?} owned by dead {}", id, owner);
+            if !dead.contains(&plan.owner_of(id)) {
+                prop_assert_eq!(owner, plan.owner_of(id), "{:?} moved needlessly", id);
+            } else if replication > 1 {
+                // Migration prefers a surviving replica when one exists.
+                if let Some(&replica) = plan
+                    .replicas_of(id)
+                    .iter()
+                    .find(|g| !dead.contains(g))
+                {
+                    prop_assert_eq!(owner, replica, "{:?} must use its replica", id);
+                }
+            }
+        }
+        prop_assert_eq!(shrink.experts_migrated(), shrink.placement.migrated_count());
+
+        // Slice adoption: total, dead → survivor, balanced within ±1.
+        prop_assert_eq!(shrink.adoptions.len(), dead.len());
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for (&d, &a) in &shrink.adoptions {
+            prop_assert!(dead.contains(&d));
+            prop_assert!(!dead.contains(&a));
+            *counts.entry(a).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap_or(0);
+        let min = (0..groups)
+            .filter(|g| !dead.contains(g))
+            .map(|g| counts.get(&g).copied().unwrap_or(0))
+            .min()
+            .unwrap();
+        prop_assert!(max - min <= 1, "adoptions {:?}", shrink.adoptions);
+
+        // Determinism and the expand round-trip.
+        prop_assert_eq!(&shrink, &plan_shrink(&plan, &dead).unwrap());
+        let expand = plan_expand(&shrink.placement, &dead);
+        prop_assert_eq!(&expand.placement, &plan);
+        prop_assert_eq!(expand.experts_returned, shrink.experts_migrated());
+    }
+}

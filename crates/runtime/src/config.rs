@@ -10,6 +10,7 @@
 use crate::collective::CollectiveKind;
 use crate::injector::SlowEvent;
 use moc_ckpt::EngineConfig;
+use moc_core::placement::num_failure_domains;
 use moc_core::topology::ParallelTopology;
 use moc_moe::MoeModelConfig;
 use moc_store::FaultPlan;
@@ -27,6 +28,48 @@ pub enum CheckpointMode {
     /// which copy to CPU memory and persist in the background while
     /// training continues (Fig. 8–9).
     Async,
+}
+
+/// Elastic-recovery policy: what the coordinator does when a node dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticConfig {
+    /// Recover node deaths by *shrinking* onto the surviving ranks
+    /// (surviving shard groups adopt the dead groups' batch slices and
+    /// experts) instead of respawning the dead ranks. When every node is
+    /// dead the coordinator still falls back to respawn — there is
+    /// nobody left to shrink onto.
+    pub shrink: bool,
+    /// Expert replication factor of the placement plan: every expert is
+    /// assigned to this many shard groups on distinct failure domains,
+    /// and migration prefers a surviving replica. Must be at least 1 and
+    /// at most the number of failure domains.
+    pub replication: usize,
+    /// Iterations after a shrink at which replacement ranks rejoin and
+    /// the world expands back to the configured shape (`None` = stay
+    /// degraded to the end of the run).
+    pub rejoin_after: Option<u64>,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        Self {
+            shrink: false,
+            replication: 1,
+            rejoin_after: None,
+        }
+    }
+}
+
+impl ElasticConfig {
+    /// Shrink-mode recovery with the given replication factor and no
+    /// automatic rejoin.
+    pub fn shrink(replication: usize) -> Self {
+        Self {
+            shrink: true,
+            replication,
+            rejoin_after: None,
+        }
+    }
 }
 
 /// Error from [`RuntimeConfig::validate`].
@@ -90,6 +133,18 @@ pub enum ConfigError {
         /// Why the engine config was rejected.
         reason: String,
     },
+    /// The elastic replication factor cannot be hosted by the cluster:
+    /// it is zero, or exceeds the number of distinct failure domains
+    /// (nodes hosting shard-group leaders), so no placement plan can
+    /// spread an expert's replicas over distinct domains. Rejected here
+    /// — before any run starts — instead of panicking inside the
+    /// placement planner.
+    ReplicationExceedsDomains {
+        /// Configured replication factor.
+        replication: usize,
+        /// Failure domains the topology offers.
+        domains: usize,
+    },
     /// A straggler event names a rank outside the world, a slowdown
     /// factor below 1, or a zero duration.
     BadStraggler {
@@ -133,6 +188,16 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroRingChunk => write!(f, "ring_chunk must be positive"),
             ConfigError::BadCkptEngine { reason } => {
                 write!(f, "checkpoint engine config invalid: {reason}")
+            }
+            ConfigError::ReplicationExceedsDomains {
+                replication,
+                domains,
+            } => {
+                write!(
+                    f,
+                    "replication factor {replication} cannot be hosted by \
+                     {domains} failure domains"
+                )
             }
             ConfigError::BadStraggler {
                 rank,
@@ -185,6 +250,9 @@ pub struct RuntimeConfig {
     /// After a ring collective aborts on a fault, run this many
     /// iterations on the star fallback before returning to the ring.
     pub ring_fallback_iterations: u64,
+    /// Elastic-recovery policy: shrink onto survivors vs respawn, the
+    /// placement replication factor, and the rejoin horizon.
+    pub elastic: ElasticConfig,
     /// Dynamic-K cumulative PLT budget (`None` = fixed K).
     pub dynamic_k_budget: Option<f64>,
     /// Global batch (sequences per iteration, split over DP ranks).
@@ -227,6 +295,7 @@ impl RuntimeConfig {
             collective: CollectiveKind::Ring,
             ring_chunk: 4096,
             ring_fallback_iterations: 1,
+            elastic: ElasticConfig::default(),
             dynamic_k_budget: None,
             batch: topology.dp(),
             seq_len: 32,
@@ -334,6 +403,13 @@ impl RuntimeConfig {
         if self.ring_chunk == 0 {
             return Err(ConfigError::ZeroRingChunk);
         }
+        let domains = num_failure_domains(&self.topology);
+        if self.elastic.replication == 0 || self.elastic.replication > domains {
+            return Err(ConfigError::ReplicationExceedsDomains {
+                replication: self.elastic.replication,
+                domains,
+            });
+        }
         if let Err(reason) = self.ckpt.validate() {
             return Err(ConfigError::BadCkptEngine { reason });
         }
@@ -434,6 +510,30 @@ mod tests {
                 "factor {bad} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn unhostable_replication_rejected() {
+        // topo(): 2 nodes -> 2 failure domains.
+        for bad in [0usize, 3, 9] {
+            let cfg = RuntimeConfig {
+                elastic: ElasticConfig::shrink(bad),
+                ..RuntimeConfig::tiny(topo())
+            };
+            assert_eq!(
+                cfg.validate(),
+                Err(ConfigError::ReplicationExceedsDomains {
+                    replication: bad,
+                    domains: 2
+                }),
+                "replication {bad} must be rejected"
+            );
+        }
+        let ok = RuntimeConfig {
+            elastic: ElasticConfig::shrink(2),
+            ..RuntimeConfig::tiny(topo())
+        };
+        ok.validate().unwrap();
     }
 
     #[test]

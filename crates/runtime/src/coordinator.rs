@@ -23,9 +23,12 @@ use crate::recovery_exec::{execute_recovery, RecoveryOutcome};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use moc_ckpt::{ChainStore, EngineStats, PartialPlan};
 use moc_core::dynamic_k::DynamicK;
+use moc_core::placement::PlacementPlan;
 use moc_core::plt::PltAccumulator;
 use moc_core::recovery::RecoveryError;
+use moc_core::topology::RankCoord;
 use moc_core::twolevel::ShardJob;
+use moc_elastic::{plan_expand, plan_shrink, PlacementPlanner};
 use moc_moe::ExpertId;
 use moc_store::{ClusterMemory, NodeId, ObjectStore, StatePart};
 use moc_train::checkpoint::expert_of;
@@ -133,6 +136,8 @@ struct GradResult {
     compute_secs: f64,
     stall_secs: f64,
     group: GroupStats,
+    /// Adopted dead-slice gradients (elastic degraded mode only).
+    adopted: Vec<crate::rank::AdoptedGrad>,
 }
 
 /// One rank's report from a star iteration.
@@ -217,6 +222,30 @@ struct Run {
     /// in rollback. After a few consecutive recoveries with no forward
     /// progress the run fails loudly instead, pointing at the timeout.
     recoveries_without_progress: u32,
+    /// Per-global-rank liveness. Always all-true outside elastic shrink
+    /// mode (the respawn path revives ranks within the recovery); under
+    /// elastic shrink, the dead shard groups' ranks stay false until an
+    /// expand revives them.
+    live: Vec<bool>,
+    /// The failure-domain-aware expert placement (elastic mode only):
+    /// checkpoint duties are keyed by this plan instead of the static
+    /// `owner_coord`, so partial-expert selection follows migrations.
+    placement: Option<PlacementPlan>,
+    /// Shard groups currently dead (DP indices), cumulative across
+    /// shrinks until an expand revives them.
+    dead_groups: BTreeSet<usize>,
+    /// Active slice adoption: dead group → surviving group computing its
+    /// DP batch slice.
+    adoptions: BTreeMap<usize, usize>,
+    /// Iteration at which the current degraded window began (the most
+    /// recent shrink's resume point), `None` when full-shape.
+    degraded_since: Option<u64>,
+    /// Per-checkpoint `(serialized bytes, serialize secs)` calibration
+    /// samples.
+    snapshot_samples: Vec<(u64, f64)>,
+    /// Per-checkpoint `(persisted bytes, blocking write secs)` samples
+    /// (sync mode only).
+    persist_samples: Vec<(u64, f64)>,
 }
 
 impl Run {
@@ -255,6 +284,20 @@ impl Run {
         );
         let cum_routed = vec![vec![0u64; n_experts]; layers];
 
+        // Elastic mode plans the failure-domain-aware placement up
+        // front; `validate()` already rejected unhostable replication
+        // factors, so planning cannot fail here.
+        let placement = config.elastic.shrink.then(|| {
+            PlacementPlanner::new(
+                config.topology,
+                n_experts,
+                layers,
+                config.elastic.replication,
+            )
+            .plan()
+            .expect("validated replication factor")
+        });
+
         let mut run = Self {
             config,
             store,
@@ -283,6 +326,13 @@ impl Run {
             star_fallback_until: 0,
             apply_bufs: Vec::new(),
             recoveries_without_progress: 0,
+            live: vec![true; world],
+            placement,
+            dead_groups: BTreeSet::new(),
+            adoptions: BTreeMap::new(),
+            degraded_since: None,
+            snapshot_samples: Vec::new(),
+            persist_samples: Vec::new(),
         };
         run.apply_bufs = (0..run.config.topology.num_dp_groups())
             .map(|_| Arc::new(Vec::new()))
@@ -293,6 +343,12 @@ impl Run {
             run.handles.push(Some(handle));
         }
         run.build_links();
+        if run.placement.is_some() {
+            // Key checkpoint duties by the placement plan from the very
+            // first checkpoint, so selection follows the same map before
+            // and after migrations.
+            run.send_reconfigure();
+        }
         Ok(run)
     }
 
@@ -304,7 +360,9 @@ impl Run {
     fn build_links(&mut self) {
         let topo = self.config.topology;
         let num_groups = topo.num_dp_groups();
-        self.meshes = if self.config.collective == CollectiveKind::Ring {
+        // A shrunk world never runs the ring (its DP-group rings would
+        // miss the dead members), so no meshes are built while degraded.
+        self.meshes = if self.config.collective == CollectiveKind::Ring && !self.degraded() {
             (0..num_groups)
                 .map(|_| RingMesh::new(topo.dp(), self.grad_len, self.config.ring_chunk))
                 .collect()
@@ -319,6 +377,9 @@ impl Run {
             return; // flat star world: nothing to install
         }
         for (rank, tx) in self.cmd_txs.iter().enumerate() {
+            if !self.live[rank] {
+                continue;
+            }
             // A rank's DP group is its position-independent coordinate
             // pair `(tp, pp)`; its slot on that group's ring is its DP
             // index.
@@ -333,12 +394,37 @@ impl Run {
     }
 
     /// The collective iteration `it` runs on: the configured one, unless
-    /// a ring abort opened a star-fallback window that `it` falls into.
+    /// a ring abort opened a star-fallback window that `it` falls into,
+    /// or the world is elastically shrunk (the reduced world always
+    /// exchanges through the coordinator star, whose DP-order fold can
+    /// splice adopted slices in at the dead positions).
     fn collective_for(&self, it: u64) -> CollectiveKind {
+        if self.degraded() {
+            return CollectiveKind::Star;
+        }
         match self.config.collective {
             CollectiveKind::Ring if it >= self.star_fallback_until => CollectiveKind::Ring,
             _ => CollectiveKind::Star,
         }
+    }
+
+    /// Whether the run is currently shrunk below its configured shape.
+    fn degraded(&self) -> bool {
+        self.degraded_since.is_some()
+    }
+
+    /// Live rank count (the reply quorum of every barrier).
+    fn live_world(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// The lowest-indexed live rank (eval target and state-export
+    /// donor; rank 0 unless its shard group died).
+    fn first_live_rank(&self) -> usize {
+        self.live
+            .iter()
+            .position(|&l| l)
+            .expect("at least one live rank")
     }
 
     fn spawn_rank(&self, rank: usize) -> (Sender<RankCommand>, JoinHandle<()>) {
@@ -387,8 +473,59 @@ impl Run {
     }
 
     fn send_all(&self, command: &RankCommand) {
-        for tx in &self.cmd_txs {
-            tx.send(command.clone()).expect("rank thread alive");
+        for (rank, tx) in self.cmd_txs.iter().enumerate() {
+            if self.live[rank] {
+                tx.send(command.clone()).expect("rank thread alive");
+            }
+        }
+    }
+
+    /// The grid coordinate owning a module's checkpoint duties under the
+    /// *current* elastic placement: expert modules follow the placement
+    /// plan's (possibly migrated) owner, non-expert modules keep their
+    /// static spread with dead groups remapped through the slice
+    /// adoptions. Falls back to the static [`owner_coord`] outside
+    /// elastic mode.
+    fn module_owner_coord(&self, module: &str) -> RankCoord {
+        let mut c = owner_coord(&self.config.topology, &self.config.model, module);
+        let Some(placement) = &self.placement else {
+            return c;
+        };
+        if let Some(id) = expert_of(&self.config.model, module) {
+            c.dp = placement.owner_of(id);
+        }
+        if let Some(&adopter) = self.adoptions.get(&c.dp) {
+            c.dp = adopter;
+        }
+        c
+    }
+
+    /// Pushes the current placement-keyed checkpoint duties and slice
+    /// adoptions to every live rank (elastic mode only; sent at run
+    /// start and after every shrink or expand).
+    fn send_reconfigure(&self) {
+        let topo = &self.config.topology;
+        let mut owned: Vec<Vec<String>> = vec![Vec::new(); self.world()];
+        for module in &self.module_names {
+            let rank = topo.global_rank_of(self.module_owner_coord(module));
+            owned[rank].push(module.clone());
+        }
+        for (rank, tx) in self.cmd_txs.iter().enumerate() {
+            if !self.live[rank] {
+                continue;
+            }
+            let dp = topo.coords_of(rank).dp;
+            let adopted_slices: Vec<usize> = self
+                .adoptions
+                .iter()
+                .filter(|&(_, &a)| a == dp)
+                .map(|(&d, _)| d)
+                .collect();
+            tx.send(RankCommand::Reconfigure {
+                owned: Arc::new(std::mem::take(&mut owned[rank])),
+                adopted_slices: Arc::new(adopted_slices),
+            })
+            .expect("rank thread alive");
         }
     }
 
@@ -398,6 +535,18 @@ impl Run {
         let loop_start = Instant::now();
         let mut it = 1u64;
         while it <= self.config.total_iterations {
+            // 0. Elastic expand: once the rejoin horizon passes,
+            //    replacement ranks come back *before* this iteration's
+            //    faults are injected — a kill scheduled here strikes the
+            //    freshly expanded world (the "kill during migration"
+            //    scenario).
+            if let (Some(since), Some(after)) =
+                (self.degraded_since, self.config.elastic.rejoin_after)
+            {
+                if it >= since + after {
+                    self.expand(it);
+                }
+            }
             self.metrics.iterations_executed += 1;
 
             // 1. Inject scheduled kills: the node's CPU memory dies now;
@@ -433,6 +582,9 @@ impl Run {
                 }
             }
             for (rank, tx) in self.cmd_txs.iter().enumerate() {
+                if !self.live[rank] {
+                    continue;
+                }
                 let die = kills.contains(&self.node_of(rank));
                 let slow_factor = slows.iter().find(|&&(r, _)| r == rank).map(|&(_, f)| f);
                 tx.send(RankCommand::Step {
@@ -457,6 +609,9 @@ impl Run {
                 continue;
             }
             self.recoveries_without_progress = 0;
+            if self.degraded() {
+                self.metrics.degraded_iterations += 1;
+            }
 
             // 6. Two-level checkpoint.
             if it.is_multiple_of(self.config.i_ckpt) {
@@ -483,19 +638,47 @@ impl Run {
     /// Full synchronous checkpoint of everything at iteration 0 — the
     /// recoverability floor every PEC run needs.
     fn bootstrap(&mut self) {
+        self.full_checkpoint(0);
+        self.routed_at.insert(0, self.cum_routed.clone());
+    }
+
+    /// Untimed full-selection synchronous checkpoint at `version`
+    /// (bootstrap and the rejoin barrier share it; excluded from the
+    /// checkpoint phase stats and counters).
+    fn full_checkpoint(&mut self, version: u64) {
+        // Quiesce first: an in-flight async checkpoint of the same
+        // version may write the same keys through a *different* writer
+        // (ownership moved at a shrink/expand), and the per-node queues
+        // only order writes within one writer — draining serializes the
+        // cross-writer overwrite so the last record always matches the
+        // stored bytes.
+        for node in self.nodes.iter().filter(|n| n.alive()) {
+            node.wait_idle();
+        }
         let full = self.plan.full_selection();
         let snapshot = Arc::new(full.snapshot);
         let persist = Arc::new(full.persist);
         self.send_all(&RankCommand::Checkpoint {
-            iteration: 0,
+            iteration: version,
             snapshot,
             persist,
         });
-        // Bootstrap timing is excluded from the checkpoint phase stats:
-        // it is a one-off full write both modes share.
-        let shards = self.collect_shards(false);
-        self.submit_and_drain(0, shards);
-        self.routed_at.insert(0, self.cum_routed.clone());
+        let (shards, _) = self.collect_shards(false);
+        self.submit_and_drain(version, shards);
+    }
+
+    /// The rejoin barrier: a full re-commit of the current state by
+    /// every live writer at `version`. Taken whenever previously-dead
+    /// writers come back (elastic expand, total-loss restart): their
+    /// frozen chains share no recent version with the survivors' — the
+    /// survivors may even have GC'd the shared prefix — so without this
+    /// barrier the next recovery's live-writer commit rule could find
+    /// an *empty* intersection and fail on a store full of committed
+    /// state. Survivors' writers dedup the unchanged payloads, so the
+    /// barrier costs one manifest round in steady state.
+    fn barrier_checkpoint(&mut self, version: u64) {
+        self.full_checkpoint(version);
+        self.record_routed_at(version);
     }
 
     /// Star-collective exchange: gather every rank's gradient, reduce
@@ -506,7 +689,7 @@ impl Run {
         let collect_start = Instant::now();
         let replies = self.collect_star(it);
         let missing: Vec<usize> = (0..self.world())
-            .filter(|r| !replies.contains_key(r))
+            .filter(|&r| self.live[r] && !replies.contains_key(&r))
             .collect();
         let aborted: Vec<usize> = replies
             .iter()
@@ -543,21 +726,39 @@ impl Run {
         // adding it to zero, which would flip -0.0 to +0.0 and diverge
         // bitwise from the ring's fold. `Arc::get_mut` succeeds in steady
         // state because every rank drops its clone of the previous
-        // broadcast before sending this iteration's gradient.
+        // broadcast before sending this iteration's gradient. In a
+        // shrunk world a dead DP index's gradient is spliced in from its
+        // adopter's adopted-slice result at the same fold position, so
+        // the fold — and the trajectory — is bitwise the fixed-shape
+        // fold's.
         let dp = self.config.topology.dp();
         let num_groups = self.config.topology.num_dp_groups();
+        // The gradient of DP index `d` for fold group `group`: the live
+        // member's own gradient, or the adopter's adopted slice.
+        let grad_of = |d: usize, group: usize| -> &Vec<f32> {
+            let member = d * num_groups + group;
+            if self.live[member] {
+                &grads[&member].grad
+            } else {
+                let adopter = self.adoptions[&d] * num_groups + group;
+                &grads[&adopter]
+                    .adopted
+                    .iter()
+                    .find(|a| a.dp == d)
+                    .expect("adopter carries the dead slice")
+                    .grad
+            }
+        };
         let start = Instant::now();
-        for group in 0..num_groups {
-            let buf = &mut self.apply_bufs[group];
+        for (group, buf) in self.apply_bufs.iter_mut().enumerate() {
             if Arc::get_mut(buf).is_none() {
                 *buf = Arc::new(Vec::new());
             }
             let sum = Arc::get_mut(buf).expect("freshly replaced Arc");
             sum.clear();
-            sum.extend_from_slice(&grads[&group].grad);
+            sum.extend_from_slice(grad_of(0, group));
             for d in 1..dp {
-                let member = d * num_groups + group;
-                for (s, &x) in sum.iter_mut().zip(&grads[&member].grad) {
+                for (s, &x) in sum.iter_mut().zip(grad_of(d, group)) {
                     *s += x;
                 }
             }
@@ -568,17 +769,28 @@ impl Run {
         }
         self.metrics
             .record(Phase::Reduce, start.elapsed().as_secs_f64());
-        self.record_routing(
-            grads
-                .iter()
-                .filter(|(&rank, _)| rank % num_groups == 0)
-                .map(|(_, g)| &g.expert_loads),
-        );
+        // Routing statistics: one representative per shard group — the
+        // live `(tp, pp) = (0, 0)` members' own loads plus the adopted
+        // dead slices they computed.
+        let mut routing: Vec<&Vec<Vec<u64>>> = Vec::new();
+        for (&rank, g) in &grads {
+            if rank % num_groups != 0 {
+                continue;
+            }
+            routing.push(&g.expert_loads);
+            for a in &g.adopted {
+                routing.push(&a.expert_loads);
+            }
+        }
+        self.record_routing(routing.into_iter());
 
         // Broadcast each group's reduced gradient; every member applies
         // the same Adam step, keeping replicas bitwise identical.
         let apply_start = Instant::now();
         for (rank, tx) in self.cmd_txs.iter().enumerate() {
+            if !self.live[rank] {
+                continue;
+            }
             tx.send(RankCommand::Apply {
                 grad: self.apply_bufs[rank % num_groups].clone(),
             })
@@ -598,7 +810,7 @@ impl Run {
         let collect_start = Instant::now();
         let replies = self.collect_ring(it);
         let missing: Vec<usize> = (0..self.world())
-            .filter(|r| !replies.contains_key(r))
+            .filter(|&r| self.live[r] && !replies.contains_key(&r))
             .collect();
         let aborted: Vec<usize> = replies
             .iter()
@@ -740,7 +952,7 @@ impl Run {
         } else {
             self.config.heartbeat_timeout
         };
-        while replies.len() < self.world() {
+        while replies.len() < self.live_world() {
             match self.events.recv_timeout(window) {
                 Ok(RankEvent::Grad {
                     rank,
@@ -753,6 +965,7 @@ impl Run {
                     tp_consistent,
                     tp_sync_secs,
                     pp_wait_secs,
+                    adopted,
                 }) if it == iteration && epoch == self.epoch => {
                     replies.insert(
                         rank,
@@ -766,6 +979,7 @@ impl Run {
                                 tp_sync_secs,
                                 pp_wait_secs,
                             },
+                            adopted,
                         }),
                     );
                 }
@@ -791,7 +1005,7 @@ impl Run {
     fn collect_ring(&mut self, iteration: u64) -> BTreeMap<usize, RingReply> {
         let mut replies = BTreeMap::new();
         let window = self.config.heartbeat_timeout * 2;
-        while replies.len() < self.world() {
+        while replies.len() < self.live_world() {
             match self.events.recv_timeout(window) {
                 Ok(RankEvent::StepDone {
                     rank,
@@ -863,19 +1077,19 @@ impl Run {
     /// release). Non-matching events are stale and discarded.
     fn wait_applied(&self) {
         let mut acks = HashSet::new();
-        while acks.len() < self.world() {
+        while acks.len() < self.live_world() {
             if let RankEvent::Applied { rank } = self.recv_reply("apply barrier") {
                 acks.insert(rank);
             }
         }
     }
 
-    /// Gathers one `Shards` reply per rank, returning `(rank, jobs)` plus
-    /// the slowest serialization time.
-    fn collect_shards(&mut self, record_metrics: bool) -> Vec<(usize, Vec<ShardJob>)> {
+    /// Gathers one `Shards` reply per live rank, returning `(rank, jobs)`
+    /// plus the slowest serialization time.
+    fn collect_shards(&mut self, record_metrics: bool) -> (Vec<(usize, Vec<ShardJob>)>, f64) {
         let mut out: BTreeMap<usize, Vec<ShardJob>> = BTreeMap::new();
         let mut max_serialize = 0.0f64;
-        while out.len() < self.world() {
+        while out.len() < self.live_world() {
             // Non-matching events are stale and discarded.
             if let RankEvent::Shards {
                 rank,
@@ -890,29 +1104,37 @@ impl Run {
         if record_metrics {
             self.metrics.record(Phase::CkptSerialize, max_serialize);
         }
-        out.into_iter().collect()
+        (out.into_iter().collect(), max_serialize)
     }
 
-    /// Groups per-rank shard jobs by hosting node. Every node gets an
-    /// entry (possibly empty), so every node's manifest chain advances at
-    /// every checkpoint — the global commit rule requires it.
+    /// Groups per-rank shard jobs by hosting node. Every *live* node
+    /// gets an entry (possibly empty), so every live node's manifest
+    /// chain advances at every checkpoint — the commit rule over the
+    /// live writer set requires it. Dead nodes get nothing: their chains
+    /// freeze at their last pre-fault commit.
     fn group_by_node(&self, shards: Vec<(usize, Vec<ShardJob>)>) -> BTreeMap<usize, Vec<ShardJob>> {
-        let mut per_node: BTreeMap<usize, Vec<ShardJob>> =
-            (0..self.nodes.len()).map(|n| (n, Vec::new())).collect();
+        let mut per_node: BTreeMap<usize, Vec<ShardJob>> = (0..self.nodes.len())
+            .filter(|&n| self.nodes[n].alive())
+            .map(|n| (n, Vec::new()))
+            .collect();
         for (rank, jobs) in shards {
-            per_node.entry(self.node_of(rank)).or_default().extend(jobs);
+            let node = self.node_of(rank);
+            debug_assert!(self.nodes[node].alive(), "shards only from live ranks");
+            per_node.entry(node).or_default().extend(jobs);
         }
         per_node
     }
 
     /// Synchronous write: submit to every node's engine and block until
     /// the pipelines drained — the paper's baseline behaviour of paying
-    /// the full persist inside the iteration.
-    fn write_sync(&mut self, version: u64, shards: Vec<(usize, Vec<ShardJob>)>) {
+    /// the full persist inside the iteration. Returns the blocking wall
+    /// time (the persist-tier calibration sample).
+    fn write_sync(&mut self, version: u64, shards: Vec<(usize, Vec<ShardJob>)>) -> f64 {
         let start = Instant::now();
         self.submit_and_drain(version, shards);
-        self.metrics
-            .record(Phase::CkptWrite, start.elapsed().as_secs_f64());
+        let secs = start.elapsed().as_secs_f64();
+        self.metrics.record(Phase::CkptWrite, secs);
+        secs
     }
 
     /// Untimed submit + drain (bootstrap and sync mode share it).
@@ -920,7 +1142,7 @@ impl Run {
         for (node, jobs) in self.group_by_node(shards) {
             self.nodes[node].submit(version, jobs);
         }
-        for node in &self.nodes {
+        for node in self.nodes.iter().filter(|n| n.alive()) {
             node.wait_idle();
         }
     }
@@ -959,10 +1181,27 @@ impl Run {
             snapshot,
             persist,
         });
-        let shards = self.collect_shards(true);
+        let (shards, serialize_secs) = self.collect_shards(true);
+        // Calibration samples: serialized bytes against the serialize
+        // wall (snapshot tier), and — in sync mode — persisted bytes
+        // against the blocking write wall (persist tier).
+        let serialized_bytes: u64 = shards
+            .iter()
+            .flat_map(|(_, jobs)| jobs.iter())
+            .map(|j| j.payload.len() as u64)
+            .sum();
+        let persist_bytes: u64 = shards
+            .iter()
+            .flat_map(|(_, jobs)| jobs.iter())
+            .filter(|j| j.persist)
+            .map(|j| j.payload.len() as u64)
+            .sum();
+        self.snapshot_samples
+            .push((serialized_bytes, serialize_secs));
         let stalled_nodes = match self.config.checkpoint_mode {
             CheckpointMode::Sync => {
-                self.write_sync(iteration, shards);
+                let write_secs = self.write_sync(iteration, shards);
+                self.persist_samples.push((persist_bytes, write_secs));
                 Vec::new()
             }
             CheckpointMode::Async => self.submit_async(iteration, shards),
@@ -1000,9 +1239,11 @@ impl Run {
     }
 
     fn eval(&mut self) -> f32 {
-        self.cmd_txs[0]
+        // Replicas are bitwise identical, so any live rank evaluates the
+        // same loss; rank 0 unless its shard group died in a shrink.
+        self.cmd_txs[self.first_live_rank()]
             .send(RankCommand::Eval)
-            .expect("rank 0 alive");
+            .expect("eval rank alive");
         loop {
             // Non-matching events are stale and discarded.
             if let RankEvent::EvalLoss { loss } = self.recv_reply("evaluation") {
@@ -1044,8 +1285,16 @@ impl Run {
         // Recovery plans against the *committed* chain view, not the raw
         // store: delta shards reconstruct transparently and a torn
         // persist (shards without their manifest) is invisible, so the
-        // plan can only choose state that restores bit-for-bit.
-        let chain = ChainStore::load_expecting(self.store.clone(), Some(self.nodes.len()))
+        // plan can only choose state that restores bit-for-bit. The
+        // commit rule spans the writers that were alive up to this fault
+        // — nodes already lost to an earlier shrink stopped committing
+        // at their death, so requiring them would freeze the commit
+        // frontier at the pre-shrink checkpoint (their frozen chains
+        // still *serve* their old shards).
+        let required: Vec<usize> = (0..self.nodes.len())
+            .filter(|n| healthy[*n] || dead_nodes.contains(n))
+            .collect();
+        let chain = ChainStore::load_for_writers(self.store.clone(), &required)
             .map_err(RecoveryError::from)?;
         let outcome = execute_recovery(
             &slots,
@@ -1076,15 +1325,56 @@ impl Run {
             self.plan = self.plan.with_k(new_k, k_persist);
         }
 
-        // Restart the dead nodes' ranks with fresh threads, and account
-        // which shard groups the failure touched: a dead rank drags its
-        // whole shard group — the `tp · pp` ranks sharing its DP index,
-        // which jointly own the group's checkpoint shards — through the
-        // rollback.
-        let mut shard_groups: BTreeSet<usize> = BTreeSet::new();
-        for &node in dead_nodes {
-            for rank in self.config.topology.global_ranks_on_node(node) {
-                shard_groups.insert(self.config.topology.coords_of(rank).dp);
+        // A dead rank drags its whole shard group — the `tp · pp` ranks
+        // sharing its DP index, which jointly own the group's checkpoint
+        // shards — through the rollback.
+        let shard_groups: BTreeSet<usize> = dead_nodes
+            .iter()
+            .flat_map(|&node| self.config.topology.global_ranks_on_node(node))
+            .map(|rank| self.config.topology.coords_of(rank).dp)
+            .collect();
+        self.metrics.shard_groups_recovered += shard_groups.len() as u64;
+        // How many restored expert shards the dead shard groups own under
+        // the group keying in effect at the fault — the part of the
+        // restore that recovered *their* state rather than rolling
+        // survivors back.
+        let group_owned_shards = outcome
+            .plan
+            .actions
+            .iter()
+            .filter(|a| shard_groups.contains(&self.module_owner_coord(&a.module).dp))
+            .count();
+
+        // Elastic shrink is possible whenever at least one shard group
+        // survives the fault; with nobody left to shrink onto, even an
+        // elastic run must fall back to respawning.
+        let all_dead: BTreeSet<usize> = self
+            .dead_groups
+            .iter()
+            .copied()
+            .chain(shard_groups.iter().copied())
+            .collect();
+        let shrink =
+            self.config.elastic.shrink && all_dead.len() < self.config.topology.num_shard_groups();
+
+        let mut rejoin_barrier = false;
+        if shrink {
+            self.shrink_rebalance(resume, &shard_groups, &all_dead);
+        } else {
+            // Restart the dead nodes' ranks with fresh threads (the
+            // fixed-shape respawn recovery). When an elastic run lost
+            // its last survivors there is nobody to shrink onto, so the
+            // whole world restarts: ranks retired by earlier shrinks
+            // respawn too, and the placement returns home.
+            let mut to_respawn: BTreeSet<usize> = dead_nodes
+                .iter()
+                .flat_map(|&node| self.config.topology.global_ranks_on_node(node))
+                .collect();
+            to_respawn.extend((0..self.world()).filter(|&r| !self.live[r]));
+            // Reviving writers retired by an earlier shrink: their
+            // frozen chains need the rejoin barrier below.
+            rejoin_barrier = !self.dead_groups.is_empty();
+            for rank in to_respawn {
                 let (tx, handle) = self.spawn_rank(rank);
                 let old_tx = std::mem::replace(&mut self.cmd_txs[rank], tx);
                 drop(old_tx);
@@ -1092,39 +1382,37 @@ impl Run {
                     let _ = old.join();
                 }
                 self.handles[rank] = Some(handle);
+                self.live[rank] = true;
             }
-            self.nodes[node].set_alive(true);
+            for node in &mut self.nodes {
+                node.set_alive(true);
+            }
+            if let Some(placement) = &self.placement {
+                let returning = std::mem::take(&mut self.dead_groups);
+                self.placement = Some(placement.restored(&returning).0);
+                self.adoptions.clear();
+                self.degraded_since = None;
+                self.send_reconfigure();
+            }
         }
-        self.metrics.shard_groups_recovered += shard_groups.len() as u64;
-        // How many restored expert shards the dead shard groups own under
-        // the partial plan's group keying — the part of the restore that
-        // recovered *their* state rather than rolling survivors back.
-        let group_owned_shards = outcome
-            .plan
-            .actions
-            .iter()
-            .filter(|a| {
-                let coord = owner_coord(&self.config.topology, &self.config.model, &a.module);
-                shard_groups.contains(&coord.dp)
-            })
-            .count();
 
         // Rebuild the collective wiring: fresh channels drop anything the
         // aborted collectives stranded, and respawned ranks need
         // endpoints. A ring run additionally falls back to the star path
-        // for the configured window of post-recovery iterations.
+        // for the configured window of post-recovery iterations (a
+        // shrunk run stays on the star until it expands).
         self.build_links();
         if self.config.collective == CollectiveKind::Ring {
             self.star_fallback_until = resume + self.config.ring_fallback_iterations + 1;
         }
 
-        // Broadcast restored state; every rank (survivor or respawned)
-        // rolls back to the recovered versions.
+        // Broadcast restored state; every live rank (survivor or
+        // respawned) rolls back to the recovered versions.
         let restore_start = Instant::now();
         let blobs = Arc::new(outcome.blobs);
         self.send_all(&RankCommand::Restore { blobs });
         let mut restored = HashSet::new();
-        while restored.len() < self.world() {
+        while restored.len() < self.live_world() {
             // Stale pre-recovery events are drained and discarded here.
             if let RankEvent::Restored { rank } = self.recv_reply("restore") {
                 restored.insert(rank);
@@ -1143,6 +1431,9 @@ impl Run {
             .get(&resume)
             .expect("resume iteration was checkpointed")
             .clone();
+        if rejoin_barrier {
+            self.barrier_checkpoint(resume);
+        }
         self.metrics.event(
             detected_at,
             EventKind::Recovery {
@@ -1155,6 +1446,155 @@ impl Run {
             },
         );
         Ok(resume)
+    }
+
+    /// The elastic shrink: instead of respawning, the surviving shard
+    /// groups adopt the dead groups' DP batch slices and experts, and
+    /// training continues on the reduced world within the same run. The
+    /// newly dead groups' ranks are retired (members on healthy nodes
+    /// are orphaned — a shard group cannot function without its dead
+    /// members), the placement migrates expert ownership onto surviving
+    /// replicas, and every live rank is reconfigured with its new
+    /// duties.
+    fn shrink_rebalance(
+        &mut self,
+        resume: u64,
+        newly_dead: &BTreeSet<usize>,
+        all_dead: &BTreeSet<usize>,
+    ) {
+        let start = Instant::now();
+        let topo = self.config.topology;
+        let group_span = topo.tp() * topo.pp();
+        for &g in newly_dead {
+            for rank in g * group_span..(g + 1) * group_span {
+                self.live[rank] = false;
+                // Replacing the sender drops the old channel, so an
+                // orphaned member on a healthy node exits its command
+                // loop and can be joined at shutdown (members on the
+                // dead nodes already exited mid-iteration).
+                let (dangling, _) = unbounded();
+                drop(std::mem::replace(&mut self.cmd_txs[rank], dangling));
+            }
+        }
+
+        let placement = self
+            .placement
+            .as_ref()
+            .expect("elastic mode plans placement");
+        let plan = plan_shrink(placement, all_dead).expect("a shard group survives");
+        let experts_migrated = plan.experts_migrated();
+        self.metrics.experts_migrated += experts_migrated as u64;
+        self.adoptions = plan.adoptions;
+        self.placement = Some(plan.placement);
+        self.dead_groups = all_dead.clone();
+        self.degraded_since = Some(resume);
+        self.metrics.elastic_shrinks += 1;
+        self.send_reconfigure();
+
+        let shrink_secs = start.elapsed().as_secs_f64();
+        self.metrics.record(Phase::ShrinkRebalance, shrink_secs);
+        self.metrics.event(
+            resume,
+            EventKind::ElasticShrink {
+                dead_groups: newly_dead.iter().copied().collect(),
+                adoptions: self.adoptions.iter().map(|(&d, &a)| (d, a)).collect(),
+                experts_migrated,
+                shrink_secs,
+            },
+        );
+    }
+
+    /// The elastic expand: replacement ranks rejoin at iteration `it`,
+    /// seeded bitwise from a survivor's replica, and the placement and
+    /// batch slices return home. The expanded world continues on the
+    /// survivors' exact trajectory — the rejoin is numerically
+    /// invisible.
+    fn expand(&mut self, it: u64) {
+        let start = Instant::now();
+        // Export the replica template first: every live rank holds the
+        // same bits, so the lowest-indexed one serves.
+        self.cmd_txs[self.first_live_rank()]
+            .send(RankCommand::ExportState)
+            .expect("export rank alive");
+        let blobs = loop {
+            if let RankEvent::StateExport { blobs } = self.recv_reply("state export") {
+                break blobs;
+            }
+        };
+
+        let returning = std::mem::take(&mut self.dead_groups);
+        let mut new_ranks = Vec::new();
+        for rank in 0..self.world() {
+            if self.live[rank] {
+                continue;
+            }
+            let (tx, handle) = self.spawn_rank(rank);
+            drop(std::mem::replace(&mut self.cmd_txs[rank], tx));
+            if let Some(old) = self.handles[rank].take() {
+                let _ = old.join();
+            }
+            self.handles[rank] = Some(handle);
+            self.live[rank] = true;
+            new_ranks.push(rank);
+        }
+        for node in &mut self.nodes {
+            node.set_alive(true);
+        }
+
+        let placement = self
+            .placement
+            .as_ref()
+            .expect("elastic mode plans placement");
+        let plan = plan_expand(placement, &returning);
+        let experts_returned = plan.experts_returned;
+        self.placement = Some(plan.placement);
+        self.adoptions.clear();
+        let degraded_iterations = self
+            .degraded_since
+            .take()
+            .map(|since| (it - 1).saturating_sub(since))
+            .unwrap_or(0);
+
+        // Fresh wiring (the returning ranks need endpoints), bitwise
+        // seed, then the restored duty map.
+        self.build_links();
+        let blobs = Arc::new(blobs);
+        for &rank in &new_ranks {
+            self.cmd_txs[rank]
+                .send(RankCommand::Restore {
+                    blobs: blobs.clone(),
+                })
+                .expect("respawned rank alive");
+        }
+        let mut seeded = HashSet::new();
+        while seeded.len() < new_ranks.len() {
+            if let RankEvent::Restored { rank } = self.recv_reply("expand seed") {
+                seeded.insert(rank);
+            }
+        }
+        self.send_reconfigure();
+        if self.config.collective == CollectiveKind::Ring {
+            self.star_fallback_until = it + self.config.ring_fallback_iterations;
+        }
+        // Rejoin barrier: the returning writers' chains froze at the
+        // shrink and the survivors may have GC'd every version the two
+        // sides shared, so all live writers re-commit the current state
+        // — otherwise a fault right after the expand would find no
+        // commonly committed version to recover from.
+        self.barrier_checkpoint(it - 1);
+
+        self.metrics.elastic_expands += 1;
+        let expand_secs = start.elapsed().as_secs_f64();
+        self.metrics.record(Phase::ExpandRestore, expand_secs);
+        self.metrics.event(
+            it,
+            EventKind::ElasticExpand {
+                returning_groups: returning.into_iter().collect(),
+                experts_returned,
+                degraded_iterations,
+                expand_secs,
+            },
+        );
     }
 
     /// Exact lost-token accounting (Eq. 7): for every expert restored at
@@ -1193,12 +1633,12 @@ impl Run {
 
     fn finish(mut self) -> Result<RunSummary, RuntimeError> {
         // Drain in-flight persists before measuring final storage state.
-        for node in &self.nodes {
+        for node in self.nodes.iter().filter(|n| n.alive()) {
             node.wait_idle();
         }
         self.send_all(&RankCommand::Finish);
         let mut finals: BTreeMap<usize, (Vec<f32>, u32)> = BTreeMap::new();
-        while finals.len() < self.world() {
+        while finals.len() < self.live_world() {
             if let RankEvent::Finished {
                 rank,
                 params,
@@ -1208,6 +1648,9 @@ impl Run {
                 finals.insert(rank, (params, param_crc));
             }
         }
+        // Dropping the dead ranks' senders (done at shrink time) ended
+        // their threads; every handle joins cleanly.
+        drop(self.cmd_txs);
         for handle in self.handles.iter_mut().filter_map(Option::take) {
             let _ = handle.join();
         }
@@ -1216,9 +1659,10 @@ impl Run {
             ckpt_engine.merge(&node.shutdown());
         }
 
-        let crc0 = finals[&0].1;
+        let lead = *finals.keys().next().expect("a live rank reported");
+        let crc0 = finals[&lead].1;
         let replicas_consistent = finals.values().all(|(_, crc)| *crc == crc0);
-        let final_params = finals.remove(&0).expect("rank 0 reported").0;
+        let final_params = finals.remove(&lead).expect("lead rank reported").0;
         let final_val_loss = self.val_curve.last().map(|&(_, l)| l).unwrap_or(f32::NAN);
         let persisted_bytes = self.store.total_bytes().unwrap_or(0);
 
@@ -1235,6 +1679,10 @@ impl Run {
             collective_allocs: self.metrics.collective_allocs,
             recoveries: self.metrics.recoveries,
             shard_groups_recovered: self.metrics.shard_groups_recovered,
+            elastic_shrinks: self.metrics.elastic_shrinks,
+            elastic_expands: self.metrics.elastic_expands,
+            experts_migrated: self.metrics.experts_migrated,
+            degraded_iterations: self.metrics.degraded_iterations,
             tp_groups_consistent: self.metrics.tp_divergences == 0,
             stall_count: self.metrics.stall_count,
             recovered_bytes: self.metrics.recovered_bytes,
@@ -1242,6 +1690,8 @@ impl Run {
             storage_hits: self.metrics.storage_hits,
             persisted_bytes,
             ckpt_engine,
+            snapshot_samples: self.snapshot_samples,
+            persist_samples: self.persist_samples,
             phases: self.metrics.phases().clone(),
             timeline: self.metrics.timeline().to_vec(),
             loop_secs: self.metrics.loop_secs,

@@ -37,6 +37,11 @@
 //!   [`moc_store::FaultPlan`] into mid-iteration node kills and a
 //!   [`SlowEvent`] schedule into straggler slowdowns;
 //! * [`recovery_exec`] — live execution of two-level recovery plans;
+//!   with [`ElasticConfig::shrink`] the coordinator recovers node
+//!   deaths *elastically*: surviving shard groups adopt the dead
+//!   groups' batch slices and experts under a `moc-elastic` placement
+//!   plan, the run continues degraded (bitwise on the fixed-shape
+//!   trajectory), and replacement ranks can rejoin later;
 //! * [`metrics`] — per-phase wall-clock statistics, run timelines, and
 //!   the [`RunSummary::analytic_projection`] hook feeding measured phase
 //!   times back into `moc-cluster`'s event simulator.
@@ -96,7 +101,7 @@ pub use collective::{
     ChunkPool, CollectiveKind, GroupAbort, GroupEndpoints, GroupMesh, RingAbort, RingMesh,
     RingTimings,
 };
-pub use config::{CheckpointMode, ConfigError, RuntimeConfig};
+pub use config::{CheckpointMode, ConfigError, ElasticConfig, RuntimeConfig};
 pub use coordinator::{Coordinator, RuntimeError};
 pub use injector::{FaultInjector, SlowEvent};
 pub use metrics::{EventKind, MetricsRegistry, Phase, PhaseStats, RunSummary, TimelineEvent};

@@ -10,6 +10,7 @@
 
 use moc_ckpt::EngineStats;
 use moc_cluster::events::{simulate, EventSimConfig, EventSimReport};
+use moc_cluster::ClusterSpec;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -57,6 +58,12 @@ pub enum Phase {
     RecoveryFetch,
     /// Broadcasting and applying restored state on every rank.
     RecoveryRestore,
+    /// Elastic shrink rebalance: computing the adoption plan, migrating
+    /// expert ownership, and reconfiguring the surviving ranks.
+    ShrinkRebalance,
+    /// Elastic expand: exporting a survivor's replica, respawning and
+    /// seeding the returning ranks, and restoring the home placement.
+    ExpandRestore,
 }
 
 impl Phase {
@@ -79,6 +86,8 @@ impl Phase {
             Phase::RecoveryPlan => "recovery-plan",
             Phase::RecoveryFetch => "recovery-fetch",
             Phase::RecoveryRestore => "recovery-restore",
+            Phase::ShrinkRebalance => "shrink-rebalance",
+            Phase::ExpandRestore => "expand-restore",
         }
     }
 }
@@ -178,6 +187,33 @@ pub enum EventKind {
         /// Step-duration multiplier.
         factor: f64,
     },
+    /// The run shrank elastically onto its surviving ranks: no respawn —
+    /// the dead shard groups' batch slices and experts were adopted and
+    /// training continued degraded within the same run.
+    ElasticShrink {
+        /// Shard groups (DP indices) that died.
+        dead_groups: Vec<usize>,
+        /// Slice adoption pairs `(dead group, adopting group)`.
+        adoptions: Vec<(usize, usize)>,
+        /// Experts whose ownership migrated to a surviving group.
+        experts_migrated: usize,
+        /// Wall seconds of the rebalance (plan + reconfigure), excluding
+        /// the state recovery it follows.
+        shrink_secs: f64,
+    },
+    /// Replacement ranks rejoined and the world expanded back to the
+    /// configured shape.
+    ElasticExpand {
+        /// Shard groups that returned.
+        returning_groups: Vec<usize>,
+        /// Experts whose ownership moved back to its home group.
+        experts_returned: usize,
+        /// Iterations the run spent degraded before this expand.
+        degraded_iterations: u64,
+        /// Wall seconds of the expand (export + respawn + seed +
+        /// reconfigure).
+        expand_secs: f64,
+    },
 }
 
 /// Mutable metric accumulation during a run.
@@ -201,6 +237,15 @@ pub struct MetricsRegistry {
     pub recoveries: u64,
     /// Shard groups dragged through a recovery (summed over recoveries).
     pub shard_groups_recovered: u64,
+    /// Elastic shrinks executed (recoveries that continued on the
+    /// survivors instead of respawning).
+    pub elastic_shrinks: u64,
+    /// Elastic expands executed (replacement ranks rejoined).
+    pub elastic_expands: u64,
+    /// Experts whose ownership migrated across all shrinks.
+    pub experts_migrated: u64,
+    /// Iterations completed while the world was shrunk.
+    pub degraded_iterations: u64,
     /// Step replies whose TP group exchanged mismatching parameter CRCs.
     pub tp_divergences: u64,
     /// Bytes fetched during recoveries.
@@ -294,6 +339,18 @@ pub struct RunSummary {
     /// Shard groups dragged through a recovery (summed over recoveries;
     /// equals `recoveries × groups-per-dead-node` for node kills).
     pub shard_groups_recovered: u64,
+    /// Elastic shrinks executed: recoveries that continued on the
+    /// surviving ranks (no respawn), the dead groups' slices and experts
+    /// adopted.
+    pub elastic_shrinks: u64,
+    /// Elastic expands executed: replacement ranks rejoined and the
+    /// world returned to the configured shape.
+    pub elastic_expands: u64,
+    /// Experts whose checkpoint ownership migrated across all shrinks.
+    pub experts_migrated: u64,
+    /// Iterations completed while the world was shrunk (the run's
+    /// degraded-step count).
+    pub degraded_iterations: u64,
     /// Whether every TP group's per-iteration replica-consistency
     /// exchange saw bitwise-identical parameter CRCs (vacuously true
     /// when `tp = 1`).
@@ -313,6 +370,17 @@ pub struct RunSummary {
     /// full/delta shard mix, stored vs raw bytes, manifest bytes, pool
     /// footprint, and background persist time.
     pub ckpt_engine: EngineStats,
+    /// Per-checkpoint `(serialized bytes, serialize seconds)` samples —
+    /// the snapshot-tier calibration inputs ([`TierLink::fit`]).
+    ///
+    /// [`TierLink::fit`]: moc_store::TierLink::fit
+    pub snapshot_samples: Vec<(u64, f64)>,
+    /// Per-checkpoint `(persisted bytes, blocking write seconds)`
+    /// samples — the persist-tier calibration inputs. Only synchronous
+    /// checkpoint mode produces these: async persists drain in the
+    /// background where per-batch wall time is not attributable to an
+    /// iteration.
+    pub persist_samples: Vec<(u64, f64)>,
     /// Per-phase wall-clock statistics.
     pub phases: BTreeMap<Phase, PhaseStats>,
     /// Ordered run timeline (checkpoints, faults, recoveries, evals).
@@ -394,6 +462,36 @@ impl RunSummary {
     /// model predicts for this workload.
     pub fn analytic_projection(&self) -> EventSimReport {
         simulate(&self.event_sim_config())
+    }
+
+    /// Calibrates a [`ClusterSpec`] against this run: least-squares fits
+    /// of the snapshot and persist tier links from the measured
+    /// per-checkpoint `(bytes, seconds)` samples. Tiers without
+    /// fittable samples keep `base`'s constants.
+    pub fn calibrated_cluster(&self, base: &ClusterSpec) -> ClusterSpec {
+        base.calibrated(&self.snapshot_samples, &self.persist_samples)
+    }
+
+    /// The analytic projection with the checkpoint tiers replaced by a
+    /// (typically [`RunSummary::calibrated_cluster`]-fitted) spec's
+    /// predictions for this run's mean checkpoint volumes — the
+    /// validation loop tying the analytic model to live measurements.
+    pub fn analytic_projection_with(&self, spec: &ClusterSpec) -> EventSimReport {
+        let mean = |samples: &[(u64, f64)]| {
+            if samples.is_empty() {
+                0
+            } else {
+                samples.iter().map(|&(b, _)| b).sum::<u64>() / samples.len() as u64
+            }
+        };
+        let mut config = self.event_sim_config();
+        if !self.snapshot_samples.is_empty() {
+            config.snapshot_sec = spec.snapshot_secs(mean(&self.snapshot_samples));
+        }
+        if !self.persist_samples.is_empty() {
+            config.persist_sec = spec.persist_secs(mean(&self.persist_samples));
+        }
+        simulate(&config)
     }
 }
 

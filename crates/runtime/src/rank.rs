@@ -60,6 +60,20 @@ pub(crate) struct RestoreBlob {
     pub payload: Bytes,
 }
 
+/// One adopted DP slice's result, carried alongside a rank's own
+/// gradient while the run is elastically shrunk: the gradient the dead
+/// shard group would have produced (bitwise — slice and gate noise are
+/// pure functions of `(iteration, dp)`), plus its routing statistics.
+#[derive(Debug)]
+pub(crate) struct AdoptedGrad {
+    /// The dead shard group's DP index.
+    pub dp: usize,
+    /// Its slice's flattened gradient.
+    pub grad: Vec<f32>,
+    /// Its slice's per-layer expert loads.
+    pub expert_loads: Vec<Vec<u64>>,
+}
+
 /// Coordinator → rank commands.
 #[derive(Debug, Clone)]
 pub(crate) enum RankCommand {
@@ -85,6 +99,17 @@ pub(crate) enum RankCommand {
     },
     /// Load the reduced gradient and apply the optimizer step (star).
     Apply { grad: Arc<Vec<f32>> },
+    /// Adopt an elastic-rebalance role: replace the rank's
+    /// checkpoint-duty module set and the dead DP slices it additionally
+    /// computes each step (sent at elastic-run start, after every
+    /// shrink, and after every expand).
+    Reconfigure {
+        owned: Arc<Vec<String>>,
+        adopted_slices: Arc<Vec<usize>>,
+    },
+    /// Serialize the rank's *entire* replica state (every module, both
+    /// parts) — the bitwise template a rejoining rank is seeded from.
+    ExportState,
     /// Serialize owned modules for the checkpoint at `iteration`.
     Checkpoint {
         iteration: u64,
@@ -118,6 +143,9 @@ pub(crate) enum RankEvent {
         tp_sync_secs: f64,
         /// Blocking time in the PP relay (the rank's pipeline bubble).
         pp_wait_secs: f64,
+        /// Adopted dead-slice results (elastic degraded mode; empty
+        /// otherwise).
+        adopted: Vec<AdoptedGrad>,
     },
     /// Ring iteration result: the gradient was all-reduced peer-to-peer
     /// within the DP group and applied locally; only statistics travel
@@ -165,6 +193,10 @@ pub(crate) enum RankEvent {
     EvalLoss { loss: f32 },
     /// Recovery blobs applied.
     Restored { rank: usize },
+    /// The rank's full replica state (reply to `ExportState`; the
+    /// coordinator has exactly one export outstanding at a time, so the
+    /// reply needs no origin).
+    StateExport { blobs: Vec<RestoreBlob> },
     /// Final flattened parameters and their checksum.
     Finished {
         rank: usize,
@@ -310,12 +342,16 @@ pub(crate) fn run_rank(ctx: RankContext) {
     // data).
     let lo = ctx.coord.dp * per;
 
-    let owned: Vec<String> = model
+    // Checkpoint duties start at the static group-aware placement; an
+    // elastic run replaces them (and installs adopted dead slices)
+    // through `Reconfigure`.
+    let mut owned: Vec<String> = model
         .store()
         .module_names()
         .into_iter()
         .filter(|m| owner_rank(&cfg.topology, &cfg.model, m) == ctx.rank)
         .collect();
+    let mut adopted_slices: Vec<usize> = Vec::new();
 
     // Collective endpoints and the flattened-gradient / CRC buffers
     // persist across iterations: the gradient buffer is the rank's only
@@ -380,6 +416,32 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 let sub = &global[lo..lo + per];
                 let stats =
                     model.forward_backward(sub, noise_seed(cfg.seed, iteration, ctx.coord.dp));
+                // The rank's own gradient is flattened immediately: the
+                // adopted-slice passes below reuse the store's gradient
+                // buffers and would otherwise clobber it.
+                flatten_grads_into(model.store(), &mut grad_buf);
+                // Elastic degraded mode: additionally compute each
+                // adopted dead group's slice. Slice and gate noise are
+                // pure functions of `(iteration, dp)`, so these
+                // gradients are bitwise what the dead ranks would have
+                // produced — the coordinator folds them at the dead DP
+                // positions and the trajectory matches the fixed shape.
+                let mut adopted: Vec<AdoptedGrad> = Vec::with_capacity(adopted_slices.len());
+                for &d in &adopted_slices {
+                    model.store_mut().zero_grads();
+                    let alo = d * per;
+                    let astats = model.forward_backward(
+                        &global[alo..alo + per],
+                        noise_seed(cfg.seed, iteration, d),
+                    );
+                    let mut grad = Vec::new();
+                    flatten_grads_into(model.store(), &mut grad);
+                    adopted.push(AdoptedGrad {
+                        dp: d,
+                        grad,
+                        expert_loads: astats.expert_loads,
+                    });
+                }
                 let compute_secs = start.elapsed().as_secs_f64();
                 // An injected straggler stretches the step: the extra
                 // wall time is reported so stall amplification shows up
@@ -414,7 +476,6 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 }
                 match collective {
                     CollectiveKind::Star => {
-                        flatten_grads_into(model.store(), &mut grad_buf);
                         let _ = ctx.events.send(RankEvent::Grad {
                             rank: ctx.rank,
                             iteration,
@@ -426,10 +487,14 @@ pub(crate) fn run_rank(ctx: RankContext) {
                             tp_consistent,
                             tp_sync_secs,
                             pp_wait_secs,
+                            adopted,
                         });
                     }
                     CollectiveKind::Ring => {
-                        flatten_grads_into(model.store(), &mut grad_buf);
+                        // The coordinator forces the star path while the
+                        // world is shrunk; a ring step never carries
+                        // adopted slices.
+                        debug_assert!(adopted.is_empty(), "ring step in degraded mode");
                         let endpoints = ring.as_ref().expect("ring endpoints installed");
                         match ring_all_reduce(
                             endpoints,
@@ -484,6 +549,28 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 load_grads(model.store_mut(), &grad);
                 adam_step(model.store_mut(), &cfg.adam);
                 let _ = ctx.events.send(RankEvent::Applied { rank: ctx.rank });
+            }
+            RankCommand::Reconfigure {
+                owned: new_owned,
+                adopted_slices: new_slices,
+            } => {
+                owned = (*new_owned).clone();
+                adopted_slices = (*new_slices).clone();
+            }
+            RankCommand::ExportState => {
+                let blobs: Vec<RestoreBlob> = model
+                    .store()
+                    .module_names()
+                    .into_iter()
+                    .flat_map(|module| {
+                        [StatePart::Weights, StatePart::Optimizer].map(|part| RestoreBlob {
+                            payload: serialize_module(&model, &module, part),
+                            module: module.clone(),
+                            part,
+                        })
+                    })
+                    .collect();
+                let _ = ctx.events.send(RankEvent::StateExport { blobs });
             }
             RankCommand::Checkpoint {
                 iteration,

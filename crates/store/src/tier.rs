@@ -44,6 +44,41 @@ impl TierLink {
     pub fn transfer_secs(&self, bytes: u64) -> f64 {
         self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
     }
+
+    /// Least-squares fit of a link from measured `(bytes, seconds)`
+    /// transfer samples: the model `secs = latency + bytes / bandwidth`
+    /// is linear in `(latency, 1 / bandwidth)`, so an ordinary
+    /// least-squares line through the samples calibrates both constants
+    /// from live runs. The fitted latency is clamped at 0 (a negative
+    /// intercept is measurement noise, not physics).
+    ///
+    /// Returns `None` when fewer than two distinct byte counts are
+    /// available or the fitted slope is not positive — an unfittable or
+    /// degenerate sample set must not silently produce a bogus link.
+    pub fn fit(samples: &[(u64, f64)]) -> Option<Self> {
+        let distinct: std::collections::BTreeSet<u64> = samples.iter().map(|&(b, _)| b).collect();
+        if distinct.len() < 2 {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean_x = samples.iter().map(|&(b, _)| b as f64).sum::<f64>() / n;
+        let mean_y = samples.iter().map(|&(_, s)| s).sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for &(b, s) in samples {
+            let dx = b as f64 - mean_x;
+            sxx += dx * dx;
+            sxy += dx * (s - mean_y);
+        }
+        let slope = sxy / sxx; // seconds per byte = 1 / bandwidth
+        if !(slope > 0.0 && slope.is_finite()) {
+            return None;
+        }
+        Some(Self {
+            bandwidth_bytes_per_sec: 1.0 / slope,
+            latency_sec: (mean_y - slope * mean_x).max(0.0),
+        })
+    }
 }
 
 /// Bandwidths of the full two-level hierarchy for one node class.
@@ -108,6 +143,44 @@ mod tests {
         let h = StorageHierarchy::h100();
         let ratio = h.snapshot.bandwidth_bytes_per_sec / a.snapshot.bandwidth_bytes_per_sec;
         assert!((ratio - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_recovers_exact_constants() {
+        let truth = TierLink::from_gbps(1.5, 0.02);
+        let samples: Vec<(u64, f64)> = [GB / 4, GB / 2, GB, 2 * GB]
+            .iter()
+            .map(|&b| (b, truth.transfer_secs(b)))
+            .collect();
+        let fitted = TierLink::fit(&samples).unwrap();
+        assert!(
+            (fitted.bandwidth_bytes_per_sec - truth.bandwidth_bytes_per_sec).abs()
+                / truth.bandwidth_bytes_per_sec
+                < 1e-9
+        );
+        assert!((fitted.latency_sec - truth.latency_sec).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_samples() {
+        assert!(TierLink::fit(&[]).is_none());
+        assert!(TierLink::fit(&[(GB, 1.0)]).is_none());
+        assert!(
+            TierLink::fit(&[(GB, 1.0), (GB, 1.2)]).is_none(),
+            "one distinct byte count cannot pin a slope"
+        );
+        assert!(
+            TierLink::fit(&[(GB, 2.0), (2 * GB, 1.0)]).is_none(),
+            "negative slope is not a link"
+        );
+    }
+
+    #[test]
+    fn fit_clamps_negative_latency() {
+        // Noise-free samples through the origin minus a constant would
+        // fit a negative intercept; the clamp keeps latency physical.
+        let fitted = TierLink::fit(&[(GB, 0.9), (2 * GB, 1.9)]).unwrap();
+        assert!(fitted.latency_sec >= 0.0);
     }
 
     #[test]

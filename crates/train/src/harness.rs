@@ -14,6 +14,7 @@ use crate::checkpoint::{CheckpointerConfig, PecMode, TrainingCheckpointer};
 use crate::data::MarkovCorpus;
 use crate::model::TinyMoeLm;
 use moc_core::dynamic_k::DynamicK;
+use moc_core::placement::{num_failure_domains, PlacementError};
 use moc_core::plt::PltAccumulator;
 use moc_core::selection::{PecConfig, SelectionStrategy};
 use moc_core::topology::ParallelTopology;
@@ -87,6 +88,10 @@ pub struct FaultToleranceConfig {
     pub dynamic_k_budget: Option<f64>,
     /// Virtual cluster topology.
     pub topology: ParallelTopology,
+    /// Expert replication factor for elastic placement planning (`1` =
+    /// no replication). Validated against the topology's failure-domain
+    /// count by [`FaultToleranceConfig::validate`].
+    pub replication: usize,
 }
 
 impl FaultToleranceConfig {
@@ -102,6 +107,7 @@ impl FaultToleranceConfig {
             faults,
             dynamic_k_budget: None,
             topology: ParallelTopology::dp_ep(2, 4, 8, 8).expect("lab topology"),
+            replication: 1,
         }
     }
 
@@ -113,6 +119,31 @@ impl FaultToleranceConfig {
     pub fn with_topology(mut self, topology: ParallelTopology) -> Self {
         self.topology = topology;
         self
+    }
+
+    /// Checks the configuration against the cluster it names. The one
+    /// constraint the topology alone cannot absorb is the replication
+    /// factor: a cluster with fewer failure domains than requested
+    /// replicas cannot host any placement plan, which used to surface
+    /// as a panic deep inside the planner.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::ZeroReplication`] or
+    /// [`PlacementError::ReplicationExceedsDomains`] when the cluster
+    /// cannot host `replication`.
+    pub fn validate(&self) -> Result<(), PlacementError> {
+        let domains = num_failure_domains(&self.topology);
+        if self.replication == 0 {
+            return Err(PlacementError::ZeroReplication);
+        }
+        if self.replication > domains {
+            return Err(PlacementError::ReplicationExceedsDomains {
+                replication: self.replication,
+                domains,
+            });
+        }
+        Ok(())
     }
 
     /// PEC with the given `(K_snapshot, K_persist)` and mode.
@@ -159,8 +190,9 @@ pub struct RunReport {
 ///
 /// # Panics
 ///
-/// Panics if the corpus topics do not divide the vocabulary or the fault
-/// schedule references nodes outside the topology.
+/// Panics if the corpus topics do not divide the vocabulary, the fault
+/// schedule references nodes outside the topology, or
+/// [`FaultToleranceConfig::validate`] rejects the configuration.
 pub fn run_experiment(train: &TrainConfig, ft: &FaultToleranceConfig) -> RunReport {
     run_experiment_with_model(train, ft).0
 }
@@ -171,6 +203,8 @@ pub fn run_experiment_with_model(
     train: &TrainConfig,
     ft: &FaultToleranceConfig,
 ) -> (RunReport, TinyMoeLm) {
+    ft.validate()
+        .unwrap_or_else(|e| panic!("invalid fault-tolerance config: {e}"));
     let corpus = MarkovCorpus::new(train.model.vocab_size(), train.topics, train.seed);
     let mut model = TinyMoeLm::new(train.model.clone(), train.seed);
     let layers = train.model.num_moe_layers();
@@ -431,6 +465,37 @@ fn mean(xs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn unhostable_replication_rejected() {
+        let train = quick_train();
+        // The lab topology has 2 nodes -> 2 failure domains.
+        let mut ft = FaultToleranceConfig::baseline(&train.model, 20, vec![]);
+        ft.validate().unwrap();
+        ft.replication = 3;
+        assert_eq!(
+            ft.validate(),
+            Err(PlacementError::ReplicationExceedsDomains {
+                replication: 3,
+                domains: 2
+            })
+        );
+        ft.replication = 0;
+        assert_eq!(ft.validate(), Err(PlacementError::ZeroReplication));
+        ft.replication = 2;
+        ft.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault-tolerance config")]
+    fn run_experiment_rejects_unhostable_replication() {
+        let train = quick_train();
+        let ft = FaultToleranceConfig {
+            replication: 5,
+            ..FaultToleranceConfig::baseline(&train.model, 20, vec![])
+        };
+        run_experiment(&train, &ft);
+    }
 
     fn quick_train() -> TrainConfig {
         TrainConfig {

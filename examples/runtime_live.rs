@@ -138,6 +138,30 @@ fn print_timeline(summary: &RunSummary) {
                     event.iteration
                 );
             }
+            EventKind::ElasticShrink {
+                dead_groups,
+                adoptions,
+                experts_migrated,
+                shrink_secs,
+            } => {
+                println!(
+                    "  iter {:>3}  SHRINK      groups {dead_groups:?} adopted as {adoptions:?}, {experts_migrated} experts migrated ({:.1} ms)",
+                    event.iteration,
+                    1e3 * shrink_secs
+                );
+            }
+            EventKind::ElasticExpand {
+                returning_groups,
+                experts_returned,
+                degraded_iterations,
+                expand_secs,
+            } => {
+                println!(
+                    "  iter {:>3}  EXPAND      groups {returning_groups:?} rejoined after {degraded_iterations} degraded iteration(s), {experts_returned} experts returned ({:.1} ms)",
+                    event.iteration,
+                    1e3 * expand_secs
+                );
+            }
         }
     }
 }
