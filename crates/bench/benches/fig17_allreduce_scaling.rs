@@ -9,11 +9,15 @@
 //! star's coordinator-thread reduce time growing ~linearly while the
 //! per-rank ring time stays ~flat (busy time is reported, not wall time,
 //! so the numbers measure the algorithm rather than how many hardware
-//! threads the host happens to have).
+//! threads the host happens to have). The sweep is emitted as
+//! `BENCH_allreduce.json` — including ring-wait p50/p99 from the
+//! per-phase log histograms — so the perf trajectory is machine-readable
+//! across commits.
 //!
 //! Run with `cargo bench --bench fig17_allreduce_scaling`.
 
 use moc_bench::{banner, millis};
+use moc_obs::{Json, Report};
 use moc_runtime::{CollectiveKind, Coordinator, Phase, RunSummary, RuntimeConfig};
 use moc_store::MemoryObjectStore;
 use std::sync::Arc;
@@ -57,6 +61,7 @@ fn main() {
     );
     let mut star_reduce = Vec::new();
     let mut ring_rank = Vec::new();
+    let mut world_entries: Vec<Json> = Vec::new();
     for point in SWEEP {
         let star = run(point, CollectiveKind::Star);
         let ring = run(point, CollectiveKind::Ring);
@@ -72,6 +77,18 @@ fn main() {
             millis(ring_secs),
             millis(ring.phase(Phase::RingWait).mean_secs()),
             ring.collective_allocs,
+        );
+        let wait = ring.phase(Phase::RingWait);
+        world_entries.push(
+            Report::new()
+                .field("world", point.0)
+                .field("star_reduce_min_secs", star_secs)
+                .field("ring_rank_min_secs", ring_secs)
+                .field("ring_wait_mean_secs", wait.mean_secs())
+                .field("ring_wait_p50_secs", wait.p50_secs())
+                .field("ring_wait_p99_secs", wait.p99_secs())
+                .field("collective_allocs", ring.collective_allocs)
+                .json(),
         );
         star_reduce.push(star_secs);
         ring_rank.push(ring_secs);
@@ -91,4 +108,16 @@ fn main() {
         ring_growth < 2.0,
         "per-rank ring time must stay ~flat (got {ring_growth:.1}x)"
     );
+
+    // Machine-readable trajectory, through the shared report schema.
+    let json_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_allreduce.json");
+    Report::new()
+        .field("bench", "fig17_allreduce_scaling")
+        .field("worlds", world_entries)
+        .field("star_reduce_growth", star_growth)
+        .field("ring_rank_growth", ring_growth)
+        .write(&json_path)
+        .expect("write BENCH_allreduce.json");
+    println!("wrote {}", json_path.display());
 }

@@ -20,6 +20,7 @@
 use moc_bench::{banner, gib, millis, secs};
 use moc_ckpt::EngineConfig;
 use moc_core::overhead::{async_save_overhead, moc_beats_full, OverheadInputs};
+use moc_obs::Report;
 use moc_runtime::{CheckpointMode, Coordinator, Phase, RunSummary, RuntimeConfig};
 use moc_store::FileObjectStore;
 use moc_train::PecMode;
@@ -57,38 +58,6 @@ fn run(
         .expect("valid config")
         .run()
         .expect("fault-free run")
-}
-
-fn json_entry(label: &str, s: &RunSummary) -> String {
-    format!(
-        concat!(
-            "    \"{}\": {{\n",
-            "      \"ckpt_overhead_secs\": {:.9},\n",
-            "      \"mean_iteration_secs\": {:.9},\n",
-            "      \"persisted_bytes\": {},\n",
-            "      \"raw_bytes\": {},\n",
-            "      \"stored_bytes\": {},\n",
-            "      \"manifest_bytes\": {},\n",
-            "      \"full_shards\": {},\n",
-            "      \"delta_shards\": {},\n",
-            "      \"pool_allocs\": {},\n",
-            "      \"stall_count\": {},\n",
-            "      \"blocking_write_phases\": {}\n",
-            "    }}"
-        ),
-        label,
-        s.checkpoint_overhead_secs(),
-        s.mean_iteration_secs(),
-        s.persisted_bytes,
-        s.ckpt_engine.writer.raw_bytes,
-        s.ckpt_engine.writer.stored_bytes,
-        s.ckpt_engine.writer.manifest_bytes,
-        s.ckpt_engine.writer.full_shards,
-        s.ckpt_engine.writer.delta_shards,
-        s.ckpt_engine.pool_allocs,
-        s.stall_count,
-        s.phase(Phase::CkptWrite).count,
-    )
 }
 
 fn main() {
@@ -202,19 +171,19 @@ fn main() {
         delta.ckpt_engine.pool_allocs,
     );
 
-    // Machine-readable trajectory.
-    let json = format!(
-        "{{\n  \"bench\": \"fig18_ckpt_overhead\",\n  \"modes\": {{\n{}\n  }},\n  \"eq10_predicted_exposed_secs\": {:.9},\n  \"eq16_moc_beats_full\": {}\n}}\n",
-        modes
-            .iter()
-            .map(|m| json_entry(m.label, &m.summary))
-            .collect::<Vec<_>>()
-            .join(",\n"),
-        eq10,
-        beats,
-    );
+    // Machine-readable trajectory, through the shared report schema
+    // ([`RunSummary::ckpt_report`]) instead of hand-rolled JSON.
+    let mode_entries = modes.iter().fold(Report::new(), |report, m| {
+        report.field(m.label, m.summary.ckpt_report())
+    });
     let json_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_ckpt.json");
-    std::fs::write(&json_path, &json).expect("write BENCH_ckpt.json");
+    Report::new()
+        .field("bench", "fig18_ckpt_overhead")
+        .field("modes", mode_entries.json())
+        .field("eq10_predicted_exposed_secs", eq10)
+        .field("eq16_moc_beats_full", beats)
+        .write(&json_path)
+        .expect("write BENCH_ckpt.json");
     println!("wrote {}", json_path.display());
 
     assert!(

@@ -23,6 +23,7 @@
 
 use moc_bench::{banner, millis};
 use moc_core::ParallelTopology;
+use moc_obs::{Json, Report};
 use moc_runtime::{
     CollectiveKind, Coordinator, ElasticConfig, EventKind, Phase, RunSummary, RuntimeConfig,
 };
@@ -143,31 +144,27 @@ fn main() {
         );
     }
 
-    // Machine-readable trajectory.
-    let entries: Vec<String> = rows
+    // Machine-readable trajectory, through the shared report schema.
+    let entries: Vec<Json> = rows
         .iter()
         .map(|r| {
-            format!(
-                "    {{ \"world\": {}, \"respawn_recovery_secs\": {:.9}, \
-                 \"shrink_recovery_secs\": {:.9}, \"shrink_rebalance_secs\": {:.9}, \
-                 \"expand_restore_secs\": {:.9}, \"experts_migrated\": {}, \
-                 \"degraded_iterations\": {} }}",
-                r.world,
-                r.respawn_secs,
-                r.shrink_secs,
-                r.rebalance_secs,
-                r.expand_secs,
-                r.experts_migrated,
-                r.degraded_iterations,
-            )
+            Report::new()
+                .field("world", r.world)
+                .field("respawn_recovery_secs", r.respawn_secs)
+                .field("shrink_recovery_secs", r.shrink_secs)
+                .field("shrink_rebalance_secs", r.rebalance_secs)
+                .field("expand_restore_secs", r.expand_secs)
+                .field("experts_migrated", r.experts_migrated)
+                .field("degraded_iterations", r.degraded_iterations)
+                .json()
         })
         .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"fig19_elastic_recovery\",\n  \"worlds\": [\n{}\n  ]\n}}\n",
-        entries.join(",\n")
-    );
     let json_path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_elastic.json");
-    std::fs::write(&json_path, &json).expect("write BENCH_elastic.json");
+    Report::new()
+        .field("bench", "fig19_elastic_recovery")
+        .field("worlds", entries)
+        .write(&json_path)
+        .expect("write BENCH_elastic.json");
     println!("wrote {}", json_path.display());
 }

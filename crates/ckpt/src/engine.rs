@@ -21,14 +21,16 @@ use crate::pool::{BufferPool, PooledBuf};
 use crate::writer::{ShardWriter, WriterStats};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use moc_core::twolevel::ShardJob;
+use moc_obs::{ckpt_flow_id, Flow, SpanKind, TraceSink};
 use moc_store::{NodeMemoryStore, ObjectStore, ShardKey};
 use parking_lot::{Condvar, Mutex};
+use serde::Serialize;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Aggregated work counters of an engine (or several, via
 /// [`EngineStats::merge`]).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct EngineStats {
     /// Checkpoint batches submitted.
     pub batches: u64,
@@ -113,6 +115,20 @@ impl CkptEngine {
         store: Arc<dyn ObjectStore>,
         config: EngineConfig,
     ) -> Self {
+        Self::spawn_observed(writer_id, memory, store, config, TraceSink::disabled())
+    }
+
+    /// [`CkptEngine::spawn`] with a trace sink for the writer thread:
+    /// background persist and GC batches become `persist`/`gc` spans,
+    /// and each committed persist ends the checkpoint flow started by
+    /// the submitting trainer ([`ckpt_flow_id`]).
+    pub fn spawn_observed(
+        writer_id: usize,
+        memory: Option<Arc<NodeMemoryStore>>,
+        store: Arc<dyn ObjectStore>,
+        config: EngineConfig,
+        sink: TraceSink,
+    ) -> Self {
         config.validate().expect("valid engine config");
         let pool = BufferPool::new(config.pool_idle_limit);
         let inner = Arc::new(Inner {
@@ -125,7 +141,7 @@ impl CkptEngine {
         let worker_inner = inner.clone();
         let worker = std::thread::Builder::new()
             .name(format!("moc-ckpt-{writer_id}"))
-            .spawn(move || writer_loop(rx, writer, worker_inner))
+            .spawn(move || writer_loop(rx, writer, worker_inner, writer_id, sink))
             .expect("spawn ckpt writer");
         Self {
             writer_id,
@@ -239,18 +255,38 @@ impl Drop for CkptEngine {
     }
 }
 
-fn writer_loop(rx: Receiver<Batch>, mut writer: ShardWriter, inner: Arc<Inner>) {
+fn writer_loop(
+    rx: Receiver<Batch>,
+    mut writer: ShardWriter,
+    inner: Arc<Inner>,
+    writer_id: usize,
+    mut sink: TraceSink,
+) {
     while let Ok(batch) = rx.recv() {
+        let persist_start = sink.now();
         let result = writer.persist(
             batch.version,
             batch.entries.iter().map(|(key, buf)| (key, &buf[..])),
+        );
+        sink.record(
+            SpanKind::Persist,
+            "persist",
+            batch.version,
+            persist_start,
+            sink.now() - persist_start,
+            Flow::End(ckpt_flow_id(batch.version, writer_id)),
         );
         // Chain-aware GC rides the background worker: after a committed
         // batch, superseded full+delta groups of this writer's chain are
         // dropped on the configured cadence. A GC store failure leaves
         // the commit intact and is reported distinctly.
         let gc_result = if result.is_ok() {
-            writer.maybe_gc().map(|_| ())
+            let gc_start = sink.now();
+            let gc = writer.maybe_gc();
+            if matches!(gc, Ok(true)) {
+                sink.span(SpanKind::Gc, "gc", batch.version, gc_start);
+            }
+            gc.map(|_| ())
         } else {
             Ok(())
         };

@@ -18,12 +18,13 @@ use crate::pool::BufferPool;
 use bytes::Bytes;
 use moc_store::frame::crc32;
 use moc_store::{ObjectStore, ShardKey, StatePart, StoreError};
+use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Work counters of one writer.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct WriterStats {
     /// Committed checkpoint batches (manifests written).
     pub checkpoints: u64,

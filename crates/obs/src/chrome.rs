@@ -1,0 +1,175 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Renders merged [`TraceEvent`]s as a Chrome trace-event document:
+//! `M` metadata records name the pid/tid lanes, each span becomes an
+//! `X` complete event (`ts`/`dur` in microseconds with nanosecond
+//! decimals), and [`Flow`] participation becomes `s`/`t`/`f` flow
+//! events bound to the middle of their slice. Load the result at
+//! <https://ui.perfetto.dev> or `chrome://tracing`.
+
+use crate::json::escape_into;
+use crate::sink::{Flow, ThreadNames, TraceEvent};
+use std::fmt::Write as _;
+
+/// Renders a full trace document from merged spans and lane names.
+pub fn render(events: &[TraceEvent], names: &ThreadNames) -> String {
+    let mut sorted: Vec<&TraceEvent> = events.iter().collect();
+    sorted.sort_by(|a, b| {
+        (a.pid, a.tid)
+            .cmp(&(b.pid, b.tid))
+            .then(a.start_secs.total_cmp(&b.start_secs))
+    });
+
+    let mut out = String::with_capacity(events.len() * 180 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+
+    for (pid, name) in &names.processes {
+        meta(&mut out, &mut first, "process_name", *pid, 0, name);
+        // Sort index keeps node lanes in id order ahead of the control
+        // plane lane in the Perfetto UI.
+        let _ = write!(
+            out,
+            ",\n{{\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":{pid},\"tid\":0,\"args\":{{\"sort_index\":{pid}}}}}"
+        );
+    }
+    for ((pid, tid), name) in &names.threads {
+        meta(&mut out, &mut first, "thread_name", *pid, *tid, name);
+    }
+
+    for e in sorted {
+        let ts = e.start_secs * 1e6;
+        let dur = e.dur_secs * 1e6;
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{\"iteration\":{}}}}}",
+            Escaped(e.name),
+            e.kind.category(),
+            e.pid,
+            e.tid,
+            e.iteration,
+        );
+        let (ph, extra, id) = match e.flow {
+            Flow::None => continue,
+            Flow::Start(id) => ("s", "", id),
+            Flow::Step(id) => ("t", "", id),
+            Flow::End(id) => ("f", ",\"bp\":\"e\"", id),
+        };
+        // Bind the flow event to the middle of the slice so it falls
+        // strictly inside [ts, ts+dur] for any positive duration.
+        let bind = ts + dur * 0.5;
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"{ph}\",\"cat\":\"flow\",\"name\":\"flow\",\"id\":{id},\"pid\":{},\"tid\":{},\"ts\":{bind:.3}{extra}}}",
+            e.pid, e.tid,
+        );
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+        out.push('\n');
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+fn meta(out: &mut String, first: &mut bool, key: &str, pid: u32, tid: u32, name: &str) {
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"ph\":\"M\",\"name\":\"{key}\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+        Escaped(name),
+    );
+}
+
+struct Escaped<'a>(&'a str);
+
+impl std::fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut buf = String::with_capacity(self.0.len());
+        escape_into(self.0, &mut buf);
+        f.write_str(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use crate::sink::SpanKind;
+
+    #[test]
+    fn render_is_valid_json_with_flows_and_metadata() {
+        let mut names = ThreadNames::default();
+        names.processes.insert(0, "node0".to_string());
+        names.threads.insert((0, 0), "rank 0".to_string());
+        let events = vec![
+            TraceEvent {
+                pid: 0,
+                tid: 0,
+                name: "fault-injected",
+                kind: SpanKind::Fault,
+                iteration: 3,
+                start_secs: 0.5,
+                dur_secs: 0.001,
+                flow: Flow::Start(1),
+            },
+            TraceEvent {
+                pid: 0,
+                tid: 0,
+                name: "recovery",
+                kind: SpanKind::Fault,
+                iteration: 3,
+                start_secs: 0.6,
+                dur_secs: 0.05,
+                flow: Flow::End(1),
+            },
+        ];
+        let doc = Json::parse(&render(&events, &names)).unwrap();
+        let records = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let ph = |p: &str| -> Vec<&Json> {
+            records
+                .iter()
+                .filter(|r| r.get("ph").and_then(Json::as_str) == Some(p))
+                .collect()
+        };
+        assert_eq!(ph("X").len(), 2);
+        assert_eq!(ph("s").len(), 1);
+        let finishes = ph("f");
+        assert_eq!(finishes.len(), 1);
+        assert_eq!(finishes[0].get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(
+            finishes[0].get("id").unwrap().as_u64(),
+            ph("s")[0].get("id").unwrap().as_u64()
+        );
+        // Flow binds inside the recovery slice.
+        let f_ts = finishes[0].get("ts").unwrap().as_f64().unwrap();
+        assert!(f_ts > 0.6e6 && f_ts < 0.65e6);
+        assert!(ph("M").len() >= 2);
+    }
+
+    #[test]
+    fn microsecond_timestamps_keep_nanosecond_decimals() {
+        let names = ThreadNames::default();
+        let events = vec![TraceEvent {
+            pid: 0,
+            tid: 0,
+            name: "compute",
+            kind: SpanKind::Phase,
+            iteration: 0,
+            start_secs: 1.234_567_891,
+            dur_secs: 0.000_000_5,
+            flow: Flow::None,
+        }];
+        let text = render(&events, &names);
+        assert!(text.contains("\"ts\":1234567.891"), "{text}");
+        assert!(text.contains("\"dur\":0.500"), "{text}");
+    }
+}

@@ -1,0 +1,175 @@
+//! The fault flight recorder: bounded per-thread span history,
+//! snapshotted the moment a fault is declared.
+//!
+//! Every [`TraceSink`](crate::TraceSink) mirrors its spans into a
+//! bounded ring at record time (not at flush), so a rank that dies
+//! mid-iteration still leaves its final spans behind. When the
+//! coordinator declares a fault it calls
+//! [`TraceCollector::flight_dump`](crate::TraceCollector::flight_dump),
+//! which freezes every ring into a [`FlightDump`] and writes it as
+//! both JSON (machine post-mortems) and indented text (humans).
+
+use crate::json::Json;
+use crate::sink::TraceEvent;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One thread's slice of a flight dump.
+#[derive(Debug, Clone)]
+pub struct FlightThread {
+    /// Process lane (node id).
+    pub pid: u32,
+    /// Thread lane (global rank / engine id).
+    pub tid: u32,
+    /// Human-readable lane name, e.g. `node1/rank 2`.
+    pub name: String,
+    /// The ring contents, oldest first.
+    pub events: Vec<TraceEvent>,
+}
+
+/// A snapshot of every thread's recent spans at fault-declaration
+/// time.
+#[derive(Debug, Clone)]
+pub struct FlightDump {
+    /// Dump sequence number within the run (0-based).
+    pub seq: u64,
+    /// Run-relative time the dump was taken, in seconds.
+    pub at_secs: f64,
+    /// Why the dump was taken (fault description).
+    pub reason: String,
+    /// Per-thread span history, ordered by `(pid, tid)` registration.
+    pub threads: Vec<FlightThread>,
+    /// Where the JSON artifact landed, if written.
+    pub json_path: Option<PathBuf>,
+    /// Where the text artifact landed, if written.
+    pub text_path: Option<PathBuf>,
+}
+
+impl FlightDump {
+    /// The machine-readable form.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("seq".to_string(), Json::from(self.seq)),
+            ("at_secs".to_string(), Json::from(self.at_secs)),
+            ("reason".to_string(), Json::from(self.reason.clone())),
+            (
+                "threads".to_string(),
+                Json::Arr(
+                    self.threads
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("pid".to_string(), Json::from(t.pid)),
+                                ("tid".to_string(), Json::from(t.tid)),
+                                ("name".to_string(), Json::from(t.name.clone())),
+                                (
+                                    "events".to_string(),
+                                    Json::Arr(t.events.iter().map(TraceEvent::to_json).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The human-readable form: one block per thread, one line per
+    /// span, newest last.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== flight recorder dump #{} @ {:.3}s ==",
+            self.seq, self.at_secs
+        );
+        let _ = writeln!(out, "reason: {}", self.reason);
+        for thread in &self.threads {
+            let _ = writeln!(
+                out,
+                "\n-- {} (pid {}, tid {}) --",
+                thread.name, thread.pid, thread.tid
+            );
+            if thread.events.is_empty() {
+                let _ = writeln!(out, "  (no spans recorded)");
+            }
+            for e in &thread.events {
+                let _ = writeln!(
+                    out,
+                    "  [{:>10.4}s {:>9.3} ms]  iter {:>4}  {:<18} ({})",
+                    e.start_secs,
+                    1e3 * e.dur_secs,
+                    e.iteration,
+                    e.name,
+                    e.kind.category(),
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{Flow, SpanKind};
+
+    fn sample_dump() -> FlightDump {
+        FlightDump {
+            seq: 3,
+            at_secs: 1.25,
+            reason: "fault detected at iteration 7: nodes [1]".to_string(),
+            threads: vec![
+                FlightThread {
+                    pid: 1,
+                    tid: 2,
+                    name: "node1/rank 2".to_string(),
+                    events: vec![TraceEvent {
+                        pid: 1,
+                        tid: 2,
+                        name: "compute",
+                        kind: SpanKind::Phase,
+                        iteration: 7,
+                        start_secs: 1.2,
+                        dur_secs: 0.01,
+                        flow: Flow::None,
+                    }],
+                },
+                FlightThread {
+                    pid: 0,
+                    tid: 0,
+                    name: "node0/rank 0".to_string(),
+                    events: vec![],
+                },
+            ],
+            json_path: None,
+            text_path: None,
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_and_carries_events() {
+        let dump = sample_dump();
+        let text = dump.to_json().pretty();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed.get("seq").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            parsed.get("reason").unwrap().as_str().unwrap(),
+            "fault detected at iteration 7: nodes [1]"
+        );
+        let threads = parsed.get("threads").unwrap().as_array().unwrap();
+        assert_eq!(threads.len(), 2);
+        let events = threads[0].get("events").unwrap().as_array().unwrap();
+        assert_eq!(events[0].get("name").unwrap().as_str(), Some("compute"));
+        assert_eq!(events[0].get("iteration").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn text_lists_every_thread() {
+        let text = sample_dump().render_text();
+        assert!(text.contains("flight recorder dump #3"));
+        assert!(text.contains("node1/rank 2"));
+        assert!(text.contains("compute"));
+        assert!(text.contains("(no spans recorded)"));
+    }
+}

@@ -1,0 +1,175 @@
+//! Log-scale latency histograms with fixed footprint.
+//!
+//! A [`LogHistogram`] buckets samples by `log2` with [`SUB_BUCKETS`]
+//! sub-buckets per octave over `2^-30` s (≈1 ns) to `2^6` s (64 s).
+//! Percentile queries return the geometric midpoint of the bucket the
+//! target rank falls in, so they are exact to within one bucket —
+//! about 9 % relative error — while the whole histogram is a fixed
+//! ~1.1 KiB array: `Copy`, mergeable, and allocation-free on the
+//! record path.
+
+/// Sub-buckets per power-of-two octave.
+pub const SUB_BUCKETS: usize = 8;
+/// Exponent of the smallest representable duration (`2^MIN_EXP` s).
+const MIN_EXP: i32 = -30;
+/// Exponent one past the largest octave (`2^MAX_EXP` s).
+const MAX_EXP: i32 = 6;
+/// Total number of buckets.
+pub const NUM_BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize * SUB_BUCKETS;
+
+/// A log-scale histogram of durations in seconds.
+#[derive(Clone, Copy, PartialEq)]
+pub struct LogHistogram {
+    counts: [u32; NUM_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        // `[u32; 288]` is past the N ≤ 32 limit of the std array
+        // `Default` impl, hence the manual one.
+        Self {
+            counts: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("p50_secs", &self.percentile(0.50))
+            .field("p99_secs", &self.percentile(0.99))
+            .finish()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one duration. Non-positive and NaN samples land in the
+    /// smallest bucket; samples past 64 s saturate into the largest.
+    pub fn record(&mut self, secs: f64) {
+        let i = Self::bucket_index(secs);
+        self.counts[i] = self.counts[i].saturating_add(1);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`) as the geometric midpoint of
+    /// the bucket holding the target rank; `0.0` when empty.
+    pub fn percentile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += u64::from(c);
+            if cumulative >= target {
+                return Self::bucket_value(i);
+            }
+        }
+        Self::bucket_value(NUM_BUCKETS - 1)
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a = a.saturating_add(b);
+        }
+    }
+
+    fn bucket_index(secs: f64) -> usize {
+        if secs <= 0.0 || secs.is_nan() {
+            return 0;
+        }
+        let pos = (secs.log2() - f64::from(MIN_EXP)) * SUB_BUCKETS as f64;
+        if pos < 0.0 {
+            0
+        } else if pos >= NUM_BUCKETS as f64 {
+            NUM_BUCKETS - 1
+        } else {
+            pos as usize
+        }
+    }
+
+    fn bucket_value(i: usize) -> f64 {
+        let exp = f64::from(MIN_EXP) + (i as f64 + 0.5) / SUB_BUCKETS as f64;
+        exp.exp2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0.0);
+    }
+
+    #[test]
+    fn percentiles_match_uniform_distribution() {
+        // 10,000 samples uniform over [1 ms, 101 ms): p50 ≈ 51 ms,
+        // p99 ≈ 100 ms — a log-bucket estimate must land within the
+        // bucket resolution (~9 %).
+        let mut h = LogHistogram::new();
+        for i in 0..10_000u64 {
+            let secs = 1e-3 + 100e-3 * (i as f64 / 10_000.0);
+            h.record(secs);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.percentile(0.50);
+        let p99 = h.percentile(0.99);
+        assert!((p50 - 51e-3).abs() / 51e-3 < 0.15, "p50 = {p50}");
+        assert!((p99 - 100e-3).abs() / 100e-3 < 0.15, "p99 = {p99}");
+        assert!(h.percentile(0.0) <= p50 && p50 <= p99);
+        assert!(p99 <= h.percentile(1.0));
+    }
+
+    #[test]
+    fn point_mass_is_within_bucket_resolution() {
+        let mut h = LogHistogram::new();
+        for _ in 0..100 {
+            h.record(2.5e-3);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.percentile(q);
+            assert!((v - 2.5e-3).abs() / 2.5e-3 < 0.09, "q={q} v={v}");
+        }
+    }
+
+    #[test]
+    fn outliers_clamp_to_edge_buckets() {
+        let mut h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(f64::NAN);
+        h.record(1e12);
+        assert_eq!(h.count(), 4);
+        assert!(h.percentile(0.25) < 1e-9);
+        assert!(h.percentile(1.0) > 32.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record(1e-3);
+        b.record(1e-3);
+        b.record(4e-1);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!(a.percentile(1.0) > 0.3);
+    }
+}

@@ -1,0 +1,73 @@
+//! moc-obs: observability for the MoC-System runtime.
+//!
+//! Zero dependencies beyond the workspace (std only). Four pieces:
+//!
+//! - **Span recording** ([`sink`]): every runtime thread (rank,
+//!   coordinator, checkpoint-engine writer) holds a [`TraceSink`] and
+//!   appends typed spans to a thread-local buffer without any
+//!   cross-thread synchronization on the hot path; buffers merge into
+//!   the run-wide [`TraceCollector`] when the thread finishes. When
+//!   observability is disabled every sink call is a single branch.
+//! - **Chrome-trace/Perfetto export** ([`chrome`]): the collector
+//!   renders the merged spans to a `trace.json` loadable in
+//!   <https://ui.perfetto.dev> — pid = node, tid = global rank, flow
+//!   arrows linking fault injection → detection → recovery and
+//!   checkpoint submission → background persist.
+//! - **Fault flight recorder** ([`flight`]): each thread additionally
+//!   mirrors its last N spans into a bounded ring; the moment the
+//!   coordinator declares a fault it snapshots every ring into a
+//!   [`FlightDump`] (JSON + human-readable text), so every recovery
+//!   leaves a post-mortem artifact that includes the dead ranks' final
+//!   spans.
+//! - **Log-scale latency histograms** ([`hist`]): fixed-footprint
+//!   `log2`-bucketed histograms giving p50/p99/max per phase with ~9 %
+//!   relative error and no allocation on the record path.
+//!
+//! [`json`] is a minimal JSON value (build/print/parse — the vendored
+//! `serde` is an API stand-in with no runtime behaviour) and [`report`]
+//! renders human-readable phase/timeline tables plus schema'd JSON
+//! reports for the benches.
+//!
+//! # Span taxonomy
+//!
+//! Spans are typed by [`SpanKind`] (→ the `cat` field in the exported
+//! trace) and named with stable `&'static str` labels:
+//!
+//! | kind          | names                                                    | thread               |
+//! |---------------|----------------------------------------------------------|----------------------|
+//! | `Phase`       | `compute`, `straggler-stall`, `reduce`, `apply`          | rank / coordinator   |
+//! | `Collective`  | `tp-sync`, `pp-wait`, `pp-relay`, `ring-all-reduce`      | rank                 |
+//! | `Ckpt`        | `ckpt-collect`, `ckpt-serialize`, `ckpt-write`, `ckpt-submit` | rank / coordinator |
+//! | `Persist`     | `persist` (background batch persist)                     | ckpt-engine writer   |
+//! | `Gc`          | `gc` (chain-aware garbage collection)                    | ckpt-engine writer   |
+//! | `Fault`       | `fault-injected`, `fault-detected`, `recovery`, `recovery-plan`, `recovery-fetch`, `recovery-restore`, `restore-apply` | coordinator / rank |
+//! | `Elastic`     | `shrink-rebalance`, `expand-restore`, `export-state`     | coordinator / rank   |
+//! | `Control`     | `apply-wait`, `eval`                                     | coordinator / rank   |
+//!
+//! Flow arrows (`cat = "flow"`):
+//!
+//! - **fault flows** — sequential ids from [`TraceCollector::next_flow_id`];
+//!   start on `fault-injected`, step on `fault-detected`, finish on the
+//!   `recovery` span (which covers the shrink or respawn path taken).
+//! - **checkpoint flows** — deterministic ids from [`ckpt_flow_id`];
+//!   start on each per-node `ckpt-submit` span on the training path,
+//!   finish on the matching background `persist` span in that node's
+//!   engine writer thread.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod flight;
+pub mod hist;
+pub mod json;
+pub mod report;
+pub mod sink;
+
+pub use flight::{FlightDump, FlightThread};
+pub use hist::LogHistogram;
+pub use json::Json;
+pub use report::{render_phase_table, render_timeline, PhaseRow, Report, TimelineRow};
+pub use sink::{
+    ckpt_flow_id, Flow, ObsConfig, ObsRunReport, SpanKind, ThreadNames, TraceCollector, TraceEvent,
+    TraceSink,
+};

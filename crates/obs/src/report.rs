@@ -1,0 +1,165 @@
+//! Report rendering: human-readable phase/timeline tables and the
+//! schema'd JSON report emitter used by the benches.
+
+use crate::json::Json;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One row of a phase-latency table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PhaseRow {
+    /// Phase label.
+    pub label: String,
+    /// Sample count.
+    pub count: u64,
+    /// Mean seconds.
+    pub mean_secs: f64,
+    /// Median seconds (log-bucket estimate).
+    pub p50_secs: f64,
+    /// 99th-percentile seconds (log-bucket estimate).
+    pub p99_secs: f64,
+    /// Worst sample, seconds.
+    pub max_secs: f64,
+    /// Sum of all samples, seconds.
+    pub total_secs: f64,
+}
+
+/// Renders a fixed-width phase table (milliseconds).
+pub fn render_phase_table(rows: &[PhaseRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  {:<18} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "phase", "count", "mean", "p50", "p99", "max", "total"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>7} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            r.label,
+            r.count,
+            ms(r.mean_secs),
+            ms(r.p50_secs),
+            ms(r.p99_secs),
+            ms(r.max_secs),
+            ms(r.total_secs),
+        );
+    }
+    out
+}
+
+fn ms(secs: f64) -> String {
+    format!("{:.3} ms", 1e3 * secs)
+}
+
+/// One row of a timeline rendering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimelineRow {
+    /// Run-relative seconds.
+    pub at_secs: f64,
+    /// Training iteration.
+    pub iteration: u64,
+    /// Short event label (e.g. `RECOVERED`).
+    pub label: String,
+    /// Free-form detail text.
+    pub detail: String,
+}
+
+/// Renders a timestamped timeline, one event per line.
+pub fn render_timeline(rows: &[TimelineRow]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  [{:>9.3}s] iter {:>4}  {:<11} {}",
+            r.at_secs, r.iteration, r.label, r.detail
+        );
+    }
+    out
+}
+
+/// A schema'd JSON report builder: ordered fields, pretty-printed to
+/// disk. Replaces the hand-rolled `format!` JSON writers previously
+/// duplicated across the benches.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    fields: Vec<(String, Json)>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a field (insertion order is preserved in the output).
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// The report as a JSON object.
+    pub fn json(&self) -> Json {
+        Json::Obj(self.fields.clone())
+    }
+
+    /// Writes the pretty-printed report (with trailing newline) to
+    /// `path`.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, format!("{}\n", self.json().pretty()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_table_lists_rows() {
+        let rows = vec![PhaseRow {
+            label: "compute".to_string(),
+            count: 12,
+            mean_secs: 0.002,
+            p50_secs: 0.0019,
+            p99_secs: 0.004,
+            max_secs: 0.005,
+            total_secs: 0.024,
+        }];
+        let table = render_phase_table(&rows);
+        assert!(table.contains("compute"));
+        assert!(table.contains("p99"));
+        assert!(table.contains("2.000 ms"));
+    }
+
+    #[test]
+    fn timeline_renders_timestamps() {
+        let rows = vec![TimelineRow {
+            at_secs: 1.5,
+            iteration: 7,
+            label: "KILL".to_string(),
+            detail: "nodes [1]".to_string(),
+        }];
+        let text = render_timeline(&rows);
+        assert!(text.contains("1.500s"));
+        assert!(text.contains("KILL"));
+        assert!(text.contains("nodes [1]"));
+    }
+
+    #[test]
+    fn report_roundtrips_through_parse() {
+        let report = Report::new()
+            .field("bench", "fig18")
+            .field(
+                "worlds",
+                Json::Arr(vec![Json::from(2u64), Json::from(4u64)]),
+            )
+            .field("ratio", 1.5);
+        let parsed = Json::parse(&report.json().pretty()).unwrap();
+        assert_eq!(parsed.get("bench").unwrap().as_str(), Some("fig18"));
+        assert_eq!(
+            parsed.get("worlds").unwrap().as_array().unwrap()[1].as_u64(),
+            Some(4)
+        );
+    }
+}

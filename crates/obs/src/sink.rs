@@ -1,0 +1,631 @@
+//! Span recording: per-thread sinks, the run-wide collector, and the
+//! flight-recorder rings.
+//!
+//! One [`TraceCollector`] exists per run; every participating thread
+//! gets a [`TraceSink`] from [`TraceCollector::sink`]. A sink appends
+//! finished spans to a thread-local `Vec` (no cross-thread
+//! synchronization on the hot path) and mirrors each span into the
+//! thread's bounded flight-recorder ring; the local buffer merges into
+//! the collector when the sink flushes or drops. When observability is
+//! disabled both the collector and every sink are inert: each call is
+//! one branch on an `Option` that is `None`.
+
+use crate::chrome;
+use crate::flight::{FlightDump, FlightThread};
+use crate::json::Json;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Observability switches for a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsConfig {
+    /// Master switch. When false, no spans are recorded and every sink
+    /// call costs a single branch.
+    pub enabled: bool,
+    /// Spans retained per thread in the fault flight recorder.
+    pub flight_recorder_len: usize,
+    /// Where to write the Chrome-trace `trace.json` (and, next to it,
+    /// `<stem>-flight-<n>.{json,txt}` dumps). `None` keeps everything
+    /// in memory.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            flight_recorder_len: 64,
+            trace_path: None,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Enabled, in-memory only (no trace file).
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Enabled and writing `trace.json` (plus flight dumps) at `path`.
+    pub fn with_trace(path: impl Into<PathBuf>) -> Self {
+        Self {
+            enabled: true,
+            trace_path: Some(path.into()),
+            ..Self::default()
+        }
+    }
+}
+
+/// The type of a span; becomes the `cat` field in the exported trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A training-loop phase (compute, reduce, apply, …).
+    Phase,
+    /// A collective leg (TP sync, PP relay, ring all-reduce).
+    Collective,
+    /// Checkpoint work on the training path (collect/serialize/submit).
+    Ckpt,
+    /// A background persist batch in a node engine's writer thread.
+    Persist,
+    /// Chain-aware garbage collection in a writer thread.
+    Gc,
+    /// Fault lifecycle (injection, detection, recovery legs).
+    Fault,
+    /// Elastic transitions (shrink rebalance, expand restore).
+    Elastic,
+    /// Control-plane odds and ends (apply barrier, eval).
+    Control,
+}
+
+impl SpanKind {
+    /// Stable category label used in the exported trace.
+    pub fn category(self) -> &'static str {
+        match self {
+            SpanKind::Phase => "phase",
+            SpanKind::Collective => "collective",
+            SpanKind::Ckpt => "ckpt",
+            SpanKind::Persist => "persist",
+            SpanKind::Gc => "gc",
+            SpanKind::Fault => "fault",
+            SpanKind::Elastic => "elastic",
+            SpanKind::Control => "control",
+        }
+    }
+}
+
+/// Flow-arrow participation of a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Not part of a flow.
+    None,
+    /// Starts flow `id` (Chrome `ph:"s"`).
+    Start(u64),
+    /// Intermediate step of flow `id` (Chrome `ph:"t"`).
+    Step(u64),
+    /// Ends flow `id` (Chrome `ph:"f"`).
+    End(u64),
+}
+
+/// One finished span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Process lane in the trace (node id; the control plane gets its
+    /// own lane past the last node).
+    pub pid: u32,
+    /// Thread lane (global rank; engine writers live at `1_000_000 + node`).
+    pub tid: u32,
+    /// Stable span name (see the crate-level taxonomy table).
+    pub name: &'static str,
+    /// Span type.
+    pub kind: SpanKind,
+    /// Training iteration the span belongs to (0 when not applicable).
+    pub iteration: u64,
+    /// Run-relative start, seconds from the collector's anchor.
+    pub start_secs: f64,
+    /// Duration in seconds.
+    pub dur_secs: f64,
+    /// Flow-arrow participation.
+    pub flow: Flow,
+}
+
+impl TraceEvent {
+    /// JSON form used by flight dumps.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_string(), Json::from(self.name)),
+            ("kind".to_string(), Json::from(self.kind.category())),
+            ("iteration".to_string(), Json::from(self.iteration)),
+            ("start_secs".to_string(), Json::from(self.start_secs)),
+            ("dur_secs".to_string(), Json::from(self.dur_secs)),
+        ];
+        let flow = match self.flow {
+            Flow::None => None,
+            Flow::Start(id) => Some(("start", id)),
+            Flow::Step(id) => Some(("step", id)),
+            Flow::End(id) => Some(("end", id)),
+        };
+        if let Some((phase, id)) = flow {
+            fields.push((
+                "flow".to_string(),
+                Json::Obj(vec![
+                    ("phase".to_string(), Json::from(phase)),
+                    ("id".to_string(), Json::from(id)),
+                ]),
+            ));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Display names for the pid/tid lanes of the trace.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadNames {
+    /// Process display names by pid.
+    pub processes: BTreeMap<u32, String>,
+    /// Thread display names by `(pid, tid)`.
+    pub threads: BTreeMap<(u32, u32), String>,
+}
+
+impl ThreadNames {
+    /// The display name of a process lane.
+    pub fn process_label(&self, pid: u32) -> String {
+        self.processes
+            .get(&pid)
+            .cloned()
+            .unwrap_or_else(|| format!("pid {pid}"))
+    }
+
+    /// The display name of a thread lane.
+    pub fn thread_label(&self, pid: u32, tid: u32) -> String {
+        self.threads
+            .get(&(pid, tid))
+            .cloned()
+            .unwrap_or_else(|| format!("tid {tid}"))
+    }
+}
+
+/// Flow id linking a checkpoint submission (`Flow::Start` on the
+/// training-path `ckpt-submit` span) to its background persist
+/// (`Flow::End` on the engine writer's `persist` span). Deterministic,
+/// so both sides derive it without coordination; offset clear of the
+/// collector's sequential fault-flow ids and small enough to stay
+/// exactly representable in the JSON `f64` number space.
+pub fn ckpt_flow_id(version: u64, writer_id: usize) -> u64 {
+    1_000_000_000 + version * 4096 + writer_id as u64
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct RingSlot {
+    pid: u32,
+    tid: u32,
+    ring: Arc<Mutex<VecDeque<TraceEvent>>>,
+}
+
+struct Shared {
+    anchor: Instant,
+    ring_len: usize,
+    trace_path: Option<PathBuf>,
+    merged: Mutex<Vec<TraceEvent>>,
+    names: Mutex<ThreadNames>,
+    rings: Mutex<Vec<RingSlot>>,
+    dumps: Mutex<Vec<FlightDump>>,
+    flow_ids: AtomicU64,
+    dump_seq: AtomicU64,
+}
+
+/// The run-wide span collector. Cheap to clone-by-`sink` handles; owns
+/// the anchor clock, the merged span buffer, the flight-recorder
+/// rings, and the export paths.
+pub struct TraceCollector {
+    shared: Option<Arc<Shared>>,
+}
+
+impl fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceCollector")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl TraceCollector {
+    /// Builds a collector for `config`; inert when `config.enabled` is
+    /// false.
+    pub fn new(config: &ObsConfig) -> Self {
+        if !config.enabled {
+            return Self::disabled();
+        }
+        Self {
+            shared: Some(Arc::new(Shared {
+                anchor: Instant::now(),
+                ring_len: config.flight_recorder_len.max(1),
+                trace_path: config.trace_path.clone(),
+                merged: Mutex::new(Vec::new()),
+                names: Mutex::new(ThreadNames::default()),
+                rings: Mutex::new(Vec::new()),
+                dumps: Mutex::new(Vec::new()),
+                flow_ids: AtomicU64::new(0),
+                dump_seq: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// An inert collector: every derived sink is disabled.
+    pub fn disabled() -> Self {
+        Self { shared: None }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// The run-relative clock anchor (None when disabled).
+    pub fn anchor(&self) -> Option<Instant> {
+        self.shared.as_ref().map(|s| s.anchor)
+    }
+
+    /// Allocates a fresh flow id (sequential from 1); 0 when disabled.
+    pub fn next_flow_id(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map(|s| s.flow_ids.fetch_add(1, Ordering::Relaxed) + 1)
+            .unwrap_or(0)
+    }
+
+    /// Registers a thread lane and hands out its sink. Re-requesting
+    /// the same `(pid, tid)` (a respawned rank) reuses the existing
+    /// flight-recorder ring so pre-fault history survives.
+    pub fn sink(&self, pid: u32, tid: u32, process: &str, thread: &str) -> TraceSink {
+        let Some(shared) = &self.shared else {
+            return TraceSink::disabled();
+        };
+        {
+            let mut names = lock(&shared.names);
+            names
+                .processes
+                .entry(pid)
+                .or_insert_with(|| process.to_string());
+            names.threads.insert((pid, tid), thread.to_string());
+        }
+        let ring = {
+            let mut rings = lock(&shared.rings);
+            match rings.iter().find(|slot| slot.pid == pid && slot.tid == tid) {
+                Some(slot) => slot.ring.clone(),
+                None => {
+                    let ring = Arc::new(Mutex::new(VecDeque::with_capacity(shared.ring_len)));
+                    rings.push(RingSlot {
+                        pid,
+                        tid,
+                        ring: ring.clone(),
+                    });
+                    ring
+                }
+            }
+        };
+        TraceSink {
+            shared: Some(shared.clone()),
+            pid,
+            tid,
+            local: Vec::new(),
+            ring: Some(ring),
+            ring_len: shared.ring_len,
+        }
+    }
+
+    /// Snapshots every thread's flight-recorder ring into a
+    /// [`FlightDump`], writing the JSON + text artifacts next to the
+    /// trace file when a trace path is configured. `None` when
+    /// disabled.
+    pub fn flight_dump(&self, reason: &str) -> Option<FlightDump> {
+        let shared = self.shared.as_ref()?;
+        let seq = shared.dump_seq.fetch_add(1, Ordering::Relaxed);
+        let names = lock(&shared.names).clone();
+        let threads: Vec<FlightThread> = lock(&shared.rings)
+            .iter()
+            .map(|slot| FlightThread {
+                pid: slot.pid,
+                tid: slot.tid,
+                name: format!(
+                    "{}/{}",
+                    names.process_label(slot.pid),
+                    names.thread_label(slot.pid, slot.tid)
+                ),
+                events: lock(&slot.ring).iter().copied().collect(),
+            })
+            .collect();
+        let mut dump = FlightDump {
+            seq,
+            at_secs: shared.anchor.elapsed().as_secs_f64(),
+            reason: reason.to_string(),
+            threads,
+            json_path: None,
+            text_path: None,
+        };
+        if let Some(trace) = &shared.trace_path {
+            let stem = trace
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("trace");
+            let json_path = trace.with_file_name(format!("{stem}-flight-{seq}.json"));
+            let text_path = trace.with_file_name(format!("{stem}-flight-{seq}.txt"));
+            if let Some(dir) = json_path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(&json_path, format!("{}\n", dump.to_json().pretty())) {
+                Ok(()) => dump.json_path = Some(json_path),
+                Err(e) => eprintln!("moc-obs: flight dump write failed: {e}"),
+            }
+            match std::fs::write(&text_path, dump.render_text()) {
+                Ok(()) => dump.text_path = Some(text_path),
+                Err(e) => eprintln!("moc-obs: flight dump write failed: {e}"),
+            }
+        }
+        lock(&shared.dumps).push(dump.clone());
+        Some(dump)
+    }
+
+    /// The spans merged so far (flushed sinks only).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.shared
+            .as_ref()
+            .map(|s| lock(&s.merged).clone())
+            .unwrap_or_default()
+    }
+
+    /// Finishes the run: renders the Chrome trace (when a path is
+    /// configured) and returns the run report. Call after every sink
+    /// has flushed (dropped).
+    pub fn finish(&self) -> ObsRunReport {
+        let Some(shared) = &self.shared else {
+            return ObsRunReport::default();
+        };
+        let events = lock(&shared.merged).clone();
+        let names = lock(&shared.names).clone();
+        let mut trace_path = None;
+        if let Some(path) = &shared.trace_path {
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            match std::fs::write(path, chrome::render(&events, &names)) {
+                Ok(()) => trace_path = Some(path.clone()),
+                Err(e) => eprintln!("moc-obs: trace write failed ({}): {e}", path.display()),
+            }
+        }
+        ObsRunReport {
+            enabled: true,
+            spans_recorded: events.len() as u64,
+            flight_dumps: lock(&shared.dumps).clone(),
+            trace_path,
+        }
+    }
+}
+
+/// What observability produced for one run.
+#[derive(Debug, Clone, Default)]
+pub struct ObsRunReport {
+    /// Whether observability was on.
+    pub enabled: bool,
+    /// Total spans merged from all threads.
+    pub spans_recorded: u64,
+    /// Flight-recorder dumps taken (one per declared fault).
+    pub flight_dumps: Vec<FlightDump>,
+    /// Where `trace.json` was written, if anywhere.
+    pub trace_path: Option<PathBuf>,
+}
+
+/// A per-thread span recorder. Append-only and unsynchronized on the
+/// hot path; mirrors spans into the thread's flight-recorder ring;
+/// flushes its buffer into the collector on [`TraceSink::flush`] or
+/// drop.
+pub struct TraceSink {
+    shared: Option<Arc<Shared>>,
+    pid: u32,
+    tid: u32,
+    local: Vec<TraceEvent>,
+    ring: Option<Arc<Mutex<VecDeque<TraceEvent>>>>,
+    ring_len: usize,
+}
+
+impl fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.is_enabled())
+            .field("pid", &self.pid)
+            .field("tid", &self.tid)
+            .field("buffered", &self.local.len())
+            .finish()
+    }
+}
+
+impl TraceSink {
+    /// An inert sink: every call is one branch.
+    pub fn disabled() -> Self {
+        Self {
+            shared: None,
+            pid: 0,
+            tid: 0,
+            local: Vec::new(),
+            ring: None,
+            ring_len: 0,
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.shared.is_some()
+    }
+
+    /// Run-relative now, in seconds; `0.0` when disabled.
+    pub fn now(&self) -> f64 {
+        self.shared
+            .as_ref()
+            .map(|s| s.anchor.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
+    }
+
+    /// Records a finished span. The ring is updated immediately so a
+    /// thread that dies before flushing still leaves its final spans
+    /// visible to flight dumps.
+    pub fn record(
+        &mut self,
+        kind: SpanKind,
+        name: &'static str,
+        iteration: u64,
+        start_secs: f64,
+        dur_secs: f64,
+        flow: Flow,
+    ) {
+        if self.shared.is_none() {
+            return;
+        }
+        let event = TraceEvent {
+            pid: self.pid,
+            tid: self.tid,
+            name,
+            kind,
+            iteration,
+            start_secs,
+            dur_secs: dur_secs.max(0.0),
+            flow,
+        };
+        self.local.push(event);
+        if let Some(ring) = &self.ring {
+            let mut ring = lock(ring);
+            if ring.len() == self.ring_len {
+                ring.pop_front();
+            }
+            ring.push_back(event);
+        }
+    }
+
+    /// Records a span that started at `start_secs` and ends now, with
+    /// no flow participation.
+    pub fn span(&mut self, kind: SpanKind, name: &'static str, iteration: u64, start_secs: f64) {
+        let end = self.now();
+        self.record(
+            kind,
+            name,
+            iteration,
+            start_secs,
+            end - start_secs,
+            Flow::None,
+        );
+    }
+
+    /// Merges the local buffer into the collector.
+    pub fn flush(&mut self) {
+        if let Some(shared) = &self.shared {
+            if !self.local.is_empty() {
+                lock(&shared.merged).append(&mut self.local);
+            }
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let collector = TraceCollector::disabled();
+        let mut sink = collector.sink(0, 0, "node0", "rank 0");
+        assert!(!sink.is_enabled());
+        assert_eq!(sink.now(), 0.0);
+        sink.record(SpanKind::Phase, "compute", 1, 0.0, 1.0, Flow::None);
+        drop(sink);
+        assert!(collector.events().is_empty());
+        assert!(collector.flight_dump("x").is_none());
+        assert_eq!(collector.next_flow_id(), 0);
+        let report = collector.finish();
+        assert!(!report.enabled);
+        assert_eq!(report.spans_recorded, 0);
+    }
+
+    #[test]
+    fn spans_merge_on_drop_and_flows_count_up() {
+        let collector = TraceCollector::new(&ObsConfig::enabled());
+        assert_eq!(collector.next_flow_id(), 1);
+        assert_eq!(collector.next_flow_id(), 2);
+        let mut a = collector.sink(0, 0, "node0", "rank 0");
+        let mut b = collector.sink(0, 1, "node0", "rank 1");
+        a.record(SpanKind::Phase, "compute", 0, 0.0, 0.5, Flow::None);
+        b.record(SpanKind::Phase, "compute", 0, 0.1, 0.4, Flow::None);
+        assert!(collector.events().is_empty(), "nothing merged pre-flush");
+        drop(a);
+        drop(b);
+        let events = collector.events();
+        assert_eq!(events.len(), 2);
+        let report = collector.finish();
+        assert!(report.enabled);
+        assert_eq!(report.spans_recorded, 2);
+        assert!(report.trace_path.is_none());
+    }
+
+    #[test]
+    fn flight_ring_is_bounded_and_survives_sink_reissue() {
+        let config = ObsConfig {
+            enabled: true,
+            flight_recorder_len: 4,
+            trace_path: None,
+        };
+        let collector = TraceCollector::new(&config);
+        let mut sink = collector.sink(1, 2, "node1", "rank 2");
+        for i in 0..10u64 {
+            sink.record(SpanKind::Phase, "compute", i, i as f64, 0.5, Flow::None);
+        }
+        // Unflushed spans must still be visible to the flight recorder:
+        // the ring is written at record time.
+        let dump = collector.flight_dump("test fault").unwrap();
+        let thread = dump
+            .threads
+            .iter()
+            .find(|t| t.pid == 1 && t.tid == 2)
+            .unwrap();
+        assert_eq!(thread.events.len(), 4);
+        assert_eq!(thread.events.last().unwrap().iteration, 9);
+        // A respawned rank reuses the ring: history persists.
+        drop(sink);
+        let mut again = collector.sink(1, 2, "node1", "rank 2");
+        again.record(SpanKind::Phase, "compute", 10, 10.0, 0.5, Flow::None);
+        let dump = collector.flight_dump("second fault").unwrap();
+        assert_eq!(dump.seq, 1);
+        let thread = dump
+            .threads
+            .iter()
+            .find(|t| t.pid == 1 && t.tid == 2)
+            .unwrap();
+        assert_eq!(thread.events.len(), 4);
+        assert_eq!(thread.events.last().unwrap().iteration, 10);
+        assert_eq!(thread.events.first().unwrap().iteration, 7);
+    }
+
+    #[test]
+    fn ckpt_flow_ids_are_unique_per_version_writer() {
+        let mut seen = std::collections::BTreeSet::new();
+        for version in 0..50u64 {
+            for writer in 0..8usize {
+                assert!(seen.insert(ckpt_flow_id(version, writer)));
+            }
+        }
+    }
+}

@@ -13,6 +13,7 @@ use moc_ckpt::EngineConfig;
 use moc_core::placement::num_failure_domains;
 use moc_core::topology::ParallelTopology;
 use moc_moe::MoeModelConfig;
+use moc_obs::ObsConfig;
 use moc_store::FaultPlan;
 use moc_train::{AdamConfig, PecMode};
 use std::fmt;
@@ -271,6 +272,10 @@ pub struct RuntimeConfig {
     /// declaring its node failed. Must exceed the worst-case iteration
     /// compute time.
     pub heartbeat_timeout: Duration,
+    /// Observability: span tracing, flight recorder, trace export.
+    /// Disabled by default — the hot path then pays one branch per
+    /// would-be span.
+    pub obs: ObsConfig,
 }
 
 impl RuntimeConfig {
@@ -304,6 +309,7 @@ impl RuntimeConfig {
             seed: 17,
             eval_every: 8,
             heartbeat_timeout: Duration::from_secs(2),
+            obs: ObsConfig::default(),
         }
     }
 

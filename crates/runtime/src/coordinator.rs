@@ -30,6 +30,7 @@ use moc_core::topology::RankCoord;
 use moc_core::twolevel::ShardJob;
 use moc_elastic::{plan_expand, plan_shrink, PlacementPlanner};
 use moc_moe::ExpertId;
+use moc_obs::{ckpt_flow_id, Flow, SpanKind, TraceCollector, TraceSink};
 use moc_store::{ClusterMemory, NodeId, ObjectStore, StatePart};
 use moc_train::checkpoint::expert_of;
 use moc_train::TinyMoeLm;
@@ -81,6 +82,10 @@ impl From<RecoveryError> for RuntimeError {
 /// Consecutive no-progress recoveries tolerated before the run fails
 /// loudly (see `Run::recoveries_without_progress`).
 const MAX_RECOVERIES_WITHOUT_PROGRESS: u32 = 3;
+
+/// Trace-lane tid offset of the per-node checkpoint-engine writer
+/// threads (their pid is the node id; rank tids stay below this).
+const ENGINE_TID_BASE: u32 = 1_000_000;
 
 /// The live-runtime entry point.
 pub struct Coordinator {
@@ -246,12 +251,30 @@ struct Run {
     /// Per-checkpoint `(persisted bytes, blocking write secs)` samples
     /// (sync mode only).
     persist_samples: Vec<(u64, f64)>,
+    /// Run-wide span collector (inert when `config.obs` is disabled);
+    /// hands sinks to every rank/engine thread and takes flight dumps
+    /// when faults are declared.
+    collector: TraceCollector,
+    /// The coordinator's own span sink (control-plane lane).
+    sink: TraceSink,
+    /// Flow id of the currently open fault arrow: allocated when a kill
+    /// is injected, consumed by the recovery span that resolves it.
+    fault_flow: Option<u64>,
 }
 
 impl Run {
     fn start(config: RuntimeConfig, store: Arc<dyn ObjectStore>) -> Result<Self, RuntimeError> {
         let world = config.world_size();
         let num_nodes = config.topology.nodes();
+        // The collector exists before any thread it hands sinks to, and
+        // its anchor doubles as the metrics clock so timeline events and
+        // trace spans share one run-relative timebase.
+        let collector = TraceCollector::new(&config.obs);
+        let metrics = match collector.anchor() {
+            Some(anchor) => MetricsRegistry::with_anchor(anchor),
+            None => MetricsRegistry::new(),
+        };
+        let sink = collector.sink(num_nodes as u32, 0, "control-plane", "coordinator");
         let memory = ClusterMemory::new(num_nodes);
         let nodes: Vec<NodeRuntime> = (0..num_nodes)
             .map(|n| {
@@ -260,6 +283,12 @@ impl Run {
                     memory.node_arc(NodeId(n)),
                     store.clone(),
                     config.ckpt,
+                    collector.sink(
+                        n as u32,
+                        ENGINE_TID_BASE + n as u32,
+                        &format!("node{n}"),
+                        &format!("ckpt-engine {n}"),
+                    ),
                 )
             })
             .collect();
@@ -308,7 +337,7 @@ impl Run {
             events,
             events_tx,
             injector,
-            metrics: MetricsRegistry::new(),
+            metrics,
             plan,
             dynamic_k,
             ckpt_index: 0,
@@ -333,6 +362,9 @@ impl Run {
             degraded_since: None,
             snapshot_samples: Vec::new(),
             persist_samples: Vec::new(),
+            collector,
+            sink,
+            fault_flow: None,
         };
         run.apply_bufs = (0..run.config.topology.num_dp_groups())
             .map(|_| Arc::new(Vec::new()))
@@ -429,12 +461,19 @@ impl Run {
 
     fn spawn_rank(&self, rank: usize) -> (Sender<RankCommand>, JoinHandle<()>) {
         let (tx, rx) = unbounded();
+        let node = self.node_of(rank);
         let ctx = RankContext {
             rank,
             coord: self.config.topology.coords_of(rank),
             config: self.config.clone(),
             commands: rx,
             events: self.events_tx.clone(),
+            sink: self.collector.sink(
+                node as u32,
+                rank as u32,
+                &format!("node{node}"),
+                &format!("rank {rank}"),
+            ),
         };
         let handle = std::thread::Builder::new()
             .name(format!("moc-rank-{rank}"))
@@ -553,6 +592,7 @@ impl Run {
             //    its ranks are told to die mid-iteration.
             let kills = self.injector.kills_at(it);
             if !kills.is_empty() {
+                let inject_start = self.sink.now();
                 // Quiesce agents first so the surviving tier contents are
                 // deterministic when recovery plans against them.
                 for node in &self.nodes {
@@ -567,6 +607,18 @@ impl Run {
                     EventKind::FaultInjected {
                         nodes: kills.clone(),
                     },
+                );
+                // Open the fault flow arrow: stepped at detection, closed
+                // by the recovery span that resolves it.
+                let flow = self.collector.next_flow_id();
+                self.fault_flow = Some(flow);
+                self.sink.record(
+                    SpanKind::Fault,
+                    "fault-injected",
+                    it,
+                    inject_start,
+                    self.sink.now() - inject_start,
+                    Flow::Start(flow),
                 );
             }
 
@@ -750,6 +802,7 @@ impl Run {
             }
         };
         let start = Instant::now();
+        let reduce_trace = self.sink.now();
         for (group, buf) in self.apply_bufs.iter_mut().enumerate() {
             if Arc::get_mut(buf).is_none() {
                 *buf = Arc::new(Vec::new());
@@ -769,6 +822,7 @@ impl Run {
         }
         self.metrics
             .record(Phase::Reduce, start.elapsed().as_secs_f64());
+        self.sink.span(SpanKind::Phase, "reduce", it, reduce_trace);
         // Routing statistics: one representative per shard group — the
         // live `(tp, pp) = (0, 0)` members' own loads plus the adopted
         // dead slices they computed.
@@ -787,6 +841,7 @@ impl Run {
         // Broadcast each group's reduced gradient; every member applies
         // the same Adam step, keeping replicas bitwise identical.
         let apply_start = Instant::now();
+        let apply_trace = self.sink.now();
         for (rank, tx) in self.cmd_txs.iter().enumerate() {
             if !self.live[rank] {
                 continue;
@@ -799,6 +854,8 @@ impl Run {
         self.wait_applied();
         self.metrics
             .record(Phase::Apply, apply_start.elapsed().as_secs_f64());
+        self.sink
+            .span(SpanKind::Control, "apply-wait", it, apply_trace);
         Ok(None)
     }
 
@@ -890,12 +947,25 @@ impl Run {
     ) -> Result<u64, RuntimeError> {
         let dead_nodes: BTreeSet<usize> = missing.iter().map(|&r| self.node_of(r)).collect();
         if !dead_nodes.is_empty() {
+            let detect_secs = collect_start.elapsed().as_secs_f64();
             self.metrics.event(
                 it,
                 EventKind::FaultDetected {
                     nodes: dead_nodes.iter().copied().collect(),
-                    detect_secs: collect_start.elapsed().as_secs_f64(),
+                    detect_secs,
                 },
+            );
+            // The detection span covers the failed collect that revealed
+            // the dead nodes, stepping the open fault flow.
+            let flow = self.fault_flow.map(Flow::Step).unwrap_or(Flow::None);
+            let end = self.sink.now();
+            self.sink.record(
+                SpanKind::Fault,
+                "fault-detected",
+                it,
+                (end - detect_secs).max(0.0),
+                detect_secs,
+                flow,
             );
         }
         if !aborted.is_empty() {
@@ -1154,7 +1224,19 @@ impl Run {
         let mut stalled_nodes = Vec::new();
         let start = Instant::now();
         for (node, jobs) in per_node {
-            if self.nodes[node].submit(version, jobs) {
+            // Each per-node submission starts a checkpoint flow arrow;
+            // the node engine's background `persist` span ends it.
+            let submit_trace = self.sink.now();
+            let stalled = self.nodes[node].submit(version, jobs);
+            self.sink.record(
+                SpanKind::Ckpt,
+                "ckpt-submit",
+                version,
+                submit_trace,
+                self.sink.now() - submit_trace,
+                Flow::Start(ckpt_flow_id(version, node)),
+            );
+            if stalled {
                 self.metrics.stall_count += 1;
                 stalled_nodes.push(node);
             }
@@ -1176,12 +1258,15 @@ impl Run {
         let snapshot = Arc::new(selection.snapshot);
         let persist = Arc::new(selection.persist);
         let overhead_start = Instant::now();
+        let collect_trace = self.sink.now();
         self.send_all(&RankCommand::Checkpoint {
             iteration,
             snapshot,
             persist,
         });
         let (shards, serialize_secs) = self.collect_shards(true);
+        self.sink
+            .span(SpanKind::Ckpt, "ckpt-collect", iteration, collect_trace);
         // Calibration samples: serialized bytes against the serialize
         // wall (snapshot tier), and — in sync mode — persisted bytes
         // against the blocking write wall (persist tier).
@@ -1200,7 +1285,16 @@ impl Run {
             .push((serialized_bytes, serialize_secs));
         let stalled_nodes = match self.config.checkpoint_mode {
             CheckpointMode::Sync => {
+                let write_trace = self.sink.now();
                 let write_secs = self.write_sync(iteration, shards);
+                self.sink.record(
+                    SpanKind::Ckpt,
+                    "ckpt-write",
+                    iteration,
+                    write_trace,
+                    write_secs,
+                    Flow::None,
+                );
                 self.persist_samples.push((persist_bytes, write_secs));
                 Vec::new()
             }
@@ -1260,6 +1354,13 @@ impl Run {
         dead_nodes: &BTreeSet<usize>,
     ) -> Result<u64, RuntimeError> {
         let recovery_start = Instant::now();
+        let recovery_trace = self.sink.now();
+        // The moment the coordinator declares the fault, snapshot every
+        // thread's flight-recorder ring — the dead ranks' final spans are
+        // still in their rings even though the threads are gone.
+        self.collector.flight_dump(&format!(
+            "fault detected at iteration {detected_at}: dead nodes {dead_nodes:?}"
+        ));
         // Invalidate replies from threads spawned before this recovery.
         self.epoch += 1;
         // Quiesce surviving agents so the plan sees settled tiers.
@@ -1307,6 +1408,23 @@ impl Run {
         self.metrics.record(Phase::RecoveryPlan, outcome.plan_secs);
         self.metrics
             .record(Phase::RecoveryFetch, outcome.fetch_secs);
+        let exec_trace = self.sink.now() - outcome.plan_secs - outcome.fetch_secs;
+        self.sink.record(
+            SpanKind::Fault,
+            "recovery-plan",
+            detected_at,
+            exec_trace,
+            outcome.plan_secs,
+            Flow::None,
+        );
+        self.sink.record(
+            SpanKind::Fault,
+            "recovery-fetch",
+            detected_at,
+            exec_trace + outcome.plan_secs,
+            outcome.fetch_secs,
+            Flow::None,
+        );
         self.metrics.recoveries += 1;
         self.metrics.recovered_bytes += outcome.bytes;
         self.metrics.memory_hits += outcome.memory_hits as u64;
@@ -1409,6 +1527,7 @@ impl Run {
         // Broadcast restored state; every live rank (survivor or
         // respawned) rolls back to the recovered versions.
         let restore_start = Instant::now();
+        let restore_trace = self.sink.now();
         let blobs = Arc::new(outcome.blobs);
         self.send_all(&RankCommand::Restore { blobs });
         let mut restored = HashSet::new();
@@ -1421,6 +1540,12 @@ impl Run {
         self.metrics.record(
             Phase::RecoveryRestore,
             restore_start.elapsed().as_secs_f64(),
+        );
+        self.sink.span(
+            SpanKind::Fault,
+            "recovery-restore",
+            detected_at,
+            restore_trace,
         );
 
         // Rewind bookkeeping: routing statistics return to the resume
@@ -1444,6 +1569,17 @@ impl Run {
                 shard_groups: shard_groups.into_iter().collect(),
                 group_owned_shards,
             },
+        );
+        // The parent recovery span closes the fault flow opened by the
+        // injection (arrow: fault-injected → fault-detected → recovery).
+        let flow = self.fault_flow.take().map(Flow::End).unwrap_or(Flow::None);
+        self.sink.record(
+            SpanKind::Fault,
+            "recovery",
+            detected_at,
+            recovery_trace,
+            self.sink.now() - recovery_trace,
+            flow,
         );
         Ok(resume)
     }
@@ -1493,6 +1629,14 @@ impl Run {
 
         let shrink_secs = start.elapsed().as_secs_f64();
         self.metrics.record(Phase::ShrinkRebalance, shrink_secs);
+        self.sink.record(
+            SpanKind::Elastic,
+            "shrink-rebalance",
+            resume,
+            self.sink.now() - shrink_secs,
+            shrink_secs,
+            Flow::None,
+        );
         self.metrics.event(
             resume,
             EventKind::ElasticShrink {
@@ -1586,6 +1730,14 @@ impl Run {
         self.metrics.elastic_expands += 1;
         let expand_secs = start.elapsed().as_secs_f64();
         self.metrics.record(Phase::ExpandRestore, expand_secs);
+        self.sink.record(
+            SpanKind::Elastic,
+            "expand-restore",
+            it,
+            self.sink.now() - expand_secs,
+            expand_secs,
+            Flow::None,
+        );
         self.metrics.event(
             it,
             EventKind::ElasticExpand {
@@ -1658,6 +1810,11 @@ impl Run {
         for node in &mut self.nodes {
             ckpt_engine.merge(&node.shutdown());
         }
+        // Every rank thread joined and every engine writer exited, so all
+        // sinks have flushed their thread-local buffers; merging the
+        // coordinator's own spans last completes the trace.
+        self.sink.flush();
+        let obs = self.collector.finish();
 
         let lead = *finals.keys().next().expect("a live rank reported");
         let crc0 = finals[&lead].1;
@@ -1698,6 +1855,7 @@ impl Run {
             i_ckpt: self.config.i_ckpt,
             final_params,
             replicas_consistent,
+            obs,
         })
     }
 }

@@ -96,6 +96,7 @@ pub mod metrics;
 pub mod node;
 pub(crate) mod rank;
 pub mod recovery_exec;
+pub mod report;
 
 pub use collective::{
     ChunkPool, CollectiveKind, GroupAbort, GroupEndpoints, GroupMesh, RingAbort, RingMesh,
@@ -106,6 +107,7 @@ pub use coordinator::{Coordinator, RuntimeError};
 pub use injector::{FaultInjector, SlowEvent};
 pub use metrics::{EventKind, MetricsRegistry, Phase, PhaseStats, RunSummary, TimelineEvent};
 pub use moc_ckpt::{ChainStore, EngineConfig as CkptEngineConfig, EngineStats as CkptEngineStats};
+pub use moc_obs::{ObsConfig, ObsRunReport};
 pub use node::NodeRuntime;
 pub use rank::{owner_coord, owner_rank};
 pub use recovery_exec::{execute_recovery, RecoveryOutcome};

@@ -11,11 +11,13 @@
 use moc_ckpt::EngineStats;
 use moc_cluster::events::{simulate, EventSimConfig, EventSimReport};
 use moc_cluster::ClusterSpec;
+use moc_obs::{LogHistogram, ObsRunReport};
+use serde::Serialize;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// A measured phase of the runtime's iteration loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
 pub enum Phase {
     /// Forward + backward over the rank's sub-batch (max across ranks).
     Compute,
@@ -93,7 +95,7 @@ impl Phase {
 }
 
 /// Accumulated statistics of one phase.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
 pub struct PhaseStats {
     /// Number of recorded occurrences.
     pub count: u64,
@@ -104,9 +106,24 @@ pub struct PhaseStats {
     /// Shortest single occurrence (0 when never recorded) — the least
     /// scheduler-disturbed sample, which scaling benchmarks compare.
     pub min_secs: f64,
+    /// Log-scale distribution of the samples (p50/p99 queries).
+    pub hist: LogHistogram,
 }
 
 impl PhaseStats {
+    /// Records one occurrence.
+    pub fn record(&mut self, secs: f64) {
+        if self.count == 0 || secs < self.min_secs {
+            self.min_secs = secs;
+        }
+        self.count += 1;
+        self.total_secs += secs;
+        if secs > self.max_secs {
+            self.max_secs = secs;
+        }
+        self.hist.record(secs);
+    }
+
     /// Mean seconds per occurrence (0 when never recorded).
     pub fn mean_secs(&self) -> f64 {
         if self.count == 0 {
@@ -115,11 +132,25 @@ impl PhaseStats {
             self.total_secs / self.count as f64
         }
     }
+
+    /// Median seconds (log-bucket estimate, ~9 % resolution).
+    pub fn p50_secs(&self) -> f64 {
+        self.hist.percentile(0.50)
+    }
+
+    /// 99th-percentile seconds (log-bucket estimate).
+    pub fn p99_secs(&self) -> f64 {
+        self.hist.percentile(0.99)
+    }
 }
 
 /// One entry of the run timeline.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct TimelineEvent {
+    /// Run-relative monotonic seconds at which the event was recorded
+    /// (anchored at registry creation — coordinator start), ordering
+    /// events across ranks within an iteration.
+    pub at_secs: f64,
     /// Iteration the event belongs to.
     pub iteration: u64,
     /// What happened.
@@ -127,7 +158,7 @@ pub struct TimelineEvent {
 }
 
 /// Kinds of timeline events.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub enum EventKind {
     /// A checkpoint was taken; lists nodes whose agents stalled.
     Checkpoint {
@@ -217,8 +248,9 @@ pub enum EventKind {
 }
 
 /// Mutable metric accumulation during a run.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
+    start: Instant,
     phases: BTreeMap<Phase, PhaseStats>,
     timeline: Vec<TimelineEvent>,
     /// Checkpoint submissions that stalled waiting for a buffer.
@@ -262,23 +294,50 @@ pub struct MetricsRegistry {
     pub loop_secs: f64,
 }
 
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl MetricsRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry anchored at now.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_anchor(Instant::now())
+    }
+
+    /// Creates an empty registry whose timeline timestamps are relative
+    /// to `start` — pass the trace collector's anchor so timeline
+    /// events and trace spans share one clock.
+    pub fn with_anchor(start: Instant) -> Self {
+        Self {
+            start,
+            phases: BTreeMap::new(),
+            timeline: Vec::new(),
+            stall_count: 0,
+            faults_injected: 0,
+            stragglers_injected: 0,
+            ring_aborts: 0,
+            collective_allocs: 0,
+            recoveries: 0,
+            shard_groups_recovered: 0,
+            elastic_shrinks: 0,
+            elastic_expands: 0,
+            experts_migrated: 0,
+            degraded_iterations: 0,
+            tp_divergences: 0,
+            recovered_bytes: 0,
+            memory_hits: 0,
+            storage_hits: 0,
+            iterations_executed: 0,
+            checkpoints_taken: 0,
+            loop_secs: 0.0,
+        }
     }
 
     /// Records one occurrence of a phase.
     pub fn record(&mut self, phase: Phase, secs: f64) {
-        let stats = self.phases.entry(phase).or_default();
-        if stats.count == 0 || secs < stats.min_secs {
-            stats.min_secs = secs;
-        }
-        stats.count += 1;
-        stats.total_secs += secs;
-        if secs > stats.max_secs {
-            stats.max_secs = secs;
-        }
+        self.phases.entry(phase).or_default().record(secs);
     }
 
     /// Times a closure into a phase, returning its output.
@@ -289,9 +348,13 @@ impl MetricsRegistry {
         out
     }
 
-    /// Appends a timeline event.
+    /// Appends a timeline event, stamped with run-relative seconds.
     pub fn event(&mut self, iteration: u64, kind: EventKind) {
-        self.timeline.push(TimelineEvent { iteration, kind });
+        self.timeline.push(TimelineEvent {
+            at_secs: self.start.elapsed().as_secs_f64(),
+            iteration,
+            kind,
+        });
     }
 
     /// Statistics of one phase.
@@ -311,7 +374,7 @@ impl MetricsRegistry {
 }
 
 /// Immutable result of a completed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct RunSummary {
     /// `(iteration, validation loss)` curve.
     pub val_curve: Vec<(u64, f32)>,
@@ -393,6 +456,9 @@ pub struct RunSummary {
     pub final_params: Vec<f32>,
     /// Whether every rank finished with bitwise-identical parameters.
     pub replicas_consistent: bool,
+    /// What observability produced: span counts, flight dumps, and the
+    /// trace path (inert when `ObsConfig.enabled` was false).
+    pub obs: ObsRunReport,
 }
 
 impl RunSummary {
@@ -531,6 +597,29 @@ mod tests {
         m.event(2, EventKind::FaultInjected { nodes: vec![0] });
         assert_eq!(m.timeline().len(), 2);
         assert_eq!(m.timeline()[0].iteration, 1);
+    }
+
+    #[test]
+    fn timeline_timestamps_are_run_relative_and_monotonic() {
+        let mut m = MetricsRegistry::new();
+        m.event(1, EventKind::Eval { loss: 5.0 });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        m.event(2, EventKind::FaultInjected { nodes: vec![0] });
+        let t = m.timeline();
+        assert!(t[0].at_secs >= 0.0);
+        assert!(t[1].at_secs >= t[0].at_secs + 0.002);
+    }
+
+    #[test]
+    fn phase_percentiles_come_from_the_histogram() {
+        let mut m = MetricsRegistry::new();
+        for i in 0..100u64 {
+            m.record(Phase::Compute, 1e-3 + 9e-3 * (i as f64 / 100.0));
+        }
+        let s = m.phase(Phase::Compute);
+        assert_eq!(s.hist.count(), 100);
+        assert!(s.p50_secs() > 1e-3 && s.p50_secs() < s.p99_secs());
+        assert!(s.p99_secs() <= s.max_secs * 1.1);
     }
 
     #[test]

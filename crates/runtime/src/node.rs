@@ -10,6 +10,7 @@
 
 use moc_ckpt::{CkptEngine, EngineConfig, EngineStats};
 use moc_core::twolevel::ShardJob;
+use moc_obs::TraceSink;
 use moc_store::{NodeId, NodeMemoryStore, ObjectStore};
 use std::sync::Arc;
 
@@ -32,14 +33,17 @@ impl std::fmt::Debug for NodeRuntime {
 
 impl NodeRuntime {
     /// Spawns the node's checkpoint engine over its memory store and the
-    /// shared persistent store.
+    /// shared persistent store. `sink` traces the engine's background
+    /// writer thread (pass [`TraceSink::disabled`] when observability is
+    /// off).
     pub fn spawn(
         id: NodeId,
         memory: Arc<NodeMemoryStore>,
         store: Arc<dyn ObjectStore>,
         config: EngineConfig,
+        sink: TraceSink,
     ) -> Self {
-        let engine = CkptEngine::spawn(id.0, Some(memory.clone()), store, config);
+        let engine = CkptEngine::spawn_observed(id.0, Some(memory.clone()), store, config, sink);
         Self {
             id,
             memory,
@@ -111,6 +115,7 @@ mod tests {
             memory.clone(),
             store.clone(),
             EngineConfig::default(),
+            TraceSink::disabled(),
         );
         let shards = vec![ShardJob {
             key: ShardKey::new("m", StatePart::Weights, 3),
@@ -132,7 +137,13 @@ mod tests {
     fn alive_flag_toggles() {
         let memory = Arc::new(NodeMemoryStore::new());
         let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
-        let mut node = NodeRuntime::spawn(NodeId(1), memory, store, EngineConfig::default());
+        let mut node = NodeRuntime::spawn(
+            NodeId(1),
+            memory,
+            store,
+            EngineConfig::default(),
+            TraceSink::disabled(),
+        );
         assert!(node.alive());
         node.set_alive(false);
         assert!(!node.alive());

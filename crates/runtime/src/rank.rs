@@ -45,6 +45,7 @@ use crossbeam::channel::{Receiver, Sender};
 use moc_core::topology::{ParallelTopology, RankCoord};
 use moc_core::twolevel::ShardJob;
 use moc_moe::{ExpertId, MoeModelConfig};
+use moc_obs::{Flow, SpanKind, TraceSink};
 use moc_store::{ShardKey, StatePart};
 use moc_train::checkpoint::{deserialize_module, expert_of, serialize_module};
 use moc_train::{adam_step, MarkovCorpus, ParamStore, TinyMoeLm};
@@ -212,6 +213,7 @@ pub(crate) struct RankContext {
     pub config: RuntimeConfig,
     pub commands: Receiver<RankCommand>,
     pub events: Sender<RankEvent>,
+    pub sink: TraceSink,
 }
 
 /// The model layer a module belongs to (`layer{N}.…` names), if any.
@@ -333,6 +335,12 @@ pub(crate) fn noise_seed(seed: u64, iteration: u64, dp: usize) -> u64 {
 
 /// The rank thread body: processes commands until `Finish` or a `die`.
 pub(crate) fn run_rank(ctx: RankContext) {
+    // The sink moves out so span recording can borrow it mutably while
+    // the abort closures capture `ctx.events`; dropping it at thread exit
+    // (including a `die` return) flushes its spans into the merged trace,
+    // and the flight-recorder ring is written at record time, so a dead
+    // rank's final spans stay visible to the fault dump.
+    let mut sink = ctx.sink;
     let cfg = &ctx.config;
     let corpus = MarkovCorpus::new(cfg.model.vocab_size(), cfg.topics, cfg.seed);
     let mut model = TinyMoeLm::new(cfg.model.clone(), cfg.seed);
@@ -361,6 +369,9 @@ pub(crate) fn run_rank(ctx: RankContext) {
     let mut groups: Option<GroupEndpoints> = None;
     let mut grad_buf: Vec<f32> = Vec::new();
     let mut crc_buf: Vec<u8> = Vec::new();
+    // Commands without an iteration of their own (Apply, Eval, Restore,
+    // ExportState) are traced under the last stepped iteration.
+    let mut last_iteration: u64 = 0;
 
     while let Ok(command) = ctx.commands.recv() {
         match command {
@@ -371,6 +382,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 collective,
                 slow_factor,
             } => {
+                last_iteration = iteration;
                 let abort = |_: crate::collective::GroupAbort| {
                     let _ = ctx.events.send(RankEvent::StepAborted {
                         rank: ctx.rank,
@@ -384,6 +396,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 // O(|params|) CRC — when the TP degree is 1 (e.g. a
                 // PP-only grid).
                 let tp_start = Instant::now();
+                let tp_trace = sink.now();
                 let mut tp_consistent = true;
                 let mut tp_sync_secs = 0.0;
                 if let Some(g) = groups.as_ref().filter(|g| g.tp > 1) {
@@ -392,6 +405,14 @@ pub(crate) fn run_rank(ctx: RankContext) {
                         Ok(consistent) => {
                             tp_consistent = consistent;
                             tp_sync_secs = tp_start.elapsed().as_secs_f64();
+                            sink.record(
+                                SpanKind::Collective,
+                                "tp-sync",
+                                iteration,
+                                tp_trace,
+                                tp_sync_secs,
+                                Flow::None,
+                            );
                         }
                         Err(e) => {
                             abort(e);
@@ -402,8 +423,19 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 // PP forward relay: wait for the upstream stage's token.
                 let mut pp_wait_secs = 0.0;
                 if let Some(g) = &groups {
+                    let wait_trace = sink.now();
                     match g.pp_forward_wait(epoch, iteration, cfg.heartbeat_timeout) {
-                        Ok(waited) => pp_wait_secs += waited,
+                        Ok(waited) => {
+                            pp_wait_secs += waited;
+                            sink.record(
+                                SpanKind::Collective,
+                                "pp-wait",
+                                iteration,
+                                wait_trace,
+                                waited,
+                                Flow::None,
+                            );
+                        }
                         Err(e) => {
                             abort(e);
                             continue;
@@ -411,6 +443,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                     }
                 }
                 let start = Instant::now();
+                let compute_trace = sink.now();
                 model.store_mut().zero_grads();
                 let global = corpus.batch(iteration - 1, cfg.batch, cfg.seq_len);
                 let sub = &global[lo..lo + per];
@@ -443,13 +476,32 @@ pub(crate) fn run_rank(ctx: RankContext) {
                     });
                 }
                 let compute_secs = start.elapsed().as_secs_f64();
+                // Recorded before the `die` early-return below: a killed
+                // rank's last compute span must land in its flight ring.
+                sink.record(
+                    SpanKind::Phase,
+                    "compute",
+                    iteration,
+                    compute_trace,
+                    compute_secs,
+                    Flow::None,
+                );
                 // An injected straggler stretches the step: the extra
                 // wall time is reported so stall amplification shows up
                 // in the metrics, while the numerics stay untouched.
                 let stall_secs = match slow_factor {
                     Some(factor) => {
                         let stall = compute_secs * (factor - 1.0);
+                        let stall_trace = sink.now();
                         std::thread::sleep(std::time::Duration::from_secs_f64(stall));
+                        sink.record(
+                            SpanKind::Phase,
+                            "straggler-stall",
+                            iteration,
+                            stall_trace,
+                            stall,
+                            Flow::None,
+                        );
                         stall
                     }
                     None => 0.0,
@@ -463,11 +515,15 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 // PP relay: hand the activation token downstream, then
                 // run the backward leg (last stage initiates).
                 if let Some(g) = &groups {
+                    let relay_trace = sink.now();
                     let relay = g
                         .pp_forward_send(epoch, iteration)
                         .and_then(|()| g.pp_backward(epoch, iteration, cfg.heartbeat_timeout));
                     match relay {
-                        Ok(waited) => pp_wait_secs += waited,
+                        Ok(waited) => {
+                            pp_wait_secs += waited;
+                            sink.span(SpanKind::Collective, "pp-relay", iteration, relay_trace);
+                        }
                         Err(e) => {
                             abort(e);
                             continue;
@@ -496,6 +552,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                         // adopted slices.
                         debug_assert!(adopted.is_empty(), "ring step in degraded mode");
                         let endpoints = ring.as_ref().expect("ring endpoints installed");
+                        let ring_trace = sink.now();
                         match ring_all_reduce(
                             endpoints,
                             &mut grad_buf,
@@ -504,9 +561,17 @@ pub(crate) fn run_rank(ctx: RankContext) {
                             cfg.heartbeat_timeout,
                         ) {
                             Ok(timings) => {
+                                sink.span(
+                                    SpanKind::Collective,
+                                    "ring-all-reduce",
+                                    iteration,
+                                    ring_trace,
+                                );
                                 let apply_start = Instant::now();
+                                let apply_trace = sink.now();
                                 load_grads(model.store_mut(), &grad_buf);
                                 adam_step(model.store_mut(), &cfg.adam);
+                                sink.span(SpanKind::Phase, "apply", iteration, apply_trace);
                                 let _ = ctx.events.send(RankEvent::StepDone {
                                     rank: ctx.rank,
                                     iteration,
@@ -546,8 +611,10 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 groups = new_groups;
             }
             RankCommand::Apply { grad } => {
+                let apply_trace = sink.now();
                 load_grads(model.store_mut(), &grad);
                 adam_step(model.store_mut(), &cfg.adam);
+                sink.span(SpanKind::Phase, "apply", last_iteration, apply_trace);
                 let _ = ctx.events.send(RankEvent::Applied { rank: ctx.rank });
             }
             RankCommand::Reconfigure {
@@ -558,6 +625,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 adopted_slices = (*new_slices).clone();
             }
             RankCommand::ExportState => {
+                let export_trace = sink.now();
                 let blobs: Vec<RestoreBlob> = model
                     .store()
                     .module_names()
@@ -570,6 +638,12 @@ pub(crate) fn run_rank(ctx: RankContext) {
                         })
                     })
                     .collect();
+                sink.span(
+                    SpanKind::Elastic,
+                    "export-state",
+                    last_iteration,
+                    export_trace,
+                );
                 let _ = ctx.events.send(RankEvent::StateExport { blobs });
             }
             RankCommand::Checkpoint {
@@ -578,6 +652,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 persist,
             } => {
                 let start = Instant::now();
+                let serialize_trace = sink.now();
                 let mut jobs = Vec::new();
                 for module in &owned {
                     let expert = expert_of(&cfg.model, module);
@@ -600,6 +675,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                         }
                     }
                 }
+                sink.span(SpanKind::Ckpt, "ckpt-serialize", iteration, serialize_trace);
                 let _ = ctx.events.send(RankEvent::Shards {
                     rank: ctx.rank,
                     jobs,
@@ -607,15 +683,24 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 });
             }
             RankCommand::Eval => {
+                let eval_trace = sink.now();
                 let val = corpus.validation(cfg.batch, cfg.seq_len);
                 let loss = model.evaluate(&val).loss;
+                sink.span(SpanKind::Control, "eval", last_iteration, eval_trace);
                 let _ = ctx.events.send(RankEvent::EvalLoss { loss });
             }
             RankCommand::Restore { blobs } => {
+                let restore_trace = sink.now();
                 for blob in blobs.iter() {
                     deserialize_module(&mut model, &blob.module, blob.part, &blob.payload);
                 }
                 model.store_mut().zero_grads();
+                sink.span(
+                    SpanKind::Fault,
+                    "restore-apply",
+                    last_iteration,
+                    restore_trace,
+                );
                 let _ = ctx.events.send(RankEvent::Restored { rank: ctx.rank });
             }
             RankCommand::Finish => {

@@ -1,0 +1,259 @@
+//! Run reports: the human-readable text dump and the schema'd JSON
+//! emitters built on [`moc_obs::report`].
+//!
+//! A [`RunSummary`] knows how to render itself as the timeline + phase
+//! table the `runtime_live` example prints ([`RunSummary::render_text`])
+//! and how to emit its checkpoint-cost metrics as the machine-readable
+//! object the figure benches persist across commits
+//! ([`RunSummary::ckpt_report`]). Both go through `moc-obs` renderers so
+//! every consumer shares one schema instead of hand-rolling JSON.
+
+use crate::metrics::{EventKind, Phase, RunSummary};
+use moc_obs::{render_phase_table, render_timeline, Json, PhaseRow, Report, TimelineRow};
+
+/// The timeline label and free-form detail of one event, matching the
+/// historical `runtime_live` rendering.
+fn describe(kind: &EventKind) -> (String, String) {
+    match kind {
+        EventKind::Checkpoint {
+            stalled_nodes,
+            overhead_secs,
+        } => {
+            let stall = if stalled_nodes.is_empty() {
+                String::new()
+            } else {
+                format!("  [stalled nodes {stalled_nodes:?}]")
+            };
+            (
+                "checkpoint".into(),
+                format!("{:.2} ms overhead{stall}", 1e3 * overhead_secs),
+            )
+        }
+        EventKind::FaultInjected { nodes } => ("KILL".into(), format!("nodes {nodes:?}")),
+        EventKind::FaultDetected { nodes, detect_secs } => (
+            "detected".into(),
+            format!("nodes {nodes:?} dead after {:.0} ms", 1e3 * detect_secs),
+        ),
+        EventKind::Recovery {
+            resume_iteration,
+            memory_hits,
+            storage_hits,
+            total_secs,
+            shard_groups,
+            ..
+        } => (
+            "RECOVERED".into(),
+            format!(
+                "resume at {resume_iteration} ({memory_hits} shards from memory, \
+                 {storage_hits} from storage, shard groups {shard_groups:?}, {:.0} ms)",
+                1e3 * total_secs
+            ),
+        ),
+        EventKind::Eval { loss } => ("eval".into(), format!("val loss {loss:.4}")),
+        EventKind::CollectiveAbort {
+            aborted_ranks,
+            fallback_iterations,
+        } => (
+            "RING ABORT".into(),
+            format!(
+                "ranks {aborted_ranks:?} bailed; star fallback for \
+                 {fallback_iterations} iteration(s)"
+            ),
+        ),
+        EventKind::StragglerInjected { rank, factor } => {
+            ("SLOW".into(), format!("rank {rank} stretched {factor}x"))
+        }
+        EventKind::ElasticShrink {
+            dead_groups,
+            adoptions,
+            experts_migrated,
+            shrink_secs,
+        } => (
+            "SHRINK".into(),
+            format!(
+                "groups {dead_groups:?} adopted as {adoptions:?}, \
+                 {experts_migrated} experts migrated ({:.1} ms)",
+                1e3 * shrink_secs
+            ),
+        ),
+        EventKind::ElasticExpand {
+            returning_groups,
+            experts_returned,
+            degraded_iterations,
+            expand_secs,
+        } => (
+            "EXPAND".into(),
+            format!(
+                "groups {returning_groups:?} rejoined after {degraded_iterations} \
+                 degraded iteration(s), {experts_returned} experts returned ({:.1} ms)",
+                1e3 * expand_secs
+            ),
+        ),
+    }
+}
+
+impl RunSummary {
+    /// The run's timeline as renderable rows: run-relative timestamps,
+    /// iteration numbers, and the historical event labels.
+    pub fn timeline_rows(&self) -> Vec<TimelineRow> {
+        self.timeline
+            .iter()
+            .map(|event| {
+                let (label, detail) = describe(&event.kind);
+                TimelineRow {
+                    at_secs: event.at_secs,
+                    iteration: event.iteration,
+                    label,
+                    detail,
+                }
+            })
+            .collect()
+    }
+
+    /// Per-phase latency rows (count, mean, p50, p99, max, total) in
+    /// [`Phase`] declaration order.
+    pub fn phase_rows(&self) -> Vec<PhaseRow> {
+        self.phases
+            .iter()
+            .filter(|(_, s)| s.count > 0)
+            .map(|(phase, s)| PhaseRow {
+                label: phase.label().to_string(),
+                count: s.count,
+                mean_secs: s.mean_secs(),
+                p50_secs: s.p50_secs(),
+                p99_secs: s.p99_secs(),
+                max_secs: s.max_secs,
+                total_secs: s.total_secs,
+            })
+            .collect()
+    }
+
+    /// Full text report: headline counters, the event timeline, and the
+    /// per-phase latency table with log-histogram percentiles.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} iterations executed, {} checkpoints, {} faults, {} recoveries, \
+             {} shrinks, {} expands\n",
+            self.iterations_executed,
+            self.checkpoints_taken,
+            self.faults_injected,
+            self.recoveries,
+            self.elastic_shrinks,
+            self.elastic_expands,
+        ));
+        out.push_str(&format!(
+            "final val loss {:.4}  measured PLT {:.3}%  K trace {:?}\n",
+            self.final_val_loss,
+            100.0 * self.plt,
+            self.k_trace,
+        ));
+        out.push_str(&format!(
+            "recovered {:.1} KB ({} memory / {} storage shards), persisted {:.1} MB, \
+             {} stalls\n",
+            self.recovered_bytes as f64 / 1e3,
+            self.memory_hits,
+            self.storage_hits,
+            self.persisted_bytes as f64 / 1e6,
+            self.stall_count,
+        ));
+        out.push_str(&format!(
+            "replicas bitwise consistent: {}  mean iteration {:.2} ms\n",
+            self.replicas_consistent,
+            1e3 * self.mean_iteration_secs(),
+        ));
+        if self.obs.enabled {
+            out.push_str(&format!(
+                "observability: {} spans recorded, {} flight dump(s)",
+                self.obs.spans_recorded,
+                self.obs.flight_dumps.len(),
+            ));
+            if let Some(path) = &self.obs.trace_path {
+                out.push_str(&format!(", trace at {}", path.display()));
+            }
+            out.push('\n');
+        }
+        if !self.timeline.is_empty() {
+            out.push_str("\ntimeline:\n");
+            out.push_str(&render_timeline(&self.timeline_rows()));
+        }
+        out.push_str("\nphases:\n");
+        out.push_str(&render_phase_table(&self.phase_rows()));
+        out
+    }
+
+    /// The run's checkpoint-cost metrics as a schema'd JSON object — the
+    /// per-mode entry persisted by the checkpoint-overhead bench.
+    pub fn ckpt_report(&self) -> Json {
+        Report::new()
+            .field("ckpt_overhead_secs", self.checkpoint_overhead_secs())
+            .field("mean_iteration_secs", self.mean_iteration_secs())
+            .field("persisted_bytes", self.persisted_bytes)
+            .field("raw_bytes", self.ckpt_engine.writer.raw_bytes)
+            .field("stored_bytes", self.ckpt_engine.writer.stored_bytes)
+            .field("manifest_bytes", self.ckpt_engine.writer.manifest_bytes)
+            .field("full_shards", self.ckpt_engine.writer.full_shards)
+            .field("delta_shards", self.ckpt_engine.writer.delta_shards)
+            .field("pool_allocs", self.ckpt_engine.pool_allocs)
+            .field("stall_count", self.stall_count)
+            .field("blocking_write_phases", self.phase(Phase::CkptWrite).count)
+            .json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::TimelineEvent;
+
+    fn summary_with_events() -> RunSummary {
+        let mut s = RunSummary::default();
+        s.timeline.push(TimelineEvent {
+            at_secs: 0.25,
+            iteration: 4,
+            kind: EventKind::Checkpoint {
+                stalled_nodes: vec![],
+                overhead_secs: 0.001,
+            },
+        });
+        s.timeline.push(TimelineEvent {
+            at_secs: 0.5,
+            iteration: 7,
+            kind: EventKind::FaultInjected { nodes: vec![1] },
+        });
+        let mut stats = crate::metrics::PhaseStats::default();
+        stats.record(0.002);
+        stats.record(0.004);
+        s.phases.insert(Phase::Compute, stats);
+        s
+    }
+
+    #[test]
+    fn text_report_carries_timeline_and_phases() {
+        let text = summary_with_events().render_text();
+        assert!(text.contains("KILL"), "{text}");
+        assert!(text.contains("checkpoint"), "{text}");
+        assert!(text.contains("compute"), "{text}");
+        assert!(text.contains("iter    7"), "{text}");
+    }
+
+    #[test]
+    fn ckpt_report_has_the_bench_schema() {
+        let json = summary_with_events().ckpt_report();
+        for key in [
+            "ckpt_overhead_secs",
+            "mean_iteration_secs",
+            "persisted_bytes",
+            "raw_bytes",
+            "stored_bytes",
+            "manifest_bytes",
+            "full_shards",
+            "delta_shards",
+            "pool_allocs",
+            "stall_count",
+            "blocking_write_phases",
+        ] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+    }
+}

@@ -1,20 +1,31 @@
 //! Live multi-rank training with Poisson node kills and two-level
-//! recovery, printing the per-iteration timeline, recovery events, and
-//! the final measured PLT — plus a sync-vs-async checkpoint overhead
-//! comparison and the analytic projection of the measured phase times.
+//! recovery, with the moc-obs tracing subsystem enabled: the run prints
+//! the text report (timeline + per-phase latency table with p50/p99),
+//! writes a Perfetto-loadable `trace.json` (open it at
+//! <https://ui.perfetto.dev>) whose flow arrows link each injected fault
+//! to its detection and recovery spans, and dumps the flight recorder
+//! the moment a fault is declared. A sync-checkpointing baseline runs
+//! with observability disabled for the overhead comparison.
+//!
+//! The trace directory defaults to `target/obs/` and can be overridden
+//! with the `MOC_TRACE_DIR` environment variable (CI uploads it as a
+//! workflow artifact).
 //!
 //! Run with `cargo run --release --example runtime_live`.
 
 use moc_system::core::ParallelTopology;
-use moc_system::runtime::{
-    CheckpointMode, Coordinator, EventKind, Phase, RunSummary, RuntimeConfig,
-};
+use moc_system::runtime::{CheckpointMode, Coordinator, ObsConfig, RuntimeConfig};
 use moc_system::store::{FaultPlan, FileObjectStore};
 use moc_system::train::PecMode;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_dir = std::env::var_os("MOC_TRACE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/obs"));
+
     // 2 nodes × 4 GPUs, DP = EP = 8: one expert of the tiny 8-expert LM
     // per rank, four rank threads per node.
     let topo = ParallelTopology::dp_ep(2, 4, 8, 8)?;
@@ -34,29 +45,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         dynamic_k_budget: Some(0.12),
         heartbeat_timeout: Duration::from_millis(800),
+        obs: ObsConfig::with_trace(trace_dir.join("trace.json")),
         ..RuntimeConfig::tiny(topo)
     };
 
     let root = std::env::temp_dir().join(format!("moc-runtime-live-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
 
-    println!(
-        "== live run: {} ranks on {} nodes, async two-level checkpointing ==",
-        8, 2
-    );
+    println!("== live run: 8 ranks on 2 nodes, async two-level checkpointing, tracing on ==");
     let store = Arc::new(FileObjectStore::open(root.join("async"))?);
     let async_run = Coordinator::new(config.clone(), store)?.run()?;
-    print_timeline(&async_run);
-    print_summary("async two-level", &async_run);
+    println!("{}", async_run.render_text());
 
-    println!("\n== same run, synchronous checkpointing baseline ==");
+    println!("\n== same run, synchronous checkpointing baseline (tracing off) ==");
     let sync_config = RuntimeConfig {
         checkpoint_mode: CheckpointMode::Sync,
+        obs: ObsConfig::default(),
         ..config
     };
     let store = Arc::new(FileObjectStore::open(root.join("sync"))?);
     let sync_run = Coordinator::new(sync_config, store)?.run()?;
-    print_summary("sync baseline", &sync_run);
+    println!("{}", sync_run.render_text());
 
     println!(
         "\ncheckpoint overhead: async {:.2} ms vs sync {:.2} ms per checkpoint ({:.1}x)",
@@ -71,141 +80,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         projection.total_sec, async_run.loop_secs
     );
 
-    std::fs::remove_dir_all(&root)?;
-    Ok(())
-}
-
-fn print_timeline(summary: &RunSummary) {
-    for event in &summary.timeline {
-        match &event.kind {
-            EventKind::Checkpoint {
-                stalled_nodes,
-                overhead_secs,
-            } => {
-                let stall = if stalled_nodes.is_empty() {
-                    String::new()
-                } else {
-                    format!("  [stalled nodes {stalled_nodes:?}]")
-                };
-                println!(
-                    "  iter {:>3}  checkpoint  {:>7.2} ms{stall}",
-                    event.iteration,
-                    1e3 * overhead_secs
-                );
-            }
-            EventKind::FaultInjected { nodes } => {
-                println!("  iter {:>3}  KILL        nodes {nodes:?}", event.iteration);
-            }
-            EventKind::FaultDetected { nodes, detect_secs } => {
-                println!(
-                    "  iter {:>3}  detected    nodes {nodes:?} dead after {:.0} ms",
-                    event.iteration,
-                    1e3 * detect_secs
-                );
-            }
-            EventKind::Recovery {
-                resume_iteration,
-                memory_hits,
-                storage_hits,
-                total_secs,
-                shard_groups,
-                ..
-            } => {
-                println!(
-                    "  iter {:>3}  RECOVERED   resume at {resume_iteration} ({memory_hits} shards from memory, {storage_hits} from storage, shard groups {shard_groups:?}, {:.0} ms)",
-                    event.iteration,
-                    1e3 * total_secs
-                );
-            }
-            EventKind::Eval { loss } => {
-                println!(
-                    "  iter {:>3}  eval        val loss {loss:.4}",
-                    event.iteration
-                );
-            }
-            EventKind::CollectiveAbort {
-                aborted_ranks,
-                fallback_iterations,
-            } => {
-                println!(
-                    "  iter {:>3}  RING ABORT  ranks {aborted_ranks:?} bailed; star fallback for {fallback_iterations} iteration(s)",
-                    event.iteration
-                );
-            }
-            EventKind::StragglerInjected { rank, factor } => {
-                println!(
-                    "  iter {:>3}  SLOW        rank {rank} stretched {factor}x",
-                    event.iteration
-                );
-            }
-            EventKind::ElasticShrink {
-                dead_groups,
-                adoptions,
-                experts_migrated,
-                shrink_secs,
-            } => {
-                println!(
-                    "  iter {:>3}  SHRINK      groups {dead_groups:?} adopted as {adoptions:?}, {experts_migrated} experts migrated ({:.1} ms)",
-                    event.iteration,
-                    1e3 * shrink_secs
-                );
-            }
-            EventKind::ElasticExpand {
-                returning_groups,
-                experts_returned,
-                degraded_iterations,
-                expand_secs,
-            } => {
-                println!(
-                    "  iter {:>3}  EXPAND      groups {returning_groups:?} rejoined after {degraded_iterations} degraded iteration(s), {experts_returned} experts returned ({:.1} ms)",
-                    event.iteration,
-                    1e3 * expand_secs
-                );
-            }
-        }
-    }
-}
-
-fn print_summary(label: &str, summary: &RunSummary) {
-    println!(
-        "{label}: {} iterations executed ({} scheduled), {} checkpoints, {} faults, {} recoveries",
-        summary.iterations_executed,
-        60,
-        summary.checkpoints_taken,
-        summary.faults_injected,
-        summary.recoveries,
-    );
-    println!(
-        "  final val loss {:.4}  measured PLT {:.3}%  K trace {:?}",
-        summary.final_val_loss,
-        100.0 * summary.plt,
-        summary.k_trace,
-    );
-    println!(
-        "  recovered {:.1} KB ({} memory / {} storage shards), persisted {:.1} MB, {} stalls",
-        summary.recovered_bytes as f64 / 1e3,
-        summary.memory_hits,
-        summary.storage_hits,
-        summary.persisted_bytes as f64 / 1e6,
-        summary.stall_count,
-    );
-    println!(
-        "  replicas bitwise consistent: {}  mean iteration {:.2} ms  phases: compute {:.2} ms, ckpt-serialize {:.2} ms, ckpt-submit {:.2} ms, ckpt-write {:.2} ms",
-        summary.replicas_consistent,
-        1e3 * summary.mean_iteration_secs(),
-        1e3 * summary.phase(Phase::Compute).mean_secs(),
-        1e3 * summary.phase(Phase::CkptSerialize).mean_secs(),
-        1e3 * summary.phase(Phase::CkptSubmit).mean_secs(),
-        1e3 * summary.phase(Phase::CkptWrite).mean_secs(),
-    );
-    if summary.phase(Phase::ReduceScatter).count > 0 {
+    if let Some(path) = &async_run.obs.trace_path {
         println!(
-            "  ring collective: reduce-scatter {:.2} ms, all-gather {:.2} ms, ring-wait {:.2} ms per iteration; {} aborts, {} chunk buffers preallocated (zero steady-state allocs)",
-            1e3 * summary.phase(Phase::ReduceScatter).mean_secs(),
-            1e3 * summary.phase(Phase::AllGather).mean_secs(),
-            1e3 * summary.phase(Phase::RingWait).mean_secs(),
-            summary.ring_aborts,
-            summary.collective_allocs,
+            "\ntrace written to {} — load it at https://ui.perfetto.dev",
+            path.display()
         );
     }
+    for dump in &async_run.obs.flight_dumps {
+        if let Some(path) = &dump.text_path {
+            println!("flight recorder dump #{}: {}", dump.seq, path.display());
+        }
+    }
+
+    std::fs::remove_dir_all(&root)?;
+    Ok(())
 }

@@ -2,12 +2,13 @@
 //!
 //! Facade crate for the MoC-System reproduction. See the member crates:
 //! [`moc_core`], [`moc_moe`], [`moc_store`], [`moc_ckpt`], [`moc_cluster`],
-//! [`moc_train`], [`moc_runtime`], [`moc_elastic`].
+//! [`moc_train`], [`moc_runtime`], [`moc_elastic`], [`moc_obs`].
 pub use moc_ckpt as ckpt;
 pub use moc_cluster as cluster;
 pub use moc_core as core;
 pub use moc_elastic as elastic;
 pub use moc_moe as moe;
+pub use moc_obs as obs;
 pub use moc_runtime as runtime;
 pub use moc_store as store;
 pub use moc_train as train;
