@@ -1,0 +1,166 @@
+//! Failure-detection tradeoff: detection latency vs false-positive
+//! rate across detector configurations under gray heartbeat loss.
+//!
+//! The suspicion detector declares a rank dead after `k_misses`
+//! consecutive missed heartbeat windows, granting a lease per miss. A
+//! larger `k` (or lease) tolerates more gray loss — fewer healthy
+//! ranks declared dead — but pays for it in detection latency when the
+//! rank really is dead. This bench sweeps `(k, lease)` against
+//! per-window heartbeat-loss rates, driving the detector state machine
+//! ([`SuspicionSim`]) with seeded Bernoulli loss streams:
+//!
+//! * **false positives** — declarations per 1 000 windows of a rank
+//!   that is alive but lossy (every declaration would have rolled the
+//!   run back for nothing);
+//! * **detection latency** — windows from a true death to declaration,
+//!   the deterministic [`DetectorConfig::declare_after`] bound.
+//!
+//! `k = 1` is the legacy single-miss detector: zero added latency,
+//! but *every* lost heartbeat is a false positive. The emitted
+//! `BENCH_detect.json` records the frontier so commits can be compared.
+//!
+//! Run with `cargo bench --bench fig20_detection_tradeoff`.
+
+use moc_bench::banner;
+use moc_obs::{Json, Report};
+use moc_runtime::{DetectorConfig, SuspicionSim, SuspicionVerdict};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+/// Windows simulated per (config, loss-rate) cell.
+const WINDOWS: u64 = 200_000;
+
+/// The normalized heartbeat window: latency is reported in window
+/// units, so the absolute duration only anchors `declare_after`.
+const WINDOW: Duration = Duration::from_secs(1);
+
+struct Row {
+    k: u32,
+    lease_windows: f64,
+    loss_rate: f64,
+    false_positives_per_1k: f64,
+    suspicions_per_1k: f64,
+    detection_latency_windows: f64,
+}
+
+/// Streams `WINDOWS` Bernoulli(loss) heartbeat observations through the
+/// detector, counting suspicions and declarations. A declaration
+/// resets the machine (the runtime would recover and re-admit).
+fn simulate(k: u32, loss_rate: f64, seed: u64) -> (u64, u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = SuspicionSim::new(k);
+    let mut suspicions = 0u64;
+    let mut declarations = 0u64;
+    for _ in 0..WINDOWS {
+        let arrived = !rng.random_bool(loss_rate);
+        match sim.observe(arrived) {
+            SuspicionVerdict::Healthy => {}
+            SuspicionVerdict::Suspected(m) => {
+                if m == 1 {
+                    suspicions += 1;
+                }
+            }
+            SuspicionVerdict::Declared => {
+                declarations += 1;
+                sim = SuspicionSim::new(k);
+            }
+        }
+    }
+    (suspicions, declarations)
+}
+
+fn main() {
+    banner("fig20: suspicion-detector latency vs false-positive tradeoff");
+
+    let ks = [1u32, 2, 3, 4];
+    let lease_multiples = [0.5f64, 1.0, 2.0];
+    let loss_rates = [0.01f64, 0.05, 0.10, 0.20];
+
+    let mut rows = Vec::new();
+    for &k in &ks {
+        for &lease_mult in &lease_multiples {
+            let det = DetectorConfig {
+                k_misses: k,
+                lease: Some(WINDOW.mul_f64(lease_mult)),
+            };
+            let latency = det.declare_after(WINDOW).as_secs_f64() / WINDOW.as_secs_f64();
+            for &loss in &loss_rates {
+                // The lease length never changes *whether* a Bernoulli
+                // stream declares — only when — so the state machine is
+                // simulated once per (k, loss) and the lease enters
+                // through the latency axis.
+                let seed = u64::from(k) * 1000 + (loss * 1000.0) as u64;
+                let (suspicions, declarations) = simulate(k, loss, seed);
+                rows.push(Row {
+                    k,
+                    lease_windows: lease_mult,
+                    loss_rate: loss,
+                    false_positives_per_1k: 1e3 * declarations as f64 / WINDOWS as f64,
+                    suspicions_per_1k: 1e3 * suspicions as f64 / WINDOWS as f64,
+                    detection_latency_windows: latency,
+                });
+            }
+        }
+    }
+
+    println!(
+        "{:<3} {:>7} {:>6} {:>12} {:>12} {:>10}",
+        "k", "lease", "loss", "fp/1k win", "susp/1k", "latency"
+    );
+    for r in &rows {
+        println!(
+            "{:<3} {:>6.1}w {:>5.0}% {:>12.3} {:>12.1} {:>9.1}w",
+            r.k,
+            r.lease_windows,
+            100.0 * r.loss_rate,
+            r.false_positives_per_1k,
+            r.suspicions_per_1k,
+            r.detection_latency_windows,
+        );
+    }
+
+    // Sanity pins: the legacy detector false-positives at the loss rate
+    // itself; k = 2 must cut false positives by at least the loss rate
+    // (independence) while adding exactly one lease of latency.
+    let cell = |k: u32, loss: f64| {
+        rows.iter()
+            .find(|r| r.k == k && (r.loss_rate - loss).abs() < 1e-9 && r.lease_windows == 1.0)
+            .expect("swept cell")
+    };
+    let legacy = cell(1, 0.10);
+    let suspicious = cell(2, 0.10);
+    assert!(
+        legacy.false_positives_per_1k > 80.0,
+        "legacy detector must declare on ~every loss: {}",
+        legacy.false_positives_per_1k
+    );
+    assert!(
+        suspicious.false_positives_per_1k < legacy.false_positives_per_1k * 0.2,
+        "one extra miss must cut false positives ~tenfold at 10% loss"
+    );
+    assert!(suspicious.detection_latency_windows - legacy.detection_latency_windows == 1.0);
+
+    let entries: Vec<Json> = rows
+        .iter()
+        .map(|r| {
+            Report::new()
+                .field("k_misses", r.k)
+                .field("lease_windows", r.lease_windows)
+                .field("loss_rate", r.loss_rate)
+                .field("false_positives_per_1k_windows", r.false_positives_per_1k)
+                .field("suspicions_per_1k_windows", r.suspicions_per_1k)
+                .field("detection_latency_windows", r.detection_latency_windows)
+                .json()
+        })
+        .collect();
+    let json_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_detect.json");
+    Report::new()
+        .field("bench", "fig20_detection_tradeoff")
+        .field("windows_per_cell", WINDOWS)
+        .field("cells", entries)
+        .write(&json_path)
+        .expect("write BENCH_detect.json");
+    println!("wrote {}", json_path.display());
+}

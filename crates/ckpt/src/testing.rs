@@ -11,42 +11,43 @@ use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn injected_crash() -> StoreError {
-    StoreError::Io(std::io::Error::other("injected crash between shard writes"))
-}
-
 /// A store whose `put` starts failing after a budget of writes — the
 /// writer "dies" mid-persist, before its manifest.
+///
+/// Compatibility shim over the promoted [`moc_store::ChaosStore`]: a
+/// permanent write outage starting at operation index `allow_puts`.
+/// Write-only by design — the chaos plane's read faults live on
+/// `ChaosStore` schedules; this shim keeps the classic torn-persist
+/// semantics the crash-consistency tests pin.
 pub struct FlakyStore {
-    inner: Arc<dyn ObjectStore>,
-    remaining_puts: AtomicI64,
+    chaos: moc_store::ChaosStore,
 }
 
 impl FlakyStore {
     /// Allows `allow_puts` writes, then fails every later one.
     pub fn new(inner: Arc<dyn ObjectStore>, allow_puts: i64) -> Self {
+        let start = allow_puts.max(0) as u64;
         Self {
-            inner,
-            remaining_puts: AtomicI64::new(allow_puts),
+            chaos: moc_store::ChaosStore::new(
+                inner,
+                moc_store::StoreFaultPlan::permanent_write_outage(start),
+            ),
         }
     }
 
     /// Restores full write service.
     pub fn heal(&self) {
-        self.remaining_puts.store(i64::MAX, Ordering::SeqCst);
+        self.chaos.heal();
     }
 }
 
 impl ObjectStore for FlakyStore {
     fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError> {
-        if self.remaining_puts.fetch_sub(1, Ordering::SeqCst) <= 0 {
-            return Err(injected_crash());
-        }
-        self.inner.put(key, payload)
+        self.chaos.put(key, payload)
     }
 
     fn get(&self, key: &ShardKey) -> Result<Option<Bytes>, StoreError> {
-        self.inner.get(key)
+        self.chaos.get(key)
     }
 
     fn latest_version(
@@ -55,15 +56,15 @@ impl ObjectStore for FlakyStore {
         part: StatePart,
         at_or_before: u64,
     ) -> Result<Option<u64>, StoreError> {
-        self.inner.latest_version(module, part, at_or_before)
+        self.chaos.latest_version(module, part, at_or_before)
     }
 
     fn keys(&self) -> Result<Vec<ShardKey>, StoreError> {
-        self.inner.keys()
+        self.chaos.keys()
     }
 
     fn total_bytes(&self) -> Result<u64, StoreError> {
-        self.inner.total_bytes()
+        self.chaos.total_bytes()
     }
 
     fn prune(
@@ -72,7 +73,7 @@ impl ObjectStore for FlakyStore {
         part: StatePart,
         before_version: u64,
     ) -> Result<usize, StoreError> {
-        self.inner.prune(module, part, before_version)
+        self.chaos.prune(module, part, before_version)
     }
 }
 

@@ -40,7 +40,7 @@
 //! | `Ckpt`        | `ckpt-collect`, `ckpt-serialize`, `ckpt-write`, `ckpt-submit` | rank / coordinator |
 //! | `Persist`     | `persist` (background batch persist)                     | ckpt-engine writer   |
 //! | `Gc`          | `gc` (chain-aware garbage collection)                    | ckpt-engine writer   |
-//! | `Fault`       | `fault-injected`, `fault-detected`, `recovery`, `recovery-plan`, `recovery-fetch`, `recovery-restore`, `restore-apply` | coordinator / rank |
+//! | `Fault`       | `fault-injected`, `fault-suspected`, `fault-cleared`, `fault-detected`, `heartbeat-loss`, `mesh-delay`, `mesh-drop`, `recovery`, `recovery-plan`, `recovery-fetch`, `recovery-restore`, `restore-apply` | coordinator / rank |
 //! | `Elastic`     | `shrink-rebalance`, `expand-restore`, `export-state`     | coordinator / rank   |
 //! | `Control`     | `apply-wait`, `eval`                                     | coordinator / rank   |
 //!

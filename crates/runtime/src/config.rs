@@ -8,13 +8,14 @@
 //! produce bitwise-identical parameters.
 
 use crate::collective::CollectiveKind;
+use crate::faults::{ChaosPlan, DetectorConfig};
 use crate::injector::SlowEvent;
 use moc_ckpt::EngineConfig;
 use moc_core::placement::num_failure_domains;
 use moc_core::topology::ParallelTopology;
 use moc_moe::MoeModelConfig;
 use moc_obs::ObsConfig;
-use moc_store::FaultPlan;
+use moc_store::{FaultPlan, RetryPolicy};
 use moc_train::{AdamConfig, PecMode};
 use std::fmt;
 use std::time::Duration;
@@ -156,6 +157,21 @@ pub enum ConfigError {
         /// Offending profile duration.
         duration: u64,
     },
+    /// The suspicion detector declares after zero misses — it would
+    /// never admit any reply.
+    ZeroDetectorMisses,
+    /// The store retry policy allows zero attempts — every operation
+    /// would fail before trying.
+    ZeroRetryAttempts,
+    /// The chaos plan contains a flap (die-then-rejoin) event but the
+    /// elastic config has no shrink mode or no rejoin horizon, so the
+    /// flapped node could never come back.
+    FlapWithoutRejoin,
+    /// A chaos event is out of range or inconsistent with the detector.
+    BadChaosEvent {
+        /// Why the event was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -210,6 +226,22 @@ impl fmt::Display for ConfigError {
                     "straggler rank {rank} / factor {factor} / duration {duration} invalid"
                 )
             }
+            ConfigError::ZeroDetectorMisses => {
+                write!(f, "detector k_misses must be at least 1")
+            }
+            ConfigError::ZeroRetryAttempts => {
+                write!(f, "store retry policy must allow at least 1 attempt")
+            }
+            ConfigError::FlapWithoutRejoin => {
+                write!(
+                    f,
+                    "chaos plan flaps a node but elastic shrink/rejoin_after is \
+                     not configured, so it could never rejoin"
+                )
+            }
+            ConfigError::BadChaosEvent { reason } => {
+                write!(f, "chaos event invalid: {reason}")
+            }
         }
     }
 }
@@ -244,6 +276,20 @@ pub struct RuntimeConfig {
     pub faults: FaultPlan,
     /// Straggler (slow-rank) schedule driving the injector.
     pub stragglers: Vec<SlowEvent>,
+    /// FaultPlan v2: the unified chaos schedule (gray failures, flaps,
+    /// mesh chaos, store outages) merged with `faults`/`stragglers` by
+    /// the injector. Empty by default.
+    pub chaos: ChaosPlan,
+    /// Suspicion-based failure detection: consecutive missed heartbeat
+    /// windows before a silent rank is declared dead, and the lease
+    /// granted per additional window. `k_misses = 1` is the legacy
+    /// single-miss detector.
+    pub detector: DetectorConfig,
+    /// Backoff policy of the [`moc_store::RetryStore`] wrapped around
+    /// the run's object store: every store operation retries transient
+    /// failures with capped exponential backoff before surfacing a typed
+    /// exhaustion error.
+    pub retry: RetryPolicy,
     /// Which collective exchanges gradients each iteration.
     pub collective: CollectiveKind,
     /// Ring chunk size in `f32` elements (ignored by the star path).
@@ -297,6 +343,9 @@ impl RuntimeConfig {
             ckpt: EngineConfig::default(),
             faults: FaultPlan::None,
             stragglers: Vec::new(),
+            chaos: ChaosPlan::none(),
+            detector: DetectorConfig::default(),
+            retry: RetryPolicy::default(),
             collective: CollectiveKind::Ring,
             ring_chunk: 4096,
             ring_fallback_iterations: 1,
@@ -433,6 +482,17 @@ impl RuntimeConfig {
                     duration: event.duration,
                 });
             }
+        }
+        if self.detector.k_misses == 0 {
+            return Err(ConfigError::ZeroDetectorMisses);
+        }
+        if self.retry.max_attempts == 0 {
+            return Err(ConfigError::ZeroRetryAttempts);
+        }
+        self.chaos
+            .validate(self.topology.nodes(), self.world_size(), &self.detector)?;
+        if self.chaos.has_flap() && !(self.elastic.shrink && self.elastic.rejoin_after.is_some()) {
+            return Err(ConfigError::FlapWithoutRejoin);
         }
         Ok(())
     }
@@ -664,6 +724,101 @@ mod tests {
             }
             other => panic!("expected UnsupportedParallelism, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn zero_detector_misses_rejected() {
+        let cfg = RuntimeConfig {
+            detector: DetectorConfig {
+                k_misses: 0,
+                lease: None,
+            },
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroDetectorMisses));
+    }
+
+    #[test]
+    fn zero_retry_attempts_rejected() {
+        let cfg = RuntimeConfig {
+            retry: RetryPolicy {
+                max_attempts: 0,
+                ..RetryPolicy::default()
+            },
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::ZeroRetryAttempts));
+    }
+
+    #[test]
+    fn flap_requires_elastic_rejoin() {
+        use crate::faults::{ChaosEvent, FaultKind};
+        let flap = ChaosPlan {
+            events: vec![ChaosEvent {
+                iteration: 2,
+                kind: FaultKind::Flap { node: 0 },
+            }],
+            ..ChaosPlan::none()
+        };
+        let no_elastic = RuntimeConfig {
+            chaos: flap.clone(),
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert_eq!(no_elastic.validate(), Err(ConfigError::FlapWithoutRejoin));
+        let shrink_no_rejoin = RuntimeConfig {
+            chaos: flap.clone(),
+            elastic: ElasticConfig::shrink(1),
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert_eq!(
+            shrink_no_rejoin.validate(),
+            Err(ConfigError::FlapWithoutRejoin)
+        );
+        let ok = RuntimeConfig {
+            chaos: flap,
+            elastic: ElasticConfig {
+                shrink: true,
+                replication: 1,
+                rejoin_after: Some(2),
+            },
+            ..RuntimeConfig::tiny(topo())
+        };
+        ok.validate().unwrap();
+    }
+
+    #[test]
+    fn chaos_events_validated_against_shape_and_detector() {
+        use crate::faults::{ChaosEvent, FaultKind};
+        let declared_dead = RuntimeConfig {
+            chaos: ChaosPlan {
+                events: vec![ChaosEvent {
+                    iteration: 2,
+                    kind: FaultKind::HeartbeatLoss { rank: 0, misses: 2 },
+                }],
+                ..ChaosPlan::none()
+            },
+            ..RuntimeConfig::tiny(topo())
+        };
+        // tiny() defaults to k_misses = 2, so a 2-window loss would be a
+        // death, not a gray failure.
+        assert!(matches!(
+            declared_dead.validate(),
+            Err(ConfigError::BadChaosEvent { .. })
+        ));
+        let out_of_range = RuntimeConfig {
+            chaos: ChaosPlan {
+                events: vec![ChaosEvent {
+                    iteration: 2,
+                    kind: FaultKind::MeshDrop { rank: 99 },
+                }],
+                ..ChaosPlan::none()
+            },
+            ..RuntimeConfig::tiny(topo())
+        };
+        assert!(matches!(
+            out_of_range.validate(),
+            Err(ConfigError::BadChaosEvent { .. })
+        ));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::config::{CheckpointMode, ConfigError, RuntimeConfig};
 use crate::injector::FaultInjector;
 use crate::metrics::{EventKind, MetricsRegistry, Phase, RunSummary};
 use crate::node::NodeRuntime;
-use crate::rank::{owner_coord, run_rank, RankCommand, RankContext, RankEvent};
+use crate::rank::{owner_coord, run_rank, RankCommand, RankContext, RankEvent, StepChaos};
 use crate::recovery_exec::{execute_recovery, RecoveryOutcome};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use moc_ckpt::{ChainStore, EngineStats, PartialPlan};
@@ -31,14 +31,14 @@ use moc_core::twolevel::ShardJob;
 use moc_elastic::{plan_expand, plan_shrink, PlacementPlanner};
 use moc_moe::ExpertId;
 use moc_obs::{ckpt_flow_id, Flow, SpanKind, TraceCollector, TraceSink};
-use moc_store::{ClusterMemory, NodeId, ObjectStore, StatePart};
+use moc_store::{ChaosStore, ClusterMemory, NodeId, ObjectStore, RetryStore, StatePart};
 use moc_train::checkpoint::expert_of;
 use moc_train::TinyMoeLm;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Error from a live run.
 #[derive(Debug)]
@@ -177,6 +177,10 @@ struct RingDone {
 struct Run {
     config: RuntimeConfig,
     store: Arc<dyn ObjectStore>,
+    /// Handle onto the retry wrapper every store op flows through, kept
+    /// for its retry/exhaustion counters (the `store` field above is the
+    /// same object, type-erased).
+    retry_store: Arc<RetryStore>,
     memory: ClusterMemory,
     nodes: Vec<NodeRuntime>,
     cmd_txs: Vec<Sender<RankCommand>>,
@@ -275,6 +279,17 @@ impl Run {
             None => MetricsRegistry::new(),
         };
         let sink = collector.sink(num_nodes as u32, 0, "control-plane", "coordinator");
+        // Every store op — checkpoint persists, recovery fetches, GC —
+        // flows through the retry wrapper; the chaos wrapper (when the
+        // plan injects store faults) sits inside it so injected failures
+        // are what the retries absorb.
+        let inner: Arc<dyn ObjectStore> = if config.chaos.store.is_empty() {
+            store
+        } else {
+            Arc::new(ChaosStore::new(store, config.chaos.store.clone()))
+        };
+        let retry_store = Arc::new(RetryStore::new(inner, config.retry));
+        let store: Arc<dyn ObjectStore> = retry_store.clone();
         let memory = ClusterMemory::new(num_nodes);
         let nodes: Vec<NodeRuntime> = (0..num_nodes)
             .map(|n| {
@@ -307,6 +322,7 @@ impl Run {
         let injector = FaultInjector::new(
             &config.faults,
             &config.stragglers,
+            &config.chaos,
             config.total_iterations,
             num_nodes,
             world,
@@ -330,6 +346,7 @@ impl Run {
         let mut run = Self {
             config,
             store,
+            retry_store,
             memory,
             nodes,
             cmd_txs: Vec::with_capacity(world),
@@ -623,7 +640,8 @@ impl Run {
             }
 
             // 2. Step all ranks through this iteration's collective,
-            //    injecting scheduled straggler slowdowns.
+            //    injecting scheduled straggler slowdowns and gray chaos
+            //    (heartbeat report delays, mesh delays/drops).
             let collective = self.collective_for(it);
             let slows = self.injector.slows_at(it);
             if !slows.is_empty() {
@@ -633,18 +651,41 @@ impl Run {
                         .event(it, EventKind::StragglerInjected { rank, factor });
                 }
             }
+            let report_delays = self.injector.report_delays_at(it);
+            let mesh_chaos = self.injector.mesh_chaos_at(it);
+            let window = self.collect_window(collective);
+            let lease = self.config.detector.lease_for(window);
             for (rank, tx) in self.cmd_txs.iter().enumerate() {
                 if !self.live[rank] {
                     continue;
                 }
                 let die = kills.contains(&self.node_of(rank));
                 let slow_factor = slows.iter().find(|&&(r, _)| r == rank).map(|&(_, f)| f);
+                // A scheduled loss of `m` heartbeat windows delays the
+                // rank's reply to land halfway through the m-th lease:
+                // the detector suspects it m times, then (for m below
+                // `k_misses`) re-admits it without recovery.
+                let report_delay = report_delays
+                    .iter()
+                    .find(|&&(r, _)| r == rank)
+                    .map(|&(_, m)| window + lease * (m - 1) + lease / 2);
+                let mesh = mesh_chaos
+                    .iter()
+                    .find(|&&(r, _)| r == rank)
+                    .map(|&(_, m)| m);
+                let chaos = StepChaos {
+                    report_delay,
+                    mesh_delay: mesh
+                        .and_then(|m| (!m.drop).then(|| window.mul_f64(m.window_fraction))),
+                    mesh_drop: mesh.is_some_and(|m| m.drop),
+                };
                 tx.send(RankCommand::Step {
                     iteration: it,
                     epoch: self.epoch,
                     die,
                     collective,
                     slow_factor,
+                    chaos,
                 })
                 .expect("rank thread alive");
             }
@@ -1010,20 +1051,89 @@ impl Run {
         }
     }
 
-    /// Collects every rank's star report for `iteration`. In a mixed
-    /// parallelism world the per-receive window doubles (like the ring
+    /// One heartbeat collection window for `collective`. Star in a mixed
+    /// parallelism world doubles the per-receive window (like the ring
     /// collector's): survivors of a mid-group death only report after
-    /// their own relay timeout fires. A flat DP world keeps the single
-    /// heartbeat window, preserving the baseline's detection latency.
+    /// their own relay timeout fires. A flat-DP star world keeps the
+    /// single heartbeat window, preserving the baseline's detection
+    /// latency.
+    fn collect_window(&self, collective: CollectiveKind) -> Duration {
+        match collective {
+            CollectiveKind::Star if self.config.topology.num_dp_groups() <= 1 => {
+                self.config.heartbeat_timeout
+            }
+            _ => self.config.heartbeat_timeout * 2,
+        }
+    }
+
+    /// Records the transition of `silent` ranks into the suspected set:
+    /// the ranks newly suspected this miss get a timeline event, a fault
+    /// span, and a flight-recorder dump — captured *now*, while the
+    /// evidence of why they went silent is still in the ring buffers,
+    /// not only if they are later declared dead.
+    fn note_suspects(
+        &mut self,
+        iteration: u64,
+        silent: &[usize],
+        suspected: &mut BTreeSet<usize>,
+        misses: u32,
+    ) {
+        let fresh: Vec<usize> = silent
+            .iter()
+            .copied()
+            .filter(|&r| suspected.insert(r))
+            .collect();
+        if fresh.is_empty() {
+            return;
+        }
+        self.metrics.suspicions += fresh.len() as u64;
+        self.metrics.event(
+            iteration,
+            EventKind::FaultSuspected {
+                ranks: fresh.clone(),
+                misses,
+            },
+        );
+        self.sink.span(
+            SpanKind::Fault,
+            "fault-suspected",
+            iteration,
+            self.sink.now(),
+        );
+        self.collector.flight_dump(&format!(
+            "ranks {fresh:?} suspected at iteration {iteration} after {misses} missed window(s)"
+        ));
+    }
+
+    /// A suspected rank replied within its lease: re-admit it with no
+    /// recovery and record the cleared suspicion.
+    fn note_cleared(&mut self, iteration: u64, rank: usize, suspected: &mut BTreeSet<usize>) {
+        if suspected.remove(&rank) {
+            self.metrics.suspicions_cleared += 1;
+            self.metrics
+                .event(iteration, EventKind::SuspicionCleared { rank });
+            self.sink
+                .span(SpanKind::Fault, "fault-cleared", iteration, self.sink.now());
+        }
+    }
+
+    /// Collects every rank's star report for `iteration` under the
+    /// suspicion detector: a timed-out window marks the still-silent
+    /// ranks suspected and grants them a lease; only `k_misses`
+    /// consecutive misses end collection (declaring the holdouts). A
+    /// suspected rank that replies mid-lease is re-admitted — no
+    /// recovery. With `k_misses == 1` this is exactly the legacy
+    /// single-miss detector.
     fn collect_star(&mut self, iteration: u64) -> BTreeMap<usize, StarReply> {
         let mut replies = BTreeMap::new();
-        let window = if self.config.topology.num_dp_groups() > 1 {
-            self.config.heartbeat_timeout * 2
-        } else {
-            self.config.heartbeat_timeout
-        };
+        let window = self.collect_window(CollectiveKind::Star);
+        let lease = self.config.detector.lease_for(window);
+        let k = self.config.detector.k_misses;
+        let mut misses = 0u32;
+        let mut suspected = BTreeSet::new();
         while replies.len() < self.live_world() {
-            match self.events.recv_timeout(window) {
+            let wait = if misses == 0 { window } else { lease };
+            match self.events.recv_timeout(wait) {
                 Ok(RankEvent::Grad {
                     rank,
                     iteration: it,
@@ -1052,6 +1162,8 @@ impl Run {
                             adopted,
                         }),
                     );
+                    self.note_cleared(iteration, rank, &mut suspected);
+                    misses = 0;
                 }
                 Ok(RankEvent::StepAborted {
                     rank,
@@ -1059,9 +1171,20 @@ impl Run {
                     epoch,
                 }) if it == iteration && epoch == self.epoch => {
                     replies.insert(rank, StarReply::Aborted);
+                    self.note_cleared(iteration, rank, &mut suspected);
+                    misses = 0;
                 }
                 Ok(_) => {} // stale event from before a recovery
-                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Timeout) => {
+                    misses += 1;
+                    if misses >= k {
+                        break;
+                    }
+                    let silent: Vec<usize> = (0..self.live.len())
+                        .filter(|&r| self.live[r] && !replies.contains_key(&r))
+                        .collect();
+                    self.note_suspects(iteration, &silent, &mut suspected, misses);
+                }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -1072,11 +1195,17 @@ impl Run {
     /// receive is twice the heartbeat: survivors of a mid-collective
     /// death only report after their *own* ring timeout fires, so the
     /// coordinator must outwait detection-by-proxy, not just compute.
+    /// Runs the same suspicion protocol as [`Self::collect_star`].
     fn collect_ring(&mut self, iteration: u64) -> BTreeMap<usize, RingReply> {
         let mut replies = BTreeMap::new();
-        let window = self.config.heartbeat_timeout * 2;
+        let window = self.collect_window(CollectiveKind::Ring);
+        let lease = self.config.detector.lease_for(window);
+        let k = self.config.detector.k_misses;
+        let mut misses = 0u32;
+        let mut suspected = BTreeSet::new();
         while replies.len() < self.live_world() {
-            match self.events.recv_timeout(window) {
+            let wait = if misses == 0 { window } else { lease };
+            match self.events.recv_timeout(wait) {
                 Ok(RankEvent::StepDone {
                     rank,
                     iteration: it,
@@ -1109,6 +1238,8 @@ impl Run {
                             },
                         }),
                     );
+                    self.note_cleared(iteration, rank, &mut suspected);
+                    misses = 0;
                 }
                 Ok(RankEvent::StepAborted {
                     rank,
@@ -1116,9 +1247,20 @@ impl Run {
                     epoch,
                 }) if it == iteration && epoch == self.epoch => {
                     replies.insert(rank, RingReply::Aborted);
+                    self.note_cleared(iteration, rank, &mut suspected);
+                    misses = 0;
                 }
                 Ok(_) => {} // stale event from before a recovery
-                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Timeout) => {
+                    misses += 1;
+                    if misses >= k {
+                        break;
+                    }
+                    let silent: Vec<usize> = (0..self.live.len())
+                        .filter(|&r| self.live[r] && !replies.contains_key(&r))
+                        .collect();
+                    self.note_suspects(iteration, &silent, &mut suspected, misses);
+                }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
@@ -1355,12 +1497,18 @@ impl Run {
     ) -> Result<u64, RuntimeError> {
         let recovery_start = Instant::now();
         let recovery_trace = self.sink.now();
+        // No dead nodes means a collective aborted without anyone dying
+        // (mesh drop, super-window delay): membership is untouched and
+        // the recovery degenerates to a rollback of the live world.
+        let rollback_only = dead_nodes.is_empty();
         // The moment the coordinator declares the fault, snapshot every
         // thread's flight-recorder ring — the dead ranks' final spans are
         // still in their rings even though the threads are gone.
-        self.collector.flight_dump(&format!(
-            "fault detected at iteration {detected_at}: dead nodes {dead_nodes:?}"
-        ));
+        self.collector.flight_dump(&if rollback_only {
+            format!("collective aborted at iteration {detected_at}: rolling back, no deaths")
+        } else {
+            format!("fault detected at iteration {detected_at}: dead nodes {dead_nodes:?}")
+        });
         // Invalidate replies from threads spawned before this recovery.
         self.epoch += 1;
         // Quiesce surviving agents so the plan sees settled tiers.
@@ -1472,11 +1620,16 @@ impl Run {
             .copied()
             .chain(shard_groups.iter().copied())
             .collect();
-        let shrink =
-            self.config.elastic.shrink && all_dead.len() < self.config.topology.num_shard_groups();
+        let shrink = !rollback_only
+            && self.config.elastic.shrink
+            && all_dead.len() < self.config.topology.num_shard_groups();
 
         let mut rejoin_barrier = false;
-        if shrink {
+        if rollback_only {
+            // Membership is unchanged: nobody to retire, nobody to
+            // respawn. (Entering the shrink path here would spuriously
+            // start a degraded window for an empty dead set.)
+        } else if shrink {
             self.shrink_rebalance(resume, &shard_groups, &all_dead);
         } else {
             // Restart the dead nodes' ranks with fresh threads (the
@@ -1835,6 +1988,10 @@ impl Run {
             ring_aborts: self.metrics.ring_aborts,
             collective_allocs: self.metrics.collective_allocs,
             recoveries: self.metrics.recoveries,
+            suspicions: self.metrics.suspicions,
+            suspicions_cleared: self.metrics.suspicions_cleared,
+            store_retries: self.retry_store.retries(),
+            store_retry_exhaustions: self.retry_store.exhaustions(),
             shard_groups_recovered: self.metrics.shard_groups_recovered,
             elastic_shrinks: self.metrics.elastic_shrinks,
             elastic_expands: self.metrics.elastic_expands,

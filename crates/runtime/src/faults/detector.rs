@@ -1,0 +1,165 @@
+//! Suspicion-based failure detection.
+//!
+//! The seed's coordinator declared a rank dead on the *first* missed
+//! heartbeat window — any gray failure (a delayed report, a congested
+//! control path) triggered a full recovery. [`DetectorConfig`] replaces
+//! that with a K-missed-heartbeats detector: after the base collect
+//! window times out, the coordinator grants the silent ranks up to
+//! `k_misses - 1` additional *lease* windows, marking them **suspected**
+//! (with a flight-recorder dump, per the chaos-plane contract) rather
+//! than dead. A suspected rank whose reply arrives inside a lease is
+//! re-admitted — suspicion cleared, zero recoveries run. Only after
+//! `k_misses` consecutive silent windows is the rank declared dead and
+//! the recovery path entered.
+//!
+//! [`SuspicionSim`] is the same state machine in pure form, used by the
+//! `fig20_detection_tradeoff` bench to sweep the detection-latency /
+//! false-positive trade-off without spinning up live runs.
+
+use std::time::Duration;
+
+/// K-missed-heartbeats detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// Consecutive missed windows before a silent rank is declared dead
+    /// (`>= 1`; `1` reproduces the legacy single-miss detector exactly —
+    /// no suspicion state, first timeout declares).
+    pub k_misses: u32,
+    /// Length of each post-suspicion grace window. `None` reuses the
+    /// collective's base collect window.
+    pub lease: Option<Duration>,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            k_misses: 2,
+            lease: None,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The legacy single-miss detector.
+    pub fn legacy() -> Self {
+        Self {
+            k_misses: 1,
+            lease: None,
+        }
+    }
+
+    /// The grace window granted per additional miss, given the
+    /// collective's base collect `window`.
+    pub fn lease_for(&self, window: Duration) -> Duration {
+        self.lease.unwrap_or(window)
+    }
+
+    /// Worst-case time from a rank's true death to its declaration:
+    /// the base window plus `k_misses - 1` leases.
+    pub fn declare_after(&self, window: Duration) -> Duration {
+        window + self.lease_for(window) * self.k_misses.saturating_sub(1)
+    }
+}
+
+/// Verdict of one observed window in the pure detector model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuspicionVerdict {
+    /// The rank replied; any suspicion is cleared.
+    Healthy,
+    /// The rank has missed this many consecutive windows (`< k_misses`).
+    Suspected(u32),
+    /// The rank has missed `k_misses` consecutive windows and is
+    /// declared dead.
+    Declared,
+}
+
+/// Pure per-rank suspicion state machine — the detector logic the live
+/// collect loops implement, extracted for simulation and benches.
+#[derive(Debug, Clone, Copy)]
+pub struct SuspicionSim {
+    k: u32,
+    misses: u32,
+}
+
+impl SuspicionSim {
+    /// A fresh (healthy) rank under a detector declaring after
+    /// `k_misses` consecutive misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_misses` is zero.
+    pub fn new(k_misses: u32) -> Self {
+        assert!(k_misses >= 1, "a detector must allow at least one miss");
+        Self {
+            k: k_misses,
+            misses: 0,
+        }
+    }
+
+    /// Observes one window and returns the verdict.
+    pub fn observe(&mut self, heartbeat_arrived: bool) -> SuspicionVerdict {
+        if heartbeat_arrived {
+            self.misses = 0;
+            return SuspicionVerdict::Healthy;
+        }
+        self.misses += 1;
+        if self.misses >= self.k {
+            SuspicionVerdict::Declared
+        } else {
+            SuspicionVerdict::Suspected(self.misses)
+        }
+    }
+
+    /// Consecutive misses currently on record.
+    pub fn misses(&self) -> u32 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_declares_on_first_miss() {
+        let mut sim = SuspicionSim::new(1);
+        assert_eq!(sim.observe(true), SuspicionVerdict::Healthy);
+        assert_eq!(sim.observe(false), SuspicionVerdict::Declared);
+    }
+
+    #[test]
+    fn reply_inside_lease_clears_suspicion() {
+        let mut sim = SuspicionSim::new(3);
+        assert_eq!(sim.observe(false), SuspicionVerdict::Suspected(1));
+        assert_eq!(sim.observe(false), SuspicionVerdict::Suspected(2));
+        assert_eq!(sim.observe(true), SuspicionVerdict::Healthy);
+        assert_eq!(sim.misses(), 0);
+        // The counter reset: it takes three fresh misses to declare.
+        assert_eq!(sim.observe(false), SuspicionVerdict::Suspected(1));
+        assert_eq!(sim.observe(false), SuspicionVerdict::Suspected(2));
+        assert_eq!(sim.observe(false), SuspicionVerdict::Declared);
+    }
+
+    #[test]
+    fn declare_after_bounds_detection_latency() {
+        let w = Duration::from_millis(100);
+        let legacy = DetectorConfig::legacy();
+        assert_eq!(legacy.declare_after(w), w);
+        let d = DetectorConfig {
+            k_misses: 3,
+            lease: None,
+        };
+        assert_eq!(d.declare_after(w), Duration::from_millis(300));
+        let custom = DetectorConfig {
+            k_misses: 3,
+            lease: Some(Duration::from_millis(10)),
+        };
+        assert_eq!(custom.declare_after(w), Duration::from_millis(120));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miss")]
+    fn zero_k_panics() {
+        SuspicionSim::new(0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Seeded chaos-schedule generation for the soak harness.
+//!
+//! [`generate_schedule`] draws a randomized mixed-fault [`ChaosPlan`]
+//! from a seed — same seed, same plan — so `tests/chaos_live.rs` can
+//! sweep hundreds of schedules reproducibly and any failure is
+//! re-runnable from its seed alone.
+//!
+//! The generator is deliberately bounded: at most one kill-or-flap per
+//! schedule (keeping a quorum of survivors and the soak wall-clock sane)
+//! and a handful of gray events, every one of them within the envelope
+//! the runtime guarantees it tolerates — heartbeat losses stay below the
+//! detector's `k_misses`, store outage windows stay within the retry
+//! budget. Exceeding those envelopes is legitimate chaos too, but it is
+//! exercised by targeted tests with typed-error expectations, not the
+//! bitwise-identical soak.
+
+use super::{ChaosEvent, ChaosPlan, FaultKind};
+use moc_store::{OutagePath, StoreFaultPlan, StoreOutage};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which fault kinds a generated schedule may contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosProfile {
+    /// Allow fail-stop node kills.
+    pub kills: bool,
+    /// Allow die-then-rejoin flaps (requires an elastic config).
+    pub flaps: bool,
+    /// Allow slow-rank stragglers.
+    pub stragglers: bool,
+    /// Allow gray heartbeat losses (requires `k_misses >= 2`).
+    pub heartbeat_loss: bool,
+    /// Allow mesh-channel delays and drops.
+    pub mesh: bool,
+    /// Allow transient store outages.
+    pub store: bool,
+}
+
+impl ChaosProfile {
+    /// Every fault kind enabled.
+    pub fn all() -> Self {
+        Self {
+            kills: true,
+            flaps: true,
+            stragglers: true,
+            heartbeat_loss: true,
+            mesh: true,
+            store: true,
+        }
+    }
+
+    /// Gray control-plane failures only — the zero-false-positive pin.
+    pub fn heartbeat_only() -> Self {
+        Self {
+            kills: false,
+            flaps: false,
+            stragglers: false,
+            heartbeat_loss: true,
+            mesh: false,
+            store: false,
+        }
+    }
+
+    /// Transient store faults only — the zero-lost-checkpoint pin.
+    pub fn store_only() -> Self {
+        Self {
+            kills: false,
+            flaps: false,
+            stragglers: false,
+            heartbeat_loss: false,
+            mesh: false,
+            store: true,
+        }
+    }
+
+    /// Everything except node deaths — pure gray chaos.
+    pub fn gray_only() -> Self {
+        Self {
+            kills: false,
+            flaps: false,
+            ..Self::all()
+        }
+    }
+}
+
+/// Draws a deterministic mixed-fault schedule from `seed` for a run of
+/// `horizon` iterations on `num_nodes` nodes with `world` ranks, under a
+/// detector declaring after `k_misses` windows.
+///
+/// Structural bounds: at most one kill-or-flap, up to three gray events,
+/// at most one transient store window (1–3 consecutive failures —
+/// within the default 4-attempt retry budget). Heartbeat losses miss
+/// `1..k_misses` windows, so they are always re-admitted. Mesh drops and
+/// super-window delays ride the collective-abort rollback path.
+pub fn generate_schedule(
+    seed: u64,
+    horizon: u64,
+    num_nodes: usize,
+    world: usize,
+    k_misses: u32,
+    profile: ChaosProfile,
+) -> ChaosPlan {
+    assert!(horizon >= 2, "a chaos schedule needs at least 2 iterations");
+    assert!(num_nodes >= 2 && world >= 2, "chaos needs a real cluster");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let iter = |rng: &mut StdRng| rng.random_range(1..=horizon);
+
+    // At most one node death per schedule, flap preferred when allowed.
+    if (profile.kills || profile.flaps) && rng.random::<f64>() < 0.55 {
+        let node = rng.random_range(0..num_nodes);
+        // Kill early enough that a flap's rejoin can land in-horizon.
+        let iteration = rng.random_range(1..=horizon.max(3) - 1);
+        let kind = if profile.flaps && (!profile.kills || rng.random::<f64>() < 0.5) {
+            FaultKind::Flap { node }
+        } else {
+            FaultKind::Kill { node }
+        };
+        events.push(ChaosEvent { iteration, kind });
+    }
+
+    if profile.stragglers && rng.random::<f64>() < 0.5 {
+        events.push(ChaosEvent {
+            iteration: iter(&mut rng),
+            kind: FaultKind::Straggler {
+                rank: rng.random_range(0..world),
+                duration: rng.random_range(1..=2u64),
+                factor: 1.5 + rng.random::<f64>() * 2.0,
+            },
+        });
+    }
+
+    if profile.heartbeat_loss && k_misses >= 2 {
+        let n = rng.random_range(1..=2u32);
+        for _ in 0..n {
+            events.push(ChaosEvent {
+                iteration: iter(&mut rng),
+                kind: FaultKind::HeartbeatLoss {
+                    rank: rng.random_range(0..world),
+                    misses: rng.random_range(1..k_misses),
+                },
+            });
+        }
+    }
+
+    if profile.mesh && rng.random::<f64>() < 0.6 {
+        let rank = rng.random_range(0..world);
+        let iteration = iter(&mut rng);
+        let kind = if rng.random::<f64>() < 0.4 {
+            FaultKind::MeshDrop { rank }
+        } else {
+            FaultKind::MeshDelay {
+                rank,
+                window_fraction: 0.25 + rng.random::<f64>() * 0.35,
+            }
+        };
+        events.push(ChaosEvent { iteration, kind });
+    }
+
+    let store = if profile.store && rng.random::<f64>() < 0.7 {
+        StoreFaultPlan {
+            outages: vec![StoreOutage {
+                path: match rng.random_range(0..3u32) {
+                    0 => OutagePath::Reads,
+                    1 => OutagePath::Writes,
+                    _ => OutagePath::Both,
+                },
+                start_op: rng.random_range(0..horizon * world as u64),
+                failures: rng.random_range(1..=3u64),
+            }],
+        }
+    } else {
+        StoreFaultPlan::none()
+    };
+
+    ChaosPlan { events, store }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::DetectorConfig;
+
+    #[test]
+    fn same_seed_same_plan() {
+        for seed in 0..50u64 {
+            let a = generate_schedule(seed, 8, 2, 4, 2, ChaosProfile::all());
+            let b = generate_schedule(seed, 8, 2, 4, 2, ChaosProfile::all());
+            assert_eq!(a, b, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn schedules_stay_within_the_tolerated_envelope() {
+        let det = DetectorConfig {
+            k_misses: 2,
+            lease: None,
+        };
+        for seed in 0..200u64 {
+            let plan = generate_schedule(seed, 8, 2, 4, det.k_misses, ChaosProfile::all());
+            plan.validate(2, 4, &det)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(plan.kills().len() <= 1, "seed {seed}: at most one death");
+            assert!(
+                plan.store.max_consecutive_failures() <= 3,
+                "seed {seed}: store window fits the retry budget"
+            );
+        }
+    }
+
+    #[test]
+    fn heartbeat_only_schedules_contain_only_heartbeat_loss() {
+        for seed in 0..100u64 {
+            let plan = generate_schedule(seed, 8, 2, 4, 3, ChaosProfile::heartbeat_only());
+            assert!(plan.store.is_empty(), "seed {seed}");
+            for e in &plan.events {
+                assert!(
+                    matches!(e.kind, FaultKind::HeartbeatLoss { .. }),
+                    "seed {seed}: {e:?}"
+                );
+            }
+            assert!(!plan.events.is_empty(), "seed {seed}: never empty");
+        }
+    }
+
+    #[test]
+    fn heartbeat_loss_needs_a_suspicion_detector() {
+        // Under the legacy single-miss detector no re-admittable loss
+        // exists, so none are generated.
+        let plan = generate_schedule(7, 8, 2, 4, 1, ChaosProfile::heartbeat_only());
+        assert!(plan.events.is_empty());
+    }
+
+    #[test]
+    fn seeds_cover_every_kind() {
+        let mut kills = 0;
+        let mut flaps = 0;
+        let mut stragglers = 0;
+        let mut losses = 0;
+        let mut delays = 0;
+        let mut drops = 0;
+        let mut stores = 0;
+        for seed in 0..300u64 {
+            let plan = generate_schedule(seed, 8, 2, 4, 2, ChaosProfile::all());
+            if !plan.store.is_empty() {
+                stores += 1;
+            }
+            for e in &plan.events {
+                match e.kind {
+                    FaultKind::Kill { .. } => kills += 1,
+                    FaultKind::Flap { .. } => flaps += 1,
+                    FaultKind::Straggler { .. } => stragglers += 1,
+                    FaultKind::HeartbeatLoss { .. } => losses += 1,
+                    FaultKind::MeshDelay { .. } => delays += 1,
+                    FaultKind::MeshDrop { .. } => drops += 1,
+                }
+            }
+        }
+        for (name, n) in [
+            ("kills", kills),
+            ("flaps", flaps),
+            ("stragglers", stragglers),
+            ("heartbeat losses", losses),
+            ("mesh delays", delays),
+            ("mesh drops", drops),
+            ("store outages", stores),
+        ] {
+            assert!(n > 10, "{name} barely generated: {n}");
+        }
+    }
+}

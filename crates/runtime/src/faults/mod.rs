@@ -1,0 +1,402 @@
+//! FaultPlan v2 — the unified chaos plane.
+//!
+//! The seed's fault model was clean-room: nodes die atomically
+//! ([`moc_store::FaultPlan`]), stragglers slow down
+//! ([`crate::SlowEvent`]), and every store operation succeeds or the
+//! run is over. Real clusters mostly see *gray* failures — dropped
+//! heartbeats, flaky I/O, delayed or dropped messages, nodes that flap.
+//! This module unifies all of them into one seeded, deterministic,
+//! composable schedule:
+//!
+//! * [`FaultKind::Kill`] — fail-stop node death (the v1 kind);
+//! * [`FaultKind::Flap`] — node death that later rejoins through the
+//!   elastic expand path (requires [`crate::ElasticConfig`] shrink mode
+//!   with a rejoin horizon);
+//! * [`FaultKind::Straggler`] — the v1 slow-rank profile;
+//! * [`FaultKind::HeartbeatLoss`] — a gray control-plane failure: the
+//!   rank computes and exchanges gradients normally but its step report
+//!   reaches the coordinator late, after one or more detector windows.
+//!   Under the suspicion detector ([`DetectorConfig`]) the rank is
+//!   suspected and then re-admitted with **zero** recoveries triggered;
+//! * [`FaultKind::MeshDelay`] / [`FaultKind::MeshDrop`] — mesh-channel
+//!   congestion or message loss: the rank enters its collectives late
+//!   (or not at all); a delay past the peer deadline or a drop makes
+//!   the collective abort and the run roll back — without declaring
+//!   anyone dead;
+//! * [`ChaosPlan::store`] — transient or permanent `ObjectStore`
+//!   outages ([`moc_store::StoreFaultPlan`]), injected by wrapping the
+//!   run's store in a [`moc_store::ChaosStore`] and absorbed by the
+//!   [`moc_store::RetryStore`] layered on top of it.
+//!
+//! All injection is idempotent on rollback re-execution: like v1 kills,
+//! every scheduled event fires exactly once even when its iteration is
+//! re-run after a recovery.
+//!
+//! [`generator::generate_schedule`] draws randomized mixed-fault
+//! schedules from a seed for the chaos soak harness
+//! (`tests/chaos_live.rs`), and [`detector`] holds the suspicion state
+//! machine the coordinator and the `fig20_detection_tradeoff` bench
+//! share.
+
+pub mod detector;
+pub mod generator;
+
+pub use detector::{DetectorConfig, SuspicionSim, SuspicionVerdict};
+pub use generator::{generate_schedule, ChaosProfile};
+
+use crate::config::ConfigError;
+use crate::injector::SlowEvent;
+use moc_store::{FaultEvent, StoreFaultPlan};
+
+/// One composable fault kind of FaultPlan v2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Fail-stop: `node` dies mid-iteration and never returns by itself
+    /// (the fixed-shape respawn path revives its ranks; elastic shrink
+    /// retires them).
+    Kill {
+        /// The node that dies.
+        node: usize,
+    },
+    /// Flap: `node` dies and later rejoins through the elastic expand
+    /// path. Requires `elastic.shrink` with a `rejoin_after` horizon —
+    /// [`ChaosPlan::validate`] rejects the plan otherwise.
+    Flap {
+        /// The node that dies and rejoins.
+        node: usize,
+    },
+    /// The v1 slow-rank degradation profile.
+    Straggler {
+        /// Rank slowed down.
+        rank: usize,
+        /// Consecutive iterations the slowdown lasts (`>= 1`).
+        duration: u64,
+        /// Step-duration multiplier (`>= 1.0`).
+        factor: f64,
+    },
+    /// Gray failure of the control plane only: the rank's step report is
+    /// delayed past `misses` detector windows while its data-plane
+    /// collectives complete normally. `misses` must stay below the
+    /// detector's `k_misses` for the rank to be re-admitted.
+    HeartbeatLoss {
+        /// The silent rank.
+        rank: usize,
+        /// Collect windows the report misses (`>= 1`).
+        misses: u32,
+    },
+    /// Mesh congestion: the rank enters this iteration's collectives
+    /// late by `window_fraction` of a heartbeat window. Below 1.0 the
+    /// collective completes slowly; at or above 1.0 peers time out,
+    /// abort, and the run rolls back (no one is declared dead).
+    MeshDelay {
+        /// The delayed rank.
+        rank: usize,
+        /// Delay as a fraction of the heartbeat window (`> 0`, finite).
+        window_fraction: f64,
+    },
+    /// Mesh partition: every collective message of the rank is dropped
+    /// this iteration. The rank aborts the step; its peers time out and
+    /// abort; the coordinator rolls back without declaring deaths.
+    MeshDrop {
+        /// The partitioned rank.
+        rank: usize,
+    },
+}
+
+/// One scheduled chaos event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosEvent {
+    /// Iteration the fault strikes (shifted to 1 if scheduled earlier).
+    pub iteration: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Mesh chaos directives merged per `(iteration, rank)` by the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MeshChaos {
+    /// Collective-entry delay as a fraction of the heartbeat window
+    /// (0 = none).
+    pub window_fraction: f64,
+    /// Whether the rank's collective messages are dropped entirely.
+    pub drop: bool,
+}
+
+/// FaultPlan v2: a unified, seeded, deterministic schedule of
+/// composable fault kinds, plus a store-outage schedule in
+/// operation-index space.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// Iteration-scheduled fault events.
+    pub events: Vec<ChaosEvent>,
+    /// Store outages (operation-indexed; see [`moc_store::ChaosStore`]).
+    pub store: StoreFaultPlan,
+}
+
+impl ChaosPlan {
+    /// An empty plan (the default: no chaos).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.store.is_empty()
+    }
+
+    /// The node-kill events (kills and flaps) in v1 form, for the
+    /// injector's kill map.
+    pub fn kills(&self) -> Vec<FaultEvent> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Kill { node } | FaultKind::Flap { node } => Some(FaultEvent {
+                    iteration: e.iteration,
+                    node,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The straggler events in v1 form, for the injector's slow map.
+    pub fn stragglers(&self) -> Vec<SlowEvent> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Straggler {
+                    rank,
+                    duration,
+                    factor,
+                } => Some(SlowEvent::sustained(rank, e.iteration, duration, factor)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(iteration, rank, misses)` heartbeat-loss triples.
+    pub fn heartbeat_losses(&self) -> Vec<(u64, usize, u32)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::HeartbeatLoss { rank, misses } => {
+                    Some((e.iteration.max(1), rank, misses))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// `(iteration, rank, chaos)` mesh directives, merged per rank per
+    /// iteration (drop wins over delay; overlapping delays keep the
+    /// worst fraction).
+    pub fn mesh_events(&self) -> Vec<(u64, usize, MeshChaos)> {
+        let mut merged: Vec<(u64, usize, MeshChaos)> = Vec::new();
+        for e in &self.events {
+            let (rank, chaos) = match e.kind {
+                FaultKind::MeshDelay {
+                    rank,
+                    window_fraction,
+                } => (
+                    rank,
+                    MeshChaos {
+                        window_fraction,
+                        drop: false,
+                    },
+                ),
+                FaultKind::MeshDrop { rank } => (
+                    rank,
+                    MeshChaos {
+                        window_fraction: 0.0,
+                        drop: true,
+                    },
+                ),
+                _ => continue,
+            };
+            let it = e.iteration.max(1);
+            match merged.iter_mut().find(|(i, r, _)| *i == it && *r == rank) {
+                Some((_, _, m)) => {
+                    m.drop |= chaos.drop;
+                    m.window_fraction = m.window_fraction.max(chaos.window_fraction);
+                }
+                None => merged.push((it, rank, chaos)),
+            }
+        }
+        merged
+    }
+
+    /// Whether the plan contains a flap (die-then-rejoin) event.
+    pub fn has_flap(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Flap { .. }))
+    }
+
+    /// Checks every event against the cluster shape and the detector.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError::BadChaosEvent`] found: an
+    /// out-of-range node or rank, a heartbeat loss of zero windows or
+    /// one the detector would declare dead (`misses >= k_misses`), a
+    /// non-positive or non-finite mesh delay, or a non-positive
+    /// straggler profile.
+    pub fn validate(
+        &self,
+        num_nodes: usize,
+        world: usize,
+        detector: &DetectorConfig,
+    ) -> Result<(), ConfigError> {
+        let bad = |reason: String| Err(ConfigError::BadChaosEvent { reason });
+        for e in &self.events {
+            match e.kind {
+                FaultKind::Kill { node } | FaultKind::Flap { node } => {
+                    if node >= num_nodes {
+                        return bad(format!("node {node} outside cluster of {num_nodes}"));
+                    }
+                }
+                FaultKind::Straggler {
+                    rank,
+                    duration,
+                    factor,
+                } => {
+                    if rank >= world || !factor.is_finite() || factor < 1.0 || duration == 0 {
+                        return bad(format!(
+                            "straggler rank {rank} / factor {factor} / duration {duration}"
+                        ));
+                    }
+                }
+                FaultKind::HeartbeatLoss { rank, misses } => {
+                    if rank >= world {
+                        return bad(format!("heartbeat-loss rank {rank} outside world {world}"));
+                    }
+                    if misses == 0 {
+                        return bad("heartbeat loss of zero windows".into());
+                    }
+                    if misses >= detector.k_misses {
+                        return bad(format!(
+                            "heartbeat loss of {misses} windows meets the detector's \
+                             k_misses = {} and would be declared dead; schedule a kill \
+                             instead",
+                            detector.k_misses
+                        ));
+                    }
+                }
+                FaultKind::MeshDelay {
+                    rank,
+                    window_fraction,
+                } => {
+                    if rank >= world {
+                        return bad(format!("mesh-delay rank {rank} outside world {world}"));
+                    }
+                    if !window_fraction.is_finite() || window_fraction <= 0.0 {
+                        return bad(format!("mesh-delay fraction {window_fraction}"));
+                    }
+                }
+                FaultKind::MeshDrop { rank } => {
+                    if rank >= world {
+                        return bad(format!("mesh-drop rank {rank} outside world {world}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(k: u32) -> DetectorConfig {
+        DetectorConfig {
+            k_misses: k,
+            lease: None,
+        }
+    }
+
+    #[test]
+    fn lowering_splits_kinds() {
+        let plan = ChaosPlan {
+            events: vec![
+                ChaosEvent {
+                    iteration: 3,
+                    kind: FaultKind::Kill { node: 1 },
+                },
+                ChaosEvent {
+                    iteration: 5,
+                    kind: FaultKind::Flap { node: 0 },
+                },
+                ChaosEvent {
+                    iteration: 4,
+                    kind: FaultKind::Straggler {
+                        rank: 2,
+                        duration: 2,
+                        factor: 3.0,
+                    },
+                },
+                ChaosEvent {
+                    iteration: 6,
+                    kind: FaultKind::HeartbeatLoss { rank: 1, misses: 1 },
+                },
+                ChaosEvent {
+                    iteration: 7,
+                    kind: FaultKind::MeshDelay {
+                        rank: 3,
+                        window_fraction: 0.5,
+                    },
+                },
+                ChaosEvent {
+                    iteration: 7,
+                    kind: FaultKind::MeshDrop { rank: 3 },
+                },
+            ],
+            store: StoreFaultPlan::none(),
+        };
+        assert_eq!(plan.kills().len(), 2);
+        assert_eq!(plan.stragglers().len(), 1);
+        assert_eq!(plan.heartbeat_losses(), vec![(6, 1, 1)]);
+        let mesh = plan.mesh_events();
+        assert_eq!(mesh.len(), 1, "delay and drop on one rank merge");
+        assert!(mesh[0].2.drop);
+        assert_eq!(mesh[0].2.window_fraction, 0.5);
+        assert!(plan.has_flap());
+        assert!(plan.validate(2, 4, &det(2)).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_declared_dead_heartbeat_loss() {
+        let plan = ChaosPlan {
+            events: vec![ChaosEvent {
+                iteration: 2,
+                kind: FaultKind::HeartbeatLoss { rank: 0, misses: 2 },
+            }],
+            store: StoreFaultPlan::none(),
+        };
+        assert!(plan.validate(2, 4, &det(3)).is_ok());
+        assert!(matches!(
+            plan.validate(2, 4, &det(2)),
+            Err(ConfigError::BadChaosEvent { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let kill = ChaosPlan {
+            events: vec![ChaosEvent {
+                iteration: 1,
+                kind: FaultKind::Kill { node: 9 },
+            }],
+            store: StoreFaultPlan::none(),
+        };
+        assert!(kill.validate(2, 4, &det(2)).is_err());
+        let mesh = ChaosPlan {
+            events: vec![ChaosEvent {
+                iteration: 1,
+                kind: FaultKind::MeshDrop { rank: 99 },
+            }],
+            store: StoreFaultPlan::none(),
+        };
+        assert!(mesh.validate(2, 4, &det(2)).is_err());
+    }
+}

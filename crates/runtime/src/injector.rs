@@ -14,6 +14,7 @@
 //!   coordinator records so checkpoint stall amplification is
 //!   measurable against `moc_cluster::events`.
 
+use crate::faults::{ChaosPlan, MeshChaos};
 use moc_store::{FaultEvent, FaultPlan};
 use std::collections::BTreeMap;
 
@@ -57,33 +58,49 @@ impl SlowEvent {
     }
 }
 
-/// Materialised fault + straggler schedule.
+/// Materialised fault + straggler + chaos schedule.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
     by_iteration: BTreeMap<u64, Vec<usize>>,
     slow_by_iteration: BTreeMap<u64, Vec<(usize, f64)>>,
+    report_delay_by_iteration: BTreeMap<u64, Vec<(usize, u32)>>,
+    mesh_by_iteration: BTreeMap<u64, Vec<(usize, MeshChaos)>>,
     injected: Vec<FaultEvent>,
 }
 
 impl FaultInjector {
-    /// Materialises `plan` and `stragglers` over `0..=horizon` iterations
-    /// for a cluster of `num_nodes` nodes running `world` ranks. Events
-    /// scheduled before the first iteration are shifted to iteration 1 (a
-    /// node cannot die before training starts).
+    /// Materialises `plan`, `stragglers`, and the FaultPlan v2 `chaos`
+    /// schedule over `0..=horizon` iterations for a cluster of
+    /// `num_nodes` nodes running `world` ranks. The chaos plan's kills,
+    /// flaps, and stragglers merge into the same maps as the v1
+    /// schedules; its heartbeat losses and mesh events get their own
+    /// fire-once maps. Events scheduled before the first iteration are
+    /// shifted to iteration 1 (a node cannot die before training
+    /// starts).
     ///
     /// # Panics
     ///
     /// Panics if the plan names a node outside the cluster, or a
     /// straggler names a rank outside the world or a factor below 1.
+    /// (Chaos plans are validated earlier by
+    /// [`crate::RuntimeConfig::validate`].)
     pub fn new(
         plan: &FaultPlan,
         stragglers: &[SlowEvent],
+        chaos: &ChaosPlan,
         horizon: u64,
         num_nodes: usize,
         world: usize,
     ) -> Self {
         let mut by_iteration: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
-        for event in plan.events(horizon + 1) {
+        let chaos_kills = chaos.kills();
+        let chaos_stragglers = chaos.stragglers();
+        let stragglers: Vec<SlowEvent> = stragglers
+            .iter()
+            .chain(chaos_stragglers.iter())
+            .copied()
+            .collect();
+        for event in plan.events(horizon + 1).into_iter().chain(chaos_kills) {
             assert!(
                 event.node < num_nodes,
                 "fault plan names node {} outside cluster of {num_nodes}",
@@ -96,7 +113,7 @@ impl FaultInjector {
             }
         }
         let mut slow_by_iteration: BTreeMap<u64, Vec<(usize, f64)>> = BTreeMap::new();
-        for event in stragglers {
+        for event in &stragglers {
             assert!(
                 event.rank < world,
                 "straggler names rank {} outside world of {world}",
@@ -128,9 +145,31 @@ impl FaultInjector {
                 }
             }
         }
+        let mut report_delay_by_iteration: BTreeMap<u64, Vec<(usize, u32)>> = BTreeMap::new();
+        for (it, rank, misses) in chaos.heartbeat_losses() {
+            if it > horizon {
+                continue;
+            }
+            let victims = report_delay_by_iteration.entry(it).or_default();
+            // Overlapping losses on one rank keep the worst miss count.
+            match victims.iter_mut().find(|(r, _)| *r == rank) {
+                Some((_, m)) => *m = (*m).max(misses),
+                None => victims.push((rank, misses)),
+            }
+        }
+        let mut mesh_by_iteration: BTreeMap<u64, Vec<(usize, MeshChaos)>> = BTreeMap::new();
+        for (it, rank, mesh) in chaos.mesh_events() {
+            if it > horizon {
+                continue;
+            }
+            // mesh_events() already merged per (iteration, rank).
+            mesh_by_iteration.entry(it).or_default().push((rank, mesh));
+        }
         Self {
             by_iteration,
             slow_by_iteration,
+            report_delay_by_iteration,
+            mesh_by_iteration,
             injected: Vec::new(),
         }
     }
@@ -160,6 +199,33 @@ impl FaultInjector {
             .unwrap_or_default()
     }
 
+    /// `(rank, misses)` heartbeat losses striking at `iteration`: the
+    /// rank's step report is delayed past `misses` collect windows.
+    /// Fire-once, like kills: a rolled-back iteration is not re-grayed.
+    pub fn report_delays_at(&mut self, iteration: u64) -> Vec<(usize, u32)> {
+        self.report_delay_by_iteration
+            .remove(&iteration)
+            .unwrap_or_default()
+    }
+
+    /// `(rank, chaos)` mesh-channel directives striking at `iteration`.
+    /// Fire-once: the rollback that a mesh drop triggers re-executes the
+    /// iteration cleanly.
+    pub fn mesh_chaos_at(&mut self, iteration: u64) -> Vec<(usize, MeshChaos)> {
+        self.mesh_by_iteration
+            .remove(&iteration)
+            .unwrap_or_default()
+    }
+
+    /// Chaos events (heartbeat losses + mesh directives) still pending.
+    pub fn pending_chaos(&self) -> usize {
+        self.report_delay_by_iteration
+            .values()
+            .map(Vec::len)
+            .sum::<usize>()
+            + self.mesh_by_iteration.values().map(Vec::len).sum::<usize>()
+    }
+
     /// Faults injected so far, in order.
     pub fn injected(&self) -> &[FaultEvent] {
         &self.injected
@@ -181,7 +247,15 @@ mod tests {
     use super::*;
 
     fn plain(plan: &FaultPlan, horizon: u64, num_nodes: usize) -> FaultInjector {
-        FaultInjector::new(plan, &[], horizon, num_nodes, 8)
+        FaultInjector::new(plan, &[], &ChaosPlan::none(), horizon, num_nodes, 8)
+    }
+
+    fn slowed(slow: &[SlowEvent], horizon: u64) -> FaultInjector {
+        FaultInjector::new(&FaultPlan::None, slow, &ChaosPlan::none(), horizon, 2, 4)
+    }
+
+    fn chaotic(chaos: &ChaosPlan, horizon: u64) -> FaultInjector {
+        FaultInjector::new(&FaultPlan::None, &[], chaos, horizon, 2, 4)
     }
 
     #[test]
@@ -267,7 +341,7 @@ mod tests {
             SlowEvent::once(0, 1, 2.0),
             SlowEvent::once(99, 0, 2.0),
         ];
-        let mut inj = FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
+        let mut inj = slowed(&slow, 10);
         // The event beyond the horizon is dropped.
         assert_eq!(inj.pending_stragglers(), 2);
         assert_eq!(inj.slows_at(1), vec![(1, 2.0)]);
@@ -280,7 +354,7 @@ mod tests {
     #[test]
     fn sustained_profile_covers_every_iteration() {
         let slow = [SlowEvent::sustained(1, 3, 4, 2.5)];
-        let mut inj = FaultInjector::new(&FaultPlan::None, &slow, 20, 2, 4);
+        let mut inj = slowed(&slow, 20);
         assert_eq!(inj.pending_stragglers(), 4);
         assert!(inj.slows_at(2).is_empty());
         for it in 3..7u64 {
@@ -292,7 +366,7 @@ mod tests {
     #[test]
     fn profile_starting_at_zero_keeps_its_duration() {
         let slow = [SlowEvent::sustained(0, 0, 3, 2.0)];
-        let mut inj = FaultInjector::new(&FaultPlan::None, &slow, 20, 2, 4);
+        let mut inj = slowed(&slow, 20);
         assert_eq!(inj.pending_stragglers(), 3, "shifted, not collapsed");
         for it in 1..4u64 {
             assert_eq!(inj.slows_at(it), vec![(0, 2.0)], "iteration {it}");
@@ -303,7 +377,7 @@ mod tests {
     #[test]
     fn sustained_profile_truncates_at_horizon() {
         let slow = [SlowEvent::sustained(0, 8, 100, 2.0)];
-        let mut inj = FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
+        let mut inj = slowed(&slow, 10);
         assert_eq!(inj.pending_stragglers(), 3, "8, 9, 10 only");
         assert_eq!(inj.slows_at(10), vec![(0, 2.0)]);
     }
@@ -312,20 +386,105 @@ mod tests {
     #[should_panic(expected = "outside world")]
     fn out_of_range_straggler_rank_panics() {
         let slow = [SlowEvent::once(1, 9, 2.0)];
-        FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
+        slowed(&slow, 10);
     }
 
     #[test]
     #[should_panic(expected = "speed-up")]
     fn sub_unit_factor_panics() {
         let slow = [SlowEvent::once(1, 0, 0.25)];
-        FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
+        slowed(&slow, 10);
     }
 
     #[test]
     #[should_panic(expected = "at least one iteration")]
     fn zero_duration_panics() {
         let slow = [SlowEvent::sustained(0, 1, 0, 2.0)];
-        FaultInjector::new(&FaultPlan::None, &slow, 10, 2, 4);
+        slowed(&slow, 10);
+    }
+
+    #[test]
+    fn chaos_kills_flaps_and_stragglers_merge_into_v1_maps() {
+        use crate::faults::{ChaosEvent, FaultKind};
+        let chaos = ChaosPlan {
+            events: vec![
+                ChaosEvent {
+                    iteration: 3,
+                    kind: FaultKind::Kill { node: 0 },
+                },
+                ChaosEvent {
+                    iteration: 5,
+                    kind: FaultKind::Flap { node: 1 },
+                },
+                ChaosEvent {
+                    iteration: 2,
+                    kind: FaultKind::Straggler {
+                        rank: 1,
+                        duration: 1,
+                        factor: 2.0,
+                    },
+                },
+            ],
+            ..ChaosPlan::none()
+        };
+        let mut inj = chaotic(&chaos, 10);
+        assert_eq!(inj.pending(), 2, "kill + flap both land in the kill map");
+        assert_eq!(inj.kills_at(3), vec![0]);
+        assert_eq!(inj.kills_at(5), vec![1]);
+        assert_eq!(inj.slows_at(2), vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn report_delays_fire_once_and_keep_worst_miss_count() {
+        use crate::faults::{ChaosEvent, FaultKind};
+        let chaos = ChaosPlan {
+            events: vec![
+                ChaosEvent {
+                    iteration: 4,
+                    kind: FaultKind::HeartbeatLoss { rank: 2, misses: 1 },
+                },
+                ChaosEvent {
+                    iteration: 4,
+                    kind: FaultKind::HeartbeatLoss { rank: 2, misses: 2 },
+                },
+                ChaosEvent {
+                    iteration: 99,
+                    kind: FaultKind::HeartbeatLoss { rank: 0, misses: 1 },
+                },
+            ],
+            ..ChaosPlan::none()
+        };
+        let mut inj = chaotic(&chaos, 10);
+        assert_eq!(inj.pending_chaos(), 1, "beyond-horizon loss dropped");
+        assert_eq!(inj.report_delays_at(4), vec![(2, 2)]);
+        assert!(inj.report_delays_at(4).is_empty(), "fire once");
+        assert_eq!(inj.pending_chaos(), 0);
+    }
+
+    #[test]
+    fn mesh_chaos_fires_once_per_iteration() {
+        use crate::faults::{ChaosEvent, FaultKind};
+        let chaos = ChaosPlan {
+            events: vec![
+                ChaosEvent {
+                    iteration: 6,
+                    kind: FaultKind::MeshDelay {
+                        rank: 1,
+                        window_fraction: 0.5,
+                    },
+                },
+                ChaosEvent {
+                    iteration: 6,
+                    kind: FaultKind::MeshDrop { rank: 3 },
+                },
+            ],
+            ..ChaosPlan::none()
+        };
+        let mut inj = chaotic(&chaos, 10);
+        let got = inj.mesh_chaos_at(6);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().any(|(r, m)| *r == 1 && m.window_fraction == 0.5));
+        assert!(got.iter().any(|(r, m)| *r == 3 && m.drop));
+        assert!(inj.mesh_chaos_at(6).is_empty(), "fire once");
     }
 }

@@ -36,6 +36,11 @@
 //! * [`injector`] — [`FaultInjector`]: materialises a
 //!   [`moc_store::FaultPlan`] into mid-iteration node kills and a
 //!   [`SlowEvent`] schedule into straggler slowdowns;
+//! * [`faults`] — FaultPlan v2 ([`ChaosPlan`]): a unified seeded
+//!   schedule adding gray failures — heartbeat loss, mesh-channel
+//!   delay/drop, transient store outages, node flaps — plus the
+//!   K-missed-heartbeats suspicion detector ([`DetectorConfig`]) and
+//!   the chaos-schedule generator behind the soak harness;
 //! * [`recovery_exec`] — live execution of two-level recovery plans;
 //!   with [`ElasticConfig::shrink`] the coordinator recovers node
 //!   deaths *elastically*: surviving shard groups adopt the dead
@@ -91,6 +96,7 @@
 pub mod collective;
 pub mod config;
 pub mod coordinator;
+pub mod faults;
 pub mod injector;
 pub mod metrics;
 pub mod node;
@@ -104,6 +110,10 @@ pub use collective::{
 };
 pub use config::{CheckpointMode, ConfigError, ElasticConfig, RuntimeConfig};
 pub use coordinator::{Coordinator, RuntimeError};
+pub use faults::{
+    generate_schedule, ChaosEvent, ChaosPlan, ChaosProfile, DetectorConfig, FaultKind, MeshChaos,
+    SuspicionSim, SuspicionVerdict,
+};
 pub use injector::{FaultInjector, SlowEvent};
 pub use metrics::{EventKind, MetricsRegistry, Phase, PhaseStats, RunSummary, TimelineEvent};
 pub use moc_ckpt::{ChainStore, EngineConfig as CkptEngineConfig, EngineStats as CkptEngineStats};

@@ -179,6 +179,21 @@ pub enum EventKind {
         /// Seconds from iteration start to detection.
         detect_secs: f64,
     },
+    /// Ranks went silent for a heartbeat window and entered the
+    /// suspected set; they hold a lease and are re-admitted without
+    /// recovery if they reply before `k_misses` windows elapse.
+    FaultSuspected {
+        /// Ranks newly suspected.
+        ranks: Vec<usize>,
+        /// Consecutive missed windows so far (1-based).
+        misses: u32,
+    },
+    /// A suspected rank replied within its lease and was re-admitted —
+    /// a gray failure tolerated with no recovery.
+    SuspicionCleared {
+        /// The re-admitted rank.
+        rank: usize,
+    },
     /// A two-level recovery completed.
     Recovery {
         /// Iteration training resumed from.
@@ -267,6 +282,11 @@ pub struct MetricsRegistry {
     pub collective_allocs: u64,
     /// Recoveries executed.
     pub recoveries: u64,
+    /// Ranks that entered the suspected set (summed over collections).
+    pub suspicions: u64,
+    /// Suspected ranks that replied within their lease and were
+    /// re-admitted without recovery.
+    pub suspicions_cleared: u64,
     /// Shard groups dragged through a recovery (summed over recoveries).
     pub shard_groups_recovered: u64,
     /// Elastic shrinks executed (recoveries that continued on the
@@ -320,6 +340,8 @@ impl MetricsRegistry {
             ring_aborts: 0,
             collective_allocs: 0,
             recoveries: 0,
+            suspicions: 0,
+            suspicions_cleared: 0,
             shard_groups_recovered: 0,
             elastic_shrinks: 0,
             elastic_expands: 0,
@@ -399,6 +421,18 @@ pub struct RunSummary {
     pub collective_allocs: u64,
     /// Recoveries executed.
     pub recoveries: u64,
+    /// Ranks that entered the suspected set. A gray failure suspected
+    /// and then cleared contributes here but not to `recoveries`.
+    pub suspicions: u64,
+    /// Suspected ranks re-admitted within their lease — gray failures
+    /// tolerated with no recovery.
+    pub suspicions_cleared: u64,
+    /// Store operations that succeeded only after at least one retry
+    /// (transient faults absorbed by the backoff wrapper).
+    pub store_retries: u64,
+    /// Store operations that exhausted every retry attempt and surfaced
+    /// a typed error.
+    pub store_retry_exhaustions: u64,
     /// Shard groups dragged through a recovery (summed over recoveries;
     /// equals `recoveries × groups-per-dead-node` for node kills).
     pub shard_groups_recovered: u64,

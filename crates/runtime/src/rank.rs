@@ -51,7 +51,7 @@ use moc_train::checkpoint::{deserialize_module, expert_of, serialize_module};
 use moc_train::{adam_step, MarkovCorpus, ParamStore, TinyMoeLm};
 use std::collections::HashSet;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One restored shard broadcast to every rank after recovery.
 #[derive(Debug, Clone)]
@@ -75,6 +75,24 @@ pub(crate) struct AdoptedGrad {
     pub expert_loads: Vec<Vec<u64>>,
 }
 
+/// Per-step chaos directives, lowered by the coordinator from the
+/// FaultPlan v2 schedule. Default is no chaos.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StepChaos {
+    /// Gray control-plane failure: delay the step *report* by this much.
+    /// The rank's data-plane collectives complete normally; only the
+    /// coordinator sees silence — long enough to be suspected, short
+    /// enough to be re-admitted.
+    pub report_delay: Option<Duration>,
+    /// Mesh congestion: enter this step's collectives late by this much.
+    /// Past the peer heartbeat deadline, the collective aborts and the
+    /// coordinator rolls back without declaring deaths.
+    pub mesh_delay: Option<Duration>,
+    /// Mesh partition: every collective message of this rank is dropped;
+    /// the rank aborts the step immediately and its peers time out.
+    pub mesh_drop: bool,
+}
+
 /// Coordinator → rank commands.
 #[derive(Debug, Clone)]
 pub(crate) enum RankCommand {
@@ -90,6 +108,8 @@ pub(crate) enum RankCommand {
         collective: CollectiveKind,
         /// Injected straggler slowdown factor, if this rank is a victim.
         slow_factor: Option<f64>,
+        /// Injected gray-failure directives for this step.
+        chaos: StepChaos,
     },
     /// Adopt fresh collective endpoints (run start and after every
     /// recovery): the rank's DP-group ring (ring collective only) and
@@ -381,6 +401,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 die,
                 collective,
                 slow_factor,
+                chaos,
             } => {
                 last_iteration = iteration;
                 let abort = |_: crate::collective::GroupAbort| {
@@ -390,6 +411,33 @@ pub(crate) fn run_rank(ctx: RankContext) {
                         epoch,
                     });
                 };
+                // Injected mesh partition: the rank's collective messages
+                // are all dropped this step, so nothing it could do would
+                // complete — abandon immediately; peers time out and the
+                // coordinator rolls the iteration back.
+                if chaos.mesh_drop {
+                    let drop_trace = sink.now();
+                    sink.span(SpanKind::Fault, "mesh-drop", iteration, drop_trace);
+                    let _ = ctx.events.send(RankEvent::StepAborted {
+                        rank: ctx.rank,
+                        iteration,
+                        epoch,
+                    });
+                    continue;
+                }
+                // Injected mesh congestion: enter the collectives late.
+                if let Some(d) = chaos.mesh_delay {
+                    let delay_trace = sink.now();
+                    std::thread::sleep(d);
+                    sink.record(
+                        SpanKind::Fault,
+                        "mesh-delay",
+                        iteration,
+                        delay_trace,
+                        d.as_secs_f64(),
+                        Flow::None,
+                    );
+                }
                 // TP replica-consistency exchange on the entry params
                 // (the state every peer should share after the previous
                 // apply). Skipped entirely — including the
@@ -532,6 +580,22 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 }
                 match collective {
                     CollectiveKind::Star => {
+                        // Injected heartbeat loss: the work is done but
+                        // the report goes silent past one or more collect
+                        // windows — the coordinator suspects, then
+                        // re-admits on arrival.
+                        if let Some(d) = chaos.report_delay {
+                            let loss_trace = sink.now();
+                            std::thread::sleep(d);
+                            sink.record(
+                                SpanKind::Fault,
+                                "heartbeat-loss",
+                                iteration,
+                                loss_trace,
+                                d.as_secs_f64(),
+                                Flow::None,
+                            );
+                        }
                         let _ = ctx.events.send(RankEvent::Grad {
                             rank: ctx.rank,
                             iteration,
@@ -572,6 +636,21 @@ pub(crate) fn run_rank(ctx: RankContext) {
                                 load_grads(model.store_mut(), &grad_buf);
                                 adam_step(model.store_mut(), &cfg.adam);
                                 sink.span(SpanKind::Phase, "apply", iteration, apply_trace);
+                                // Injected heartbeat loss (ring): the
+                                // all-reduce and the apply completed —
+                                // only the StepDone report goes silent.
+                                if let Some(d) = chaos.report_delay {
+                                    let loss_trace = sink.now();
+                                    std::thread::sleep(d);
+                                    sink.record(
+                                        SpanKind::Fault,
+                                        "heartbeat-loss",
+                                        iteration,
+                                        loss_trace,
+                                        d.as_secs_f64(),
+                                        Flow::None,
+                                    );
+                                }
                                 let _ = ctx.events.send(RankEvent::StepDone {
                                     rank: ctx.rank,
                                     iteration,

@@ -34,6 +34,14 @@ fn describe(kind: &EventKind) -> (String, String) {
             "detected".into(),
             format!("nodes {nodes:?} dead after {:.0} ms", 1e3 * detect_secs),
         ),
+        EventKind::FaultSuspected { ranks, misses } => (
+            "suspected".into(),
+            format!("ranks {ranks:?} silent for {misses} window(s); lease granted"),
+        ),
+        EventKind::SuspicionCleared { rank } => (
+            "cleared".into(),
+            format!("rank {rank} replied within its lease; re-admitted"),
+        ),
         EventKind::Recovery {
             resume_iteration,
             memory_hits,

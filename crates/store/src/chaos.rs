@@ -1,0 +1,282 @@
+//! Deterministic store fault injection (the chaos plane's storage leg).
+//!
+//! [`ChaosStore`] wraps any [`ObjectStore`] and fails operations
+//! according to a [`StoreFaultPlan`]: a set of outage windows addressed
+//! in *operation-index* space (the n-th `put`, the n-th `get`), which
+//! makes injection deterministic wherever the operation order is —
+//! single-writer engines, recovery reads, unit tests. This is the
+//! promotion of the old `ckpt::testing::FlakyStore` out of test-only
+//! code: unlike its ancestor it faults the read path too, so recovery
+//! fetches (`ChainStore` `get`s) can be exercised, and its schedule is
+//! driven by the runtime's FaultPlan v2 rather than ad-hoc budgets.
+//!
+//! Only `put` and `get` are faultable — the durability path and the
+//! recovery path. Metadata operations (`keys`, `latest_version`,
+//! `total_bytes`, `prune`) pass through, so fault positions computed
+//! from recorded put orders stay exact regardless of GC interleaving.
+
+use crate::object::{ObjectStore, StoreError};
+use crate::{ShardKey, StatePart};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which operation class an outage window faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutagePath {
+    /// Fault `get` operations (recovery reads).
+    Reads,
+    /// Fault `put` operations (checkpoint writes).
+    Writes,
+    /// Fault both.
+    Both,
+}
+
+impl OutagePath {
+    fn covers_reads(self) -> bool {
+        matches!(self, OutagePath::Reads | OutagePath::Both)
+    }
+
+    fn covers_writes(self) -> bool {
+        matches!(self, OutagePath::Writes | OutagePath::Both)
+    }
+}
+
+/// One window of injected failures in operation-index space: operations
+/// `start_op .. start_op + failures` of the covered class fail with
+/// [`StoreError::Injected`]. `failures == u64::MAX` is a permanent
+/// outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreOutage {
+    /// Operation class the window applies to.
+    pub path: OutagePath,
+    /// First faulted operation index (0-based, counted per class).
+    pub start_op: u64,
+    /// Number of consecutive faulted operations.
+    pub failures: u64,
+}
+
+impl StoreOutage {
+    fn covers(&self, op: u64) -> bool {
+        op >= self.start_op && op - self.start_op < self.failures
+    }
+}
+
+/// A deterministic schedule of store outages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreFaultPlan {
+    /// The outage windows; they may overlap.
+    pub outages: Vec<StoreOutage>,
+}
+
+impl StoreFaultPlan {
+    /// No injected faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+
+    /// Every write from the `start`-th `put` onward fails — the classic
+    /// torn-persist "writer died mid-checkpoint" schedule.
+    pub fn permanent_write_outage(start: u64) -> Self {
+        Self {
+            outages: vec![StoreOutage {
+                path: OutagePath::Writes,
+                start_op: start,
+                failures: u64::MAX,
+            }],
+        }
+    }
+
+    /// A transient blip: `failures` consecutive operations (reads and
+    /// writes alike) starting at per-class index `start_op` fail, later
+    /// ones succeed.
+    pub fn transient(start_op: u64, failures: u64) -> Self {
+        Self {
+            outages: vec![StoreOutage {
+                path: OutagePath::Both,
+                start_op,
+                failures,
+            }],
+        }
+    }
+
+    /// The longest failure run any single operation class can see —
+    /// `u64::MAX` if any window is permanent. Used to check a plan is
+    /// absorbable by a retry budget.
+    pub fn max_consecutive_failures(&self) -> u64 {
+        self.outages.iter().map(|o| o.failures).max().unwrap_or(0)
+    }
+}
+
+/// An [`ObjectStore`] wrapper injecting deterministic faults per a
+/// [`StoreFaultPlan`].
+pub struct ChaosStore {
+    inner: Arc<dyn ObjectStore>,
+    plan: Mutex<StoreFaultPlan>,
+    healed: AtomicBool,
+    puts_seen: AtomicU64,
+    gets_seen: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl ChaosStore {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: Arc<dyn ObjectStore>, plan: StoreFaultPlan) -> Self {
+        Self {
+            inner,
+            plan: Mutex::new(plan),
+            healed: AtomicBool::new(false),
+            puts_seen: AtomicU64::new(0),
+            gets_seen: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Cancels every outage window: all later operations succeed.
+    pub fn heal(&self) {
+        self.healed.store(true, Ordering::SeqCst);
+    }
+
+    /// Number of operations failed by injection so far.
+    pub fn injected_failures(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    fn check(&self, counter: &AtomicU64, writes: bool, op: &'static str) -> Result<(), StoreError> {
+        let n = counter.fetch_add(1, Ordering::SeqCst);
+        if self.healed.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let hit = self.plan.lock().outages.iter().any(|o| {
+            let class = if writes {
+                o.path.covers_writes()
+            } else {
+                o.path.covers_reads()
+            };
+            class && o.covers(n)
+        });
+        if hit {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+            return Err(StoreError::Injected { op });
+        }
+        Ok(())
+    }
+}
+
+impl ObjectStore for ChaosStore {
+    fn put(&self, key: &ShardKey, payload: Bytes) -> Result<(), StoreError> {
+        self.check(&self.puts_seen, true, "put")?;
+        self.inner.put(key, payload)
+    }
+
+    fn get(&self, key: &ShardKey) -> Result<Option<Bytes>, StoreError> {
+        self.check(&self.gets_seen, false, "get")?;
+        self.inner.get(key)
+    }
+
+    fn latest_version(
+        &self,
+        module: &str,
+        part: StatePart,
+        at_or_before: u64,
+    ) -> Result<Option<u64>, StoreError> {
+        self.inner.latest_version(module, part, at_or_before)
+    }
+
+    fn keys(&self) -> Result<Vec<ShardKey>, StoreError> {
+        self.inner.keys()
+    }
+
+    fn total_bytes(&self) -> Result<u64, StoreError> {
+        self.inner.total_bytes()
+    }
+
+    fn prune(
+        &self,
+        module: &str,
+        part: StatePart,
+        before_version: u64,
+    ) -> Result<usize, StoreError> {
+        self.inner.prune(module, part, before_version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemoryObjectStore;
+
+    fn key(v: u64) -> ShardKey {
+        ShardKey::new("m.e0", StatePart::Weights, v)
+    }
+
+    #[test]
+    fn write_window_faults_exactly_its_ops() {
+        let inner = Arc::new(MemoryObjectStore::new());
+        let plan = StoreFaultPlan {
+            outages: vec![StoreOutage {
+                path: OutagePath::Writes,
+                start_op: 1,
+                failures: 2,
+            }],
+        };
+        let store = ChaosStore::new(inner.clone(), plan);
+        assert!(store.put(&key(0), Bytes::from_static(b"a")).is_ok());
+        assert!(store.put(&key(1), Bytes::from_static(b"b")).is_err());
+        assert!(store.put(&key(2), Bytes::from_static(b"c")).is_err());
+        assert!(store.put(&key(3), Bytes::from_static(b"d")).is_ok());
+        assert_eq!(store.injected_failures(), 2);
+        assert_eq!(inner.len(), 2);
+    }
+
+    #[test]
+    fn gets_fault_too_unlike_the_old_flaky_store() {
+        let inner = Arc::new(MemoryObjectStore::new());
+        inner.put(&key(5), Bytes::from_static(b"v")).unwrap();
+        let plan = StoreFaultPlan {
+            outages: vec![StoreOutage {
+                path: OutagePath::Reads,
+                start_op: 0,
+                failures: 1,
+            }],
+        };
+        let store = ChaosStore::new(inner, plan);
+        assert!(matches!(
+            store.get(&key(5)),
+            Err(StoreError::Injected { op: "get" })
+        ));
+        // Writes were never covered; the read window has passed.
+        assert!(store.put(&key(6), Bytes::from_static(b"w")).is_ok());
+        assert!(store.get(&key(5)).unwrap().is_some());
+    }
+
+    #[test]
+    fn heal_cancels_a_permanent_outage() {
+        let inner = Arc::new(MemoryObjectStore::new());
+        let store = ChaosStore::new(inner, StoreFaultPlan::permanent_write_outage(0));
+        assert!(store.put(&key(1), Bytes::from_static(b"x")).is_err());
+        store.heal();
+        assert!(store.put(&key(1), Bytes::from_static(b"x")).is_ok());
+    }
+
+    #[test]
+    fn metadata_ops_never_fault() {
+        let inner = Arc::new(MemoryObjectStore::new());
+        inner.put(&key(1), Bytes::from_static(b"x")).unwrap();
+        let store = ChaosStore::new(inner, StoreFaultPlan::transient(0, u64::MAX));
+        assert_eq!(store.keys().unwrap().len(), 1);
+        assert!(store.total_bytes().unwrap() > 0);
+        assert_eq!(
+            store
+                .latest_version("m.e0", StatePart::Weights, u64::MAX)
+                .unwrap(),
+            Some(1)
+        );
+    }
+}

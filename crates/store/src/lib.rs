@@ -12,6 +12,11 @@
 //!   node fault wipes;
 //! * [`failure`] — deterministic fault schedules (explicit, periodic,
 //!   Poisson with rate λ);
+//! * [`retry`] — [`RetryStore`]: capped exponential backoff around every
+//!   store operation, with typed exhaustion errors, so transient blips
+//!   don't abort checkpoints or recovery;
+//! * [`chaos`] — [`ChaosStore`]: deterministic operation-indexed fault
+//!   injection (the storage leg of the runtime's FaultPlan v2);
 //! * [`tier`] — bandwidth specifications of the transfer paths
 //!   (1 GB/s A800 / 2 GB/s H100 snapshot bandwidths from the paper).
 //!
@@ -30,15 +35,19 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod failure;
 pub mod frame;
 pub mod key;
 pub mod memory;
 pub mod object;
+pub mod retry;
 pub mod tier;
 
+pub use chaos::{ChaosStore, OutagePath, StoreFaultPlan, StoreOutage};
 pub use failure::{FaultEvent, FaultPlan};
 pub use key::{ShardKey, StatePart};
 pub use memory::{ClusterMemory, NodeId, NodeMemoryStore};
 pub use object::{FileObjectStore, MemoryObjectStore, ObjectStore, StoreError};
+pub use retry::{RetryPolicy, RetryStore};
 pub use tier::{StorageHierarchy, TierLink, GB, GIB};

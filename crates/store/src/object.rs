@@ -33,6 +33,20 @@ pub enum StoreError {
         /// The key recorded inside the frame.
         found: ShardKey,
     },
+    /// An injected fault from a chaos wrapper ([`crate::ChaosStore`]).
+    Injected {
+        /// The operation that was faulted (`"put"`, `"get"`, ...).
+        op: &'static str,
+    },
+    /// Every retry attempt failed ([`crate::RetryStore`] gave up).
+    RetriesExhausted {
+        /// The operation that kept failing (`"put"`, `"get"`, ...).
+        op: &'static str,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The error of the final attempt.
+        last: Box<StoreError>,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -47,6 +61,10 @@ impl fmt::Display for StoreError {
                     "shard key mismatch: requested {requested}, found {found}"
                 )
             }
+            StoreError::Injected { op } => write!(f, "injected store fault on {op}"),
+            StoreError::RetriesExhausted { op, attempts, last } => {
+                write!(f, "store {op} failed after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -56,7 +74,10 @@ impl std::error::Error for StoreError {
         match self {
             StoreError::Io(e) => Some(e),
             StoreError::Frame(e) => Some(e),
-            StoreError::BadRoot(_) | StoreError::KeyMismatch { .. } => None,
+            StoreError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            StoreError::BadRoot(_)
+            | StoreError::KeyMismatch { .. }
+            | StoreError::Injected { .. } => None,
         }
     }
 }

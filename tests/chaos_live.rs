@@ -1,0 +1,316 @@
+//! The chaos soak: seeded mixed-fault schedules against the live
+//! runtime, every one required to either complete bitwise-identical to
+//! the fault-free run or fail with a typed [`RuntimeError`] — no hangs
+//! (a per-schedule watchdog converts them into failures), no panics, no
+//! silent divergence.
+//!
+//! Three pins ride on top of the generic invariant:
+//!
+//! * **Zero false positives** — schedules containing only gray
+//!   heartbeat losses (delays below the detector's `k_misses`) must
+//!   finish with *zero* recoveries: every suspected rank is re-admitted
+//!   within its lease.
+//! * **Zero lost checkpoints** — schedules containing only transient
+//!   store outages (within the retry budget) must absorb every injected
+//!   failure in the backoff wrapper: no exhaustions, no engine errors,
+//!   all checkpoints taken.
+//! * **Second faults** — a node kill landing while a suspected rank is
+//!   being re-admitted recovers exactly once; a store outage outlasting
+//!   the retry budget during recovery surfaces as a typed error.
+//!
+//! The default tier runs a 20-seed smoke plus the pins; the ≥200-seed
+//! soak runs under `--ignored` in the scheduled chaos CI job. Every
+//! failure message carries the seed, so any schedule is re-runnable in
+//! isolation.
+
+use moc_system::core::recovery::RecoveryError;
+use moc_system::core::ParallelTopology;
+use moc_system::runtime::{
+    generate_schedule, ChaosEvent, ChaosPlan, ChaosProfile, CollectiveKind, Coordinator,
+    ElasticConfig, FaultKind, RunSummary, RuntimeConfig, RuntimeError,
+};
+use moc_system::store::{MemoryObjectStore, OutagePath, StoreError, StoreFaultPlan, StoreOutage};
+use moc_system::train::PecMode;
+use std::sync::{mpsc, Arc, OnceLock};
+use std::time::Duration;
+
+/// Iterations per schedule — long enough for two checkpoints, an
+/// injected fault, and post-recovery progress.
+const HORIZON: u64 = 8;
+
+/// Wall-clock bound per schedule: a healthy run takes a couple of
+/// seconds even with a kill (detection is two ~300 ms windows plus a
+/// lease); anything near the watchdog is a hang, not a slow pass.
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn topo() -> ParallelTopology {
+    // 2 nodes × 2 GPUs, DP = EP = 4: the smallest world where a node
+    // death leaves survivors to shrink onto.
+    ParallelTopology::dp_ep(2, 2, 4, 4).unwrap()
+}
+
+/// Full checkpointing (recovery is lossless, so every tolerated
+/// schedule must land bitwise on the clean trajectory) and an elastic
+/// config (flap schedules need a rejoin path).
+fn config(chaos: ChaosPlan, collective: CollectiveKind) -> RuntimeConfig {
+    RuntimeConfig {
+        total_iterations: HORIZON,
+        i_ckpt: 3,
+        eval_every: 0,
+        seq_len: 8,
+        k_snapshot: 8,
+        k_persist: 8,
+        pec_mode: PecMode::NONE,
+        collective,
+        heartbeat_timeout: Duration::from_millis(300),
+        elastic: ElasticConfig {
+            shrink: true,
+            replication: 2,
+            rejoin_after: Some(2),
+        },
+        chaos,
+        ..RuntimeConfig::tiny(topo())
+    }
+}
+
+/// Runs one schedule on its own thread under the watchdog. A hang
+/// trips the deadline; a panic anywhere in the runtime drops the
+/// sender and is converted into a failure — both carry `label`.
+fn run_with_watchdog(config: RuntimeConfig, label: &str) -> Result<RunSummary, RuntimeError> {
+    let (tx, rx) = mpsc::channel();
+    let _worker = std::thread::spawn(move || {
+        let result =
+            Coordinator::new(config, Arc::new(MemoryObjectStore::new())).and_then(Coordinator::run);
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(WATCHDOG) {
+        Ok(result) => result,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("{label}: hung past the {WATCHDOG:?} watchdog")
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            panic!("{label}: runtime panicked instead of returning a typed error")
+        }
+    }
+}
+
+/// The fault-free trajectory per collective, computed once: the bitwise
+/// reference every tolerated schedule must land on.
+fn clean_bits(collective: CollectiveKind) -> &'static Vec<u32> {
+    static STAR: OnceLock<Vec<u32>> = OnceLock::new();
+    static RING: OnceLock<Vec<u32>> = OnceLock::new();
+    let cell = match collective {
+        CollectiveKind::Star => &STAR,
+        CollectiveKind::Ring => &RING,
+    };
+    cell.get_or_init(|| {
+        let summary = run_with_watchdog(config(ChaosPlan::none(), collective), "clean run")
+            .expect("fault-free run succeeds");
+        summary.final_params.iter().map(|x| x.to_bits()).collect()
+    })
+}
+
+fn collective_for(seed: u64) -> CollectiveKind {
+    if seed.is_multiple_of(2) {
+        CollectiveKind::Star
+    } else {
+        CollectiveKind::Ring
+    }
+}
+
+/// The generic soak invariant: the schedule either completes bitwise on
+/// the clean trajectory with consistent replicas, or fails typed (which
+/// `run_with_watchdog` already guarantees by returning `Err`).
+fn assert_schedule_tolerated(seed: u64, profile: ChaosProfile) {
+    let collective = collective_for(seed);
+    let base = config(ChaosPlan::none(), collective);
+    let plan = generate_schedule(seed, HORIZON, 2, 4, base.detector.k_misses, profile);
+    let label = format!("seed {seed} ({collective:?}, {plan:?})");
+    match run_with_watchdog(config(plan, collective), &label) {
+        Ok(summary) => {
+            assert!(summary.replicas_consistent, "{label}: replicas diverged");
+            let bits: Vec<u32> = summary.final_params.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(
+                &bits,
+                clean_bits(collective),
+                "{label}: silent divergence from the fault-free trajectory"
+            );
+        }
+        Err(e) => {
+            // Typed failure is a legal outcome of chaos — but the
+            // generator stays within the tolerated envelope, so record
+            // it loudly if it ever starts happening.
+            panic!("{label}: in-envelope schedule failed: {e}");
+        }
+    }
+}
+
+#[test]
+fn twenty_seed_smoke_soak() {
+    for seed in 0..20 {
+        assert_schedule_tolerated(seed, ChaosProfile::all());
+    }
+}
+
+/// The full soak: ≥200 mixed-fault schedules plus profile-restricted
+/// sweeps. Runs in the scheduled `chaos` CI job (`--ignored`).
+#[test]
+#[ignore = "multi-minute soak; run explicitly or in the scheduled chaos job"]
+fn two_hundred_seed_soak() {
+    for seed in 0..200 {
+        assert_schedule_tolerated(seed, ChaosProfile::all());
+    }
+    for seed in 200..240 {
+        assert_schedule_tolerated(seed, ChaosProfile::gray_only());
+    }
+}
+
+/// Gray heartbeat losses below `k_misses` must never trigger recovery:
+/// the rank is suspected, holds its lease, replies, and is re-admitted.
+/// False-positive recoveries here would mean the detector declares on
+/// gray failures — the exact bug the suspicion protocol exists to fix.
+#[test]
+fn heartbeat_loss_only_schedules_trigger_zero_recoveries() {
+    let mut cleared_total = 0u64;
+    for seed in 0..15 {
+        let collective = collective_for(seed);
+        let base = config(ChaosPlan::none(), collective);
+        let plan = generate_schedule(
+            seed,
+            HORIZON,
+            2,
+            4,
+            base.detector.k_misses,
+            ChaosProfile::heartbeat_only(),
+        );
+        let label = format!("seed {seed} ({collective:?}, {plan:?})");
+        let summary = run_with_watchdog(config(plan, collective), &label)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(summary.recoveries, 0, "{label}: false-positive recovery");
+        assert_eq!(summary.faults_injected, 0, "{label}");
+        assert!(
+            summary.suspicions_cleared >= 1,
+            "{label}: the loss must actually trip the detector"
+        );
+        assert_eq!(
+            summary.suspicions_cleared, summary.suspicions,
+            "{label}: every suspicion must clear"
+        );
+        cleared_total += summary.suspicions_cleared;
+        let bits: Vec<u32> = summary.final_params.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(&bits, clean_bits(collective), "{label}");
+    }
+    assert!(cleared_total >= 15, "suspicions were barely exercised");
+}
+
+/// Transient store outages within the retry budget must be absorbed
+/// completely: no retry exhaustion, no checkpoint-engine errors, every
+/// checkpoint taken, and the trajectory untouched.
+#[test]
+fn transient_store_only_schedules_lose_zero_checkpoints() {
+    let mut retries_total = 0u64;
+    for seed in 0..12 {
+        let collective = collective_for(seed);
+        let base = config(ChaosPlan::none(), collective);
+        let plan = generate_schedule(
+            seed,
+            HORIZON,
+            2,
+            4,
+            base.detector.k_misses,
+            ChaosProfile::store_only(),
+        );
+        let label = format!("seed {seed} ({collective:?}, {plan:?})");
+        let summary = run_with_watchdog(config(plan, collective), &label)
+            .unwrap_or_else(|e| panic!("{label}: {e}"));
+        assert_eq!(summary.store_retry_exhaustions, 0, "{label}");
+        assert!(
+            summary.ckpt_engine.errors.is_empty(),
+            "{label}: engine errors {:?}",
+            summary.ckpt_engine.errors
+        );
+        assert_eq!(summary.recoveries, 0, "{label}");
+        assert_eq!(
+            summary.checkpoints_taken,
+            HORIZON / 3,
+            "{label}: a checkpoint was lost"
+        );
+        retries_total += summary.store_retries;
+        let bits: Vec<u32> = summary.final_params.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(&bits, clean_bits(collective), "{label}");
+    }
+    // Read-path outages never fire in a recovery-free run, so not every
+    // seed retries — but across the sweep the wrapper must have worked.
+    assert!(retries_total > 0, "no store retry was ever exercised");
+}
+
+/// A second fault mid-gray-tolerance: node 1 is killed in the same
+/// iteration a rank on node 0 loses a heartbeat window. The suspected
+/// rank must be re-admitted (cleared, not declared) while the genuinely
+/// dead node is declared and recovered — one recovery, clean bitwise
+/// finish.
+#[test]
+fn kill_during_suspected_readmission_recovers_once() {
+    let collective = CollectiveKind::Star;
+    let plan = ChaosPlan {
+        events: vec![
+            ChaosEvent {
+                iteration: 5,
+                kind: FaultKind::HeartbeatLoss { rank: 0, misses: 1 },
+            },
+            ChaosEvent {
+                iteration: 5,
+                kind: FaultKind::Kill { node: 1 },
+            },
+        ],
+        store: StoreFaultPlan::none(),
+    };
+    let summary = run_with_watchdog(config(plan, collective), "kill during re-admission")
+        .expect("tolerated composition");
+    assert_eq!(summary.faults_injected, 1);
+    assert_eq!(summary.recoveries, 1, "exactly one recovery for the kill");
+    assert!(
+        summary.suspicions_cleared >= 1,
+        "the gray rank must be re-admitted, not declared"
+    );
+    let bits: Vec<u32> = summary.final_params.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(&bits, clean_bits(collective));
+}
+
+/// A store outage outlasting the retry budget while a recovery is in
+/// flight: the recovery's chain fetch exhausts its retries and the run
+/// fails with the typed store error — no hang, no panic.
+#[test]
+fn store_exhaustion_during_recovery_fails_typed() {
+    let plan = ChaosPlan {
+        events: vec![ChaosEvent {
+            iteration: 5,
+            kind: FaultKind::Kill { node: 1 },
+        }],
+        store: StoreFaultPlan {
+            outages: vec![StoreOutage {
+                path: OutagePath::Reads,
+                start_op: 0,
+                failures: u64::MAX,
+            }],
+        },
+    };
+    // Fixed-shape respawn recovery: reads only happen once the kill
+    // forces a recovery, so the permanent read outage is invisible
+    // until then.
+    let cfg = RuntimeConfig {
+        elastic: ElasticConfig::default(),
+        ..config(plan, CollectiveKind::Star)
+    };
+    let err = run_with_watchdog(cfg, "store exhaustion during recovery")
+        .expect_err("recovery cannot fetch through a dead read path");
+    match err {
+        RuntimeError::Recovery(RecoveryError::Store(StoreError::RetriesExhausted {
+            attempts,
+            ..
+        })) => {
+            assert_eq!(attempts, 4, "default retry budget");
+        }
+        other => panic!("expected a typed retry-exhaustion error, got: {other}"),
+    }
+}

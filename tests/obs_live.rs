@@ -69,8 +69,8 @@ fn slices(doc: &Json) -> Vec<Slice> {
 /// `fault-injected` → `fault-detected` → `recovery`, whose per-thread
 /// timestamps are monotonic with properly nested spans, and whose
 /// checkpoint-submit flows land on engine persist spans; the flight
-/// recorder dumps exactly once and holds the dead ranks' final compute
-/// spans.
+/// recorder dumps at suspicion and at declaration, the latter holding
+/// the dead ranks' final compute spans.
 #[test]
 fn fault_trace_links_injection_to_recovery() {
     let dir = std::env::temp_dir().join(format!("moc-obs-live-{}", std::process::id()));
@@ -183,11 +183,18 @@ fn fault_trace_links_injection_to_recovery() {
         }
     }
 
-    // The flight recorder fired exactly once — at fault declaration —
-    // and captured the dead node's ranks (node 1 hosts ranks 2 and 3)
-    // with their final compute span at the kill iteration.
-    assert_eq!(summary.obs.flight_dumps.len(), 1);
-    let dump = &summary.obs.flight_dumps[0];
+    // The flight recorder fired twice — once when the silent ranks were
+    // first *suspected* (evidence captured while still fresh) and once
+    // at declaration — and the declaration dump captured the dead
+    // node's ranks (node 1 hosts ranks 2 and 3) with their final
+    // compute span at the kill iteration.
+    assert_eq!(summary.obs.flight_dumps.len(), 2);
+    assert!(
+        summary.obs.flight_dumps[0].reason.contains("suspected"),
+        "{}",
+        summary.obs.flight_dumps[0].reason
+    );
+    let dump = &summary.obs.flight_dumps[1];
     assert!(dump.reason.contains("iteration 7"), "{}", dump.reason);
     for dead_rank in [2u32, 3u32] {
         let thread = dump
@@ -240,12 +247,12 @@ fn flight_recorder_survives_elastic_shrink() {
     assert_eq!(summary.recoveries, 2);
     assert_eq!(
         summary.obs.flight_dumps.len(),
-        summary.recoveries as usize,
-        "exactly one dump per detected fault"
+        2 * summary.recoveries as usize,
+        "one suspicion dump plus one declaration dump per detected fault"
     );
     let mut seqs: Vec<u64> = summary.obs.flight_dumps.iter().map(|d| d.seq).collect();
     seqs.dedup();
-    assert_eq!(seqs.len(), 2, "dump sequence numbers are unique");
+    assert_eq!(seqs.len(), 4, "dump sequence numbers are unique");
     for dump in &summary.obs.flight_dumps {
         assert!(
             dump.threads.iter().any(|t| !t.events.is_empty()),
