@@ -1,0 +1,149 @@
+//! Observability overhead: the cost of the tracing and live-telemetry
+//! planes on the training loop, and the proof that they are read-only.
+//!
+//! The same fault-free multi-rank training job runs four times:
+//!
+//! 1. **off** — observability fully disabled (the baseline);
+//! 2. **spans** — span recording + blame analysis, no sampler;
+//! 3. **telemetry_50ms** — spans plus the telemetry sampler at 50 ms;
+//! 4. **telemetry_5ms** — spans plus the sampler at 5 ms (aggressive).
+//!
+//! Every variant must end with bitwise-identical parameters — tracing
+//! and telemetry never touch the numerics — and the per-iteration
+//! slowdown of each variant over the baseline is reported and emitted
+//! as `BENCH_obs.json` so the perf regression gate can track it.
+//!
+//! Run with `cargo bench --bench fig21_obs_overhead`.
+
+use moc_bench::{banner, millis, pct};
+use moc_obs::Report;
+use moc_runtime::{CheckpointMode, Coordinator, ObsConfig, RunSummary, RuntimeConfig};
+use moc_store::MemoryObjectStore;
+use moc_train::PecMode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Variant {
+    label: &'static str,
+    summary: RunSummary,
+}
+
+fn run(obs: ObsConfig) -> RunSummary {
+    let topo = moc_core::ParallelTopology::dp_ep(2, 4, 8, 8).expect("topology");
+    let config = RuntimeConfig {
+        total_iterations: 40,
+        i_ckpt: 4,
+        eval_every: 0,
+        checkpoint_mode: CheckpointMode::Async,
+        k_snapshot: 4,
+        k_persist: 2,
+        pec_mode: PecMode::WO,
+        obs,
+        ..RuntimeConfig::tiny(topo)
+    };
+    // An in-memory store keeps file-system noise out of an overhead
+    // measurement that is mostly about the hot loop.
+    let store = Arc::new(MemoryObjectStore::new());
+    Coordinator::new(config, store)
+        .expect("valid config")
+        .run()
+        .expect("fault-free run")
+}
+
+fn main() {
+    banner("Fig. 21 — observability overhead: spans and telemetry vs a dark run");
+    let variants = [
+        Variant {
+            label: "off",
+            summary: run(ObsConfig::default()),
+        },
+        Variant {
+            label: "spans",
+            summary: run(ObsConfig::enabled()),
+        },
+        Variant {
+            label: "telemetry_50ms",
+            summary: run(ObsConfig::enabled().with_telemetry(Duration::from_millis(50))),
+        },
+        Variant {
+            label: "telemetry_5ms",
+            summary: run(ObsConfig::enabled().with_telemetry(Duration::from_millis(5))),
+        },
+    ];
+
+    let base = variants[0].summary.mean_iteration_secs();
+    println!("8 ranks on 2 nodes, tiny 8-expert LM, 40 iterations, async checkpoints");
+    println!(
+        "{:<16} {:>13} {:>10} {:>8} {:>8}",
+        "variant", "iter mean", "overhead", "spans", "samples"
+    );
+    for v in &variants {
+        let s = &v.summary;
+        println!(
+            "{:<16} {:>13} {:>10} {:>8} {:>8}",
+            v.label,
+            millis(s.mean_iteration_secs()),
+            pct(s.mean_iteration_secs() / base.max(1e-12) - 1.0),
+            s.obs.spans_recorded,
+            s.obs.telemetry.as_ref().map_or(0, |t| t.samples.len()),
+        );
+    }
+
+    // The whole point of the plane: it observes, it never perturbs.
+    let reference: Vec<u32> = variants[0]
+        .summary
+        .final_params
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    for v in &variants[1..] {
+        let bits: Vec<u32> = v.summary.final_params.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            bits, reference,
+            "variant {} must be bitwise identical to the dark run",
+            v.label
+        );
+    }
+    println!(
+        "final parameters bitwise identical across all {} variants",
+        variants.len()
+    );
+
+    for v in &variants[2..] {
+        let telemetry = v.summary.obs.telemetry.as_ref().expect("sampler on");
+        assert_eq!(
+            telemetry.totals().value(moc_obs::Counter::Iterations),
+            v.summary.iterations_executed,
+            "variant {}: telemetry totals track the loop",
+            v.label
+        );
+    }
+
+    let variant_entries = variants.iter().fold(Report::new(), |report, v| {
+        report.field(
+            v.label,
+            Report::new()
+                .field("mean_iteration_secs", v.summary.mean_iteration_secs())
+                .field("loop_secs", v.summary.loop_secs)
+                .field("ckpt_overhead_secs", v.summary.checkpoint_overhead_secs())
+                .field("spans_recorded", v.summary.obs.spans_recorded)
+                .field(
+                    "telemetry_samples",
+                    v.summary
+                        .obs
+                        .telemetry
+                        .as_ref()
+                        .map_or(0u64, |t| t.samples.len() as u64),
+                )
+                .json(),
+        )
+    });
+    let json_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_obs.json");
+    Report::new()
+        .field("bench", "fig21_obs_overhead")
+        .field("variants", variant_entries.json())
+        .field("bitwise_identical", true)
+        .write(&json_path)
+        .expect("write BENCH_obs.json");
+    println!("wrote {}", json_path.display());
+}

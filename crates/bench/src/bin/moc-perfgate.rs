@@ -1,0 +1,75 @@
+//! `moc-perfgate` — the perf regression gate CLI.
+//!
+//! ```text
+//! moc-perfgate <baseline.json> <candidate.json> [--scale <factor>]
+//! ```
+//!
+//! Diffs two schema'd `BENCH_*.json` reports under the per-metric
+//! tolerances of [`moc_bench::perfgate`] and prints the verdict.
+//! `--scale` multiplies every *relative* tolerance (CI uses it to
+//! compare against baselines recorded on different hardware; byte and
+//! count checks stay meaningful because those metrics are
+//! deterministic).
+//!
+//! Exit codes: `0` pass, `1` regression, `2` usage or parse error.
+
+use moc_bench::perfgate::{compare, GateConfig};
+use moc_obs::Json;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut scale = 1.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .ok_or_else(|| "--scale needs a value".to_string())?;
+                scale = value
+                    .parse::<f64>()
+                    .map_err(|_| format!("invalid --scale value {value:?}"))?;
+                if !scale.is_finite() || scale <= 0.0 {
+                    return Err(format!("--scale must be a positive number, got {value}"));
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: moc-perfgate <baseline.json> <candidate.json> [--scale <factor>]");
+                return Ok(true);
+            }
+            arg => paths.push(arg.to_string()),
+        }
+        i += 1;
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        return Err(
+            "usage: moc-perfgate <baseline.json> <candidate.json> [--scale <factor>]".into(),
+        );
+    };
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+    let config = GateConfig::default().scaled(scale);
+    let report = compare(&baseline, &candidate, &config);
+    println!("perfgate: {baseline_path} (baseline) vs {candidate_path} (candidate), scale {scale}");
+    print!("{}", report.render_text());
+    Ok(report.pass())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(message) => {
+            eprintln!("moc-perfgate: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

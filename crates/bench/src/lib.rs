@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod perfgate;
+
 /// Prints a section banner.
 pub fn banner(title: &str) {
     println!();

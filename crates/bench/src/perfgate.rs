@@ -1,0 +1,454 @@
+//! The perf regression gate: diff two schema'd `BENCH_*.json` reports
+//! with per-metric noise tolerances.
+//!
+//! Every figure bench persists a machine-readable `BENCH_*.json` at the
+//! repo root. [`compare`] flattens a baseline and a candidate report
+//! into dotted leaf keys (`modes.sync_full.ckpt_overhead_secs`,
+//! `worlds.0.ring_wait_p99_secs`, …), classifies each metric by its key
+//! suffix, and flags the candidate values that got *worse* than the
+//! baseline by more than the class tolerance:
+//!
+//! | class  | keys                                   | worse means | default tolerance |
+//! |--------|----------------------------------------|-------------|-------------------|
+//! | timing | `*_secs`, `*_ms`                       | larger      | +15 % rel, +0.5 ms abs |
+//! | bytes  | `*_bytes`                              | larger      | +5 % rel, +4 KiB abs |
+//! | count  | `*_count`, `*_shards`, `*_allocs`, `*_stalls`, `*_phases`, `*_retries`, `*_aborts` | larger | +25 % rel, +2 abs |
+//! | flag   | booleans                               | true→false  | none |
+//! | other  | everything numeric else (growth factors, ratios) | larger | +25 % rel |
+//!
+//! Timing regressions need both the relative *and* the absolute slack
+//! exceeded, so microsecond jitter on a sub-millisecond phase never
+//! trips the gate while a real slowdown on a meaty metric does. A
+//! metric present in the baseline but missing from the candidate is a
+//! schema regression; new candidate-only metrics are fine (reports are
+//! allowed to grow). The `moc-perfgate` binary wraps this: exit 0 on
+//! pass, 1 on regression, 2 on usage or parse errors.
+
+use moc_obs::Json;
+
+/// How a leaf metric is judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// Wall-time measurement — noisy, judged with generous slack.
+    Timing,
+    /// Byte count — near-deterministic, judged tightly.
+    Bytes,
+    /// Event/object count — deterministic-ish, small slack.
+    Count,
+    /// Boolean quality flag — must not flip from true to false.
+    Flag,
+    /// Any other numeric leaf (growth factors, ratios).
+    Other,
+}
+
+impl MetricClass {
+    /// Classifies a flattened key by its suffix.
+    pub fn of(key: &str) -> Self {
+        let leaf = key.rsplit('.').next().unwrap_or(key);
+        if leaf.ends_with("_secs") || leaf.ends_with("_ms") {
+            MetricClass::Timing
+        } else if leaf.ends_with("_bytes") {
+            MetricClass::Bytes
+        } else if leaf.ends_with("_count")
+            || leaf.ends_with("_shards")
+            || leaf.ends_with("_allocs")
+            || leaf.ends_with("_stalls")
+            || leaf.ends_with("_phases")
+            || leaf.ends_with("_retries")
+            || leaf.ends_with("_aborts")
+        {
+            MetricClass::Count
+        } else {
+            MetricClass::Other
+        }
+    }
+}
+
+/// Relative + absolute slack for one metric class. A candidate value
+/// regresses when it exceeds `baseline * (1 + rel)` *and*
+/// `baseline + abs`.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative headroom (0.15 = +15 %).
+    pub rel: f64,
+    /// Absolute headroom in the metric's own unit.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// The largest candidate value that still passes against `baseline`.
+    pub fn limit(&self, baseline: f64) -> f64 {
+        (baseline * (1.0 + self.rel)).max(baseline + self.abs)
+    }
+}
+
+/// Per-class tolerances of one gate run.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Slack for `*_secs` timing metrics.
+    pub timing: Tolerance,
+    /// Slack for `*_bytes` metrics.
+    pub bytes: Tolerance,
+    /// Slack for count metrics.
+    pub count: Tolerance,
+    /// Slack for every other numeric metric.
+    pub other: Tolerance,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        Self {
+            timing: Tolerance {
+                rel: 0.15,
+                abs: 0.5e-3,
+            },
+            bytes: Tolerance {
+                rel: 0.05,
+                abs: 4096.0,
+            },
+            count: Tolerance {
+                rel: 0.25,
+                abs: 2.0,
+            },
+            other: Tolerance {
+                rel: 0.25,
+                abs: 0.0,
+            },
+        }
+    }
+}
+
+impl GateConfig {
+    /// The tolerance applied to one metric class.
+    pub fn tolerance(&self, class: MetricClass) -> Tolerance {
+        match class {
+            MetricClass::Timing => self.timing,
+            MetricClass::Bytes => self.bytes,
+            MetricClass::Count => self.count,
+            MetricClass::Flag | MetricClass::Other => self.other,
+        }
+    }
+
+    /// Scales the *relative* slack of every class by `factor` — the CI
+    /// knob for comparing against baselines recorded on different
+    /// hardware.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.timing.rel *= factor;
+        self.bytes.rel *= factor;
+        self.count.rel *= factor;
+        self.other.rel *= factor;
+        self
+    }
+}
+
+/// One metric that got worse than its tolerance allows.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// Flattened metric key.
+    pub key: String,
+    /// The metric's class.
+    pub class: MetricClass,
+    /// Baseline value (NaN for a boolean flip or missing metric).
+    pub baseline: f64,
+    /// Candidate value (NaN when missing).
+    pub candidate: f64,
+    /// Human-readable verdict.
+    pub detail: String,
+}
+
+/// The outcome of one gate run.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Leaf metrics compared.
+    pub checked: usize,
+    /// Metrics that regressed past tolerance.
+    pub regressions: Vec<Regression>,
+    /// Metrics that moved in the *better* direction (informational).
+    pub improved: usize,
+}
+
+impl GateReport {
+    /// Whether the candidate passes the gate.
+    pub fn pass(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Renders the verdict for terminal output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "perfgate: {} metric(s) checked, {} improved, {} regression(s)\n",
+            self.checked,
+            self.improved,
+            self.regressions.len()
+        ));
+        for r in &self.regressions {
+            out.push_str(&format!("  REGRESSION {:<50} {}\n", r.key, r.detail));
+        }
+        if self.pass() {
+            out.push_str("perfgate: PASS\n");
+        } else {
+            out.push_str("perfgate: FAIL\n");
+        }
+        out
+    }
+}
+
+/// Flattens a JSON tree into `(dotted key, leaf)` pairs. Strings are
+/// kept (schema identity checks); arrays use the element index as the
+/// path segment.
+fn flatten<'a>(prefix: &str, value: &'a Json, out: &mut Vec<(String, &'a Json)>) {
+    match value {
+        Json::Obj(fields) => {
+            for (k, v) in fields {
+                let key = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}.{k}")
+                };
+                flatten(&key, v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(&format!("{prefix}.{i}"), v, out);
+            }
+        }
+        _ => out.push((prefix.to_string(), value)),
+    }
+}
+
+/// Compares `candidate` against `baseline` under `config`. Every leaf
+/// of the baseline must exist in the candidate with a value no worse
+/// than its class tolerance allows.
+pub fn compare(baseline: &Json, candidate: &Json, config: &GateConfig) -> GateReport {
+    let mut base_leaves = Vec::new();
+    flatten("", baseline, &mut base_leaves);
+    let mut cand_leaves = Vec::new();
+    flatten("", candidate, &mut cand_leaves);
+    let cand: std::collections::BTreeMap<&str, &Json> =
+        cand_leaves.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+
+    let mut report = GateReport::default();
+    for (key, base) in &base_leaves {
+        let class = MetricClass::of(key);
+        let Some(&cand_value) = cand.get(key.as_str()) else {
+            report.checked += 1;
+            report.regressions.push(Regression {
+                key: key.clone(),
+                class,
+                baseline: base.as_f64().unwrap_or(f64::NAN),
+                candidate: f64::NAN,
+                detail: "present in baseline, missing from candidate".into(),
+            });
+            continue;
+        };
+        report.checked += 1;
+        match (base, cand_value) {
+            (Json::Bool(b), Json::Bool(c)) => {
+                if *b && !*c {
+                    report.regressions.push(Regression {
+                        key: key.clone(),
+                        class: MetricClass::Flag,
+                        baseline: 1.0,
+                        candidate: 0.0,
+                        detail: "quality flag flipped true -> false".into(),
+                    });
+                }
+            }
+            (Json::Str(b), Json::Str(c)) => {
+                if b != c {
+                    report.regressions.push(Regression {
+                        key: key.clone(),
+                        class: MetricClass::Flag,
+                        baseline: f64::NAN,
+                        candidate: f64::NAN,
+                        detail: format!("schema identity changed: {b:?} -> {c:?}"),
+                    });
+                }
+            }
+            (Json::Num(b), Json::Num(c)) => {
+                let tolerance = config.tolerance(class);
+                let limit = tolerance.limit(*b);
+                if *c > limit {
+                    let pct = if *b > 0.0 {
+                        format!("{:+.1}%", 100.0 * (c - b) / b)
+                    } else {
+                        "from zero".to_string()
+                    };
+                    report.regressions.push(Regression {
+                        key: key.clone(),
+                        class,
+                        baseline: *b,
+                        candidate: *c,
+                        detail: format!("{b:.6} -> {c:.6} ({pct}), limit {limit:.6} ({class:?})"),
+                    });
+                } else if *c < *b {
+                    report.improved += 1;
+                }
+            }
+            // Type mismatch (e.g. number became null): schema drift.
+            _ => report.regressions.push(Regression {
+                key: key.clone(),
+                class,
+                baseline: base.as_f64().unwrap_or(f64::NAN),
+                candidate: cand_value.as_f64().unwrap_or(f64::NAN),
+                detail: "leaf type changed between baseline and candidate".into(),
+            }),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Json {
+        Json::parse(
+            r#"{
+              "bench": "fig18_ckpt_overhead",
+              "modes": {
+                "sync_full": {
+                  "ckpt_overhead_secs": 0.100,
+                  "mean_iteration_secs": 0.080,
+                  "persisted_bytes": 47774628,
+                  "stall_count": 0
+                },
+                "async_partial_delta": {
+                  "ckpt_overhead_secs": 0.002,
+                  "mean_iteration_secs": 0.062,
+                  "persisted_bytes": 20383572,
+                  "stall_count": 0
+                }
+              },
+              "eq16_moc_beats_full": true
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let report = compare(&fixture(), &fixture(), &GateConfig::default());
+        assert!(report.pass(), "{}", report.render_text());
+        assert!(report.checked >= 10);
+        assert_eq!(report.improved, 0);
+    }
+
+    #[test]
+    fn seeded_twenty_percent_slowdown_is_caught() {
+        let base = fixture();
+        let mut slow = fixture();
+        // Stretch one timing metric by 20 %: past the default
+        // 15 % + 0.5 ms slack on a 100 ms metric.
+        if let Json::Obj(fields) = &mut slow {
+            if let Some((_, Json::Obj(modes))) = fields.iter_mut().find(|(k, _)| k == "modes") {
+                if let Some((_, Json::Obj(mode))) = modes.iter_mut().find(|(k, _)| k == "sync_full")
+                {
+                    for (k, v) in mode.iter_mut() {
+                        if k == "ckpt_overhead_secs" {
+                            *v = Json::from(0.120);
+                        }
+                    }
+                }
+            }
+        }
+        let report = compare(&base, &slow, &GateConfig::default());
+        assert!(!report.pass(), "a 20% slowdown must fail the gate");
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(
+            report.regressions[0].key,
+            "modes.sync_full.ckpt_overhead_secs"
+        );
+        assert_eq!(report.regressions[0].class, MetricClass::Timing);
+    }
+
+    #[test]
+    fn small_jitter_passes_but_improvements_count() {
+        let base = fixture();
+        let mut jitter = fixture();
+        if let Json::Obj(fields) = &mut jitter {
+            if let Some((_, Json::Obj(modes))) = fields.iter_mut().find(|(k, _)| k == "modes") {
+                if let Some((_, Json::Obj(mode))) = modes.iter_mut().find(|(k, _)| k == "sync_full")
+                {
+                    for (k, v) in mode.iter_mut() {
+                        if k == "ckpt_overhead_secs" {
+                            *v = Json::from(0.108); // +8% < 15% slack
+                        }
+                        if k == "mean_iteration_secs" {
+                            *v = Json::from(0.070); // got faster
+                        }
+                    }
+                }
+            }
+        }
+        let report = compare(&base, &jitter, &GateConfig::default());
+        assert!(report.pass(), "{}", report.render_text());
+        assert_eq!(report.improved, 1);
+    }
+
+    #[test]
+    fn absolute_floor_shields_microsecond_metrics() {
+        let base = Json::parse(r#"{"tiny_secs": 0.0001}"#).unwrap();
+        // 3x slower but still within the 0.5 ms absolute floor.
+        let cand = Json::parse(r#"{"tiny_secs": 0.0003}"#).unwrap();
+        assert!(compare(&base, &cand, &GateConfig::default()).pass());
+        // Past the floor it fails regardless of the tiny baseline.
+        let cand = Json::parse(r#"{"tiny_secs": 0.0009}"#).unwrap();
+        assert!(!compare(&base, &cand, &GateConfig::default()).pass());
+    }
+
+    #[test]
+    fn missing_metric_and_flag_flip_are_schema_regressions() {
+        let base = fixture();
+        let missing = Json::parse(r#"{"bench": "fig18_ckpt_overhead"}"#).unwrap();
+        let report = compare(&base, &missing, &GateConfig::default());
+        assert!(!report.pass());
+        assert!(report.regressions.len() >= 9, "{}", report.render_text());
+
+        let mut flipped = fixture();
+        if let Json::Obj(fields) = &mut flipped {
+            for (k, v) in fields.iter_mut() {
+                if k == "eq16_moc_beats_full" {
+                    *v = Json::Bool(false);
+                }
+            }
+        }
+        let report = compare(&base, &flipped, &GateConfig::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].detail.contains("flag"));
+    }
+
+    #[test]
+    fn renamed_bench_fails_identity_check() {
+        let base = fixture();
+        let mut renamed = fixture();
+        if let Json::Obj(fields) = &mut renamed {
+            for (k, v) in fields.iter_mut() {
+                if k == "bench" {
+                    *v = Json::from("some_other_bench");
+                }
+            }
+        }
+        assert!(!compare(&base, &renamed, &GateConfig::default()).pass());
+    }
+
+    #[test]
+    fn scaled_config_loosens_relative_slack() {
+        let base = Json::parse(r#"{"x_secs": 0.100}"#).unwrap();
+        let cand = Json::parse(r#"{"x_secs": 0.130}"#).unwrap();
+        assert!(!compare(&base, &cand, &GateConfig::default()).pass());
+        assert!(compare(&base, &cand, &GateConfig::default().scaled(3.0)).pass());
+    }
+
+    #[test]
+    fn counts_get_integer_slack() {
+        let base = Json::parse(r#"{"pool_allocs": 4}"#).unwrap();
+        // +2 absolute slack dominates the 25% relative slack at small n.
+        let cand = Json::parse(r#"{"pool_allocs": 6}"#).unwrap();
+        assert!(compare(&base, &cand, &GateConfig::default()).pass());
+        let cand = Json::parse(r#"{"pool_allocs": 9}"#).unwrap();
+        assert!(!compare(&base, &cand, &GateConfig::default()).pass());
+    }
+}

@@ -25,6 +25,7 @@ use moc_obs::{ckpt_flow_id, Flow, SpanKind, TraceSink};
 use moc_store::{NodeMemoryStore, ObjectStore, ShardKey};
 use parking_lot::{Condvar, Mutex};
 use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -81,6 +82,9 @@ struct Inner {
     drained: Condvar,
     /// Submit-side counters plus the writer's latest snapshot.
     stats: Mutex<EngineStats>,
+    /// Cumulative bytes the writer stored, mirrored lock-free after
+    /// every batch so a telemetry sampler can probe it live.
+    persisted_bytes: Arc<AtomicU64>,
 }
 
 /// Asynchronous checkpoint engine of one node.
@@ -135,6 +139,7 @@ impl CkptEngine {
             inflight: Mutex::new(0),
             drained: Condvar::new(),
             stats: Mutex::new(EngineStats::default()),
+            persisted_bytes: Arc::new(AtomicU64::new(0)),
         });
         let (tx, rx) = unbounded::<Batch>();
         let writer = ShardWriter::with_pool(writer_id, store, config, pool.clone());
@@ -227,6 +232,13 @@ impl CkptEngine {
         }
     }
 
+    /// A shared handle on the cumulative bytes this engine's writer has
+    /// stored, updated after every drained batch — safe for read-only
+    /// sampling (e.g. a telemetry plane) while the writer runs.
+    pub fn persisted_bytes_probe(&self) -> Arc<AtomicU64> {
+        self.inner.persisted_bytes.clone()
+    }
+
     /// Current counters (submit side + the writer's last completed batch).
     pub fn stats(&self) -> EngineStats {
         let mut stats = self.inner.stats.lock().clone();
@@ -293,6 +305,9 @@ fn writer_loop(
         {
             let mut stats = inner.stats.lock();
             stats.writer = writer.stats();
+            inner
+                .persisted_bytes
+                .store(stats.writer.stored_bytes, Ordering::Relaxed);
             if let Err(e) = result {
                 stats.errors.push(format!(
                     "persist of version {} aborted uncommitted: {e}",

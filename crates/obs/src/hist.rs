@@ -21,6 +21,11 @@ pub const NUM_BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize * SUB_BUCKETS;
 #[derive(Clone, Copy, PartialEq)]
 pub struct LogHistogram {
     counts: [u32; NUM_BUCKETS],
+    /// Samples at or past the 64 s ceiling. Kept out of the top bucket
+    /// so percentile queries can report the ceiling itself instead of
+    /// the top bucket's midpoint (~61 s), which would *understate* a
+    /// saturated tail.
+    saturated: u32,
 }
 
 impl Default for LogHistogram {
@@ -29,6 +34,7 @@ impl Default for LogHistogram {
         // `Default` impl, hence the manual one.
         Self {
             counts: [0; NUM_BUCKETS],
+            saturated: 0,
         }
     }
 }
@@ -50,19 +56,30 @@ impl LogHistogram {
     }
 
     /// Records one duration. Non-positive and NaN samples land in the
-    /// smallest bucket; samples past 64 s saturate into the largest.
+    /// smallest bucket; samples at or past 64 s count as saturated and
+    /// report the 64 s ceiling from percentile queries.
     pub fn record(&mut self, secs: f64) {
-        let i = Self::bucket_index(secs);
-        self.counts[i] = self.counts[i].saturating_add(1);
+        match Self::bucket_index(secs) {
+            Some(i) => self.counts[i] = self.counts[i].saturating_add(1),
+            None => self.saturated = self.saturated.saturating_add(1),
+        }
     }
 
-    /// Total number of recorded samples.
+    /// Total number of recorded samples (saturated ones included).
     pub fn count(&self) -> u64 {
-        self.counts.iter().map(|&c| u64::from(c)).sum()
+        self.counts.iter().map(|&c| u64::from(c)).sum::<u64>() + u64::from(self.saturated)
+    }
+
+    /// Samples recorded at or past the 64 s ceiling.
+    pub fn saturated(&self) -> u64 {
+        u64::from(self.saturated)
     }
 
     /// The `q`-quantile (`q` in `[0, 1]`) as the geometric midpoint of
-    /// the bucket holding the target rank; `0.0` when empty.
+    /// the bucket holding the target rank; `0.0` when empty. A rank
+    /// falling in the saturated region reports the 64 s ceiling (a
+    /// lower bound on the true value), never a bucket midpoint below
+    /// it.
     pub fn percentile(&self, q: f64) -> f64 {
         let total = self.count();
         if total == 0 {
@@ -77,27 +94,33 @@ impl LogHistogram {
                 return Self::bucket_value(i);
             }
         }
-        Self::bucket_value(NUM_BUCKETS - 1)
+        f64::from(MAX_EXP).exp2()
     }
 
-    /// Merges another histogram's samples into this one.
+    /// Merges another histogram's samples into this one. Merging an
+    /// empty histogram is a no-op (and merging into an empty one makes
+    /// an exact copy): counts, saturation, and every percentile are
+    /// preserved.
     pub fn merge(&mut self, other: &Self) {
         for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
             *a = a.saturating_add(b);
         }
+        self.saturated = self.saturated.saturating_add(other.saturated);
     }
 
-    fn bucket_index(secs: f64) -> usize {
+    /// The bucket for a sample, or `None` when it saturates past the
+    /// 64 s ceiling.
+    fn bucket_index(secs: f64) -> Option<usize> {
         if secs <= 0.0 || secs.is_nan() {
-            return 0;
+            return Some(0);
         }
         let pos = (secs.log2() - f64::from(MIN_EXP)) * SUB_BUCKETS as f64;
         if pos < 0.0 {
-            0
+            Some(0)
         } else if pos >= NUM_BUCKETS as f64 {
-            NUM_BUCKETS - 1
+            None
         } else {
-            pos as usize
+            Some(pos as usize)
         }
     }
 
@@ -171,5 +194,59 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 3);
         assert!(a.percentile(1.0) > 0.3);
+    }
+
+    /// Merging an empty histogram must be a no-op, and merging into an
+    /// empty one must reproduce the source exactly — including the
+    /// saturation count.
+    #[test]
+    fn merging_an_empty_histogram_preserves_everything() {
+        let mut h = LogHistogram::new();
+        for i in 1..=100u64 {
+            h.record(i as f64 * 1e-3);
+        }
+        h.record(1e9); // saturated
+        let before = h;
+        h.merge(&LogHistogram::new());
+        assert_eq!(h, before, "merging empty must not change the histogram");
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), before.percentile(q), "q={q}");
+        }
+        let mut empty = LogHistogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before, "merging into empty must copy exactly");
+        assert_eq!(empty.saturated(), 1);
+        let mut both = LogHistogram::new();
+        both.merge(&LogHistogram::new());
+        assert_eq!(both.count(), 0);
+        assert_eq!(both.percentile(0.5), 0.0);
+    }
+
+    /// A saturated tail must never be *understated*: ranks falling in
+    /// the saturated region report the 64 s ceiling, not the top
+    /// bucket's geometric midpoint (~61 s).
+    #[test]
+    fn saturated_percentiles_report_the_ceiling() {
+        let mut h = LogHistogram::new();
+        h.record(1.0);
+        h.record(500.0); // way past the 64 s ceiling
+        assert_eq!(h.saturated(), 1);
+        assert_eq!(h.percentile(1.0), 64.0, "lower bound on the true 500 s");
+        assert!(h.percentile(0.25) < 2.0, "in-range samples keep midpoints");
+        // All-saturated: every quantile is the ceiling.
+        let mut all = LogHistogram::new();
+        for _ in 0..10 {
+            all.record(1e6);
+        }
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(all.percentile(q), 64.0, "q={q}");
+        }
+        // A legitimate top-bucket sample (just under 64 s) still gets
+        // its midpoint, below the ceiling.
+        let mut edge = LogHistogram::new();
+        edge.record(63.0);
+        assert_eq!(edge.saturated(), 0);
+        assert!(edge.percentile(1.0) < 64.0);
+        assert!(edge.percentile(1.0) > 55.0);
     }
 }

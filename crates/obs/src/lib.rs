@@ -1,6 +1,6 @@
 //! moc-obs: observability for the MoC-System runtime.
 //!
-//! Zero dependencies beyond the workspace (std only). Four pieces:
+//! Zero dependencies beyond the workspace (std only). Six pieces:
 //!
 //! - **Span recording** ([`sink`]): every runtime thread (rank,
 //!   coordinator, checkpoint-engine writer) holds a [`TraceSink`] and
@@ -22,6 +22,20 @@
 //! - **Log-scale latency histograms** ([`hist`]): fixed-footprint
 //!   `log2`-bucketed histograms giving p50/p99/max per phase with ~9 %
 //!   relative error and no allocation on the record path.
+//! - **Live telemetry** ([`telemetry`]): per-thread atomic counter
+//!   cells plus read-only probes into existing counters, sampled by a
+//!   dedicated thread at [`ObsConfig::telemetry_interval`] into an
+//!   in-memory time series, streamed as a Prometheus-text
+//!   `telemetry.prom` snapshot during the run and flushed as a
+//!   `telemetry.json` series at the end — a degrading run is visible
+//!   while it runs, and sampling is read-only so enabled runs stay
+//!   bitwise identical to disabled ones.
+//! - **Critical-path blame** ([`critical`]): a priority sweep over the
+//!   merged spans attributing every slice of each iteration's wall
+//!   time to exactly one category (compute, exposed ring/tp/pp wait,
+//!   ckpt, straggler stall, recovery, …), per iteration and aggregate,
+//!   plus an incident report correlating chaos-plane events with their
+//!   measured latency impact.
 //!
 //! [`json`] is a minimal JSON value (build/print/parse — the vendored
 //! `serde` is an API stand-in with no runtime behaviour) and [`report`]
@@ -57,17 +71,23 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod critical;
 pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod report;
 pub mod sink;
+pub mod telemetry;
 
+pub use critical::{
+    BlameCategory, BlameReport, Incident, IncidentKind, IterationBlame, RankPhases,
+};
 pub use flight::{FlightDump, FlightThread};
 pub use hist::LogHistogram;
 pub use json::Json;
 pub use report::{render_phase_table, render_timeline, PhaseRow, Report, TimelineRow};
 pub use sink::{
     ckpt_flow_id, Flow, ObsConfig, ObsRunReport, SpanKind, ThreadNames, TraceCollector, TraceEvent,
-    TraceSink,
+    TraceSink, BACKGROUND_TID_BASE,
 };
+pub use telemetry::{Counter, Telemetry, TelemetryCell, TelemetryReport, TelemetrySample};

@@ -11,14 +11,22 @@
 //! one branch on an `Option` that is `None`.
 
 use crate::chrome;
+use crate::critical::{self, BlameReport, RankPhases};
 use crate::flight::{FlightDump, FlightThread};
 use crate::json::Json;
+use crate::telemetry::{Counter, Telemetry, TelemetryCell, TelemetryReport};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// First tid of the background lanes (checkpoint-engine writers live
+/// at `BACKGROUND_TID_BASE + node`). Spans on these lanes are real but
+/// off the training critical path, so the blame analyzer and the
+/// per-rank breakdown skip them.
+pub const BACKGROUND_TID_BASE: u32 = 1_000_000;
 
 /// Observability switches for a run.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,6 +40,12 @@ pub struct ObsConfig {
     /// `<stem>-flight-<n>.{json,txt}` dumps). `None` keeps everything
     /// in memory.
     pub trace_path: Option<PathBuf>,
+    /// Live-telemetry sampling interval. `Some(interval)` spawns a
+    /// sampler thread that snapshots the counter cells on this cadence
+    /// (clamped to ≥ 1 ms), streaming `telemetry.prom` next to the
+    /// trace file and keeping the series for `telemetry.json`. `None`
+    /// keeps the telemetry plane fully inert.
+    pub telemetry_interval: Option<Duration>,
 }
 
 impl Default for ObsConfig {
@@ -40,6 +54,7 @@ impl Default for ObsConfig {
             enabled: false,
             flight_recorder_len: 64,
             trace_path: None,
+            telemetry_interval: None,
         }
     }
 }
@@ -60,6 +75,12 @@ impl ObsConfig {
             trace_path: Some(path.into()),
             ..Self::default()
         }
+    }
+
+    /// Turns the live telemetry sampler on at `interval`.
+    pub fn with_telemetry(mut self, interval: Duration) -> Self {
+        self.telemetry_interval = Some(interval);
+        self
     }
 }
 
@@ -227,9 +248,10 @@ struct Shared {
 
 /// The run-wide span collector. Cheap to clone-by-`sink` handles; owns
 /// the anchor clock, the merged span buffer, the flight-recorder
-/// rings, and the export paths.
+/// rings, the live-telemetry sampler, and the export paths.
 pub struct TraceCollector {
     shared: Option<Arc<Shared>>,
+    telemetry: Mutex<Option<Telemetry>>,
 }
 
 impl fmt::Debug for TraceCollector {
@@ -247,24 +269,58 @@ impl TraceCollector {
         if !config.enabled {
             return Self::disabled();
         }
+        let shared = Arc::new(Shared {
+            anchor: Instant::now(),
+            ring_len: config.flight_recorder_len.max(1),
+            trace_path: config.trace_path.clone(),
+            merged: Mutex::new(Vec::new()),
+            names: Mutex::new(ThreadNames::default()),
+            rings: Mutex::new(Vec::new()),
+            dumps: Mutex::new(Vec::new()),
+            flow_ids: AtomicU64::new(0),
+            dump_seq: AtomicU64::new(0),
+        });
+        let telemetry = config.telemetry_interval.map(|interval| {
+            let prom_path = config
+                .trace_path
+                .as_ref()
+                .map(|trace| trace.with_file_name("telemetry.prom"));
+            Telemetry::start(shared.anchor, interval, prom_path)
+        });
         Self {
-            shared: Some(Arc::new(Shared {
-                anchor: Instant::now(),
-                ring_len: config.flight_recorder_len.max(1),
-                trace_path: config.trace_path.clone(),
-                merged: Mutex::new(Vec::new()),
-                names: Mutex::new(ThreadNames::default()),
-                rings: Mutex::new(Vec::new()),
-                dumps: Mutex::new(Vec::new()),
-                flow_ids: AtomicU64::new(0),
-                dump_seq: AtomicU64::new(0),
-            })),
+            shared: Some(shared),
+            telemetry: Mutex::new(telemetry),
         }
     }
 
     /// An inert collector: every derived sink is disabled.
     pub fn disabled() -> Self {
-        Self { shared: None }
+        Self {
+            shared: None,
+            telemetry: Mutex::new(None),
+        }
+    }
+
+    /// Registers a live-telemetry counter cell for one thread; inert
+    /// when the telemetry plane is off.
+    pub fn telemetry_cell(&self) -> TelemetryCell {
+        lock(&self.telemetry)
+            .as_ref()
+            .map(Telemetry::cell)
+            .unwrap_or_default()
+    }
+
+    /// Registers an externally owned monotonic counter (e.g. the retry
+    /// store's retry count) for the telemetry sampler to read.
+    pub fn telemetry_probe(&self, counter: Counter, source: Arc<AtomicU64>) {
+        if let Some(telemetry) = lock(&self.telemetry).as_ref() {
+            telemetry.probe(counter, source);
+        }
+    }
+
+    /// Whether the live telemetry sampler is running.
+    pub fn telemetry_enabled(&self) -> bool {
+        lock(&self.telemetry).is_some()
     }
 
     /// Whether spans are being recorded.
@@ -385,13 +441,15 @@ impl TraceCollector {
             .unwrap_or_default()
     }
 
-    /// Finishes the run: renders the Chrome trace (when a path is
-    /// configured) and returns the run report. Call after every sink
-    /// has flushed (dropped).
+    /// Finishes the run: stops the telemetry sampler, renders the
+    /// Chrome trace (when a path is configured), runs the critical-path
+    /// blame analysis, and returns the run report. Call after every
+    /// sink has flushed (dropped).
     pub fn finish(&self) -> ObsRunReport {
         let Some(shared) = &self.shared else {
             return ObsRunReport::default();
         };
+        let telemetry = lock(&self.telemetry).take().map(Telemetry::finish);
         let events = lock(&shared.merged).clone();
         let names = lock(&shared.names).clone();
         let mut trace_path = None;
@@ -404,11 +462,31 @@ impl TraceCollector {
                 Err(e) => eprintln!("moc-obs: trace write failed ({}): {e}", path.display()),
             }
         }
+        let blame = critical::analyze(&events, telemetry.as_ref().map(|t| t.samples.as_slice()));
+        let mut blame_path = None;
+        if let Some(trace) = &shared.trace_path {
+            let path = trace.with_file_name("blame.json");
+            match std::fs::write(&path, format!("{}\n", blame.to_json().pretty())) {
+                Ok(()) => blame_path = Some(path),
+                Err(e) => eprintln!("moc-obs: blame report write failed: {e}"),
+            }
+        }
+        let per_rank = critical::per_rank_breakdown(&events, &|pid, tid| {
+            format!(
+                "{}/{}",
+                names.process_label(pid),
+                names.thread_label(pid, tid)
+            )
+        });
         ObsRunReport {
             enabled: true,
             spans_recorded: events.len() as u64,
             flight_dumps: lock(&shared.dumps).clone(),
             trace_path,
+            per_rank,
+            blame: Some(blame),
+            blame_path,
+            telemetry,
         }
     }
 }
@@ -424,6 +502,16 @@ pub struct ObsRunReport {
     pub flight_dumps: Vec<FlightDump>,
     /// Where `trace.json` was written, if anywhere.
     pub trace_path: Option<PathBuf>,
+    /// Per-lane phase totals (ranks and coordinator; background engine
+    /// writers excluded).
+    pub per_rank: Vec<RankPhases>,
+    /// Critical-path blame + incident analysis over the merged spans
+    /// (`Some` whenever observability was on).
+    pub blame: Option<BlameReport>,
+    /// Where `blame.json` was written, if anywhere.
+    pub blame_path: Option<PathBuf>,
+    /// The live-telemetry series, when the sampler was on.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// A per-thread span recorder. Append-only and unsynchronized on the
@@ -584,9 +672,8 @@ mod tests {
     #[test]
     fn flight_ring_is_bounded_and_survives_sink_reissue() {
         let config = ObsConfig {
-            enabled: true,
             flight_recorder_len: 4,
-            trace_path: None,
+            ..ObsConfig::enabled()
         };
         let collector = TraceCollector::new(&config);
         let mut sink = collector.sink(1, 2, "node1", "rank 2");
@@ -617,6 +704,48 @@ mod tests {
         assert_eq!(thread.events.len(), 4);
         assert_eq!(thread.events.last().unwrap().iteration, 10);
         assert_eq!(thread.events.first().unwrap().iteration, 7);
+    }
+
+    #[test]
+    fn finish_runs_blame_and_per_rank_analysis() {
+        let collector = TraceCollector::new(&ObsConfig::enabled());
+        let mut a = collector.sink(0, 0, "node0", "rank 0");
+        let mut b = collector.sink(0, 1, "node0", "rank 1");
+        a.record(SpanKind::Phase, "compute", 1, 0.0, 0.5, Flow::None);
+        b.record(SpanKind::Phase, "compute", 1, 0.0, 0.3, Flow::None);
+        b.record(SpanKind::Collective, "tp-sync", 1, 0.3, 0.1, Flow::None);
+        drop(a);
+        drop(b);
+        let report = collector.finish();
+        let blame = report.blame.as_ref().unwrap();
+        assert_eq!(blame.iterations.len(), 1);
+        assert!((blame.total_wall_secs - 0.5).abs() < 1e-9);
+        assert_eq!(report.per_rank.len(), 2);
+        assert_eq!(report.per_rank[0].label, "node0/rank 0");
+        assert!(report.telemetry.is_none(), "sampler off by default");
+    }
+
+    #[test]
+    fn telemetry_cells_ride_the_collector_lifecycle() {
+        let config = ObsConfig::enabled().with_telemetry(Duration::from_millis(2));
+        let collector = TraceCollector::new(&config);
+        assert!(collector.telemetry_enabled());
+        let cell = collector.telemetry_cell();
+        assert!(cell.is_enabled());
+        cell.add(Counter::CkptBytes, 128);
+        let probe = Arc::new(AtomicU64::new(3));
+        collector.telemetry_probe(Counter::StoreRetries, probe);
+        std::thread::sleep(Duration::from_millis(10));
+        let report = collector.finish();
+        let telemetry = report.telemetry.as_ref().unwrap();
+        assert!(!telemetry.samples.is_empty());
+        let totals = telemetry.totals();
+        assert_eq!(totals.value(Counter::CkptBytes), 128);
+        assert_eq!(totals.value(Counter::StoreRetries), 3);
+        // Disabled collectors hand out inert cells.
+        let disabled = TraceCollector::disabled();
+        assert!(!disabled.telemetry_cell().is_enabled());
+        assert!(!disabled.telemetry_enabled());
     }
 
     #[test]

@@ -1,0 +1,550 @@
+//! Live telemetry: per-thread counter cells, a sampling thread, and
+//! Prometheus-style exposition.
+//!
+//! Spans ([`crate::sink`]) answer *what happened* after a run ends; the
+//! telemetry plane answers *how is it going* while the run is alive.
+//! Every participating thread gets a [`TelemetryCell`] — a fixed array
+//! of relaxed atomics, one per [`Counter`] — and bumps it from the hot
+//! path with no locks and no allocation. Components that already keep
+//! their own monotonic counters (the retry store, the checkpoint
+//! engines) register them as read-only *probes* instead of
+//! double-counting.
+//!
+//! A sampler thread wakes at the configured interval
+//! ([`crate::ObsConfig::telemetry_interval`]), sums cells and probes
+//! into a [`TelemetrySample`], appends it to a bounded in-memory
+//! time-series ring, and — when a trace dir is configured — rewrites
+//! `telemetry.prom`, a Prometheus-text snapshot of the current totals,
+//! so an operator (or a scrape loop) can watch a degrading run live.
+//! [`Telemetry::finish`] takes a final sample, writes the full series
+//! as `telemetry.json`, and returns the [`TelemetryReport`].
+//!
+//! The whole plane is inert when disabled: a disabled cell is an
+//! `Option` that is `None`, so every `add` is a single branch, and no
+//! sampler thread exists. Sampling is read-only — it never perturbs
+//! the training numerics, which is what keeps telemetry-enabled runs
+//! bitwise identical to disabled ones.
+
+use crate::json::Json;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Number of distinct counters in a cell.
+pub const COUNTER_COUNT: usize = 14;
+
+/// Samples retained in the in-memory time-series ring; older samples
+/// are dropped (the `telemetry.prom` snapshot always reflects current
+/// totals regardless).
+const SAMPLE_RING_LEN: usize = 16_384;
+
+/// One streamed counter. Durations are accumulated as nanoseconds and
+/// exposed as `*_seconds_total`; everything else is a plain count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Counter {
+    /// Training iterations completed.
+    Iterations = 0,
+    /// Wall time spent in the training loop (per-iteration latency).
+    IterationNanos = 1,
+    /// Rank time in forward/backward compute.
+    ComputeNanos = 2,
+    /// Rank time in collective legs (tp-sync, pp-wait/relay, ring).
+    CollectiveNanos = 3,
+    /// Rank time lost to injected straggler stalls.
+    StallNanos = 4,
+    /// Training-path checkpoint time (collect/serialize/submit).
+    CkptNanos = 5,
+    /// Bytes handed to checkpoint engines on the training path.
+    CkptBytes = 6,
+    /// Checkpoint submissions that stalled on the in-flight limit.
+    CkptStalls = 7,
+    /// Bytes the background engine writers persisted to the store.
+    PersistedBytes = 8,
+    /// Store operations retried after a transient failure.
+    StoreRetries = 9,
+    /// Ranks entering suspicion (missed heartbeats).
+    Suspicions = 10,
+    /// Suspicions that cleared without a declared fault.
+    SuspicionsCleared = 11,
+    /// Declared faults recovered from.
+    Recoveries = 12,
+    /// Wall time spent inside recovery (plan + fetch + restore).
+    RecoveryNanos = 13,
+}
+
+impl Counter {
+    /// Every counter, in cell-slot order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::Iterations,
+        Counter::IterationNanos,
+        Counter::ComputeNanos,
+        Counter::CollectiveNanos,
+        Counter::StallNanos,
+        Counter::CkptNanos,
+        Counter::CkptBytes,
+        Counter::CkptStalls,
+        Counter::PersistedBytes,
+        Counter::StoreRetries,
+        Counter::Suspicions,
+        Counter::SuspicionsCleared,
+        Counter::Recoveries,
+        Counter::RecoveryNanos,
+    ];
+
+    /// The counter's slot in a cell.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether the raw value is nanoseconds (exposed as seconds).
+    pub fn is_nanos(self) -> bool {
+        matches!(
+            self,
+            Counter::IterationNanos
+                | Counter::ComputeNanos
+                | Counter::CollectiveNanos
+                | Counter::StallNanos
+                | Counter::CkptNanos
+                | Counter::RecoveryNanos
+        )
+    }
+
+    /// Stable Prometheus metric name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Iterations => "moc_iterations_total",
+            Counter::IterationNanos => "moc_iteration_seconds_total",
+            Counter::ComputeNanos => "moc_compute_seconds_total",
+            Counter::CollectiveNanos => "moc_collective_seconds_total",
+            Counter::StallNanos => "moc_straggler_stall_seconds_total",
+            Counter::CkptNanos => "moc_ckpt_seconds_total",
+            Counter::CkptBytes => "moc_ckpt_bytes_total",
+            Counter::CkptStalls => "moc_ckpt_stalls_total",
+            Counter::PersistedBytes => "moc_persisted_bytes_total",
+            Counter::StoreRetries => "moc_store_retries_total",
+            Counter::Suspicions => "moc_suspicions_total",
+            Counter::SuspicionsCleared => "moc_suspicions_cleared_total",
+            Counter::Recoveries => "moc_recoveries_total",
+            Counter::RecoveryNanos => "moc_recovery_seconds_total",
+        }
+    }
+
+    fn help(self) -> &'static str {
+        match self {
+            Counter::Iterations => "Training iterations completed",
+            Counter::IterationNanos => "Wall seconds spent in the training loop",
+            Counter::ComputeNanos => "Rank seconds in forward/backward compute",
+            Counter::CollectiveNanos => "Rank seconds in collective legs",
+            Counter::StallNanos => "Rank seconds lost to straggler stalls",
+            Counter::CkptNanos => "Training-path checkpoint seconds",
+            Counter::CkptBytes => "Bytes handed to checkpoint engines",
+            Counter::CkptStalls => "Checkpoint submissions that stalled",
+            Counter::PersistedBytes => "Bytes persisted by engine writers",
+            Counter::StoreRetries => "Store operations retried",
+            Counter::Suspicions => "Ranks entering heartbeat suspicion",
+            Counter::SuspicionsCleared => "Suspicions cleared without a fault",
+            Counter::Recoveries => "Declared faults recovered from",
+            Counter::RecoveryNanos => "Wall seconds inside recovery",
+        }
+    }
+}
+
+struct CellSlots {
+    values: [AtomicU64; COUNTER_COUNT],
+}
+
+impl CellSlots {
+    fn new() -> Self {
+        Self {
+            values: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A per-thread bundle of counters. Cheap to clone (shares the slots);
+/// every call on a disabled cell is a single branch.
+#[derive(Clone, Default)]
+pub struct TelemetryCell {
+    slots: Option<Arc<CellSlots>>,
+}
+
+impl std::fmt::Debug for TelemetryCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryCell")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl TelemetryCell {
+    /// An inert cell.
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Whether increments land anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.slots.is_some()
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add(&self, counter: Counter, delta: u64) {
+        if let Some(slots) = &self.slots {
+            slots.values[counter.index()].fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one to a counter.
+    pub fn incr(&self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Adds a duration (stored as nanoseconds) to a counter.
+    pub fn add_secs(&self, counter: Counter, secs: f64) {
+        if secs > 0.0 {
+            self.add(counter, (secs * 1e9) as u64);
+        }
+    }
+}
+
+/// One sampled snapshot of every counter, summed across cells and
+/// probes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetrySample {
+    /// Seconds since the run anchor when the sample was taken.
+    pub at_secs: f64,
+    /// Raw counter values, indexed by [`Counter::index`].
+    pub values: [u64; COUNTER_COUNT],
+}
+
+impl TelemetrySample {
+    /// The raw value of one counter.
+    pub fn value(&self, counter: Counter) -> u64 {
+        self.values[counter.index()]
+    }
+
+    /// A counter as seconds (for nanosecond counters) or the raw count.
+    pub fn scaled(&self, counter: Counter) -> f64 {
+        let raw = self.value(counter) as f64;
+        if counter.is_nanos() {
+            raw / 1e9
+        } else {
+            raw
+        }
+    }
+
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("at_secs".to_string(), Json::from(self.at_secs)),
+            (
+                "values".to_string(),
+                Json::Arr(self.values.iter().map(|&v| Json::from(v)).collect()),
+            ),
+        ])
+    }
+}
+
+/// What the telemetry plane produced for one run.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// The sampling interval that was configured.
+    pub interval: Duration,
+    /// The retained time series, oldest first; the last sample is the
+    /// final snapshot taken at shutdown.
+    pub samples: Vec<TelemetrySample>,
+    /// Where the JSON series was written, if anywhere.
+    pub json_path: Option<PathBuf>,
+    /// Where the Prometheus-text snapshot was written, if anywhere.
+    pub prom_path: Option<PathBuf>,
+}
+
+impl TelemetryReport {
+    /// The final counter totals (zeroes when no sample was ever taken).
+    pub fn totals(&self) -> TelemetrySample {
+        self.samples.last().copied().unwrap_or(TelemetrySample {
+            at_secs: 0.0,
+            values: [0; COUNTER_COUNT],
+        })
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+struct TelemetryShared {
+    anchor: Instant,
+    interval: Duration,
+    prom_path: Option<PathBuf>,
+    cells: Mutex<Vec<Arc<CellSlots>>>,
+    probes: Mutex<Vec<(Counter, Arc<AtomicU64>)>>,
+    samples: Mutex<Vec<TelemetrySample>>,
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl TelemetryShared {
+    fn take_sample(&self) {
+        let mut values = [0u64; COUNTER_COUNT];
+        for cell in lock(&self.cells).iter() {
+            for (slot, value) in cell.values.iter().zip(values.iter_mut()) {
+                *value += slot.load(Ordering::Relaxed);
+            }
+        }
+        for (counter, probe) in lock(&self.probes).iter() {
+            values[counter.index()] += probe.load(Ordering::Relaxed);
+        }
+        let sample = TelemetrySample {
+            at_secs: self.anchor.elapsed().as_secs_f64(),
+            values,
+        };
+        {
+            let mut samples = lock(&self.samples);
+            if samples.len() == SAMPLE_RING_LEN {
+                samples.remove(0);
+            }
+            samples.push(sample);
+        }
+        if let Some(path) = &self.prom_path {
+            // Best effort: a failed snapshot write must never take the
+            // run down.
+            if let Some(dir) = path.parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(path, render_prom(&sample));
+        }
+    }
+}
+
+/// Renders one sample in the Prometheus text exposition format.
+pub fn render_prom(sample: &TelemetrySample) -> String {
+    let mut out = String::new();
+    for counter in Counter::ALL {
+        out.push_str(&format!("# HELP {} {}\n", counter.name(), counter.help()));
+        out.push_str(&format!("# TYPE {} counter\n", counter.name()));
+        if counter.is_nanos() {
+            out.push_str(&format!(
+                "{} {:.9}\n",
+                counter.name(),
+                sample.scaled(counter)
+            ));
+        } else {
+            out.push_str(&format!("{} {}\n", counter.name(), sample.value(counter)));
+        }
+    }
+    out.push_str("# HELP moc_telemetry_at_seconds Run-relative time of this snapshot\n");
+    out.push_str("# TYPE moc_telemetry_at_seconds gauge\n");
+    out.push_str(&format!("moc_telemetry_at_seconds {:.6}\n", sample.at_secs));
+    out
+}
+
+/// The live telemetry hub: owns the cells, the probes, the time-series
+/// ring, and the sampler thread.
+pub struct Telemetry {
+    shared: Arc<TelemetryShared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("interval", &self.shared.interval)
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// Spawns the sampler. `anchor` is the run clock shared with span
+    /// recording; `prom_path` is where live snapshots go (`None` keeps
+    /// the series in memory only). Intervals below 1 ms are clamped.
+    pub fn start(anchor: Instant, interval: Duration, prom_path: Option<PathBuf>) -> Self {
+        let interval = interval.max(Duration::from_millis(1));
+        let shared = Arc::new(TelemetryShared {
+            anchor,
+            interval,
+            prom_path,
+            cells: Mutex::new(Vec::new()),
+            probes: Mutex::new(Vec::new()),
+            samples: Mutex::new(Vec::new()),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        let worker_shared = shared.clone();
+        let worker = std::thread::Builder::new()
+            .name("moc-telemetry".to_string())
+            .spawn(move || sampler_loop(worker_shared))
+            .expect("spawn telemetry sampler");
+        Self {
+            shared,
+            worker: Some(worker),
+        }
+    }
+
+    /// Registers a new counter cell for one thread.
+    pub fn cell(&self) -> TelemetryCell {
+        let slots = Arc::new(CellSlots::new());
+        lock(&self.shared.cells).push(slots.clone());
+        TelemetryCell { slots: Some(slots) }
+    }
+
+    /// Registers an externally owned monotonic counter. The sampler
+    /// reads it with relaxed loads; the owner keeps writing it as
+    /// usual.
+    pub fn probe(&self, counter: Counter, source: Arc<AtomicU64>) {
+        lock(&self.shared.probes).push((counter, source));
+    }
+
+    /// The samples collected so far (for mid-run inspection).
+    pub fn samples(&self) -> Vec<TelemetrySample> {
+        lock(&self.shared.samples).clone()
+    }
+
+    /// Stops the sampler, takes a final snapshot, writes the JSON
+    /// series next to the Prometheus snapshot, and returns the report.
+    pub fn finish(mut self) -> TelemetryReport {
+        self.stop_worker();
+        self.shared.take_sample();
+        let samples = lock(&self.shared.samples).clone();
+        let prom_path = self.shared.prom_path.clone();
+        let json_path = prom_path.as_ref().and_then(|prom| {
+            let path = prom.with_file_name("telemetry.json");
+            let series = Json::Obj(vec![
+                (
+                    "interval_secs".to_string(),
+                    Json::from(self.shared.interval.as_secs_f64()),
+                ),
+                (
+                    "counters".to_string(),
+                    Json::Arr(Counter::ALL.iter().map(|c| Json::from(c.name())).collect()),
+                ),
+                (
+                    "samples".to_string(),
+                    Json::Arr(samples.iter().map(|s| s.to_json()).collect()),
+                ),
+            ]);
+            match std::fs::write(&path, format!("{}\n", series.pretty())) {
+                Ok(()) => Some(path),
+                Err(e) => {
+                    eprintln!("moc-obs: telemetry series write failed: {e}");
+                    None
+                }
+            }
+        });
+        TelemetryReport {
+            interval: self.shared.interval,
+            samples,
+            json_path,
+            prom_path,
+        }
+    }
+
+    fn stop_worker(&mut self) {
+        *lock(&self.shared.stop) = true;
+        self.shared.wake.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        self.stop_worker();
+    }
+}
+
+fn sampler_loop(shared: Arc<TelemetryShared>) {
+    let mut stop = lock(&shared.stop);
+    while !*stop {
+        let (guard, timed_out) = shared
+            .wake
+            .wait_timeout(stop, shared.interval)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        stop = guard;
+        if timed_out.timed_out() && !*stop {
+            drop(stop);
+            shared.take_sample();
+            stop = lock(&shared.stop);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_cell_is_inert() {
+        let cell = TelemetryCell::disabled();
+        assert!(!cell.is_enabled());
+        cell.incr(Counter::Iterations);
+        cell.add_secs(Counter::ComputeNanos, 1.0);
+    }
+
+    #[test]
+    fn cells_and_probes_sum_into_samples() {
+        let telemetry = Telemetry::start(Instant::now(), Duration::from_secs(3600), None);
+        let a = telemetry.cell();
+        let b = telemetry.cell();
+        a.incr(Counter::Iterations);
+        b.add(Counter::Iterations, 2);
+        a.add_secs(Counter::ComputeNanos, 0.5);
+        let probe = Arc::new(AtomicU64::new(7));
+        telemetry.probe(Counter::StoreRetries, probe.clone());
+        probe.fetch_add(1, Ordering::Relaxed);
+        let report = telemetry.finish();
+        let totals = report.totals();
+        assert_eq!(totals.value(Counter::Iterations), 3);
+        assert_eq!(totals.value(Counter::StoreRetries), 8);
+        assert!((totals.scaled(Counter::ComputeNanos) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampler_streams_at_interval() {
+        let telemetry = Telemetry::start(Instant::now(), Duration::from_millis(2), None);
+        let cell = telemetry.cell();
+        for _ in 0..10 {
+            cell.incr(Counter::Iterations);
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        let report = telemetry.finish();
+        assert!(
+            report.samples.len() >= 3,
+            "expected several mid-run samples, got {}",
+            report.samples.len()
+        );
+        // Counter totals are monotone across the series.
+        for pair in report.samples.windows(2) {
+            assert!(pair[1].value(Counter::Iterations) >= pair[0].value(Counter::Iterations));
+            assert!(pair[1].at_secs >= pair[0].at_secs);
+        }
+        assert_eq!(report.totals().value(Counter::Iterations), 10);
+    }
+
+    #[test]
+    fn prom_and_json_snapshots_land_in_trace_dir() {
+        let dir = std::env::temp_dir().join(format!("moc-telemetry-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let prom = dir.join("telemetry.prom");
+        let telemetry = Telemetry::start(Instant::now(), Duration::from_millis(5), Some(prom));
+        let cell = telemetry.cell();
+        cell.add(Counter::CkptBytes, 4096);
+        std::thread::sleep(Duration::from_millis(25));
+        let report = telemetry.finish();
+        let prom_path = report.prom_path.clone().unwrap();
+        let text = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(text.contains("# TYPE moc_ckpt_bytes_total counter"));
+        assert!(text.contains("moc_ckpt_bytes_total 4096"));
+        let json_path = report.json_path.clone().unwrap();
+        let series = Json::parse(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+        let samples = series.get("samples").and_then(Json::as_array).unwrap();
+        assert_eq!(samples.len(), report.samples.len());
+        let names = series.get("counters").and_then(Json::as_array).unwrap();
+        assert_eq!(names.len(), COUNTER_COUNT);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -30,7 +30,10 @@ use moc_core::topology::RankCoord;
 use moc_core::twolevel::ShardJob;
 use moc_elastic::{plan_expand, plan_shrink, PlacementPlanner};
 use moc_moe::ExpertId;
-use moc_obs::{ckpt_flow_id, Flow, SpanKind, TraceCollector, TraceSink};
+use moc_obs::{
+    ckpt_flow_id, Counter, Flow, SpanKind, TelemetryCell, TraceCollector, TraceSink,
+    BACKGROUND_TID_BASE,
+};
 use moc_store::{ChaosStore, ClusterMemory, NodeId, ObjectStore, RetryStore, StatePart};
 use moc_train::checkpoint::expert_of;
 use moc_train::TinyMoeLm;
@@ -82,10 +85,6 @@ impl From<RecoveryError> for RuntimeError {
 /// Consecutive no-progress recoveries tolerated before the run fails
 /// loudly (see `Run::recoveries_without_progress`).
 const MAX_RECOVERIES_WITHOUT_PROGRESS: u32 = 3;
-
-/// Trace-lane tid offset of the per-node checkpoint-engine writer
-/// threads (their pid is the node id; rank tids stay below this).
-const ENGINE_TID_BASE: u32 = 1_000_000;
 
 /// The live-runtime entry point.
 pub struct Coordinator {
@@ -261,6 +260,9 @@ struct Run {
     collector: TraceCollector,
     /// The coordinator's own span sink (control-plane lane).
     sink: TraceSink,
+    /// The coordinator's live-telemetry counter cell (inert unless
+    /// [`moc_obs::ObsConfig::telemetry_interval`] is set).
+    telemetry: TelemetryCell,
     /// Flow id of the currently open fault arrow: allocated when a kill
     /// is injected, consumed by the recovery span that resolves it.
     fault_flow: Option<u64>,
@@ -300,13 +302,22 @@ impl Run {
                     config.ckpt,
                     collector.sink(
                         n as u32,
-                        ENGINE_TID_BASE + n as u32,
+                        BACKGROUND_TID_BASE + n as u32,
                         &format!("node{n}"),
                         &format!("ckpt-engine {n}"),
                     ),
                 )
             })
             .collect();
+        // Live telemetry: the coordinator's own cell plus read-only
+        // probes into counters other components already keep (store
+        // retries, per-node persisted bytes). Engines survive recoveries
+        // (only ranks respawn), so registering once here is enough.
+        let telemetry = collector.telemetry_cell();
+        collector.telemetry_probe(Counter::StoreRetries, retry_store.retries_probe());
+        for node in &nodes {
+            collector.telemetry_probe(Counter::PersistedBytes, node.persisted_bytes_probe());
+        }
         let (events_tx, events) = unbounded();
 
         let layers = config.model.num_moe_layers();
@@ -381,6 +392,7 @@ impl Run {
             persist_samples: Vec::new(),
             collector,
             sink,
+            telemetry,
             fault_flow: None,
         };
         run.apply_bufs = (0..run.config.topology.num_dp_groups())
@@ -491,6 +503,7 @@ impl Run {
                 &format!("node{node}"),
                 &format!("rank {rank}"),
             ),
+            telemetry: self.collector.telemetry_cell(),
         };
         let handle = std::thread::Builder::new()
             .name(format!("moc-rank-{rank}"))
@@ -591,6 +604,7 @@ impl Run {
         let loop_start = Instant::now();
         let mut it = 1u64;
         while it <= self.config.total_iterations {
+            let iter_start = Instant::now();
             // 0. Elastic expand: once the rejoin horizon passes,
             //    replacement ranks come back *before* this iteration's
             //    faults are injected — a kill scheduled here strikes the
@@ -698,6 +712,9 @@ impl Run {
                 CollectiveKind::Ring => self.exchange_ring(it)?,
             };
             if let Some(resume) = fault_resume {
+                self.telemetry.incr(Counter::Iterations);
+                self.telemetry
+                    .add_secs(Counter::IterationNanos, iter_start.elapsed().as_secs_f64());
                 it = resume + 1;
                 continue;
             }
@@ -721,6 +738,9 @@ impl Run {
                 self.metrics.event(it, EventKind::Eval { loss });
             }
 
+            self.telemetry.incr(Counter::Iterations);
+            self.telemetry
+                .add_secs(Counter::IterationNanos, iter_start.elapsed().as_secs_f64());
             it += 1;
         }
         self.metrics.loop_secs = loop_start.elapsed().as_secs_f64();
@@ -1087,6 +1107,7 @@ impl Run {
             return;
         }
         self.metrics.suspicions += fresh.len() as u64;
+        self.telemetry.add(Counter::Suspicions, fresh.len() as u64);
         self.metrics.event(
             iteration,
             EventKind::FaultSuspected {
@@ -1110,6 +1131,7 @@ impl Run {
     fn note_cleared(&mut self, iteration: u64, rank: usize, suspected: &mut BTreeSet<usize>) {
         if suspected.remove(&rank) {
             self.metrics.suspicions_cleared += 1;
+            self.telemetry.incr(Counter::SuspicionsCleared);
             self.metrics
                 .event(iteration, EventKind::SuspicionCleared { rank });
             self.sink
@@ -1380,6 +1402,7 @@ impl Run {
             );
             if stalled {
                 self.metrics.stall_count += 1;
+                self.telemetry.incr(Counter::CkptStalls);
                 stalled_nodes.push(node);
             }
         }
@@ -1444,11 +1467,14 @@ impl Run {
         };
         self.record_routed_at(iteration);
         self.metrics.checkpoints_taken += 1;
+        let overhead_secs = overhead_start.elapsed().as_secs_f64();
+        self.telemetry.add(Counter::CkptBytes, serialized_bytes);
+        self.telemetry.add_secs(Counter::CkptNanos, overhead_secs);
         self.metrics.event(
             iteration,
             EventKind::Checkpoint {
                 stalled_nodes,
-                overhead_secs: overhead_start.elapsed().as_secs_f64(),
+                overhead_secs,
             },
         );
     }
@@ -1722,6 +1748,11 @@ impl Run {
                 shard_groups: shard_groups.into_iter().collect(),
                 group_owned_shards,
             },
+        );
+        self.telemetry.incr(Counter::Recoveries);
+        self.telemetry.add_secs(
+            Counter::RecoveryNanos,
+            recovery_start.elapsed().as_secs_f64(),
         );
         // The parent recovery span closes the fault flow opened by the
         // injection (arrow: fault-injected → fault-detected → recovery).

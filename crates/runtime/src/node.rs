@@ -12,6 +12,7 @@ use moc_ckpt::{CkptEngine, EngineConfig, EngineStats};
 use moc_core::twolevel::ShardJob;
 use moc_obs::TraceSink;
 use moc_store::{NodeId, NodeMemoryStore, ObjectStore};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Live state of one node.
@@ -81,6 +82,15 @@ impl NodeRuntime {
             .as_ref()
             .expect("engine alive")
             .submit(version, shards)
+    }
+
+    /// A shared handle on the engine writer's cumulative persisted
+    /// bytes, for live telemetry sampling.
+    pub fn persisted_bytes_probe(&self) -> Arc<AtomicU64> {
+        self.engine
+            .as_ref()
+            .expect("engine alive")
+            .persisted_bytes_probe()
     }
 
     /// Blocks until the node's engine drained its persist pipeline.

@@ -45,7 +45,7 @@ use crossbeam::channel::{Receiver, Sender};
 use moc_core::topology::{ParallelTopology, RankCoord};
 use moc_core::twolevel::ShardJob;
 use moc_moe::{ExpertId, MoeModelConfig};
-use moc_obs::{Flow, SpanKind, TraceSink};
+use moc_obs::{Counter, Flow, SpanKind, TelemetryCell, TraceSink};
 use moc_store::{ShardKey, StatePart};
 use moc_train::checkpoint::{deserialize_module, expert_of, serialize_module};
 use moc_train::{adam_step, MarkovCorpus, ParamStore, TinyMoeLm};
@@ -234,6 +234,8 @@ pub(crate) struct RankContext {
     pub commands: Receiver<RankCommand>,
     pub events: Sender<RankEvent>,
     pub sink: TraceSink,
+    /// Live-telemetry counter cell (inert when telemetry is off).
+    pub telemetry: TelemetryCell,
 }
 
 /// The model layer a module belongs to (`layer{N}.…` names), if any.
@@ -453,6 +455,8 @@ pub(crate) fn run_rank(ctx: RankContext) {
                         Ok(consistent) => {
                             tp_consistent = consistent;
                             tp_sync_secs = tp_start.elapsed().as_secs_f64();
+                            ctx.telemetry
+                                .add_secs(Counter::CollectiveNanos, tp_sync_secs);
                             sink.record(
                                 SpanKind::Collective,
                                 "tp-sync",
@@ -475,6 +479,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                     match g.pp_forward_wait(epoch, iteration, cfg.heartbeat_timeout) {
                         Ok(waited) => {
                             pp_wait_secs += waited;
+                            ctx.telemetry.add_secs(Counter::CollectiveNanos, waited);
                             sink.record(
                                 SpanKind::Collective,
                                 "pp-wait",
@@ -524,6 +529,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                     });
                 }
                 let compute_secs = start.elapsed().as_secs_f64();
+                ctx.telemetry.add_secs(Counter::ComputeNanos, compute_secs);
                 // Recorded before the `die` early-return below: a killed
                 // rank's last compute span must land in its flight ring.
                 sink.record(
@@ -540,6 +546,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                 let stall_secs = match slow_factor {
                     Some(factor) => {
                         let stall = compute_secs * (factor - 1.0);
+                        ctx.telemetry.add_secs(Counter::StallNanos, stall);
                         let stall_trace = sink.now();
                         std::thread::sleep(std::time::Duration::from_secs_f64(stall));
                         sink.record(
@@ -570,6 +577,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                     match relay {
                         Ok(waited) => {
                             pp_wait_secs += waited;
+                            ctx.telemetry.add_secs(Counter::CollectiveNanos, waited);
                             sink.span(SpanKind::Collective, "pp-relay", iteration, relay_trace);
                         }
                         Err(e) => {
@@ -625,6 +633,12 @@ pub(crate) fn run_rank(ctx: RankContext) {
                             cfg.heartbeat_timeout,
                         ) {
                             Ok(timings) => {
+                                ctx.telemetry.add_secs(
+                                    Counter::CollectiveNanos,
+                                    timings.reduce_scatter_secs
+                                        + timings.all_gather_secs
+                                        + timings.wait_secs,
+                                );
                                 sink.span(
                                     SpanKind::Collective,
                                     "ring-all-reduce",

@@ -11,6 +11,11 @@
 use crate::metrics::{EventKind, Phase, RunSummary};
 use moc_obs::{render_phase_table, render_timeline, Json, PhaseRow, Report, TimelineRow};
 
+/// Milliseconds with a unit, for the per-rank phase table.
+fn ms(secs: f64) -> String {
+    format!("{:.2} ms", 1e3 * secs)
+}
+
 /// The timeline label and free-form detail of one event, matching the
 /// historical `runtime_live` rendering.
 fn describe(kind: &EventKind) -> (String, String) {
@@ -181,6 +186,44 @@ impl RunSummary {
             }
             out.push('\n');
         }
+        if let Some(telemetry) = &self.obs.telemetry {
+            out.push_str(&format!(
+                "telemetry: {} sample(s) at {:.0} ms interval",
+                telemetry.samples.len(),
+                1e3 * telemetry.interval.as_secs_f64(),
+            ));
+            if let Some(path) = &telemetry.json_path {
+                out.push_str(&format!(", series at {}", path.display()));
+            }
+            out.push('\n');
+        }
+        if !self.obs.per_rank.is_empty() {
+            out.push_str("\nper-rank phases:\n");
+            out.push_str(&format!(
+                "  {:<26} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                "lane", "spans", "compute", "collect", "stall", "ckpt", "fault", "eval"
+            ));
+            for lane in &self.obs.per_rank {
+                out.push_str(&format!(
+                    "  {:<26} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}\n",
+                    lane.label,
+                    lane.spans,
+                    ms(lane.compute_secs),
+                    ms(lane.collective_secs),
+                    ms(lane.stall_secs),
+                    ms(lane.ckpt_secs),
+                    ms(lane.fault_secs),
+                    ms(lane.eval_secs),
+                ));
+            }
+        }
+        if let Some(blame) = &self.obs.blame {
+            out.push_str("\ncritical path:\n");
+            out.push_str(&blame.render_text());
+            if let Some(path) = &self.obs.blame_path {
+                out.push_str(&format!("  blame report at {}\n", path.display()));
+            }
+        }
         if !self.timeline.is_empty() {
             out.push_str("\ntimeline:\n");
             out.push_str(&render_timeline(&self.timeline_rows()));
@@ -243,6 +286,27 @@ mod tests {
         assert!(text.contains("checkpoint"), "{text}");
         assert!(text.contains("compute"), "{text}");
         assert!(text.contains("iter    7"), "{text}");
+    }
+
+    #[test]
+    fn text_report_renders_per_rank_phase_table() {
+        let mut s = summary_with_events();
+        s.obs.per_rank.push(moc_obs::RankPhases {
+            pid: 0,
+            tid: 0,
+            label: "node0/rank 0".into(),
+            spans: 5,
+            compute_secs: 0.01,
+            collective_secs: 0.002,
+            stall_secs: 0.0,
+            ckpt_secs: 0.001,
+            fault_secs: 0.0,
+            eval_secs: 0.0,
+        });
+        let text = s.render_text();
+        assert!(text.contains("per-rank phases"), "{text}");
+        assert!(text.contains("node0/rank 0"), "{text}");
+        assert!(text.contains("10.00 ms"), "{text}");
     }
 
     #[test]

@@ -83,7 +83,9 @@ impl RetryPolicy {
 pub struct RetryStore {
     inner: Arc<dyn ObjectStore>,
     policy: RetryPolicy,
-    retries: AtomicU64,
+    /// `Arc` so a telemetry sampler can hold a read-only probe on the
+    /// live count without going through the store wrapper.
+    retries: Arc<AtomicU64>,
     exhaustions: AtomicU64,
 }
 
@@ -94,7 +96,7 @@ impl RetryStore {
         Self {
             inner,
             policy,
-            retries: AtomicU64::new(0),
+            retries: Arc::new(AtomicU64::new(0)),
             exhaustions: AtomicU64::new(0),
         }
     }
@@ -102,6 +104,12 @@ impl RetryStore {
     /// Retries performed so far (excluding first attempts).
     pub fn retries(&self) -> u64 {
         self.retries.load(Ordering::Relaxed)
+    }
+
+    /// A shared handle on the live retry counter, for read-only
+    /// sampling (e.g. a telemetry plane) while operations run.
+    pub fn retries_probe(&self) -> Arc<AtomicU64> {
+        self.retries.clone()
     }
 
     /// Operations that failed even after the full retry budget.

@@ -1,11 +1,15 @@
 //! Live multi-rank training with Poisson node kills and two-level
 //! recovery, with the moc-obs tracing subsystem enabled: the run prints
-//! the text report (timeline + per-phase latency table with p50/p99),
-//! writes a Perfetto-loadable `trace.json` (open it at
+//! the text report (timeline + per-phase latency table with p50/p99,
+//! per-rank phase breakdown, and the critical-path blame table), writes
+//! a Perfetto-loadable `trace.json` (open it at
 //! <https://ui.perfetto.dev>) whose flow arrows link each injected fault
-//! to its detection and recovery spans, and dumps the flight recorder
-//! the moment a fault is declared. A sync-checkpointing baseline runs
-//! with observability disabled for the overhead comparison.
+//! to its detection and recovery spans, streams live telemetry
+//! (`telemetry.prom` Prometheus snapshot during the run,
+//! `telemetry.json` series and `blame.json` at the end), and dumps the
+//! flight recorder the moment a fault is declared. A sync-checkpointing
+//! baseline runs with observability disabled for the overhead
+//! comparison.
 //!
 //! The trace directory defaults to `target/obs/` and can be overridden
 //! with the `MOC_TRACE_DIR` environment variable (CI uploads it as a
@@ -45,7 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         dynamic_k_budget: Some(0.12),
         heartbeat_timeout: Duration::from_millis(800),
-        obs: ObsConfig::with_trace(trace_dir.join("trace.json")),
+        obs: ObsConfig::with_trace(trace_dir.join("trace.json"))
+            .with_telemetry(Duration::from_millis(50)),
         ..RuntimeConfig::tiny(topo)
     };
 
@@ -90,6 +95,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(path) = &dump.text_path {
             println!("flight recorder dump #{}: {}", dump.seq, path.display());
         }
+    }
+    if let Some(telemetry) = &async_run.obs.telemetry {
+        if let Some(path) = &telemetry.json_path {
+            println!("telemetry series: {}", path.display());
+        }
+        if let Some(path) = &telemetry.prom_path {
+            println!("telemetry snapshot: {}", path.display());
+        }
+    }
+    if let Some(path) = &async_run.obs.blame_path {
+        println!("blame report: {}", path.display());
     }
 
     std::fs::remove_dir_all(&root)?;

@@ -7,7 +7,7 @@
 //! bitwise trajectory.
 
 use moc_system::core::ParallelTopology;
-use moc_system::obs::Json;
+use moc_system::obs::{BlameCategory, Counter, IncidentKind, Json};
 use moc_system::runtime::{
     CollectiveKind, Coordinator, ElasticConfig, ObsConfig, RunSummary, RuntimeConfig,
 };
@@ -295,4 +295,181 @@ fn disabled_obs_records_nothing_and_preserves_the_run() {
         d < 10.0 * e + 0.05 && e < 10.0 * d + 0.05,
         "mean iteration enabled {e:.6}s vs disabled {d:.6}s out of range"
     );
+}
+
+/// The live telemetry plane: a telemetry-enabled run streams samples
+/// whose totals agree with the run's own counters, lands
+/// `telemetry.prom` + `telemetry.json` in the trace dir, stays bitwise
+/// identical to a telemetry-off run (sampling is read-only), and its
+/// mean iteration time stays within noise of the disabled run's.
+#[test]
+fn telemetry_streams_counters_without_perturbing_the_run() {
+    let dir = std::env::temp_dir().join(format!("moc-obs-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let live = run(RuntimeConfig {
+        obs: ObsConfig::with_trace(dir.join("trace.json")).with_telemetry(Duration::from_millis(5)),
+        ..base_config()
+    });
+    let off = run(base_config());
+
+    let telemetry = live.obs.telemetry.as_ref().expect("telemetry report");
+    assert!(
+        !telemetry.samples.is_empty(),
+        "sampler must have taken at least the final snapshot"
+    );
+    let totals = telemetry.totals();
+    assert_eq!(
+        totals.value(Counter::Iterations),
+        live.iterations_executed,
+        "telemetry iteration count matches the run"
+    );
+    assert!(totals.value(Counter::CkptBytes) > 0, "checkpoints counted");
+    assert!(
+        totals.value(Counter::PersistedBytes) > 0,
+        "engine persisted-bytes probe sampled"
+    );
+    assert!(
+        totals.scaled(Counter::ComputeNanos) > 0.0,
+        "rank compute time accumulated"
+    );
+    assert_eq!(totals.value(Counter::Recoveries), 0, "fault-free run");
+
+    // Artifacts land next to the trace.
+    let prom_path = telemetry.prom_path.as_ref().expect("prom snapshot path");
+    let prom = std::fs::read_to_string(prom_path).expect("telemetry.prom written");
+    assert!(prom.contains("# TYPE moc_iterations_total counter"));
+    assert!(prom.contains(&format!(
+        "moc_iterations_total {}",
+        live.iterations_executed
+    )));
+    let json_path = telemetry.json_path.as_ref().expect("series path");
+    let series = Json::parse(&std::fs::read_to_string(json_path).expect("telemetry.json written"))
+        .expect("valid JSON");
+    let samples = series
+        .get("samples")
+        .and_then(Json::as_array)
+        .expect("samples array");
+    assert_eq!(samples.len(), telemetry.samples.len());
+
+    // Read-only sampling: the trajectory is bitwise that of a run with
+    // the whole plane off, and the overhead stays within noise.
+    let live_bits: Vec<u32> = live.final_params.iter().map(|x| x.to_bits()).collect();
+    let off_bits: Vec<u32> = off.final_params.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(live_bits, off_bits, "telemetry must not perturb numerics");
+    let e = live.mean_iteration_secs();
+    let d = off.mean_iteration_secs();
+    assert!(
+        e < 10.0 * d + 0.05 && d < 10.0 * e + 0.05,
+        "mean iteration telemetry-on {e:.6}s vs off {d:.6}s out of range"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The critical-path analyzer's core accounting invariant, pinned
+/// against a live fault-free run: every iteration window's attributed
+/// time sums to its measured wall time within 5 %, the windows tile the
+/// measured training loop within 5 %, and compute dominates a clean
+/// run's aggregate blame.
+#[test]
+fn blame_attribution_sums_to_measured_wall_time() {
+    let summary = run(RuntimeConfig {
+        total_iterations: 16,
+        obs: ObsConfig::enabled(),
+        ..base_config()
+    });
+    let blame = summary.obs.blame.as_ref().expect("blame report");
+
+    for window in &blame.iterations {
+        let attributed = window.attributed_total_secs();
+        assert!(
+            (attributed - window.wall_secs).abs() <= 0.05 * window.wall_secs.max(1e-9),
+            "window ({}, {}): attributed {attributed:.6}s vs wall {:.6}s",
+            window.epoch,
+            window.iteration,
+            window.wall_secs
+        );
+    }
+
+    // Windows at iteration >= 1 tile the measured training loop: the
+    // only uncovered time is the channel handoff between iterations.
+    let covered: f64 = blame
+        .iterations
+        .iter()
+        .filter(|w| w.iteration >= 1)
+        .map(|w| w.wall_secs)
+        .sum();
+    assert!(
+        (covered - summary.loop_secs).abs() <= 0.05 * summary.loop_secs,
+        "blame windows cover {covered:.6}s of a {:.6}s loop",
+        summary.loop_secs
+    );
+
+    assert!(blame.incidents.is_empty(), "no chaos, no incidents");
+    let compute = blame.aggregate_secs(BlameCategory::Compute);
+    for waity in [
+        BlameCategory::RingWait,
+        BlameCategory::TpSync,
+        BlameCategory::PpWait,
+        BlameCategory::Recovery,
+    ] {
+        assert!(
+            compute > blame.aggregate_secs(waity),
+            "clean run: compute must dominate {waity:?}"
+        );
+    }
+    assert!(blame.clean_median_secs > 0.0);
+
+    // The per-rank breakdown covers every rank lane plus the
+    // coordinator, with compute time on every rank.
+    assert_eq!(summary.obs.per_rank.len(), 5, "4 ranks + control plane");
+    for lane in summary.obs.per_rank.iter().filter(|l| l.tid < 1_000_000) {
+        if lane.label.contains("rank") {
+            assert!(lane.compute_secs > 0.0, "{} computed", lane.label);
+        }
+    }
+}
+
+/// Incident correlation: a node kill shows up in the blame report as a
+/// recovery incident whose measured disruption and excess latency are
+/// positive, and the recovery epoch splits the re-executed iterations
+/// into separate windows rather than smearing them together.
+#[test]
+fn incidents_attribute_fault_latency() {
+    let dir = std::env::temp_dir().join(format!("moc-obs-incident-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let summary = run(RuntimeConfig {
+        faults: FaultPlan::At(vec![FaultEvent {
+            iteration: 7,
+            node: 1,
+        }]),
+        obs: ObsConfig::with_trace(dir.join("trace.json")).with_telemetry(Duration::from_millis(5)),
+        ..base_config()
+    });
+    assert_eq!(summary.recoveries, 1);
+    let blame = summary.obs.blame.as_ref().expect("blame report");
+
+    let recovery_incident = blame
+        .incidents
+        .iter()
+        .find(|i| i.kind == IncidentKind::Recovery)
+        .expect("the kill must surface as a recovery incident");
+    assert!(recovery_incident.disruption_secs > 0.0);
+    assert!(
+        blame.aggregate_secs(BlameCategory::Recovery) > 0.0,
+        "recovery time attributed in the aggregate"
+    );
+
+    // Epoch splitting: the re-executed iterations appear in both epoch
+    // 0 (pre-fault) and epoch 1 (post-recovery) without double counting
+    // inside one window.
+    assert!(
+        blame.iterations.iter().any(|w| w.epoch == 1),
+        "post-recovery windows carry the next epoch"
+    );
+    let blame_path = summary.obs.blame_path.as_ref().expect("blame.json path");
+    let doc = Json::parse(&std::fs::read_to_string(blame_path).expect("blame.json written"))
+        .expect("valid JSON");
+    assert!(doc.get("categories").is_some());
+    assert!(doc.get("incidents").is_some());
+    let _ = std::fs::remove_dir_all(&dir);
 }
