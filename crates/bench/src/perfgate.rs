@@ -129,11 +129,17 @@ impl GateConfig {
         }
     }
 
-    /// Scales the *relative* slack of every class by `factor` — the CI
-    /// knob for comparing against baselines recorded on different
-    /// hardware.
+    /// Scales the slack of every class by `factor` — the CI knob for
+    /// comparing against baselines recorded on different hardware. The
+    /// timing class scales its *absolute* floor too: a box `factor`×
+    /// slower than the baseline recorder stretches sub-millisecond
+    /// leaves by the same factor, so a fixed 0.5 ms floor would trip on
+    /// jitter the relative slack was meant to absorb. Byte and count
+    /// floors stay fixed (those metrics don't scale with hardware
+    /// speed).
     pub fn scaled(mut self, factor: f64) -> Self {
         self.timing.rel *= factor;
+        self.timing.abs *= factor;
         self.bytes.rel *= factor;
         self.count.rel *= factor;
         self.other.rel *= factor;
@@ -440,6 +446,22 @@ mod tests {
         let cand = Json::parse(r#"{"x_secs": 0.130}"#).unwrap();
         assert!(!compare(&base, &cand, &GateConfig::default()).pass());
         assert!(compare(&base, &cand, &GateConfig::default().scaled(3.0)).pass());
+    }
+
+    #[test]
+    fn scaled_config_stretches_the_absolute_timing_floor() {
+        // 0.2 ms -> 1.1 ms: past the default 0.5 ms floor (and far past
+        // 15 % relative), but within a 3x-scaled 1.5 ms floor — the
+        // slow-CI-box case the scale knob exists for.
+        let base = Json::parse(r#"{"tiny_secs": 0.0002}"#).unwrap();
+        let cand = Json::parse(r#"{"tiny_secs": 0.0011}"#).unwrap();
+        assert!(!compare(&base, &cand, &GateConfig::default()).pass());
+        assert!(compare(&base, &cand, &GateConfig::default().scaled(3.0)).pass());
+        // Byte floors stay fixed: 3x scaling must not stretch the 4 KiB
+        // absolute slack.
+        let base = Json::parse(r#"{"x_bytes": 1000}"#).unwrap();
+        let cand = Json::parse(r#"{"x_bytes": 6000}"#).unwrap();
+        assert!(!compare(&base, &cand, &GateConfig::default().scaled(3.0)).pass());
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //!   heap allocations;
 //! * [`groups`] — [`GroupMesh`]: TP replica-consistency rings and PP
 //!   stage-relay chains for mixed-parallelism worlds (`tp · pp > 1`),
-//!   with the same deadline-abort discipline as the ring.
+//!   with the same deadline-abort discipline as the ring;
+//! * [`hier`] — [`hier_all_reduce`]: the two-level topology-aware
+//!   variant — members fold onto a same-node leader, leaders pipeline
+//!   the running partial along the node chain — reproducing the same
+//!   bits while keeping most ranks' traffic intra-node.
 //!
 //! With TP/PP shard groups, one ring (or one star reduction) runs *per
 //! DP gradient group* — the `dp` ranks sharing `(tp, pp)` coordinates —
@@ -29,11 +33,13 @@
 
 pub mod buffers;
 pub mod groups;
+pub mod hier;
 pub mod mesh;
 pub mod ring;
 
 pub use buffers::{ChunkPool, PooledBuf};
 pub use groups::{GroupAbort, GroupEndpoints, GroupMesh, GroupMsg};
+pub use hier::{hier_all_reduce, HierEndpoints, HierMesh, HierMsg};
 pub use mesh::{Leg, RingEndpoints, RingMesh, RingMsg};
 pub use ring::{ring_all_reduce, sequential_sum_reference, RingAbort, RingTimings};
 
@@ -46,8 +52,19 @@ pub enum CollectiveKind {
     Star,
     /// Chunked ring all-reduce among the rank threads; per-rank cost is
     /// ~flat in world size. Falls back to [`CollectiveKind::Star`] for a
-    /// configured window after a mid-collective fault.
+    /// configured window after a mid-collective fault. While the world
+    /// is elastically shrunk, the ring keeps running over the survivors:
+    /// the mesh keeps its full DP size and each dead slot is driven by
+    /// its adopter with the adopted gradient, preserving the fold order
+    /// bitwise.
     Ring,
+    /// Two-level hierarchical reduce ([`hier_all_reduce`]): members fold
+    /// onto their node leader in DP order, leaders pipeline the running
+    /// partial along the node chain, and the result gathers back out —
+    /// same bits as the flat ring and the star, but most ranks only talk
+    /// to a same-node leader. Shares the ring's star-fallback window; a
+    /// degraded (shrunk) run falls back to the survivor ring.
+    Hierarchical,
 }
 
 impl std::fmt::Display for CollectiveKind {
@@ -55,6 +72,7 @@ impl std::fmt::Display for CollectiveKind {
         match self {
             CollectiveKind::Star => f.write_str("star"),
             CollectiveKind::Ring => f.write_str("ring"),
+            CollectiveKind::Hierarchical => f.write_str("hierarchical"),
         }
     }
 }

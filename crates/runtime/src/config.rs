@@ -292,10 +292,16 @@ pub struct RuntimeConfig {
     pub retry: RetryPolicy,
     /// Which collective exchanges gradients each iteration.
     pub collective: CollectiveKind,
-    /// Ring chunk size in `f32` elements (ignored by the star path).
+    /// Ring/hierarchical chunk size in `f32` elements (ignored by the
+    /// star path).
     pub ring_chunk: usize,
-    /// After a ring collective aborts on a fault, run this many
-    /// iterations on the star fallback before returning to the ring.
+    /// Length of the star-fallback window a ring or hierarchical run
+    /// opens after every recovery and elastic expand: exactly this many
+    /// iterations run on the coordinator star before the configured
+    /// collective (or, while shrunk, the survivor ring) takes over.
+    /// Counted from the first iteration executed after the transition —
+    /// `star_fallback_until = next_executed_iteration + this` on both
+    /// paths.
     pub ring_fallback_iterations: u64,
     /// Elastic-recovery policy: shrink onto survivors vs respawn, the
     /// placement replication factor, and the rejoin horizon.

@@ -13,7 +13,7 @@
 //! same config produces bitwise-identical final parameters, which the
 //! coordinator verifies by comparing every rank's parameter checksum.
 
-use crate::collective::{CollectiveKind, GroupMesh, RingMesh};
+use crate::collective::{CollectiveKind, GroupMesh, HierMesh, RingMesh};
 use crate::config::{CheckpointMode, ConfigError, RuntimeConfig};
 use crate::injector::FaultInjector;
 use crate::metrics::{EventKind, MetricsRegistry, Phase, RunSummary};
@@ -163,6 +163,9 @@ enum RingReply {
 /// Statistics of a completed ring step.
 struct RingDone {
     expert_loads: Vec<Vec<u64>>,
+    /// Expert loads of the dead slices this rank adopted (survivor ring
+    /// only; the adopted gradients themselves were folded in-band).
+    adopted_loads: Vec<Vec<Vec<u64>>>,
     compute_secs: f64,
     stall_secs: f64,
     reduce_scatter_secs: f64,
@@ -208,10 +211,16 @@ struct Run {
     module_names: Vec<String>,
     /// Flattened-gradient length, fixed by the model architecture.
     grad_len: usize,
-    /// The live ring meshes, one per DP gradient group (ring collective
-    /// only); rebuilt after every recovery so stranded messages die with
-    /// their channels.
+    /// The live ring meshes, one per DP gradient group (ring and
+    /// hierarchical collectives); rebuilt after every recovery so
+    /// stranded messages die with their channels. While the world is
+    /// shrunk these are the survivor rings: still full DP size, with
+    /// each dead slot driven by its adopter.
     meshes: Vec<RingMesh>,
+    /// The two-level leader meshes, one per DP gradient group
+    /// (hierarchical collective, full shape only); rebuilt with the
+    /// ring meshes.
+    hier_meshes: Vec<HierMesh>,
     /// TP/PP group wiring (mixed-parallelism worlds only); rebuilt with
     /// the ring meshes.
     group_mesh: Option<GroupMesh>,
@@ -248,6 +257,11 @@ struct Run {
     /// Iteration at which the current degraded window began (the most
     /// recent shrink's resume point), `None` when full-shape.
     degraded_since: Option<u64>,
+    /// Value of `metrics.degraded_iterations` when the current degraded
+    /// window opened (its first shrink): the expand event reports the
+    /// window's length as the counter delta, so the executed-iteration
+    /// counter stays the single source of truth.
+    degraded_counter_base: u64,
     /// Per-checkpoint `(serialized bytes, serialize secs)` calibration
     /// samples.
     snapshot_samples: Vec<(u64, f64)>,
@@ -379,6 +393,7 @@ impl Run {
             module_names,
             grad_len,
             meshes: Vec::new(),
+            hier_meshes: Vec::new(),
             group_mesh: None,
             star_fallback_until: 0,
             apply_bufs: Vec::new(),
@@ -388,6 +403,7 @@ impl Run {
             dead_groups: BTreeSet::new(),
             adoptions: BTreeMap::new(),
             degraded_since: None,
+            degraded_counter_base: 0,
             snapshot_samples: Vec::new(),
             persist_samples: Vec::new(),
             collector,
@@ -414,23 +430,47 @@ impl Run {
     }
 
     /// Builds fresh collective wiring — one ring mesh per DP gradient
-    /// group (ring collective only) plus the TP/PP group mesh (mixed
-    /// parallelism only) — and hands every rank its endpoints. The
-    /// previous meshes (if any) are dropped, which drops any messages an
-    /// aborted collective stranded in their channels.
+    /// group (ring and hierarchical collectives) plus the hierarchical
+    /// leader meshes (full-shape hierarchical runs) and the TP/PP group
+    /// mesh (mixed parallelism only) — and hands every rank its
+    /// endpoints. The previous meshes (if any) are dropped, which drops
+    /// any messages an aborted collective stranded in their channels.
+    ///
+    /// A shrunk world keeps running the ring: the meshes stay full DP
+    /// size and each dead slot's endpoints go to the surviving adopter
+    /// of that slice, which drives the slot with the adopted gradient on
+    /// a helper thread. The fold order — and the result — stays bitwise
+    /// the fixed-shape ring's for any adoption map.
     fn build_links(&mut self) {
         let topo = self.config.topology;
         let num_groups = topo.num_dp_groups();
-        // A shrunk world never runs the ring (its DP-group rings would
-        // miss the dead members), so no meshes are built while degraded.
-        self.meshes = if self.config.collective == CollectiveKind::Ring && !self.degraded() {
+        self.meshes = if self.config.collective != CollectiveKind::Star {
             (0..num_groups)
                 .map(|_| RingMesh::new(topo.dp(), self.grad_len, self.config.ring_chunk))
                 .collect()
         } else {
             Vec::new()
         };
+        // The leader chain only serves the full-shape world: a degraded
+        // hierarchical run falls back to the survivor ring, so no leader
+        // meshes are built while shrunk.
+        self.hier_meshes =
+            if self.config.collective == CollectiveKind::Hierarchical && !self.degraded() {
+                (0..num_groups)
+                    .map(|g| {
+                        let node_of: Vec<usize> = (0..topo.dp())
+                            .map(|d| topo.node_of_global(d * num_groups + g))
+                            .collect();
+                        HierMesh::new(&node_of, self.grad_len, self.config.ring_chunk)
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            };
         for mesh in &self.meshes {
+            self.metrics.collective_allocs += mesh.pool().preallocated() as u64;
+        }
+        for mesh in &self.hier_meshes {
             self.metrics.collective_allocs += mesh.pool().preallocated() as u64;
         }
         self.group_mesh = (num_groups > 1).then(|| GroupMesh::new(&topo));
@@ -444,28 +484,63 @@ impl Run {
             // A rank's DP group is its position-independent coordinate
             // pair `(tp, pp)`; its slot on that group's ring is its DP
             // index.
-            let ring = self
+            let group = rank % num_groups;
+            let slot = rank / num_groups;
+            let ring = self.meshes.get(group).map(|m| m.endpoints(slot));
+            // Dead slots this rank adopts: it drives each one on the same
+            // ring, in place of the dead member.
+            let adopted_rings = self
                 .meshes
-                .get(rank % num_groups)
-                .map(|m| m.endpoints(rank / num_groups));
+                .get(group)
+                .map(|m| {
+                    self.adoptions
+                        .iter()
+                        .filter(|&(_, &a)| a == slot)
+                        .map(|(&d, _)| (d, m.endpoints(d)))
+                        .collect()
+                })
+                .unwrap_or_default();
+            let hier = self.hier_meshes.get(group).map(|m| m.endpoints(slot));
             let groups = self.group_mesh.as_ref().map(|g| g.endpoints(rank));
-            tx.send(RankCommand::InstallLinks { ring, groups })
-                .expect("rank thread alive");
+            tx.send(RankCommand::InstallLinks {
+                ring,
+                adopted_rings,
+                hier,
+                groups,
+            })
+            .expect("rank thread alive");
         }
     }
 
     /// The collective iteration `it` runs on: the configured one, unless
-    /// a ring abort opened a star-fallback window that `it` falls into,
-    /// or the world is elastically shrunk (the reduced world always
-    /// exchanges through the coordinator star, whose DP-order fold can
-    /// splice adopted slices in at the dead positions).
+    /// a recovery or expand opened a star-fallback window that `it`
+    /// falls into. A degraded (elastically shrunk) world runs the
+    /// survivor ring — the full-DP-size ring whose dead slots are driven
+    /// by their adopters — whether the configured collective is the flat
+    /// ring or the hierarchical reduce (the leader chain is not rebuilt
+    /// for shrunk shapes). The star is only ever the configured steady
+    /// state or the bounded post-recovery fallback, never the steady
+    /// state of a degraded run.
     fn collective_for(&self, it: u64) -> CollectiveKind {
-        if self.degraded() {
+        if self.config.collective == CollectiveKind::Star || it < self.star_fallback_until {
             return CollectiveKind::Star;
         }
-        match self.config.collective {
-            CollectiveKind::Ring if it >= self.star_fallback_until => CollectiveKind::Ring,
-            _ => CollectiveKind::Star,
+        if self.degraded() {
+            return CollectiveKind::Ring;
+        }
+        self.config.collective
+    }
+
+    /// Opens the bounded star-fallback window after a recovery or an
+    /// expand: iterations strictly below `next_it +
+    /// ring_fallback_iterations` run on the coordinator star, where
+    /// `next_it` is the first iteration executed after the transition —
+    /// exactly `ring_fallback_iterations` star iterations before the
+    /// configured collective takes over. No-op for a star-configured run
+    /// (the star already is the steady state).
+    fn open_star_fallback(&mut self, next_it: u64) {
+        if self.config.collective != CollectiveKind::Star {
+            self.star_fallback_until = next_it + self.config.ring_fallback_iterations;
         }
     }
 
@@ -709,7 +784,7 @@ impl Run {
             //    recover, and resume from the rolled-back iteration.
             let fault_resume = match collective {
                 CollectiveKind::Star => self.exchange_star(it)?,
-                CollectiveKind::Ring => self.exchange_ring(it)?,
+                CollectiveKind::Ring | CollectiveKind::Hierarchical => self.exchange_ring(it)?,
             };
             if let Some(resume) = fault_resume {
                 self.telemetry.incr(Counter::Iterations);
@@ -721,6 +796,14 @@ impl Run {
             self.recoveries_without_progress = 0;
             if self.degraded() {
                 self.metrics.degraded_iterations += 1;
+                // While degraded the only ring iterations are survivor
+                // rings (the leader chain never runs shrunk).
+                if collective == CollectiveKind::Ring {
+                    self.metrics.survivor_ring_iterations += 1;
+                }
+            }
+            if collective == CollectiveKind::Hierarchical {
+                self.metrics.hierarchical_iterations += 1;
             }
 
             // 6. Two-level checkpoint.
@@ -986,12 +1069,19 @@ impl Run {
             RingReply::Aborted => None,
         }));
         // Routing statistics come from each shard group's representative
-        // only (TP/PP members duplicate the same DP slice).
+        // only (TP/PP members duplicate the same DP slice) — its own
+        // loads plus the adopted dead slices it computed (survivor ring).
         let num_groups = self.config.topology.num_dp_groups();
-        self.record_routing(replies.iter().filter_map(|(&rank, r)| match r {
-            RingReply::Done(d) if rank % num_groups == 0 => Some(&d.expert_loads),
-            _ => None,
-        }));
+        let mut routing: Vec<&Vec<Vec<u64>>> = Vec::new();
+        for (&rank, r) in &replies {
+            let RingReply::Done(d) = r else { continue };
+            if rank % num_groups != 0 {
+                continue;
+            }
+            routing.push(&d.expert_loads);
+            routing.extend(d.adopted_loads.iter());
+        }
+        self.record_routing(routing.into_iter());
         Ok(None)
     }
 
@@ -1233,6 +1323,7 @@ impl Run {
                     iteration: it,
                     epoch,
                     expert_loads,
+                    adopted_loads,
                     compute_secs,
                     stall_secs,
                     reduce_scatter_secs,
@@ -1247,6 +1338,7 @@ impl Run {
                         rank,
                         RingReply::Done(RingDone {
                             expert_loads,
+                            adopted_loads,
                             compute_secs,
                             stall_secs,
                             reduce_scatter_secs,
@@ -1695,13 +1787,14 @@ impl Run {
 
         // Rebuild the collective wiring: fresh channels drop anything the
         // aborted collectives stranded, and respawned ranks need
-        // endpoints. A ring run additionally falls back to the star path
-        // for the configured window of post-recovery iterations (a
-        // shrunk run stays on the star until it expands).
+        // endpoints. A ring or hierarchical run additionally falls back
+        // to the star path for the configured window of post-recovery
+        // iterations; once the window closes a shrunk run continues on
+        // the survivor ring (dead slots driven by their adopters), not
+        // the star. Training resumes at `resume + 1`, so this opens
+        // exactly `ring_fallback_iterations` star iterations.
         self.build_links();
-        if self.config.collective == CollectiveKind::Ring {
-            self.star_fallback_until = resume + self.config.ring_fallback_iterations + 1;
-        }
+        self.open_star_fallback(resume + 1);
 
         // Broadcast restored state; every live rank (survivor or
         // respawned) rolls back to the recovered versions.
@@ -1807,6 +1900,12 @@ impl Run {
         self.adoptions = plan.adoptions;
         self.placement = Some(plan.placement);
         self.dead_groups = all_dead.clone();
+        if self.degraded_since.is_none() {
+            // First shrink of this degraded window: snapshot the executed
+            // counter so the expand can report the window's length as a
+            // counter delta. A second shrink extends the same window.
+            self.degraded_counter_base = self.metrics.degraded_iterations;
+        }
         self.degraded_since = Some(resume);
         self.metrics.elastic_shrinks += 1;
         self.send_reconfigure();
@@ -1877,11 +1976,17 @@ impl Run {
         let experts_returned = plan.experts_returned;
         self.placement = Some(plan.placement);
         self.adoptions.clear();
+        self.degraded_since = None;
+        // Degraded-window length reported on the expand event: the delta
+        // of the per-iteration counter (incremented only when an
+        // iteration actually completes degraded) since the window's
+        // first shrink — not re-derived from iteration numbers, which
+        // double-counted rolled-back iterations when a second kill
+        // landed inside the window.
         let degraded_iterations = self
-            .degraded_since
-            .take()
-            .map(|since| (it - 1).saturating_sub(since))
-            .unwrap_or(0);
+            .metrics
+            .degraded_iterations
+            .saturating_sub(self.degraded_counter_base);
 
         // Fresh wiring (the returning ranks need endpoints), bitwise
         // seed, then the restored duty map.
@@ -1901,9 +2006,11 @@ impl Run {
             }
         }
         self.send_reconfigure();
-        if self.config.collective == CollectiveKind::Ring {
-            self.star_fallback_until = it + self.config.ring_fallback_iterations;
-        }
+        // The expand runs before iteration `it` executes, so `it` is the
+        // first post-transition iteration: the same
+        // `ring_fallback_iterations`-long star window as after a
+        // recovery.
+        self.open_star_fallback(it);
         // Rejoin barrier: the returning writers' chains froze at the
         // shrink and the survivors may have GC'd every version the two
         // sides shared, so all live writers re-commit the current state
@@ -2028,6 +2135,8 @@ impl Run {
             elastic_expands: self.metrics.elastic_expands,
             experts_migrated: self.metrics.experts_migrated,
             degraded_iterations: self.metrics.degraded_iterations,
+            survivor_ring_iterations: self.metrics.survivor_ring_iterations,
+            hierarchical_iterations: self.metrics.hierarchical_iterations,
             tp_groups_consistent: self.metrics.tp_divergences == 0,
             stall_count: self.metrics.stall_count,
             recovered_bytes: self.metrics.recovered_bytes,
@@ -2093,6 +2202,62 @@ mod tests {
         let b = run(quick_config());
         assert_eq!(a.final_params, b.final_params);
         assert_eq!(a.val_curve, b.val_curve);
+    }
+
+    /// Satellite: both window-opening paths (recover passes `resume + 1`,
+    /// expand passes the iteration about to execute) route through
+    /// `open_star_fallback`, which grants exactly
+    /// `ring_fallback_iterations` star iterations; degraded runs then
+    /// fall to the survivor ring, full-shape runs to the configured
+    /// collective; a star-configured run never tracks a window.
+    #[test]
+    fn star_fallback_window_arithmetic_is_uniform() {
+        let store: Arc<dyn ObjectStore> = Arc::new(MemoryObjectStore::new());
+        let mut run = Run::start(quick_config(), store.clone()).unwrap();
+        let fallback = run.config.ring_fallback_iterations;
+        assert!(fallback > 0, "tiny() must configure a non-empty window");
+        run.open_star_fallback(6);
+        assert_eq!(run.star_fallback_until, 6 + fallback);
+        assert_eq!(run.collective_for(6 + fallback - 1), CollectiveKind::Star);
+        assert_eq!(run.collective_for(6 + fallback), CollectiveKind::Ring);
+        // A degraded run past the window runs the survivor ring.
+        run.degraded_since = Some(5);
+        assert_eq!(run.collective_for(6 + fallback), CollectiveKind::Ring);
+        drop(run);
+
+        // Hierarchical: the window closes into the leader chain at full
+        // shape, into the survivor ring while degraded.
+        let mut hier = Run::start(
+            RuntimeConfig {
+                collective: CollectiveKind::Hierarchical,
+                ..quick_config()
+            },
+            store.clone(),
+        )
+        .unwrap();
+        hier.open_star_fallback(3);
+        assert_eq!(hier.collective_for(3 + fallback - 1), CollectiveKind::Star);
+        assert_eq!(
+            hier.collective_for(3 + fallback),
+            CollectiveKind::Hierarchical
+        );
+        hier.degraded_since = Some(2);
+        assert_eq!(hier.collective_for(3 + fallback), CollectiveKind::Ring);
+        drop(hier);
+
+        // Star-configured runs never open a window: the star already is
+        // the steady state.
+        let mut star = Run::start(
+            RuntimeConfig {
+                collective: CollectiveKind::Star,
+                ..quick_config()
+            },
+            store,
+        )
+        .unwrap();
+        star.open_star_fallback(6);
+        assert_eq!(star.star_fallback_until, 0);
+        assert_eq!(star.collective_for(11), CollectiveKind::Star);
     }
 
     #[test]

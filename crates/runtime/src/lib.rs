@@ -105,8 +105,8 @@ pub mod recovery_exec;
 pub mod report;
 
 pub use collective::{
-    ChunkPool, CollectiveKind, GroupAbort, GroupEndpoints, GroupMesh, RingAbort, RingMesh,
-    RingTimings,
+    ChunkPool, CollectiveKind, GroupAbort, GroupEndpoints, GroupMesh, HierMesh, RingAbort,
+    RingMesh, RingTimings,
 };
 pub use config::{CheckpointMode, ConfigError, ElasticConfig, RuntimeConfig};
 pub use coordinator::{Coordinator, RuntimeError};

@@ -298,6 +298,12 @@ pub struct MetricsRegistry {
     pub experts_migrated: u64,
     /// Iterations completed while the world was shrunk.
     pub degraded_iterations: u64,
+    /// Degraded iterations that ran on the survivor ring (full-DP-size
+    /// ring with dead slots driven by their adopters) rather than the
+    /// bounded star fallback.
+    pub survivor_ring_iterations: u64,
+    /// Iterations that ran on the two-level hierarchical reduce.
+    pub hierarchical_iterations: u64,
     /// Step replies whose TP group exchanged mismatching parameter CRCs.
     pub tp_divergences: u64,
     /// Bytes fetched during recoveries.
@@ -347,6 +353,8 @@ impl MetricsRegistry {
             elastic_expands: 0,
             experts_migrated: 0,
             degraded_iterations: 0,
+            survivor_ring_iterations: 0,
+            hierarchical_iterations: 0,
             tp_divergences: 0,
             recovered_bytes: 0,
             memory_hits: 0,
@@ -448,6 +456,14 @@ pub struct RunSummary {
     /// Iterations completed while the world was shrunk (the run's
     /// degraded-step count).
     pub degraded_iterations: u64,
+    /// Degraded iterations that ran on the survivor ring — the
+    /// full-DP-size ring whose dead slots are driven by their adopters.
+    /// `degraded_iterations - survivor_ring_iterations` is the time a
+    /// shrunk run spent on the bounded star fallback.
+    pub survivor_ring_iterations: u64,
+    /// Iterations that ran on the two-level hierarchical reduce
+    /// (full-shape `CollectiveKind::Hierarchical` steps).
+    pub hierarchical_iterations: u64,
     /// Whether every TP group's per-iteration replica-consistency
     /// exchange saw bitwise-identical parameter CRCs (vacuously true
     /// when `tp = 1`).

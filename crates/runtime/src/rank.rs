@@ -38,7 +38,10 @@
 //! buffers reused across iterations, so steady-state steps perform zero
 //! gradient-buffer heap allocations after the first iteration.
 
-use crate::collective::{ring_all_reduce, CollectiveKind, GroupEndpoints, RingEndpoints};
+use crate::collective::{
+    hier_all_reduce, ring_all_reduce, CollectiveKind, GroupEndpoints, HierEndpoints, RingAbort,
+    RingEndpoints,
+};
 use crate::config::RuntimeConfig;
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, Sender};
@@ -112,10 +115,17 @@ pub(crate) enum RankCommand {
         chaos: StepChaos,
     },
     /// Adopt fresh collective endpoints (run start and after every
-    /// recovery): the rank's DP-group ring (ring collective only) and
-    /// its TP/PP group links (mixed-parallelism worlds only).
+    /// recovery): the rank's DP-group ring (ring/hierarchical
+    /// collectives), the dead DP slots it drives while the world is
+    /// shrunk, its two-level endpoints (hierarchical collective at full
+    /// shape), and its TP/PP group links (mixed-parallelism worlds only).
     InstallLinks {
         ring: Option<RingEndpoints>,
+        /// Ring endpoints of the dead DP slots this rank adopted: while
+        /// degraded, the mesh keeps its full DP size and the adopter
+        /// drives each dead slot's position with the adopted gradient.
+        adopted_rings: Vec<(usize, RingEndpoints)>,
+        hier: Option<HierEndpoints>,
         groups: Option<GroupEndpoints>,
     },
     /// Load the reduced gradient and apply the optimizer step (star).
@@ -193,6 +203,11 @@ pub(crate) enum RankEvent {
         tp_sync_secs: f64,
         /// Blocking time in the PP relay (the rank's pipeline bubble).
         pp_wait_secs: f64,
+        /// Per-layer expert loads of each adopted dead slice (elastic
+        /// degraded mode; empty otherwise) — the gradients themselves
+        /// were folded in-band by the survivor ring, but the routing
+        /// statistics still travel to the coordinator.
+        adopted_loads: Vec<Vec<Vec<u64>>>,
     },
     /// A group collective (DP ring, TP ring, or PP relay) timed out on a
     /// peer and the iteration was abandoned without applying (the
@@ -388,6 +403,8 @@ pub(crate) fn run_rank(ctx: RankContext) {
     // gradient-sized scratch and is never reallocated after the first
     // step.
     let mut ring: Option<RingEndpoints> = None;
+    let mut adopted_rings: Vec<(usize, RingEndpoints)> = Vec::new();
+    let mut hier: Option<HierEndpoints> = None;
     let mut groups: Option<GroupEndpoints> = None;
     let mut grad_buf: Vec<f32> = Vec::new();
     let mut crc_buf: Vec<u8> = Vec::new();
@@ -618,20 +635,73 @@ pub(crate) fn run_rank(ctx: RankContext) {
                             adopted,
                         });
                     }
-                    CollectiveKind::Ring => {
-                        // The coordinator forces the star path while the
-                        // world is shrunk; a ring step never carries
-                        // adopted slices.
-                        debug_assert!(adopted.is_empty(), "ring step in degraded mode");
-                        let endpoints = ring.as_ref().expect("ring endpoints installed");
+                    CollectiveKind::Ring | CollectiveKind::Hierarchical => {
                         let ring_trace = sink.now();
-                        match ring_all_reduce(
-                            endpoints,
-                            &mut grad_buf,
-                            epoch,
-                            iteration,
-                            cfg.heartbeat_timeout,
-                        ) {
+                        let timeout = cfg.heartbeat_timeout;
+                        let (span_name, result) = if collective == CollectiveKind::Hierarchical {
+                            // Hierarchical steps only run at full shape:
+                            // while the world is shrunk the coordinator
+                            // falls back to the survivor ring (or the
+                            // star window).
+                            debug_assert!(adopted.is_empty(), "hierarchical step in degraded mode");
+                            let endpoints = hier.as_ref().expect("hier endpoints installed");
+                            (
+                                "hier-all-reduce",
+                                hier_all_reduce(
+                                    endpoints,
+                                    &mut grad_buf,
+                                    epoch,
+                                    iteration,
+                                    timeout,
+                                ),
+                            )
+                        } else {
+                            // While the world is shrunk the rank also
+                            // drives its adopted dead slots' ring
+                            // positions, each on a scoped helper thread
+                            // running the unchanged collective over the
+                            // adopted gradient: the mesh keeps its full
+                            // DP size, so the fold order — and therefore
+                            // the bits — match the fixed shape. Every
+                            // slot ends with the same averaged gradient,
+                            // so the rank's own buffer holds the result.
+                            // The slots must run concurrently: a dead
+                            // slot downstream of this rank's own relays
+                            // gradient chunks the rank itself is blocked
+                            // on.
+                            let endpoints = ring.as_ref().expect("ring endpoints installed");
+                            let own_grad = &mut grad_buf;
+                            let result = std::thread::scope(|scope| {
+                                let helpers: Vec<_> = adopted
+                                    .iter_mut()
+                                    .map(|a| {
+                                        let ep = adopted_rings
+                                            .iter()
+                                            .find(|(d, _)| *d == a.dp)
+                                            .map(|(_, ep)| ep)
+                                            .expect("adopted slot endpoints installed");
+                                        let grad = &mut a.grad;
+                                        scope.spawn(move || {
+                                            ring_all_reduce(ep, grad, epoch, iteration, timeout)
+                                        })
+                                    })
+                                    .collect();
+                                let own =
+                                    ring_all_reduce(endpoints, own_grad, epoch, iteration, timeout);
+                                let mut helper_abort: Option<RingAbort> = None;
+                                for h in helpers {
+                                    if let Err(e) = h.join().expect("adopted-slot ring thread") {
+                                        helper_abort.get_or_insert(e);
+                                    }
+                                }
+                                match (own, helper_abort) {
+                                    (Ok(t), None) => Ok(t),
+                                    (Err(e), _) | (Ok(_), Some(e)) => Err(e),
+                                }
+                            });
+                            ("ring-all-reduce", result)
+                        };
+                        match result {
                             Ok(timings) => {
                                 ctx.telemetry.add_secs(
                                     Counter::CollectiveNanos,
@@ -639,12 +709,7 @@ pub(crate) fn run_rank(ctx: RankContext) {
                                         + timings.all_gather_secs
                                         + timings.wait_secs,
                                 );
-                                sink.span(
-                                    SpanKind::Collective,
-                                    "ring-all-reduce",
-                                    iteration,
-                                    ring_trace,
-                                );
+                                sink.span(SpanKind::Collective, span_name, iteration, ring_trace);
                                 let apply_start = Instant::now();
                                 let apply_trace = sink.now();
                                 load_grads(model.store_mut(), &grad_buf);
@@ -679,6 +744,10 @@ pub(crate) fn run_rank(ctx: RankContext) {
                                     tp_consistent,
                                     tp_sync_secs,
                                     pp_wait_secs,
+                                    adopted_loads: adopted
+                                        .into_iter()
+                                        .map(|a| a.expert_loads)
+                                        .collect(),
                                 });
                             }
                             Err(_) => {
@@ -698,9 +767,13 @@ pub(crate) fn run_rank(ctx: RankContext) {
             }
             RankCommand::InstallLinks {
                 ring: new_ring,
+                adopted_rings: new_adopted,
+                hier: new_hier,
                 groups: new_groups,
             } => {
                 ring = new_ring;
+                adopted_rings = new_adopted;
+                hier = new_hier;
                 groups = new_groups;
             }
             RankCommand::Apply { grad } => {

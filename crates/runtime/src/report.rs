@@ -155,6 +155,15 @@ impl RunSummary {
             self.elastic_shrinks,
             self.elastic_expands,
         ));
+        if self.degraded_iterations > 0 || self.hierarchical_iterations > 0 {
+            out.push_str(&format!(
+                "{} degraded iteration(s) ({} on the survivor ring), \
+                 {} hierarchical iteration(s)\n",
+                self.degraded_iterations,
+                self.survivor_ring_iterations,
+                self.hierarchical_iterations,
+            ));
+        }
         out.push_str(&format!(
             "final val loss {:.4}  measured PLT {:.3}%  K trace {:?}\n",
             self.final_val_loss,

@@ -99,9 +99,11 @@ fn run_with_watchdog(config: RuntimeConfig, label: &str) -> Result<RunSummary, R
 fn clean_bits(collective: CollectiveKind) -> &'static Vec<u32> {
     static STAR: OnceLock<Vec<u32>> = OnceLock::new();
     static RING: OnceLock<Vec<u32>> = OnceLock::new();
+    static HIER: OnceLock<Vec<u32>> = OnceLock::new();
     let cell = match collective {
         CollectiveKind::Star => &STAR,
         CollectiveKind::Ring => &RING,
+        CollectiveKind::Hierarchical => &HIER,
     };
     cell.get_or_init(|| {
         let summary = run_with_watchdog(config(ChaosPlan::none(), collective), "clean run")

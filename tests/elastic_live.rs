@@ -244,6 +244,176 @@ fn second_kill_while_degraded_composes_shrinks() {
     assert_bitwise_parity(&clean, &elastic, "second kill while degraded");
 }
 
+/// Tentpole: the degraded window runs the *ring over the survivors* —
+/// the star is only the bounded post-recovery fallback window, never
+/// the steady state of a shrunk run — and the adopter-driven survivor
+/// fold still lands bitwise on the fixed-shape trajectory.
+#[test]
+fn degraded_window_runs_survivor_ring_not_star() {
+    let topo = two_node_topo();
+    let clean = run(config(topo));
+    let shrunk = run(RuntimeConfig {
+        faults: kill(7, 1),
+        elastic: ElasticConfig::shrink(1),
+        ..config(topo)
+    });
+    assert_eq!(shrunk.elastic_shrinks, 1);
+    // Kill at 7 rolled back to 4: iteration 5 is the single configured
+    // fallback-window star iteration; 6..=12 run the survivor ring.
+    assert_eq!(shrunk.degraded_iterations, 8);
+    assert_eq!(
+        shrunk.survivor_ring_iterations, 7,
+        "the degraded steady state is the survivor ring, not the star"
+    );
+    assert_eq!(
+        shrunk.phase(Phase::Reduce).count,
+        1,
+        "the star runs only during the bounded fallback window"
+    );
+    // 15 executed = 12 + 3 replayed; minus the one star iteration and
+    // the aborted iteration 7, every step ran a ring.
+    assert_eq!(
+        shrunk.phase(Phase::ReduceScatter).count,
+        shrunk.iterations_executed - 1 - 1
+    );
+    assert_bitwise_parity(&clean, &shrunk, "survivor ring");
+}
+
+/// Tentpole: a second kill while *on the survivor ring* — the kill at 8
+/// strikes degraded ring iterations, adopters included — aborts the
+/// survivor ring cleanly, composes a second shrink, reopens the star
+/// window, and returns the doubly-shrunk world to the survivor ring.
+#[test]
+fn second_kill_on_survivor_ring_aborts_and_recovers() {
+    let topo = three_node_topo();
+    let clean = run(config(topo));
+    let elastic = run(RuntimeConfig {
+        faults: FaultPlan::At(vec![
+            FaultEvent {
+                iteration: 5,
+                node: 2,
+            },
+            FaultEvent {
+                iteration: 8,
+                node: 1,
+            },
+        ]),
+        elastic: ElasticConfig::shrink(1),
+        ..config(topo)
+    });
+    assert_eq!(elastic.recoveries, 2);
+    assert_eq!(elastic.elastic_shrinks, 2);
+    assert!(
+        elastic.ring_aborts >= 2,
+        "the second abort must come from the survivor ring itself"
+    );
+    assert_eq!(
+        elastic.phase(Phase::Reduce).count,
+        2,
+        "one bounded star window per recovery"
+    );
+    // Window 1: star at 5, survivor ring 6..7 (the kill at 8 strikes the
+    // survivor ring and is not counted). Window 2: star at 5, survivor
+    // ring 6..=12.
+    assert_eq!(elastic.survivor_ring_iterations, 2 + 7);
+    assert_eq!(elastic.degraded_iterations, 3 + 8);
+    assert_bitwise_parity(&clean, &elastic, "second kill on the survivor ring");
+}
+
+/// Satellite regression: the expand event's degraded-iteration count is
+/// the *executed* counter delta, not iteration arithmetic. A second
+/// kill inside the degraded window rolls training back without closing
+/// the window; deriving the count from `it - degraded_since` would drop
+/// the replayed degraded iterations.
+#[test]
+fn expand_after_second_kill_reports_executed_degraded_count() {
+    let topo = three_node_topo();
+    let clean = run(config(topo));
+    let elastic = run(RuntimeConfig {
+        faults: FaultPlan::At(vec![
+            FaultEvent {
+                iteration: 5,
+                node: 2,
+            },
+            FaultEvent {
+                iteration: 8,
+                node: 1,
+            },
+        ]),
+        elastic: ElasticConfig {
+            shrink: true,
+            replication: 1,
+            rejoin_after: Some(7),
+        },
+        ..config(topo)
+    });
+    assert_eq!(elastic.elastic_shrinks, 2);
+    assert_eq!(elastic.elastic_expands, 1);
+    // First window executes 5..=7 degraded (the kill at 8 aborts), the
+    // rollback resumes at 4 *inside* the still-open window, and 5..=10
+    // execute degraded before the expand fires at iteration 11
+    // (degraded_since 4 + rejoin_after 7): 3 + 6 = 9 executed degraded
+    // iterations. The naive `(it - 1) - degraded_since` says 6.
+    let expand_counts: Vec<u64> = elastic
+        .timeline
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::ElasticExpand {
+                degraded_iterations,
+                ..
+            } => Some(*degraded_iterations),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(expand_counts, vec![9]);
+    assert_eq!(
+        elastic.degraded_iterations, 9,
+        "the summary counter and the expand event must agree"
+    );
+    assert_bitwise_parity(&clean, &elastic, "expand after second kill");
+}
+
+/// Tentpole: an elastic run configured for the *hierarchical* collective
+/// falls back to the survivor ring while degraded (leader-chain
+/// placement assumes the full shape) and returns to the leader chain
+/// after the expand — bitwise throughout.
+#[test]
+fn hierarchical_elastic_falls_back_to_survivor_ring() {
+    let topo = two_node_topo();
+    let cfg = || RuntimeConfig {
+        collective: CollectiveKind::Hierarchical,
+        ..config(topo)
+    };
+    let clean = run(cfg());
+    let elastic = run(RuntimeConfig {
+        faults: kill(7, 1),
+        elastic: ElasticConfig {
+            shrink: true,
+            replication: 1,
+            rejoin_after: Some(3),
+        },
+        ..cfg()
+    });
+    assert_eq!(elastic.elastic_shrinks, 1);
+    assert_eq!(elastic.elastic_expands, 1);
+    assert!(
+        elastic.survivor_ring_iterations > 0,
+        "the degraded window must run the survivor ring"
+    );
+    assert!(
+        elastic.hierarchical_iterations > 0,
+        "the full-shape iterations run the leader chain"
+    );
+    assert_eq!(
+        elastic.hierarchical_iterations
+            + elastic.survivor_ring_iterations
+            + elastic.phase(Phase::Reduce).count,
+        elastic.iterations_executed - 1,
+        "every non-aborted iteration ran exactly one collective"
+    );
+    assert_bitwise_parity(&clean, &elastic, "hierarchical elastic fallback");
+}
+
 /// Scenario 4 (torn persist during shrink + total loss): the store dies
 /// mid-checkpoint while the world is shrunk, then the last surviving
 /// node is killed. With nobody to shrink onto, the elastic run falls
