@@ -1,0 +1,174 @@
+//! Audit + health-plane overhead: what the causal auditor and the
+//! online health scorer add on top of plain span recording, and the
+//! proof that neither touches the numerics.
+//!
+//! The same fault-free multi-rank training job runs three times:
+//!
+//! 1. **off** — observability fully disabled (the baseline);
+//! 2. **audit** — span recording plus the finish-time causal audit
+//!    (Lamport stamping on the record path, graph build + invariant
+//!    checks at the end of the run);
+//! 3. **audit_health_50ms** — the above plus the per-rank health
+//!    scorer fed from every gradient collection and the telemetry
+//!    sampler at 50 ms.
+//!
+//! Every variant must end with bitwise-identical parameters, and a
+//! fault-free trace must audit clean — a violation here means the
+//! auditor has a false positive, which would make its CI gate
+//! worthless. The per-iteration numbers are emitted as
+//! `BENCH_audit.json` so the perf regression gate can track them.
+//!
+//! Run with `cargo bench --bench fig22_audit_health_overhead`.
+
+use moc_bench::{banner, millis, pct};
+use moc_obs::Report;
+use moc_runtime::{CheckpointMode, Coordinator, ObsConfig, RunSummary, RuntimeConfig};
+use moc_store::MemoryObjectStore;
+use moc_train::PecMode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Variant {
+    label: &'static str,
+    summary: RunSummary,
+}
+
+fn run(obs: ObsConfig) -> RunSummary {
+    let topo = moc_core::ParallelTopology::dp_ep(2, 4, 8, 8).expect("topology");
+    let config = RuntimeConfig {
+        total_iterations: 40,
+        i_ckpt: 4,
+        eval_every: 0,
+        checkpoint_mode: CheckpointMode::Async,
+        k_snapshot: 4,
+        k_persist: 2,
+        pec_mode: PecMode::WO,
+        obs,
+        ..RuntimeConfig::tiny(topo)
+    };
+    // An in-memory store keeps file-system noise out of an overhead
+    // measurement that is mostly about the hot loop.
+    let store = Arc::new(MemoryObjectStore::new());
+    Coordinator::new(config, store)
+        .expect("valid config")
+        .run()
+        .expect("fault-free run")
+}
+
+fn main() {
+    banner("Fig. 22 — causal audit + health plane overhead vs a dark run");
+    let variants = [
+        Variant {
+            label: "off",
+            summary: run(ObsConfig::default()),
+        },
+        Variant {
+            label: "audit",
+            summary: run(ObsConfig::enabled()),
+        },
+        Variant {
+            label: "audit_health_50ms",
+            summary: run(ObsConfig::enabled()
+                .with_telemetry(Duration::from_millis(50))
+                .with_health()),
+        },
+    ];
+
+    let base = variants[0].summary.mean_iteration_secs();
+    println!("8 ranks on 2 nodes, tiny 8-expert LM, 40 iterations, async checkpoints");
+    println!(
+        "{:<20} {:>13} {:>10} {:>8} {:>10} {:>8}",
+        "variant", "iter mean", "overhead", "spans", "audited", "health"
+    );
+    for v in &variants {
+        let s = &v.summary;
+        println!(
+            "{:<20} {:>13} {:>10} {:>8} {:>10} {:>8}",
+            v.label,
+            millis(s.mean_iteration_secs()),
+            pct(s.mean_iteration_secs() / base.max(1e-12) - 1.0),
+            s.obs.spans_recorded,
+            s.obs.audit.as_ref().map_or(0, |a| a.events_checked),
+            s.health.as_ref().map_or(0, |h| h.rows.len()),
+        );
+    }
+
+    // A fault-free trace must audit clean: any violation is an auditor
+    // false positive and would poison the CI gate.
+    for v in &variants[1..] {
+        let audit = v.summary.obs.audit.as_ref().expect("audit on");
+        assert!(
+            audit.passed(),
+            "variant {}: fault-free trace must audit clean:\n{}",
+            v.label,
+            audit.render_text()
+        );
+    }
+    let health = variants[2].summary.health.as_ref().expect("health on");
+    assert!(
+        health.degraded_ranks().is_empty(),
+        "a clean run must not degrade anybody"
+    );
+
+    // The whole point of the plane: it observes, it never perturbs.
+    let reference: Vec<u32> = variants[0]
+        .summary
+        .final_params
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    for v in &variants[1..] {
+        let bits: Vec<u32> = v.summary.final_params.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            bits, reference,
+            "variant {} must be bitwise identical to the dark run",
+            v.label
+        );
+    }
+    println!(
+        "final parameters bitwise identical across all {} variants; audits clean",
+        variants.len()
+    );
+
+    let variant_entries = variants.iter().fold(Report::new(), |report, v| {
+        report.field(
+            v.label,
+            Report::new()
+                .field("mean_iteration_secs", v.summary.mean_iteration_secs())
+                .field("loop_secs", v.summary.loop_secs)
+                .field("spans_recorded", v.summary.obs.spans_recorded)
+                .field(
+                    "audit_events_checked",
+                    v.summary
+                        .obs
+                        .audit
+                        .as_ref()
+                        .map_or(0u64, |a| a.events_checked),
+                )
+                .field(
+                    "audit_violations",
+                    v.summary
+                        .obs
+                        .audit
+                        .as_ref()
+                        .map_or(0u64, |a| a.violations.len() as u64),
+                )
+                .field(
+                    "health_ranks",
+                    v.summary
+                        .health
+                        .as_ref()
+                        .map_or(0u64, |h| h.rows.len() as u64),
+                )
+                .json(),
+        )
+    });
+    let json_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_audit.json");
+    Report::new()
+        .field("bench", "fig22_audit_health_overhead")
+        .field("variants", variant_entries.json())
+        .field("bitwise_identical", true)
+        .write(&json_path)
+        .expect("write BENCH_audit.json");
+    println!("wrote {}", json_path.display());
+}

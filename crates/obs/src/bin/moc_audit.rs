@@ -1,0 +1,98 @@
+//! `moc-audit`: the causal trace auditor, as a CLI.
+//!
+//! Re-ingests an exported Chrome trace (`trace.json`), rebuilds the
+//! happens-before graph from the embedded Lamport stamps and flow
+//! bindings, and runs the full invariant suite from
+//! [`moc_obs::audit`]. With `--blame blame.json` the blame-accounting
+//! invariant runs too. Exit status: 0 clean, 2 on violations, 1 on
+//! usage or parse errors — which is what lets CI gate on the live-run
+//! trace artifact.
+
+use moc_obs::audit::{audit, audit_blame_json, AuditConfig};
+use moc_obs::causal::{parse_chrome_trace, CausalGraph};
+use moc_obs::Json;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: moc-audit <trace.json> [--blame <blame.json>] \
+                     [--out <audit.json>] [--detect-bound-secs <S>]";
+
+fn main() -> ExitCode {
+    let mut trace_path = None;
+    let mut blame_path = None;
+    let mut out_path = None;
+    let mut config = AuditConfig::default();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--blame" => blame_path = argv.next(),
+            "--out" => out_path = argv.next(),
+            "--detect-bound-secs" => {
+                let Some(value) = argv.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(1);
+                };
+                config.detect_bound_secs = Some(value);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ if trace_path.is_none() && !arg.starts_with('-') => trace_path = Some(arg),
+            _ => {
+                eprintln!("moc-audit: unexpected argument '{arg}'\n{USAGE}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    let Some(trace_path) = trace_path else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(1);
+    };
+
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("moc-audit: cannot read {trace_path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let events = match parse_chrome_trace(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("moc-audit: {trace_path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let graph = CausalGraph::from_causal(events);
+    let mut report = audit(&graph, None, &config);
+
+    if let Some(blame_path) = blame_path {
+        let doc = std::fs::read_to_string(&blame_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text).map_err(|e| e.to_string()));
+        match doc {
+            Ok(doc) => report
+                .violations
+                .extend(audit_blame_json(&doc, config.blame_tolerance)),
+            Err(e) => {
+                eprintln!("moc-audit: cannot read {blame_path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+
+    if let Some(out_path) = out_path {
+        if let Err(e) = std::fs::write(&out_path, report.to_json().pretty() + "\n") {
+            eprintln!("moc-audit: cannot write {out_path}: {e}");
+            return ExitCode::from(1);
+        }
+    }
+
+    print!("{}", report.render_text());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

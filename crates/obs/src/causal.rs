@@ -1,0 +1,362 @@
+//! The happens-before graph over a recorded trace.
+//!
+//! Every span carries a run-wide Lamport stamp assigned at record time
+//! ([`crate::TraceEvent::lamport`]); this module assembles the causal
+//! structure the audit checks: program-order edges within each thread
+//! lane and flow edges along every flow id (fault arrows, checkpoint
+//! submit→persist arrows). Events come either straight from a live
+//! [`crate::TraceCollector`] or re-ingested from an exported
+//! `trace.json` via [`parse_chrome_trace`] — the Chrome exporter embeds
+//! `lamport` and the flow binding in each slice's `args` exactly so the
+//! graph can be rebuilt offline.
+
+use crate::json::Json;
+use crate::sink::{Flow, SpanKind, TraceEvent};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One trace span in causal form: owned name (offline traces have no
+/// `&'static` names), plus everything the audit needs to order and
+/// blame it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CausalEvent {
+    /// Process lane (node id; control plane past the last node).
+    pub pid: u32,
+    /// Thread lane (rank; engine writers at `1_000_000 + node`).
+    pub tid: u32,
+    /// Span name.
+    pub name: String,
+    /// Span type.
+    pub kind: SpanKind,
+    /// Training iteration the span belongs to.
+    pub iteration: u64,
+    /// Run-relative start, seconds.
+    pub start_secs: f64,
+    /// Duration, seconds.
+    pub dur_secs: f64,
+    /// Flow-arrow participation.
+    pub flow: Flow,
+    /// Record-order Lamport stamp.
+    pub lamport: u64,
+}
+
+impl CausalEvent {
+    /// Run-relative end of the span, seconds.
+    pub fn end_secs(&self) -> f64 {
+        self.start_secs + self.dur_secs
+    }
+
+    /// One-line rendering used in witness paths.
+    pub fn describe(&self) -> String {
+        format!(
+            "[L{}] ({},{}) {} '{}' it={} @{:.6}s+{:.6}s",
+            self.lamport,
+            self.pid,
+            self.tid,
+            self.kind.category(),
+            self.name,
+            self.iteration,
+            self.start_secs,
+            self.dur_secs,
+        )
+    }
+
+    /// JSON form used in `audit.json` witness paths.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("pid".to_string(), Json::from(self.pid as u64)),
+            ("tid".to_string(), Json::from(self.tid as u64)),
+            ("name".to_string(), Json::from(self.name.as_str())),
+            ("kind".to_string(), Json::from(self.kind.category())),
+            ("iteration".to_string(), Json::from(self.iteration)),
+            ("start_secs".to_string(), Json::from(self.start_secs)),
+            ("dur_secs".to_string(), Json::from(self.dur_secs)),
+            ("lamport".to_string(), Json::from(self.lamport)),
+        ];
+        if let Some((phase, id)) = flow_parts(self.flow) {
+            fields.push(("flow".to_string(), Json::from(phase)));
+            fields.push(("flow_id".to_string(), Json::from(id)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+impl From<&TraceEvent> for CausalEvent {
+    fn from(e: &TraceEvent) -> Self {
+        Self {
+            pid: e.pid,
+            tid: e.tid,
+            name: e.name.to_string(),
+            kind: e.kind,
+            iteration: e.iteration,
+            start_secs: e.start_secs,
+            dur_secs: e.dur_secs,
+            flow: e.flow,
+            lamport: e.lamport,
+        }
+    }
+}
+
+/// `(chrome phase letter, id)` of a flow, `None` for [`Flow::None`].
+pub fn flow_parts(flow: Flow) -> Option<(&'static str, u64)> {
+    match flow {
+        Flow::None => None,
+        Flow::Start(id) => Some(("s", id)),
+        Flow::Step(id) => Some(("t", id)),
+        Flow::End(id) => Some(("f", id)),
+    }
+}
+
+/// Re-ingests an exported Chrome trace (`trace.json`) into causal
+/// events. Only complete-slice (`ph:"X"`) records become events; the
+/// flow binding and Lamport stamp are read from the slice's `args`
+/// (the separate `s`/`t`/`f` records exist for Perfetto rendering and
+/// are redundant with the embedded form).
+///
+/// # Errors
+///
+/// Returns a message naming the structural problem: not JSON, no
+/// `traceEvents` array, or a slice missing a required field.
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<CausalEvent>, String> {
+    let doc = Json::parse(text).map_err(|e| format!("trace is not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "trace has no traceEvents array".to_string())?;
+    let mut out = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let field_u64 = |k: &str| {
+            e.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("slice {i}: missing {k}"))
+        };
+        let field_f64 = |k: &str| {
+            e.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("slice {i}: missing {k}"))
+        };
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("slice {i}: missing name"))?
+            .to_string();
+        let cat = e
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("slice {i}: missing cat"))?;
+        let kind = SpanKind::from_category(cat)
+            .ok_or_else(|| format!("slice {i}: unknown category '{cat}'"))?;
+        let args = e.get("args");
+        let arg_u64 = |k: &str| args.and_then(|a| a.get(k)).and_then(Json::as_u64);
+        let flow = match (
+            args.and_then(|a| a.get("flow")).and_then(Json::as_str),
+            arg_u64("flow_id"),
+        ) {
+            (Some("s"), Some(id)) => Flow::Start(id),
+            (Some("t"), Some(id)) => Flow::Step(id),
+            (Some("f"), Some(id)) => Flow::End(id),
+            _ => Flow::None,
+        };
+        out.push(CausalEvent {
+            pid: field_u64("pid")? as u32,
+            tid: field_u64("tid")? as u32,
+            name,
+            kind,
+            // ts/dur are microseconds in the Chrome schema.
+            iteration: arg_u64("iteration").unwrap_or(0),
+            start_secs: field_f64("ts")? / 1e6,
+            dur_secs: field_f64("dur")? / 1e6,
+            flow,
+            lamport: arg_u64("lamport").unwrap_or(0),
+        });
+    }
+    Ok(out)
+}
+
+/// The happens-before graph: events totally ordered by Lamport stamp,
+/// with program-order edges per thread lane and flow edges per flow id.
+#[derive(Debug, Default)]
+pub struct CausalGraph {
+    /// All events, sorted by `(lamport, pid, tid, start_secs)`.
+    pub events: Vec<CausalEvent>,
+    /// Event indices per `(pid, tid)` lane, in lamport order (the
+    /// program-order chains).
+    pub lanes: BTreeMap<(u32, u32), Vec<usize>>,
+    /// Event indices per flow id, in lamport order (the flow chains).
+    pub flows: BTreeMap<u64, Vec<usize>>,
+    /// Forward happens-before edges (program order + flow order).
+    edges: Vec<Vec<usize>>,
+}
+
+impl CausalGraph {
+    /// Builds the graph from live collector events.
+    pub fn build(events: &[TraceEvent]) -> Self {
+        Self::from_causal(events.iter().map(CausalEvent::from).collect())
+    }
+
+    /// Builds the graph from re-ingested (offline) events.
+    pub fn from_causal(mut events: Vec<CausalEvent>) -> Self {
+        events.sort_by(|a, b| {
+            (a.lamport, a.pid, a.tid)
+                .cmp(&(b.lamport, b.pid, b.tid))
+                .then(a.start_secs.total_cmp(&b.start_secs))
+        });
+        let mut lanes: BTreeMap<(u32, u32), Vec<usize>> = BTreeMap::new();
+        let mut flows: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        for (i, e) in events.iter().enumerate() {
+            lanes.entry((e.pid, e.tid)).or_default().push(i);
+            if let Some((_, id)) = flow_parts(e.flow) {
+                flows.entry(id).or_default().push(i);
+            }
+        }
+        let mut edges = vec![Vec::new(); events.len()];
+        for chain in lanes.values().chain(flows.values()) {
+            for pair in chain.windows(2) {
+                edges[pair[0]].push(pair[1]);
+            }
+        }
+        Self {
+            events,
+            lanes,
+            flows,
+            edges,
+        }
+    }
+
+    /// The first event on flow `id` whose name matches, in lamport
+    /// order.
+    pub fn flow_event(&self, id: u64, name: &str) -> Option<&CausalEvent> {
+        self.flows
+            .get(&id)?
+            .iter()
+            .map(|&i| &self.events[i])
+            .find(|e| e.name == name)
+    }
+
+    /// BFS over the happens-before edges from `from` to `to` (event
+    /// indices into [`Self::events`]); the returned path includes both
+    /// endpoints. `None` when `to` is not reachable.
+    pub fn witness_path(&self, from: usize, to: usize) -> Option<Vec<&CausalEvent>> {
+        if from >= self.events.len() || to >= self.events.len() {
+            return None;
+        }
+        let mut prev: Vec<Option<usize>> = vec![None; self.events.len()];
+        let mut queue = VecDeque::from([from]);
+        prev[from] = Some(from);
+        while let Some(i) = queue.pop_front() {
+            if i == to {
+                let mut path = vec![to];
+                let mut at = to;
+                while at != from {
+                    at = prev[at].expect("visited nodes have predecessors");
+                    path.push(at);
+                }
+                path.reverse();
+                return Some(path.into_iter().map(|i| &self.events[i]).collect());
+            }
+            for &next in &self.edges[i] {
+                if prev[next].is_none() {
+                    prev[next] = Some(i);
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Index of the first event matching `pred`, in lamport order.
+    pub fn find(&self, mut pred: impl FnMut(&CausalEvent) -> bool) -> Option<usize> {
+        self.events.iter().position(&mut pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        tid: u32,
+        name: &str,
+        kind: SpanKind,
+        lamport: u64,
+        start: f64,
+        flow: Flow,
+    ) -> CausalEvent {
+        CausalEvent {
+            pid: 0,
+            tid,
+            name: name.to_string(),
+            kind,
+            iteration: 1,
+            start_secs: start,
+            dur_secs: 0.1,
+            flow,
+            lamport,
+        }
+    }
+
+    #[test]
+    fn graph_orders_lanes_and_flows_by_lamport() {
+        let graph = CausalGraph::from_causal(vec![
+            ev(1, "recovery", SpanKind::Fault, 3, 0.9, Flow::End(7)),
+            ev(0, "fault-injected", SpanKind::Fault, 1, 0.1, Flow::Start(7)),
+            ev(0, "fault-detected", SpanKind::Fault, 2, 0.5, Flow::Step(7)),
+        ]);
+        assert_eq!(graph.events[0].name, "fault-injected");
+        assert_eq!(graph.flows[&7], vec![0, 1, 2]);
+        assert_eq!(graph.lanes[&(0, 0)], vec![0, 1]);
+        let path = graph.witness_path(0, 2).expect("flow connects them");
+        let names: Vec<&str> = path.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["fault-injected", "fault-detected", "recovery"]);
+        assert!(graph.witness_path(2, 0).is_none(), "edges are forward-only");
+    }
+
+    #[test]
+    fn chrome_roundtrip_preserves_causal_fields() {
+        let live = vec![
+            TraceEvent {
+                pid: 2,
+                tid: 0,
+                name: "ckpt-submit",
+                kind: SpanKind::Ckpt,
+                iteration: 4,
+                start_secs: 1.25,
+                dur_secs: 0.002,
+                flow: Flow::Start(1_000_000_123),
+                lamport: 41,
+            },
+            TraceEvent {
+                pid: 0,
+                tid: 1_000_000,
+                name: "persist",
+                kind: SpanKind::Persist,
+                iteration: 4,
+                start_secs: 1.26,
+                dur_secs: 0.01,
+                flow: Flow::End(1_000_000_123),
+                lamport: 42,
+            },
+        ];
+        let names = crate::ThreadNames::default();
+        let text = crate::chrome::render(&live, &names);
+        let parsed = parse_chrome_trace(&text).expect("roundtrip parses");
+        assert_eq!(parsed.len(), 2);
+        let submit = parsed.iter().find(|e| e.name == "ckpt-submit").unwrap();
+        assert_eq!(submit.lamport, 41);
+        assert_eq!(submit.flow, Flow::Start(1_000_000_123));
+        assert_eq!(submit.kind, SpanKind::Ckpt);
+        assert!((submit.start_secs - 1.25).abs() < 1e-6);
+        let persist = parsed.iter().find(|e| e.name == "persist").unwrap();
+        assert_eq!(persist.flow, Flow::End(1_000_000_123));
+        let graph = CausalGraph::from_causal(parsed);
+        assert_eq!(graph.flows[&1_000_000_123].len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_structural_garbage() {
+        assert!(parse_chrome_trace("not json").is_err());
+        assert!(parse_chrome_trace("{\"other\": 1}").is_err());
+    }
+}

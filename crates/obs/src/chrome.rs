@@ -41,15 +41,24 @@ pub fn render(events: &[TraceEvent], names: &ThreadNames) -> String {
         let ts = e.start_secs * 1e6;
         let dur = e.dur_secs * 1e6;
         sep(&mut out, &mut first);
+        // The slice args embed the Lamport stamp and the flow binding so
+        // an exported trace can be re-ingested for the causal audit
+        // without matching the separate s/t/f records (those remain for
+        // Perfetto's arrow rendering).
         let _ = write!(
             out,
-            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{\"iteration\":{}}}}}",
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{ts:.3},\"dur\":{dur:.3},\"args\":{{\"iteration\":{},\"lamport\":{}",
             Escaped(e.name),
             e.kind.category(),
             e.pid,
             e.tid,
             e.iteration,
+            e.lamport,
         );
+        if let Some((phase, id)) = crate::causal::flow_parts(e.flow) {
+            let _ = write!(out, ",\"flow\":\"{phase}\",\"flow_id\":{id}");
+        }
+        out.push_str("}}");
         let (ph, extra, id) = match e.flow {
             Flow::None => continue,
             Flow::Start(id) => ("s", "", id),
@@ -120,6 +129,7 @@ mod tests {
                 start_secs: 0.5,
                 dur_secs: 0.001,
                 flow: Flow::Start(1),
+                lamport: 1,
             },
             TraceEvent {
                 pid: 0,
@@ -130,6 +140,7 @@ mod tests {
                 start_secs: 0.6,
                 dur_secs: 0.05,
                 flow: Flow::End(1),
+                lamport: 2,
             },
         ];
         let doc = Json::parse(&render(&events, &names)).unwrap();
@@ -167,6 +178,7 @@ mod tests {
             start_secs: 1.234_567_891,
             dur_secs: 0.000_000_5,
             flow: Flow::None,
+            lamport: 1,
         }];
         let text = render(&events, &names);
         assert!(text.contains("\"ts\":1234567.891"), "{text}");

@@ -614,6 +614,7 @@ mod tests {
             start_secs: start,
             dur_secs: dur,
             flow: Flow::None,
+            lamport: 0,
         }
     }
 

@@ -133,6 +133,7 @@ mod tests {
                         start_secs: 1.2,
                         dur_secs: 0.01,
                         flow: Flow::None,
+                        lamport: 1,
                     }],
                 },
                 FlightThread {

@@ -68,6 +68,14 @@ impl Json {
         }
     }
 
+    /// The fields if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// The value if this is a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -1,6 +1,6 @@
 //! moc-obs: observability for the MoC-System runtime.
 //!
-//! Zero dependencies beyond the workspace (std only). Six pieces:
+//! Zero dependencies beyond the workspace (std only). Nine pieces:
 //!
 //! - **Span recording** ([`sink`]): every runtime thread (rank,
 //!   coordinator, checkpoint-engine writer) holds a [`TraceSink`] and
@@ -36,6 +36,25 @@
 //!   ckpt, straggler stall, recovery, …), per iteration and aggregate,
 //!   plus an incident report correlating chaos-plane events with their
 //!   measured latency impact.
+//! - **Happens-before graph** ([`causal`]): every span carries a
+//!   run-wide Lamport stamp assigned at record time (one relaxed atomic
+//!   increment — the dark run stays bitwise identical); at finish the
+//!   stamps plus flow ids assemble into a [`CausalGraph`] with
+//!   program-order and flow edges, rebuildable offline from an exported
+//!   `trace.json` via [`parse_chrome_trace`].
+//! - **Causal audit** ([`audit`]): structural invariant checks over the
+//!   graph — inject → detect → recover chains complete and ordered,
+//!   submit → persist chains complete, spans properly nested, step
+//!   order monotone outside rollbacks, blame rows sum to wall time —
+//!   written as `audit.json` with causal witness paths per violation;
+//!   the `moc-audit` binary re-runs the same checks over an exported
+//!   trace and gates CI.
+//! - **Health scorer** ([`health`]): streaming per-rank EWMA + MAD
+//!   z-scores over step time, stall time and store retries, driving a
+//!   healthy → degraded → suspect state machine whose verdicts feed
+//!   `health.json`, `EventKind::HealthDegraded` run events, and the
+//!   suspicion detector's corroboration hook (a degraded rank is
+//!   declared one lease window sooner).
 //!
 //! [`json`] is a minimal JSON value (build/print/parse — the vendored
 //! `serde` is an API stand-in with no runtime behaviour) and [`report`]
@@ -56,7 +75,7 @@
 //! | `Gc`          | `gc` (chain-aware garbage collection)                    | ckpt-engine writer   |
 //! | `Fault`       | `fault-injected`, `fault-suspected`, `fault-cleared`, `fault-detected`, `heartbeat-loss`, `mesh-delay`, `mesh-drop`, `recovery`, `recovery-plan`, `recovery-fetch`, `recovery-restore`, `restore-apply` | coordinator / rank |
 //! | `Elastic`     | `shrink-rebalance`, `expand-restore`, `export-state`     | coordinator / rank   |
-//! | `Control`     | `apply-wait`, `eval`                                     | coordinator / rank   |
+//! | `Control`     | `apply-wait`, `eval`, `health-degraded`                  | coordinator / rank   |
 //!
 //! Flow arrows (`cat = "flow"`):
 //!
@@ -67,22 +86,35 @@
 //!   start on each per-node `ckpt-submit` span on the training path,
 //!   finish on the matching background `persist` span in that node's
 //!   engine writer thread.
+//!
+//! Every span additionally carries its run-wide Lamport stamp in
+//! `args.lamport` (and its flow binding in `args.flow`/`args.flow_id`),
+//! so the happens-before graph survives the round trip through
+//! `trace.json`.
 
 #![warn(missing_docs)]
 
+pub mod audit;
+pub mod causal;
 pub mod chrome;
 pub mod critical;
 pub mod flight;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod report;
 pub mod sink;
 pub mod telemetry;
 
+pub use audit::{audit_blame_json, AuditConfig, AuditReport, AuditViolation};
+pub use causal::{parse_chrome_trace, CausalEvent, CausalGraph};
 pub use critical::{
     BlameCategory, BlameReport, Incident, IncidentKind, IterationBlame, RankPhases,
 };
 pub use flight::{FlightDump, FlightThread};
+pub use health::{
+    HealthConfig, HealthReport, HealthRow, HealthScorer, HealthState, HealthTransition,
+};
 pub use hist::LogHistogram;
 pub use json::Json;
 pub use report::{render_phase_table, render_timeline, PhaseRow, Report, TimelineRow};

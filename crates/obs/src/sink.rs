@@ -10,6 +10,8 @@
 //! disabled both the collector and every sink are inert: each call is
 //! one branch on an `Option` that is `None`.
 
+use crate::audit::{self, AuditConfig, AuditReport};
+use crate::causal::CausalGraph;
 use crate::chrome;
 use crate::critical::{self, BlameReport, RankPhases};
 use crate::flight::{FlightDump, FlightThread};
@@ -46,6 +48,16 @@ pub struct ObsConfig {
     /// trace file and keeping the series for `telemetry.json`. `None`
     /// keeps the telemetry plane fully inert.
     pub telemetry_interval: Option<Duration>,
+    /// Run the causal audit over the merged spans at finish time,
+    /// writing `audit.json` next to the trace (when a path is set) and
+    /// taking an `-audit-flight-` dump on any violation. Costs nothing
+    /// on the hot path — the audit runs once, after the loop.
+    pub audit: bool,
+    /// Whether the runtime should run the streaming per-rank health
+    /// scorer ([`crate::health`]) over its step reports. Off by default:
+    /// scoring is cheap but the corroboration hook changes detection
+    /// timing, so it is an explicit opt-in.
+    pub health: bool,
 }
 
 impl Default for ObsConfig {
@@ -55,6 +67,8 @@ impl Default for ObsConfig {
             flight_recorder_len: 64,
             trace_path: None,
             telemetry_interval: None,
+            audit: true,
+            health: false,
         }
     }
 }
@@ -80,6 +94,12 @@ impl ObsConfig {
     /// Turns the live telemetry sampler on at `interval`.
     pub fn with_telemetry(mut self, interval: Duration) -> Self {
         self.telemetry_interval = Some(interval);
+        self
+    }
+
+    /// Turns the streaming per-rank health scorer on.
+    pub fn with_health(mut self) -> Self {
+        self.health = true;
         self
     }
 }
@@ -119,6 +139,22 @@ impl SpanKind {
             SpanKind::Control => "control",
         }
     }
+
+    /// Inverse of [`SpanKind::category`], for trace re-ingestion
+    /// (`moc-audit` parses exported traces back into events).
+    pub fn from_category(cat: &str) -> Option<Self> {
+        Some(match cat {
+            "phase" => SpanKind::Phase,
+            "collective" => SpanKind::Collective,
+            "ckpt" => SpanKind::Ckpt,
+            "persist" => SpanKind::Persist,
+            "gc" => SpanKind::Gc,
+            "fault" => SpanKind::Fault,
+            "elastic" => SpanKind::Elastic,
+            "control" => SpanKind::Control,
+            _ => return None,
+        })
+    }
 }
 
 /// Flow-arrow participation of a span.
@@ -154,6 +190,12 @@ pub struct TraceEvent {
     pub dur_secs: f64,
     /// Flow-arrow participation.
     pub flow: Flow,
+    /// Record-order Lamport stamp: one run-wide counter advanced at
+    /// record time, so any two spans are totally ordered consistently
+    /// with causality (a span recorded as a downstream effect of
+    /// another always carries the larger stamp). Sequential from 1;
+    /// the causal audit orders the happens-before graph by it.
+    pub lamport: u64,
 }
 
 impl TraceEvent {
@@ -165,6 +207,7 @@ impl TraceEvent {
             ("iteration".to_string(), Json::from(self.iteration)),
             ("start_secs".to_string(), Json::from(self.start_secs)),
             ("dur_secs".to_string(), Json::from(self.dur_secs)),
+            ("lamport".to_string(), Json::from(self.lamport)),
         ];
         let flow = match self.flow {
             Flow::None => None,
@@ -238,12 +281,18 @@ struct Shared {
     anchor: Instant,
     ring_len: usize,
     trace_path: Option<PathBuf>,
+    audit: bool,
     merged: Mutex<Vec<TraceEvent>>,
     names: Mutex<ThreadNames>,
     rings: Mutex<Vec<RingSlot>>,
     dumps: Mutex<Vec<FlightDump>>,
     flow_ids: AtomicU64,
     dump_seq: AtomicU64,
+    /// The run-wide Lamport counter every sink stamps records from.
+    lamport: AtomicU64,
+    /// Detection-latency bound the finish-time audit holds fault flows
+    /// to; set by the runtime from its detector configuration.
+    detect_bound: Mutex<Option<f64>>,
 }
 
 /// The run-wide span collector. Cheap to clone-by-`sink` handles; owns
@@ -273,12 +322,15 @@ impl TraceCollector {
             anchor: Instant::now(),
             ring_len: config.flight_recorder_len.max(1),
             trace_path: config.trace_path.clone(),
+            audit: config.audit,
             merged: Mutex::new(Vec::new()),
             names: Mutex::new(ThreadNames::default()),
             rings: Mutex::new(Vec::new()),
             dumps: Mutex::new(Vec::new()),
             flow_ids: AtomicU64::new(0),
             dump_seq: AtomicU64::new(0),
+            lamport: AtomicU64::new(0),
+            detect_bound: Mutex::new(None),
         });
         let telemetry = config.telemetry_interval.map(|interval| {
             let prom_path = config
@@ -341,6 +393,16 @@ impl TraceCollector {
             .unwrap_or(0)
     }
 
+    /// Sets the detection-latency bound (seconds) the finish-time audit
+    /// holds every fault flow to: injection → detection must complete
+    /// within it. Unset, the audit checks flow structure but not
+    /// latency. No-op when disabled.
+    pub fn set_detect_bound(&self, secs: f64) {
+        if let Some(shared) = &self.shared {
+            *lock(&shared.detect_bound) = Some(secs);
+        }
+    }
+
     /// Registers a thread lane and hands out its sink. Re-requesting
     /// the same `(pid, tid)` (a respawned rank) reuses the existing
     /// flight-recorder ring so pre-fault history survives.
@@ -386,6 +448,14 @@ impl TraceCollector {
     /// trace file when a trace path is configured. `None` when
     /// disabled.
     pub fn flight_dump(&self, reason: &str) -> Option<FlightDump> {
+        self.flight_dump_named("flight", reason)
+    }
+
+    /// [`Self::flight_dump`] with a caller-chosen artifact infix: the
+    /// files land as `<stem>-<infix>-<n>.{json,txt}`. The finish-time
+    /// audit uses `"audit-flight"` so violation evidence is named apart
+    /// from fault-declaration dumps.
+    fn flight_dump_named(&self, infix: &str, reason: &str) -> Option<FlightDump> {
         let shared = self.shared.as_ref()?;
         let seq = shared.dump_seq.fetch_add(1, Ordering::Relaxed);
         let names = lock(&shared.names).clone();
@@ -415,8 +485,8 @@ impl TraceCollector {
                 .file_stem()
                 .and_then(|s| s.to_str())
                 .unwrap_or("trace");
-            let json_path = trace.with_file_name(format!("{stem}-flight-{seq}.json"));
-            let text_path = trace.with_file_name(format!("{stem}-flight-{seq}.txt"));
+            let json_path = trace.with_file_name(format!("{stem}-{infix}-{seq}.json"));
+            let text_path = trace.with_file_name(format!("{stem}-{infix}-{seq}.txt"));
             if let Some(dir) = json_path.parent() {
                 let _ = std::fs::create_dir_all(dir);
             }
@@ -478,6 +548,36 @@ impl TraceCollector {
                 names.thread_label(pid, tid)
             )
         });
+        let mut audit_report = None;
+        let mut audit_path = None;
+        if shared.audit {
+            let graph = CausalGraph::build(&events);
+            let config = AuditConfig {
+                detect_bound_secs: *lock(&shared.detect_bound),
+                ..AuditConfig::default()
+            };
+            let report = audit::audit(&graph, Some(&blame), &config);
+            if let Some(trace) = &shared.trace_path {
+                let path = trace.with_file_name("audit.json");
+                match std::fs::write(&path, format!("{}\n", report.to_json().pretty())) {
+                    Ok(()) => audit_path = Some(path),
+                    Err(e) => eprintln!("moc-obs: audit report write failed: {e}"),
+                }
+            }
+            if !report.passed() {
+                // Violation evidence: snapshot every ring into a
+                // separately named dump so CI artifacts carry the final
+                // spans of every lane alongside the witness paths.
+                self.flight_dump_named(
+                    "audit-flight",
+                    &format!(
+                        "causal audit failed: {} violation(s)",
+                        report.violations.len()
+                    ),
+                );
+            }
+            audit_report = Some(report);
+        }
         ObsRunReport {
             enabled: true,
             spans_recorded: events.len() as u64,
@@ -487,6 +587,8 @@ impl TraceCollector {
             blame: Some(blame),
             blame_path,
             telemetry,
+            audit: audit_report,
+            audit_path,
         }
     }
 }
@@ -512,6 +614,11 @@ pub struct ObsRunReport {
     pub blame_path: Option<PathBuf>,
     /// The live-telemetry series, when the sampler was on.
     pub telemetry: Option<TelemetryReport>,
+    /// The finish-time causal audit verdict (`Some` whenever
+    /// observability was on and `ObsConfig::audit` was left on).
+    pub audit: Option<AuditReport>,
+    /// Where `audit.json` was written, if anywhere.
+    pub audit_path: Option<PathBuf>,
 }
 
 /// A per-thread span recorder. Append-only and unsynchronized on the
@@ -576,9 +683,12 @@ impl TraceSink {
         dur_secs: f64,
         flow: Flow,
     ) {
-        if self.shared.is_none() {
+        let Some(shared) = &self.shared else {
             return;
-        }
+        };
+        // One relaxed fetch_add per recorded span, after the dark-path
+        // early return above — a disabled run still costs one branch.
+        let lamport = shared.lamport.fetch_add(1, Ordering::Relaxed) + 1;
         let event = TraceEvent {
             pid: self.pid,
             tid: self.tid,
@@ -588,6 +698,7 @@ impl TraceSink {
             start_secs,
             dur_secs: dur_secs.max(0.0),
             flow,
+            lamport,
         };
         self.local.push(event);
         if let Some(ring) = &self.ring {

@@ -339,6 +339,9 @@ pub fn render_prom(sample: &TelemetrySample) -> String {
     out.push_str("# HELP moc_telemetry_at_seconds Run-relative time of this snapshot\n");
     out.push_str("# TYPE moc_telemetry_at_seconds gauge\n");
     out.push_str(&format!("moc_telemetry_at_seconds {:.6}\n", sample.at_secs));
+    // OpenMetrics terminator: scrapers treat a snapshot without it as a
+    // truncated exposition.
+    out.push_str("# EOF\n");
     out
 }
 
@@ -546,5 +549,46 @@ mod tests {
         let names = series.get("counters").and_then(Json::as_array).unwrap();
         assert_eq!(names.len(), COUNTER_COUNT);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prom_exposition_is_strictly_well_formed() {
+        let sample = TelemetrySample {
+            at_secs: 1.5,
+            values: [7; COUNTER_COUNT],
+        };
+        let text = render_prom(&sample);
+        assert!(text.ends_with("# EOF\n"), "terminator required:\n{text}");
+        let mut typed: std::collections::BTreeMap<String, String> = Default::default();
+        let mut helped: std::collections::BTreeSet<String> = Default::default();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap().to_string();
+                assert!(helped.insert(name), "duplicate HELP: {line}");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().unwrap().to_string();
+                let ty = parts.next().unwrap().to_string();
+                assert!(matches!(ty.as_str(), "counter" | "gauge"), "{line}");
+                // Prometheus convention: `_total` suffix iff counter.
+                assert_eq!(name.ends_with("_total"), ty == "counter", "{line}");
+                assert!(typed.insert(name, ty).is_none(), "duplicate TYPE: {line}");
+                continue;
+            }
+            if line == "# EOF" || line.is_empty() {
+                continue;
+            }
+            // Sample lines: `<name> <value>`, name declared above it.
+            let mut parts = line.split_whitespace();
+            let name = parts.next().unwrap();
+            assert!(typed.contains_key(name), "sample before TYPE: {line}");
+            assert!(helped.contains(name), "sample before HELP: {line}");
+            let value = parts.next().expect("sample has a value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+            assert!(parts.next().is_none(), "trailing tokens: {line}");
+        }
+        assert_eq!(typed.len(), COUNTER_COUNT + 1, "every counter exposed");
     }
 }

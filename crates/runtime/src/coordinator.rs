@@ -31,8 +31,8 @@ use moc_core::twolevel::ShardJob;
 use moc_elastic::{plan_expand, plan_shrink, PlacementPlanner};
 use moc_moe::ExpertId;
 use moc_obs::{
-    ckpt_flow_id, Counter, Flow, SpanKind, TelemetryCell, TraceCollector, TraceSink,
-    BACKGROUND_TID_BASE,
+    ckpt_flow_id, Counter, Flow, HealthConfig, HealthScorer, HealthState, SpanKind, TelemetryCell,
+    TraceCollector, TraceSink, BACKGROUND_TID_BASE,
 };
 use moc_store::{ChaosStore, ClusterMemory, NodeId, ObjectStore, RetryStore, StatePart};
 use moc_train::checkpoint::expert_of;
@@ -280,6 +280,16 @@ struct Run {
     /// Flow id of the currently open fault arrow: allocated when a kill
     /// is injected, consumed by the recovery span that resolves it.
     fault_flow: Option<u64>,
+    /// Streaming per-rank health scorer (`None` unless
+    /// `config.obs.health`); fed from the step samples every successful
+    /// collection already carries. Pure observer — it never touches the
+    /// training math, so scored runs stay bitwise identical to dark
+    /// runs.
+    health: Option<HealthScorer>,
+    /// Ranks the health plane currently scores worse than healthy: the
+    /// suspicion detector's corroboration set. Silence from an
+    /// already-degraded rank is declared one lease window sooner.
+    health_degraded: BTreeSet<usize>,
 }
 
 impl Run {
@@ -410,7 +420,12 @@ impl Run {
             sink,
             telemetry,
             fault_flow: None,
+            health: None,
+            health_degraded: BTreeSet::new(),
         };
+        if run.config.obs.enabled && run.config.obs.health {
+            run.health = Some(HealthScorer::new(HealthConfig::default()));
+        }
         run.apply_bufs = (0..run.config.topology.num_dp_groups())
             .map(|_| Arc::new(Vec::new()))
             .collect();
@@ -915,6 +930,11 @@ impl Run {
             }
         }
         self.record_group_stats(grads.iter().map(|(&rank, g)| (rank, g.group)));
+        let health_samples: Vec<(usize, f64, f64)> = grads
+            .iter()
+            .map(|(&rank, g)| (rank, g.compute_secs + g.stall_secs, g.stall_secs))
+            .collect();
+        self.observe_health(it, &health_samples);
 
         // Reduce each DP group: DP-order left fold into the group's
         // reused scratch buffer, then average by the group size. The fold
@@ -1022,6 +1042,14 @@ impl Run {
             let resume = self.handle_exchange_fault(it, &missing, &aborted, true, collect_start)?;
             return Ok(Some(resume));
         }
+        let health_samples: Vec<(usize, f64, f64)> = replies
+            .iter()
+            .filter_map(|(&rank, r)| match r {
+                RingReply::Done(d) => Some((rank, d.compute_secs + d.stall_secs, d.stall_secs)),
+                RingReply::Aborted => None,
+            })
+            .collect();
+        self.observe_health(it, &health_samples);
 
         // Compute / wait / apply are reported as the max across ranks
         // (the iteration's critical path); the ring legs as the median
@@ -1161,6 +1189,48 @@ impl Run {
         }
     }
 
+    /// Feeds per-rank step samples (`(rank, step seconds, stall
+    /// seconds)`) of a successful collection into the health scorer and
+    /// surfaces its transitions: a run event plus a control-plane span
+    /// when a rank leaves the healthy state, and maintenance of the
+    /// corroboration set either way. No-op when health scoring is off.
+    fn observe_health(&mut self, it: u64, samples: &[(usize, f64, f64)]) {
+        let Some(scorer) = self.health.as_mut() else {
+            return;
+        };
+        let mut transitions = Vec::new();
+        for &(rank, step_secs, stall_secs) in samples {
+            if let Some(t) = scorer.observe(rank, it, step_secs, stall_secs, 0) {
+                transitions.push(t);
+            }
+        }
+        for t in transitions {
+            if t.to == HealthState::Healthy {
+                self.health_degraded.remove(&t.rank);
+            } else {
+                self.health_degraded.insert(t.rank);
+            }
+            if t.from == HealthState::Healthy {
+                self.metrics.event(
+                    it,
+                    EventKind::HealthDegraded {
+                        rank: t.rank,
+                        z: t.z,
+                    },
+                );
+                let now = self.sink.now();
+                self.sink.record(
+                    SpanKind::Control,
+                    "health-degraded",
+                    it,
+                    now,
+                    0.0,
+                    Flow::None,
+                );
+            }
+        }
+    }
+
     /// One heartbeat collection window for `collective`. Star in a mixed
     /// parallelism world doubles the per-receive window (like the ring
     /// collector's): survivors of a mid-group death only report after
@@ -1289,12 +1359,12 @@ impl Run {
                 Ok(_) => {} // stale event from before a recovery
                 Err(RecvTimeoutError::Timeout) => {
                     misses += 1;
-                    if misses >= k {
-                        break;
-                    }
                     let silent: Vec<usize> = (0..self.live.len())
                         .filter(|&r| self.live[r] && !replies.contains_key(&r))
                         .collect();
+                    if misses >= self.effective_k(k, &silent) {
+                        break;
+                    }
                     self.note_suspects(iteration, &silent, &mut suspected, misses);
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -1367,18 +1437,32 @@ impl Run {
                 Ok(_) => {} // stale event from before a recovery
                 Err(RecvTimeoutError::Timeout) => {
                     misses += 1;
-                    if misses >= k {
-                        break;
-                    }
                     let silent: Vec<usize> = (0..self.live.len())
                         .filter(|&r| self.live[r] && !replies.contains_key(&r))
                         .collect();
+                    if misses >= self.effective_k(k, &silent) {
+                        break;
+                    }
                     self.note_suspects(iteration, &silent, &mut suspected, misses);
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
         replies
+    }
+
+    /// The miss threshold in force for this collection's silent set:
+    /// when every silent rank was already scored degraded by the health
+    /// plane, their silence corroborates an existing signal and the
+    /// detector declares one lease window sooner
+    /// ([`crate::DetectorConfig::corroborated_k`]). A mixed silent set keeps
+    /// the full threshold — a healthy rank must get its whole lease.
+    fn effective_k(&self, k: u32, silent: &[usize]) -> u32 {
+        if !silent.is_empty() && silent.iter().all(|r| self.health_degraded.contains(r)) {
+            self.config.detector.corroborated_k()
+        } else {
+            k
+        }
     }
 
     /// Upper bound on how long the coordinator waits for a reply that is
@@ -2075,6 +2159,7 @@ impl Run {
     }
 
     fn finish(mut self) -> Result<RunSummary, RuntimeError> {
+        let worst_window = self.collect_window(CollectiveKind::Ring);
         // Drain in-flight persists before measuring final storage state.
         for node in self.nodes.iter().filter(|n| n.alive()) {
             node.wait_idle();
@@ -2105,6 +2190,29 @@ impl Run {
         // sinks have flushed their thread-local buffers; merging the
         // coordinator's own spans last completes the trace.
         self.sink.flush();
+        // The audit's detection-latency bound: the detector's worst-case
+        // declaration time over the widest collect window, doubled for
+        // recv_timeout overshoot on oversubscribed hosts, plus constant
+        // slack for the rank-side step preceding the collection (the
+        // injection span opens at iteration start, before collect).
+        self.collector.set_detect_bound(
+            2.0 * self
+                .config
+                .detector
+                .declare_after(worst_window)
+                .as_secs_f64()
+                + 5.0,
+        );
+        let health = self.health.as_ref().map(HealthScorer::report);
+        if let Some(report) = &health {
+            if let Some(trace) = &self.config.obs.trace_path {
+                // Best effort, like every other observability artifact.
+                let _ = std::fs::write(
+                    trace.with_file_name("health.json"),
+                    report.to_json().pretty() + "\n",
+                );
+            }
+        }
         let obs = self.collector.finish();
 
         let lead = *finals.keys().next().expect("a live rank reported");
@@ -2153,6 +2261,7 @@ impl Run {
             final_params,
             replicas_consistent,
             obs,
+            health,
         })
     }
 }

@@ -59,6 +59,21 @@ impl DetectorConfig {
     pub fn declare_after(&self, window: Duration) -> Duration {
         window + self.lease_for(window) * self.k_misses.saturating_sub(1)
     }
+
+    /// The effective miss threshold for a rank the health plane already
+    /// scored as degraded: silence then corroborates an existing signal
+    /// instead of opening a fresh suspicion, so the rank gets one lease
+    /// window fewer before declaration (never below the legacy single
+    /// miss).
+    pub fn corroborated_k(&self) -> u32 {
+        self.k_misses.saturating_sub(1).max(1)
+    }
+
+    /// [`Self::declare_after`] under corroboration: exactly one lease
+    /// window shorter (down to the legacy bound).
+    pub fn declare_after_corroborated(&self, window: Duration) -> Duration {
+        window + self.lease_for(window) * self.corroborated_k().saturating_sub(1)
+    }
 }
 
 /// Verdict of one observed window in the pure detector model.
@@ -161,5 +176,30 @@ mod tests {
     #[should_panic(expected = "at least one miss")]
     fn zero_k_panics() {
         SuspicionSim::new(0);
+    }
+
+    #[test]
+    fn corroboration_shortens_declaration_by_exactly_one_lease() {
+        let w = Duration::from_millis(100);
+        let d = DetectorConfig {
+            k_misses: 3,
+            lease: Some(Duration::from_millis(40)),
+        };
+        assert_eq!(d.corroborated_k(), 2);
+        assert_eq!(
+            d.declare_after(w) - d.declare_after_corroborated(w),
+            d.lease_for(w),
+        );
+        // The default detector (k = 2) drops to the legacy bound.
+        let default = DetectorConfig::default();
+        assert_eq!(default.corroborated_k(), 1);
+        assert_eq!(default.declare_after_corroborated(w), w);
+        // Legacy cannot get any faster: corroboration floors at one miss.
+        let legacy = DetectorConfig::legacy();
+        assert_eq!(legacy.corroborated_k(), 1);
+        assert_eq!(
+            legacy.declare_after_corroborated(w),
+            legacy.declare_after(w)
+        );
     }
 }

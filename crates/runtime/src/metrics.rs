@@ -233,6 +233,16 @@ pub enum EventKind {
         /// Step-duration multiplier.
         factor: f64,
     },
+    /// The health plane scored a rank's step samples as sustained
+    /// outliers and walked it out of the healthy state. The detector's
+    /// corroboration hook now declares this rank one lease window
+    /// sooner should it go silent.
+    HealthDegraded {
+        /// The degraded rank.
+        rank: usize,
+        /// Robust z-score of the tipping sample.
+        z: f64,
+    },
     /// The run shrank elastically onto its surviving ranks: no respawn —
     /// the dead shard groups' batch slices and experts were adopted and
     /// training continued degraded within the same run.
@@ -509,6 +519,9 @@ pub struct RunSummary {
     /// What observability produced: span counts, flight dumps, and the
     /// trace path (inert when `ObsConfig.enabled` was false).
     pub obs: ObsRunReport,
+    /// The health plane's per-rank verdict (`None` when
+    /// `ObsConfig.health` was off).
+    pub health: Option<moc_obs::HealthReport>,
 }
 
 impl RunSummary {

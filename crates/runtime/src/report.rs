@@ -76,6 +76,10 @@ fn describe(kind: &EventKind) -> (String, String) {
         EventKind::StragglerInjected { rank, factor } => {
             ("SLOW".into(), format!("rank {rank} stretched {factor}x"))
         }
+        EventKind::HealthDegraded { rank, z } => (
+            "DEGRADED".into(),
+            format!("rank {rank} health degraded (z {z:.1}); suspicion corroboration armed"),
+        ),
         EventKind::ElasticShrink {
             dead_groups,
             adoptions,
@@ -226,6 +230,31 @@ impl RunSummary {
                 ));
             }
         }
+        if let Some(health) = &self.health {
+            out.push_str("\nrank health:\n");
+            out.push_str(&format!(
+                "  {:<6} {:<10} {:>8} {:>12} {:>8} {:>8} {:>12}\n",
+                "rank", "state", "samples", "ewma step", "last z", "worst z", "transitions"
+            ));
+            for row in &health.rows {
+                out.push_str(&format!(
+                    "  {:<6} {:<10} {:>8} {:>12} {:>8.1} {:>8.1} {:>12}\n",
+                    row.rank,
+                    row.state.label(),
+                    row.samples,
+                    ms(row.ewma_step_secs),
+                    row.last_z,
+                    row.worst_z,
+                    row.transitions,
+                ));
+            }
+        }
+        if let Some(audit) = &self.obs.audit {
+            out.push_str(&format!("\n{}", audit.render_text()));
+            if let Some(path) = &self.obs.audit_path {
+                out.push_str(&format!("  audit report at {}\n", path.display()));
+            }
+        }
         if let Some(blame) = &self.obs.blame {
             out.push_str("\ncritical path:\n");
             out.push_str(&blame.render_text());
@@ -316,6 +345,33 @@ mod tests {
         assert!(text.contains("per-rank phases"), "{text}");
         assert!(text.contains("node0/rank 0"), "{text}");
         assert!(text.contains("10.00 ms"), "{text}");
+    }
+
+    #[test]
+    fn text_report_renders_health_table_and_degraded_events() {
+        let mut s = summary_with_events();
+        s.timeline.push(TimelineEvent {
+            at_secs: 0.6,
+            iteration: 5,
+            kind: EventKind::HealthDegraded { rank: 2, z: 41.5 },
+        });
+        s.health = Some(moc_obs::HealthReport {
+            rows: vec![moc_obs::HealthRow {
+                rank: 2,
+                state: moc_obs::HealthState::Degraded,
+                samples: 9,
+                ewma_step_secs: 0.012,
+                last_z: 41.5,
+                worst_z: 44.0,
+                transitions: 1,
+            }],
+            transitions: vec![],
+        });
+        let text = s.render_text();
+        assert!(text.contains("rank health"), "{text}");
+        assert!(text.contains("degraded"), "{text}");
+        assert!(text.contains("DEGRADED"), "{text}");
+        assert!(text.contains("41.5"), "{text}");
     }
 
     #[test]

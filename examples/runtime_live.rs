@@ -6,10 +6,12 @@
 //! <https://ui.perfetto.dev>) whose flow arrows link each injected fault
 //! to its detection and recovery spans, streams live telemetry
 //! (`telemetry.prom` Prometheus snapshot during the run,
-//! `telemetry.json` series and `blame.json` at the end), and dumps the
-//! flight recorder the moment a fault is declared. A sync-checkpointing
-//! baseline runs with observability disabled for the overhead
-//! comparison.
+//! `telemetry.json` series and `blame.json` at the end), audits the
+//! trace's causal structure at finish (`audit.json` — CI replays the
+//! same check offline with `moc-audit`), scores per-rank health online
+//! (`health.json`), and dumps the flight recorder the moment a fault
+//! is declared. A sync-checkpointing baseline runs with observability
+//! disabled for the overhead comparison.
 //!
 //! The trace directory defaults to `target/obs/` and can be overridden
 //! with the `MOC_TRACE_DIR` environment variable (CI uploads it as a
@@ -50,7 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dynamic_k_budget: Some(0.12),
         heartbeat_timeout: Duration::from_millis(800),
         obs: ObsConfig::with_trace(trace_dir.join("trace.json"))
-            .with_telemetry(Duration::from_millis(50)),
+            .with_telemetry(Duration::from_millis(50))
+            .with_health(),
         ..RuntimeConfig::tiny(topo)
     };
 
@@ -106,6 +109,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(path) = &async_run.obs.blame_path {
         println!("blame report: {}", path.display());
+    }
+    if let (Some(audit), Some(path)) = (&async_run.obs.audit, &async_run.obs.audit_path) {
+        println!(
+            "causal audit: {} invariant violations across {} events — {}",
+            audit.violations.len(),
+            audit.events_checked,
+            path.display()
+        );
+    }
+    if let Some(health) = &async_run.health {
+        println!(
+            "health plane: {} ranks scored, {} finished degraded — {}",
+            health.rows.len(),
+            health.degraded_ranks().len(),
+            trace_dir.join("health.json").display()
+        );
     }
 
     std::fs::remove_dir_all(&root)?;

@@ -1,0 +1,172 @@
+//! Seeded trace-mutation tests of the causal auditor: a live faulted
+//! run's exported `trace.json` re-ingests into a causal graph that
+//! passes every structural invariant, and surgically corrupting the
+//! trace — dropping the persist span a checkpoint flow lands on, or
+//! reordering the detection edge past the recovery — trips *exactly*
+//! the targeted invariant with a causal witness path naming the
+//! offending spans. The auditor must be precise in both directions:
+//! zero false positives on a healthy trace, and the right violation
+//! (not a pile of collateral ones) on a corrupted one.
+
+use moc_system::core::ParallelTopology;
+use moc_system::obs::audit::audit;
+use moc_system::obs::{
+    parse_chrome_trace, AuditConfig, CausalEvent, CausalGraph, Flow, Json, SpanKind,
+};
+use moc_system::runtime::{Coordinator, ObsConfig, RunSummary, RuntimeConfig};
+use moc_system::store::{FaultEvent, FaultPlan, MemoryObjectStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Checkpoint flows live above this id; fault flows below (mirrors
+/// `moc_obs::ckpt_flow_id`).
+const CKPT_FLOW_BASE: u64 = 1_000_000_000;
+
+fn run(config: RuntimeConfig) -> RunSummary {
+    Coordinator::new(config, Arc::new(MemoryObjectStore::new()))
+        .unwrap()
+        .run()
+        .unwrap()
+}
+
+/// One faulted live run exporting a trace, re-ingested offline.
+fn live_trace(tag: &str) -> (Vec<CausalEvent>, RunSummary, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("moc-audit-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let trace_path = dir.join("trace.json");
+    let topo = ParallelTopology::dp_ep(2, 2, 4, 4).unwrap();
+    let summary = run(RuntimeConfig {
+        total_iterations: 12,
+        i_ckpt: 4,
+        eval_every: 6,
+        seq_len: 16,
+        heartbeat_timeout: Duration::from_millis(800),
+        faults: FaultPlan::At(vec![FaultEvent {
+            iteration: 7,
+            node: 1,
+        }]),
+        obs: ObsConfig::with_trace(trace_path.clone()),
+        ..RuntimeConfig::tiny(topo)
+    });
+    assert_eq!(summary.recoveries, 1);
+    let text = std::fs::read_to_string(&trace_path).expect("trace.json written");
+    let events = parse_chrome_trace(&text).expect("trace re-ingests");
+    (events, summary, dir)
+}
+
+/// The healthy baseline: the live trace passes every invariant — both
+/// through the in-run auditor (`summary.obs.audit`, written to
+/// `audit.json`) and through a from-scratch offline re-ingestion, which
+/// is exactly what the `moc-audit` binary runs.
+#[test]
+fn live_faulted_trace_passes_the_audit() {
+    let (events, summary, dir) = live_trace("clean");
+    assert!(!events.is_empty());
+
+    // In-run audit: attached to the summary and persisted as audit.json.
+    let in_run = summary.obs.audit.as_ref().expect("in-run audit report");
+    assert!(
+        in_run.passed(),
+        "live trace must audit clean:\n{}",
+        in_run.render_text()
+    );
+    assert!(in_run.fault_flows >= 1, "the kill opened a fault flow");
+    assert!(in_run.ckpt_flows >= 1, "checkpoints opened submit flows");
+    let audit_path = summary.obs.audit_path.as_ref().expect("audit.json path");
+    let doc = Json::parse(&std::fs::read_to_string(audit_path).expect("audit.json written"))
+        .expect("audit.json is valid JSON");
+    assert_eq!(doc.get("passed").and_then(Json::as_bool), Some(true));
+
+    // Offline audit over the re-ingested trace (the moc-audit path).
+    let graph = CausalGraph::from_causal(events);
+    let report = audit(&graph, None, &AuditConfig::default());
+    assert!(
+        report.passed(),
+        "offline re-audit must agree:\n{}",
+        report.render_text()
+    );
+    assert!(report.events_checked > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mutation 1 — drop the persist span a checkpoint-submit flow lands
+/// on. The audit must report *exactly* one `ckpt-persist` violation
+/// (no collateral damage to the other invariants), and its witness
+/// must hold the orphaned submit span on the broken flow.
+#[test]
+fn dropping_a_persist_span_trips_exactly_ckpt_persist() {
+    let (mut events, _, dir) = live_trace("drop-persist");
+    // The victim must be a *complete* submit→persist flow: flows whose
+    // submit never made it into the trace (a bootstrap persist, a dead
+    // lane's dump) are deliberately skipped by the auditor.
+    let victim = events
+        .iter()
+        .find_map(|e| match e.flow {
+            Flow::Start(id)
+                if id >= CKPT_FLOW_BASE && events.iter().any(|p| p.flow == Flow::End(id)) =>
+            {
+                Some(id)
+            }
+            _ => None,
+        })
+        .expect("the run persisted at least one complete checkpoint flow");
+    events.retain(|e| e.flow != Flow::End(victim));
+
+    let graph = CausalGraph::from_causal(events);
+    let report = audit(&graph, None, &AuditConfig::default());
+    let slugs: Vec<&str> = report.violations.iter().map(|v| v.invariant).collect();
+    assert_eq!(
+        slugs,
+        vec!["ckpt-persist"],
+        "exactly the targeted invariant must fire:\n{}",
+        report.render_text()
+    );
+    let witness = &report.violations[0].witness;
+    assert!(!witness.is_empty(), "violation carries a causal witness");
+    assert!(
+        witness
+            .iter()
+            .any(|e| matches!(e.flow, Flow::Start(id) if id == victim)),
+        "witness names the orphaned submit span on flow {victim}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Mutation 2 — reorder the detection edge: swapping the Lamport
+/// stamps of `fault-detected` and `recovery` claims the recovery ran
+/// before the coordinator detected the fault. Exactly
+/// `recovery-causality` must fire, with a witness walking
+/// injection → detection → recovery.
+#[test]
+fn reordering_detection_past_recovery_trips_exactly_recovery_causality() {
+    let (mut events, _, dir) = live_trace("reorder");
+    let detected = events
+        .iter()
+        .position(|e| e.name == "fault-detected" && matches!(e.flow, Flow::Step(_)))
+        .expect("detection span on the fault flow");
+    let recovery = events
+        .iter()
+        .position(|e| e.kind == SpanKind::Fault && e.name == "recovery")
+        .expect("recovery span");
+    let (a, b) = (events[detected].lamport, events[recovery].lamport);
+    assert!(a < b, "sanity: the live trace detects before it recovers");
+    events[detected].lamport = b;
+    events[recovery].lamport = a;
+
+    let graph = CausalGraph::from_causal(events);
+    let report = audit(&graph, None, &AuditConfig::default());
+    let slugs: Vec<&str> = report.violations.iter().map(|v| v.invariant).collect();
+    assert_eq!(
+        slugs,
+        vec!["recovery-causality"],
+        "exactly the targeted invariant must fire:\n{}",
+        report.render_text()
+    );
+    let witness = &report.violations[0].witness;
+    let names: Vec<&str> = witness.iter().map(|e| e.name.as_str()).collect();
+    assert!(
+        names.contains(&"fault-detected") && names.contains(&"recovery"),
+        "witness walks the inverted edge, got {names:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
